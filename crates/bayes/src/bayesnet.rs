@@ -1,0 +1,491 @@
+//! Discrete Bayesian networks with exact enumeration inference.
+//!
+//! The paper motivates FeBiM with general Bayesian inference (Sec. 2.2) —
+//! medical diagnosis networks, decision making under uncertainty — before
+//! specialising to naive Bayes classification for the benchmark. This module
+//! provides that general substrate: discrete variables, conditional
+//! probability tables (CPTs) and exact posterior queries by enumeration,
+//! which also serves as the ground-truth reference for the naive Bayes
+//! special case.
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::{BayesError, Result};
+use crate::prob::log_scores_to_probabilities;
+
+/// One discrete variable (node) of a Bayesian network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable variable name.
+    pub name: String,
+    /// Number of states the variable can take.
+    pub cardinality: usize,
+    /// Indices of the parent variables (must be smaller than this node's
+    /// index, i.e. the network is specified in topological order).
+    pub parents: Vec<usize>,
+    /// Conditional probability table.
+    ///
+    /// `cpt[parent_config][state]` where `parent_config` enumerates the
+    /// parent state combinations in row-major order (first parent varies
+    /// slowest).
+    pub cpt: Vec<Vec<f64>>,
+}
+
+/// A discrete Bayesian network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BayesianNetwork {
+    nodes: Vec<Node>,
+}
+
+/// An observed assignment `variable = state` used as evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Index of the observed variable.
+    pub variable: usize,
+    /// Observed state.
+    pub state: usize,
+}
+
+impl BayesianNetwork {
+    /// Builds a network from nodes given in topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidNetwork`] when a node references a parent
+    /// that is not defined before it, a CPT row has the wrong width, a CPT
+    /// has the wrong number of rows, or a row does not sum to one;
+    /// [`BayesError::InvalidProbability`] when a CPT entry is outside `[0,1]`.
+    pub fn new(nodes: Vec<Node>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(BayesError::InvalidNetwork {
+                reason: "network needs at least one node".to_string(),
+            });
+        }
+        for (index, node) in nodes.iter().enumerate() {
+            if node.cardinality == 0 {
+                return Err(BayesError::InvalidNetwork {
+                    reason: format!("node {index} has zero states"),
+                });
+            }
+            for &parent in &node.parents {
+                if parent >= index {
+                    return Err(BayesError::InvalidNetwork {
+                        reason: format!(
+                            "node {index} references parent {parent} that is not earlier in topological order"
+                        ),
+                    });
+                }
+            }
+            let parent_configs: usize = node
+                .parents
+                .iter()
+                .map(|&p| nodes[p].cardinality)
+                .product();
+            if node.cpt.len() != parent_configs.max(1) {
+                return Err(BayesError::InvalidNetwork {
+                    reason: format!(
+                        "node {index} CPT has {} rows, expected {}",
+                        node.cpt.len(),
+                        parent_configs.max(1)
+                    ),
+                });
+            }
+            for row in &node.cpt {
+                if row.len() != node.cardinality {
+                    return Err(BayesError::InvalidNetwork {
+                        reason: format!(
+                            "node {index} CPT row has {} entries, expected {}",
+                            row.len(),
+                            node.cardinality
+                        ),
+                    });
+                }
+                let mut sum = 0.0;
+                for &p in row {
+                    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                        return Err(BayesError::InvalidProbability(p));
+                    }
+                    sum += p;
+                }
+                if (sum - 1.0).abs() > 1e-6 {
+                    return Err(BayesError::UnnormalizedDistribution { sum });
+                }
+            }
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Number of variables.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow the nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    fn parent_config_index(&self, node: &Node, assignment: &[usize]) -> usize {
+        let mut index = 0;
+        for &parent in &node.parents {
+            index = index * self.nodes[parent].cardinality + assignment[parent];
+        }
+        index
+    }
+
+    /// Joint log-probability of a full assignment (one state per variable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownIndex`] when the assignment length or a
+    /// state is out of range.
+    pub fn log_joint(&self, assignment: &[usize]) -> Result<f64> {
+        if assignment.len() != self.nodes.len() {
+            return Err(BayesError::UnknownIndex {
+                kind: "variable",
+                index: assignment.len(),
+            });
+        }
+        let mut total = 0.0;
+        for (index, node) in self.nodes.iter().enumerate() {
+            let state = assignment[index];
+            if state >= node.cardinality {
+                return Err(BayesError::UnknownIndex {
+                    kind: "state",
+                    index: state,
+                });
+            }
+            let row = self.parent_config_index(node, assignment);
+            let p = self.nodes[index].cpt[row][state];
+            total += p.max(f64::MIN_POSITIVE).ln();
+        }
+        Ok(total)
+    }
+
+    /// Exact posterior `P(query | evidence)` by enumerating every assignment
+    /// consistent with the evidence.
+    ///
+    /// Returns one probability per state of the query variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownIndex`] for out-of-range variables or
+    /// states in the query or evidence.
+    pub fn posterior(&self, query: usize, evidence: &[Evidence]) -> Result<Vec<f64>> {
+        if query >= self.nodes.len() {
+            return Err(BayesError::UnknownIndex {
+                kind: "variable",
+                index: query,
+            });
+        }
+        for item in evidence {
+            if item.variable >= self.nodes.len() {
+                return Err(BayesError::UnknownIndex {
+                    kind: "variable",
+                    index: item.variable,
+                });
+            }
+            if item.state >= self.nodes[item.variable].cardinality {
+                return Err(BayesError::UnknownIndex {
+                    kind: "state",
+                    index: item.state,
+                });
+            }
+        }
+        let query_cardinality = self.nodes[query].cardinality;
+        let mut weights = vec![0.0f64; query_cardinality];
+        let mut assignment = vec![0usize; self.nodes.len()];
+        self.enumerate(0, &mut assignment, evidence, query, &mut weights)?;
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // Evidence with zero probability: fall back to a uniform posterior.
+            return Ok(vec![1.0 / query_cardinality as f64; query_cardinality]);
+        }
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    fn enumerate(
+        &self,
+        depth: usize,
+        assignment: &mut Vec<usize>,
+        evidence: &[Evidence],
+        query: usize,
+        weights: &mut [f64],
+    ) -> Result<()> {
+        if depth == self.nodes.len() {
+            let log_joint = self.log_joint(assignment)?;
+            weights[assignment[query]] += log_joint.exp();
+            return Ok(());
+        }
+        let fixed = evidence
+            .iter()
+            .find(|item| item.variable == depth)
+            .map(|item| item.state);
+        let states: Vec<usize> = match fixed {
+            Some(state) => vec![state],
+            None => (0..self.nodes[depth].cardinality).collect(),
+        };
+        for state in states {
+            assignment[depth] = state;
+            self.enumerate(depth + 1, assignment, evidence, query, weights)?;
+        }
+        Ok(())
+    }
+
+    /// Most probable state of the query variable given the evidence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BayesianNetwork::posterior`] errors.
+    pub fn map_state(&self, query: usize, evidence: &[Evidence]) -> Result<usize> {
+        let posterior = self.posterior(query, evidence)?;
+        Ok(crate::prob::argmax(&posterior).expect("non-empty posterior"))
+    }
+
+    /// Builds a naive Bayes network: one class node with the given prior and
+    /// one child evidence node per likelihood table.
+    ///
+    /// `likelihoods[i][class][value]` is `P(evidence_i = value | class)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BayesianNetwork::new`] validation errors.
+    pub fn naive_bayes(prior: Vec<f64>, likelihoods: Vec<Vec<Vec<f64>>>) -> Result<Self> {
+        let classes = prior.len();
+        let mut nodes = vec![Node {
+            name: "class".to_string(),
+            cardinality: classes,
+            parents: vec![],
+            cpt: vec![prior],
+        }];
+        for (index, table) in likelihoods.into_iter().enumerate() {
+            let cardinality = table.first().map(|row| row.len()).unwrap_or(0);
+            nodes.push(Node {
+                name: format!("evidence_{index}"),
+                cardinality,
+                parents: vec![0],
+                cpt: table,
+            });
+        }
+        Self::new(nodes)
+    }
+
+    /// Normalized posterior over classes computed from log-domain scores
+    /// (helper shared with the naive-Bayes code paths).
+    pub fn normalize_log_scores(scores: &[f64]) -> Vec<f64> {
+        log_scores_to_probabilities(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic sprinkler network: Rain -> Sprinkler, Rain+Sprinkler -> Wet.
+    fn sprinkler() -> BayesianNetwork {
+        BayesianNetwork::new(vec![
+            Node {
+                name: "rain".to_string(),
+                cardinality: 2,
+                parents: vec![],
+                cpt: vec![vec![0.8, 0.2]],
+            },
+            Node {
+                name: "sprinkler".to_string(),
+                cardinality: 2,
+                parents: vec![0],
+                cpt: vec![vec![0.6, 0.4], vec![0.99, 0.01]],
+            },
+            Node {
+                name: "wet".to_string(),
+                cardinality: 2,
+                parents: vec![0, 1],
+                // rows: (rain=0,sprinkler=0), (rain=0,sprinkler=1),
+                //       (rain=1,sprinkler=0), (rain=1,sprinkler=1)
+                cpt: vec![
+                    vec![1.0, 0.0],
+                    vec![0.1, 0.9],
+                    vec![0.2, 0.8],
+                    vec![0.01, 0.99],
+                ],
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn structural_validation() {
+        assert!(BayesianNetwork::new(vec![]).is_err());
+        // Parent defined after child.
+        assert!(BayesianNetwork::new(vec![Node {
+            name: "a".to_string(),
+            cardinality: 2,
+            parents: vec![1],
+            cpt: vec![vec![0.5, 0.5]],
+        }])
+        .is_err());
+        // CPT row does not sum to one.
+        assert!(BayesianNetwork::new(vec![Node {
+            name: "a".to_string(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: vec![vec![0.5, 0.2]],
+        }])
+        .is_err());
+        // Probability outside the unit interval.
+        assert!(BayesianNetwork::new(vec![Node {
+            name: "a".to_string(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: vec![vec![1.5, -0.5]],
+        }])
+        .is_err());
+        // Wrong number of CPT rows.
+        assert!(BayesianNetwork::new(vec![
+            Node {
+                name: "a".to_string(),
+                cardinality: 2,
+                parents: vec![],
+                cpt: vec![vec![0.5, 0.5]],
+            },
+            Node {
+                name: "b".to_string(),
+                cardinality: 2,
+                parents: vec![0],
+                cpt: vec![vec![0.5, 0.5]],
+            }
+        ])
+        .is_err());
+        // Zero-cardinality node.
+        assert!(BayesianNetwork::new(vec![Node {
+            name: "a".to_string(),
+            cardinality: 0,
+            parents: vec![],
+            cpt: vec![vec![]],
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn joint_probability_of_full_assignment() {
+        let network = sprinkler();
+        // P(rain=1, sprinkler=0, wet=1) = 0.2 * 0.99 * 0.8.
+        let log_joint = network.log_joint(&[1, 0, 1]).unwrap();
+        assert!((log_joint.exp() - 0.2 * 0.99 * 0.8).abs() < 1e-12);
+        assert!(network.log_joint(&[1, 0]).is_err());
+        assert!(network.log_joint(&[1, 0, 5]).is_err());
+    }
+
+    #[test]
+    fn posterior_without_evidence_is_the_prior() {
+        let network = sprinkler();
+        let posterior = network.posterior(0, &[]).unwrap();
+        assert!((posterior[0] - 0.8).abs() < 1e-9);
+        assert!((posterior[1] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wet_grass_raises_rain_probability() {
+        let network = sprinkler();
+        let posterior = network
+            .posterior(0, &[Evidence { variable: 2, state: 1 }])
+            .unwrap();
+        // Observing wet grass makes rain more likely than its 0.2 prior.
+        assert!(posterior[1] > 0.2, "posterior {posterior:?}");
+        let sum: f64 = posterior.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(
+            network
+                .map_state(0, &[Evidence { variable: 2, state: 1 }])
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn explaining_away_between_causes() {
+        let network = sprinkler();
+        let rain_given_wet = network
+            .posterior(0, &[Evidence { variable: 2, state: 1 }])
+            .unwrap()[1];
+        let rain_given_wet_and_sprinkler = network
+            .posterior(
+                0,
+                &[
+                    Evidence { variable: 2, state: 1 },
+                    Evidence { variable: 1, state: 1 },
+                ],
+            )
+            .unwrap()[1];
+        // Knowing the sprinkler was on explains the wet grass away.
+        assert!(rain_given_wet_and_sprinkler < rain_given_wet);
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let network = sprinkler();
+        assert!(network.posterior(9, &[]).is_err());
+        assert!(network
+            .posterior(0, &[Evidence { variable: 9, state: 0 }])
+            .is_err());
+        assert!(network
+            .posterior(0, &[Evidence { variable: 1, state: 9 }])
+            .is_err());
+    }
+
+    #[test]
+    fn impossible_evidence_falls_back_to_uniform() {
+        // Wet grass is impossible when rain=0 and sprinkler=0 in this variant.
+        let network = BayesianNetwork::new(vec![
+            Node {
+                name: "cause".to_string(),
+                cardinality: 2,
+                parents: vec![],
+                cpt: vec![vec![1.0, 0.0]],
+            },
+            Node {
+                name: "effect".to_string(),
+                cardinality: 2,
+                parents: vec![0],
+                cpt: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            },
+        ])
+        .unwrap();
+        let posterior = network
+            .posterior(0, &[Evidence { variable: 1, state: 1 }])
+            .unwrap();
+        assert!((posterior[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_bayes_constructor_matches_manual_network() {
+        let network = BayesianNetwork::naive_bayes(
+            vec![0.5, 0.5],
+            vec![
+                vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+                vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            ],
+        )
+        .unwrap();
+        assert_eq!(network.n_nodes(), 3);
+        // Posterior of the class given both evidence values observed as 1.
+        let posterior = network
+            .posterior(
+                0,
+                &[
+                    Evidence { variable: 1, state: 1 },
+                    Evidence { variable: 2, state: 1 },
+                ],
+            )
+            .unwrap();
+        // Manual Bayes: class0 ∝ 0.5*0.1*0.3 = 0.015, class1 ∝ 0.5*0.8*0.6 = 0.24.
+        let expected1 = 0.24 / (0.24 + 0.015);
+        assert!((posterior[1] - expected1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_log_scores_is_exposed() {
+        let probs = BayesianNetwork::normalize_log_scores(&[0.0, 0.0]);
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the inference paths: FP64 software GNBC,
+//! quantized software model and the full in-memory (crossbar + sensing)
+//! engine, on the iris-like workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use febim_bayes::GaussianNaiveBayes;
+use febim_core::{EngineConfig, FebimEngine};
+use febim_data::rng::seeded_rng;
+use febim_data::split::stratified_split;
+use febim_data::synthetic::iris_like;
+use febim_quant::{QuantConfig, QuantizedGnbc};
+
+fn inference_benches(c: &mut Criterion) {
+    let dataset = iris_like(42).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(42)).expect("split");
+    let model = GaussianNaiveBayes::fit(&split.train).expect("fit");
+    let quantized = QuantizedGnbc::quantize(&model, &split.train, QuantConfig::febim_optimal())
+        .expect("quantize");
+    let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).expect("engine");
+    let sample = split.test.sample(0).expect("sample").to_vec();
+
+    let mut group = c.benchmark_group("inference_single_sample");
+    group.bench_function("software_fp64", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&sample)).expect("predict"))
+    });
+    group.bench_function("quantized_software", |b| {
+        b.iter(|| quantized.predict(std::hint::black_box(&sample)).expect("predict"))
+    });
+    group.bench_function("in_memory_engine", |b| {
+        b.iter(|| engine.predict(std::hint::black_box(&sample)).expect("predict"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("inference_full_test_set");
+    group.sample_size(20);
+    group.bench_function("software_fp64", |b| {
+        b.iter(|| model.score(std::hint::black_box(&split.test)).expect("score"))
+    });
+    group.bench_function("in_memory_engine", |b| {
+        b.iter_batched(
+            || split.test.clone(),
+            |test| engine.evaluate(&test).expect("evaluate"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference_benches);
+criterion_main!(benches);

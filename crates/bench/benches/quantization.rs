@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the quantization pipeline: GNBC training,
+//! quantization at several precisions and feature discretization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use febim_bayes::GaussianNaiveBayes;
+use febim_data::rng::seeded_rng;
+use febim_data::split::stratified_split;
+use febim_data::synthetic::{cancer_like, iris_like};
+use febim_quant::{FeatureDiscretizer, QuantConfig, QuantizedGnbc};
+
+fn quantization_benches(c: &mut Criterion) {
+    let iris = iris_like(44).expect("iris");
+    let cancer = cancer_like(44).expect("cancer");
+    let iris_split = stratified_split(&iris, 0.7, &mut seeded_rng(44)).expect("split");
+    let cancer_split = stratified_split(&cancer, 0.7, &mut seeded_rng(44)).expect("split");
+    let iris_model = GaussianNaiveBayes::fit(&iris_split.train).expect("fit");
+    let cancer_model = GaussianNaiveBayes::fit(&cancer_split.train).expect("fit");
+
+    let mut group = c.benchmark_group("gnbc_training");
+    group.bench_function("iris_45_samples", |b| {
+        b.iter(|| GaussianNaiveBayes::fit(std::hint::black_box(&iris_split.train)).expect("fit"))
+    });
+    group.bench_function("cancer_171_samples", |b| {
+        b.iter(|| GaussianNaiveBayes::fit(std::hint::black_box(&cancer_split.train)).expect("fit"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("model_quantization");
+    for bits in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("iris_qf_ql", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                QuantizedGnbc::quantize(&iris_model, &iris_split.train, QuantConfig::new(bits, bits))
+                    .expect("quantize")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cancer_qf_ql", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                QuantizedGnbc::quantize(
+                    &cancer_model,
+                    &cancer_split.train,
+                    QuantConfig::new(bits, bits),
+                )
+                .expect("quantize")
+            })
+        });
+    }
+    group.finish();
+
+    let discretizer = FeatureDiscretizer::fit(&iris_split.train, 4).expect("discretizer");
+    let sample = iris_split.test.sample(0).expect("sample").to_vec();
+    c.bench_function("feature_discretization_single_sample", |b| {
+        b.iter(|| discretizer.discretize_sample(std::hint::black_box(&sample)).expect("bins"))
+    });
+}
+
+criterion_group!(benches, quantization_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Fig. 1(c): multi-level I_D–V_G characteristics of a 2-bit
+//! (four-state) FeFET, swept from −0.4 V to 1.2 V.
+
+use febim_bench::{emit, eng};
+use febim_core::Table;
+use febim_device::{multilevel_iv_curves, FeFetParams, SweepConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = FeFetParams::febim_calibrated();
+    let sweep = SweepConfig::febim_figure1();
+    let curves = multilevel_iv_curves(&params, 4, &sweep)?;
+
+    // Full sweep: one column per programmed state.
+    let mut table = Table::new(
+        "fig1c_id_vg_curves",
+        &["vg_v", "ids_state0_a", "ids_state1_a", "ids_state2_a", "ids_state3_a"],
+    );
+    for index in 0..curves[0].points.len() {
+        let vg = curves[0].points[index].vg;
+        table.push_numeric_row(&[
+            vg,
+            curves[0].points[index].ids,
+            curves[1].points[index].ids,
+            curves[2].points[index].ids,
+            curves[3].points[index].ids,
+        ]);
+    }
+    emit(&table);
+
+    // Summary at the read voltages, matching the annotations of the figure.
+    let mut summary = Table::new(
+        "fig1c_read_window",
+        &["state", "vth_v", "ids_at_von", "ids_at_voff", "on_off_ratio"],
+    );
+    println!("Read window at V_on = {} V / V_off = {} V:", params.v_on, params.v_off);
+    for curve in &curves {
+        let on = curve.current_at(params.v_on).unwrap_or(0.0);
+        let off = curve.current_at(params.v_off).unwrap_or(0.0);
+        println!(
+            "  state {}: V_TH = {:.3} V, I_on = {}, I_off = {}",
+            curve.level,
+            curve.vth,
+            eng(on, "A"),
+            eng(off, "A")
+        );
+        summary.push_numeric_row(&[curve.level as f64, curve.vth, on, off, on / off.max(1e-30)]);
+    }
+    emit(&summary);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Regenerates Fig. 6: inference delay and energy of the crossbar plus
+//! sensing module as the array geometry grows (2 rows with 2–256 columns,
+//! and 2–32 rows with 32 columns), with every bitline activated.
+
+use febim_bench::{emit, eng};
+use febim_circuit::SensingChain;
+use febim_core::{column_sweep, figure6_columns, figure6_rows, row_sweep, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chain = SensingChain::febim_calibrated();
+
+    // Fig. 6(a)/(b): 2 rows, growing column count.
+    let columns = figure6_columns();
+    let column_points = column_sweep(2, &columns, &chain)?;
+    let mut ab = Table::new(
+        "fig6ab_delay_energy_vs_columns",
+        &["columns", "delay_s", "energy_array_j", "energy_sensing_j", "energy_total_j"],
+    );
+    for point in &column_points {
+        ab.push_numeric_row(&[
+            point.columns as f64,
+            point.delay,
+            point.energy_array,
+            point.energy_sensing,
+            point.energy_total(),
+        ]);
+    }
+    emit(&ab);
+    println!("Fig. 6(a)/(b) summary (2 rows):");
+    for point in &column_points {
+        println!(
+            "  {:>3} columns: delay {}, energy {} (array {} + sensing {})",
+            point.columns,
+            eng(point.delay, "s"),
+            eng(point.energy_total(), "J"),
+            eng(point.energy_array, "J"),
+            eng(point.energy_sensing, "J"),
+        );
+    }
+
+    // Fig. 6(c)/(d): 32 columns, growing row count.
+    let rows = figure6_rows();
+    let row_points = row_sweep(&rows, 32, &chain)?;
+    let mut cd = Table::new(
+        "fig6cd_delay_energy_vs_rows",
+        &["rows", "delay_s", "energy_array_j", "energy_sensing_j", "energy_total_j"],
+    );
+    for point in &row_points {
+        cd.push_numeric_row(&[
+            point.rows as f64,
+            point.delay,
+            point.energy_array,
+            point.energy_sensing,
+            point.energy_total(),
+        ]);
+    }
+    emit(&cd);
+    println!("Fig. 6(c)/(d) summary (32 columns):");
+    for point in &row_points {
+        println!(
+            "  {:>2} rows: delay {}, energy {} (array {} + sensing {})",
+            point.rows,
+            eng(point.delay, "s"),
+            eng(point.energy_total(), "J"),
+            eng(point.energy_array, "J"),
+            eng(point.energy_sensing, "J"),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Regenerates Table 1: the cross-technology comparison between FeBiM and
+//! prior NVM-based Bayesian inference hardware, with the FeBiM row derived
+//! from an actual engine run on the iris-like GNBC workload.
+
+use febim_bench::{emit, eng};
+use febim_compare::ComparisonTable;
+use febim_core::{performance_metrics, EngineConfig, FebimEngine, MetricsConfig, Table};
+use febim_data::rng::seeded_rng;
+use febim_data::split::stratified_split;
+use febim_data::synthetic::iris_like;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build and evaluate the iris-GNBC engine at the paper's operating point.
+    let dataset = iris_like(9000)?;
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(9000))?;
+    let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default())?;
+    let report = engine.evaluate(&split.test)?;
+    let metrics = performance_metrics(
+        engine.program(),
+        &report,
+        &MetricsConfig::febim_calibrated(),
+    )?;
+    println!(
+        "iris-GNBC run: accuracy {:.2} %, mean energy {} per inference, delay {}",
+        100.0 * report.accuracy,
+        eng(metrics.energy_per_inference, "J"),
+        eng(report.mean_delay, "s")
+    );
+
+    let comparison = ComparisonTable::from_metrics(&metrics);
+    let mut table = Table::new(
+        "table1_comparison",
+        &[
+            "reference",
+            "technology",
+            "device_usage",
+            "cell_configuration",
+            "clk_per_inference",
+            "storage_density_mb_mm2",
+            "computing_density_mo_mm2",
+            "efficiency_tops_w",
+        ],
+    );
+    for entry in &comparison.entries {
+        table.push_row(&[
+            entry.name.clone(),
+            entry.technology.clone(),
+            format!("{:?}", entry.device_usage),
+            format!("{:?}", entry.cell_configuration),
+            entry
+                .clock_cycles_per_inference
+                .map(|v| format!("{v}"))
+                .unwrap_or_else(|| "-".to_string()),
+            entry
+                .storage_density_mb_per_mm2
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_string()),
+            entry
+                .computing_density_mo_per_mm2
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            entry
+                .efficiency_tops_per_watt
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    emit(&table);
+
+    let improvements = comparison.improvements();
+    let published = ComparisonTable::published().improvements();
+    let mut ratios = Table::new(
+        "table1_improvement_ratios",
+        &["metric", "measured_ratio", "paper_ratio"],
+    );
+    ratios.push_row(&[
+        "storage density vs memristor Bayesian machine".to_string(),
+        format!("{:.1}x", improvements.storage_density_vs_sota.unwrap_or(f64::NAN)),
+        format!("{:.1}x", published.storage_density_vs_sota.unwrap_or(f64::NAN)),
+    ]);
+    ratios.push_row(&[
+        "efficiency vs memristor Bayesian machine".to_string(),
+        format!("{:.1}x", improvements.efficiency_vs_sota.unwrap_or(f64::NAN)),
+        format!("{:.1}x", published.efficiency_vs_sota.unwrap_or(f64::NAN)),
+    ]);
+    ratios.push_row(&[
+        "computing density vs best RNG design".to_string(),
+        format!("{:.1}x", improvements.computing_density_vs_rng.unwrap_or(f64::NAN)),
+        format!("{:.1}x", published.computing_density_vs_rng.unwrap_or(f64::NAN)),
+    ]);
+    emit(&ratios);
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Error types for the analog circuit substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the behavioural circuit models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The winner-take-all stage received no input currents.
+    EmptyInput,
+    /// An input current is negative or non-finite.
+    InvalidCurrent {
+        /// Index of the offending input.
+        index: usize,
+        /// The offending value in amperes.
+        value: f64,
+    },
+    /// A circuit parameter is outside its meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The transient simulation did not settle within the allotted time.
+    DidNotSettle {
+        /// Simulated time budget in seconds.
+        time_budget: f64,
+    },
+    /// Two or more inputs tie exactly, so no unique winner exists.
+    AmbiguousWinner {
+        /// The indices that share the maximum current.
+        indices: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::EmptyInput => write!(f, "winner-take-all requires at least one input"),
+            CircuitError::InvalidCurrent { index, value } => {
+                write!(f, "input current #{index} is invalid: {value}")
+            }
+            CircuitError::InvalidParameter { name, reason } => {
+                write!(f, "invalid circuit parameter `{name}`: {reason}")
+            }
+            CircuitError::DidNotSettle { time_budget } => {
+                write!(f, "transient did not settle within {time_budget:.3e} s")
+            }
+            CircuitError::AmbiguousWinner { indices } => {
+                write!(f, "inputs {indices:?} tie for the maximum current")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Convenience result alias used throughout the circuit crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        assert!(CircuitError::EmptyInput.to_string().contains("at least one"));
+        assert!(CircuitError::InvalidCurrent { index: 3, value: -1.0 }
+            .to_string()
+            .contains("#3"));
+        assert!(CircuitError::InvalidParameter {
+            name: "load_capacitance",
+            reason: "must be positive".to_string()
+        }
+        .to_string()
+        .contains("load_capacitance"));
+        assert!(CircuitError::DidNotSettle { time_budget: 1e-9 }
+            .to_string()
+            .contains("settle"));
+        assert!(CircuitError::AmbiguousWinner { indices: vec![0, 1] }
+            .to_string()
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

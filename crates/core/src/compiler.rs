@@ -1,0 +1,181 @@
+//! Compilation of a quantized Bayesian model into a crossbar program.
+
+use serde::{Deserialize, Serialize};
+
+use febim_crossbar::CrossbarLayout;
+use febim_quant::QuantizedGnbc;
+
+use crate::errors::Result;
+
+/// A complete crossbar programming plan: the array geometry plus the target
+/// multi-level state of every cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarProgram {
+    layout: CrossbarLayout,
+    /// `levels[row][column]`: target level, or `None` for cells left erased.
+    levels: Vec<Vec<Option<usize>>>,
+    /// Number of FeFET states used by the program (`2^Q_l`).
+    state_count: usize,
+}
+
+impl CrossbarProgram {
+    /// The crossbar geometry.
+    pub fn layout(&self) -> &CrossbarLayout {
+        &self.layout
+    }
+
+    /// The per-cell target levels.
+    pub fn levels(&self) -> &[Vec<Option<usize>>] {
+        &self.levels
+    }
+
+    /// Number of distinct FeFET states the program uses.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of programmed (non-erased) cells.
+    pub fn programmed_cells(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|level| level.is_some())
+            .count()
+    }
+
+    /// Number of bits stored per cell (`log2` of the state count).
+    pub fn bits_per_cell(&self) -> f64 {
+        (self.state_count as f64).log2()
+    }
+}
+
+/// Compiles a quantized GNBC into a crossbar program.
+///
+/// The prior column is emitted only when the model's prior is non-uniform or
+/// `force_prior_column` is set, matching the paper's choice of omitting the
+/// prior block for the balanced iris dataset (Fig. 8(b)).
+///
+/// # Errors
+///
+/// Propagates layout-construction and level-lookup errors.
+pub fn compile(quantized: &QuantizedGnbc, force_prior_column: bool) -> Result<CrossbarProgram> {
+    let include_prior = force_prior_column || !quantized.has_uniform_prior();
+    let layout = CrossbarLayout::new(
+        quantized.n_classes(),
+        quantized.n_features(),
+        quantized.discretizer().bins(),
+        include_prior,
+    )?;
+    let mut levels = vec![vec![None; layout.columns()]; layout.rows()];
+    for class in 0..quantized.n_classes() {
+        if let Some(prior_column) = layout.prior_column() {
+            levels[class][prior_column] = Some(quantized.prior_level(class)?);
+        }
+        for feature in 0..quantized.n_features() {
+            for bin in 0..quantized.discretizer().bins() {
+                let column = layout.likelihood_column(feature, bin)?;
+                levels[class][column] = Some(quantized.likelihood_level(class, feature, bin)?);
+            }
+        }
+    }
+    Ok(CrossbarProgram {
+        layout,
+        levels,
+        state_count: quantized.quantizer().levels(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_bayes::GaussianNaiveBayes;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::{cancer_like, iris_like};
+    use febim_data::Dataset;
+    use febim_quant::QuantConfig;
+
+    fn iris_quantized() -> QuantizedGnbc {
+        let dataset = iris_like(30).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(30)).unwrap();
+        let model = GaussianNaiveBayes::fit(&split.train).unwrap();
+        QuantizedGnbc::quantize(&model, &split.train, QuantConfig::febim_optimal()).unwrap()
+    }
+
+    #[test]
+    fn iris_program_matches_figure_8b_geometry() {
+        let program = compile(&iris_quantized(), false).unwrap();
+        // 3 classes x 64 bitlines, no prior column, 2-bit cells.
+        assert_eq!(program.layout().rows(), 3);
+        assert_eq!(program.layout().columns(), 64);
+        assert!(!program.layout().has_prior());
+        assert_eq!(program.state_count(), 4);
+        assert!((program.bits_per_cell() - 2.0).abs() < 1e-12);
+        assert_eq!(program.programmed_cells(), 192);
+    }
+
+    #[test]
+    fn forcing_the_prior_column_adds_one_column() {
+        let program = compile(&iris_quantized(), true).unwrap();
+        assert_eq!(program.layout().columns(), 65);
+        assert!(program.layout().has_prior());
+        assert_eq!(program.programmed_cells(), 195);
+    }
+
+    #[test]
+    fn non_uniform_prior_always_gets_a_column() {
+        let dataset = cancer_like(31).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(31)).unwrap();
+        let model = GaussianNaiveBayes::fit(&split.train).unwrap();
+        assert!(!model.has_uniform_prior());
+        let quantized =
+            QuantizedGnbc::quantize(&model, &split.train, QuantConfig::new(3, 3)).unwrap();
+        let program = compile(&quantized, false).unwrap();
+        assert!(program.layout().has_prior());
+        assert_eq!(program.layout().rows(), 2);
+        assert_eq!(program.layout().columns(), 1 + 30 * 8);
+    }
+
+    #[test]
+    fn every_level_is_within_the_state_count() {
+        let program = compile(&iris_quantized(), false).unwrap();
+        for row in program.levels() {
+            for level in row.iter().flatten() {
+                assert!(*level < program.state_count());
+            }
+        }
+    }
+
+    #[test]
+    fn levels_match_the_quantized_tables() {
+        let quantized = iris_quantized();
+        let program = compile(&quantized, false).unwrap();
+        for class in 0..quantized.n_classes() {
+            for feature in 0..quantized.n_features() {
+                for bin in 0..quantized.discretizer().bins() {
+                    let column = program.layout().likelihood_column(feature, bin).unwrap();
+                    assert_eq!(
+                        program.levels()[class][column],
+                        Some(quantized.likelihood_level(class, feature, bin).unwrap())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_class_still_compiles() {
+        let dataset = Dataset::new(
+            "single",
+            vec!["x".to_string()],
+            1,
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![0, 0, 0],
+        )
+        .unwrap();
+        let model = GaussianNaiveBayes::fit(&dataset).unwrap();
+        let quantized = QuantizedGnbc::quantize(&model, &dataset, QuantConfig::new(2, 2)).unwrap();
+        let program = compile(&quantized, false).unwrap();
+        assert_eq!(program.layout().rows(), 1);
+    }
+}

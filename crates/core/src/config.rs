@@ -1,0 +1,127 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use febim_crossbar::ProgrammingMode;
+use febim_device::{FeFetParams, VariationModel};
+use febim_quant::QuantConfig;
+
+use crate::errors::{CoreError, Result};
+
+/// Full configuration of a FeBiM engine instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Probability quantization configuration (`Q_f`, `Q_l`, truncation).
+    pub quant: QuantConfig,
+    /// FeFET device parameters.
+    pub device: FeFetParams,
+    /// Threshold-voltage variation applied when the crossbar is programmed.
+    pub variation: VariationModel,
+    /// How cells are programmed (ideal polarization vs. full pulse trains).
+    pub programming_mode: ProgrammingMode,
+    /// Whether to emit a prior column even when the prior is uniform.
+    pub force_prior_column: bool,
+    /// RNG seed used for variation sampling.
+    pub variation_seed: u64,
+}
+
+impl EngineConfig {
+    /// The paper's iris operating point: `Q_f = 4`, `Q_l = 2`, no device
+    /// variation, ideal programming.
+    pub fn febim_default() -> Self {
+        Self {
+            quant: QuantConfig::febim_optimal(),
+            device: FeFetParams::febim_calibrated(),
+            variation: VariationModel::ideal(),
+            programming_mode: ProgrammingMode::Ideal,
+            force_prior_column: false,
+            variation_seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different quantization configuration.
+    pub fn with_quant(mut self, quant: QuantConfig) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Returns a copy with the given device variation and seed.
+    pub fn with_variation(mut self, variation: VariationModel, seed: u64) -> Self {
+        self.variation = variation;
+        self.variation_seed = seed;
+        self
+    }
+
+    /// Returns a copy using full pulse-train programming.
+    pub fn with_pulse_programming(mut self) -> Self {
+        self.programming_mode = ProgrammingMode::PulseTrain;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the quantization or device
+    /// parameters fail their own validation.
+    pub fn validate(&self) -> Result<()> {
+        self.quant.validate().map_err(|err| CoreError::InvalidConfig {
+            name: "quant",
+            reason: err.to_string(),
+        })?;
+        self.device
+            .validate()
+            .map_err(|err| CoreError::InvalidConfig {
+                name: "device",
+                reason: err.to_string(),
+            })?;
+        Ok(())
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::febim_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        EngineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let config = EngineConfig::febim_default()
+            .with_quant(QuantConfig::new(3, 3))
+            .with_variation(VariationModel::from_millivolts(30.0), 7)
+            .with_pulse_programming();
+        assert_eq!(config.quant.feature_bits, 3);
+        assert!((config.variation.sigma_millivolts() - 30.0).abs() < 1e-9);
+        assert_eq!(config.variation_seed, 7);
+        assert_eq!(config.programming_mode, ProgrammingMode::PulseTrain);
+    }
+
+    #[test]
+    fn invalid_quant_rejected() {
+        let config = EngineConfig::febim_default().with_quant(QuantConfig::new(0, 2));
+        assert!(matches!(
+            config.validate(),
+            Err(CoreError::InvalidConfig { name: "quant", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_device_rejected() {
+        let mut config = EngineConfig::febim_default();
+        config.device.k_sat = -1.0;
+        assert!(matches!(
+            config.validate(),
+            Err(CoreError::InvalidConfig { name: "device", .. })
+        ));
+    }
+}

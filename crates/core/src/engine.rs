@@ -1,0 +1,410 @@
+//! The FeBiM in-memory inference engine: a programmed FeFET crossbar plus the
+//! current-mirror / WTA sensing chain, exposed through a classifier-style API.
+
+use serde::{Deserialize, Serialize};
+
+use febim_bayes::{argmax, GaussianNaiveBayes};
+use febim_circuit::{CircuitError, DelayBreakdown, InferenceEnergy, SensingChain};
+use febim_crossbar::{Activation, CrossbarArray};
+use febim_data::Dataset;
+use febim_device::{LevelProgrammer, VariationModel};
+use febim_quant::QuantizedGnbc;
+
+use crate::compiler::{compile, CrossbarProgram};
+use crate::config::EngineConfig;
+use crate::errors::{CoreError, Result};
+
+/// Result of one in-memory inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceOutcome {
+    /// Predicted class (the wordline selected by the WTA circuit).
+    pub prediction: usize,
+    /// Accumulated wordline currents, in amperes.
+    pub wordline_currents: Vec<f64>,
+    /// Worst-case delay estimate of this inference.
+    pub delay: DelayBreakdown,
+    /// Energy estimate of this inference.
+    pub energy: InferenceEnergy,
+    /// Whether two or more wordlines carried exactly the same current and the
+    /// tie was broken deterministically (lowest index wins).
+    pub tie_broken: bool,
+}
+
+/// Aggregated evaluation of the engine on a labelled dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Classification accuracy.
+    pub accuracy: f64,
+    /// Per-sample predictions, in dataset order.
+    pub predictions: Vec<usize>,
+    /// Mean inference delay in seconds.
+    pub mean_delay: f64,
+    /// Mean total inference energy in joules.
+    pub mean_energy: f64,
+    /// Mean array (drivers + conduction) energy in joules.
+    pub mean_array_energy: f64,
+    /// Mean sensing (mirrors + WTA) energy in joules.
+    pub mean_sensing_energy: f64,
+    /// Number of evaluated samples.
+    pub samples: usize,
+    /// Number of inferences whose winner was decided by tie-breaking.
+    pub ties: usize,
+}
+
+/// The FeBiM engine.
+#[derive(Debug, Clone)]
+pub struct FebimEngine {
+    config: EngineConfig,
+    model: GaussianNaiveBayes,
+    quantized: QuantizedGnbc,
+    program: CrossbarProgram,
+    array: CrossbarArray,
+    sensing: SensingChain,
+}
+
+impl FebimEngine {
+    /// Trains a GNBC on the training data, quantizes it, compiles it to a
+    /// crossbar program and programs a (possibly variation-affected) array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, training, quantization, compilation and
+    /// programming errors.
+    pub fn fit(train_data: &Dataset, config: EngineConfig) -> Result<Self> {
+        let model = GaussianNaiveBayes::fit(train_data)?;
+        Self::from_trained(model, train_data, config)
+    }
+
+    /// Builds an engine from an already-trained GNBC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, quantization, compilation and programming
+    /// errors.
+    pub fn from_trained(
+        model: GaussianNaiveBayes,
+        train_data: &Dataset,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let quantized = QuantizedGnbc::quantize(&model, train_data, config.quant)?;
+        let program = compile(&quantized, config.force_prior_column)?;
+        let programmer = LevelProgrammer::new(
+            config.device.clone(),
+            program.state_count(),
+            febim_device::programming::DEFAULT_MIN_READ_CURRENT,
+            febim_device::programming::DEFAULT_MAX_READ_CURRENT,
+        )?;
+        let array = CrossbarArray::new(*program.layout(), programmer);
+        let mut engine = Self {
+            config,
+            model,
+            quantized,
+            program,
+            array,
+            sensing: SensingChain::febim_calibrated(),
+        };
+        engine.reprogram()?;
+        Ok(engine)
+    }
+
+    /// Re-programs the crossbar from the compiled program and re-applies the
+    /// configured device variation (fresh sample from the configured seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors.
+    pub fn reprogram(&mut self) -> Result<()> {
+        self.array
+            .program_matrix(self.program.levels(), self.config.programming_mode)?;
+        if self.config.variation.sigma_vth > 0.0 {
+            let mut rng = VariationModel::seeded_rng(self.config.variation_seed);
+            self.array.apply_variation(&self.config.variation, &mut rng);
+        }
+        Ok(())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The FP64 software model the engine was built from.
+    pub fn software_model(&self) -> &GaussianNaiveBayes {
+        &self.model
+    }
+
+    /// The quantized model.
+    pub fn quantized(&self) -> &QuantizedGnbc {
+        &self.quantized
+    }
+
+    /// The compiled crossbar program.
+    pub fn program(&self) -> &CrossbarProgram {
+        &self.program
+    }
+
+    /// The programmed crossbar array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// The sensing chain (mirrors, WTA, delay and energy models).
+    pub fn sensing(&self) -> &SensingChain {
+        &self.sensing
+    }
+
+    /// Replaces the sensing chain (e.g. to study mirror mismatch).
+    pub fn set_sensing(&mut self, sensing: SensingChain) {
+        self.sensing = sensing;
+    }
+
+    /// Runs one in-memory inference for a continuous sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetMismatch`] for a sample with the wrong
+    /// number of features and propagates crossbar/circuit errors.
+    pub fn infer(&self, sample: &[f64]) -> Result<InferenceOutcome> {
+        if sample.len() != self.quantized.n_features() {
+            return Err(CoreError::DatasetMismatch {
+                expected_features: self.quantized.n_features(),
+                found_features: sample.len(),
+            });
+        }
+        let evidence = self.quantized.discretize_sample(sample)?;
+        let activation = Activation::from_observation(self.array.layout(), &evidence)?;
+        let currents = self.array.wordline_currents(&activation)?;
+        match self.sensing.sense(&currents, activation.len()) {
+            Ok(outcome) => Ok(InferenceOutcome {
+                prediction: outcome.winner,
+                wordline_currents: currents,
+                delay: outcome.delay,
+                energy: outcome.energy,
+                tie_broken: false,
+            }),
+            Err(CircuitError::AmbiguousWinner { .. }) => {
+                // Quantized posteriors can tie exactly; physical mismatch
+                // would break the tie, we do it deterministically instead.
+                let winner = argmax(&currents).expect("at least one wordline");
+                let delay = self.sensing.delay_model().worst_case(
+                    currents.len(),
+                    activation.len().max(1),
+                    self.sensing.wta(),
+                    self.sensing.mirror().gain,
+                )?;
+                let energy = self.sensing.energy_model().inference(
+                    &currents,
+                    activation.len(),
+                    delay.total(),
+                    self.sensing.mirror(),
+                    self.sensing.wta(),
+                )?;
+                Ok(InferenceOutcome {
+                    prediction: winner,
+                    wordline_currents: currents,
+                    delay,
+                    energy,
+                    tie_broken: true,
+                })
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Predicts the class of one sample (discarding the circuit telemetry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FebimEngine::infer`] errors.
+    pub fn predict(&self, sample: &[f64]) -> Result<usize> {
+        Ok(self.infer(sample)?.prediction)
+    }
+
+    /// Evaluates the engine on a labelled dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetMismatch`] when the dataset has the wrong
+    /// number of features and propagates inference errors.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<EvaluationReport> {
+        if dataset.n_features() != self.quantized.n_features() {
+            return Err(CoreError::DatasetMismatch {
+                expected_features: self.quantized.n_features(),
+                found_features: dataset.n_features(),
+            });
+        }
+        let mut predictions = Vec::with_capacity(dataset.n_samples());
+        let mut correct = 0usize;
+        let mut ties = 0usize;
+        let mut delay_sum = 0.0;
+        let mut energy_sum = 0.0;
+        let mut array_energy_sum = 0.0;
+        let mut sensing_energy_sum = 0.0;
+        for (sample, label) in dataset.iter() {
+            let outcome = self.infer(sample)?;
+            if outcome.prediction == label {
+                correct += 1;
+            }
+            if outcome.tie_broken {
+                ties += 1;
+            }
+            delay_sum += outcome.delay.total();
+            energy_sum += outcome.energy.total();
+            array_energy_sum += outcome.energy.array;
+            sensing_energy_sum += outcome.energy.sensing;
+            predictions.push(outcome.prediction);
+        }
+        let samples = dataset.n_samples();
+        Ok(EvaluationReport {
+            accuracy: correct as f64 / samples as f64,
+            predictions,
+            mean_delay: delay_sum / samples as f64,
+            mean_energy: energy_sum / samples as f64,
+            mean_array_energy: array_energy_sum / samples as f64,
+            mean_sensing_energy: sensing_energy_sum / samples as f64,
+            samples,
+            ties,
+        })
+    }
+
+    /// Read-current map of the programmed crossbar (the data behind the
+    /// Fig. 8(b) state map), in amperes.
+    pub fn current_map(&self) -> Vec<Vec<f64>> {
+        self.array.current_map()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+
+    fn iris_engine() -> (FebimEngine, Dataset, Dataset) {
+        let dataset = iris_like(40).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(40)).unwrap();
+        let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
+        (engine, split.train, split.test)
+    }
+
+    #[test]
+    fn engine_builds_the_paper_geometry() {
+        let (engine, _, _) = iris_engine();
+        assert_eq!(engine.array().layout().rows(), 3);
+        assert_eq!(engine.array().layout().columns(), 64);
+        assert_eq!(engine.program().state_count(), 4);
+        assert!(engine.quantized().has_uniform_prior());
+    }
+
+    #[test]
+    fn in_memory_accuracy_tracks_the_software_baseline() {
+        let (engine, _, test) = iris_engine();
+        let software = engine.software_model().score(&test).unwrap();
+        let report = engine.evaluate(&test).unwrap();
+        assert!(
+            software - report.accuracy < 0.06,
+            "software {software} in-memory {}",
+            report.accuracy
+        );
+        assert!(report.accuracy > 0.85, "in-memory accuracy {}", report.accuracy);
+        assert_eq!(report.predictions.len(), test.n_samples());
+        assert_eq!(report.samples, test.n_samples());
+    }
+
+    #[test]
+    fn inference_reports_positive_delay_and_energy() {
+        let (engine, _, test) = iris_engine();
+        let outcome = engine.infer(test.sample(0).unwrap()).unwrap();
+        assert!(outcome.delay.total() > 0.0);
+        assert!(outcome.energy.total() > 0.0);
+        assert_eq!(outcome.wordline_currents.len(), 3);
+        // Wordline currents sit in the microampere regime expected from the
+        // 0.1 µA – 1.0 µA per-cell window with four activated columns.
+        for &current in &outcome.wordline_currents {
+            assert!(current > 0.1e-6 && current < 8.0e-6, "current {current}");
+        }
+    }
+
+    #[test]
+    fn predictions_match_infer_outcomes() {
+        let (engine, _, test) = iris_engine();
+        for index in 0..5 {
+            let sample = test.sample(index).unwrap();
+            assert_eq!(
+                engine.predict(sample).unwrap(),
+                engine.infer(sample).unwrap().prediction
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_feature_count_rejected() {
+        let (engine, _, _) = iris_engine();
+        assert!(matches!(
+            engine.infer(&[1.0, 2.0]),
+            Err(CoreError::DatasetMismatch { .. })
+        ));
+        let wine = febim_data::synthetic::wine_like(2).unwrap();
+        assert!(engine.evaluate(&wine).is_err());
+    }
+
+    #[test]
+    fn variation_degrades_accuracy_gracefully() {
+        let dataset = iris_like(41).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(41)).unwrap();
+        let ideal = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
+        let noisy = FebimEngine::fit(
+            &split.train,
+            EngineConfig::febim_default()
+                .with_variation(VariationModel::from_millivolts(45.0), 9),
+        )
+        .unwrap();
+        let ideal_accuracy = ideal.evaluate(&split.test).unwrap().accuracy;
+        let noisy_accuracy = noisy.evaluate(&split.test).unwrap().accuracy;
+        // Fig. 8(c): the mean drop at 45 mV is only a few percent; allow a
+        // generous bound for a single seed.
+        assert!(noisy_accuracy > ideal_accuracy - 0.25);
+        assert!(noisy_accuracy > 0.6);
+    }
+
+    #[test]
+    fn pulse_programming_matches_ideal_closely() {
+        let dataset = iris_like(42).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(42)).unwrap();
+        let ideal = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
+        let pulsed = FebimEngine::fit(
+            &split.train,
+            EngineConfig::febim_default().with_pulse_programming(),
+        )
+        .unwrap();
+        let a = ideal.evaluate(&split.test).unwrap().accuracy;
+        let b = pulsed.evaluate(&split.test).unwrap().accuracy;
+        assert!((a - b).abs() < 0.08, "ideal {a} pulsed {b}");
+    }
+
+    #[test]
+    fn current_map_matches_programmed_geometry() {
+        let (engine, _, _) = iris_engine();
+        let map = engine.current_map();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[0].len(), 64);
+        // Every programmed cell reads inside the mapped window (with a little
+        // slack for quantizer boundary states).
+        for row in &map {
+            for &current in row {
+                assert!(current > 0.05e-6 && current < 1.2e-6, "current {current}");
+            }
+        }
+    }
+
+    #[test]
+    fn reprogram_is_idempotent_for_ideal_devices() {
+        let (mut engine, _, test) = iris_engine();
+        let before = engine.evaluate(&test).unwrap().accuracy;
+        engine.reprogram().unwrap();
+        let after = engine.evaluate(&test).unwrap().accuracy;
+        assert!((before - after).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types for the FeBiM engine.
+
+use std::error::Error;
+use std::fmt;
+
+use febim_bayes::BayesError;
+use febim_circuit::CircuitError;
+use febim_crossbar::CrossbarError;
+use febim_data::DataError;
+use febim_device::DeviceError;
+use febim_quant::QuantError;
+
+/// Errors produced by the FeBiM engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An engine configuration value is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The engine was asked to infer before the crossbar was programmed.
+    NotProgrammed,
+    /// A dataset shape does not match the compiled model.
+    DatasetMismatch {
+        /// Expected number of features.
+        expected_features: usize,
+        /// Found number of features.
+        found_features: usize,
+    },
+    /// Wrapped device-model error.
+    Device(DeviceError),
+    /// Wrapped circuit-model error.
+    Circuit(CircuitError),
+    /// Wrapped crossbar error.
+    Crossbar(CrossbarError),
+    /// Wrapped Bayesian-model error.
+    Bayes(BayesError),
+    /// Wrapped quantization error.
+    Quant(QuantError),
+    /// Wrapped dataset error.
+    Data(DataError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { name, reason } => {
+                write!(f, "invalid engine configuration `{name}`: {reason}")
+            }
+            CoreError::NotProgrammed => write!(f, "crossbar has not been programmed"),
+            CoreError::DatasetMismatch {
+                expected_features,
+                found_features,
+            } => write!(
+                f,
+                "dataset has {found_features} features, engine expects {expected_features}"
+            ),
+            CoreError::Device(err) => write!(f, "device error: {err}"),
+            CoreError::Circuit(err) => write!(f, "circuit error: {err}"),
+            CoreError::Crossbar(err) => write!(f, "crossbar error: {err}"),
+            CoreError::Bayes(err) => write!(f, "bayes error: {err}"),
+            CoreError::Quant(err) => write!(f, "quantization error: {err}"),
+            CoreError::Data(err) => write!(f, "data error: {err}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Device(err) => Some(err),
+            CoreError::Circuit(err) => Some(err),
+            CoreError::Crossbar(err) => Some(err),
+            CoreError::Bayes(err) => Some(err),
+            CoreError::Quant(err) => Some(err),
+            CoreError::Data(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($source:ty, $variant:ident) => {
+        impl From<$source> for CoreError {
+            fn from(err: $source) -> Self {
+                CoreError::$variant(err)
+            }
+        }
+    };
+}
+
+impl_from!(DeviceError, Device);
+impl_from!(CircuitError, Circuit);
+impl_from!(CrossbarError, Crossbar);
+impl_from!(BayesError, Bayes);
+impl_from!(QuantError, Quant);
+impl_from!(DataError, Data);
+
+/// Convenience result alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::NotProgrammed.to_string().contains("programmed"));
+        assert!(CoreError::InvalidConfig {
+            name: "epochs",
+            reason: "must be positive".to_string()
+        }
+        .to_string()
+        .contains("epochs"));
+        assert!(CoreError::DatasetMismatch {
+            expected_features: 4,
+            found_features: 13
+        }
+        .to_string()
+        .contains("expects 4"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let err: CoreError = DeviceError::TooManyLevels {
+            requested: 4,
+            supported: 2,
+        }
+        .into();
+        assert!(Error::source(&err).is_some());
+        let err: CoreError = CircuitError::EmptyInput.into();
+        assert!(err.to_string().contains("circuit error"));
+        let err: CoreError = BayesError::NotTrained.into();
+        assert!(err.to_string().contains("bayes error"));
+        let err: CoreError = DataError::EmptyDataset.into();
+        assert!(err.to_string().contains("data error"));
+        let err: CoreError = QuantError::InvalidPrecision {
+            kind: "feature",
+            bits: 0,
+        }
+        .into();
+        assert!(err.to_string().contains("quantization error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

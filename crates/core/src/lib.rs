@@ -1,0 +1,103 @@
+//! # febim-core
+//!
+//! The FeBiM engine — the paper's primary contribution: an in-memory Bayesian
+//! inference engine built on a multi-level-cell FeFET crossbar.
+//!
+//! A trained Gaussian naive Bayes classifier is quantized
+//! (`febim-quant`), compiled into a crossbar program, programmed into a
+//! behavioural FeFET array (`febim-device`, `febim-crossbar`) and read out
+//! through a current-mirror + winner-take-all sensing chain
+//! (`febim-circuit`). The crate also provides the Monte-Carlo robustness
+//! study, the array-scalability sweeps and the density/efficiency metrics
+//! behind the paper's evaluation section.
+//!
+//! # Example
+//!
+//! ```
+//! use febim_core::{EngineConfig, FebimEngine};
+//! use febim_data::{rng::seeded_rng, split::stratified_split, synthetic::iris_like};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = iris_like(7)?;
+//! let split = stratified_split(&dataset, 0.7, &mut seeded_rng(7))?;
+//! let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default())?;
+//! let report = engine.evaluate(&split.test)?;
+//! assert!(report.accuracy > 0.85);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod config;
+pub mod engine;
+pub mod errors;
+pub mod metrics;
+pub mod monte_carlo;
+pub mod report;
+pub mod scaling;
+
+pub use compiler::{compile, CrossbarProgram};
+pub use config::EngineConfig;
+pub use engine::{EvaluationReport, FebimEngine, InferenceOutcome};
+pub use errors::{CoreError, Result};
+pub use metrics::{ops_per_inference, performance_metrics, MetricsConfig, PerformanceMetrics};
+pub use monte_carlo::{epoch_accuracy, variation_sweep, EpochAccuracy, VariationPoint};
+pub use report::{default_experiment_dir, Table};
+pub use scaling::{column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The in-memory prediction agrees with the quantized software model
+        /// for any test sample: the crossbar is an exact analogue of the
+        /// quantized sum when devices are ideal (up to exact ties).
+        #[test]
+        fn crossbar_matches_quantized_software(seed in 0u64..50, index in 0usize..105) {
+            let dataset = iris_like(seed).unwrap();
+            let split = stratified_split(&dataset, 0.7, &mut seeded_rng(seed)).unwrap();
+            let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
+            let sample = split.test.sample(index % split.test.n_samples()).unwrap();
+            let outcome = engine.infer(sample).unwrap();
+            let software = engine.quantized().predict(sample).unwrap();
+            if !outcome.tie_broken {
+                let scores = engine.quantized().log_posterior_scores(sample).unwrap();
+                let sorted = {
+                    let mut s = scores.clone();
+                    s.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                    s
+                };
+                // Only compare when the software scores are not themselves tied.
+                if (sorted[0] - sorted[1]).abs() > 1e-9 {
+                    prop_assert_eq!(outcome.prediction, software);
+                }
+            }
+        }
+
+        /// Operation counts grow monotonically with both array dimensions.
+        #[test]
+        fn ops_monotone(events in 1usize..32, columns in 1usize..64) {
+            let base = ops_per_inference(events, columns);
+            prop_assert!(ops_per_inference(events + 1, columns) >= base);
+            prop_assert!(ops_per_inference(events, columns + 1) >= base);
+        }
+
+        /// Scaling measurements stay finite and positive over a wide geometry range.
+        #[test]
+        fn scaling_points_are_sane(rows in 1usize..16, cols in 1usize..128) {
+            let chain = febim_circuit::SensingChain::febim_calibrated();
+            let point = measure_geometry(rows, cols, &chain, 10).unwrap();
+            prop_assert!(point.delay > 0.0 && point.delay.is_finite());
+            prop_assert!(point.energy_total() > 0.0 && point.energy_total().is_finite());
+        }
+    }
+}

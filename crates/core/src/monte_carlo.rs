@@ -1,0 +1,187 @@
+//! Monte-Carlo robustness analysis against FeFET threshold-voltage variation
+//! (Fig. 8(c)) and multi-epoch accuracy evaluation (Fig. 7 / Fig. 8(a)).
+
+use serde::{Deserialize, Serialize};
+
+use febim_data::{AccuracyStats, Dataset};
+use febim_data::rng::seeded_rng;
+use febim_data::split::stratified_split;
+use febim_device::VariationModel;
+
+use crate::config::EngineConfig;
+use crate::engine::FebimEngine;
+use crate::errors::{CoreError, Result};
+
+/// Accuracy statistics of one variation level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationPoint {
+    /// Threshold-voltage variation in millivolts.
+    pub sigma_vth_mv: f64,
+    /// Accuracy statistics over the Monte-Carlo epochs.
+    pub stats: AccuracyStats,
+    /// Individual per-epoch accuracies (for distribution plots).
+    pub accuracies: Vec<f64>,
+}
+
+/// Accuracy statistics of one epoch-averaged evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochAccuracy {
+    /// Mean FP64 software-baseline accuracy over the epochs.
+    pub software: AccuracyStats,
+    /// Mean quantized-software accuracy over the epochs.
+    pub quantized: AccuracyStats,
+    /// Mean in-memory (crossbar + WTA) accuracy over the epochs.
+    pub in_memory: AccuracyStats,
+}
+
+fn check_epochs(epochs: usize) -> Result<()> {
+    if epochs == 0 {
+        return Err(CoreError::InvalidConfig {
+            name: "epochs",
+            reason: "at least one training/inference epoch is required".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Runs `epochs` train/test epochs (fresh stratified split and retraining per
+/// epoch, as in the paper's 100-epoch protocol) and reports the accuracy of
+/// the software baseline, the quantized software model and the in-memory
+/// engine.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for zero epochs or an invalid test
+/// ratio and propagates training/inference errors.
+pub fn epoch_accuracy(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+) -> Result<EpochAccuracy> {
+    check_epochs(epochs)?;
+    let mut software = Vec::with_capacity(epochs);
+    let mut quantized = Vec::with_capacity(epochs);
+    let mut in_memory = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
+        let split = stratified_split(dataset, test_ratio, &mut rng)?;
+        let epoch_config = EngineConfig {
+            variation_seed: seed
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(epoch as u64),
+            ..config.clone()
+        };
+        let engine = FebimEngine::fit(&split.train, epoch_config)?;
+        software.push(engine.software_model().score(&split.test)?);
+        quantized.push(engine.quantized().score(&split.test)?);
+        in_memory.push(engine.evaluate(&split.test)?.accuracy);
+    }
+    Ok(EpochAccuracy {
+        software: AccuracyStats::from_values(&software)?,
+        quantized: AccuracyStats::from_values(&quantized)?,
+        in_memory: AccuracyStats::from_values(&in_memory)?,
+    })
+}
+
+/// Sweeps the FeFET variation level and reports the in-memory accuracy
+/// distribution at each σ_VTH (the Fig. 8(c) experiment).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for zero epochs and propagates
+/// training/inference errors.
+pub fn variation_sweep(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    sigmas_mv: &[f64],
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+) -> Result<Vec<VariationPoint>> {
+    check_epochs(epochs)?;
+    let mut points = Vec::with_capacity(sigmas_mv.len());
+    for &sigma_mv in sigmas_mv {
+        let mut accuracies = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
+            let split = stratified_split(dataset, test_ratio, &mut rng)?;
+            let epoch_config = config
+                .clone()
+                .with_variation(
+                    VariationModel::from_millivolts(sigma_mv),
+                    seed.wrapping_mul(31)
+                        .wrapping_add((epoch as u64) << 8)
+                        .wrapping_add(sigma_mv as u64),
+                );
+            let engine = FebimEngine::fit(&split.train, epoch_config)?;
+            accuracies.push(engine.evaluate(&split.test)?.accuracy);
+        }
+        points.push(VariationPoint {
+            sigma_vth_mv: sigma_mv,
+            stats: AccuracyStats::from_values(&accuracies)?,
+            accuracies,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_data::synthetic::iris_like;
+
+    #[test]
+    fn zero_epochs_rejected() {
+        let dataset = iris_like(60).unwrap();
+        let config = EngineConfig::febim_default();
+        assert!(epoch_accuracy(&dataset, &config, 0.7, 0, 1).is_err());
+        assert!(variation_sweep(&dataset, &config, &[0.0], 0.7, 0, 1).is_err());
+    }
+
+    #[test]
+    fn epoch_accuracy_tracks_baseline() {
+        let dataset = iris_like(61).unwrap();
+        let config = EngineConfig::febim_default();
+        let result = epoch_accuracy(&dataset, &config, 0.7, 5, 61).unwrap();
+        assert_eq!(result.software.count, 5);
+        assert!(result.software.mean > 0.88, "software {}", result.software.mean);
+        assert!(
+            result.software.mean - result.in_memory.mean < 0.05,
+            "software {} in-memory {}",
+            result.software.mean,
+            result.in_memory.mean
+        );
+        assert!(
+            (result.quantized.mean - result.in_memory.mean).abs() < 0.05,
+            "quantized {} in-memory {}",
+            result.quantized.mean,
+            result.in_memory.mean
+        );
+    }
+
+    #[test]
+    fn variation_sweep_degrades_gracefully() {
+        let dataset = iris_like(62).unwrap();
+        let config = EngineConfig::febim_default();
+        let points = variation_sweep(&dataset, &config, &[0.0, 45.0], 0.7, 4, 62).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].sigma_vth_mv, 0.0);
+        assert_eq!(points[1].accuracies.len(), 4);
+        // Fig. 8(c): the mean accuracy drop at 45 mV is around 5 %; allow a
+        // generous bound for the small epoch count used in this test.
+        let drop = points[0].stats.mean - points[1].stats.mean;
+        assert!(drop < 0.20, "accuracy drop {drop}");
+        assert!(points[1].stats.mean > 0.6);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed() {
+        let dataset = iris_like(63).unwrap();
+        let config = EngineConfig::febim_default();
+        let a = epoch_accuracy(&dataset, &config, 0.7, 3, 7).unwrap();
+        let b = epoch_accuracy(&dataset, &config, 0.7, 3, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,431 @@
+//! The FeFET crossbar array: programming, variation injection and wordline
+//! current accumulation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use febim_device::{LevelProgrammer, VariationModel};
+
+use crate::cell::Cell;
+use crate::errors::{CrossbarError, Result};
+use crate::layout::CrossbarLayout;
+use crate::read::Activation;
+use crate::write::WriteScheme;
+
+/// How cells are programmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ProgrammingMode {
+    /// Install the exact target polarization (fast, used for large sweeps).
+    #[default]
+    Ideal,
+    /// Apply the erase-then-pulse-train sequence through the Preisach model,
+    /// including half-bias disturbance of the other cells in the column.
+    PulseTrain,
+}
+
+/// A programmed FeFET crossbar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    layout: CrossbarLayout,
+    programmer: LevelProgrammer,
+    write_scheme: WriteScheme,
+    cells: Vec<Cell>,
+    write_energy: f64,
+}
+
+impl CrossbarArray {
+    /// Creates an erased crossbar with the given layout and level programmer.
+    pub fn new(layout: CrossbarLayout, programmer: LevelProgrammer) -> Self {
+        let cells = (0..layout.cells())
+            .map(|_| Cell::new(programmer.params().clone()))
+            .collect();
+        Self {
+            layout,
+            programmer,
+            write_scheme: WriteScheme::febim_default(),
+            cells,
+            write_energy: 0.0,
+        }
+    }
+
+    /// Replaces the write scheme (half-bias configuration).
+    pub fn set_write_scheme(&mut self, scheme: WriteScheme) {
+        self.write_scheme = scheme;
+    }
+
+    /// Borrow the layout.
+    pub fn layout(&self) -> &CrossbarLayout {
+        &self.layout
+    }
+
+    /// Borrow the level programmer.
+    pub fn programmer(&self) -> &LevelProgrammer {
+        &self.programmer
+    }
+
+    /// Total write energy spent programming the array so far, in joules.
+    pub fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    fn cell_index(&self, row: usize, column: usize) -> Result<usize> {
+        if row >= self.layout.rows() || column >= self.layout.columns() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row,
+                column,
+                rows: self.layout.rows(),
+                columns: self.layout.columns(),
+            });
+        }
+        Ok(row * self.layout.columns() + column)
+    }
+
+    /// Borrow a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside
+    /// the array.
+    pub fn cell(&self, row: usize, column: usize) -> Result<&Cell> {
+        let index = self.cell_index(row, column)?;
+        Ok(&self.cells[index])
+    }
+
+    /// Mutably borrow a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside
+    /// the array.
+    pub fn cell_mut(&mut self, row: usize, column: usize) -> Result<&mut Cell> {
+        let index = self.cell_index(row, column)?;
+        Ok(&mut self.cells[index])
+    }
+
+    /// Programs one cell to a multi-level state.
+    ///
+    /// With [`ProgrammingMode::PulseTrain`] the other cells of the same column
+    /// absorb half-bias disturb pulses, mirroring the physical write scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for bad coordinates and
+    /// propagates device errors for unreachable levels.
+    pub fn program_cell(
+        &mut self,
+        row: usize,
+        column: usize,
+        level: usize,
+        mode: ProgrammingMode,
+    ) -> Result<()> {
+        let index = self.cell_index(row, column)?;
+        let state = match mode {
+            ProgrammingMode::Ideal => {
+                let state = self
+                    .programmer
+                    .program_ideal(self.cells[index].device_mut(), level)?;
+                state
+            }
+            ProgrammingMode::PulseTrain => {
+                let state = self
+                    .programmer
+                    .program_with_pulses(self.cells[index].device_mut(), level)?;
+                // Unselected rows of the same column see V_w/2 pulses.
+                let scheme = self.write_scheme;
+                let pulses = u64::from(state.write_config.pulse_count) + 1;
+                for other_row in 0..self.layout.rows() {
+                    if other_row == row {
+                        continue;
+                    }
+                    let other_index = self.cell_index(other_row, column)?;
+                    scheme.apply_disturb(&mut self.cells[other_index], pulses);
+                }
+                state
+            }
+        };
+        self.cells[index].set_programmed_level(level);
+        self.cells[index].reset_disturb();
+        self.write_energy += self.programmer.write_energy(state.level)?;
+        Ok(())
+    }
+
+    /// Programs the whole array from a level matrix
+    /// (`levels[row][column] = Some(level)` or `None` to leave the cell erased).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] when the matrix shape does
+    /// not match the layout, and propagates programming errors.
+    pub fn program_matrix(
+        &mut self,
+        levels: &[Vec<Option<usize>>],
+        mode: ProgrammingMode,
+    ) -> Result<()> {
+        if levels.len() != self.layout.rows() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row: levels.len(),
+                column: 0,
+                rows: self.layout.rows(),
+                columns: self.layout.columns(),
+            });
+        }
+        for (row, row_levels) in levels.iter().enumerate() {
+            if row_levels.len() != self.layout.columns() {
+                return Err(CrossbarError::IndexOutOfBounds {
+                    row,
+                    column: row_levels.len(),
+                    rows: self.layout.rows(),
+                    columns: self.layout.columns(),
+                });
+            }
+            for (column, level) in row_levels.iter().enumerate() {
+                if let Some(level) = level {
+                    self.program_cell(row, column, *level, mode)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies Gaussian threshold-voltage variation to every cell.
+    pub fn apply_variation<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        for cell in &mut self.cells {
+            let offset = variation.sample_offset(rng);
+            cell.device_mut().set_vth_offset(offset);
+        }
+    }
+
+    /// Accumulated current of one wordline for an activation pattern, in
+    /// amperes. Activated cells contribute their `V_on` read current;
+    /// inhibited cells contribute their (negligible) `V_off` leakage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the activation
+    /// was built for a different layout and
+    /// [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn wordline_current(&self, row: usize, activation: &Activation) -> Result<f64> {
+        if activation.total_columns() != self.layout.columns() {
+            return Err(CrossbarError::ActivationLengthMismatch {
+                expected: self.layout.columns(),
+                found: activation.total_columns(),
+            });
+        }
+        if row >= self.layout.rows() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row,
+                column: 0,
+                rows: self.layout.rows(),
+                columns: self.layout.columns(),
+            });
+        }
+        let mut current = 0.0;
+        for column in 0..self.layout.columns() {
+            let cell = self.cell(row, column)?;
+            if activation.is_active(column) {
+                current += cell.read_current_on();
+            } else {
+                current += cell.read_current_off();
+            }
+        }
+        Ok(current)
+    }
+
+    /// Accumulated currents of every wordline for an activation pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`CrossbarArray::wordline_current`].
+    pub fn wordline_currents(&self, activation: &Activation) -> Result<Vec<f64>> {
+        (0..self.layout.rows())
+            .map(|row| self.wordline_current(row, activation))
+            .collect()
+    }
+
+    /// The programmed level of every cell as a matrix (for Fig. 8(b)-style
+    /// state maps).
+    pub fn level_map(&self) -> Vec<Vec<Option<usize>>> {
+        (0..self.layout.rows())
+            .map(|row| {
+                (0..self.layout.columns())
+                    .map(|column| {
+                        self.cell(row, column)
+                            .expect("in-range indices")
+                            .programmed_level()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The read current of every cell as a matrix, in amperes.
+    pub fn current_map(&self) -> Vec<Vec<f64>> {
+        (0..self.layout.rows())
+            .map(|row| {
+                (0..self.layout.columns())
+                    .map(|column| {
+                        self.cell(row, column)
+                            .expect("in-range indices")
+                            .read_current_on()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_device::VariationModel;
+
+    fn small_array() -> CrossbarArray {
+        let layout = CrossbarLayout::new(2, 2, 4, true).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        CrossbarArray::new(layout, programmer)
+    }
+
+    #[test]
+    fn fresh_array_has_negligible_currents() {
+        let array = small_array();
+        let activation = Activation::all_columns(array.layout());
+        let currents = array.wordline_currents(&activation).unwrap();
+        assert_eq!(currents.len(), 2);
+        for current in currents {
+            assert!(current < 1e-8);
+        }
+    }
+
+    #[test]
+    fn programming_raises_wordline_current() {
+        let mut array = small_array();
+        array.program_cell(0, 1, 9, ProgrammingMode::Ideal).unwrap();
+        let activation = Activation::from_columns(array.layout(), &[1]).unwrap();
+        let currents = array.wordline_currents(&activation).unwrap();
+        assert!(currents[0] > 0.9e-6);
+        assert!(currents[1] < 1e-8);
+        assert_eq!(array.cell(0, 1).unwrap().programmed_level(), Some(9));
+        assert!(array.write_energy() > 0.0);
+    }
+
+    #[test]
+    fn accumulation_is_additive_across_columns() {
+        let mut array = small_array();
+        array.program_cell(0, 1, 4, ProgrammingMode::Ideal).unwrap();
+        array.program_cell(0, 5, 9, ProgrammingMode::Ideal).unwrap();
+        let single_a = array
+            .wordline_current(0, &Activation::from_columns(array.layout(), &[1]).unwrap())
+            .unwrap();
+        let single_b = array
+            .wordline_current(0, &Activation::from_columns(array.layout(), &[5]).unwrap())
+            .unwrap();
+        let both = array
+            .wordline_current(
+                0,
+                &Activation::from_columns(array.layout(), &[1, 5]).unwrap(),
+            )
+            .unwrap();
+        // The off-state leakage of the remaining columns is shared between the
+        // measurements, so additivity holds to well below one percent.
+        let expected = single_a + single_b;
+        assert!((both - expected).abs() / expected < 1e-2);
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let mut array = small_array();
+        assert!(array.cell(5, 0).is_err());
+        assert!(array.cell(0, 99).is_err());
+        assert!(array.program_cell(5, 0, 1, ProgrammingMode::Ideal).is_err());
+        assert!(array
+            .wordline_current(7, &Activation::all_columns(array.layout()))
+            .is_err());
+    }
+
+    #[test]
+    fn unreachable_level_propagates_device_error() {
+        let mut array = small_array();
+        let err = array
+            .program_cell(0, 0, 99, ProgrammingMode::Ideal)
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::Device(_)));
+    }
+
+    #[test]
+    fn activation_from_other_layout_rejected() {
+        let array = small_array();
+        let other_layout = CrossbarLayout::new(2, 3, 4, false).unwrap();
+        let activation = Activation::all_columns(&other_layout);
+        assert!(matches!(
+            array.wordline_currents(&activation),
+            Err(CrossbarError::ActivationLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn program_matrix_validates_shape() {
+        let mut array = small_array();
+        let wrong_rows = vec![vec![None; array.layout().columns()]];
+        assert!(array
+            .program_matrix(&wrong_rows, ProgrammingMode::Ideal)
+            .is_err());
+        let wrong_columns = vec![vec![None; 3]; array.layout().rows()];
+        assert!(array
+            .program_matrix(&wrong_columns, ProgrammingMode::Ideal)
+            .is_err());
+    }
+
+    #[test]
+    fn program_matrix_programs_and_maps_back() {
+        let mut array = small_array();
+        let mut levels = vec![vec![None; array.layout().columns()]; array.layout().rows()];
+        levels[0][0] = Some(3);
+        levels[1][8] = Some(7);
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        assert_eq!(array.level_map(), levels);
+        let currents = array.current_map();
+        assert!(currents[0][0] > currents[0][1]);
+        assert!(currents[1][8] > currents[1][7]);
+    }
+
+    #[test]
+    fn pulse_train_mode_disturbs_other_rows() {
+        let mut array = small_array();
+        array
+            .program_cell(0, 2, 5, ProgrammingMode::PulseTrain)
+            .unwrap();
+        // The unselected row in the same column absorbed disturb pulses.
+        assert!(array.cell(1, 2).unwrap().disturb_pulses() > 0);
+        // The programmed cell's disturb counter was reset.
+        assert_eq!(array.cell(0, 2).unwrap().disturb_pulses(), 0);
+    }
+
+    #[test]
+    fn pulse_train_and_ideal_agree_closely() {
+        let layout = CrossbarLayout::new(1, 1, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut ideal = CrossbarArray::new(layout, programmer.clone());
+        let mut pulsed = CrossbarArray::new(layout, programmer);
+        ideal.program_cell(0, 0, 6, ProgrammingMode::Ideal).unwrap();
+        pulsed
+            .program_cell(0, 0, 6, ProgrammingMode::PulseTrain)
+            .unwrap();
+        let a = ideal.cell(0, 0).unwrap().read_current_on();
+        let b = pulsed.cell(0, 0).unwrap().read_current_on();
+        assert!((a - b).abs() / a < 0.1, "ideal {a:.3e} pulsed {b:.3e}");
+    }
+
+    #[test]
+    fn variation_perturbs_read_currents() {
+        let mut array = small_array();
+        array.program_cell(0, 0, 5, ProgrammingMode::Ideal).unwrap();
+        let nominal = array.cell(0, 0).unwrap().read_current_on();
+        let variation = VariationModel::from_millivolts(45.0);
+        let mut rng = VariationModel::seeded_rng(3);
+        array.apply_variation(&variation, &mut rng);
+        let perturbed = array.cell(0, 0).unwrap().read_current_on();
+        assert_ne!(nominal, perturbed);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for the FeFET crossbar model.
+
+use std::error::Error;
+use std::fmt;
+
+use febim_device::DeviceError;
+
+/// Errors produced by crossbar construction, programming and read operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossbarError {
+    /// A row or column index is outside the array.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        column: usize,
+        /// Array row count.
+        rows: usize,
+        /// Array column count.
+        columns: usize,
+    },
+    /// The layout parameters are degenerate (zero rows, nodes or levels).
+    InvalidLayout {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// An evidence value refers to a node or level outside the layout.
+    InvalidEvidence {
+        /// Evidence node index.
+        node: usize,
+        /// Discretized evidence level.
+        level: usize,
+    },
+    /// A device-level error occurred while programming or reading a cell.
+    Device(DeviceError),
+    /// An activation vector has the wrong length for the array.
+    ActivationLengthMismatch {
+        /// Expected number of columns.
+        expected: usize,
+        /// Provided activation length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::IndexOutOfBounds {
+                row,
+                column,
+                rows,
+                columns,
+            } => write!(
+                f,
+                "cell ({row}, {column}) outside {rows}x{columns} array"
+            ),
+            CrossbarError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
+            CrossbarError::InvalidEvidence { node, level } => {
+                write!(f, "evidence node {node} level {level} outside the layout")
+            }
+            CrossbarError::Device(err) => write!(f, "device error: {err}"),
+            CrossbarError::ActivationLengthMismatch { expected, found } => write!(
+                f,
+                "activation vector has {found} entries, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CrossbarError::Device(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for CrossbarError {
+    fn from(err: DeviceError) -> Self {
+        CrossbarError::Device(err)
+    }
+}
+
+/// Convenience result alias used throughout the crossbar crate.
+pub type Result<T> = std::result::Result<T, CrossbarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = CrossbarError::IndexOutOfBounds {
+            row: 5,
+            column: 9,
+            rows: 3,
+            columns: 8,
+        };
+        assert!(err.to_string().contains("(5, 9)"));
+        assert!(CrossbarError::InvalidLayout {
+            reason: "zero rows".to_string()
+        }
+        .to_string()
+        .contains("zero rows"));
+        assert!(CrossbarError::InvalidEvidence { node: 1, level: 7 }
+            .to_string()
+            .contains("node 1"));
+        assert!(CrossbarError::ActivationLengthMismatch {
+            expected: 10,
+            found: 3
+        }
+        .to_string()
+        .contains("expected 10"));
+    }
+
+    #[test]
+    fn device_errors_convert_and_chain() {
+        let device_err = DeviceError::TooManyLevels {
+            requested: 20,
+            supported: 10,
+        };
+        let err: CrossbarError = device_err.clone().into();
+        assert!(err.to_string().contains("device error"));
+        assert!(Error::source(&err).is_some());
+        assert_eq!(err, CrossbarError::Device(device_err));
+    }
+}

@@ -1,0 +1,230 @@
+//! Fault injection for reliability studies.
+//!
+//! Beyond the Gaussian V_TH variation studied in Fig. 8(c), realistic FeFET
+//! arrays suffer hard defects: cells stuck in the erased state (open defects,
+//! endurance failures) or stuck at a fixed programmed level (ferroelectric
+//! imprint). This module injects such defects into a programmed crossbar so
+//! the classification robustness against hard faults can be quantified.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use febim_device::Polarization;
+
+use crate::array::CrossbarArray;
+use crate::errors::{CrossbarError, Result};
+
+/// The kind of hard defect injected into a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The cell reads as fully erased (no current contribution).
+    StuckErased,
+    /// The cell reads as fully programmed (maximum polarization), regardless
+    /// of the level it should store.
+    StuckProgrammed,
+}
+
+/// A fault injected at a specific cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Row (wordline) of the faulty cell.
+    pub row: usize,
+    /// Column (bitline) of the faulty cell.
+    pub column: usize,
+    /// The defect type.
+    pub kind: FaultKind,
+}
+
+/// Random hard-fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability that any given cell is defective.
+    pub cell_fault_rate: f64,
+    /// Fraction of defective cells that are stuck erased (the rest are stuck
+    /// programmed).
+    pub stuck_erased_fraction: f64,
+}
+
+impl FaultModel {
+    /// Creates a fault model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidLayout`] when either fraction is
+    /// outside `[0, 1]`.
+    pub fn new(cell_fault_rate: f64, stuck_erased_fraction: f64) -> Result<Self> {
+        for (name, value) in [
+            ("cell_fault_rate", cell_fault_rate),
+            ("stuck_erased_fraction", stuck_erased_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(CrossbarError::InvalidLayout {
+                    reason: format!("{name} must lie in [0, 1], got {value}"),
+                });
+            }
+        }
+        Ok(Self {
+            cell_fault_rate,
+            stuck_erased_fraction,
+        })
+    }
+
+    /// A defect-free model.
+    pub fn none() -> Self {
+        Self {
+            cell_fault_rate: 0.0,
+            stuck_erased_fraction: 1.0,
+        }
+    }
+
+    /// Injects faults into every cell of the array independently with the
+    /// configured probability and returns the list of injected defects.
+    pub fn inject<R: Rng + ?Sized>(
+        &self,
+        array: &mut CrossbarArray,
+        rng: &mut R,
+    ) -> Result<Vec<InjectedFault>> {
+        let rows = array.layout().rows();
+        let columns = array.layout().columns();
+        let mut faults = Vec::new();
+        for row in 0..rows {
+            for column in 0..columns {
+                if self.cell_fault_rate == 0.0 || rng.gen::<f64>() >= self.cell_fault_rate {
+                    continue;
+                }
+                let kind = if rng.gen::<f64>() < self.stuck_erased_fraction {
+                    FaultKind::StuckErased
+                } else {
+                    FaultKind::StuckProgrammed
+                };
+                apply_fault(array, row, column, kind)?;
+                faults.push(InjectedFault { row, column, kind });
+            }
+        }
+        Ok(faults)
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Applies a single hard fault to one cell.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside the
+/// array.
+pub fn apply_fault(
+    array: &mut CrossbarArray,
+    row: usize,
+    column: usize,
+    kind: FaultKind,
+) -> Result<()> {
+    let cell = array.cell_mut(row, column)?;
+    let polarization = match kind {
+        FaultKind::StuckErased => Polarization::ERASED,
+        FaultKind::StuckProgrammed => Polarization::SATURATED,
+    };
+    cell.device_mut().set_polarization(polarization);
+    cell.device_mut().set_vth_offset(0.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ProgrammingMode;
+    use crate::layout::CrossbarLayout;
+    use crate::read::Activation;
+    use febim_device::{LevelProgrammer, VariationModel};
+
+    fn programmed_array() -> CrossbarArray {
+        let layout = CrossbarLayout::new(2, 4, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut array = CrossbarArray::new(layout, programmer);
+        for row in 0..2 {
+            for column in 0..16 {
+                array
+                    .program_cell(row, column, (row + column) % 10, ProgrammingMode::Ideal)
+                    .unwrap();
+            }
+        }
+        array
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(FaultModel::new(-0.1, 0.5).is_err());
+        assert!(FaultModel::new(0.1, 1.5).is_err());
+        assert!(FaultModel::new(f64::NAN, 0.5).is_err());
+        assert!(FaultModel::new(0.05, 0.5).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut array = programmed_array();
+        let before = array.current_map();
+        let mut rng = VariationModel::seeded_rng(1);
+        let faults = FaultModel::none().inject(&mut array, &mut rng).unwrap();
+        assert!(faults.is_empty());
+        assert_eq!(array.current_map(), before);
+    }
+
+    #[test]
+    fn full_rate_faults_every_cell() {
+        let mut array = programmed_array();
+        let mut rng = VariationModel::seeded_rng(2);
+        let faults = FaultModel::new(1.0, 1.0)
+            .unwrap()
+            .inject(&mut array, &mut rng)
+            .unwrap();
+        assert_eq!(faults.len(), 32);
+        // Every stuck-erased cell stops conducting.
+        let activation = Activation::all_columns(array.layout());
+        for current in array.wordline_currents(&activation).unwrap() {
+            assert!(current < 1e-8, "current {current}");
+        }
+    }
+
+    #[test]
+    fn stuck_programmed_cells_read_above_the_mapped_window() {
+        let mut array = programmed_array();
+        apply_fault(&mut array, 0, 3, FaultKind::StuckProgrammed).unwrap();
+        let current = array.cell(0, 3).unwrap().read_current_on();
+        // Fully saturated polarization exceeds the 1.0 uA top of the window.
+        assert!(current > 1.0e-6);
+    }
+
+    #[test]
+    fn stuck_erased_cells_stop_conducting() {
+        let mut array = programmed_array();
+        let before = array.cell(1, 5).unwrap().read_current_on();
+        assert!(before > 1e-7);
+        apply_fault(&mut array, 1, 5, FaultKind::StuckErased).unwrap();
+        assert!(array.cell(1, 5).unwrap().read_current_on() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_bounds_fault_rejected() {
+        let mut array = programmed_array();
+        assert!(apply_fault(&mut array, 9, 0, FaultKind::StuckErased).is_err());
+    }
+
+    #[test]
+    fn injection_is_reproducible_per_seed() {
+        let model = FaultModel::new(0.2, 0.5).unwrap();
+        let mut a = programmed_array();
+        let mut b = programmed_array();
+        let faults_a = model
+            .inject(&mut a, &mut VariationModel::seeded_rng(7))
+            .unwrap();
+        let faults_b = model
+            .inject(&mut b, &mut VariationModel::seeded_rng(7))
+            .unwrap();
+        assert_eq!(faults_a, faults_b);
+        assert!(!faults_a.is_empty());
+    }
+}

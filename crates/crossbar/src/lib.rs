@@ -1,0 +1,117 @@
+//! # febim-crossbar
+//!
+//! Model of the FeBiM FeFET crossbar array (Fig. 3 of the paper): one
+//! multi-level FeFET per cell, wordlines accumulating the drain currents of
+//! the activated cells, a half-bias write scheme with disturb tracking, and
+//! activation patterns that select the prior column plus one likelihood
+//! column per evidence node.
+//!
+//! # Example
+//!
+//! ```
+//! use febim_crossbar::{Activation, CrossbarArray, CrossbarLayout, ProgrammingMode};
+//! use febim_device::LevelProgrammer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 2 events, 1 evidence node with 4 levels, no prior column.
+//! let layout = CrossbarLayout::new(2, 1, 4, false)?;
+//! let programmer = LevelProgrammer::febim_default(10)?;
+//! let mut array = CrossbarArray::new(layout, programmer);
+//! array.program_cell(0, 2, 9, ProgrammingMode::Ideal)?;
+//! array.program_cell(1, 2, 3, ProgrammingMode::Ideal)?;
+//!
+//! let activation = Activation::from_observation(array.layout(), &[2])?;
+//! let currents = array.wordline_currents(&activation)?;
+//! assert!(currents[0] > currents[1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod errors;
+pub mod fault;
+pub mod layout;
+pub mod read;
+pub mod write;
+
+pub use array::{CrossbarArray, ProgrammingMode};
+pub use cell::Cell;
+pub use errors::{CrossbarError, Result};
+pub use fault::{apply_fault, FaultKind, FaultModel, InjectedFault};
+pub use layout::{ColumnRole, CrossbarLayout};
+pub use read::Activation;
+pub use write::WriteScheme;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use febim_device::LevelProgrammer;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Column index maps are a bijection between (node, level) pairs and
+        /// likelihood columns.
+        #[test]
+        fn layout_columns_are_bijective(
+            events in 1usize..8,
+            nodes in 1usize..6,
+            levels in 1usize..16,
+            has_prior in proptest::bool::ANY,
+        ) {
+            let layout = CrossbarLayout::new(events, nodes, levels, has_prior).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for node in 0..nodes {
+                for level in 0..levels {
+                    let column = layout.likelihood_column(node, level).unwrap();
+                    prop_assert!(column < layout.columns());
+                    prop_assert!(seen.insert(column), "column {column} reused");
+                    prop_assert_eq!(
+                        layout.column_role(column).unwrap(),
+                        ColumnRole::Likelihood { node, level }
+                    );
+                }
+            }
+            if has_prior {
+                prop_assert!(!seen.contains(&0));
+            }
+        }
+
+        /// Wordline currents scale monotonically with the programmed level.
+        #[test]
+        fn higher_levels_give_higher_currents(level_low in 0usize..9) {
+            let layout = CrossbarLayout::new(1, 1, 2, false).unwrap();
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut low = CrossbarArray::new(layout, programmer.clone());
+            let mut high = CrossbarArray::new(layout, programmer);
+            low.program_cell(0, 0, level_low, ProgrammingMode::Ideal).unwrap();
+            high.program_cell(0, 0, level_low + 1, ProgrammingMode::Ideal).unwrap();
+            let activation = Activation::from_columns(low.layout(), &[0]).unwrap();
+            let current_low = low.wordline_current(0, &activation).unwrap();
+            let current_high = high.wordline_current(0, &activation).unwrap();
+            prop_assert!(current_high > current_low);
+        }
+
+        /// Wordline accumulation equals the sum of the activated cell read
+        /// currents plus negligible leakage, for arbitrary level patterns.
+        #[test]
+        fn accumulation_matches_cell_sum(
+            levels in proptest::collection::vec(0usize..10, 1..8),
+        ) {
+            let nodes = levels.len();
+            let layout = CrossbarLayout::new(1, nodes, 1, false).unwrap();
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut array = CrossbarArray::new(layout, programmer);
+            let mut expected = 0.0;
+            for (column, &level) in levels.iter().enumerate() {
+                array.program_cell(0, column, level, ProgrammingMode::Ideal).unwrap();
+                expected += array.cell(0, column).unwrap().read_current_on();
+            }
+            let activation = Activation::all_columns(array.layout());
+            let measured = array.wordline_current(0, &activation).unwrap();
+            prop_assert!((measured - expected).abs() / expected < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Read operation: bitline activation patterns and wordline accumulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::{CrossbarError, Result};
+use crate::layout::CrossbarLayout;
+
+/// Which bitlines are driven with `V_on` during one inference.
+///
+/// FeBiM activates the prior column (if present) plus exactly one column per
+/// evidence block, selected by the discretized evidence value of the sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Activation {
+    active_columns: Vec<usize>,
+    total_columns: usize,
+}
+
+impl Activation {
+    /// Builds the activation for a discretized observation.
+    ///
+    /// `evidence_levels[i]` is the discretized level of evidence node `i` and
+    /// must be smaller than the layout's `evidence_levels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidEvidence`] when the number of evidence
+    /// values does not match the layout or a level is out of range.
+    pub fn from_observation(layout: &CrossbarLayout, evidence_levels: &[usize]) -> Result<Self> {
+        if evidence_levels.len() != layout.evidence_nodes() {
+            return Err(CrossbarError::InvalidEvidence {
+                node: evidence_levels.len(),
+                level: 0,
+            });
+        }
+        let mut active_columns = Vec::with_capacity(layout.activated_columns());
+        if let Some(prior) = layout.prior_column() {
+            active_columns.push(prior);
+        }
+        for (node, &level) in evidence_levels.iter().enumerate() {
+            active_columns.push(layout.likelihood_column(node, level)?);
+        }
+        Ok(Self {
+            active_columns,
+            total_columns: layout.columns(),
+        })
+    }
+
+    /// Activation driving every bitline simultaneously (the stress pattern
+    /// used for the scalability study of Fig. 6).
+    pub fn all_columns(layout: &CrossbarLayout) -> Self {
+        Self {
+            active_columns: (0..layout.columns()).collect(),
+            total_columns: layout.columns(),
+        }
+    }
+
+    /// Activation driving an explicit list of columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] when a column index is
+    /// outside the layout.
+    pub fn from_columns(layout: &CrossbarLayout, columns: &[usize]) -> Result<Self> {
+        for &column in columns {
+            if column >= layout.columns() {
+                return Err(CrossbarError::IndexOutOfBounds {
+                    row: 0,
+                    column,
+                    rows: layout.rows(),
+                    columns: layout.columns(),
+                });
+            }
+        }
+        Ok(Self {
+            active_columns: columns.to_vec(),
+            total_columns: layout.columns(),
+        })
+    }
+
+    /// The activated column indices, in activation order.
+    pub fn active_columns(&self) -> &[usize] {
+        &self.active_columns
+    }
+
+    /// Number of activated columns.
+    pub fn len(&self) -> usize {
+        self.active_columns.len()
+    }
+
+    /// Whether no column is activated.
+    pub fn is_empty(&self) -> bool {
+        self.active_columns.is_empty()
+    }
+
+    /// Whether a given column is activated.
+    pub fn is_active(&self, column: usize) -> bool {
+        self.active_columns.contains(&column)
+    }
+
+    /// Total number of columns in the layout the activation was built for.
+    pub fn total_columns(&self) -> usize {
+        self.total_columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> CrossbarLayout {
+        CrossbarLayout::new(3, 2, 4, true).unwrap()
+    }
+
+    #[test]
+    fn observation_activates_prior_and_one_column_per_node() {
+        let layout = layout();
+        let activation = Activation::from_observation(&layout, &[1, 3]).unwrap();
+        assert_eq!(activation.len(), 3);
+        assert!(activation.is_active(0)); // prior
+        assert!(activation.is_active(2)); // node 0, level 1
+        assert!(activation.is_active(8)); // node 1, level 3
+        assert!(!activation.is_active(1));
+        assert_eq!(activation.total_columns(), layout.columns());
+    }
+
+    #[test]
+    fn observation_without_prior_column() {
+        let layout = CrossbarLayout::new(3, 2, 4, false).unwrap();
+        let activation = Activation::from_observation(&layout, &[0, 0]).unwrap();
+        assert_eq!(activation.len(), 2);
+        assert_eq!(activation.active_columns(), &[0, 4]);
+    }
+
+    #[test]
+    fn wrong_number_of_evidence_values_rejected() {
+        let layout = layout();
+        assert!(Activation::from_observation(&layout, &[1]).is_err());
+        assert!(Activation::from_observation(&layout, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_level_rejected() {
+        let layout = layout();
+        assert!(Activation::from_observation(&layout, &[1, 4]).is_err());
+    }
+
+    #[test]
+    fn all_columns_activates_everything() {
+        let layout = layout();
+        let activation = Activation::all_columns(&layout);
+        assert_eq!(activation.len(), layout.columns());
+        assert!(!activation.is_empty());
+    }
+
+    #[test]
+    fn explicit_columns_validated() {
+        let layout = layout();
+        let activation = Activation::from_columns(&layout, &[0, 5]).unwrap();
+        assert_eq!(activation.active_columns(), &[0, 5]);
+        assert!(Activation::from_columns(&layout, &[99]).is_err());
+        let empty = Activation::from_columns(&layout, &[]).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::{DataError, Result};
+
+/// Fraction of predictions that match the true labels.
+///
+/// # Errors
+///
+/// Returns [`DataError::PredictionLengthMismatch`] when the slices differ in
+/// length and [`DataError::EmptyDataset`] when they are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(DataError::PredictionLengthMismatch {
+            predictions: predictions.len(),
+            labels: labels.len(),
+        });
+    }
+    if predictions.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+/// Confusion matrix: `matrix[true_class][predicted_class]` counts.
+///
+/// # Errors
+///
+/// Returns the same errors as [`accuracy`], plus
+/// [`DataError::LabelOutOfRange`] when a label or prediction exceeds
+/// `n_classes`.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+) -> Result<Vec<Vec<usize>>> {
+    if predictions.len() != labels.len() {
+        return Err(DataError::PredictionLengthMismatch {
+            predictions: predictions.len(),
+            labels: labels.len(),
+        });
+    }
+    if predictions.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let mut matrix = vec![vec![0usize; n_classes]; n_classes];
+    for (&prediction, &label) in predictions.iter().zip(labels.iter()) {
+        if prediction >= n_classes {
+            return Err(DataError::LabelOutOfRange {
+                label: prediction,
+                classes: n_classes,
+            });
+        }
+        if label >= n_classes {
+            return Err(DataError::LabelOutOfRange {
+                label,
+                classes: n_classes,
+            });
+        }
+        matrix[label][prediction] += 1;
+    }
+    Ok(matrix)
+}
+
+/// Summary statistics of a collection of accuracy measurements (one per
+/// train/inference epoch, as in the paper's 100-epoch evaluations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyStats {
+    /// Mean accuracy.
+    pub mean: f64,
+    /// Standard deviation of the accuracy.
+    pub std_dev: f64,
+    /// Minimum observed accuracy.
+    pub min: f64,
+    /// Maximum observed accuracy.
+    pub max: f64,
+    /// Number of measurements.
+    pub count: usize,
+}
+
+impl AccuracyStats {
+    /// Computes the statistics of a set of accuracy values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when `values` is empty.
+    pub fn from_values(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Self {
+            mean,
+            std_dev: variance.sqrt(),
+            min,
+            max,
+            count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let acc = accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]).unwrap();
+        assert!((acc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_validates_inputs() {
+        assert!(accuracy(&[0, 1], &[0]).is_err());
+        assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        assert_eq!(accuracy(&[1, 1], &[1, 1]).unwrap(), 1.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_cells() {
+        let matrix = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3).unwrap();
+        assert_eq!(matrix[0][0], 1);
+        assert_eq!(matrix[1][1], 1);
+        assert_eq!(matrix[2][1], 1);
+        assert_eq!(matrix[2][2], 1);
+        let total: usize = matrix.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn confusion_matrix_validates_ranges() {
+        assert!(confusion_matrix(&[3], &[0], 3).is_err());
+        assert!(confusion_matrix(&[0], &[3], 3).is_err());
+        assert!(confusion_matrix(&[0], &[0, 1], 3).is_err());
+        assert!(confusion_matrix(&[], &[], 3).is_err());
+    }
+
+    #[test]
+    fn accuracy_stats_summarize() {
+        let stats = AccuracyStats::from_values(&[0.9, 0.95, 1.0]).unwrap();
+        assert!((stats.mean - 0.95).abs() < 1e-12);
+        assert_eq!(stats.min, 0.9);
+        assert_eq!(stats.max, 1.0);
+        assert_eq!(stats.count, 3);
+        assert!(stats.std_dev > 0.0);
+    }
+
+    #[test]
+    fn accuracy_stats_reject_empty() {
+        assert!(AccuracyStats::from_values(&[]).is_err());
+    }
+
+    #[test]
+    fn accuracy_stats_single_value_has_zero_std() {
+        let stats = AccuracyStats::from_values(&[0.8]).unwrap();
+        assert_eq!(stats.std_dev, 0.0);
+        assert_eq!(stats.mean, 0.8);
+    }
+}

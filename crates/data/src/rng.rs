@@ -1,0 +1,104 @@
+//! Deterministic random sampling helpers.
+//!
+//! The dataset generators only need uniform and Gaussian variates; the
+//! Gaussian sampler uses the Box–Muller transform so the crate does not need
+//! an extra dependency beyond `rand`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic random number generator from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use febim_data::rng::seeded_rng;
+/// use rand::Rng;
+///
+/// let mut a = seeded_rng(1);
+/// let mut b = seeded_rng(1);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Draws one normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Produces a random permutation of `0..len` (Fisher–Yates shuffle).
+pub fn permutation<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut rng = seeded_rng(99);
+            (0..8).map(|_| rng.gen::<f64>()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = seeded_rng(99);
+            (0..8).map(|_| rng.gen::<f64>()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_sampler_matches_requested_moments() {
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn permutation_contains_every_index_once() {
+        let mut rng = seeded_rng(5);
+        let perm = permutation(&mut rng, 100);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_of_empty_and_single() {
+        let mut rng = seeded_rng(5);
+        assert!(permutation(&mut rng, 0).is_empty());
+        assert_eq!(permutation(&mut rng, 1), vec![0]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+}

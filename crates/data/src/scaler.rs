@@ -1,0 +1,228 @@
+//! Feature scaling helpers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::errors::{DataError, Result};
+
+/// Per-feature min-max scaler mapping each feature into `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    minimums: Vec<f64>,
+    maximums: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to the feature ranges of a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] if the dataset has no features.
+    pub fn fit(dataset: &Dataset) -> Result<Self> {
+        if dataset.n_features() == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        let mut minimums = Vec::with_capacity(dataset.n_features());
+        let mut maximums = Vec::with_capacity(dataset.n_features());
+        for feature in 0..dataset.n_features() {
+            let (min, max) = dataset.feature_range(feature);
+            minimums.push(min);
+            maximums.push(max);
+        }
+        Ok(Self { minimums, maximums })
+    }
+
+    /// Scales one sample into the unit hypercube, clamping values that fall
+    /// outside the fitted range (as happens for unseen test samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InconsistentFeatureCount`] when the sample length
+    /// does not match the fitted feature count.
+    pub fn transform_sample(&self, sample: &[f64]) -> Result<Vec<f64>> {
+        if sample.len() != self.minimums.len() {
+            return Err(DataError::InconsistentFeatureCount {
+                expected: self.minimums.len(),
+                found: sample.len(),
+                sample: 0,
+            });
+        }
+        Ok(sample
+            .iter()
+            .enumerate()
+            .map(|(feature, &value)| {
+                let min = self.minimums[feature];
+                let max = self.maximums[feature];
+                if max > min {
+                    ((value - min) / (max - min)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect())
+    }
+
+    /// Fitted minimum of each feature.
+    pub fn minimums(&self) -> &[f64] {
+        &self.minimums
+    }
+
+    /// Fitted maximum of each feature.
+    pub fn maximums(&self) -> &[f64] {
+        &self.maximums
+    }
+}
+
+/// Per-feature standard scaler (zero mean, unit variance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    std_devs: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] if the dataset has no features.
+    pub fn fit(dataset: &Dataset) -> Result<Self> {
+        if dataset.n_features() == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        let n = dataset.n_samples() as f64;
+        let mut means = Vec::with_capacity(dataset.n_features());
+        let mut std_devs = Vec::with_capacity(dataset.n_features());
+        for feature in 0..dataset.n_features() {
+            let column = dataset.feature_column(feature);
+            let mean = column.iter().sum::<f64>() / n;
+            let variance = column.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            means.push(mean);
+            std_devs.push(variance.sqrt());
+        }
+        Ok(Self { means, std_devs })
+    }
+
+    /// Standardizes one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InconsistentFeatureCount`] when the sample length
+    /// does not match the fitted feature count.
+    pub fn transform_sample(&self, sample: &[f64]) -> Result<Vec<f64>> {
+        if sample.len() != self.means.len() {
+            return Err(DataError::InconsistentFeatureCount {
+                expected: self.means.len(),
+                found: sample.len(),
+                sample: 0,
+            });
+        }
+        Ok(sample
+            .iter()
+            .enumerate()
+            .map(|(feature, &value)| {
+                let std = self.std_devs[feature];
+                if std > 0.0 {
+                    (value - self.means[feature]) / std
+                } else {
+                    0.0
+                }
+            })
+            .collect())
+    }
+
+    /// Fitted mean of each feature.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted standard deviation of each feature.
+    pub fn std_devs(&self) -> &[f64] {
+        &self.std_devs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec!["a".to_string(), "b".to_string()],
+            2,
+            vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]],
+            vec![0, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn min_max_scales_into_unit_interval() {
+        let scaler = MinMaxScaler::fit(&toy()).unwrap();
+        assert_eq!(scaler.minimums(), &[0.0, 10.0]);
+        assert_eq!(scaler.maximums(), &[10.0, 30.0]);
+        let scaled = scaler.transform_sample(&[5.0, 30.0]).unwrap();
+        assert!((scaled[0] - 0.5).abs() < 1e-12);
+        assert!((scaled[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_clamps_out_of_range_values() {
+        let scaler = MinMaxScaler::fit(&toy()).unwrap();
+        let scaled = scaler.transform_sample(&[-5.0, 99.0]).unwrap();
+        assert_eq!(scaled, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn min_max_rejects_wrong_length() {
+        let scaler = MinMaxScaler::fit(&toy()).unwrap();
+        assert!(scaler.transform_sample(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let d = Dataset::new(
+            "const",
+            vec!["a".to_string()],
+            1,
+            vec![vec![3.0], vec![3.0]],
+            vec![0, 0],
+        )
+        .unwrap();
+        let scaler = MinMaxScaler::fit(&d).unwrap();
+        assert_eq!(scaler.transform_sample(&[3.0]).unwrap(), vec![0.0]);
+        let standard = StandardScaler::fit(&d).unwrap();
+        assert_eq!(standard.transform_sample(&[3.0]).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_variance() {
+        let d = toy();
+        let scaler = StandardScaler::fit(&d).unwrap();
+        let transformed: Vec<Vec<f64>> = d
+            .samples()
+            .iter()
+            .map(|s| scaler.transform_sample(s).unwrap())
+            .collect();
+        for feature in 0..d.n_features() {
+            let mean: f64 =
+                transformed.iter().map(|s| s[feature]).sum::<f64>() / d.n_samples() as f64;
+            let var: f64 = transformed
+                .iter()
+                .map(|s| (s[feature] - mean).powi(2))
+                .sum::<f64>()
+                / d.n_samples() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_rejects_wrong_length() {
+        let scaler = StandardScaler::fit(&toy()).unwrap();
+        assert!(scaler.transform_sample(&[1.0, 2.0, 3.0]).is_err());
+        assert_eq!(scaler.means().len(), 2);
+        assert_eq!(scaler.std_devs().len(), 2);
+    }
+}

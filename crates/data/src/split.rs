@@ -1,0 +1,164 @@
+//! Train/test splitting utilities.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::errors::{DataError, Result};
+use crate::rng::permutation;
+
+/// A train/test partition of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// Training subset.
+    pub train: Dataset,
+    /// Test subset.
+    pub test: Dataset,
+}
+
+fn validate_ratio(test_ratio: f64) -> Result<()> {
+    if !(test_ratio > 0.0 && test_ratio < 1.0) {
+        return Err(DataError::InvalidSplitRatio(test_ratio));
+    }
+    Ok(())
+}
+
+/// Randomly splits a dataset into train and test subsets.
+///
+/// `test_ratio` is the fraction of samples assigned to the test subset
+/// (the paper uses 0.7).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSplitRatio`] for ratios outside `(0, 1)` and
+/// [`DataError::EmptyDataset`] when either side would end up empty.
+pub fn train_test_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    test_ratio: f64,
+    rng: &mut R,
+) -> Result<TrainTestSplit> {
+    validate_ratio(test_ratio)?;
+    let n = dataset.n_samples();
+    let test_count = ((n as f64) * test_ratio).round() as usize;
+    if test_count == 0 || test_count >= n {
+        return Err(DataError::EmptyDataset);
+    }
+    let order = permutation(rng, n);
+    let (test_indices, train_indices) = order.split_at(test_count);
+    Ok(TrainTestSplit {
+        train: dataset.subset(train_indices)?,
+        test: dataset.subset(test_indices)?,
+    })
+}
+
+/// Splits a dataset so that every class contributes (approximately) the same
+/// fraction of samples to the test subset.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSplitRatio`] for ratios outside `(0, 1)` and
+/// [`DataError::EmptyDataset`] when a class would contribute no training
+/// samples.
+pub fn stratified_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    test_ratio: f64,
+    rng: &mut R,
+) -> Result<TrainTestSplit> {
+    validate_ratio(test_ratio)?;
+    let mut train_indices = Vec::new();
+    let mut test_indices = Vec::new();
+    for class in 0..dataset.n_classes() {
+        let indices = dataset.class_indices(class);
+        if indices.is_empty() {
+            continue;
+        }
+        let order = permutation(rng, indices.len());
+        let test_count = ((indices.len() as f64) * test_ratio).round() as usize;
+        let test_count = test_count.min(indices.len().saturating_sub(1)).max(1);
+        if indices.len() == 1 {
+            // A single-sample class cannot appear in both subsets; put it in
+            // the training data so the model can learn it.
+            train_indices.push(indices[0]);
+            continue;
+        }
+        for (position, &order_index) in order.iter().enumerate() {
+            let sample_index = indices[order_index];
+            if position < test_count {
+                test_indices.push(sample_index);
+            } else {
+                train_indices.push(sample_index);
+            }
+        }
+    }
+    if train_indices.is_empty() || test_indices.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    Ok(TrainTestSplit {
+        train: dataset.subset(&train_indices)?,
+        test: dataset.subset(&test_indices)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::synthetic::iris_like;
+
+    #[test]
+    fn ratios_outside_unit_interval_rejected() {
+        let d = iris_like(1).unwrap();
+        let mut rng = seeded_rng(1);
+        assert!(train_test_split(&d, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&d, 1.0, &mut rng).is_err());
+        assert!(stratified_split(&d, -0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_sizes_match_ratio() {
+        let d = iris_like(1).unwrap();
+        let mut rng = seeded_rng(2);
+        let split = train_test_split(&d, 0.7, &mut rng).unwrap();
+        assert_eq!(split.test.n_samples(), 105);
+        assert_eq!(split.train.n_samples(), 45);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = iris_like(3).unwrap();
+        let mut rng = seeded_rng(3);
+        let split = train_test_split(&d, 0.3, &mut rng).unwrap();
+        assert_eq!(
+            split.train.n_samples() + split.test.n_samples(),
+            d.n_samples()
+        );
+    }
+
+    #[test]
+    fn stratified_split_balances_classes() {
+        let d = iris_like(4).unwrap();
+        let mut rng = seeded_rng(4);
+        let split = stratified_split(&d, 0.7, &mut rng).unwrap();
+        // Every class keeps the 30/70 train/test balance exactly for the
+        // balanced iris-like dataset.
+        assert_eq!(split.test.class_counts(), vec![35, 35, 35]);
+        assert_eq!(split.train.class_counts(), vec![15, 15, 15]);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_splits() {
+        let d = iris_like(5).unwrap();
+        let mut rng_a = seeded_rng(10);
+        let mut rng_b = seeded_rng(11);
+        let a = train_test_split(&d, 0.5, &mut rng_a).unwrap();
+        let b = train_test_split(&d, 0.5, &mut rng_b).unwrap();
+        assert_ne!(a.train.samples(), b.train.samples());
+    }
+
+    #[test]
+    fn same_seed_reproduces_split() {
+        let d = iris_like(5).unwrap();
+        let a = train_test_split(&d, 0.5, &mut seeded_rng(10)).unwrap();
+        let b = train_test_split(&d, 0.5, &mut seeded_rng(10)).unwrap();
+        assert_eq!(a, b);
+    }
+}

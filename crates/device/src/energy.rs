@@ -1,0 +1,86 @@
+//! Device-level energy bookkeeping (write and read contributions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::FeFetParams;
+
+/// Aggregated energy spent on a device or group of devices, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy dissipated by ferroelectric switching during writes, in joules.
+    pub write: f64,
+    /// Energy dissipated by the channel during reads, in joules.
+    pub read: f64,
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.write + self.read
+    }
+
+    /// Adds another breakdown component-wise.
+    pub fn accumulate(&mut self, other: EnergyBreakdown) {
+        self.write += other.write;
+        self.read += other.read;
+    }
+}
+
+/// Write energy (joules) for a pulse train of `pulse_count` nominal pulses
+/// plus the preceding erase pulse.
+pub fn write_energy(params: &FeFetParams, pulse_count: u32) -> f64 {
+    params.write_energy_per_pulse * (pulse_count as f64 + 1.0)
+}
+
+/// Read energy (joules) dissipated in the channel when a cell conducts
+/// `current` amperes from a drain bias of `v_drain` volts for `duration`
+/// seconds.
+pub fn read_energy(current: f64, v_drain: f64, duration: f64) -> f64 {
+    (current * v_drain * duration).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_energy_counts_erase_pulse() {
+        let params = FeFetParams::febim_calibrated();
+        let one = write_energy(&params, 0);
+        assert!((one - params.write_energy_per_pulse).abs() < 1e-24);
+        let many = write_energy(&params, 69);
+        assert!((many - 70.0 * params.write_energy_per_pulse).abs() < 1e-24);
+    }
+
+    #[test]
+    fn read_energy_is_product_of_terms() {
+        let e = read_energy(1.0e-6, 0.1, 1.0e-9);
+        assert!((e - 1.0e-16).abs() < 1e-26);
+    }
+
+    #[test]
+    fn read_energy_never_negative() {
+        assert_eq!(read_energy(-1.0e-6, 0.1, 1.0e-9), 0.0);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut acc = EnergyBreakdown::new();
+        acc.accumulate(EnergyBreakdown {
+            write: 1e-15,
+            read: 2e-16,
+        });
+        acc.accumulate(EnergyBreakdown {
+            write: 3e-15,
+            read: 1e-16,
+        });
+        assert!((acc.write - 4e-15).abs() < 1e-24);
+        assert!((acc.read - 3e-16).abs() < 1e-24);
+        assert!((acc.total() - 4.3e-15).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for the FeFET device model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FeFET device model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A device parameter is outside its physically meaningful range.
+    ///
+    /// Contains the parameter name and a human readable explanation.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A requested target current cannot be reached by any programmable state.
+    TargetUnreachable {
+        /// The requested drain-source current in amperes.
+        target_amps: f64,
+        /// Minimum reachable current in amperes.
+        min_amps: f64,
+        /// Maximum reachable current in amperes.
+        max_amps: f64,
+    },
+    /// Programming did not converge within the allowed number of pulses.
+    ProgrammingDidNotConverge {
+        /// The pulse budget that was exhausted.
+        max_pulses: u32,
+        /// The requested target current in amperes.
+        target_amps: f64,
+    },
+    /// A multi-level configuration requested more states than the device window supports.
+    TooManyLevels {
+        /// Requested number of levels.
+        requested: usize,
+        /// Maximum supported number of levels.
+        supported: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid device parameter `{name}`: {reason}")
+            }
+            DeviceError::TargetUnreachable {
+                target_amps,
+                min_amps,
+                max_amps,
+            } => write!(
+                f,
+                "target current {target_amps:.3e} A outside reachable window [{min_amps:.3e}, {max_amps:.3e}] A"
+            ),
+            DeviceError::ProgrammingDidNotConverge {
+                max_pulses,
+                target_amps,
+            } => write!(
+                f,
+                "programming did not converge to {target_amps:.3e} A within {max_pulses} pulses"
+            ),
+            DeviceError::TooManyLevels {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "requested {requested} levels but the device window supports at most {supported}"
+            ),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+/// Convenience result alias used throughout the device crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = DeviceError::InvalidParameter {
+            name: "vth_high",
+            reason: "must exceed vth_low".to_string(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("vth_high"));
+        assert!(msg.contains("must exceed"));
+    }
+
+    #[test]
+    fn display_target_unreachable() {
+        let err = DeviceError::TargetUnreachable {
+            target_amps: 5e-6,
+            min_amps: 1e-7,
+            max_amps: 1e-6,
+        };
+        assert!(err.to_string().contains("outside reachable window"));
+    }
+
+    #[test]
+    fn display_did_not_converge() {
+        let err = DeviceError::ProgrammingDidNotConverge {
+            max_pulses: 100,
+            target_amps: 1e-6,
+        };
+        assert!(err.to_string().contains("100 pulses"));
+    }
+
+    #[test]
+    fn display_too_many_levels() {
+        let err = DeviceError::TooManyLevels {
+            requested: 64,
+            supported: 16,
+        };
+        assert!(err.to_string().contains("64 levels"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,272 @@
+//! The multi-level FeFET device: polarization state, threshold voltage and
+//! drain-source current model.
+//!
+//! The channel current uses a smooth EKV-like interpolation between the
+//! subthreshold exponential and the square-law saturation region, which keeps
+//! the model monotone and differentiable across the whole gate-voltage sweep
+//! used to reproduce Fig. 1(c).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::FeFetParams;
+use crate::preisach::{Polarization, PreisachModel, Pulse};
+
+/// One FeFET storage device.
+///
+/// A device owns its polarization state and an additive threshold-voltage
+/// offset that models device-to-device variation (see
+/// [`crate::variation::VariationModel`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeFet {
+    params: FeFetParams,
+    polarization: Polarization,
+    vth_offset: f64,
+}
+
+impl FeFet {
+    /// Creates a freshly erased device with the given parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use febim_device::{FeFet, FeFetParams};
+    ///
+    /// let device = FeFet::new(FeFetParams::febim_calibrated());
+    /// assert!(device.vth() > 1.0); // erased devices sit at the high-V_TH state
+    /// ```
+    pub fn new(params: FeFetParams) -> Self {
+        Self {
+            params,
+            polarization: Polarization::ERASED,
+            vth_offset: 0.0,
+        }
+    }
+
+    /// Creates a device with an explicit polarization state.
+    pub fn with_polarization(params: FeFetParams, polarization: Polarization) -> Self {
+        Self {
+            params,
+            polarization,
+            vth_offset: 0.0,
+        }
+    }
+
+    /// Borrow the device parameters.
+    pub fn params(&self) -> &FeFetParams {
+        &self.params
+    }
+
+    /// Current normalized polarization state.
+    pub fn polarization(&self) -> Polarization {
+        self.polarization
+    }
+
+    /// Overwrites the polarization state directly (used by fast programming
+    /// paths that precompute the target state).
+    pub fn set_polarization(&mut self, polarization: Polarization) {
+        self.polarization = polarization;
+    }
+
+    /// Additive threshold-voltage offset in volts (variation model).
+    pub fn vth_offset(&self) -> f64 {
+        self.vth_offset
+    }
+
+    /// Sets the additive threshold-voltage offset in volts.
+    pub fn set_vth_offset(&mut self, offset_volts: f64) {
+        self.vth_offset = offset_volts;
+    }
+
+    /// Effective threshold voltage for the current polarization state, in
+    /// volts, including the variation offset.
+    ///
+    /// The threshold moves linearly from `vth_high` (erased) to `vth_low`
+    /// (fully programmed) as polarization accumulates.
+    pub fn vth(&self) -> f64 {
+        let p = &self.params;
+        p.vth_high - self.polarization.value() * p.vth_window() + self.vth_offset
+    }
+
+    /// Drain-source current for a gate voltage `vg`, in amperes.
+    ///
+    /// Uses a smooth interpolation `I = k (n V_T ln(1 + e^{(vg - vth)/(n V_T)}))²`
+    /// which reduces to the square law `k (vg - vth)²` far above threshold and
+    /// to an exponential subthreshold current below threshold.
+    pub fn ids(&self, vg: f64) -> f64 {
+        let p = &self.params;
+        let slope = p.thermal_slope();
+        let overdrive = (vg - self.vth()) / slope;
+        // Numerically stable softplus.
+        let softplus = if overdrive > 30.0 {
+            overdrive
+        } else {
+            overdrive.exp().ln_1p()
+        };
+        let v_eff = slope * softplus;
+        p.k_sat * v_eff * v_eff
+    }
+
+    /// Read current with the activation voltage `V_on` applied to the gate.
+    pub fn read_current_on(&self) -> f64 {
+        self.ids(self.params.v_on)
+    }
+
+    /// Leakage current with the inhibit voltage `V_off` applied to the gate.
+    pub fn read_current_off(&self) -> f64 {
+        self.ids(self.params.v_off)
+    }
+
+    /// Applies one gate pulse through the Preisach switching model.
+    pub fn apply_pulse(&mut self, pulse: Pulse) {
+        let model = PreisachModel::new(self.params.clone());
+        self.polarization = model.apply_pulse(self.polarization, pulse);
+    }
+
+    /// Applies a train of identical gate pulses.
+    pub fn apply_pulse_train(&mut self, pulse: Pulse, count: u32) {
+        let model = PreisachModel::new(self.params.clone());
+        self.polarization = model.apply_pulse_train(self.polarization, pulse, count);
+    }
+
+    /// Fully erases the device (nominal negative pulse).
+    pub fn erase(&mut self) {
+        self.apply_pulse(Pulse::nominal_erase(&self.params));
+    }
+
+    /// The threshold voltage (volts) that yields the requested read current at
+    /// `V_on`, ignoring the variation offset.
+    ///
+    /// This inverts the saturation square law, which is accurate in the
+    /// 0.1 µA – 1.0 µA read window used by the paper's mapping scheme.
+    pub fn vth_for_read_current(params: &FeFetParams, target_amps: f64) -> f64 {
+        let v_eff = (target_amps / params.k_sat).sqrt();
+        // Invert the softplus: vg - vth = slope * ln(e^{v_eff/slope} - 1).
+        let slope = params.thermal_slope();
+        let x = v_eff / slope;
+        let inv_softplus = if x > 30.0 { x } else { (x.exp() - 1.0).ln() };
+        params.v_on - slope * inv_softplus
+    }
+
+    /// The polarization value that produces the requested threshold voltage.
+    pub fn polarization_for_vth(params: &FeFetParams, vth: f64) -> Polarization {
+        Polarization::new((params.vth_high - vth) / params.vth_window())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> FeFet {
+        FeFet::new(FeFetParams::febim_calibrated())
+    }
+
+    #[test]
+    fn erased_device_sits_at_high_vth() {
+        let d = device();
+        assert!((d.vth() - d.params().vth_high).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_programmed_device_sits_at_low_vth() {
+        let params = FeFetParams::febim_calibrated();
+        let d = FeFet::with_polarization(params.clone(), Polarization::SATURATED);
+        assert!((d.vth() - params.vth_low).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vth_decreases_monotonically_with_polarization() {
+        let params = FeFetParams::febim_calibrated();
+        let mut previous = f64::INFINITY;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let d = FeFet::with_polarization(params.clone(), Polarization::new(p));
+            assert!(d.vth() < previous);
+            previous = d.vth();
+        }
+    }
+
+    #[test]
+    fn ids_increases_with_gate_voltage() {
+        let d = device();
+        let mut previous = -1.0;
+        let mut vg = -0.4;
+        while vg <= 1.2 {
+            let i = d.ids(vg);
+            assert!(i > previous, "non-monotone at vg={vg}");
+            previous = i;
+            vg += 0.05;
+        }
+    }
+
+    #[test]
+    fn erased_device_is_cut_off_at_v_on() {
+        let d = device();
+        // The erased (high-V_TH) state must read far below the 0.1 µA level.
+        assert!(d.read_current_on() < 1e-9);
+    }
+
+    #[test]
+    fn inhibited_devices_are_cut_off_even_when_programmed() {
+        let params = FeFetParams::febim_calibrated();
+        let d = FeFet::with_polarization(params, Polarization::new(0.75));
+        assert!(d.read_current_off() < 1e-9);
+    }
+
+    #[test]
+    fn read_window_spans_point_one_to_one_microamp() {
+        // The paper's mapping uses read currents between 0.1 µA and 1.0 µA.
+        // Verify those currents correspond to reachable polarization states.
+        let params = FeFetParams::febim_calibrated();
+        for target in [0.1e-6, 0.5e-6, 1.0e-6] {
+            let vth = FeFet::vth_for_read_current(&params, target);
+            let pol = FeFet::polarization_for_vth(&params, vth);
+            assert!(pol.value() > 0.0 && pol.value() < 1.0, "target {target} unreachable");
+            let d = FeFet::with_polarization(params.clone(), pol);
+            let relative_error = (d.read_current_on() - target).abs() / target;
+            assert!(
+                relative_error < 0.02,
+                "round trip error {relative_error} for target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn vth_offset_shifts_read_current() {
+        let params = FeFetParams::febim_calibrated();
+        let vth = FeFet::vth_for_read_current(&params, 0.5e-6);
+        let pol = FeFet::polarization_for_vth(&params, vth);
+        let mut d = FeFet::with_polarization(params, pol);
+        let nominal = d.read_current_on();
+        d.set_vth_offset(0.045);
+        assert!(d.read_current_on() < nominal);
+        d.set_vth_offset(-0.045);
+        assert!(d.read_current_on() > nominal);
+        assert!((d.vth_offset() + 0.045).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_train_lowers_vth_and_raises_current() {
+        let mut d = device();
+        let initial_vth = d.vth();
+        let initial_current = d.read_current_on();
+        d.apply_pulse_train(Pulse::nominal_write(d.params()), 60);
+        assert!(d.vth() < initial_vth);
+        assert!(d.read_current_on() > initial_current);
+    }
+
+    #[test]
+    fn erase_restores_initial_state() {
+        let mut d = device();
+        d.apply_pulse_train(Pulse::nominal_write(d.params()), 50);
+        d.erase();
+        assert_eq!(d.polarization(), Polarization::ERASED);
+    }
+
+    #[test]
+    fn set_polarization_round_trips() {
+        let mut d = device();
+        d.set_polarization(Polarization::new(0.33));
+        assert!((d.polarization().value() - 0.33).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! # febim-device
+//!
+//! Behavioural compact model of a multi-level-cell (MLC) ferroelectric
+//! field-effect transistor (FeFET), the storage and compute device underlying
+//! the FeBiM in-memory Bayesian inference engine (Li et al., DAC 2024).
+//!
+//! The crate provides:
+//!
+//! * a Preisach-style partial polarization switching model
+//!   ([`PreisachModel`]) that turns gate pulse trains into accumulated
+//!   polarization, reproducing the saturating multi-level programming
+//!   trajectory of the paper's Fig. 1(b) and Fig. 4(b);
+//! * the FeFET device itself ([`FeFet`]) with a smooth, monotone
+//!   I_D-V_G model used to regenerate the multi-level transfer curves of
+//!   Fig. 1(c);
+//! * the level programmer ([`LevelProgrammer`]) that maps discrete states to
+//!   target read currents (0.1 uA - 1.0 uA at `V_on = 0.5 V`) and the write
+//!   pulse counts needed to reach them;
+//! * a Gaussian threshold-voltage variation model ([`VariationModel`]) for
+//!   Monte-Carlo robustness studies (Fig. 8(c));
+//! * energy bookkeeping helpers ([`EnergyBreakdown`]).
+//!
+//! # Example
+//!
+//! ```
+//! use febim_device::{FeFet, FeFetParams, LevelProgrammer};
+//!
+//! # fn main() -> Result<(), febim_device::DeviceError> {
+//! // Ten-level programming across the paper's 0.1 uA - 1.0 uA read window.
+//! let programmer = LevelProgrammer::febim_default(10)?;
+//! let mut device = FeFet::new(FeFetParams::febim_calibrated());
+//! let state = programmer.program_with_pulses(&mut device, 7)?;
+//! assert!(state.write_config.pulse_count > 0);
+//! assert!(device.read_current_on() > 1e-7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod errors;
+pub mod fefet;
+pub mod iv;
+pub mod params;
+pub mod preisach;
+pub mod programming;
+pub mod variation;
+
+pub use energy::EnergyBreakdown;
+pub use errors::{DeviceError, Result};
+pub use fefet::FeFet;
+pub use iv::{multilevel_iv_curves, IvCurve, IvPoint, SweepConfig};
+pub use params::FeFetParams;
+pub use preisach::{Polarization, PreisachModel, Pulse};
+pub use programming::{LevelProgrammer, ProgrammedState, WriteConfig};
+pub use variation::{standard_normal, VariationModel};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Polarization never leaves the physical range whatever pulse is applied.
+        #[test]
+        fn polarization_stays_physical(
+            start in 0.0f64..=1.0,
+            amplitude in -6.0f64..6.0,
+            width in 1e-9f64..1e-6,
+            count in 0u32..200,
+        ) {
+            let model = PreisachModel::new(FeFetParams::febim_calibrated());
+            let state = model.apply_pulse_train(
+                Polarization::new(start),
+                Pulse::new(amplitude, width),
+                count,
+            );
+            prop_assert!(state.value() >= 0.0);
+            prop_assert!(state.value() <= 1.0);
+        }
+
+        /// Positive pulse trains are monotone: more pulses never reduce polarization.
+        #[test]
+        fn positive_trains_are_monotone(count in 0u32..150) {
+            let model = PreisachModel::new(FeFetParams::febim_calibrated());
+            let pulse = Pulse::nominal_write(model.params());
+            let shorter = model.apply_pulse_train(Polarization::ERASED, pulse, count);
+            let longer = model.apply_pulse_train(Polarization::ERASED, pulse, count + 1);
+            prop_assert!(longer.value() >= shorter.value());
+        }
+
+        /// The I_D-V_G characteristic is monotone non-decreasing in V_G for any state.
+        #[test]
+        fn ids_monotone_in_gate_voltage(
+            polarization in 0.0f64..=1.0,
+            vg_low in -0.5f64..1.0,
+            delta in 0.0f64..0.5,
+        ) {
+            let device = FeFet::with_polarization(
+                FeFetParams::febim_calibrated(),
+                Polarization::new(polarization),
+            );
+            let low = device.ids(vg_low);
+            let high = device.ids(vg_low + delta);
+            prop_assert!(high >= low);
+        }
+
+        /// Read current is monotone in the programmed level.
+        #[test]
+        fn read_current_monotone_in_level(level in 0usize..9) {
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut low = FeFet::new(programmer.params().clone());
+            let mut high = FeFet::new(programmer.params().clone());
+            programmer.program_ideal(&mut low, level).unwrap();
+            programmer.program_ideal(&mut high, level + 1).unwrap();
+            prop_assert!(high.read_current_on() > low.read_current_on());
+        }
+
+        /// Variation sampling stays within a few sigma almost always and is symmetric on average.
+        #[test]
+        fn variation_samples_are_bounded(seed in 0u64..1000) {
+            let model = VariationModel::from_millivolts(45.0);
+            let mut rng = VariationModel::seeded_rng(seed);
+            let sample = model.sample_offset(&mut rng);
+            // 8 sigma bound: astronomically unlikely to fail for a correct
+            // Gaussian sampler.
+            prop_assert!(sample.abs() < 8.0 * model.sigma_vth);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Multi-level programming: turning target read currents into write-pulse
+//! configurations (Fig. 4(b) of the paper) and applying them to devices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::{DeviceError, Result};
+use crate::fefet::FeFet;
+use crate::params::FeFetParams;
+use crate::preisach::{Polarization, PreisachModel, Pulse};
+
+/// A write configuration: how many nominal pulses program one multi-level state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteConfig {
+    /// Number of nominal write pulses applied after a full erase.
+    pub pulse_count: u32,
+}
+
+impl WriteConfig {
+    /// Creates a write configuration with the given pulse count.
+    pub fn new(pulse_count: u32) -> Self {
+        Self { pulse_count }
+    }
+}
+
+/// A discrete multi-level state of the device together with everything needed
+/// to program and read it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgrammedState {
+    /// Zero-based level index (0 = lowest read current).
+    pub level: usize,
+    /// Target read current at `V_on`, in amperes.
+    pub target_current: f64,
+    /// Polarization that realizes the target current.
+    pub polarization: Polarization,
+    /// Write configuration (pulse count) that reaches the polarization.
+    pub write_config: WriteConfig,
+}
+
+/// Programmer that maps discrete levels to target currents, polarizations and
+/// pulse counts for a given parameter set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelProgrammer {
+    params: FeFetParams,
+    /// Read current of the lowest level, in amperes (paper: 0.1 µA).
+    min_current: f64,
+    /// Read current of the highest level, in amperes (paper: 1.0 µA).
+    max_current: f64,
+    /// Number of discrete levels.
+    levels: usize,
+}
+
+/// Default lowest mapped read current (0.1 µA), matching Fig. 4(a).
+pub const DEFAULT_MIN_READ_CURRENT: f64 = 0.1e-6;
+/// Default highest mapped read current (1.0 µA), matching Fig. 4(a).
+pub const DEFAULT_MAX_READ_CURRENT: f64 = 1.0e-6;
+
+impl LevelProgrammer {
+    /// Creates a programmer with `levels` states whose read currents are
+    /// linearly spaced between `min_current` and `max_current` (amperes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if the current window is
+    /// empty or non-positive, [`DeviceError::TooManyLevels`] if fewer than two
+    /// levels are requested, and [`DeviceError::TargetUnreachable`] if either
+    /// end of the window cannot be realized by a physical polarization state.
+    pub fn new(
+        params: FeFetParams,
+        levels: usize,
+        min_current: f64,
+        max_current: f64,
+    ) -> Result<Self> {
+        params.validate()?;
+        if levels < 2 {
+            return Err(DeviceError::TooManyLevels {
+                requested: levels,
+                supported: 2,
+            });
+        }
+        if !(min_current > 0.0 && max_current > min_current) {
+            return Err(DeviceError::InvalidParameter {
+                name: "min_current/max_current",
+                reason: "current window must satisfy 0 < min < max".to_string(),
+            });
+        }
+        let programmer = Self {
+            params,
+            min_current,
+            max_current,
+            levels,
+        };
+        // Both window ends must correspond to programmable polarizations.
+        for current in [min_current, max_current] {
+            let pol = programmer.polarization_for_current(current);
+            if pol.value() <= 0.0 || pol.value() >= 1.0 {
+                return Err(DeviceError::TargetUnreachable {
+                    target_amps: current,
+                    min_amps: 0.0,
+                    max_amps: f64::INFINITY,
+                });
+            }
+        }
+        Ok(programmer)
+    }
+
+    /// Programmer calibrated to the paper's ten-level 0.1 µA – 1.0 µA window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`LevelProgrammer::new`]; the
+    /// calibrated defaults never trigger them.
+    pub fn febim_default(levels: usize) -> Result<Self> {
+        Self::new(
+            FeFetParams::febim_calibrated(),
+            levels,
+            DEFAULT_MIN_READ_CURRENT,
+            DEFAULT_MAX_READ_CURRENT,
+        )
+    }
+
+    /// Number of discrete levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Borrow the parameter set used by this programmer.
+    pub fn params(&self) -> &FeFetParams {
+        &self.params
+    }
+
+    /// The lowest mapped read current in amperes.
+    pub fn min_current(&self) -> f64 {
+        self.min_current
+    }
+
+    /// The highest mapped read current in amperes.
+    pub fn max_current(&self) -> f64 {
+        self.max_current
+    }
+
+    /// Target read current for a level index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::TooManyLevels`] if `level >= self.levels()`.
+    pub fn target_current(&self, level: usize) -> Result<f64> {
+        if level >= self.levels {
+            return Err(DeviceError::TooManyLevels {
+                requested: level + 1,
+                supported: self.levels,
+            });
+        }
+        let fraction = level as f64 / (self.levels - 1) as f64;
+        Ok(self.min_current + fraction * (self.max_current - self.min_current))
+    }
+
+    fn polarization_for_current(&self, current: f64) -> Polarization {
+        let vth = FeFet::vth_for_read_current(&self.params, current);
+        FeFet::polarization_for_vth(&self.params, vth)
+    }
+
+    /// Full programmed-state descriptor for a level index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`LevelProgrammer::target_current`], plus
+    /// [`DeviceError::ProgrammingDidNotConverge`] if the closed-form pulse
+    /// solution does not exist (which the constructor prevents in practice).
+    pub fn state_for_level(&self, level: usize) -> Result<ProgrammedState> {
+        let target_current = self.target_current(level)?;
+        let polarization = self.polarization_for_current(target_current);
+        let model = PreisachModel::new(self.params.clone());
+        let pulse_count = model.pulses_to_reach(polarization).ok_or(
+            DeviceError::ProgrammingDidNotConverge {
+                max_pulses: u32::MAX,
+                target_amps: target_current,
+            },
+        )?;
+        Ok(ProgrammedState {
+            level,
+            target_current,
+            polarization,
+            write_config: WriteConfig::new(pulse_count),
+        })
+    }
+
+    /// Descriptors for every level, in level order (the data behind Fig. 4(b)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LevelProgrammer::state_for_level`].
+    pub fn all_states(&self) -> Result<Vec<ProgrammedState>> {
+        (0..self.levels).map(|l| self.state_for_level(l)).collect()
+    }
+
+    /// Programs a device to the requested level using an erase followed by the
+    /// level's pulse train, mimicking the physical write sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LevelProgrammer::state_for_level`].
+    pub fn program_with_pulses(&self, device: &mut FeFet, level: usize) -> Result<ProgrammedState> {
+        let state = self.state_for_level(level)?;
+        device.erase();
+        device.apply_pulse_train(
+            Pulse::nominal_write(&self.params),
+            state.write_config.pulse_count,
+        );
+        Ok(state)
+    }
+
+    /// Programs a device to the requested level by directly installing the
+    /// target polarization (fast path used by large array simulations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LevelProgrammer::state_for_level`].
+    pub fn program_ideal(&self, device: &mut FeFet, level: usize) -> Result<ProgrammedState> {
+        let state = self.state_for_level(level)?;
+        device.set_polarization(state.polarization);
+        Ok(state)
+    }
+
+    /// Total write energy (joules) spent programming the given level with a
+    /// full erase plus the level's pulse train.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LevelProgrammer::state_for_level`].
+    pub fn write_energy(&self, level: usize) -> Result<f64> {
+        let state = self.state_for_level(level)?;
+        // One erase pulse plus the programming pulse train.
+        Ok(self.params.write_energy_per_pulse * (state.write_config.pulse_count as f64 + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programmer() -> LevelProgrammer {
+        LevelProgrammer::febim_default(10).expect("calibrated programmer")
+    }
+
+    #[test]
+    fn default_window_matches_paper() {
+        let p = programmer();
+        assert_eq!(p.levels(), 10);
+        assert!((p.min_current() - 0.1e-6).abs() < 1e-12);
+        assert!((p.max_current() - 1.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_levels_rejected() {
+        let err = LevelProgrammer::febim_default(1).unwrap_err();
+        assert!(matches!(err, DeviceError::TooManyLevels { .. }));
+    }
+
+    #[test]
+    fn empty_current_window_rejected() {
+        let err =
+            LevelProgrammer::new(FeFetParams::febim_calibrated(), 4, 1e-6, 1e-7).unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn unreachable_window_rejected() {
+        // 1 A is far above anything the device can deliver at V_on = 0.5 V.
+        let err = LevelProgrammer::new(FeFetParams::febim_calibrated(), 4, 0.5, 1.0).unwrap_err();
+        assert!(matches!(err, DeviceError::TargetUnreachable { .. }));
+    }
+
+    #[test]
+    fn target_currents_are_linearly_spaced() {
+        let p = programmer();
+        let step = (p.max_current() - p.min_current()) / 9.0;
+        for level in 0..10 {
+            let expected = p.min_current() + level as f64 * step;
+            assert!((p.target_current(level).unwrap() - expected).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn out_of_range_level_rejected() {
+        let p = programmer();
+        assert!(p.target_current(10).is_err());
+        assert!(p.state_for_level(99).is_err());
+    }
+
+    #[test]
+    fn pulse_counts_increase_with_level() {
+        let p = programmer();
+        let states = p.all_states().unwrap();
+        assert_eq!(states.len(), 10);
+        for pair in states.windows(2) {
+            assert!(
+                pair[1].write_config.pulse_count > pair[0].write_config.pulse_count,
+                "pulse count not strictly increasing between levels {} and {}",
+                pair[0].level,
+                pair[1].level
+            );
+        }
+    }
+
+    #[test]
+    fn pulse_counts_lie_in_paper_reported_range() {
+        // Fig. 4(b): roughly 40 pulses for the 0.1 µA state and roughly 70 for
+        // the 1.0 µA state.
+        let p = programmer();
+        let states = p.all_states().unwrap();
+        let first = states.first().unwrap().write_config.pulse_count;
+        let last = states.last().unwrap().write_config.pulse_count;
+        assert!((30..=50).contains(&first), "first level pulses {first}");
+        assert!((60..=85).contains(&last), "last level pulses {last}");
+    }
+
+    #[test]
+    fn pulse_programming_hits_target_current() {
+        let p = programmer();
+        for level in [0, 4, 9] {
+            let mut device = FeFet::new(p.params().clone());
+            let state = p.program_with_pulses(&mut device, level).unwrap();
+            let read = device.read_current_on();
+            let relative_error = (read - state.target_current).abs() / state.target_current;
+            // Pulse quantization leaves a small overshoot relative to the
+            // ideal target, bounded by one pulse worth of polarization, which
+            // is proportionally largest for the lowest-current level.
+            assert!(
+                relative_error < 0.2,
+                "level {level}: read {read:.3e} target {:.3e}",
+                state.target_current
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_programming_is_exact() {
+        let p = programmer();
+        for level in 0..10 {
+            let mut device = FeFet::new(p.params().clone());
+            let state = p.program_ideal(&mut device, level).unwrap();
+            let read = device.read_current_on();
+            let relative_error = (read - state.target_current).abs() / state.target_current;
+            assert!(relative_error < 0.02, "level {level} error {relative_error}");
+        }
+    }
+
+    #[test]
+    fn programmed_levels_are_monotone_in_read_current() {
+        let p = programmer();
+        let mut previous = 0.0;
+        for level in 0..10 {
+            let mut device = FeFet::new(p.params().clone());
+            p.program_ideal(&mut device, level).unwrap();
+            let read = device.read_current_on();
+            assert!(read > previous);
+            previous = read;
+        }
+    }
+
+    #[test]
+    fn write_energy_scales_with_pulse_count() {
+        let p = programmer();
+        let low = p.write_energy(0).unwrap();
+        let high = p.write_energy(9).unwrap();
+        assert!(high > low);
+        // Order of femtojoules per programmed state.
+        assert!(low > 1e-15 && high < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Threshold-voltage variation model used for the Monte-Carlo robustness
+//! analysis (Fig. 8(c) of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::fefet::FeFet;
+
+/// Gaussian device-to-device threshold-voltage variation.
+///
+/// The paper sweeps `σ_VTH` from 0 to 45 mV and cites an experimental
+/// device-to-device variation of 38 mV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Standard deviation of the device-to-device V_TH offset, in volts.
+    pub sigma_vth: f64,
+}
+
+impl VariationModel {
+    /// Creates a variation model with the given σ_VTH in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use febim_device::VariationModel;
+    ///
+    /// let variation = VariationModel::from_millivolts(38.0);
+    /// assert!((variation.sigma_vth - 0.038).abs() < 1e-12);
+    /// ```
+    pub fn new(sigma_vth: f64) -> Self {
+        Self {
+            sigma_vth: sigma_vth.max(0.0),
+        }
+    }
+
+    /// Creates a variation model from a σ_VTH expressed in millivolts.
+    pub fn from_millivolts(sigma_mv: f64) -> Self {
+        Self::new(sigma_mv * 1e-3)
+    }
+
+    /// The ideal, variation-free model.
+    pub fn ideal() -> Self {
+        Self::new(0.0)
+    }
+
+    /// σ_VTH in millivolts.
+    pub fn sigma_millivolts(&self) -> f64 {
+        self.sigma_vth * 1e3
+    }
+
+    /// Draws one V_TH offset sample in volts.
+    pub fn sample_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma_vth == 0.0 {
+            return 0.0;
+        }
+        self.sigma_vth * standard_normal(rng)
+    }
+
+    /// Applies an independent random offset to every device in the slice.
+    pub fn apply_to_devices<R: Rng + ?Sized>(&self, devices: &mut [FeFet], rng: &mut R) {
+        for device in devices.iter_mut() {
+            device.set_vth_offset(self.sample_offset(rng));
+        }
+    }
+
+    /// Convenience helper: deterministic RNG for reproducible Monte-Carlo runs.
+    pub fn seeded_rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Draws one sample from the standard normal distribution via the
+/// Box–Muller transform (avoids an extra dependency on `rand_distr`).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FeFetParams;
+
+    #[test]
+    fn ideal_model_produces_zero_offsets() {
+        let model = VariationModel::ideal();
+        let mut rng = VariationModel::seeded_rng(1);
+        for _ in 0..10 {
+            assert_eq!(model.sample_offset(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn millivolt_constructor_converts_units() {
+        let model = VariationModel::from_millivolts(45.0);
+        assert!((model.sigma_vth - 0.045).abs() < 1e-12);
+        assert!((model.sigma_millivolts() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_sigma_is_clamped() {
+        let model = VariationModel::new(-0.01);
+        assert_eq!(model.sigma_vth, 0.0);
+    }
+
+    #[test]
+    fn sample_statistics_match_requested_sigma() {
+        let model = VariationModel::from_millivolts(30.0);
+        let mut rng = VariationModel::seeded_rng(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample_offset(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let sigma = var.sqrt();
+        assert!(mean.abs() < 2e-3, "mean {mean}");
+        assert!((sigma - 0.030).abs() < 2e-3, "sigma {sigma}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_offsets() {
+        let model = VariationModel::from_millivolts(15.0);
+        let a: Vec<f64> = {
+            let mut rng = VariationModel::seeded_rng(7);
+            (0..16).map(|_| model.sample_offset(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = VariationModel::seeded_rng(7);
+            (0..16).map(|_| model.sample_offset(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_to_devices_sets_offsets() {
+        let model = VariationModel::from_millivolts(38.0);
+        let mut devices: Vec<FeFet> = (0..8)
+            .map(|_| FeFet::new(FeFetParams::febim_calibrated()))
+            .collect();
+        let mut rng = VariationModel::seeded_rng(3);
+        model.apply_to_devices(&mut devices, &mut rng);
+        let non_zero = devices.iter().filter(|d| d.vth_offset() != 0.0).count();
+        assert!(non_zero >= 7, "expected nearly all devices perturbed");
+    }
+
+    #[test]
+    fn standard_normal_is_roughly_symmetric() {
+        let mut rng = VariationModel::seeded_rng(11);
+        let n = 10_000;
+        let positive = (0..n)
+            .map(|_| standard_normal(&mut rng))
+            .filter(|s| *s > 0.0)
+            .count();
+        let fraction = positive as f64 / n as f64;
+        assert!((fraction - 0.5).abs() < 0.03, "positive fraction {fraction}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Feature discretization: mapping continuous evidence values onto the
+//! `2^Q_f` bitlines of each likelihood block.
+
+use serde::{Deserialize, Serialize};
+
+use febim_data::Dataset;
+
+use crate::errors::{QuantError, Result};
+
+/// Per-feature uniform binning fitted on training data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureDiscretizer {
+    minimums: Vec<f64>,
+    maximums: Vec<f64>,
+    bins: usize,
+}
+
+impl FeatureDiscretizer {
+    /// Fits the discretizer on the feature ranges of a training dataset,
+    /// using `2^feature_bits` uniform bins per feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidPrecision`] for zero or more than 16 bits.
+    pub fn fit(dataset: &Dataset, feature_bits: u32) -> Result<Self> {
+        if feature_bits == 0 || feature_bits > 16 {
+            return Err(QuantError::InvalidPrecision {
+                kind: "feature",
+                bits: feature_bits,
+            });
+        }
+        let bins = 1usize << feature_bits;
+        let mut minimums = Vec::with_capacity(dataset.n_features());
+        let mut maximums = Vec::with_capacity(dataset.n_features());
+        for feature in 0..dataset.n_features() {
+            let (min, max) = dataset.feature_range(feature);
+            minimums.push(min);
+            maximums.push(max);
+        }
+        Ok(Self {
+            minimums,
+            maximums,
+            bins,
+        })
+    }
+
+    /// Number of bins (bitlines) per feature.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Number of features the discretizer was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.minimums.len()
+    }
+
+    /// Bin index of one feature value; values outside the fitted range clamp
+    /// to the first/last bin (as happens for unseen test samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] when the feature does not exist.
+    pub fn bin(&self, feature: usize, value: f64) -> Result<usize> {
+        if feature >= self.n_features() {
+            return Err(QuantError::UnknownIndex {
+                kind: "feature",
+                index: feature,
+            });
+        }
+        let min = self.minimums[feature];
+        let max = self.maximums[feature];
+        if !(max > min) || value.is_nan() {
+            return Ok(0);
+        }
+        let normalized = ((value - min) / (max - min)).clamp(0.0, 1.0);
+        let bin = (normalized * self.bins as f64) as usize;
+        Ok(bin.min(self.bins - 1))
+    }
+
+    /// Centre value of one bin in the original feature units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] for a bad feature or bin index.
+    pub fn bin_center(&self, feature: usize, bin: usize) -> Result<f64> {
+        if feature >= self.n_features() {
+            return Err(QuantError::UnknownIndex {
+                kind: "feature",
+                index: feature,
+            });
+        }
+        if bin >= self.bins {
+            return Err(QuantError::UnknownIndex {
+                kind: "bin",
+                index: bin,
+            });
+        }
+        let min = self.minimums[feature];
+        let max = self.maximums[feature];
+        let width = (max - min) / self.bins as f64;
+        Ok(min + (bin as f64 + 0.5) * width)
+    }
+
+    /// Width of each bin for one feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] for a bad feature index.
+    pub fn bin_width(&self, feature: usize) -> Result<f64> {
+        if feature >= self.n_features() {
+            return Err(QuantError::UnknownIndex {
+                kind: "feature",
+                index: feature,
+            });
+        }
+        Ok((self.maximums[feature] - self.minimums[feature]) / self.bins as f64)
+    }
+
+    /// Discretizes a whole sample into per-feature bin indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::FeatureCountMismatch`] for a sample of the wrong
+    /// length.
+    pub fn discretize_sample(&self, sample: &[f64]) -> Result<Vec<usize>> {
+        if sample.len() != self.n_features() {
+            return Err(QuantError::FeatureCountMismatch {
+                expected: self.n_features(),
+                found: sample.len(),
+            });
+        }
+        sample
+            .iter()
+            .enumerate()
+            .map(|(feature, &value)| self.bin(feature, value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_data::synthetic::iris_like;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec!["a".to_string(), "b".to_string()],
+            2,
+            vec![vec![0.0, -1.0], vec![10.0, 1.0], vec![5.0, 0.0]],
+            vec![0, 1, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn precision_validation() {
+        assert!(FeatureDiscretizer::fit(&toy(), 0).is_err());
+        assert!(FeatureDiscretizer::fit(&toy(), 17).is_err());
+        assert_eq!(FeatureDiscretizer::fit(&toy(), 4).unwrap().bins(), 16);
+    }
+
+    #[test]
+    fn bins_cover_the_fitted_range() {
+        let d = FeatureDiscretizer::fit(&toy(), 2).unwrap();
+        assert_eq!(d.bins(), 4);
+        assert_eq!(d.bin(0, 0.0).unwrap(), 0);
+        assert_eq!(d.bin(0, 10.0).unwrap(), 3);
+        assert_eq!(d.bin(0, 4.9).unwrap(), 1);
+        assert_eq!(d.bin(0, 5.1).unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let d = FeatureDiscretizer::fit(&toy(), 2).unwrap();
+        assert_eq!(d.bin(0, -100.0).unwrap(), 0);
+        assert_eq!(d.bin(0, 100.0).unwrap(), 3);
+        assert_eq!(d.bin(0, f64::NAN).unwrap(), 0);
+    }
+
+    #[test]
+    fn invalid_indices_rejected() {
+        let d = FeatureDiscretizer::fit(&toy(), 2).unwrap();
+        assert!(d.bin(5, 1.0).is_err());
+        assert!(d.bin_center(5, 0).is_err());
+        assert!(d.bin_center(0, 9).is_err());
+        assert!(d.bin_width(5).is_err());
+    }
+
+    #[test]
+    fn bin_centers_lie_inside_their_bins() {
+        let d = FeatureDiscretizer::fit(&toy(), 3).unwrap();
+        for bin in 0..d.bins() {
+            let center = d.bin_center(0, bin).unwrap();
+            assert_eq!(d.bin(0, center).unwrap(), bin);
+        }
+    }
+
+    #[test]
+    fn bin_width_matches_range() {
+        let d = FeatureDiscretizer::fit(&toy(), 2).unwrap();
+        assert!((d.bin_width(0).unwrap() - 2.5).abs() < 1e-12);
+        assert!((d.bin_width(1).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discretize_sample_validates_length() {
+        let d = FeatureDiscretizer::fit(&toy(), 2).unwrap();
+        assert!(d.discretize_sample(&[1.0]).is_err());
+        let bins = d.discretize_sample(&[10.0, -1.0]).unwrap();
+        assert_eq!(bins, vec![3, 0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_bin_zero() {
+        let dataset = Dataset::new(
+            "const",
+            vec!["a".to_string()],
+            1,
+            vec![vec![2.0], vec![2.0]],
+            vec![0, 0],
+        )
+        .unwrap();
+        let d = FeatureDiscretizer::fit(&dataset, 3).unwrap();
+        assert_eq!(d.bin(0, 2.0).unwrap(), 0);
+        assert_eq!(d.bin(0, 100.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn iris_discretization_uses_all_bins() {
+        let dataset = iris_like(2).unwrap();
+        let d = FeatureDiscretizer::fit(&dataset, 4).unwrap();
+        let mut used = vec![false; d.bins()];
+        for sample in dataset.samples() {
+            let bins = d.discretize_sample(sample).unwrap();
+            for b in bins {
+                used[b] = true;
+            }
+        }
+        let used_count = used.iter().filter(|&&u| u).count();
+        assert!(used_count > d.bins() / 2, "only {used_count} bins used");
+    }
+}

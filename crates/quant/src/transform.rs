@@ -1,0 +1,110 @@
+//! Probability-domain transforms: truncation, logarithm and the column
+//! normalization of Eq. (6).
+
+/// Replaces probabilities below `floor` with `floor` (the truncation step of
+/// Fig. 4(a)) and clamps values above one back to one.
+///
+/// # Panics
+///
+/// Panics in debug builds if `floor` is not in `(0, 1]`.
+pub fn truncate_probability(p: f64, floor: f64) -> f64 {
+    debug_assert!(floor > 0.0 && floor <= 1.0, "floor must be in (0, 1]");
+    if !p.is_finite() {
+        return floor;
+    }
+    p.clamp(floor, 1.0)
+}
+
+/// Truncates then takes the natural logarithm of a probability.
+pub fn truncated_log(p: f64, floor: f64) -> f64 {
+    truncate_probability(p, floor).ln()
+}
+
+/// Column normalization of Eq. (6): adds the constant `1 - max(values)` to
+/// every entry so the maximum becomes exactly one, enhancing the contrast
+/// between posteriors without changing their ordering.
+///
+/// Empty slices are left untouched.
+pub fn column_normalize(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return;
+    }
+    let shift = 1.0 - max;
+    for value in values.iter_mut() {
+        *value += shift;
+    }
+}
+
+/// Returns a normalized copy of the column (see [`column_normalize`]).
+pub fn column_normalized(values: &[f64]) -> Vec<f64> {
+    let mut copy = values.to_vec();
+    column_normalize(&mut copy);
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_floors_small_probabilities() {
+        assert_eq!(truncate_probability(0.01, 0.1), 0.1);
+        assert_eq!(truncate_probability(0.5, 0.1), 0.5);
+        assert_eq!(truncate_probability(1.5, 0.1), 1.0);
+        assert_eq!(truncate_probability(f64::NAN, 0.1), 0.1);
+        assert_eq!(truncate_probability(0.0, 0.1), 0.1);
+    }
+
+    #[test]
+    fn truncated_log_matches_paper_example() {
+        // Fig. 4(a): with a floor of 0.1 the most truncated probability maps
+        // to ln(0.1) ≈ -2.3 before normalization.
+        let value = truncated_log(0.001, 0.1);
+        assert!((value - 0.1f64.ln()).abs() < 1e-12);
+        assert_eq!(truncated_log(1.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn normalization_scales_maximum_to_one() {
+        let mut column = vec![-2.3, -0.7, -1.2];
+        column_normalize(&mut column);
+        let max = column.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        // Differences between entries are preserved.
+        assert!((column[1] - column[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_preserves_ordering() {
+        let original = vec![-5.0, -1.0, -3.0];
+        let normalized = column_normalized(&original);
+        for i in 0..original.len() {
+            for j in 0..original.len() {
+                assert_eq!(
+                    original[i] < original[j],
+                    normalized[i] < normalized[j],
+                    "ordering changed between {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_columns_are_safe() {
+        let mut empty: Vec<f64> = vec![];
+        column_normalize(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut infinite = vec![f64::NEG_INFINITY, f64::NEG_INFINITY];
+        column_normalize(&mut infinite);
+        assert!(infinite.iter().all(|v| v.is_infinite()));
+
+        let mut single = vec![-4.2];
+        column_normalize(&mut single);
+        assert!((single[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: train a Gaussian naive Bayes classifier on the iris-like
+//! dataset, deploy it on the FeBiM FeFET crossbar and compare the in-memory
+//! accuracy, delay and energy against the FP64 software baseline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use febim_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a deterministic synthetic stand-in for the iris dataset
+    //    (150 samples, 4 features, 3 balanced classes).
+    let dataset = iris_like(2024)?;
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(2024))?;
+    println!(
+        "dataset: {} samples, {} features, {} classes ({} train / {} test)",
+        dataset.n_samples(),
+        dataset.n_features(),
+        dataset.n_classes(),
+        split.train.n_samples(),
+        split.test.n_samples(),
+    );
+
+    // 2. Build the engine at the paper's operating point (Q_f = 4, Q_l = 2):
+    //    trains the GNBC, quantizes it, compiles it into a 3x64 crossbar and
+    //    programs the multi-level FeFET cells.
+    let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default())?;
+    println!(
+        "crossbar: {} wordlines x {} bitlines, {} FeFET states per cell",
+        engine.array().layout().rows(),
+        engine.array().layout().columns(),
+        engine.program().state_count(),
+    );
+
+    // 3. Run in-memory inference on the test set.
+    let software_accuracy = engine.software_model().score(&split.test)?;
+    let quantized_accuracy = engine.quantized().score(&split.test)?;
+    let report = engine.evaluate(&split.test)?;
+    println!("software FP64 accuracy : {:.2} %", 100.0 * software_accuracy);
+    println!("quantized accuracy     : {:.2} %", 100.0 * quantized_accuracy);
+    println!("in-memory accuracy     : {:.2} %", 100.0 * report.accuracy);
+    println!(
+        "mean inference delay   : {:.1} ps",
+        report.mean_delay * 1e12
+    );
+    println!(
+        "mean inference energy  : {:.2} fJ (array {:.2} fJ + sensing {:.2} fJ)",
+        report.mean_energy * 1e15,
+        report.mean_array_energy * 1e15,
+        report.mean_sensing_energy * 1e15
+    );
+
+    // 4. Derive the density/efficiency metrics of Table 1.
+    let metrics = performance_metrics(
+        engine.program(),
+        &report,
+        &MetricsConfig::febim_calibrated(),
+    )?;
+    println!(
+        "storage density        : {:.2} Mb/mm^2",
+        metrics.storage_density_mb_per_mm2
+    );
+    println!(
+        "computing efficiency   : {:.1} TOPS/W",
+        metrics.efficiency_tops_per_watt
+    );
+
+    // 5. Inspect a single inference in detail.
+    let sample = split.test.sample(0).expect("non-empty test set");
+    let outcome = engine.infer(sample)?;
+    println!(
+        "sample 0: predicted class {} (true {}), wordline currents {:?} uA",
+        outcome.prediction,
+        split.test.label(0).expect("label"),
+        outcome
+            .wordline_currents
+            .iter()
+            .map(|c| (c * 1e6 * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

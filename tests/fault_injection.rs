@@ -1,0 +1,81 @@
+//! Integration test: classification robustness of the FeBiM engine against
+//! hard cell defects (stuck-erased / stuck-programmed FeFETs), an extension
+//! of the paper's variation study to hard faults.
+
+use febim_suite::crossbar::{FaultKind, FaultModel};
+use febim_suite::prelude::*;
+
+#[test]
+fn hard_faults_degrade_accuracy_gracefully() {
+    // Build the engine, then fault an identical standalone array and compare
+    // the decisions the sensing chain would make.
+    let dataset = iris_like(5001).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(5001)).expect("split");
+    let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).expect("engine");
+    let clean_accuracy = engine.evaluate(&split.test).expect("evaluate").accuracy;
+
+    // Clone the programmed array and inject 2 % stuck-at faults.
+    let mut faulty_array = engine.array().clone();
+    let model = FaultModel::new(0.02, 0.7).expect("fault model");
+    let faults = model
+        .inject(&mut faulty_array, &mut seeded_rng(77))
+        .expect("inject");
+    assert!(!faults.is_empty(), "expected some injected faults");
+
+    // Evaluate the faulty array manually through the same activation path.
+    let mut correct = 0usize;
+    for (sample, label) in split.test.iter() {
+        let bins = engine.quantized().discretize_sample(sample).expect("bins");
+        let activation = febim_suite::crossbar::Activation::from_observation(
+            faulty_array.layout(),
+            &bins,
+        )
+        .expect("activation");
+        let currents = faulty_array.wordline_currents(&activation).expect("currents");
+        let winner = febim_suite::bayes::argmax(&currents).expect("winner");
+        if winner == label {
+            correct += 1;
+        }
+    }
+    let faulty_accuracy = correct as f64 / split.test.n_samples() as f64;
+
+    assert!(clean_accuracy > 0.85, "clean accuracy {clean_accuracy}");
+    // A 2 % defect rate on a 192-cell array should cost only a modest number
+    // of decisions.
+    assert!(
+        clean_accuracy - faulty_accuracy < 0.25,
+        "clean {clean_accuracy} vs faulty {faulty_accuracy}"
+    );
+    assert!(faulty_accuracy > 0.6, "faulty accuracy {faulty_accuracy}");
+}
+
+#[test]
+fn stuck_programmed_faults_bias_towards_the_faulty_row() {
+    let dataset = iris_like(5002).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(5002)).expect("split");
+    let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).expect("engine");
+    let mut faulty_array = engine.array().clone();
+    // Stick every cell row 2 contributes for the all-zero-bin observation to
+    // the fully programmed state: that row must then win the competition for
+    // that observation regardless of the trained likelihoods.
+    let bins = vec![0usize; 4];
+    for feature in 0..4 {
+        let column = faulty_array
+            .layout()
+            .likelihood_column(feature, 0)
+            .expect("column");
+        febim_suite::crossbar::apply_fault(
+            &mut faulty_array,
+            2,
+            column,
+            FaultKind::StuckProgrammed,
+        )
+        .expect("fault");
+    }
+    let activation =
+        febim_suite::crossbar::Activation::from_observation(faulty_array.layout(), &bins)
+            .expect("activation");
+    let currents = faulty_array.wordline_currents(&activation).expect("currents");
+    let winner = febim_suite::bayes::argmax(&currents).expect("winner");
+    assert_eq!(winner, 2, "currents {currents:?}");
+}

@@ -1,0 +1,103 @@
+//! Integration tests for the quantization-precision sweeps behind Fig. 7 and
+//! Fig. 8(a): accuracy as a function of Q_f and Q_l.
+
+use febim_suite::prelude::*;
+
+fn quantized_accuracy(dataset_seed: u64, qf: u32, ql: u32) -> (f64, f64) {
+    let dataset = iris_like(dataset_seed).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(dataset_seed)).expect("split");
+    let model = GaussianNaiveBayes::fit(&split.train).expect("fit");
+    let baseline = model.score(&split.test).expect("baseline");
+    let quantized =
+        QuantizedGnbc::quantize(&model, &split.train, QuantConfig::new(qf, ql)).expect("quantize");
+    (baseline, quantized.score(&split.test).expect("quantized score"))
+}
+
+#[test]
+fn high_precision_matches_the_float_baseline() {
+    let (baseline, quantized) = quantized_accuracy(2001, 8, 8);
+    assert!(
+        baseline - quantized < 0.03,
+        "baseline {baseline} vs 8/8-bit quantized {quantized}"
+    );
+}
+
+#[test]
+fn paper_operating_point_stays_within_a_few_percent() {
+    // Fig. 8(a): Q_f = 4 bit / Q_l = 2 bit sits inside the Δacc < 1 % region
+    // for the real iris dataset; allow a slightly wider band for the
+    // synthetic stand-in and a single split.
+    let (baseline, quantized) = quantized_accuracy(2002, 4, 2);
+    assert!(
+        baseline - quantized < 0.05,
+        "baseline {baseline} vs 4/2-bit quantized {quantized}"
+    );
+    assert!(quantized > 0.88, "quantized accuracy {quantized}");
+}
+
+#[test]
+fn accuracy_degrades_gracefully_at_one_bit_features() {
+    // Fig. 7(a): accuracy drops towards the left of the sweep but stays well
+    // above chance (33 % for three classes) even with a single feature bit,
+    // and recovers by 3 bits.
+    let (_, coarse) = quantized_accuracy(2003, 1, 8);
+    assert!(coarse > 0.45, "1-bit feature accuracy {coarse}");
+    let (_, moderate) = quantized_accuracy(2003, 3, 8);
+    assert!(moderate > 0.85, "3-bit feature accuracy {moderate}");
+}
+
+#[test]
+fn accuracy_degrades_gracefully_at_one_bit_likelihoods() {
+    // Fig. 7(b): likelihood quantization down to 2 bits is nearly lossless;
+    // 1 bit starts to cost accuracy but stays usable.
+    let (_, one_bit) = quantized_accuracy(2004, 8, 1);
+    assert!(one_bit > 0.6, "1-bit likelihood accuracy {one_bit}");
+    let (baseline, two_bit) = quantized_accuracy(2004, 8, 2);
+    assert!(
+        baseline - two_bit < 0.06,
+        "baseline {baseline} vs 2-bit likelihood {two_bit}"
+    );
+}
+
+#[test]
+fn quantization_loss_shrinks_with_precision_on_average() {
+    // Average over several splits so the trend is stable, then check the
+    // monotone envelope coarse <= medium-ish <= fine.
+    let seeds = [2005u64, 2006, 2007, 2008, 2009];
+    let mut coarse_sum = 0.0;
+    let mut medium_sum = 0.0;
+    let mut fine_sum = 0.0;
+    for &seed in &seeds {
+        coarse_sum += quantized_accuracy(seed, 1, 1).1;
+        medium_sum += quantized_accuracy(seed, 4, 2).1;
+        fine_sum += quantized_accuracy(seed, 8, 8).1;
+    }
+    let n = seeds.len() as f64;
+    let (coarse, medium, fine) = (coarse_sum / n, medium_sum / n, fine_sum / n);
+    assert!(
+        medium >= coarse - 0.02,
+        "medium precision {medium} worse than coarse {coarse}"
+    );
+    assert!(
+        fine >= medium - 0.02,
+        "fine precision {fine} worse than medium {medium}"
+    );
+}
+
+#[test]
+fn wine_and_cancer_follow_the_same_trend() {
+    for dataset in [wine_like(2010).expect("wine"), cancer_like(2010).expect("cancer")] {
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(2010)).expect("split");
+        let model = GaussianNaiveBayes::fit(&split.train).expect("fit");
+        let baseline = model.score(&split.test).expect("baseline");
+        let quantized = QuantizedGnbc::quantize(&model, &split.train, QuantConfig::new(4, 2))
+            .expect("quantize")
+            .score(&split.test)
+            .expect("score");
+        assert!(
+            baseline - quantized < 0.10,
+            "{}: baseline {baseline}, quantized {quantized}",
+            dataset.name()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Integration test reproducing the Table 1 comparison from a full engine run
+//! and checking the headline improvement claims.
+
+use febim_suite::prelude::*;
+
+#[test]
+fn measured_febim_metrics_reproduce_table_1() {
+    let dataset = iris_like(4001).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(4001)).expect("split");
+    let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).expect("engine");
+    let report = engine.evaluate(&split.test).expect("evaluation");
+    let metrics = performance_metrics(
+        engine.program(),
+        &report,
+        &MetricsConfig::febim_calibrated(),
+    )
+    .expect("metrics");
+
+    // Table 1 FeBiM row: 26.32 Mb/mm², 0.69 MO/mm², 581.40 TOPS/W, 1 clock
+    // cycle per inference. Density figures are analytic and must match
+    // closely; the efficiency depends on the behavioural energy model and is
+    // checked to the right order of magnitude.
+    assert!((metrics.storage_density_mb_per_mm2 - 26.32).abs() < 0.05);
+    assert!((metrics.computing_density_mo_per_mm2 - 0.69).abs() < 0.05);
+    assert_eq!(metrics.clock_cycles_per_inference, 1.0);
+    assert!(
+        metrics.efficiency_tops_per_watt > 200.0 && metrics.efficiency_tops_per_watt < 1200.0,
+        "efficiency {}",
+        metrics.efficiency_tops_per_watt
+    );
+
+    let table = ComparisonTable::from_metrics(&metrics);
+    let improvements = table.improvements();
+    // Paper: 10.7× storage density and 43.4× efficiency over the memristor
+    // Bayesian machine, > 3× computing density over the RNG designs.
+    let density = improvements.storage_density_vs_sota.expect("density ratio");
+    let efficiency = improvements.efficiency_vs_sota.expect("efficiency ratio");
+    let computing = improvements.computing_density_vs_rng.expect("computing ratio");
+    assert!((density - 10.7).abs() < 0.3, "density improvement {density}");
+    assert!(
+        efficiency > 20.0 && efficiency < 90.0,
+        "efficiency improvement {efficiency}"
+    );
+    assert!(computing > 2.5, "computing improvement {computing}");
+}
+
+#[test]
+fn published_table_is_self_consistent() {
+    let table = ComparisonTable::published();
+    assert_eq!(table.entries.len(), 4);
+    // FeBiM is the only multi-level-cell, single-cycle entry.
+    let febim = table.febim();
+    assert_eq!(febim.clock_cycles_per_inference, Some(1.0));
+    for entry in &table.entries[..3] {
+        let cycles = entry.clock_cycles_per_inference.expect("cycles");
+        assert!(cycles >= 200.0, "{} needs {cycles} cycles", entry.name);
+    }
+    let improvements = table.improvements();
+    assert!((improvements.storage_density_vs_sota.unwrap() - 10.7).abs() < 0.2);
+    assert!((improvements.efficiency_vs_sota.unwrap() - 43.4).abs() < 0.5);
+}
