@@ -76,11 +76,8 @@ impl BayesianNetwork {
                     });
                 }
             }
-            let parent_configs: usize = node
-                .parents
-                .iter()
-                .map(|&p| nodes[p].cardinality)
-                .product();
+            let parent_configs: usize =
+                node.parents.iter().map(|&p| nodes[p].cardinality).product();
             if node.cpt.len() != parent_configs.max(1) {
                 return Err(BayesError::InvalidNetwork {
                     reason: format!(
@@ -388,7 +385,13 @@ mod tests {
     fn wet_grass_raises_rain_probability() {
         let network = sprinkler();
         let posterior = network
-            .posterior(0, &[Evidence { variable: 2, state: 1 }])
+            .posterior(
+                0,
+                &[Evidence {
+                    variable: 2,
+                    state: 1,
+                }],
+            )
             .unwrap();
         // Observing wet grass makes rain more likely than its 0.2 prior.
         assert!(posterior[1] > 0.2, "posterior {posterior:?}");
@@ -396,7 +399,13 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-9);
         assert_eq!(
             network
-                .map_state(0, &[Evidence { variable: 2, state: 1 }])
+                .map_state(
+                    0,
+                    &[Evidence {
+                        variable: 2,
+                        state: 1
+                    }]
+                )
                 .unwrap(),
             0
         );
@@ -406,14 +415,26 @@ mod tests {
     fn explaining_away_between_causes() {
         let network = sprinkler();
         let rain_given_wet = network
-            .posterior(0, &[Evidence { variable: 2, state: 1 }])
+            .posterior(
+                0,
+                &[Evidence {
+                    variable: 2,
+                    state: 1,
+                }],
+            )
             .unwrap()[1];
         let rain_given_wet_and_sprinkler = network
             .posterior(
                 0,
                 &[
-                    Evidence { variable: 2, state: 1 },
-                    Evidence { variable: 1, state: 1 },
+                    Evidence {
+                        variable: 2,
+                        state: 1,
+                    },
+                    Evidence {
+                        variable: 1,
+                        state: 1,
+                    },
                 ],
             )
             .unwrap()[1];
@@ -426,10 +447,22 @@ mod tests {
         let network = sprinkler();
         assert!(network.posterior(9, &[]).is_err());
         assert!(network
-            .posterior(0, &[Evidence { variable: 9, state: 0 }])
+            .posterior(
+                0,
+                &[Evidence {
+                    variable: 9,
+                    state: 0
+                }]
+            )
             .is_err());
         assert!(network
-            .posterior(0, &[Evidence { variable: 1, state: 9 }])
+            .posterior(
+                0,
+                &[Evidence {
+                    variable: 1,
+                    state: 9
+                }]
+            )
             .is_err());
     }
 
@@ -452,7 +485,13 @@ mod tests {
         ])
         .unwrap();
         let posterior = network
-            .posterior(0, &[Evidence { variable: 1, state: 1 }])
+            .posterior(
+                0,
+                &[Evidence {
+                    variable: 1,
+                    state: 1,
+                }],
+            )
             .unwrap();
         assert!((posterior[0] - 0.5).abs() < 1e-12);
     }
@@ -473,8 +512,14 @@ mod tests {
             .posterior(
                 0,
                 &[
-                    Evidence { variable: 1, state: 1 },
-                    Evidence { variable: 2, state: 1 },
+                    Evidence {
+                        variable: 1,
+                        state: 1,
+                    },
+                    Evidence {
+                        variable: 2,
+                        state: 1,
+                    },
                 ],
             )
             .unwrap();

@@ -76,11 +76,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(BayesError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(BayesError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
         assert!(BayesError::UnnormalizedDistribution { sum: 0.8 }
             .to_string()
             .contains("0.8"));
-        assert!(BayesError::NotTrained.to_string().contains("not been trained"));
+        assert!(BayesError::NotTrained
+            .to_string()
+            .contains("not been trained"));
         assert!(BayesError::InvalidTrainingData {
             reason: "empty".to_string()
         }

@@ -192,7 +192,8 @@ impl GaussianNaiveBayes {
             .map(|params| {
                 let mut score = params.prior.ln();
                 for (feature, &value) in sample.iter().enumerate() {
-                    score += gaussian_log_pdf(value, params.means[feature], params.variances[feature]);
+                    score +=
+                        gaussian_log_pdf(value, params.means[feature], params.variances[feature]);
                 }
                 score
             })

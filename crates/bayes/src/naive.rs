@@ -51,11 +51,7 @@ impl CategoricalNaiveBayes {
         }
         if samples.len() != labels.len() {
             return Err(BayesError::InvalidTrainingData {
-                reason: format!(
-                    "{} samples but {} labels",
-                    samples.len(),
-                    labels.len()
-                ),
+                reason: format!("{} samples but {} labels", samples.len(), labels.len()),
             });
         }
         if n_classes == 0 {
@@ -118,7 +114,9 @@ impl CategoricalNaiveBayes {
                             class_counts[class] + alpha * cardinalities[feature] as f64;
                         counts[class][feature]
                             .iter()
-                            .map(|&count| ((count + alpha) / denominator.max(f64::MIN_POSITIVE)).ln())
+                            .map(|&count| {
+                                ((count + alpha) / denominator.max(f64::MIN_POSITIVE)).ln()
+                            })
                             .collect()
                     })
                     .collect()

@@ -22,20 +22,36 @@ fn inference_benches(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("inference_single_sample");
     group.bench_function("software_fp64", |b| {
-        b.iter(|| model.predict(std::hint::black_box(&sample)).expect("predict"))
+        b.iter(|| {
+            model
+                .predict(std::hint::black_box(&sample))
+                .expect("predict")
+        })
     });
     group.bench_function("quantized_software", |b| {
-        b.iter(|| quantized.predict(std::hint::black_box(&sample)).expect("predict"))
+        b.iter(|| {
+            quantized
+                .predict(std::hint::black_box(&sample))
+                .expect("predict")
+        })
     });
     group.bench_function("in_memory_engine", |b| {
-        b.iter(|| engine.predict(std::hint::black_box(&sample)).expect("predict"))
+        b.iter(|| {
+            engine
+                .predict(std::hint::black_box(&sample))
+                .expect("predict")
+        })
     });
     group.finish();
 
     let mut group = c.benchmark_group("inference_full_test_set");
     group.sample_size(20);
     group.bench_function("software_fp64", |b| {
-        b.iter(|| model.score(std::hint::black_box(&split.test)).expect("score"))
+        b.iter(|| {
+            model
+                .score(std::hint::black_box(&split.test))
+                .expect("score")
+        })
     });
     group.bench_function("in_memory_engine", |b| {
         b.iter_batched(

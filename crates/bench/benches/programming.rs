@@ -19,7 +19,11 @@ fn programming_benches(c: &mut Criterion) {
     group.bench_function("single_cell_pulse_train", |b| {
         b.iter_batched(
             || FeFet::new(FeFetParams::febim_calibrated()),
-            |mut device| programmer.program_with_pulses(&mut device, 7).expect("program"),
+            |mut device| {
+                programmer
+                    .program_with_pulses(&mut device, 7)
+                    .expect("program")
+            },
             BatchSize::SmallInput,
         )
     });
@@ -56,7 +60,11 @@ fn programming_benches(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || CrossbarArray::new(*program.layout(), array_programmer.clone()),
-                |mut array| array.program_matrix(program.levels(), mode).expect("program"),
+                |mut array| {
+                    array
+                        .program_matrix(program.levels(), mode)
+                        .expect("program")
+                },
                 BatchSize::SmallInput,
             )
         });
@@ -68,8 +76,11 @@ fn programming_benches(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("fit_iris_engine", |b| {
         b.iter(|| {
-            FebimEngine::fit(std::hint::black_box(&split.train), EngineConfig::febim_default())
-                .expect("engine")
+            FebimEngine::fit(
+                std::hint::black_box(&split.train),
+                EngineConfig::febim_default(),
+            )
+            .expect("engine")
         })
     });
     group.finish();

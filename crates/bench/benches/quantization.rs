@@ -30,8 +30,12 @@ fn quantization_benches(c: &mut Criterion) {
     for bits in [2u32, 4, 8] {
         group.bench_with_input(BenchmarkId::new("iris_qf_ql", bits), &bits, |b, &bits| {
             b.iter(|| {
-                QuantizedGnbc::quantize(&iris_model, &iris_split.train, QuantConfig::new(bits, bits))
-                    .expect("quantize")
+                QuantizedGnbc::quantize(
+                    &iris_model,
+                    &iris_split.train,
+                    QuantConfig::new(bits, bits),
+                )
+                .expect("quantize")
             })
         });
         group.bench_with_input(BenchmarkId::new("cancer_qf_ql", bits), &bits, |b, &bits| {
@@ -50,7 +54,11 @@ fn quantization_benches(c: &mut Criterion) {
     let discretizer = FeatureDiscretizer::fit(&iris_split.train, 4).expect("discretizer");
     let sample = iris_split.test.sample(0).expect("sample").to_vec();
     c.bench_function("feature_discretization_single_sample", |b| {
-        b.iter(|| discretizer.discretize_sample(std::hint::black_box(&sample)).expect("bins"))
+        b.iter(|| {
+            discretizer
+                .discretize_sample(std::hint::black_box(&sample))
+                .expect("bins")
+        })
     });
 }
 

@@ -35,11 +35,13 @@ fn scaling_benches(c: &mut Criterion) {
     for columns in [32usize, 128, 256] {
         let array = build_array(2, columns);
         let activation = Activation::all_columns(array.layout());
-        group.bench_with_input(
-            BenchmarkId::new("2_rows", columns),
-            &columns,
-            |b, _| b.iter(|| array.wordline_currents(std::hint::black_box(&activation)).expect("currents")),
-        );
+        group.bench_with_input(BenchmarkId::new("2_rows", columns), &columns, |b, _| {
+            b.iter(|| {
+                array
+                    .wordline_currents(std::hint::black_box(&activation))
+                    .expect("currents")
+            })
+        });
     }
     group.finish();
 
@@ -47,7 +49,11 @@ fn scaling_benches(c: &mut Criterion) {
     for rows in [2usize, 8, 32] {
         let currents: Vec<f64> = (0..rows).map(|r| 0.5e-6 + r as f64 * 0.05e-6).collect();
         group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
-            b.iter(|| chain.sense(std::hint::black_box(&currents), 32).expect("sense"))
+            b.iter(|| {
+                chain
+                    .sense(std::hint::black_box(&currents), 32)
+                    .expect("sense")
+            })
         });
     }
     group.finish();

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = stratified_split(&dataset, 0.7, &mut seeded_rng(6006))?;
     let model = GaussianNaiveBayes::fit(&split.train)?;
     let baseline = model.score(&split.test)?;
-    println!("FP64 software baseline accuracy: {:.2} %\n", 100.0 * baseline);
+    println!(
+        "FP64 software baseline accuracy: {:.2} %\n",
+        100.0 * baseline
+    );
 
     // 1. Column normalization ablation across likelihood precisions.
     let mut normalization = Table::new(

@@ -13,7 +13,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Full sweep: one column per programmed state.
     let mut table = Table::new(
         "fig1c_id_vg_curves",
-        &["vg_v", "ids_state0_a", "ids_state1_a", "ids_state2_a", "ids_state3_a"],
+        &[
+            "vg_v",
+            "ids_state0_a",
+            "ids_state1_a",
+            "ids_state2_a",
+            "ids_state3_a",
+        ],
     );
     for index in 0..curves[0].points.len() {
         let vg = curves[0].points[index].vg;
@@ -30,9 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Summary at the read voltages, matching the annotations of the figure.
     let mut summary = Table::new(
         "fig1c_read_window",
-        &["state", "vth_v", "ids_at_von", "ids_at_voff", "on_off_ratio"],
+        &[
+            "state",
+            "vth_v",
+            "ids_at_von",
+            "ids_at_voff",
+            "on_off_ratio",
+        ],
     );
-    println!("Read window at V_on = {} V / V_off = {} V:", params.v_on, params.v_off);
+    println!(
+        "Read window at V_on = {} V / V_off = {} V:",
+        params.v_on, params.v_off
+    );
     for curve in &curves {
         let on = curve.current_at(params.v_on).unwrap_or(0.0);
         let off = curve.current_at(params.v_off).unwrap_or(0.0);

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 0.1 uA - 1.0 uA current window.
     let probabilities = [1.0, 0.75, 0.5, 0.35, 0.25, 0.18, 0.12, 0.08, 0.03, 0.001];
     let floor = 0.1;
-    let logs: Vec<f64> = probabilities.iter().map(|&p| truncated_log(p, floor)).collect();
+    let logs: Vec<f64> = probabilities
+        .iter()
+        .map(|&p| truncated_log(p, floor))
+        .collect();
     let normalized = column_normalized(&logs);
     let low = normalized.iter().copied().fold(f64::INFINITY, f64::min);
     let quantizer = UniformQuantizer::new(low, 1.0, 10)?;

@@ -20,7 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sweep = Table::new(
         "fig5ab_two_cell_accumulation",
-        &["p_prime_a", "p_prime_b", "iwl_theoretical_a", "iwl_simulated_a", "relative_error"],
+        &[
+            "p_prime_a",
+            "p_prime_b",
+            "iwl_theoretical_a",
+            "iwl_simulated_a",
+            "relative_error",
+        ],
     );
     let mut worst_error = 0.0f64;
     for level_a in 0..levels {
@@ -56,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = TransientConfig::new(5e-12, 400e-12)?;
     let mut transient = Table::new(
         "fig5c_wta_transient",
-        &["time_s", "iout_winner_case1_a", "iout_loser_case1_a", "iout_winner_case2_a", "iout_loser_case2_a"],
+        &[
+            "time_s",
+            "iout_winner_case1_a",
+            "iout_loser_case1_a",
+            "iout_winner_case2_a",
+            "iout_loser_case2_a",
+        ],
     );
     let case1 = chain.transient(&[2.0e-6, 0.2e-6], &config)?;
     let case2 = chain.transient(&[0.2e-6, 2.0e-6], &config)?;

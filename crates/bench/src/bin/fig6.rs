@@ -14,7 +14,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let column_points = column_sweep(2, &columns, &chain)?;
     let mut ab = Table::new(
         "fig6ab_delay_energy_vs_columns",
-        &["columns", "delay_s", "energy_array_j", "energy_sensing_j", "energy_total_j"],
+        &[
+            "columns",
+            "delay_s",
+            "energy_array_j",
+            "energy_sensing_j",
+            "energy_total_j",
+        ],
     );
     for point in &column_points {
         ab.push_numeric_row(&[
@@ -43,7 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row_points = row_sweep(&rows, 32, &chain)?;
     let mut cd = Table::new(
         "fig6cd_delay_energy_vs_rows",
-        &["rows", "delay_s", "energy_array_j", "energy_sensing_j", "energy_total_j"],
+        &[
+            "rows",
+            "delay_s",
+            "energy_array_j",
+            "energy_sensing_j",
+            "energy_total_j",
+        ],
     );
     for point in &row_points {
         cd.push_numeric_row(&[

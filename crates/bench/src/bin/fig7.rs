@@ -59,9 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fig7a_accuracy_vs_feature_bits",
         &[
             "qf_bits",
-            "iris_baseline", "iris_quantized",
-            "wine_baseline", "wine_quantized",
-            "cancer_baseline", "cancer_quantized",
+            "iris_baseline",
+            "iris_quantized",
+            "wine_baseline",
+            "wine_quantized",
+            "cancer_baseline",
+            "cancer_quantized",
         ],
     );
     let per_dataset_a: Vec<Vec<(f64, f64)>> = datasets
@@ -88,9 +91,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fig7b_accuracy_vs_likelihood_bits",
         &[
             "ql_bits",
-            "iris_baseline", "iris_quantized",
-            "wine_baseline", "wine_quantized",
-            "cancer_baseline", "cancer_quantized",
+            "iris_baseline",
+            "iris_quantized",
+            "wine_baseline",
+            "wine_quantized",
+            "cancer_baseline",
+            "cancer_quantized",
         ],
     );
     let per_dataset_b: Vec<Vec<(f64, f64)>> = datasets

@@ -27,14 +27,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // comparison.
     let mut heatmap = Table::new(
         "fig8a_accuracy_heatmap",
-        &["qf_bits", "ql_bits", "in_memory_accuracy", "software_baseline", "delta_acc"],
+        &[
+            "qf_bits",
+            "ql_bits",
+            "in_memory_accuracy",
+            "software_baseline",
+            "delta_acc",
+        ],
     );
     let mut baseline_at_operating_point = 0.0;
     let mut accuracy_at_operating_point = 0.0;
     for qf in 1..=8u32 {
         for ql in 1..=8u32 {
             let config = EngineConfig::febim_default().with_quant(QuantConfig::new(qf, ql));
-            let result = epoch_accuracy(&dataset, &config, 0.7, epochs, 8100 + (qf * 8 + ql) as u64)?;
+            let result =
+                epoch_accuracy(&dataset, &config, 0.7, epochs, 8100 + (qf * 8 + ql) as u64)?;
             let delta = result.software.mean - result.in_memory.mean;
             heatmap.push_numeric_row(&[
                 qf as f64,
@@ -82,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "A"
         ),
         eng(
-            map.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max),
+            map.iter()
+                .flatten()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
             "A"
         )
     );
@@ -99,7 +109,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut variation = Table::new(
         "fig8c_accuracy_vs_variation",
-        &["sigma_vth_mv", "mean_accuracy", "std_accuracy", "min_accuracy", "max_accuracy"],
+        &[
+            "sigma_vth_mv",
+            "mean_accuracy",
+            "std_accuracy",
+            "min_accuracy",
+            "max_accuracy",
+        ],
     );
     for point in &points {
         variation.push_numeric_row(&[

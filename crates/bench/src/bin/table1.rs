@@ -75,18 +75,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     ratios.push_row(&[
         "storage density vs memristor Bayesian machine".to_string(),
-        format!("{:.1}x", improvements.storage_density_vs_sota.unwrap_or(f64::NAN)),
-        format!("{:.1}x", published.storage_density_vs_sota.unwrap_or(f64::NAN)),
+        format!(
+            "{:.1}x",
+            improvements.storage_density_vs_sota.unwrap_or(f64::NAN)
+        ),
+        format!(
+            "{:.1}x",
+            published.storage_density_vs_sota.unwrap_or(f64::NAN)
+        ),
     ]);
     ratios.push_row(&[
         "efficiency vs memristor Bayesian machine".to_string(),
-        format!("{:.1}x", improvements.efficiency_vs_sota.unwrap_or(f64::NAN)),
+        format!(
+            "{:.1}x",
+            improvements.efficiency_vs_sota.unwrap_or(f64::NAN)
+        ),
         format!("{:.1}x", published.efficiency_vs_sota.unwrap_or(f64::NAN)),
     ]);
     ratios.push_row(&[
         "computing density vs best RNG design".to_string(),
-        format!("{:.1}x", improvements.computing_density_vs_rng.unwrap_or(f64::NAN)),
-        format!("{:.1}x", published.computing_density_vs_rng.unwrap_or(f64::NAN)),
+        format!(
+            "{:.1}x",
+            improvements.computing_density_vs_rng.unwrap_or(f64::NAN)
+        ),
+        format!(
+            "{:.1}x",
+            published.computing_density_vs_rng.unwrap_or(f64::NAN)
+        ),
     ]);
     emit(&ratios);
     Ok(())

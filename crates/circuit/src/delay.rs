@@ -209,7 +209,10 @@ mod tests {
         let wta = WtaCircuit::febim_calibrated();
         let mut previous = 0.0;
         for columns in [2usize, 4, 8, 16, 32, 64, 128, 256] {
-            let delay = model().worst_case(2, columns, &wta, gain()).unwrap().total();
+            let delay = model()
+                .worst_case(2, columns, &wta, gain())
+                .unwrap()
+                .total();
             assert!(delay > previous);
             previous = delay;
         }

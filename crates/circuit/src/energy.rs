@@ -206,7 +206,10 @@ mod tests {
             .inference(&currents, 256, 800e-12, &mirror, &wta)
             .unwrap();
         assert!(energy.array > energy.sensing, "{energy:?}");
-        assert!(energy.total() > 10e-15 && energy.total() < 200e-15, "{energy:?}");
+        assert!(
+            energy.total() > 10e-15 && energy.total() < 200e-15,
+            "{energy:?}"
+        );
     }
 
     #[test]
@@ -218,7 +221,10 @@ mod tests {
             .inference(&currents, 32, 1000e-12, &mirror, &wta)
             .unwrap();
         assert!(energy.sensing > energy.array, "{energy:?}");
-        assert!(energy.total() > 50e-15 && energy.total() < 500e-15, "{energy:?}");
+        assert!(
+            energy.total() > 50e-15 && energy.total() < 500e-15,
+            "{energy:?}"
+        );
     }
 
     #[test]

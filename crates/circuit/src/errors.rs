@@ -65,10 +65,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_meaningful() {
-        assert!(CircuitError::EmptyInput.to_string().contains("at least one"));
-        assert!(CircuitError::InvalidCurrent { index: 3, value: -1.0 }
+        assert!(CircuitError::EmptyInput
             .to_string()
-            .contains("#3"));
+            .contains("at least one"));
+        assert!(CircuitError::InvalidCurrent {
+            index: 3,
+            value: -1.0
+        }
+        .to_string()
+        .contains("#3"));
         assert!(CircuitError::InvalidParameter {
             name: "load_capacitance",
             reason: "must be positive".to_string()
@@ -78,9 +83,11 @@ mod tests {
         assert!(CircuitError::DidNotSettle { time_budget: 1e-9 }
             .to_string()
             .contains("settle"));
-        assert!(CircuitError::AmbiguousWinner { indices: vec![0, 1] }
-            .to_string()
-            .contains("[0, 1]"));
+        assert!(CircuitError::AmbiguousWinner {
+            indices: vec![0, 1]
+        }
+        .to_string()
+        .contains("[0, 1]"));
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl SensingChain {
     ///
     /// Propagates mirror, WTA, delay-model and energy-model errors
     /// (empty/invalid currents, degenerate geometries, exact ties).
-    pub fn sense(&self, wordline_currents: &[f64], activated_columns: usize) -> Result<SenseOutcome> {
+    pub fn sense(
+        &self,
+        wordline_currents: &[f64],
+        activated_columns: usize,
+    ) -> Result<SenseOutcome> {
         let mirrored_currents = self.mirror.copy_all(wordline_currents)?;
         let decision = self.wta.resolve(&mirrored_currents)?;
         let delay = self.delay_model.worst_case(

@@ -240,9 +240,18 @@ mod tests {
     fn waveform_helpers() {
         let waveform = Waveform {
             points: vec![
-                WaveformPoint { time: 0.0, value: 0.0 },
-                WaveformPoint { time: 1e-12, value: 0.5 },
-                WaveformPoint { time: 2e-12, value: 0.9 },
+                WaveformPoint {
+                    time: 0.0,
+                    value: 0.0,
+                },
+                WaveformPoint {
+                    time: 1e-12,
+                    value: 0.5,
+                },
+                WaveformPoint {
+                    time: 2e-12,
+                    value: 0.9,
+                },
             ],
         };
         assert_eq!(waveform.len(), 3);

@@ -227,8 +227,7 @@ impl BayesianMachine {
         let prediction = argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
             .expect("at least one class");
         let columns = self.n_features + 1;
-        let energy =
-            self.config.energy_per_cycle_per_column * columns as f64 * f64::from(cycles);
+        let energy = self.config.energy_per_cycle_per_column * columns as f64 * f64::from(cycles);
         Ok(StochasticInference {
             prediction,
             counts,

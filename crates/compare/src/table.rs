@@ -113,7 +113,10 @@ mod tests {
         // Paper: 10.7× storage density, 43.4× efficiency, > 3.0× computing
         // density.
         assert!((density - 10.7).abs() < 0.2, "density ratio {density}");
-        assert!((efficiency - 43.4).abs() < 0.5, "efficiency ratio {efficiency}");
+        assert!(
+            (efficiency - 43.4).abs() < 0.5,
+            "efficiency ratio {efficiency}"
+        );
         assert!(computing > 2.9, "computing ratio {computing}");
     }
 

@@ -65,10 +65,12 @@ impl EngineConfig {
     /// Returns [`CoreError::InvalidConfig`] when the quantization or device
     /// parameters fail their own validation.
     pub fn validate(&self) -> Result<()> {
-        self.quant.validate().map_err(|err| CoreError::InvalidConfig {
-            name: "quant",
-            reason: err.to_string(),
-        })?;
+        self.quant
+            .validate()
+            .map_err(|err| CoreError::InvalidConfig {
+                name: "quant",
+                reason: err.to_string(),
+            })?;
         self.device
             .validate()
             .map_err(|err| CoreError::InvalidConfig {

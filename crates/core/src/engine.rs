@@ -308,7 +308,11 @@ mod tests {
             "software {software} in-memory {}",
             report.accuracy
         );
-        assert!(report.accuracy > 0.85, "in-memory accuracy {}", report.accuracy);
+        assert!(
+            report.accuracy > 0.85,
+            "in-memory accuracy {}",
+            report.accuracy
+        );
         assert_eq!(report.predictions.len(), test.n_samples());
         assert_eq!(report.samples, test.n_samples());
     }
@@ -357,8 +361,7 @@ mod tests {
         let ideal = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
         let noisy = FebimEngine::fit(
             &split.train,
-            EngineConfig::febim_default()
-                .with_variation(VariationModel::from_millivolts(45.0), 9),
+            EngineConfig::febim_default().with_variation(VariationModel::from_millivolts(45.0), 9),
         )
         .unwrap();
         let ideal_accuracy = ideal.evaluate(&split.test).unwrap().accuracy;

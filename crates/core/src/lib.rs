@@ -45,7 +45,9 @@ pub use errors::{CoreError, Result};
 pub use metrics::{ops_per_inference, performance_metrics, MetricsConfig, PerformanceMetrics};
 pub use monte_carlo::{epoch_accuracy, variation_sweep, EpochAccuracy, VariationPoint};
 pub use report::{default_experiment_dir, Table};
-pub use scaling::{column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint};
+pub use scaling::{
+    column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint,
+};
 
 #[cfg(test)]
 mod proptests {

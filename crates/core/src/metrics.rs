@@ -145,7 +145,12 @@ mod tests {
         let split = stratified_split(&dataset, 0.7, &mut seeded_rng(50)).unwrap();
         let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
         let report = engine.evaluate(&split.test).unwrap();
-        performance_metrics(engine.program(), &report, &MetricsConfig::febim_calibrated()).unwrap()
+        performance_metrics(
+            engine.program(),
+            &report,
+            &MetricsConfig::febim_calibrated(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -202,8 +207,7 @@ mod tests {
             metrics.energy_per_inference
         );
         assert!(
-            metrics.efficiency_tops_per_watt > 300.0
-                && metrics.efficiency_tops_per_watt < 900.0,
+            metrics.efficiency_tops_per_watt > 300.0 && metrics.efficiency_tops_per_watt < 900.0,
             "efficiency {}",
             metrics.efficiency_tops_per_watt
         );

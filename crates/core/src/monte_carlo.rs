@@ -3,9 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use febim_data::{AccuracyStats, Dataset};
 use febim_data::rng::seeded_rng;
 use febim_data::split::stratified_split;
+use febim_data::{AccuracyStats, Dataset};
 use febim_device::VariationModel;
 
 use crate::config::EngineConfig;
@@ -68,9 +68,7 @@ pub fn epoch_accuracy(
         let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
         let split = stratified_split(dataset, test_ratio, &mut rng)?;
         let epoch_config = EngineConfig {
-            variation_seed: seed
-                .wrapping_mul(0x9e37_79b9)
-                .wrapping_add(epoch as u64),
+            variation_seed: seed.wrapping_mul(0x9e37_79b9).wrapping_add(epoch as u64),
             ..config.clone()
         };
         let engine = FebimEngine::fit(&split.train, epoch_config)?;
@@ -107,14 +105,12 @@ pub fn variation_sweep(
         for epoch in 0..epochs {
             let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
             let split = stratified_split(dataset, test_ratio, &mut rng)?;
-            let epoch_config = config
-                .clone()
-                .with_variation(
-                    VariationModel::from_millivolts(sigma_mv),
-                    seed.wrapping_mul(31)
-                        .wrapping_add((epoch as u64) << 8)
-                        .wrapping_add(sigma_mv as u64),
-                );
+            let epoch_config = config.clone().with_variation(
+                VariationModel::from_millivolts(sigma_mv),
+                seed.wrapping_mul(31)
+                    .wrapping_add((epoch as u64) << 8)
+                    .wrapping_add(sigma_mv as u64),
+            );
             let engine = FebimEngine::fit(&split.train, epoch_config)?;
             accuracies.push(engine.evaluate(&split.test)?.accuracy);
         }
@@ -146,7 +142,11 @@ mod tests {
         let config = EngineConfig::febim_default();
         let result = epoch_accuracy(&dataset, &config, 0.7, 5, 61).unwrap();
         assert_eq!(result.software.count, 5);
-        assert!(result.software.mean > 0.88, "software {}", result.software.mean);
+        assert!(
+            result.software.mean > 0.88,
+            "software {}",
+            result.software.mean
+        );
         assert!(
             result.software.mean - result.in_memory.mean < 0.05,
             "software {} in-memory {}",

@@ -69,12 +69,10 @@ pub fn measure_geometry(
     }
     let activation = Activation::all_columns(array.layout());
     let currents = array.wordline_currents(&activation)?;
-    let delay = sensing.delay_model().worst_case(
-        rows,
-        columns,
-        sensing.wta(),
-        sensing.mirror().gain,
-    )?;
+    let delay =
+        sensing
+            .delay_model()
+            .worst_case(rows, columns, sensing.wta(), sensing.mirror().gain)?;
     let energy = sensing.energy_model().inference(
         &currents,
         columns,

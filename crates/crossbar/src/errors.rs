@@ -50,10 +50,7 @@ impl fmt::Display for CrossbarError {
                 column,
                 rows,
                 columns,
-            } => write!(
-                f,
-                "cell ({row}, {column}) outside {rows}x{columns} array"
-            ),
+            } => write!(f, "cell ({row}, {column}) outside {rows}x{columns} array"),
             CrossbarError::InvalidLayout { reason } => write!(f, "invalid layout: {reason}"),
             CrossbarError::InvalidEvidence { node, level } => {
                 write!(f, "evidence node {node} level {level} outside the layout")

@@ -173,7 +173,10 @@ impl Dataset {
         for &index in indices {
             let sample = self.samples.get(index).ok_or(DataError::InvalidParameter {
                 name: "indices",
-                reason: format!("index {index} out of range for {} samples", self.n_samples()),
+                reason: format!(
+                    "index {index} out of range for {} samples",
+                    self.n_samples()
+                ),
             })?;
             samples.push(sample.clone());
             labels.push(self.labels[index]);
@@ -238,14 +241,8 @@ mod tests {
 
     #[test]
     fn label_count_mismatch_rejected() {
-        let err = Dataset::new(
-            "x",
-            vec!["a".to_string()],
-            1,
-            vec![vec![1.0]],
-            vec![0, 0],
-        )
-        .unwrap_err();
+        let err =
+            Dataset::new("x", vec!["a".to_string()], 1, vec![vec![1.0]], vec![0, 0]).unwrap_err();
         assert!(matches!(err, DataError::LabelCountMismatch { .. }));
     }
 
@@ -312,8 +309,7 @@ mod tests {
     #[test]
     fn iter_yields_pairs_in_order() {
         let d = toy();
-        let pairs: Vec<(Vec<f64>, usize)> =
-            d.iter().map(|(s, l)| (s.to_vec(), l)).collect();
+        let pairs: Vec<(Vec<f64>, usize)> = d.iter().map(|(s, l)| (s.to_vec(), l)).collect();
         assert_eq!(pairs.len(), 4);
         assert_eq!(pairs[2], (vec![2.0, 3.0], 1));
     }

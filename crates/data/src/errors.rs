@@ -103,16 +103,21 @@ mod tests {
         }
         .to_string()
         .contains("sample 7"));
-        assert!(DataError::LabelOutOfRange { label: 5, classes: 3 }
-            .to_string()
-            .contains("label 5"));
+        assert!(DataError::LabelOutOfRange {
+            label: 5,
+            classes: 3
+        }
+        .to_string()
+        .contains("label 5"));
         assert!(DataError::LabelCountMismatch {
             samples: 10,
             labels: 9
         }
         .to_string()
         .contains("9 labels"));
-        assert!(DataError::InvalidSplitRatio(1.5).to_string().contains("1.5"));
+        assert!(DataError::InvalidSplitRatio(1.5)
+            .to_string()
+            .contains("1.5"));
         assert!(DataError::PredictionLengthMismatch {
             predictions: 3,
             labels: 4

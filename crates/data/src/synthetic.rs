@@ -225,8 +225,12 @@ pub fn cancer_like_spec() -> SyntheticSpec {
     let mut benign_means = Vec::with_capacity(features);
     let mut malignant_means = Vec::with_capacity(features);
     let mut std_devs = Vec::with_capacity(features);
-    let group_base = [12.1, 17.9, 78.1, 462.8, 0.092, 0.080, 0.046, 0.026, 0.174, 0.063];
-    let group_spread = [1.8, 4.0, 11.8, 134.0, 0.013, 0.034, 0.044, 0.016, 0.025, 0.007];
+    let group_base = [
+        12.1, 17.9, 78.1, 462.8, 0.092, 0.080, 0.046, 0.026, 0.174, 0.063,
+    ];
+    let group_spread = [
+        1.8, 4.0, 11.8, 134.0, 0.013, 0.034, 0.044, 0.016, 0.025, 0.007,
+    ];
     // Malignant shift in units of the benign spread; geometry features shift
     // strongly, texture/symmetry features less so.
     let group_shift = [1.9, 0.9, 2.0, 1.9, 0.9, 1.4, 1.8, 2.2, 0.6, 0.2];
@@ -383,8 +387,8 @@ mod tests {
                     .sum::<f64>()
                     / indices.len() as f64;
                 let expected = class_spec.means[feature];
-                let tolerance = 3.0 * class_spec.std_devs[feature] / (indices.len() as f64).sqrt()
-                    + 1e-9;
+                let tolerance =
+                    3.0 * class_spec.std_devs[feature] / (indices.len() as f64).sqrt() + 1e-9;
                 assert!(
                     (mean - expected).abs() < tolerance.max(0.2),
                     "class {class_index} feature {feature}: mean {mean} expected {expected}"

@@ -221,7 +221,10 @@ mod tests {
         for target in [0.1e-6, 0.5e-6, 1.0e-6] {
             let vth = FeFet::vth_for_read_current(&params, target);
             let pol = FeFet::polarization_for_vth(&params, vth);
-            assert!(pol.value() > 0.0 && pol.value() < 1.0, "target {target} unreachable");
+            assert!(
+                pol.value() > 0.0 && pol.value() < 1.0,
+                "target {target} unreachable"
+            );
             let d = FeFet::with_polarization(params.clone(), pol);
             let relative_error = (d.read_current_on() - target).abs() / target;
             assert!(

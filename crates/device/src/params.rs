@@ -185,7 +185,10 @@ mod tests {
         p.vth_low = 1.0;
         assert!(matches!(
             p.validate(),
-            Err(DeviceError::InvalidParameter { name: "vth_high", .. })
+            Err(DeviceError::InvalidParameter {
+                name: "vth_high",
+                ..
+            })
         ));
     }
 

@@ -248,8 +248,11 @@ mod tests {
     fn closed_form_matches_iterative_train() {
         let m = model();
         for count in [0u32, 1, 5, 40, 70, 120] {
-            let iterative =
-                m.apply_pulse_train(Polarization::ERASED, Pulse::nominal_write(m.params()), count);
+            let iterative = m.apply_pulse_train(
+                Polarization::ERASED,
+                Pulse::nominal_write(m.params()),
+                count,
+            );
             let closed = m.polarization_after_nominal_pulses(count);
             assert!(
                 (iterative.value() - closed.value()).abs() < 1e-9,
@@ -288,12 +291,20 @@ mod tests {
     fn pulses_to_reach_brackets_the_target() {
         let m = model();
         for target in [0.1, 0.3, 0.529, 0.748, 0.9] {
-            let n = m.pulses_to_reach(Polarization::new(target)).expect("reachable");
+            let n = m
+                .pulses_to_reach(Polarization::new(target))
+                .expect("reachable");
             let reached = m.polarization_after_nominal_pulses(n).value();
-            assert!(reached >= target - 1e-9, "target {target} not reached at {n}");
+            assert!(
+                reached >= target - 1e-9,
+                "target {target} not reached at {n}"
+            );
             if n > 0 {
                 let before = m.polarization_after_nominal_pulses(n - 1).value();
-                assert!(before < target, "target {target} already reached before {n}");
+                assert!(
+                    before < target,
+                    "target {target} already reached before {n}"
+                );
             }
         }
     }
@@ -306,8 +317,14 @@ mod tests {
         let m = model();
         let low_state = m.pulses_to_reach(Polarization::new(0.529)).unwrap();
         let high_state = m.pulses_to_reach(Polarization::new(0.748)).unwrap();
-        assert!((35..=45).contains(&low_state), "low state pulses {low_state}");
-        assert!((65..=80).contains(&high_state), "high state pulses {high_state}");
+        assert!(
+            (35..=45).contains(&low_state),
+            "low state pulses {low_state}"
+        );
+        assert!(
+            (65..=80).contains(&high_state),
+            "high state pulses {high_state}"
+        );
     }
 
     #[test]

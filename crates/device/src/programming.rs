@@ -170,12 +170,13 @@ impl LevelProgrammer {
         let target_current = self.target_current(level)?;
         let polarization = self.polarization_for_current(target_current);
         let model = PreisachModel::new(self.params.clone());
-        let pulse_count = model.pulses_to_reach(polarization).ok_or(
-            DeviceError::ProgrammingDidNotConverge {
-                max_pulses: u32::MAX,
-                target_amps: target_current,
-            },
-        )?;
+        let pulse_count =
+            model
+                .pulses_to_reach(polarization)
+                .ok_or(DeviceError::ProgrammingDidNotConverge {
+                    max_pulses: u32::MAX,
+                    target_amps: target_current,
+                })?;
         Ok(ProgrammedState {
             level,
             target_current,
@@ -258,8 +259,7 @@ mod tests {
 
     #[test]
     fn empty_current_window_rejected() {
-        let err =
-            LevelProgrammer::new(FeFetParams::febim_calibrated(), 4, 1e-6, 1e-7).unwrap_err();
+        let err = LevelProgrammer::new(FeFetParams::febim_calibrated(), 4, 1e-6, 1e-7).unwrap_err();
         assert!(matches!(err, DeviceError::InvalidParameter { .. }));
     }
 
@@ -341,7 +341,10 @@ mod tests {
             let state = p.program_ideal(&mut device, level).unwrap();
             let read = device.read_current_on();
             let relative_error = (read - state.target_current).abs() / state.target_current;
-            assert!(relative_error < 0.02, "level {level} error {relative_error}");
+            assert!(
+                relative_error < 0.02,
+                "level {level} error {relative_error}"
+            );
         }
     }
 

@@ -163,6 +163,9 @@ mod tests {
             .filter(|s| *s > 0.0)
             .count();
         let fraction = positive as f64 / n as f64;
-        assert!((fraction - 0.5).abs() < 0.03, "positive fraction {fraction}");
+        assert!(
+            (fraction - 0.5).abs() < 0.03,
+            "positive fraction {fraction}"
+        );
     }
 }

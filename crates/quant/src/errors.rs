@@ -47,7 +47,10 @@ impl fmt::Display for QuantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuantError::InvalidPrecision { kind, bits } => {
-                write!(f, "{kind} quantization precision of {bits} bits unsupported")
+                write!(
+                    f,
+                    "{kind} quantization precision of {bits} bits unsupported"
+                )
             }
             QuantError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")

@@ -104,10 +104,7 @@ impl QuantConfig {
         if !(self.probability_floor > 0.0 && self.probability_floor <= 1.0) {
             return Err(QuantError::InvalidParameter {
                 name: "probability_floor",
-                reason: format!(
-                    "floor {} must lie in (0, 1]",
-                    self.probability_floor
-                ),
+                reason: format!("floor {} must lie in (0, 1]", self.probability_floor),
             });
         }
         Ok(())
@@ -188,8 +185,10 @@ impl QuantizedGnbc {
                     })
                     .collect();
                 let column_max = column.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let clipped: Vec<f64> =
-                    column.iter().map(|&v| v.max(column_max + floor_log)).collect();
+                let clipped: Vec<f64> = column
+                    .iter()
+                    .map(|&v| v.max(column_max + floor_log))
+                    .collect();
                 let transformed = if config.column_normalization {
                     column_normalized(&clipped)
                 } else {
@@ -455,7 +454,8 @@ mod tests {
     #[test]
     fn quantized_model_has_expected_shape() {
         let (model, train, _) = trained_iris();
-        let quantized = QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
+        let quantized =
+            QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
         assert_eq!(quantized.n_classes(), 3);
         assert_eq!(quantized.n_features(), 4);
         assert!(quantized.has_uniform_prior());
@@ -479,7 +479,8 @@ mod tests {
         // margin for the synthetic dataset.
         let (model, train, test) = trained_iris();
         let baseline = model.score(&test).unwrap();
-        let quantized = QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
+        let quantized =
+            QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
         let quantized_accuracy = quantized.score(&test).unwrap();
         assert!(
             baseline - quantized_accuracy < 0.05,
@@ -516,7 +517,8 @@ mod tests {
     #[test]
     fn unknown_indices_rejected() {
         let (model, train, _) = trained_iris();
-        let quantized = QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
+        let quantized =
+            QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
         assert!(quantized.likelihood_level(9, 0, 0).is_err());
         assert!(quantized.likelihood_level(0, 9, 0).is_err());
         assert!(quantized.likelihood_level(0, 0, 99).is_err());
@@ -527,7 +529,8 @@ mod tests {
     #[test]
     fn level_matrix_shapes() {
         let (model, train, _) = trained_iris();
-        let quantized = QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
+        let quantized =
+            QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
         let with_prior = quantized.level_matrix(true);
         let without_prior = quantized.level_matrix(false);
         assert_eq!(with_prior.len(), 3);
@@ -569,7 +572,8 @@ mod tests {
     #[test]
     fn quantized_predictions_follow_discretized_evidence() {
         let (model, train, test) = trained_iris();
-        let quantized = QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
+        let quantized =
+            QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal()).unwrap();
         let sample = test.sample(0).unwrap();
         let bins = quantized.discretize_sample(sample).unwrap();
         assert_eq!(bins.len(), 4);

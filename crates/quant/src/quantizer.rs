@@ -117,7 +117,10 @@ mod tests {
         assert!(UniformQuantizer::new(f64::NAN, 1.0, 4).is_err());
         assert!(UniformQuantizer::with_bits(0.0, 1.0, 0).is_err());
         assert!(UniformQuantizer::with_bits(0.0, 1.0, 17).is_err());
-        assert_eq!(UniformQuantizer::with_bits(0.0, 1.0, 3).unwrap().levels(), 8);
+        assert_eq!(
+            UniformQuantizer::with_bits(0.0, 1.0, 3).unwrap().levels(),
+            8
+        );
     }
 
     #[test]

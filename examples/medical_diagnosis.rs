@@ -15,8 +15,8 @@
 //! cargo run --example medical_diagnosis
 //! ```
 
-use febim_suite::prelude::*;
 use febim_suite::data::synthetic::{ClassSpec, SyntheticSpec};
+use febim_suite::prelude::*;
 
 fn expert_network() -> Result<BayesianNetwork, Box<dyn std::error::Error>> {
     // Variables (topological order): Disease -> {Fever, Cough}.
@@ -75,15 +75,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let posterior = network.posterior(
             0,
             &[
-                Evidence { variable: 1, state: fever },
-                Evidence { variable: 2, state: cough },
+                Evidence {
+                    variable: 1,
+                    state: fever,
+                },
+                Evidence {
+                    variable: 2,
+                    state: cough,
+                },
             ],
         )?;
         let map = network.map_state(
             0,
             &[
-                Evidence { variable: 1, state: fever },
-                Evidence { variable: 2, state: cough },
+                Evidence {
+                    variable: 1,
+                    state: fever,
+                },
+                Evidence {
+                    variable: 2,
+                    state: cough,
+                },
             ],
         )?;
         println!(

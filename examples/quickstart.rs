@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let software_accuracy = engine.software_model().score(&split.test)?;
     let quantized_accuracy = engine.quantized().score(&split.test)?;
     let report = engine.evaluate(&split.test)?;
-    println!("software FP64 accuracy : {:.2} %", 100.0 * software_accuracy);
-    println!("quantized accuracy     : {:.2} %", 100.0 * quantized_accuracy);
+    println!(
+        "software FP64 accuracy : {:.2} %",
+        100.0 * software_accuracy
+    );
+    println!(
+        "quantized accuracy     : {:.2} %",
+        100.0 * quantized_accuracy
+    );
     println!("in-memory accuracy     : {:.2} %", 100.0 * report.accuracy);
     println!(
         "mean inference delay   : {:.1} ps",

@@ -12,8 +12,8 @@
 //! cargo run --example spam_filter
 //! ```
 
-use febim_suite::prelude::*;
 use febim_suite::data::synthetic::{ClassSpec, SyntheticSpec};
+use febim_suite::prelude::*;
 
 /// Keyword presence corpus: (contains_link, contains_offer, contains_urgent,
 /// knows_recipient). Labels: 0 = ham, 1 = spam.
@@ -69,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for (description, features) in &test_messages {
         let class = model.predict(features)?;
-        println!(
-            "{description}: {}",
-            if class == 1 { "SPAM" } else { "ham" }
-        );
+        println!("{description}: {}", if class == 1 { "SPAM" } else { "ham" });
     }
 
     // Part 2: the same task with continuous keyword frequencies, deployed on
@@ -89,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.array().layout().columns(),
         engine.array().layout().has_prior()
     );
-    println!("software accuracy : {:.2} %", 100.0 * engine.software_model().score(&split.test)?);
+    println!(
+        "software accuracy : {:.2} %",
+        100.0 * engine.software_model().score(&split.test)?
+    );
     println!("in-memory accuracy: {:.2} %", 100.0 * report.accuracy);
     println!(
         "per-message cost  : {:.2} fJ, {:.0} ps",
@@ -101,11 +101,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benign = vec![0.2, 0.1, 0.05, 0.9];
     println!(
         "suspicious message -> {}",
-        if engine.predict(&suspicious)? == 1 { "SPAM" } else { "ham" }
+        if engine.predict(&suspicious)? == 1 {
+            "SPAM"
+        } else {
+            "ham"
+        }
     );
     println!(
         "benign message     -> {}",
-        if engine.predict(&benign)? == 1 { "SPAM" } else { "ham" }
+        if engine.predict(&benign)? == 1 {
+            "SPAM"
+        } else {
+            "ham"
+        }
     );
     Ok(())
 }

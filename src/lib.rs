@@ -36,7 +36,9 @@ pub use febim_quant as quant;
 
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
-    pub use febim_bayes::{BayesianNetwork, CategoricalNaiveBayes, Evidence, GaussianNaiveBayes, Node};
+    pub use febim_bayes::{
+        BayesianNetwork, CategoricalNaiveBayes, Evidence, GaussianNaiveBayes, Node,
+    };
     pub use febim_compare::ComparisonTable;
     pub use febim_core::{
         epoch_accuracy, performance_metrics, variation_sweep, EngineConfig, FebimEngine,

@@ -1,8 +1,8 @@
 //! End-to-end integration tests: dataset -> GNBC training -> quantization ->
 //! crossbar compilation -> device programming -> circuit sensing -> accuracy.
 
-use febim_suite::prelude::*;
 use febim_suite::crossbar::Activation;
+use febim_suite::prelude::*;
 
 fn engine_for(seed: u64) -> (FebimEngine, febim_suite::data::TrainTestSplit) {
     let dataset = iris_like(seed).expect("dataset");
@@ -15,12 +15,19 @@ fn engine_for(seed: u64) -> (FebimEngine, febim_suite::data::TrainTestSplit) {
 #[test]
 fn iris_pipeline_reaches_paper_accuracy_band() {
     let (engine, split) = engine_for(1001);
-    let software = engine.software_model().score(&split.test).expect("software score");
+    let software = engine
+        .software_model()
+        .score(&split.test)
+        .expect("software score");
     let report = engine.evaluate(&split.test).expect("in-memory evaluation");
     // The paper reports 94.64 % for the quantized in-memory iris classifier
     // against a mid-90s software baseline.
     assert!(software > 0.9, "software baseline {software}");
-    assert!(report.accuracy > 0.85, "in-memory accuracy {}", report.accuracy);
+    assert!(
+        report.accuracy > 0.85,
+        "in-memory accuracy {}",
+        report.accuracy
+    );
     assert!(
         software - report.accuracy < 0.08,
         "degradation too large: software {software}, in-memory {}",
@@ -47,7 +54,10 @@ fn wordline_currents_reflect_programmed_likelihoods() {
     let evidence = engine.quantized().discretize_sample(sample).expect("bins");
     let activation =
         Activation::from_observation(engine.array().layout(), &evidence).expect("activation");
-    let currents = engine.array().wordline_currents(&activation).expect("currents");
+    let currents = engine
+        .array()
+        .wordline_currents(&activation)
+        .expect("currents");
 
     // Reconstruct the expected current of each wordline from the quantized
     // level tables and the 0.1 uA - 1.0 uA level map.
@@ -91,7 +101,10 @@ fn in_memory_predictions_match_quantized_software_when_not_tied() {
         assert_eq!(outcome.prediction, software);
         compared += 1;
     }
-    assert!(compared > 50, "only {compared} unambiguous samples compared");
+    assert!(
+        compared > 50,
+        "only {compared} unambiguous samples compared"
+    );
 }
 
 #[test]
@@ -133,7 +146,6 @@ fn evaluation_report_is_internally_consistent() {
     assert!(report.mean_energy >= report.mean_array_energy);
     assert!(report.mean_energy >= report.mean_sensing_energy);
     assert!(
-        (report.mean_energy - report.mean_array_energy - report.mean_sensing_energy).abs()
-            < 1e-20
+        (report.mean_energy - report.mean_array_energy - report.mean_sensing_energy).abs() < 1e-20
     );
 }

@@ -26,12 +26,12 @@ fn hard_faults_degrade_accuracy_gracefully() {
     let mut correct = 0usize;
     for (sample, label) in split.test.iter() {
         let bins = engine.quantized().discretize_sample(sample).expect("bins");
-        let activation = febim_suite::crossbar::Activation::from_observation(
-            faulty_array.layout(),
-            &bins,
-        )
-        .expect("activation");
-        let currents = faulty_array.wordline_currents(&activation).expect("currents");
+        let activation =
+            febim_suite::crossbar::Activation::from_observation(faulty_array.layout(), &bins)
+                .expect("activation");
+        let currents = faulty_array
+            .wordline_currents(&activation)
+            .expect("currents");
         let winner = febim_suite::bayes::argmax(&currents).expect("winner");
         if winner == label {
             correct += 1;
@@ -75,7 +75,9 @@ fn stuck_programmed_faults_bias_towards_the_faulty_row() {
     let activation =
         febim_suite::crossbar::Activation::from_observation(faulty_array.layout(), &bins)
             .expect("activation");
-    let currents = faulty_array.wordline_currents(&activation).expect("currents");
+    let currents = faulty_array
+        .wordline_currents(&activation)
+        .expect("currents");
     let winner = febim_suite::bayes::argmax(&currents).expect("winner");
     assert_eq!(winner, 2, "currents {currents:?}");
 }

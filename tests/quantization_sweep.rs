@@ -10,7 +10,10 @@ fn quantized_accuracy(dataset_seed: u64, qf: u32, ql: u32) -> (f64, f64) {
     let baseline = model.score(&split.test).expect("baseline");
     let quantized =
         QuantizedGnbc::quantize(&model, &split.train, QuantConfig::new(qf, ql)).expect("quantize");
-    (baseline, quantized.score(&split.test).expect("quantized score"))
+    (
+        baseline,
+        quantized.score(&split.test).expect("quantized score"),
+    )
 }
 
 #[test]
@@ -86,7 +89,10 @@ fn quantization_loss_shrinks_with_precision_on_average() {
 
 #[test]
 fn wine_and_cancer_follow_the_same_trend() {
-    for dataset in [wine_like(2010).expect("wine"), cancer_like(2010).expect("cancer")] {
+    for dataset in [
+        wine_like(2010).expect("wine"),
+        cancer_like(2010).expect("cancer"),
+    ] {
         let split = stratified_split(&dataset, 0.7, &mut seeded_rng(2010)).expect("split");
         let model = GaussianNaiveBayes::fit(&split.train).expect("fit");
         let baseline = model.score(&split.test).expect("baseline");

@@ -17,7 +17,12 @@ fn variation_sweep_shows_graceful_degradation() {
     // Fig. 8(c): roughly a 5 % mean drop at 45 mV; allow extra slack for the
     // small epoch count used in CI.
     assert!(ideal > 0.85, "ideal accuracy {ideal}");
-    assert!(ideal - worst < 0.2, "drop too large: {} -> {}", ideal, worst);
+    assert!(
+        ideal - worst < 0.2,
+        "drop too large: {} -> {}",
+        ideal,
+        worst
+    );
     // The spread of the distribution grows with the variation level.
     assert!(points[2].stats.std_dev >= points[0].stats.std_dev - 0.02);
 }
@@ -63,7 +68,10 @@ fn row_scaling_matches_figure6_trends() {
     let last = points.last().expect("last point");
     // Delay grows by several times from 2 to 32 rows (about 200 ps -> 1 ns).
     let delay_ratio = last.delay / first.delay;
-    assert!(delay_ratio > 2.0 && delay_ratio < 10.0, "delay ratio {delay_ratio}");
+    assert!(
+        delay_ratio > 2.0 && delay_ratio < 10.0,
+        "delay ratio {delay_ratio}"
+    );
     // Sensing energy dominates for tall arrays.
     assert!(last.energy_sensing > last.energy_array);
     // Both energy components grow with the row count.
@@ -81,5 +89,9 @@ fn single_inference_delay_stays_sub_nanosecond_at_iris_scale() {
     // Fig. 5(c)/6: the iris-scale array resolves well below a nanosecond and
     // costs only femtojoules per inference.
     assert!(report.mean_delay < 1e-9, "mean delay {}", report.mean_delay);
-    assert!(report.mean_energy < 50e-15, "mean energy {}", report.mean_energy);
+    assert!(
+        report.mean_energy < 50e-15,
+        "mean energy {}",
+        report.mean_energy
+    );
 }

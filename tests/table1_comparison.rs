@@ -35,8 +35,13 @@ fn measured_febim_metrics_reproduce_table_1() {
     // Bayesian machine, > 3× computing density over the RNG designs.
     let density = improvements.storage_density_vs_sota.expect("density ratio");
     let efficiency = improvements.efficiency_vs_sota.expect("efficiency ratio");
-    let computing = improvements.computing_density_vs_rng.expect("computing ratio");
-    assert!((density - 10.7).abs() < 0.3, "density improvement {density}");
+    let computing = improvements
+        .computing_density_vs_rng
+        .expect("computing ratio");
+    assert!(
+        (density - 10.7).abs() < 0.3,
+        "density improvement {density}"
+    );
     assert!(
         efficiency > 20.0 && efficiency < 90.0,
         "efficiency improvement {efficiency}"

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `serde` trait surface used by this workspace.
+//!
+//! The FeBiM crates only use serde through `#[derive(Serialize, Deserialize)]`
+//! on config and result structs — nothing in the workspace actually
+//! serializes (there is no serde_json/bincode dependency; CSV output is
+//! hand-rolled in `febim-core`). Since the build environment has no access to
+//! crates.io, this shim keeps those derives compiling: the traits are pure
+//! markers with blanket impls, and the derive macros expand to nothing.
+//!
+//! If real serialization is ever needed, replace this vendored crate with the
+//! genuine `serde` by restoring the crates.io dependency.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The sibling `serde` shim implements its marker traits for every type via
+//! blanket impls, so these derives only need to exist (and accept the
+//! `#[serde(...)]` helper attribute) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the blanket impl in
+/// the `serde` shim already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; the blanket impl
+/// in the `serde` shim already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
