@@ -17,6 +17,9 @@
 //! | `fig8`   | Quantization heat map, crossbar state map, variation Monte-Carlo |
 //! | `table1` | Cross-technology comparison |
 //!
+//! The extra `perf` binary records the before/after speedup of the
+//! conductance-cached read path into `BENCH_inference.json`.
+//!
 //! Run, for example, `cargo run -p febim-bench --bin fig6 --release`.
 
 #![warn(missing_docs)]

@@ -126,6 +126,35 @@ impl EnergyModel {
         mirror: &CurrentMirror,
         wta: &WtaCircuit,
     ) -> Result<InferenceEnergy> {
+        let mirrored = mirror.copy_all(wordline_currents)?;
+        self.inference_with_mirrored(
+            wordline_currents,
+            &mirrored,
+            activated_columns,
+            duration,
+            mirror,
+            wta,
+        )
+    }
+
+    /// Energy of one inference when the mirrored currents have already been
+    /// computed (the allocation-free path used by
+    /// [`crate::SensingChain::sense_into`], which mirrors the currents once
+    /// into a scratch buffer). `mirrored_currents` must be the output of
+    /// `mirror.copy_all(wordline_currents)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnergyModel::inference`].
+    pub fn inference_with_mirrored(
+        &self,
+        wordline_currents: &[f64],
+        mirrored_currents: &[f64],
+        activated_columns: usize,
+        duration: f64,
+        mirror: &CurrentMirror,
+        wta: &WtaCircuit,
+    ) -> Result<InferenceEnergy> {
         if wordline_currents.is_empty() {
             return Err(CircuitError::EmptyInput);
         }
@@ -147,8 +176,7 @@ impl EnergyModel {
             .iter()
             .map(|&current| mirror.energy(current, duration))
             .sum();
-        let mirrored = mirror.copy_all(wordline_currents)?;
-        let wta_energy = wta.energy(&mirrored, duration);
+        let wta_energy = wta.energy(mirrored_currents, duration);
         let sensing = mirror_energy + wta_energy;
 
         Ok(InferenceEnergy { array, sensing })

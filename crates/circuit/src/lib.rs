@@ -45,7 +45,7 @@ pub use delay::{DelayBreakdown, DelayModel, DelayParams};
 pub use energy::{EnergyModel, EnergyParams, InferenceEnergy};
 pub use errors::{CircuitError, Result};
 pub use mirror::CurrentMirror;
-pub use sense::{SenseOutcome, SensingChain};
+pub use sense::{SenseOutcome, SenseReadout, SensingChain};
 pub use transient::{first_order_settling, integrate, TransientConfig, Waveform, WaveformPoint};
 pub use wta::{WtaCircuit, WtaDecision, WtaParams, WtaTransient};
 

@@ -25,6 +25,21 @@ pub struct SenseOutcome {
     pub energy: InferenceEnergy,
 }
 
+/// Outcome of one sensing operation when the mirrored currents stay in a
+/// caller-owned scratch buffer (the allocation-free variant of
+/// [`SenseOutcome`], returned by [`SensingChain::sense_into`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SenseReadout {
+    /// Index of the wordline identified as carrying the maximum current.
+    pub winner: usize,
+    /// The WTA decision details.
+    pub decision: WtaDecision,
+    /// Worst-case delay estimate for this array geometry.
+    pub delay: DelayBreakdown,
+    /// Energy estimate for this inference.
+    pub energy: InferenceEnergy,
+}
+
 /// The sensing chain: current mirrors, WTA, plus the delay and energy models.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SensingChain {
@@ -94,24 +109,51 @@ impl SensingChain {
         wordline_currents: &[f64],
         activated_columns: usize,
     ) -> Result<SenseOutcome> {
-        let mirrored_currents = self.mirror.copy_all(wordline_currents)?;
-        let decision = self.wta.resolve(&mirrored_currents)?;
+        let mut mirrored_currents = Vec::with_capacity(wordline_currents.len());
+        let readout =
+            self.sense_into(wordline_currents, activated_columns, &mut mirrored_currents)?;
+        Ok(SenseOutcome {
+            winner: readout.winner,
+            mirrored_currents,
+            decision: readout.decision,
+            delay: readout.delay,
+            energy: readout.energy,
+        })
+    }
+
+    /// Senses one set of wordline currents without allocating: the mirrored
+    /// currents are written into `mirrored_scratch` (cleared first) and stay
+    /// there, so batched callers reuse one buffer across samples. On error
+    /// the scratch contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensingChain::sense`].
+    pub fn sense_into(
+        &self,
+        wordline_currents: &[f64],
+        activated_columns: usize,
+        mirrored_scratch: &mut Vec<f64>,
+    ) -> Result<SenseReadout> {
+        self.mirror
+            .copy_all_into(wordline_currents, mirrored_scratch)?;
+        let decision = self.wta.resolve(mirrored_scratch)?;
         let delay = self.delay_model.worst_case(
             wordline_currents.len(),
             activated_columns.max(1),
             &self.wta,
             self.mirror.gain,
         )?;
-        let energy = self.energy_model.inference(
+        let energy = self.energy_model.inference_with_mirrored(
             wordline_currents,
+            mirrored_scratch,
             activated_columns,
             delay.total(),
             &self.mirror,
             &self.wta,
         )?;
-        Ok(SenseOutcome {
+        Ok(SenseReadout {
             winner: decision.winner,
-            mirrored_currents,
             decision,
             delay,
             energy,
@@ -179,6 +221,20 @@ mod tests {
             .transient(&currents, &TransientConfig::febim_wta())
             .unwrap();
         assert_eq!(outcome.winner, transient.decision.winner);
+    }
+
+    #[test]
+    fn sense_into_matches_sense_and_reuses_the_buffer() {
+        let chain = SensingChain::febim_calibrated();
+        let currents = [0.8e-6, 1.6e-6, 1.2e-6];
+        let outcome = chain.sense(&currents, 5).unwrap();
+        let mut scratch = vec![9.9; 1];
+        let readout = chain.sense_into(&currents, 5, &mut scratch).unwrap();
+        assert_eq!(readout.winner, outcome.winner);
+        assert_eq!(readout.decision, outcome.decision);
+        assert_eq!(readout.delay, outcome.delay);
+        assert_eq!(readout.energy, outcome.energy);
+        assert_eq!(scratch, outcome.mirrored_currents);
     }
 
     #[test]

@@ -30,6 +30,44 @@ pub struct InferenceOutcome {
     pub tie_broken: bool,
 }
 
+/// Result of one scratch-based inference (the allocation-free variant of
+/// [`InferenceOutcome`]): the wordline currents stay in the caller's
+/// [`EvalScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceStep {
+    /// Predicted class (the wordline selected by the WTA circuit).
+    pub prediction: usize,
+    /// Worst-case delay estimate of this inference.
+    pub delay: DelayBreakdown,
+    /// Energy estimate of this inference.
+    pub energy: InferenceEnergy,
+    /// Whether the winner was decided by deterministic tie-breaking.
+    pub tie_broken: bool,
+}
+
+/// Reusable buffers for the batched inference path: discretized evidence,
+/// the activation pattern, the accumulated wordline currents and the
+/// mirrored currents of the sensing chain. One scratch serves any number of
+/// sequential [`FebimEngine::infer_into`] calls without allocating.
+///
+/// Create with [`FebimEngine::make_scratch`]; a scratch can be reused across
+/// engines that share a crossbar geometry (buffers are resized on demand).
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    evidence: Vec<usize>,
+    activation: Option<Activation>,
+    currents: Vec<f64>,
+    mirrored: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// The wordline currents of the most recent [`FebimEngine::infer_into`]
+    /// call, in amperes.
+    pub fn wordline_currents(&self) -> &[f64] {
+        &self.currents
+    }
+}
+
 /// Aggregated evaluation of the engine on a labelled dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvaluationReport {
@@ -159,50 +197,77 @@ impl FebimEngine {
         self.sensing = sensing;
     }
 
-    /// Runs one in-memory inference for a continuous sample.
+    /// Creates a scratch sized for this engine's geometry, for use with
+    /// [`FebimEngine::infer_into`].
+    pub fn make_scratch(&self) -> EvalScratch {
+        EvalScratch {
+            evidence: Vec::with_capacity(self.quantized.n_features()),
+            activation: Some(Activation::empty(self.array.layout())),
+            currents: Vec::with_capacity(self.array.layout().rows()),
+            mirrored: Vec::with_capacity(self.array.layout().rows()),
+        }
+    }
+
+    /// Runs one in-memory inference for a continuous sample, reusing the
+    /// caller's scratch buffers: after the first call on a given geometry the
+    /// hot path performs no heap allocation. The accumulated wordline
+    /// currents remain available through
+    /// [`EvalScratch::wordline_currents`].
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::DatasetMismatch`] for a sample with the wrong
     /// number of features and propagates crossbar/circuit errors.
-    pub fn infer(&self, sample: &[f64]) -> Result<InferenceOutcome> {
+    pub fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
         if sample.len() != self.quantized.n_features() {
             return Err(CoreError::DatasetMismatch {
                 expected_features: self.quantized.n_features(),
                 found_features: sample.len(),
             });
         }
-        let evidence = self.quantized.discretize_sample(sample)?;
-        let activation = Activation::from_observation(self.array.layout(), &evidence)?;
-        let currents = self.array.wordline_currents(&activation)?;
-        match self.sensing.sense(&currents, activation.len()) {
-            Ok(outcome) => Ok(InferenceOutcome {
-                prediction: outcome.winner,
-                wordline_currents: currents,
-                delay: outcome.delay,
-                energy: outcome.energy,
+        self.quantized
+            .discretize_sample_into(sample, &mut scratch.evidence)?;
+        let activation = scratch
+            .activation
+            .get_or_insert_with(|| Activation::empty(self.array.layout()));
+        activation.set_observation(self.array.layout(), &scratch.evidence)?;
+        self.array
+            .wordline_currents_into(activation, &mut scratch.currents)?;
+        match self
+            .sensing
+            .sense_into(&scratch.currents, activation.len(), &mut scratch.mirrored)
+        {
+            Ok(readout) => Ok(InferenceStep {
+                prediction: readout.winner,
+                delay: readout.delay,
+                energy: readout.energy,
                 tie_broken: false,
             }),
             Err(CircuitError::AmbiguousWinner { .. }) => {
                 // Quantized posteriors can tie exactly; physical mismatch
                 // would break the tie, we do it deterministically instead.
-                let winner = argmax(&currents).expect("at least one wordline");
+                let winner = argmax(&scratch.currents).expect("at least one wordline");
                 let delay = self.sensing.delay_model().worst_case(
-                    currents.len(),
+                    scratch.currents.len(),
                     activation.len().max(1),
                     self.sensing.wta(),
                     self.sensing.mirror().gain,
                 )?;
-                let energy = self.sensing.energy_model().inference(
-                    &currents,
+                // `sense_into` leaves the scratch unspecified on error, so
+                // re-mirror the currents before pricing the energy.
+                self.sensing
+                    .mirror()
+                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
+                let energy = self.sensing.energy_model().inference_with_mirrored(
+                    &scratch.currents,
+                    &scratch.mirrored,
                     activation.len(),
                     delay.total(),
                     self.sensing.mirror(),
                     self.sensing.wta(),
                 )?;
-                Ok(InferenceOutcome {
+                Ok(InferenceStep {
                     prediction: winner,
-                    wordline_currents: currents,
                     delay,
                     energy,
                     tie_broken: true,
@@ -210,6 +275,28 @@ impl FebimEngine {
             }
             Err(err) => Err(err.into()),
         }
+    }
+
+    /// Runs one in-memory inference for a continuous sample.
+    ///
+    /// This is the allocating convenience wrapper around
+    /// [`FebimEngine::infer_into`]; batched callers should create one
+    /// [`EvalScratch`] and call `infer_into` directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetMismatch`] for a sample with the wrong
+    /// number of features and propagates crossbar/circuit errors.
+    pub fn infer(&self, sample: &[f64]) -> Result<InferenceOutcome> {
+        let mut scratch = self.make_scratch();
+        let step = self.infer_into(sample, &mut scratch)?;
+        Ok(InferenceOutcome {
+            prediction: step.prediction,
+            wordline_currents: scratch.currents,
+            delay: step.delay,
+            energy: step.energy,
+            tie_broken: step.tie_broken,
+        })
     }
 
     /// Predicts the class of one sample (discarding the circuit telemetry).
@@ -223,6 +310,9 @@ impl FebimEngine {
 
     /// Evaluates the engine on a labelled dataset.
     ///
+    /// The whole batch runs through one [`EvalScratch`], so per-sample work
+    /// allocates nothing beyond the returned prediction vector.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::DatasetMismatch`] when the dataset has the wrong
@@ -234,6 +324,7 @@ impl FebimEngine {
                 found_features: dataset.n_features(),
             });
         }
+        let mut scratch = self.make_scratch();
         let mut predictions = Vec::with_capacity(dataset.n_samples());
         let mut correct = 0usize;
         let mut ties = 0usize;
@@ -242,18 +333,18 @@ impl FebimEngine {
         let mut array_energy_sum = 0.0;
         let mut sensing_energy_sum = 0.0;
         for (sample, label) in dataset.iter() {
-            let outcome = self.infer(sample)?;
-            if outcome.prediction == label {
+            let step = self.infer_into(sample, &mut scratch)?;
+            if step.prediction == label {
                 correct += 1;
             }
-            if outcome.tie_broken {
+            if step.tie_broken {
                 ties += 1;
             }
-            delay_sum += outcome.delay.total();
-            energy_sum += outcome.energy.total();
-            array_energy_sum += outcome.energy.array;
-            sensing_energy_sum += outcome.energy.sensing;
-            predictions.push(outcome.prediction);
+            delay_sum += step.delay.total();
+            energy_sum += step.energy.total();
+            array_energy_sum += step.energy.array;
+            sensing_energy_sum += step.energy.sensing;
+            predictions.push(step.prediction);
         }
         let samples = dataset.n_samples();
         Ok(EvaluationReport {
@@ -341,6 +432,41 @@ mod tests {
                 engine.infer(sample).unwrap().prediction
             );
         }
+    }
+
+    #[test]
+    fn scratch_based_inference_matches_the_allocating_path() {
+        let (engine, _, test) = iris_engine();
+        let mut scratch = engine.make_scratch();
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            let outcome = engine.infer(sample).unwrap();
+            let step = engine.infer_into(sample, &mut scratch).unwrap();
+            assert_eq!(step.prediction, outcome.prediction);
+            assert_eq!(step.tie_broken, outcome.tie_broken);
+            assert_eq!(step.delay, outcome.delay);
+            assert_eq!(step.energy, outcome.energy);
+            assert_eq!(scratch.wordline_currents(), &outcome.wordline_currents[..]);
+        }
+    }
+
+    #[test]
+    fn a_default_scratch_is_usable() {
+        let (engine, _, test) = iris_engine();
+        let sample = test.sample(0).unwrap();
+        let mut scratch = EvalScratch::default();
+        let step = engine.infer_into(sample, &mut scratch).unwrap();
+        assert_eq!(step.prediction, engine.predict(sample).unwrap());
+    }
+
+    #[test]
+    fn infer_into_rejects_wrong_feature_count() {
+        let (engine, _, _) = iris_engine();
+        let mut scratch = engine.make_scratch();
+        assert!(matches!(
+            engine.infer_into(&[1.0, 2.0], &mut scratch),
+            Err(CoreError::DatasetMismatch { .. })
+        ));
     }
 
     #[test]

@@ -40,10 +40,13 @@ pub mod scaling;
 
 pub use compiler::{compile, CrossbarProgram};
 pub use config::EngineConfig;
-pub use engine::{EvaluationReport, FebimEngine, InferenceOutcome};
+pub use engine::{EvalScratch, EvaluationReport, FebimEngine, InferenceOutcome, InferenceStep};
 pub use errors::{CoreError, Result};
 pub use metrics::{ops_per_inference, performance_metrics, MetricsConfig, PerformanceMetrics};
-pub use monte_carlo::{epoch_accuracy, variation_sweep, EpochAccuracy, VariationPoint};
+pub use monte_carlo::{
+    epoch_accuracy, epoch_accuracy_with_threads, variation_sweep, variation_sweep_with_threads,
+    EpochAccuracy, VariationPoint,
+};
 pub use report::{default_experiment_dir, Table};
 pub use scaling::{
     column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint,

@@ -44,10 +44,58 @@ fn check_epochs(epochs: usize) -> Result<()> {
     Ok(())
 }
 
+/// Number of worker threads used for Monte-Carlo epochs.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `run(epoch)` for every epoch in `0..epochs` across up to `threads`
+/// scoped worker threads and returns the per-epoch values **in epoch order**.
+///
+/// Each epoch derives its RNG state from its own index, so epochs are
+/// independent; splitting them into contiguous chunks and re-concatenating
+/// the chunk outputs reproduces the serial result byte for byte. On failure
+/// the error of the earliest failing epoch is returned, matching the error a
+/// serial loop would surface.
+fn epoch_values<T, F>(epochs: usize, threads: usize, run: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let threads = threads.max(1).min(epochs.max(1));
+    if threads == 1 {
+        return (0..epochs).map(run).collect();
+    }
+    let chunk = epochs.div_ceil(threads);
+    let mut per_epoch: Vec<std::result::Result<T, CoreError>> = Vec::with_capacity(epochs);
+    std::thread::scope(|scope| {
+        let run = &run;
+        let workers: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let start = worker * chunk;
+                    let end = epochs.min(start + chunk);
+                    (start..end).map(run).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for worker in workers {
+            per_epoch.extend(worker.join().expect("Monte-Carlo worker panicked"));
+        }
+    });
+    per_epoch.into_iter().collect()
+}
+
 /// Runs `epochs` train/test epochs (fresh stratified split and retraining per
 /// epoch, as in the paper's 100-epoch protocol) and reports the accuracy of
 /// the software baseline, the quantized software model and the in-memory
 /// engine.
+///
+/// Epochs run in parallel across the available cores. Every epoch seeds its
+/// own RNGs from the epoch index, so the returned statistics are
+/// byte-identical to a serial execution of the same seeds.
 ///
 /// # Errors
 ///
@@ -60,11 +108,25 @@ pub fn epoch_accuracy(
     epochs: usize,
     seed: u64,
 ) -> Result<EpochAccuracy> {
+    epoch_accuracy_with_threads(dataset, config, test_ratio, epochs, seed, default_threads())
+}
+
+/// [`epoch_accuracy`] with an explicit worker-thread count (`1` forces the
+/// serial reference execution).
+///
+/// # Errors
+///
+/// Same as [`epoch_accuracy`].
+pub fn epoch_accuracy_with_threads(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<EpochAccuracy> {
     check_epochs(epochs)?;
-    let mut software = Vec::with_capacity(epochs);
-    let mut quantized = Vec::with_capacity(epochs);
-    let mut in_memory = Vec::with_capacity(epochs);
-    for epoch in 0..epochs {
+    let per_epoch = epoch_values(epochs, threads, |epoch| {
         let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
         let split = stratified_split(dataset, test_ratio, &mut rng)?;
         let epoch_config = EngineConfig {
@@ -72,9 +134,19 @@ pub fn epoch_accuracy(
             ..config.clone()
         };
         let engine = FebimEngine::fit(&split.train, epoch_config)?;
-        software.push(engine.software_model().score(&split.test)?);
-        quantized.push(engine.quantized().score(&split.test)?);
-        in_memory.push(engine.evaluate(&split.test)?.accuracy);
+        Ok((
+            engine.software_model().score(&split.test)?,
+            engine.quantized().score(&split.test)?,
+            engine.evaluate(&split.test)?.accuracy,
+        ))
+    })?;
+    let mut software = Vec::with_capacity(epochs);
+    let mut quantized = Vec::with_capacity(epochs);
+    let mut in_memory = Vec::with_capacity(epochs);
+    for (software_accuracy, quantized_accuracy, in_memory_accuracy) in per_epoch {
+        software.push(software_accuracy);
+        quantized.push(quantized_accuracy);
+        in_memory.push(in_memory_accuracy);
     }
     Ok(EpochAccuracy {
         software: AccuracyStats::from_values(&software)?,
@@ -85,6 +157,10 @@ pub fn epoch_accuracy(
 
 /// Sweeps the FeFET variation level and reports the in-memory accuracy
 /// distribution at each σ_VTH (the Fig. 8(c) experiment).
+///
+/// The epochs of every variation level run in parallel across the available
+/// cores; per-epoch seeding keeps the reported distributions byte-identical
+/// to a serial execution.
 ///
 /// # Errors
 ///
@@ -98,11 +174,36 @@ pub fn variation_sweep(
     epochs: usize,
     seed: u64,
 ) -> Result<Vec<VariationPoint>> {
+    variation_sweep_with_threads(
+        dataset,
+        config,
+        sigmas_mv,
+        test_ratio,
+        epochs,
+        seed,
+        default_threads(),
+    )
+}
+
+/// [`variation_sweep`] with an explicit worker-thread count (`1` forces the
+/// serial reference execution).
+///
+/// # Errors
+///
+/// Same as [`variation_sweep`].
+pub fn variation_sweep_with_threads(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    sigmas_mv: &[f64],
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<VariationPoint>> {
     check_epochs(epochs)?;
     let mut points = Vec::with_capacity(sigmas_mv.len());
     for &sigma_mv in sigmas_mv {
-        let mut accuracies = Vec::with_capacity(epochs);
-        for epoch in 0..epochs {
+        let accuracies = epoch_values(epochs, threads, |epoch| {
             let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
             let split = stratified_split(dataset, test_ratio, &mut rng)?;
             let epoch_config = config.clone().with_variation(
@@ -112,8 +213,8 @@ pub fn variation_sweep(
                     .wrapping_add(sigma_mv as u64),
             );
             let engine = FebimEngine::fit(&split.train, epoch_config)?;
-            accuracies.push(engine.evaluate(&split.test)?.accuracy);
-        }
+            Ok(engine.evaluate(&split.test)?.accuracy)
+        })?;
         points.push(VariationPoint {
             sigma_vth_mv: sigma_mv,
             stats: AccuracyStats::from_values(&accuracies)?,
@@ -183,5 +284,57 @@ mod tests {
         let a = epoch_accuracy(&dataset, &config, 0.7, 3, 7).unwrap();
         let b = epoch_accuracy(&dataset, &config, 0.7, 3, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_epochs_are_byte_identical_to_serial() {
+        let dataset = iris_like(64).unwrap();
+        let config = EngineConfig::febim_default()
+            .with_variation(febim_device::VariationModel::from_millivolts(30.0), 5);
+        // Five epochs across 1 (serial reference), 2 (uneven chunks), 3
+        // (chunk boundary mid-range) and 8 (more workers than epochs) threads
+        // must agree bit for bit, and the default-thread public entry point
+        // must match the serial reference too.
+        let serial = epoch_accuracy_with_threads(&dataset, &config, 0.7, 5, 11, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel =
+                epoch_accuracy_with_threads(&dataset, &config, 0.7, 5, 11, threads).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        assert_eq!(
+            serial,
+            epoch_accuracy(&dataset, &config, 0.7, 5, 11).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_variation_sweep_is_byte_identical_to_serial() {
+        let dataset = iris_like(65).unwrap();
+        let config = EngineConfig::febim_default();
+        let sigmas = [0.0, 45.0];
+        let serial =
+            variation_sweep_with_threads(&dataset, &config, &sigmas, 0.7, 4, 9, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let parallel =
+                variation_sweep_with_threads(&dataset, &config, &sigmas, 0.7, 4, 9, threads)
+                    .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        assert_eq!(
+            serial,
+            variation_sweep(&dataset, &config, &sigmas, 0.7, 4, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn epoch_errors_surface_in_epoch_order() {
+        // A failing epoch must report the earliest epoch's error regardless
+        // of thread interleaving; here every epoch fails identically with an
+        // invalid test ratio.
+        let dataset = iris_like(66).unwrap();
+        let config = EngineConfig::febim_default();
+        let serial = epoch_accuracy_with_threads(&dataset, &config, 2.0, 4, 3, 1).unwrap_err();
+        let parallel = epoch_accuracy_with_threads(&dataset, &config, 2.0, 4, 3, 4).unwrap_err();
+        assert_eq!(serial.to_string(), parallel.to_string());
     }
 }

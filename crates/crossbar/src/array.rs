@@ -1,11 +1,14 @@
 //! The FeFET crossbar array: programming, variation injection and wordline
 //! current accumulation.
 
+use std::cell::RefCell;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use febim_device::{LevelProgrammer, VariationModel};
 
+use crate::cache::ConductanceCache;
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::layout::CrossbarLayout;
@@ -24,27 +27,53 @@ pub enum ProgrammingMode {
 }
 
 /// A programmed FeFET crossbar.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Reads go through a lazily rebuilt conductance cache: the device I-V
+/// model is evaluated once per cell after each mutation (programming,
+/// variation injection or direct cell access), and every subsequent
+/// [`CrossbarArray::wordline_currents`] call is a sparse accumulation over
+/// the activated columns only. The uncached
+/// [`CrossbarArray::wordline_currents_reference`] path re-evaluates the
+/// device model on every call and serves as the equivalence oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrossbarArray {
     layout: CrossbarLayout,
     programmer: LevelProgrammer,
     write_scheme: WriteScheme,
     cells: Vec<Cell>,
     write_energy: f64,
+    /// Derived state: `None` means stale (rebuilt on the next read). Skipped
+    /// by serialization and ignored by equality.
+    #[serde(skip)]
+    cache: RefCell<Option<ConductanceCache>>,
+}
+
+impl PartialEq for CrossbarArray {
+    fn eq(&self, other: &Self) -> bool {
+        // The conductance cache is derived state; two arrays are equal when
+        // their programmed cells (and bookkeeping) are, cached or not.
+        self.layout == other.layout
+            && self.programmer == other.programmer
+            && self.write_scheme == other.write_scheme
+            && self.cells == other.cells
+            && self.write_energy == other.write_energy
+    }
 }
 
 impl CrossbarArray {
     /// Creates an erased crossbar with the given layout and level programmer.
     pub fn new(layout: CrossbarLayout, programmer: LevelProgrammer) -> Self {
-        let cells = (0..layout.cells())
-            .map(|_| Cell::new(programmer.params().clone()))
-            .collect();
+        // Build one template cell and clone it, instead of cloning the device
+        // parameter struct once per cell.
+        let template = Cell::new(programmer.params().clone());
+        let cells = vec![template; layout.cells()];
         Self {
             layout,
             programmer,
             write_scheme: WriteScheme::febim_default(),
             cells,
             write_energy: 0.0,
+            cache: RefCell::new(None),
         }
     }
 
@@ -66,6 +95,21 @@ impl CrossbarArray {
     /// Total write energy spent programming the array so far, in joules.
     pub fn write_energy(&self) -> f64 {
         self.write_energy
+    }
+
+    /// Marks the conductance cache stale; the next read rebuilds it.
+    fn invalidate_cache(&mut self) {
+        *self.cache.get_mut() = None;
+    }
+
+    /// Runs `reader` against a fresh conductance cache, rebuilding it first
+    /// if any mutation happened since the last read.
+    fn with_cache<T>(&self, reader: impl FnOnce(&ConductanceCache) -> T) -> T {
+        let mut slot = self.cache.borrow_mut();
+        let cache = slot.get_or_insert_with(|| {
+            ConductanceCache::build(self.layout.rows(), self.layout.columns(), &self.cells)
+        });
+        reader(cache)
     }
 
     fn cell_index(&self, row: usize, column: usize) -> Result<usize> {
@@ -93,12 +137,16 @@ impl CrossbarArray {
 
     /// Mutably borrow a cell.
     ///
+    /// The conductance cache is invalidated up front, so any mutation made
+    /// through the returned borrow is reflected by the next read.
+    ///
     /// # Errors
     ///
     /// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside
     /// the array.
     pub fn cell_mut(&mut self, row: usize, column: usize) -> Result<&mut Cell> {
         let index = self.cell_index(row, column)?;
+        self.invalidate_cache();
         Ok(&mut self.cells[index])
     }
 
@@ -119,6 +167,7 @@ impl CrossbarArray {
         mode: ProgrammingMode,
     ) -> Result<()> {
         let index = self.cell_index(row, column)?;
+        self.invalidate_cache();
         let state = match mode {
             ProgrammingMode::Ideal => {
                 let state = self
@@ -189,28 +238,24 @@ impl CrossbarArray {
 
     /// Applies Gaussian threshold-voltage variation to every cell.
     pub fn apply_variation<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        self.invalidate_cache();
         for cell in &mut self.cells {
             let offset = variation.sample_offset(rng);
             cell.device_mut().set_vth_offset(offset);
         }
     }
 
-    /// Accumulated current of one wordline for an activation pattern, in
-    /// amperes. Activated cells contribute their `V_on` read current;
-    /// inhibited cells contribute their (negligible) `V_off` leakage.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the activation
-    /// was built for a different layout and
-    /// [`CrossbarError::IndexOutOfBounds`] for a bad row.
-    pub fn wordline_current(&self, row: usize, activation: &Activation) -> Result<f64> {
+    fn check_activation(&self, activation: &Activation) -> Result<()> {
         if activation.total_columns() != self.layout.columns() {
             return Err(CrossbarError::ActivationLengthMismatch {
                 expected: self.layout.columns(),
                 found: activation.total_columns(),
             });
         }
+        Ok(())
+    }
+
+    fn check_row(&self, row: usize) -> Result<()> {
         if row >= self.layout.rows() {
             return Err(CrossbarError::IndexOutOfBounds {
                 row,
@@ -219,26 +264,94 @@ impl CrossbarArray {
                 columns: self.layout.columns(),
             });
         }
-        let mut current = 0.0;
-        for column in 0..self.layout.columns() {
-            let cell = self.cell(row, column)?;
-            if activation.is_active(column) {
-                current += cell.read_current_on();
-            } else {
-                current += cell.read_current_off();
+        Ok(())
+    }
+
+    /// Accumulated current of one wordline for an activation pattern, in
+    /// amperes: the row's off-state leakage plus the on/off delta of every
+    /// activated column, served from the conductance cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the activation
+    /// was built for a different layout and
+    /// [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn wordline_current(&self, row: usize, activation: &Activation) -> Result<f64> {
+        self.check_activation(activation)?;
+        self.check_row(row)?;
+        Ok(self.with_cache(|cache| cache.wordline_current(row, activation)))
+    }
+
+    /// Accumulated currents of every wordline for an activation pattern,
+    /// written into `out` (cleared first). This is the allocation-free read
+    /// used by the batched inference path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the activation
+    /// was built for a different layout.
+    pub fn wordline_currents_into(
+        &self,
+        activation: &Activation,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_activation(activation)?;
+        out.clear();
+        out.reserve(self.layout.rows());
+        self.with_cache(|cache| {
+            for row in 0..self.layout.rows() {
+                out.push(cache.wordline_current(row, activation));
             }
-        }
-        Ok(current)
+        });
+        Ok(())
     }
 
     /// Accumulated currents of every wordline for an activation pattern.
     ///
     /// # Errors
     ///
-    /// Propagates the errors of [`CrossbarArray::wordline_current`].
+    /// Propagates the errors of [`CrossbarArray::wordline_currents_into`].
     pub fn wordline_currents(&self, activation: &Activation) -> Result<Vec<f64>> {
+        let mut currents = Vec::with_capacity(self.layout.rows());
+        self.wordline_currents_into(activation, &mut currents)?;
+        Ok(currents)
+    }
+
+    /// Uncached single-wordline read: evaluates the FeFET I-V model for every
+    /// cell of the row on every call, accumulating in the exact same order as
+    /// the cached sparse path. This is the reference oracle for the
+    /// equivalence property tests and the "before" baseline of the perf
+    /// record — results are bit-identical to
+    /// [`CrossbarArray::wordline_current`] whenever the cache is fresh.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossbarArray::wordline_current`].
+    pub fn wordline_current_reference(&self, row: usize, activation: &Activation) -> Result<f64> {
+        self.check_activation(activation)?;
+        self.check_row(row)?;
+        let base = row * self.layout.columns();
+        let row_cells = &self.cells[base..base + self.layout.columns()];
+        let mut current = 0.0;
+        for cell in row_cells {
+            current += cell.read_current_off();
+        }
+        for &column in activation.active_columns() {
+            let cell = &row_cells[column];
+            current += cell.read_current_on() - cell.read_current_off();
+        }
+        Ok(current)
+    }
+
+    /// Uncached all-wordline read (see
+    /// [`CrossbarArray::wordline_current_reference`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossbarArray::wordline_currents`].
+    pub fn wordline_currents_reference(&self, activation: &Activation) -> Result<Vec<f64>> {
         (0..self.layout.rows())
-            .map(|row| self.wordline_current(row, activation))
+            .map(|row| self.wordline_current_reference(row, activation))
             .collect()
     }
 
@@ -260,17 +373,15 @@ impl CrossbarArray {
 
     /// The read current of every cell as a matrix, in amperes.
     pub fn current_map(&self) -> Vec<Vec<f64>> {
-        (0..self.layout.rows())
-            .map(|row| {
-                (0..self.layout.columns())
-                    .map(|column| {
-                        self.cell(row, column)
-                            .expect("in-range indices")
-                            .read_current_on()
-                    })
-                    .collect()
-            })
-            .collect()
+        self.with_cache(|cache| {
+            (0..self.layout.rows())
+                .map(|row| {
+                    (0..self.layout.columns())
+                        .map(|column| cache.on_current(row, column))
+                        .collect()
+                })
+                .collect()
+        })
     }
 }
 
@@ -340,6 +451,9 @@ mod tests {
         assert!(array
             .wordline_current(7, &Activation::all_columns(array.layout()))
             .is_err());
+        assert!(array
+            .wordline_current_reference(7, &Activation::all_columns(array.layout()))
+            .is_err());
     }
 
     #[test]
@@ -358,6 +472,10 @@ mod tests {
         let activation = Activation::all_columns(&other_layout);
         assert!(matches!(
             array.wordline_currents(&activation),
+            Err(CrossbarError::ActivationLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            array.wordline_currents_reference(&activation),
             Err(CrossbarError::ActivationLengthMismatch { .. })
         ));
     }
@@ -427,5 +545,66 @@ mod tests {
         array.apply_variation(&variation, &mut rng);
         let perturbed = array.cell(0, 0).unwrap().read_current_on();
         assert_ne!(nominal, perturbed);
+    }
+
+    #[test]
+    fn cached_reads_track_every_mutation_path() {
+        let mut array = small_array();
+        let activation = Activation::all_columns(array.layout());
+
+        // Fresh array: warm the cache, then program and read again.
+        let erased = array.wordline_currents(&activation).unwrap();
+        array.program_cell(0, 3, 9, ProgrammingMode::Ideal).unwrap();
+        let programmed = array.wordline_currents(&activation).unwrap();
+        assert!(programmed[0] > erased[0] + 0.9e-6);
+        assert_eq!(
+            programmed,
+            array.wordline_currents_reference(&activation).unwrap()
+        );
+
+        // Variation invalidates the cache.
+        let variation = VariationModel::from_millivolts(45.0);
+        let mut rng = VariationModel::seeded_rng(7);
+        array.apply_variation(&variation, &mut rng);
+        assert_eq!(
+            array.wordline_currents(&activation).unwrap(),
+            array.wordline_currents_reference(&activation).unwrap()
+        );
+
+        // Direct cell mutation through `cell_mut` invalidates the cache.
+        array
+            .cell_mut(0, 3)
+            .unwrap()
+            .device_mut()
+            .set_vth_offset(0.1);
+        assert_eq!(
+            array.wordline_currents(&activation).unwrap(),
+            array.wordline_currents_reference(&activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn wordline_currents_into_reuses_the_buffer() {
+        let mut array = small_array();
+        array.program_cell(1, 2, 8, ProgrammingMode::Ideal).unwrap();
+        let activation = Activation::from_columns(array.layout(), &[2]).unwrap();
+        let mut buffer = vec![42.0; 7];
+        array
+            .wordline_currents_into(&activation, &mut buffer)
+            .unwrap();
+        assert_eq!(buffer.len(), array.layout().rows());
+        assert_eq!(buffer, array.wordline_currents(&activation).unwrap());
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let mut warm = small_array();
+        warm.program_cell(0, 0, 5, ProgrammingMode::Ideal).unwrap();
+        let mut cold = small_array();
+        cold.program_cell(0, 0, 5, ProgrammingMode::Ideal).unwrap();
+        // Warm one array's cache but not the other's.
+        let activation = Activation::all_columns(warm.layout());
+        warm.wordline_currents(&activation).unwrap();
+        assert_eq!(warm, cold);
     }
 }

@@ -1,0 +1,126 @@
+//! Precomputed per-cell conductances for the sparse read path.
+//!
+//! FeBiM's efficiency claim rests on the crossbar accumulating quantized
+//! log-posteriors in a single read cycle; evaluating the FeFET I-V equation
+//! (a transcendental softplus) for every cell on every inference throws that
+//! away in software. This cache mirrors the hardware instead: the on/off read
+//! current of every cell is computed once per programming/variation event,
+//! and a read becomes a sparse sum over the activated columns only:
+//!
+//! ```text
+//! I_row = Σ_all off[row][c]  +  Σ_active (on[row][c] - off[row][c])
+//!       = row_off_sum[row]   +  Σ_active delta
+//! ```
+//!
+//! so one inference is O(rows × activated columns) with no device-model
+//! calls. [`crate::CrossbarArray`] rebuilds the cache lazily after any
+//! mutation (programming, variation injection, direct cell access).
+
+use crate::cell::Cell;
+use crate::read::Activation;
+
+/// Struct-of-arrays conductance snapshot of a programmed crossbar.
+///
+/// All vectors are row-major; `on`/`off` hold one entry per cell and
+/// `row_off_sums` one entry per row (the accumulated leakage of a fully
+/// inhibited wordline, summed in column order).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ConductanceCache {
+    columns: usize,
+    on: Vec<f64>,
+    off: Vec<f64>,
+    row_off_sums: Vec<f64>,
+}
+
+impl ConductanceCache {
+    /// Evaluates the device model once per cell and snapshots the results.
+    pub(crate) fn build(rows: usize, columns: usize, cells: &[Cell]) -> Self {
+        debug_assert_eq!(cells.len(), rows * columns);
+        let mut on = Vec::with_capacity(cells.len());
+        let mut off = Vec::with_capacity(cells.len());
+        for cell in cells {
+            on.push(cell.read_current_on());
+            off.push(cell.read_current_off());
+        }
+        let mut row_off_sums = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let base = row * columns;
+            let mut sum = 0.0;
+            for column in 0..columns {
+                sum += off[base + column];
+            }
+            row_off_sums.push(sum);
+        }
+        Self {
+            columns,
+            on,
+            off,
+            row_off_sums,
+        }
+    }
+
+    /// Cached `V_on` read current of one cell.
+    pub(crate) fn on_current(&self, row: usize, column: usize) -> f64 {
+        self.on[row * self.columns + column]
+    }
+
+    /// Accumulated current of one wordline: the row's full off-state leakage
+    /// plus the on/off delta of every activated column, visited in activation
+    /// order.
+    pub(crate) fn wordline_current(&self, row: usize, activation: &Activation) -> f64 {
+        let base = row * self.columns;
+        let mut current = self.row_off_sums[row];
+        for &column in activation.active_columns() {
+            let index = base + column;
+            current += self.on[index] - self.off[index];
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::CrossbarLayout;
+    use febim_device::FeFetParams;
+
+    #[test]
+    fn cache_matches_fresh_device_evaluations() {
+        let layout = CrossbarLayout::new(2, 3, 1, false).unwrap();
+        let mut cells: Vec<Cell> = (0..layout.cells())
+            .map(|_| Cell::new(FeFetParams::febim_calibrated()))
+            .collect();
+        cells[1]
+            .device_mut()
+            .set_polarization(febim_device::Polarization::new(0.6));
+        let cache = ConductanceCache::build(layout.rows(), layout.columns(), &cells);
+        for (index, cell) in cells.iter().enumerate() {
+            let row = index / layout.columns();
+            let column = index % layout.columns();
+            assert_eq!(cache.on_current(row, column), cell.read_current_on());
+            assert_eq!(cache.off[index], cell.read_current_off());
+        }
+        // The row off-sum accumulates in column order.
+        let expected: f64 = cells[..layout.columns()]
+            .iter()
+            .fold(0.0, |sum, cell| sum + cell.read_current_off());
+        assert_eq!(cache.row_off_sums[0], expected);
+    }
+
+    #[test]
+    fn sparse_sum_visits_only_active_columns() {
+        let layout = CrossbarLayout::new(1, 4, 1, false).unwrap();
+        let mut cells: Vec<Cell> = (0..layout.cells())
+            .map(|_| Cell::new(FeFetParams::febim_calibrated()))
+            .collect();
+        for cell in &mut cells {
+            cell.device_mut()
+                .set_polarization(febim_device::Polarization::new(0.7));
+        }
+        let cache = ConductanceCache::build(1, 4, &cells);
+        let none = Activation::from_columns(&layout, &[]).unwrap();
+        let all = Activation::all_columns(&layout);
+        assert_eq!(cache.wordline_current(0, &none), cache.row_off_sums[0]);
+        assert!(cache.wordline_current(0, &all) > cache.wordline_current(0, &none));
+    }
+}

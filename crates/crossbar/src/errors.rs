@@ -31,6 +31,14 @@ pub enum CrossbarError {
         /// Discretized evidence level.
         level: usize,
     },
+    /// An observation carries the wrong number of evidence values for the
+    /// layout (one per evidence node is required).
+    EvidenceCountMismatch {
+        /// Number of evidence nodes in the layout.
+        expected: usize,
+        /// Number of evidence values provided.
+        found: usize,
+    },
     /// A device-level error occurred while programming or reading a cell.
     Device(DeviceError),
     /// An activation vector has the wrong length for the array.
@@ -55,6 +63,10 @@ impl fmt::Display for CrossbarError {
             CrossbarError::InvalidEvidence { node, level } => {
                 write!(f, "evidence node {node} level {level} outside the layout")
             }
+            CrossbarError::EvidenceCountMismatch { expected, found } => write!(
+                f,
+                "observation provides {found} evidence values, layout has {expected} evidence nodes"
+            ),
             CrossbarError::Device(err) => write!(f, "device error: {err}"),
             CrossbarError::ActivationLengthMismatch { expected, found } => write!(
                 f,
@@ -103,6 +115,12 @@ mod tests {
         assert!(CrossbarError::InvalidEvidence { node: 1, level: 7 }
             .to_string()
             .contains("node 1"));
+        assert!(CrossbarError::EvidenceCountMismatch {
+            expected: 4,
+            found: 2
+        }
+        .to_string()
+        .contains("provides 2 evidence values"));
         assert!(CrossbarError::ActivationLengthMismatch {
             expected: 10,
             found: 3

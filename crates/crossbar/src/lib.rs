@@ -23,6 +23,18 @@
 //! let activation = Activation::from_observation(array.layout(), &[2])?;
 //! let currents = array.wordline_currents(&activation)?;
 //! assert!(currents[0] > currents[1]);
+//!
+//! // Batched reads reuse one activation and one current buffer: rebuild the
+//! // activation in place per sample and read into the same vector. The read
+//! // is served from the conductance cache — O(rows × activated columns)
+//! // with no per-cell device-model evaluation.
+//! let mut scratch_activation = Activation::empty(array.layout());
+//! let mut scratch_currents = Vec::new();
+//! for observation in [[0usize], [2], [3]] {
+//!     scratch_activation.set_observation(array.layout(), &observation)?;
+//!     array.wordline_currents_into(&scratch_activation, &mut scratch_currents)?;
+//!     assert_eq!(scratch_currents.len(), 2);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -30,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+mod cache;
 pub mod cell;
 pub mod errors;
 pub mod fault;
@@ -48,8 +61,53 @@ pub use write::WriteScheme;
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use febim_device::LevelProgrammer;
+    use febim_device::{LevelProgrammer, VariationModel};
     use proptest::prelude::*;
+    use rand::Rng;
+
+    /// Programs a random level matrix (with random erased holes) drawn from
+    /// the given RNG.
+    fn program_random<R: Rng>(array: &mut CrossbarArray, rng: &mut R) {
+        let rows = array.layout().rows();
+        let columns = array.layout().columns();
+        let levels: Vec<Vec<Option<usize>>> = (0..rows)
+            .map(|_| {
+                (0..columns)
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.25 {
+                            None
+                        } else {
+                            Some((rng.gen::<u64>() % 10) as usize)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .expect("in-range levels");
+    }
+
+    /// Asserts the cached sparse read equals the uncached reference path
+    /// bit-for-bit, for both a sparse observation and the all-columns stress
+    /// pattern.
+    fn assert_reads_match<R: Rng>(array: &CrossbarArray, rng: &mut R) {
+        let nodes = array.layout().evidence_nodes();
+        let levels = array.layout().evidence_levels();
+        let evidence: Vec<usize> = (0..nodes)
+            .map(|_| (rng.gen::<u64>() as usize) % levels)
+            .collect();
+        let sparse = Activation::from_observation(array.layout(), &evidence).unwrap();
+        assert_eq!(
+            array.wordline_currents(&sparse).unwrap(),
+            array.wordline_currents_reference(&sparse).unwrap(),
+        );
+        let all = Activation::all_columns(array.layout());
+        assert_eq!(
+            array.wordline_currents(&all).unwrap(),
+            array.wordline_currents_reference(&all).unwrap(),
+        );
+    }
 
     proptest! {
         /// Column index maps are a bijection between (node, level) pairs and
@@ -112,6 +170,70 @@ mod proptests {
             let activation = Activation::all_columns(array.layout());
             let measured = array.wordline_current(0, &activation).unwrap();
             prop_assert!((measured - expected).abs() / expected < 1e-6);
+        }
+
+        /// The conductance-cached sparse read path is bit-for-bit identical to
+        /// the uncached dense reference path across random layouts, programs,
+        /// variations, reprogramming cycles and direct cell mutations.
+        #[test]
+        fn cached_sparse_reads_match_reference_path(
+            events in 1usize..5,
+            nodes in 1usize..5,
+            levels_per_node in 1usize..6,
+            has_prior in proptest::bool::ANY,
+            program_seed in 0u64..1_000_000,
+            sigma_mv in 0.0f64..60.0,
+            variation_seed in 0u64..1_000_000,
+        ) {
+            let layout = CrossbarLayout::new(events, nodes, levels_per_node, has_prior).unwrap();
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut array = CrossbarArray::new(layout, programmer);
+            let mut rng = VariationModel::seeded_rng(program_seed);
+
+            // Freshly programmed array.
+            program_random(&mut array, &mut rng);
+            assert_reads_match(&array, &mut rng);
+
+            // After Gaussian threshold-voltage variation.
+            let variation = VariationModel::from_millivolts(sigma_mv);
+            let mut variation_rng = VariationModel::seeded_rng(variation_seed);
+            array.apply_variation(&variation, &mut variation_rng);
+            assert_reads_match(&array, &mut rng);
+
+            // After reprogramming the whole array on top of the variation.
+            program_random(&mut array, &mut rng);
+            assert_reads_match(&array, &mut rng);
+
+            // After a single-cell reprogram and a direct device mutation.
+            let row = (rng.gen::<u64>() as usize) % layout.rows();
+            let column = (rng.gen::<u64>() as usize) % layout.columns();
+            array.program_cell(row, column, 9, ProgrammingMode::Ideal).unwrap();
+            assert_reads_match(&array, &mut rng);
+            array.cell_mut(row, column).unwrap().device_mut().set_vth_offset(0.02);
+            assert_reads_match(&array, &mut rng);
+        }
+
+        /// The O(1) activation mask agrees with a linear scan of the column
+        /// list for every column of the layout.
+        #[test]
+        fn activation_mask_matches_column_list(
+            nodes in 1usize..8,
+            levels in 1usize..6,
+            has_prior in proptest::bool::ANY,
+            column_seed in 0u64..1_000_000,
+        ) {
+            let layout = CrossbarLayout::new(2, nodes, levels, has_prior).unwrap();
+            let mut rng = VariationModel::seeded_rng(column_seed);
+            let picks: Vec<usize> = (0..nodes)
+                .map(|_| (rng.gen::<u64>() as usize) % layout.columns())
+                .collect();
+            let activation = Activation::from_columns(&layout, &picks).unwrap();
+            for column in 0..layout.columns() + 2 {
+                prop_assert_eq!(
+                    activation.is_active(column),
+                    activation.active_columns().contains(&column)
+                );
+            }
         }
     }
 }

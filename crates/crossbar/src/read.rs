@@ -9,13 +9,32 @@ use crate::layout::CrossbarLayout;
 ///
 /// FeBiM activates the prior column (if present) plus exactly one column per
 /// evidence block, selected by the discretized evidence value of the sample.
+///
+/// Membership is tracked both as an ordered column list (for the sparse read
+/// path, which only visits activated columns) and as a dense mask (so
+/// [`Activation::is_active`] is O(1) instead of scanning the list). An
+/// `Activation` can be rebuilt in place with [`Activation::set_observation`],
+/// so batched inference reuses one allocation across samples.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Activation {
     active_columns: Vec<usize>,
+    active_mask: Vec<bool>,
     total_columns: usize,
 }
 
 impl Activation {
+    /// An activation with no driven bitlines, sized for the given layout.
+    ///
+    /// Use this to pre-allocate a scratch activation that is then filled with
+    /// [`Activation::set_observation`] once per sample.
+    pub fn empty(layout: &CrossbarLayout) -> Self {
+        Self {
+            active_columns: Vec::with_capacity(layout.activated_columns()),
+            active_mask: vec![false; layout.columns()],
+            total_columns: layout.columns(),
+        }
+    }
+
     /// Builds the activation for a discretized observation.
     ///
     /// `evidence_levels[i]` is the discretized level of evidence node `i` and
@@ -23,26 +42,52 @@ impl Activation {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::InvalidEvidence`] when the number of evidence
-    /// values does not match the layout or a level is out of range.
+    /// Returns [`CrossbarError::EvidenceCountMismatch`] when the number of
+    /// evidence values does not match the layout's evidence nodes and
+    /// [`CrossbarError::InvalidEvidence`] when a level is out of range.
     pub fn from_observation(layout: &CrossbarLayout, evidence_levels: &[usize]) -> Result<Self> {
+        let mut activation = Self::empty(layout);
+        activation.set_observation(layout, evidence_levels)?;
+        Ok(activation)
+    }
+
+    /// Rebuilds the activation in place for a new discretized observation,
+    /// reusing the existing column list and mask allocations.
+    ///
+    /// On error the activation is left empty (no column driven).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::EvidenceCountMismatch`] when the number of
+    /// evidence values does not match the layout's evidence nodes and
+    /// [`CrossbarError::InvalidEvidence`] when a level is out of range.
+    pub fn set_observation(
+        &mut self,
+        layout: &CrossbarLayout,
+        evidence_levels: &[usize],
+    ) -> Result<()> {
         if evidence_levels.len() != layout.evidence_nodes() {
-            return Err(CrossbarError::InvalidEvidence {
-                node: evidence_levels.len(),
-                level: 0,
+            return Err(CrossbarError::EvidenceCountMismatch {
+                expected: layout.evidence_nodes(),
+                found: evidence_levels.len(),
             });
         }
-        let mut active_columns = Vec::with_capacity(layout.activated_columns());
-        if let Some(prior) = layout.prior_column() {
-            active_columns.push(prior);
+        self.clear();
+        self.resize_for(layout);
+        let filled = (|| {
+            if let Some(prior) = layout.prior_column() {
+                self.push_column(prior);
+            }
+            for (node, &level) in evidence_levels.iter().enumerate() {
+                let column = layout.likelihood_column(node, level)?;
+                self.push_column(column);
+            }
+            Ok(())
+        })();
+        if filled.is_err() {
+            self.clear();
         }
-        for (node, &level) in evidence_levels.iter().enumerate() {
-            active_columns.push(layout.likelihood_column(node, level)?);
-        }
-        Ok(Self {
-            active_columns,
-            total_columns: layout.columns(),
-        })
+        filled
     }
 
     /// Activation driving every bitline simultaneously (the stress pattern
@@ -50,11 +95,13 @@ impl Activation {
     pub fn all_columns(layout: &CrossbarLayout) -> Self {
         Self {
             active_columns: (0..layout.columns()).collect(),
+            active_mask: vec![true; layout.columns()],
             total_columns: layout.columns(),
         }
     }
 
-    /// Activation driving an explicit list of columns.
+    /// Activation driving an explicit list of columns. Duplicate entries are
+    /// collapsed: each column is driven (and accumulated) at most once.
     ///
     /// # Errors
     ///
@@ -71,10 +118,37 @@ impl Activation {
                 });
             }
         }
-        Ok(Self {
-            active_columns: columns.to_vec(),
-            total_columns: layout.columns(),
-        })
+        let mut activation = Self::empty(layout);
+        for &column in columns {
+            activation.push_column(column);
+        }
+        Ok(activation)
+    }
+
+    /// Removes every driven column, keeping the allocations.
+    fn clear(&mut self) {
+        for &column in &self.active_columns {
+            self.active_mask[column] = false;
+        }
+        self.active_columns.clear();
+    }
+
+    /// Adapts the mask length to a (possibly different) layout. Must only be
+    /// called on an empty activation.
+    fn resize_for(&mut self, layout: &CrossbarLayout) {
+        if self.total_columns != layout.columns() {
+            self.active_mask.clear();
+            self.active_mask.resize(layout.columns(), false);
+            self.total_columns = layout.columns();
+        }
+    }
+
+    /// Marks one in-range column as driven (idempotent).
+    fn push_column(&mut self, column: usize) {
+        if !self.active_mask[column] {
+            self.active_mask[column] = true;
+            self.active_columns.push(column);
+        }
     }
 
     /// The activated column indices, in activation order.
@@ -92,9 +166,9 @@ impl Activation {
         self.active_columns.is_empty()
     }
 
-    /// Whether a given column is activated.
+    /// Whether a given column is activated (O(1) mask lookup).
     pub fn is_active(&self, column: usize) -> bool {
-        self.active_columns.contains(&column)
+        self.active_mask.get(column).copied().unwrap_or(false)
     }
 
     /// Total number of columns in the layout the activation was built for.
@@ -134,8 +208,20 @@ mod tests {
     #[test]
     fn wrong_number_of_evidence_values_rejected() {
         let layout = layout();
-        assert!(Activation::from_observation(&layout, &[1]).is_err());
-        assert!(Activation::from_observation(&layout, &[1, 2, 3]).is_err());
+        assert!(matches!(
+            Activation::from_observation(&layout, &[1]),
+            Err(CrossbarError::EvidenceCountMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            Activation::from_observation(&layout, &[1, 2, 3]),
+            Err(CrossbarError::EvidenceCountMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
     }
 
     #[test]
@@ -160,5 +246,52 @@ mod tests {
         assert!(Activation::from_columns(&layout, &[99]).is_err());
         let empty = Activation::from_columns(&layout, &[]).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn duplicate_columns_collapse() {
+        let layout = layout();
+        let activation = Activation::from_columns(&layout, &[5, 0, 5, 0]).unwrap();
+        assert_eq!(activation.active_columns(), &[5, 0]);
+        assert_eq!(activation.len(), 2);
+    }
+
+    #[test]
+    fn set_observation_reuses_and_resets() {
+        let layout = layout();
+        let mut activation = Activation::empty(&layout);
+        assert!(activation.is_empty());
+        activation.set_observation(&layout, &[1, 3]).unwrap();
+        assert_eq!(activation.len(), 3);
+        assert!(activation.is_active(8));
+        activation.set_observation(&layout, &[0, 0]).unwrap();
+        assert_eq!(activation.len(), 3);
+        assert!(activation.is_active(1)); // node 0, level 0
+        assert!(!activation.is_active(8)); // previous column unset
+
+        // A failed rebuild leaves the activation empty.
+        assert!(activation.set_observation(&layout, &[0, 99]).is_err());
+        assert!(activation.is_empty());
+        assert!(!activation.is_active(1));
+    }
+
+    #[test]
+    fn set_observation_adapts_to_a_new_layout() {
+        let small = CrossbarLayout::new(2, 1, 2, false).unwrap();
+        let large = layout();
+        let mut activation = Activation::empty(&small);
+        activation.set_observation(&small, &[1]).unwrap();
+        assert_eq!(activation.total_columns(), small.columns());
+        activation.set_observation(&large, &[1, 3]).unwrap();
+        assert_eq!(activation.total_columns(), large.columns());
+        assert!(activation.is_active(8));
+    }
+
+    #[test]
+    fn is_active_is_false_outside_the_layout() {
+        let layout = layout();
+        let activation = Activation::all_columns(&layout);
+        assert!(!activation.is_active(layout.columns()));
+        assert!(!activation.is_active(usize::MAX));
     }
 }

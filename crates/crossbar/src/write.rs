@@ -51,12 +51,11 @@ impl WriteScheme {
             return;
         }
         cell.add_disturb_pulses(pulses);
-        let model = PreisachModel::new(cell.device().params().clone());
         let pulse = self.disturb_pulse();
         let mut polarization: Polarization = cell.device().polarization();
         // The per-pulse disturbance is tiny; apply the closed-form compound
         // update instead of iterating potentially millions of pulses.
-        let alpha = model.switching_fraction(pulse);
+        let alpha = PreisachModel::switching_fraction_with(cell.device().params(), pulse);
         if alpha > 0.0 {
             let remaining = (1.0 - polarization.value()) * (1.0 - alpha).powf(pulses as f64);
             polarization = Polarization::new(1.0 - remaining);

@@ -118,14 +118,13 @@ impl FeFet {
 
     /// Applies one gate pulse through the Preisach switching model.
     pub fn apply_pulse(&mut self, pulse: Pulse) {
-        let model = PreisachModel::new(self.params.clone());
-        self.polarization = model.apply_pulse(self.polarization, pulse);
+        self.polarization = PreisachModel::apply_pulse_with(&self.params, self.polarization, pulse);
     }
 
     /// Applies a train of identical gate pulses.
     pub fn apply_pulse_train(&mut self, pulse: Pulse, count: u32) {
-        let model = PreisachModel::new(self.params.clone());
-        self.polarization = model.apply_pulse_train(self.polarization, pulse, count);
+        self.polarization =
+            PreisachModel::apply_pulse_train_with(&self.params, self.polarization, pulse, count);
     }
 
     /// Fully erases the device (nominal negative pulse).

@@ -107,6 +107,20 @@ impl PreisachModel {
         &self.params
     }
 
+    /// Per-pulse switching fraction for a borrowed parameter set, without
+    /// constructing a model (the hot-path entry point used by
+    /// [`crate::FeFet`], which would otherwise clone its parameters on every
+    /// pulse).
+    pub fn switching_fraction_with(params: &FeFetParams, pulse: Pulse) -> f64 {
+        if pulse.amplitude <= 0.0 || pulse.width <= 0.0 {
+            return 0.0;
+        }
+        let voltage_factor =
+            ((pulse.amplitude - params.write_amplitude) / params.switch_voltage_slope).exp();
+        let width_factor = (pulse.width / params.write_width).powf(params.switch_width_exponent);
+        (params.switch_rate * voltage_factor * width_factor).clamp(0.0, 1.0)
+    }
+
     /// Per-pulse switching fraction for a pulse of the given amplitude and
     /// width.
     ///
@@ -114,13 +128,33 @@ impl PreisachModel {
     /// exponentially with amplitude (field-driven nucleation) and as a
     /// power law with width, clamped to `[0, 1]`.
     pub fn switching_fraction(&self, pulse: Pulse) -> f64 {
-        let p = &self.params;
-        if pulse.amplitude <= 0.0 || pulse.width <= 0.0 {
-            return 0.0;
+        Self::switching_fraction_with(&self.params, pulse)
+    }
+
+    /// Applies a single pulse for a borrowed parameter set (see
+    /// [`PreisachModel::apply_pulse`] for the semantics).
+    pub fn apply_pulse_with(
+        params: &FeFetParams,
+        state: Polarization,
+        pulse: Pulse,
+    ) -> Polarization {
+        if pulse.amplitude > 0.0 {
+            let alpha = Self::switching_fraction_with(params, pulse);
+            Polarization::new(state.value() + alpha * (1.0 - state.value()))
+        } else if pulse.amplitude < 0.0 {
+            let erase_pulse = Pulse::new(-pulse.amplitude, pulse.width);
+            let alpha = Self::switching_fraction_with(params, erase_pulse);
+            // A full-amplitude erase pulse removes essentially all switched
+            // polarization in one shot, consistent with the "full erase"
+            // operation that precedes multi-level programming.
+            if -pulse.amplitude >= params.write_amplitude {
+                Polarization::ERASED
+            } else {
+                Polarization::new(state.value() - alpha * state.value())
+            }
+        } else {
+            state
         }
-        let voltage_factor = ((pulse.amplitude - p.write_amplitude) / p.switch_voltage_slope).exp();
-        let width_factor = (pulse.width / p.write_width).powf(p.switch_width_exponent);
-        (p.switch_rate * voltage_factor * width_factor).clamp(0.0, 1.0)
     }
 
     /// Applies a single pulse to a polarization state and returns the new state.
@@ -131,32 +165,26 @@ impl PreisachModel {
     /// paper before multi-level programming), while weak negative pulses
     /// partially de-program symmetrically to programming.
     pub fn apply_pulse(&self, state: Polarization, pulse: Pulse) -> Polarization {
-        if pulse.amplitude > 0.0 {
-            let alpha = self.switching_fraction(pulse);
-            Polarization::new(state.value() + alpha * (1.0 - state.value()))
-        } else if pulse.amplitude < 0.0 {
-            let erase_pulse = Pulse::new(-pulse.amplitude, pulse.width);
-            let alpha = self.switching_fraction(erase_pulse);
-            // A full-amplitude erase pulse removes essentially all switched
-            // polarization in one shot, consistent with the "full erase"
-            // operation that precedes multi-level programming.
-            if -pulse.amplitude >= self.params.write_amplitude {
-                Polarization::ERASED
-            } else {
-                Polarization::new(state.value() - alpha * state.value())
-            }
-        } else {
-            state
+        Self::apply_pulse_with(&self.params, state, pulse)
+    }
+
+    /// Applies `count` identical pulses for a borrowed parameter set.
+    pub fn apply_pulse_train_with(
+        params: &FeFetParams,
+        state: Polarization,
+        pulse: Pulse,
+        count: u32,
+    ) -> Polarization {
+        let mut s = state;
+        for _ in 0..count {
+            s = Self::apply_pulse_with(params, s, pulse);
         }
+        s
     }
 
     /// Applies `count` identical pulses and returns the final state.
     pub fn apply_pulse_train(&self, state: Polarization, pulse: Pulse, count: u32) -> Polarization {
-        let mut s = state;
-        for _ in 0..count {
-            s = self.apply_pulse(s, pulse);
-        }
-        s
+        Self::apply_pulse_train_with(&self.params, state, pulse, count)
     }
 
     /// Closed-form polarization reached after `count` nominal write pulses
@@ -167,12 +195,13 @@ impl PreisachModel {
     }
 
     /// Number of nominal write pulses (rounded up) required to reach at least
-    /// the requested polarization starting from the erased state.
+    /// the requested polarization starting from the erased state, for a
+    /// borrowed parameter set.
     ///
     /// Returns `None` if the target is unreachable (e.g. exactly 1.0, which is
     /// only approached asymptotically, is capped at a large pulse count).
-    pub fn pulses_to_reach(&self, target: Polarization) -> Option<u32> {
-        let alpha = self.switching_fraction(Pulse::nominal_write(&self.params));
+    pub fn pulses_to_reach_with(params: &FeFetParams, target: Polarization) -> Option<u32> {
+        let alpha = Self::switching_fraction_with(params, Pulse::nominal_write(params));
         if alpha <= 0.0 {
             return None;
         }
@@ -185,6 +214,15 @@ impl PreisachModel {
         }
         let n = (1.0 - t).ln() / (1.0 - alpha).ln();
         Some(n.ceil().max(0.0) as u32)
+    }
+
+    /// Number of nominal write pulses (rounded up) required to reach at least
+    /// the requested polarization starting from the erased state.
+    ///
+    /// Returns `None` if the target is unreachable (e.g. exactly 1.0, which is
+    /// only approached asymptotically, is capped at a large pulse count).
+    pub fn pulses_to_reach(&self, target: Polarization) -> Option<u32> {
+        Self::pulses_to_reach_with(&self.params, target)
     }
 }
 

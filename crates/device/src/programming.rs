@@ -169,14 +169,12 @@ impl LevelProgrammer {
     pub fn state_for_level(&self, level: usize) -> Result<ProgrammedState> {
         let target_current = self.target_current(level)?;
         let polarization = self.polarization_for_current(target_current);
-        let model = PreisachModel::new(self.params.clone());
-        let pulse_count =
-            model
-                .pulses_to_reach(polarization)
-                .ok_or(DeviceError::ProgrammingDidNotConverge {
-                    max_pulses: u32::MAX,
-                    target_amps: target_current,
-                })?;
+        let pulse_count = PreisachModel::pulses_to_reach_with(&self.params, polarization).ok_or(
+            DeviceError::ProgrammingDidNotConverge {
+                max_pulses: u32::MAX,
+                target_amps: target_current,
+            },
+        )?;
         Ok(ProgrammedState {
             level,
             target_current,

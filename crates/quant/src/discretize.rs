@@ -123,17 +123,31 @@ impl FeatureDiscretizer {
     /// Returns [`QuantError::FeatureCountMismatch`] for a sample of the wrong
     /// length.
     pub fn discretize_sample(&self, sample: &[f64]) -> Result<Vec<usize>> {
+        let mut bins = Vec::with_capacity(sample.len());
+        self.discretize_sample_into(sample, &mut bins)?;
+        Ok(bins)
+    }
+
+    /// Discretizes a whole sample into per-feature bin indices, written into
+    /// `out` (cleared first) so batched callers reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::FeatureCountMismatch`] for a sample of the wrong
+    /// length.
+    pub fn discretize_sample_into(&self, sample: &[f64], out: &mut Vec<usize>) -> Result<()> {
         if sample.len() != self.n_features() {
             return Err(QuantError::FeatureCountMismatch {
                 expected: self.n_features(),
                 found: sample.len(),
             });
         }
-        sample
-            .iter()
-            .enumerate()
-            .map(|(feature, &value)| self.bin(feature, value))
-            .collect()
+        out.clear();
+        out.reserve(sample.len());
+        for (feature, &value) in sample.iter().enumerate() {
+            out.push(self.bin(feature, value)?);
+        }
+        Ok(())
     }
 }
 

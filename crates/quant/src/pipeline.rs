@@ -354,6 +354,16 @@ impl QuantizedGnbc {
         self.discretizer.discretize_sample(sample)
     }
 
+    /// Discretizes a continuous sample into `out` (cleared first), reusing
+    /// the caller's allocation across samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates discretizer errors.
+    pub fn discretize_sample_into(&self, sample: &[f64], out: &mut Vec<usize>) -> Result<()> {
+        self.discretizer.discretize_sample_into(sample, out)
+    }
+
     /// Quantized log-posterior score of every class for one sample, computed
     /// in software (the idealized version of the crossbar accumulation).
     ///
