@@ -200,6 +200,34 @@ impl GaussianNaiveBayes {
             .collect())
     }
 
+    /// Unnormalized log posterior of every class, written into `out`
+    /// (cleared first) — the allocation-reusing variant of
+    /// [`GaussianNaiveBayes::log_posteriors`] used by the software inference
+    /// backend's batched hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::FeatureCountMismatch`] when the sample length is
+    /// wrong.
+    pub fn log_posteriors_into(&self, sample: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if sample.len() != self.n_features {
+            return Err(BayesError::FeatureCountMismatch {
+                expected: self.n_features,
+                found: sample.len(),
+            });
+        }
+        out.clear();
+        out.reserve(self.classes.len());
+        for params in &self.classes {
+            let mut score = params.prior.ln();
+            for (feature, &value) in sample.iter().enumerate() {
+                score += gaussian_log_pdf(value, params.means[feature], params.variances[feature]);
+            }
+            out.push(score);
+        }
+        Ok(())
+    }
+
     /// Predicts the class with the maximum posterior for one sample.
     ///
     /// # Errors
@@ -382,5 +410,14 @@ mod tests {
         assert_eq!(scores.len(), 2);
         assert!(scores[1] > scores[0]);
         assert_eq!(model.predict(&[4.5]).unwrap(), 1);
+    }
+
+    #[test]
+    fn log_posteriors_into_matches_the_allocating_path() {
+        let model = GaussianNaiveBayes::fit(&toy_dataset()).unwrap();
+        let mut scores = vec![9.9; 7];
+        model.log_posteriors_into(&[4.5], &mut scores).unwrap();
+        assert_eq!(scores, model.log_posteriors(&[4.5]).unwrap());
+        assert!(model.log_posteriors_into(&[1.0, 2.0], &mut scores).is_err());
     }
 }

@@ -64,7 +64,7 @@ impl CategoricalNaiveBayes {
                 reason: format!("smoothing constant {alpha} must be non-negative"),
             });
         }
-        if cardinalities.iter().any(|&c| c == 0) {
+        if cardinalities.contains(&0) {
             return Err(BayesError::InvalidTrainingData {
                 reason: "every feature needs at least one value".to_string(),
             });

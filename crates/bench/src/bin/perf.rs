@@ -17,9 +17,11 @@
 //! in the current directory).
 
 use std::hint::black_box;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
-use febim_bench::eng;
+use serde::Serialize;
+
+use febim_bench::{eng, measure_min_ns as measure};
 use febim_core::{EngineConfig, FebimEngine};
 use febim_crossbar::{Activation, CrossbarArray, CrossbarLayout, ProgrammingMode};
 use febim_data::rng::seeded_rng;
@@ -28,48 +30,32 @@ use febim_data::synthetic::iris_like;
 use febim_device::LevelProgrammer;
 
 /// One measured workload: nanoseconds per iteration before and after.
+#[derive(Debug, Serialize)]
 struct Record {
     name: &'static str,
     before_ns: f64,
     after_ns: f64,
+    speedup: f64,
 }
 
 impl Record {
-    fn speedup(&self) -> f64 {
-        self.before_ns / self.after_ns
+    fn new(name: &'static str, before_ns: f64, after_ns: f64) -> Self {
+        Self {
+            name,
+            before_ns,
+            after_ns,
+            speedup: before_ns / after_ns,
+        }
     }
 }
 
-/// Minimum per-iteration wall time of `routine`, measured in calibrated
-/// batches until `target` total time has elapsed. The minimum over batches is
-/// robust against scheduler noise.
-fn measure<F: FnMut()>(mut routine: F, target: Duration) -> f64 {
-    routine(); // warm-up (also warms the conductance cache)
-    let mut iters = 1u64;
-    let mut elapsed;
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            routine();
-        }
-        elapsed = start.elapsed();
-        if elapsed >= Duration::from_millis(5) || iters >= 1 << 22 {
-            break;
-        }
-        iters *= 2;
-    }
-    let mut best = elapsed.as_nanos() as f64 / iters as f64;
-    let mut total = elapsed;
-    while total < target {
-        let start = Instant::now();
-        for _ in 0..iters {
-            routine();
-        }
-        let batch = start.elapsed();
-        best = best.min(batch.as_nanos() as f64 / iters as f64);
-        total += batch;
-    }
-    best
+/// The persisted perf record (serialized to JSON by the `serde` shim).
+#[derive(Debug, Serialize)]
+struct PerfRecord {
+    bench: &'static str,
+    generated_unix_s: u64,
+    quick: bool,
+    workloads: Vec<Record>,
 }
 
 /// Builds the Fig. 6-scale stress array: 64 wordlines, 32 evidence nodes of
@@ -143,15 +129,15 @@ fn main() {
             .prediction
     );
 
-    let single = Record {
-        name: "inference_single_sample/in_memory_engine",
-        before_ns: measure(
+    let single = Record::new(
+        "inference_single_sample/in_memory_engine",
+        measure(
             || {
                 black_box(infer_reference(black_box(&sample)));
             },
             target,
         ),
-        after_ns: measure(
+        measure(
             || {
                 black_box(
                     engine
@@ -161,11 +147,11 @@ fn main() {
             },
             target,
         ),
-    };
+    );
 
-    let full_set = Record {
-        name: "inference_full_test_set/in_memory_engine",
-        before_ns: measure(
+    let full_set = Record::new(
+        "inference_full_test_set/in_memory_engine",
+        measure(
             || {
                 let mut correct = 0usize;
                 for (sample, label) in split.test.iter() {
@@ -177,13 +163,13 @@ fn main() {
             },
             target,
         ),
-        after_ns: measure(
+        measure(
             || {
                 black_box(engine.evaluate(black_box(&split.test)).expect("evaluate"));
             },
             target,
         ),
-    };
+    );
 
     // Fig. 6-scale layout: 64×512 reads, sparse observation and all-columns.
     let array = fig6_array();
@@ -196,9 +182,9 @@ fn main() {
         array.wordline_currents_reference(&all).expect("reference")
     );
 
-    let fig6_sparse = Record {
-        name: "fig6_read_64x512/sparse_observation",
-        before_ns: measure(
+    let fig6_sparse = Record::new(
+        "fig6_read_64x512/sparse_observation",
+        measure(
             || {
                 black_box(
                     array
@@ -208,7 +194,7 @@ fn main() {
             },
             target,
         ),
-        after_ns: measure(
+        measure(
             || {
                 array
                     .wordline_currents_into(black_box(&sparse), &mut currents)
@@ -217,11 +203,11 @@ fn main() {
             },
             target,
         ),
-    };
+    );
 
-    let fig6_all = Record {
-        name: "fig6_read_64x512/all_columns",
-        before_ns: measure(
+    let fig6_all = Record::new(
+        "fig6_read_64x512/all_columns",
+        measure(
             || {
                 black_box(
                     array
@@ -231,7 +217,7 @@ fn main() {
             },
             target,
         ),
-        after_ns: measure(
+        measure(
             || {
                 array
                     .wordline_currents_into(black_box(&all), &mut currents)
@@ -240,41 +226,29 @@ fn main() {
             },
             target,
         ),
-    };
+    );
 
-    let records = [single, full_set, fig6_sparse, fig6_all];
+    let records = vec![single, full_set, fig6_sparse, fig6_all];
     for record in &records {
         println!(
             "{:<45} before {:>12}  after {:>12}  speedup {:>8.1}x",
             record.name,
             eng(record.before_ns * 1e-9, "s"),
             eng(record.after_ns * 1e-9, "s"),
-            record.speedup(),
+            record.speedup,
         );
     }
 
-    let timestamp = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"inference\",\n");
-    json.push_str(&format!("  \"generated_unix_s\": {timestamp},\n"));
-    json.push_str(&format!("  \"quick\": {quick},\n"));
-    json.push_str("  \"workloads\": [\n");
-    for (index, record) in records.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.1}}}{}\n",
-            record.name,
-            record.before_ns,
-            record.after_ns,
-            record.speedup(),
-            if index + 1 < records.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    match std::fs::write(&out_path, &json) {
+    let record = PerfRecord {
+        bench: "inference",
+        generated_unix_s: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        quick,
+        workloads: records,
+    };
+    match std::fs::write(&out_path, serde::json::to_string_pretty(&record) + "\n") {
         Ok(()) => println!("\n(written to {out_path})"),
         Err(err) => {
             eprintln!("could not write {out_path}: {err}");

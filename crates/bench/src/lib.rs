@@ -18,13 +18,50 @@
 //! | `table1` | Cross-technology comparison |
 //!
 //! The extra `perf` binary records the before/after speedup of the
-//! conductance-cached read path into `BENCH_inference.json`.
+//! conductance-cached read path into `BENCH_inference.json`, and the
+//! `fabric` binary records tiled-fabric vs. monolithic-array throughput
+//! (plus the tile plan and deployment telemetry) into `BENCH_fabric.json`.
 //!
 //! Run, for example, `cargo run -p febim-bench --bin fig6 --release`.
 
 #![warn(missing_docs)]
 
+use std::time::{Duration, Instant};
+
 use febim_core::{default_experiment_dir, Table};
+
+/// Minimum per-iteration wall time of `routine` in nanoseconds, measured in
+/// calibrated batches until `target` total time has elapsed. The minimum
+/// over batches is robust against scheduler noise. Shared by the `perf` and
+/// `fabric` record bins.
+pub fn measure_min_ns<F: FnMut()>(mut routine: F, target: Duration) -> f64 {
+    routine(); // warm-up (also warms any conductance caches)
+    let mut iters = 1u64;
+    let mut elapsed;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(5) || iters >= 1 << 22 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = elapsed.as_nanos() as f64 / iters as f64;
+    let mut total = elapsed;
+    while total < target {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let batch = start.elapsed();
+        best = best.min(batch.as_nanos() as f64 / iters as f64);
+        total += batch;
+    }
+    best
+}
 
 /// Prints a table to the console and persists it as CSV under the default
 /// experiment directory, reporting where it was written.

@@ -170,8 +170,10 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let mut p = DelayParams::default();
-        p.per_column = 0.0;
+        let p = DelayParams {
+            per_column: 0.0,
+            ..DelayParams::default()
+        };
         assert!(DelayModel::new(p).is_err());
     }
 

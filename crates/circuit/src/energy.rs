@@ -202,8 +202,10 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let mut p = EnergyParams::default();
-        p.read_drain_bias = 0.0;
+        let p = EnergyParams {
+            read_drain_bias: 0.0,
+            ..EnergyParams::default()
+        };
         assert!(EnergyModel::new(p).is_err());
     }
 

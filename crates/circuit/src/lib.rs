@@ -36,6 +36,7 @@
 pub mod delay;
 pub mod energy;
 pub mod errors;
+pub mod fabric;
 pub mod mirror;
 pub mod sense;
 pub mod transient;
@@ -44,6 +45,7 @@ pub mod wta;
 pub use delay::{DelayBreakdown, DelayModel, DelayParams};
 pub use energy::{EnergyModel, EnergyParams, InferenceEnergy};
 pub use errors::{CircuitError, Result};
+pub use fabric::TileGeometry;
 pub use mirror::CurrentMirror;
 pub use sense::{SenseOutcome, SenseReadout, SensingChain};
 pub use transient::{first_order_settling, integrate, TransientConfig, Waveform, WaveformPoint};

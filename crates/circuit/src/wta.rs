@@ -269,11 +269,15 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let mut p = WtaParams::default();
-        p.bias_current = -1.0;
+        let p = WtaParams {
+            bias_current: -1.0,
+            ..WtaParams::default()
+        };
         assert!(WtaCircuit::new(p).is_err());
-        let mut p = WtaParams::default();
-        p.decision_threshold = 1.5;
+        let p = WtaParams {
+            decision_threshold: 1.5,
+            ..WtaParams::default()
+        };
         assert!(WtaCircuit::new(p).is_err());
     }
 

@@ -132,6 +132,9 @@ impl BayesianMachine {
         let n_features = model.n_features();
         let bins = discretizer.bins();
         let mut likelihood_p255 = vec![vec![vec![0u8; bins]; n_features]; n_classes];
+        // Columns are naturally (feature, bin)-major while the table is
+        // class-major, so the write below scatters across the outer axis.
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..n_features {
             let width = discretizer.bin_width(feature)?;
             for bin in 0..bins {

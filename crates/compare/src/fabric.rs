@@ -1,0 +1,178 @@
+//! Monolithic-array vs. tiled-fabric deployment comparison.
+//!
+//! The paper's engine maps one model onto one crossbar; the tiled fabric
+//! shards the same model across a grid of fixed-size tiles. Predictions are
+//! bit-identical by construction, so the interesting comparison is the
+//! deployment telemetry: per-read delay (tiles settle in parallel, the merge
+//! bus adds a per-tile-column load), per-read energy (every tile row
+//! re-drives its activated bitlines) and fabric utilization. This module
+//! assembles that comparison from two [`EvaluationReport`]s and the
+//! [`TilePlan`], in the same spirit as the Table 1 cross-technology rows.
+
+use serde::{Deserialize, Serialize};
+
+use febim_core::{EvaluationReport, Table};
+use febim_crossbar::TilePlan;
+
+/// Telemetry of one deployment (monolithic array or tiled fabric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricDeployment {
+    /// Deployment label.
+    pub name: String,
+    /// Tile-grid rows (1 for a monolithic array).
+    pub tile_rows: usize,
+    /// Tile-grid columns (1 for a monolithic array).
+    pub tile_cols: usize,
+    /// Fraction of provisioned cells the model actually occupies.
+    pub utilization: f64,
+    /// Classification accuracy on the evaluation set.
+    pub accuracy: f64,
+    /// Mean per-inference delay in seconds.
+    pub mean_delay_s: f64,
+    /// Mean per-inference energy in joules.
+    pub mean_energy_j: f64,
+}
+
+impl FabricDeployment {
+    /// Deployment row of the paper's single-array engine (one tile, fully
+    /// utilized by definition of its own layout).
+    pub fn monolithic(report: &EvaluationReport) -> Self {
+        Self {
+            name: "monolithic array".to_string(),
+            tile_rows: 1,
+            tile_cols: 1,
+            utilization: 1.0,
+            accuracy: report.accuracy,
+            mean_delay_s: report.mean_delay,
+            mean_energy_j: report.mean_energy,
+        }
+    }
+
+    /// Deployment row of a tiled fabric described by `plan`.
+    pub fn tiled(report: &EvaluationReport, plan: &TilePlan) -> Self {
+        Self {
+            name: format!(
+                "tiled fabric {}x{} ({}x{} tiles)",
+                plan.row_tiles(),
+                plan.col_tiles(),
+                plan.shape().rows,
+                plan.shape().columns,
+            ),
+            tile_rows: plan.row_tiles(),
+            tile_cols: plan.col_tiles(),
+            utilization: plan.utilization(),
+            accuracy: report.accuracy,
+            mean_delay_s: report.mean_delay,
+            mean_energy_j: report.mean_energy,
+        }
+    }
+}
+
+/// Side-by-side comparison of the same model served monolithically and
+/// through a tiled fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricComparison {
+    /// The single-array deployment.
+    pub monolithic: FabricDeployment,
+    /// The tiled-fabric deployment.
+    pub tiled: FabricDeployment,
+}
+
+impl FabricComparison {
+    /// Builds the comparison from the two evaluation reports and the tile
+    /// plan the fabric was deployed with.
+    pub fn new(monolithic: &EvaluationReport, tiled: &EvaluationReport, plan: &TilePlan) -> Self {
+        Self {
+            monolithic: FabricDeployment::monolithic(monolithic),
+            tiled: FabricDeployment::tiled(tiled, plan),
+        }
+    }
+
+    /// Whether the two deployments decided every sample identically (they
+    /// must: the fabric read path is bit-exact).
+    pub fn accuracy_matches(&self) -> bool {
+        self.monolithic.accuracy == self.tiled.accuracy
+    }
+
+    /// Tiled-over-monolithic mean delay ratio: the fabric settles its tiles
+    /// in parallel but pays for every occupied bitline of the widest tile
+    /// plus the partial-sum merge bus, so sparse reads (few activated
+    /// columns) price above 1 while dense reads approach the parallel-tile
+    /// win.
+    pub fn delay_ratio(&self) -> f64 {
+        self.tiled.mean_delay_s / self.monolithic.mean_delay_s
+    }
+
+    /// Tiled-over-monolithic mean energy ratio (> 1: row sharding re-drives
+    /// activated bitlines once per tile row).
+    pub fn energy_ratio(&self) -> f64 {
+        self.tiled.mean_energy_j / self.monolithic.mean_energy_j
+    }
+
+    /// Renders the comparison as a two-row report table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "fabric_comparison",
+            &[
+                "deployment",
+                "grid",
+                "utilization",
+                "accuracy",
+                "mean_delay_s",
+                "mean_energy_j",
+            ],
+        );
+        for entry in [&self.monolithic, &self.tiled] {
+            table.push_row(&[
+                entry.name.clone(),
+                format!("{}x{}", entry.tile_rows, entry.tile_cols),
+                format!("{:.4}", entry.utilization),
+                format!("{:.4}", entry.accuracy),
+                format!("{:.3e}", entry.mean_delay_s),
+                format!("{:.3e}", entry.mean_energy_j),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_core::{EngineConfig, FebimEngine};
+    use febim_crossbar::TileShape;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+
+    #[test]
+    fn comparison_reports_identical_decisions_and_tiled_telemetry() {
+        let dataset = iris_like(77).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(77)).unwrap();
+        let config = EngineConfig::febim_default();
+        let monolithic = FebimEngine::fit(&split.train, config.clone()).unwrap();
+        let tiled =
+            FebimEngine::fit_tiled(&split.train, config, TileShape::new(2, 24).unwrap()).unwrap();
+        let comparison = FabricComparison::new(
+            &monolithic.evaluate(&split.test).unwrap(),
+            &tiled.evaluate(&split.test).unwrap(),
+            tiled.tiled_program().plan(),
+        );
+        assert!(comparison.accuracy_matches());
+        assert_eq!(comparison.tiled.tile_rows, 2);
+        assert_eq!(comparison.tiled.tile_cols, 3);
+        assert!(comparison.tiled.utilization > 0.0 && comparison.tiled.utilization <= 1.0);
+        // Sharding is never free on this workload: the sparse iris reads
+        // activate 4 of 64 columns, so the fabric pays for its occupied
+        // bitlines and the merge bus (delay) and for per-tile-row drivers
+        // (energy).
+        assert!(comparison.delay_ratio() > 1.0 && comparison.delay_ratio().is_finite());
+        assert!(comparison.energy_ratio() > 1.0 && comparison.energy_ratio().is_finite());
+        let rendered = comparison.to_table().to_pretty();
+        assert!(rendered.contains("tiled fabric"));
+        // The comparison serializes for the fabric bench record.
+        let json = serde::json::to_string(&comparison);
+        assert!(json.contains("\"monolithic\""));
+        assert!(json.contains("\"utilization\""));
+    }
+}

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod entry;
+pub mod fabric;
 pub mod table;
 
 pub use entry::{CellConfiguration, DeviceUsage, TechnologyEntry};
+pub use fabric::{FabricComparison, FabricDeployment};
 pub use table::{ComparisonTable, ImprovementSummary};
 
 pub mod bayesian_machine;

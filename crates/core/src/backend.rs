@@ -1,0 +1,657 @@
+//! Pluggable inference backends.
+//!
+//! The engine's physics is behind the [`InferenceBackend`] trait: a backend
+//! owns whatever state it needs to answer "which class wins for this
+//! sample?" and exposes the scratch-based inference contract the engine's
+//! batched paths are built on. Three implementations ship with the crate:
+//!
+//! * [`SoftwareBackend`] — the exact FP64 [`GaussianNaiveBayes`] reference:
+//!   no quantization, no devices, zero delay/energy. The ground truth every
+//!   physical backend is compared against.
+//! * [`CrossbarBackend`] — the paper's single-array engine: one
+//!   conductance-cached [`CrossbarArray`] plus the current-mirror / WTA
+//!   [`SensingChain`].
+//! * [`TiledFabricBackend`] — a model sharded across a grid of fixed-size
+//!   crossbar tiles ([`TileGrid`]): row-wise class sharding × column-wise
+//!   evidence splitting, per-tile conductance caches, and a partial-sum
+//!   aggregator that merges per-tile wordline currents before the fabric WTA.
+//!   Reads are bit-identical to the monolithic backend holding the same
+//!   program; only delay and energy reflect the tiling.
+//!
+//! `FebimEngine<B>` dispatches through the trait, so swapping the physics —
+//! or serving a model bigger than one physical array — is a type parameter,
+//! not a rewrite.
+
+use std::sync::Arc;
+
+use febim_bayes::{argmax, GaussianNaiveBayes};
+use febim_circuit::{CircuitError, DelayBreakdown, InferenceEnergy, SensingChain, TileGeometry};
+use febim_crossbar::{Activation, CrossbarArray, ProgrammingMode, TileGrid, TileShape};
+use febim_device::{LevelProgrammer, VariationModel};
+use febim_quant::QuantizedGnbc;
+use serde::{Deserialize, Serialize};
+
+use crate::compiler::{compile, compile_tiled, CrossbarProgram, TiledProgram};
+use crate::config::EngineConfig;
+use crate::engine::{EvalScratch, InferenceStep};
+use crate::errors::{CoreError, Result};
+
+/// Which family of physics a backend implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Exact FP64 software evaluation (no devices).
+    Software,
+    /// One monolithic FeFET crossbar array.
+    Crossbar,
+    /// A grid of fixed-size FeFET crossbar tiles.
+    TiledFabric,
+}
+
+/// Descriptive metadata of an inference backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendInfo {
+    /// Backend family.
+    pub kind: BackendKind,
+    /// Stable human-readable backend name.
+    pub name: &'static str,
+    /// Events (classes) the backend decides between.
+    pub events: usize,
+    /// Evidence columns driven per read (0 for the software backend).
+    pub columns: usize,
+    /// Physical tiles backing the model (0 for the software backend).
+    pub tiles: usize,
+}
+
+/// A pluggable inference engine core.
+///
+/// Implementations own their full physical (or mathematical) state; the
+/// engine wraps one and adds dataset-level bookkeeping. The scratch-based
+/// contract mirrors the engine API: [`InferenceBackend::make_scratch`] once,
+/// then any number of allocation-free [`InferenceBackend::infer_into`] calls.
+pub trait InferenceBackend {
+    /// Descriptive metadata (kind, name, geometry).
+    fn info(&self) -> BackendInfo;
+
+    /// Creates a scratch sized for this backend's geometry.
+    fn make_scratch(&self) -> EvalScratch;
+
+    /// Runs one inference for a continuous sample, reusing the caller's
+    /// scratch buffers. The per-class scores of the decision remain available
+    /// through [`EvalScratch::wordline_currents`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates discretization, read and sensing errors.
+    fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep>;
+
+    /// Re-establishes the backend's physical state from its compiled model
+    /// (programming the cells and re-applying the configured device
+    /// variation). A no-op for stateless backends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors.
+    fn reprogram(&mut self) -> Result<()>;
+
+    /// Read-current state map of the backend's cells, flattened row-major
+    /// into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedOperation`] for backends without
+    /// physical state.
+    fn current_map_into(&self, out: &mut Vec<f64>) -> Result<()>;
+}
+
+/// Builds the level programmer shared by the physical backends.
+fn level_programmer(config: &EngineConfig, state_count: usize) -> Result<LevelProgrammer> {
+    Ok(LevelProgrammer::new(
+        config.device.clone(),
+        state_count,
+        febim_device::programming::DEFAULT_MIN_READ_CURRENT,
+        febim_device::programming::DEFAULT_MAX_READ_CURRENT,
+    )?)
+}
+
+/// The exact FP64 software reference backend.
+///
+/// Scores are unnormalized log posteriors (written into the scratch's score
+/// buffer), the winner is their argmax, and delay/energy are zero — software
+/// has no circuit to price.
+#[derive(Debug, Clone)]
+pub struct SoftwareBackend {
+    model: Arc<GaussianNaiveBayes>,
+}
+
+impl SoftwareBackend {
+    /// Wraps a trained model (shared with the engine by `Arc`).
+    pub fn new(model: Arc<GaussianNaiveBayes>) -> Self {
+        Self { model }
+    }
+
+    /// Borrow the wrapped model.
+    pub fn model(&self) -> &GaussianNaiveBayes {
+        self.model.as_ref()
+    }
+}
+
+impl InferenceBackend for SoftwareBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::Software,
+            name: "software-gnbc",
+            events: self.model.n_classes(),
+            columns: 0,
+            tiles: 0,
+        }
+    }
+
+    fn make_scratch(&self) -> EvalScratch {
+        EvalScratch {
+            currents: Vec::with_capacity(self.model.n_classes()),
+            ..EvalScratch::default()
+        }
+    }
+
+    fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
+        self.model
+            .log_posteriors_into(sample, &mut scratch.currents)?;
+        let winner = argmax(&scratch.currents).expect("at least one class");
+        let best = scratch.currents[winner];
+        let tie_broken = scratch
+            .currents
+            .iter()
+            .filter(|&&score| score == best)
+            .count()
+            > 1;
+        Ok(InferenceStep {
+            prediction: winner,
+            delay: DelayBreakdown {
+                array: 0.0,
+                sensing: 0.0,
+            },
+            energy: InferenceEnergy {
+                array: 0.0,
+                sensing: 0.0,
+            },
+            tie_broken,
+        })
+    }
+
+    fn reprogram(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn current_map_into(&self, _out: &mut Vec<f64>) -> Result<()> {
+        Err(CoreError::UnsupportedOperation {
+            backend: "software-gnbc",
+            operation: "current_map",
+        })
+    }
+}
+
+/// The paper's single-array in-memory backend: one conductance-cached
+/// crossbar plus the current-mirror / WTA sensing chain.
+#[derive(Debug, Clone)]
+pub struct CrossbarBackend {
+    quantized: Arc<QuantizedGnbc>,
+    program: CrossbarProgram,
+    array: CrossbarArray,
+    sensing: SensingChain,
+    programming_mode: ProgrammingMode,
+    variation: VariationModel,
+    variation_seed: u64,
+}
+
+impl CrossbarBackend {
+    /// Compiles the quantized model into a crossbar program and programs a
+    /// (possibly variation-affected) array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and programming errors.
+    pub fn new(quantized: Arc<QuantizedGnbc>, config: &EngineConfig) -> Result<Self> {
+        let program = compile(&quantized, config.force_prior_column)?;
+        let programmer = level_programmer(config, program.state_count())?;
+        let array = CrossbarArray::new(*program.layout(), programmer);
+        let mut backend = Self {
+            quantized,
+            program,
+            array,
+            sensing: SensingChain::febim_calibrated(),
+            programming_mode: config.programming_mode,
+            variation: config.variation,
+            variation_seed: config.variation_seed,
+        };
+        backend.reprogram()?;
+        Ok(backend)
+    }
+
+    /// The compiled crossbar program.
+    pub fn program(&self) -> &CrossbarProgram {
+        &self.program
+    }
+
+    /// The programmed crossbar array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// The sensing chain (mirrors, WTA, delay and energy models).
+    pub fn sensing(&self) -> &SensingChain {
+        &self.sensing
+    }
+
+    /// Replaces the sensing chain (e.g. to study mirror mismatch).
+    pub fn set_sensing(&mut self, sensing: SensingChain) {
+        self.sensing = sensing;
+    }
+}
+
+impl InferenceBackend for CrossbarBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::Crossbar,
+            name: "crossbar-single-array",
+            events: self.array.layout().rows(),
+            columns: self.array.layout().columns(),
+            tiles: 1,
+        }
+    }
+
+    fn make_scratch(&self) -> EvalScratch {
+        EvalScratch {
+            evidence: Vec::with_capacity(self.quantized.n_features()),
+            activation: Some(Activation::empty(self.array.layout())),
+            currents: Vec::with_capacity(self.array.layout().rows()),
+            mirrored: Vec::with_capacity(self.array.layout().rows()),
+            ..EvalScratch::default()
+        }
+    }
+
+    fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
+        self.quantized
+            .discretize_sample_into(sample, &mut scratch.evidence)?;
+        let activation = scratch
+            .activation
+            .get_or_insert_with(|| Activation::empty(self.array.layout()));
+        activation.set_observation(self.array.layout(), &scratch.evidence)?;
+        self.array
+            .wordline_currents_into(activation, &mut scratch.currents)?;
+        match self
+            .sensing
+            .sense_into(&scratch.currents, activation.len(), &mut scratch.mirrored)
+        {
+            Ok(readout) => Ok(InferenceStep {
+                prediction: readout.winner,
+                delay: readout.delay,
+                energy: readout.energy,
+                tie_broken: false,
+            }),
+            Err(CircuitError::AmbiguousWinner { .. }) => {
+                // Quantized posteriors can tie exactly; physical mismatch
+                // would break the tie, we do it deterministically instead.
+                let winner = argmax(&scratch.currents).expect("at least one wordline");
+                let delay = self.sensing.delay_model().worst_case(
+                    scratch.currents.len(),
+                    activation.len().max(1),
+                    self.sensing.wta(),
+                    self.sensing.mirror().gain,
+                )?;
+                // `sense_into` leaves the scratch unspecified on error, so
+                // re-mirror the currents before pricing the energy.
+                self.sensing
+                    .mirror()
+                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
+                let energy = self.sensing.energy_model().inference_with_mirrored(
+                    &scratch.currents,
+                    &scratch.mirrored,
+                    activation.len(),
+                    delay.total(),
+                    self.sensing.mirror(),
+                    self.sensing.wta(),
+                )?;
+                Ok(InferenceStep {
+                    prediction: winner,
+                    delay,
+                    energy,
+                    tie_broken: true,
+                })
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    fn reprogram(&mut self) -> Result<()> {
+        self.array
+            .program_matrix(self.program.levels(), self.programming_mode)?;
+        if self.variation.sigma_vth > 0.0 {
+            let mut rng = VariationModel::seeded_rng(self.variation_seed);
+            self.array.apply_variation(&self.variation, &mut rng);
+        }
+        Ok(())
+    }
+
+    fn current_map_into(&self, out: &mut Vec<f64>) -> Result<()> {
+        self.array.current_map_into(out);
+        Ok(())
+    }
+}
+
+/// The tiled multi-array fabric backend: the compiled program sharded across
+/// a [`TileGrid`] of fixed-size tiles, read through the fabric partial-sum
+/// aggregation of the sensing chain.
+#[derive(Debug, Clone)]
+pub struct TiledFabricBackend {
+    quantized: Arc<QuantizedGnbc>,
+    tiled: TiledProgram,
+    grid: TileGrid,
+    sensing: SensingChain,
+    /// Occupied geometry of every tile (grid row-major), with
+    /// `activated_columns` zeroed; cloned into the scratch and filled per
+    /// read.
+    base_tiles: Vec<TileGeometry>,
+    programming_mode: ProgrammingMode,
+    variation: VariationModel,
+    variation_seed: u64,
+}
+
+impl TiledFabricBackend {
+    /// Compiles the quantized model onto a grid of `shape`-sized tiles and
+    /// programs the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation, tile-planning and programming errors.
+    pub fn new(
+        quantized: Arc<QuantizedGnbc>,
+        config: &EngineConfig,
+        shape: TileShape,
+    ) -> Result<Self> {
+        let tiled = compile_tiled(&quantized, config.force_prior_column, shape)?;
+        let programmer = level_programmer(config, tiled.state_count())?;
+        let grid = TileGrid::new(*tiled.plan(), programmer);
+        let plan = tiled.plan();
+        let mut base_tiles = Vec::with_capacity(plan.tile_count());
+        for tile_row in 0..plan.row_tiles() {
+            for tile_col in 0..plan.col_tiles() {
+                let (rows, columns) = plan.tile_dims(tile_row, tile_col)?;
+                base_tiles.push(TileGeometry {
+                    rows,
+                    columns,
+                    activated_columns: 0,
+                });
+            }
+        }
+        let mut backend = Self {
+            quantized,
+            tiled,
+            grid,
+            sensing: SensingChain::febim_calibrated(),
+            base_tiles,
+            programming_mode: config.programming_mode,
+            variation: config.variation,
+            variation_seed: config.variation_seed,
+        };
+        backend.reprogram()?;
+        Ok(backend)
+    }
+
+    /// The compiled tiled program.
+    pub fn tiled_program(&self) -> &TiledProgram {
+        &self.tiled
+    }
+
+    /// The programmed tile grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The sensing chain (mirrors, WTA, delay and energy models).
+    pub fn sensing(&self) -> &SensingChain {
+        &self.sensing
+    }
+
+    /// Replaces the sensing chain (e.g. to study mirror mismatch).
+    pub fn set_sensing(&mut self, sensing: SensingChain) {
+        self.sensing = sensing;
+    }
+
+    /// Fills the caller's tile-geometry buffers with the activated-bitline
+    /// counts of one read: per-tile-column counts first, then one
+    /// [`TileGeometry`] per tile in grid row-major order.
+    fn fill_tile_geometries(
+        &self,
+        activation: &Activation,
+        tiles: &mut Vec<TileGeometry>,
+        tile_activated: &mut Vec<usize>,
+    ) {
+        let plan = self.tiled.plan();
+        let tile_columns = plan.shape().columns;
+        tile_activated.clear();
+        tile_activated.resize(plan.col_tiles(), 0);
+        for &column in activation.active_columns() {
+            tile_activated[column / tile_columns] += 1;
+        }
+        tiles.clear();
+        tiles.extend_from_slice(&self.base_tiles);
+        for (index, tile) in tiles.iter_mut().enumerate() {
+            tile.activated_columns = tile_activated[index % plan.col_tiles()];
+        }
+    }
+}
+
+impl InferenceBackend for TiledFabricBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::TiledFabric,
+            name: "tiled-fabric",
+            events: self.grid.layout().rows(),
+            columns: self.grid.layout().columns(),
+            tiles: self.tiled.plan().tile_count(),
+        }
+    }
+
+    fn make_scratch(&self) -> EvalScratch {
+        EvalScratch {
+            evidence: Vec::with_capacity(self.quantized.n_features()),
+            activation: Some(Activation::empty(self.grid.layout())),
+            currents: Vec::with_capacity(self.grid.layout().rows()),
+            mirrored: Vec::with_capacity(self.grid.layout().rows()),
+            tiles: Vec::with_capacity(self.base_tiles.len()),
+            tile_activated: Vec::with_capacity(self.tiled.plan().col_tiles()),
+        }
+    }
+
+    fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
+        self.quantized
+            .discretize_sample_into(sample, &mut scratch.evidence)?;
+        let EvalScratch {
+            evidence,
+            activation,
+            currents,
+            tiles,
+            tile_activated,
+            ..
+        } = scratch;
+        let activation = activation.get_or_insert_with(|| Activation::empty(self.grid.layout()));
+        activation.set_observation(self.grid.layout(), evidence)?;
+        self.grid.wordline_currents_into(activation, currents)?;
+        self.fill_tile_geometries(activation, tiles, tile_activated);
+        let col_tiles = self.tiled.plan().col_tiles();
+        match self.sensing.sense_fabric_into(
+            &scratch.currents,
+            &scratch.tiles,
+            col_tiles,
+            &mut scratch.mirrored,
+        ) {
+            Ok(readout) => Ok(InferenceStep {
+                prediction: readout.winner,
+                delay: readout.delay,
+                energy: readout.energy,
+                tie_broken: false,
+            }),
+            Err(CircuitError::AmbiguousWinner { .. }) => {
+                // Same deterministic tie-break as the monolithic backend: the
+                // merged currents are bit-identical to a single array's, so
+                // the broken tie lands on the same winner.
+                let winner = argmax(&scratch.currents).expect("at least one wordline");
+                let delay =
+                    self.sensing
+                        .fabric_delay(&scratch.tiles, col_tiles, scratch.currents.len())?;
+                self.sensing
+                    .mirror()
+                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
+                let energy = self.sensing.fabric_energy(
+                    &scratch.currents,
+                    &scratch.mirrored,
+                    &scratch.tiles,
+                    col_tiles,
+                    delay.total(),
+                )?;
+                Ok(InferenceStep {
+                    prediction: winner,
+                    delay,
+                    energy,
+                    tie_broken: true,
+                })
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    fn reprogram(&mut self) -> Result<()> {
+        self.grid
+            .program_matrix(self.tiled.program().levels(), self.programming_mode)?;
+        if self.variation.sigma_vth > 0.0 {
+            let mut rng = VariationModel::seeded_rng(self.variation_seed);
+            self.grid.apply_variation(&self.variation, &mut rng);
+        }
+        Ok(())
+    }
+
+    fn current_map_into(&self, out: &mut Vec<f64>) -> Result<()> {
+        self.grid.current_map_into(out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+    use febim_quant::QuantConfig;
+
+    fn trained() -> (
+        Arc<GaussianNaiveBayes>,
+        Arc<QuantizedGnbc>,
+        febim_data::Dataset,
+    ) {
+        let dataset = iris_like(90).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(90)).unwrap();
+        let model = GaussianNaiveBayes::fit(&split.train).unwrap();
+        let quantized =
+            QuantizedGnbc::quantize(&model, &split.train, QuantConfig::febim_optimal()).unwrap();
+        (Arc::new(model), Arc::new(quantized), split.test)
+    }
+
+    #[test]
+    fn software_backend_matches_the_model_exactly() {
+        let (model, _, test) = trained();
+        let backend = SoftwareBackend::new(Arc::clone(&model));
+        let mut scratch = backend.make_scratch();
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            let step = backend.infer_into(sample, &mut scratch).unwrap();
+            assert_eq!(step.prediction, model.predict(sample).unwrap());
+            assert_eq!(
+                scratch.wordline_currents(),
+                &model.log_posteriors(sample).unwrap()[..]
+            );
+            assert_eq!(step.delay.total(), 0.0);
+            assert_eq!(step.energy.total(), 0.0);
+        }
+        let info = backend.info();
+        assert_eq!(info.kind, BackendKind::Software);
+        assert_eq!(info.events, 3);
+        assert_eq!(info.tiles, 0);
+        let mut out = Vec::new();
+        assert!(matches!(
+            backend.current_map_into(&mut out),
+            Err(CoreError::UnsupportedOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn crossbar_and_fabric_backends_agree_bit_for_bit() {
+        let (_, quantized, test) = trained();
+        let config = EngineConfig::febim_default();
+        let crossbar = CrossbarBackend::new(quantized.clone(), &config).unwrap();
+        let fabric =
+            TiledFabricBackend::new(quantized, &config, TileShape::new(2, 24).unwrap()).unwrap();
+        assert!(fabric.tiled_program().plan().is_multi_tile());
+        let mut crossbar_scratch = crossbar.make_scratch();
+        let mut fabric_scratch = fabric.make_scratch();
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            let a = crossbar.infer_into(sample, &mut crossbar_scratch).unwrap();
+            let b = fabric.infer_into(sample, &mut fabric_scratch).unwrap();
+            assert_eq!(a.prediction, b.prediction);
+            assert_eq!(a.tie_broken, b.tie_broken);
+            assert_eq!(
+                crossbar_scratch.wordline_currents(),
+                fabric_scratch.wordline_currents()
+            );
+        }
+        // State maps agree cell for cell as well.
+        let mut flat_array = Vec::new();
+        let mut flat_grid = Vec::new();
+        crossbar.current_map_into(&mut flat_array).unwrap();
+        fabric.current_map_into(&mut flat_grid).unwrap();
+        assert_eq!(flat_array, flat_grid);
+    }
+
+    #[test]
+    fn backend_info_reports_the_grid() {
+        let (_, quantized, _) = trained();
+        let config = EngineConfig::febim_default();
+        let fabric =
+            TiledFabricBackend::new(quantized, &config, TileShape::new(2, 48).unwrap()).unwrap();
+        let info = fabric.info();
+        assert_eq!(info.kind, BackendKind::TiledFabric);
+        assert_eq!(info.events, 3);
+        assert_eq!(info.columns, 64);
+        assert_eq!(info.tiles, 4);
+        assert_eq!(fabric.tiled_program().plan().row_tiles(), 2);
+        assert_eq!(fabric.tiled_program().plan().col_tiles(), 2);
+    }
+
+    #[test]
+    fn fabric_tie_path_matches_the_crossbar_tie_path() {
+        // Force an exact tie by scoring a two-class model whose rows are
+        // programmed identically.
+        let dataset = febim_data::Dataset::new(
+            "tie",
+            vec!["x".to_string()],
+            2,
+            vec![vec![0.0], vec![1.0], vec![0.0], vec![1.0]],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap();
+        let model = GaussianNaiveBayes::fit(&dataset).unwrap();
+        let quantized =
+            Arc::new(QuantizedGnbc::quantize(&model, &dataset, QuantConfig::new(2, 2)).unwrap());
+        let config = EngineConfig::febim_default();
+        let crossbar = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        let fabric =
+            TiledFabricBackend::new(quantized, &config, TileShape::new(1, 2).unwrap()).unwrap();
+        let mut a_scratch = crossbar.make_scratch();
+        let mut b_scratch = fabric.make_scratch();
+        let a = crossbar.infer_into(&[0.5], &mut a_scratch).unwrap();
+        let b = fabric.infer_into(&[0.5], &mut b_scratch).unwrap();
+        assert_eq!(a.prediction, b.prediction);
+        assert_eq!(a.tie_broken, b.tie_broken);
+    }
+}

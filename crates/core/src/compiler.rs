@@ -1,8 +1,10 @@
-//! Compilation of a quantized Bayesian model into a crossbar program.
+//! Compilation of a quantized Bayesian model into a crossbar program, either
+//! monolithic (one array holds the whole model) or tiled (the model is
+//! sharded across a grid of fixed-size physical tiles).
 
 use serde::{Deserialize, Serialize};
 
-use febim_crossbar::CrossbarLayout;
+use febim_crossbar::{CrossbarLayout, TilePlan, TileShape};
 use febim_quant::QuantizedGnbc;
 
 use crate::errors::Result;
@@ -67,14 +69,14 @@ pub fn compile(quantized: &QuantizedGnbc, force_prior_column: bool) -> Result<Cr
         include_prior,
     )?;
     let mut levels = vec![vec![None; layout.columns()]; layout.rows()];
-    for class in 0..quantized.n_classes() {
+    for (class, row) in levels.iter_mut().enumerate() {
         if let Some(prior_column) = layout.prior_column() {
-            levels[class][prior_column] = Some(quantized.prior_level(class)?);
+            row[prior_column] = Some(quantized.prior_level(class)?);
         }
         for feature in 0..quantized.n_features() {
             for bin in 0..quantized.discretizer().bins() {
                 let column = layout.likelihood_column(feature, bin)?;
-                levels[class][column] = Some(quantized.likelihood_level(class, feature, bin)?);
+                row[column] = Some(quantized.likelihood_level(class, feature, bin)?);
             }
         }
     }
@@ -83,6 +85,72 @@ pub fn compile(quantized: &QuantizedGnbc, force_prior_column: bool) -> Result<Cr
         levels,
         state_count: quantized.quantizer().levels(),
     })
+}
+
+/// A crossbar program together with its placement on a tiled fabric: the
+/// same per-cell level matrix as the monolithic [`CrossbarProgram`], plus the
+/// [`TilePlan`] that shards it row-wise over event tiles and column-wise over
+/// evidence tiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledProgram {
+    program: CrossbarProgram,
+    plan: TilePlan,
+}
+
+impl TiledProgram {
+    /// The underlying (tile-agnostic) crossbar program.
+    pub fn program(&self) -> &CrossbarProgram {
+        &self.program
+    }
+
+    /// The tile placement plan.
+    pub fn plan(&self) -> &TilePlan {
+        &self.plan
+    }
+
+    /// The logical crossbar geometry.
+    pub fn layout(&self) -> &CrossbarLayout {
+        self.program.layout()
+    }
+
+    /// Number of distinct FeFET states the program uses.
+    pub fn state_count(&self) -> usize {
+        self.program.state_count()
+    }
+
+    /// The level block one tile must be programmed with (local row-major
+    /// order, edge tiles smaller than the physical tile shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns a crossbar error for a tile outside the grid.
+    pub fn tile_levels(&self, tile_row: usize, tile_col: usize) -> Result<Vec<Vec<Option<usize>>>> {
+        let rows = self.plan.tile_row_range(tile_row)?;
+        let columns = self.plan.tile_column_range(tile_col)?;
+        Ok(rows
+            .map(|row| self.program.levels()[row][columns.clone()].to_vec())
+            .collect())
+    }
+}
+
+/// Compiles a quantized GNBC onto a tiled fabric of fixed-size crossbar
+/// tiles: the monolithic program is planned onto the smallest grid of
+/// `shape`-sized tiles that covers it.
+///
+/// The prior-column policy matches [`compile`].
+///
+/// # Errors
+///
+/// Propagates layout/level errors from [`compile`] and tile-plan errors
+/// (zero-dimension tile shapes).
+pub fn compile_tiled(
+    quantized: &QuantizedGnbc,
+    force_prior_column: bool,
+    shape: TileShape,
+) -> Result<TiledProgram> {
+    let program = compile(quantized, force_prior_column)?;
+    let plan = TilePlan::new(*program.layout(), shape)?;
+    Ok(TiledProgram { program, plan })
 }
 
 #[cfg(test)]
@@ -161,6 +229,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tiled_compile_covers_the_iris_program_with_a_2x2_grid() {
+        let quantized = iris_quantized();
+        let tiled = compile_tiled(&quantized, false, TileShape::new(2, 48).unwrap()).unwrap();
+        // 3×64 on 2×48 tiles → 2 tile rows × 2 tile columns.
+        assert_eq!(tiled.plan().row_tiles(), 2);
+        assert_eq!(tiled.plan().col_tiles(), 2);
+        assert!(tiled.plan().is_multi_tile());
+        assert_eq!(tiled.layout(), tiled.program().layout());
+        assert_eq!(tiled.state_count(), 4);
+        assert_eq!(
+            tiled.program(),
+            &compile(&quantized, false).unwrap(),
+            "tiling must not change the compiled levels"
+        );
+        assert!(
+            compile_tiled(&quantized, false, TileShape::new(64, 64).unwrap())
+                .unwrap()
+                .plan()
+                .tile_count()
+                == 1
+        );
+    }
+
+    #[test]
+    fn tile_level_blocks_match_the_quantized_tables() {
+        let quantized = iris_quantized();
+        let tiled = compile_tiled(&quantized, false, TileShape::new(2, 24).unwrap()).unwrap();
+        for tile_row in 0..tiled.plan().row_tiles() {
+            for tile_col in 0..tiled.plan().col_tiles() {
+                let block = tiled.tile_levels(tile_row, tile_col).unwrap();
+                let classes = tiled.plan().tile_row_range(tile_row).unwrap();
+                let columns = tiled.plan().tile_column_range(tile_col).unwrap();
+                let expected = quantized
+                    .level_matrix_block(tiled.layout().has_prior(), classes, columns)
+                    .unwrap();
+                let unwrapped: Vec<Vec<usize>> = block
+                    .iter()
+                    .map(|row| row.iter().map(|level| level.unwrap()).collect())
+                    .collect();
+                assert_eq!(unwrapped, expected);
+            }
+        }
+        assert!(tiled.tile_levels(9, 0).is_err());
     }
 
     #[test]

@@ -1,16 +1,23 @@
-//! The FeBiM in-memory inference engine: a programmed FeFET crossbar plus the
-//! current-mirror / WTA sensing chain, exposed through a classifier-style API.
+//! The FeBiM inference engine: a trained + quantized Bayesian model wired to
+//! a pluggable [`InferenceBackend`] — the exact software reference, the
+//! paper's single crossbar array, or a tiled multi-array fabric — exposed
+//! through one classifier-style API.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use febim_bayes::{argmax, GaussianNaiveBayes};
-use febim_circuit::{CircuitError, DelayBreakdown, InferenceEnergy, SensingChain};
-use febim_crossbar::{Activation, CrossbarArray};
+use febim_circuit::{DelayBreakdown, InferenceEnergy, SensingChain, TileGeometry};
+use febim_crossbar::{Activation, CrossbarArray, TileGrid, TileShape};
+
+use febim_bayes::GaussianNaiveBayes;
 use febim_data::Dataset;
-use febim_device::{LevelProgrammer, VariationModel};
 use febim_quant::QuantizedGnbc;
 
-use crate::compiler::{compile, CrossbarProgram};
+use crate::backend::{
+    BackendInfo, CrossbarBackend, InferenceBackend, SoftwareBackend, TiledFabricBackend,
+};
+use crate::compiler::{CrossbarProgram, TiledProgram};
 use crate::config::EngineConfig;
 use crate::errors::{CoreError, Result};
 
@@ -19,7 +26,8 @@ use crate::errors::{CoreError, Result};
 pub struct InferenceOutcome {
     /// Predicted class (the wordline selected by the WTA circuit).
     pub prediction: usize,
-    /// Accumulated wordline currents, in amperes.
+    /// Accumulated wordline currents, in amperes (unnormalized log-posterior
+    /// scores for the software backend).
     pub wordline_currents: Vec<f64>,
     /// Worst-case delay estimate of this inference.
     pub delay: DelayBreakdown,
@@ -46,23 +54,32 @@ pub struct InferenceStep {
 }
 
 /// Reusable buffers for the batched inference path: discretized evidence,
-/// the activation pattern, the accumulated wordline currents and the
-/// mirrored currents of the sensing chain. One scratch serves any number of
-/// sequential [`FebimEngine::infer_into`] calls without allocating.
+/// the activation pattern, the accumulated wordline currents, the mirrored
+/// currents of the sensing chain, and (for the tiled fabric) the per-tile
+/// read geometries. One scratch serves any number of sequential
+/// [`FebimEngine::infer_into`] calls without allocating.
 ///
 /// Create with [`FebimEngine::make_scratch`]; a scratch can be reused across
-/// engines that share a crossbar geometry (buffers are resized on demand).
+/// engines and backends that share a geometry (buffers are resized on
+/// demand).
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
-    evidence: Vec<usize>,
-    activation: Option<Activation>,
-    currents: Vec<f64>,
-    mirrored: Vec<f64>,
+    pub(crate) evidence: Vec<usize>,
+    pub(crate) activation: Option<Activation>,
+    pub(crate) currents: Vec<f64>,
+    pub(crate) mirrored: Vec<f64>,
+    /// Per-tile occupied geometry + activated-bitline count of the current
+    /// read (tiled fabric backend only, grid row-major).
+    pub(crate) tiles: Vec<TileGeometry>,
+    /// Activated-bitline count per tile column of the current read (tiled
+    /// fabric backend only).
+    pub(crate) tile_activated: Vec<usize>,
 }
 
 impl EvalScratch {
-    /// The wordline currents of the most recent [`FebimEngine::infer_into`]
-    /// call, in amperes.
+    /// The per-class scores of the most recent [`FebimEngine::infer_into`]
+    /// call: accumulated wordline currents in amperes for the physical
+    /// backends, unnormalized log posteriors for the software backend.
     pub fn wordline_currents(&self) -> &[f64] {
         &self.currents
     }
@@ -89,18 +106,43 @@ pub struct EvaluationReport {
     pub ties: usize,
 }
 
-/// The FeBiM engine.
+/// The FeBiM engine, generic over its [`InferenceBackend`].
+///
+/// The default backend is the paper's single-array crossbar
+/// ([`CrossbarBackend`]); [`FebimEngine::fit_tiled`] builds a tiled-fabric
+/// engine and [`FebimEngine::fit_software`] the exact software reference.
+/// All dataset-level APIs (`infer`, `evaluate`, Monte-Carlo entry points)
+/// are backend-agnostic.
 #[derive(Debug, Clone)]
-pub struct FebimEngine {
+pub struct FebimEngine<B: InferenceBackend = CrossbarBackend> {
     config: EngineConfig,
-    model: GaussianNaiveBayes,
-    quantized: QuantizedGnbc,
-    program: CrossbarProgram,
-    array: CrossbarArray,
-    sensing: SensingChain,
+    model: Arc<GaussianNaiveBayes>,
+    quantized: Arc<QuantizedGnbc>,
+    backend: B,
 }
 
-impl FebimEngine {
+/// Trains + quantizes a model and hands the quantized tables to `build`.
+/// Engine and backend share the model and the quantized tables by `Arc`, so
+/// building an engine never deep-clones either (the Monte-Carlo sweeps build
+/// one engine per epoch).
+fn build_engine<B: InferenceBackend>(
+    model: Arc<GaussianNaiveBayes>,
+    train_data: &Dataset,
+    config: EngineConfig,
+    build: impl FnOnce(Arc<QuantizedGnbc>, &EngineConfig) -> Result<B>,
+) -> Result<FebimEngine<B>> {
+    config.validate()?;
+    let quantized = Arc::new(QuantizedGnbc::quantize(&model, train_data, config.quant)?);
+    let backend = build(Arc::clone(&quantized), &config)?;
+    Ok(FebimEngine {
+        config,
+        model,
+        quantized,
+        backend,
+    })
+}
+
+impl FebimEngine<CrossbarBackend> {
     /// Trains a GNBC on the training data, quantizes it, compiles it to a
     /// crossbar program and programs a (possibly variation-affected) array.
     ///
@@ -113,7 +155,7 @@ impl FebimEngine {
         Self::from_trained(model, train_data, config)
     }
 
-    /// Builds an engine from an already-trained GNBC.
+    /// Builds a single-array engine from an already-trained GNBC.
     ///
     /// # Errors
     ///
@@ -124,44 +166,128 @@ impl FebimEngine {
         train_data: &Dataset,
         config: EngineConfig,
     ) -> Result<Self> {
-        config.validate()?;
-        let quantized = QuantizedGnbc::quantize(&model, train_data, config.quant)?;
-        let program = compile(&quantized, config.force_prior_column)?;
-        let programmer = LevelProgrammer::new(
-            config.device.clone(),
-            program.state_count(),
-            febim_device::programming::DEFAULT_MIN_READ_CURRENT,
-            febim_device::programming::DEFAULT_MAX_READ_CURRENT,
-        )?;
-        let array = CrossbarArray::new(*program.layout(), programmer);
-        let mut engine = Self {
-            config,
-            model,
-            quantized,
-            program,
-            array,
-            sensing: SensingChain::febim_calibrated(),
-        };
-        engine.reprogram()?;
-        Ok(engine)
+        build_engine(Arc::new(model), train_data, config, CrossbarBackend::new)
     }
 
-    /// Re-programs the crossbar from the compiled program and re-applies the
-    /// configured device variation (fresh sample from the configured seed).
+    /// The compiled crossbar program.
+    pub fn program(&self) -> &CrossbarProgram {
+        self.backend.program()
+    }
+
+    /// The programmed crossbar array.
+    pub fn array(&self) -> &CrossbarArray {
+        self.backend.array()
+    }
+
+    /// The sensing chain (mirrors, WTA, delay and energy models).
+    pub fn sensing(&self) -> &SensingChain {
+        self.backend.sensing()
+    }
+
+    /// Replaces the sensing chain (e.g. to study mirror mismatch).
+    pub fn set_sensing(&mut self, sensing: SensingChain) {
+        self.backend.set_sensing(sensing);
+    }
+
+    /// Read-current map of the programmed crossbar (the data behind the
+    /// Fig. 8(b) state map), in amperes.
+    ///
+    /// This is the allocating convenience wrapper around
+    /// [`FebimEngine::current_map_into`], which reuses an [`EvalScratch`]
+    /// buffer and reads through the conductance cache.
+    pub fn current_map(&self) -> Vec<Vec<f64>> {
+        let mut scratch = EvalScratch::default();
+        let flat = self
+            .current_map_into(&mut scratch)
+            .expect("crossbar backend has a state map");
+        flat.chunks(self.array().layout().columns())
+            .map(<[f64]>::to_vec)
+            .collect()
+    }
+}
+
+impl FebimEngine<TiledFabricBackend> {
+    /// Trains a GNBC and deploys it across a grid of `shape`-sized crossbar
+    /// tiles (row-wise class sharding × column-wise evidence splitting).
     ///
     /// # Errors
     ///
-    /// Propagates programming errors.
-    pub fn reprogram(&mut self) -> Result<()> {
-        self.array
-            .program_matrix(self.program.levels(), self.config.programming_mode)?;
-        if self.config.variation.sigma_vth > 0.0 {
-            let mut rng = VariationModel::seeded_rng(self.config.variation_seed);
-            self.array.apply_variation(&self.config.variation, &mut rng);
-        }
-        Ok(())
+    /// Propagates configuration, training, quantization, tile-planning and
+    /// programming errors.
+    pub fn fit_tiled(train_data: &Dataset, config: EngineConfig, shape: TileShape) -> Result<Self> {
+        let model = GaussianNaiveBayes::fit(train_data)?;
+        Self::from_trained_tiled(model, train_data, config, shape)
     }
 
+    /// Builds a tiled-fabric engine from an already-trained GNBC.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FebimEngine::fit_tiled`] minus training.
+    pub fn from_trained_tiled(
+        model: GaussianNaiveBayes,
+        train_data: &Dataset,
+        config: EngineConfig,
+        shape: TileShape,
+    ) -> Result<Self> {
+        build_engine(Arc::new(model), train_data, config, |quantized, config| {
+            TiledFabricBackend::new(quantized, config, shape)
+        })
+    }
+
+    /// The compiled tiled program (levels + tile plan).
+    pub fn tiled_program(&self) -> &TiledProgram {
+        self.backend.tiled_program()
+    }
+
+    /// The programmed tile grid.
+    pub fn grid(&self) -> &TileGrid {
+        self.backend.grid()
+    }
+
+    /// The sensing chain (mirrors, WTA, delay and energy models).
+    pub fn sensing(&self) -> &SensingChain {
+        self.backend.sensing()
+    }
+
+    /// Replaces the sensing chain (e.g. to study mirror mismatch).
+    pub fn set_sensing(&mut self, sensing: SensingChain) {
+        self.backend.set_sensing(sensing);
+    }
+
+    /// Read-current map of the programmed fabric in global row-major order,
+    /// in amperes (allocating wrapper around
+    /// [`FebimEngine::current_map_into`]).
+    pub fn current_map(&self) -> Vec<Vec<f64>> {
+        let mut scratch = EvalScratch::default();
+        let flat = self
+            .current_map_into(&mut scratch)
+            .expect("fabric backend has a state map");
+        flat.chunks(self.grid().layout().columns())
+            .map(<[f64]>::to_vec)
+            .collect()
+    }
+}
+
+impl FebimEngine<SoftwareBackend> {
+    /// Trains a GNBC and serves it through the exact FP64 software backend
+    /// (no quantization error, no devices, zero delay/energy) — the ground
+    /// truth the physical backends are compared against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, training and quantization errors (the model
+    /// is still quantized so [`FebimEngine::quantized`] stays comparable
+    /// across backends).
+    pub fn fit_software(train_data: &Dataset, config: EngineConfig) -> Result<Self> {
+        let model = Arc::new(GaussianNaiveBayes::fit(train_data)?);
+        build_engine(Arc::clone(&model), train_data, config, move |_, _| {
+            Ok(SoftwareBackend::new(model))
+        })
+    }
+}
+
+impl<B: InferenceBackend> FebimEngine<B> {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -169,55 +295,50 @@ impl FebimEngine {
 
     /// The FP64 software model the engine was built from.
     pub fn software_model(&self) -> &GaussianNaiveBayes {
-        &self.model
+        self.model.as_ref()
     }
 
     /// The quantized model.
     pub fn quantized(&self) -> &QuantizedGnbc {
-        &self.quantized
+        self.quantized.as_ref()
     }
 
-    /// The compiled crossbar program.
-    pub fn program(&self) -> &CrossbarProgram {
-        &self.program
+    /// Borrow the inference backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
-    /// The programmed crossbar array.
-    pub fn array(&self) -> &CrossbarArray {
-        &self.array
+    /// Descriptive metadata of the active backend.
+    pub fn backend_info(&self) -> BackendInfo {
+        self.backend.info()
     }
 
-    /// The sensing chain (mirrors, WTA, delay and energy models).
-    pub fn sensing(&self) -> &SensingChain {
-        &self.sensing
-    }
-
-    /// Replaces the sensing chain (e.g. to study mirror mismatch).
-    pub fn set_sensing(&mut self, sensing: SensingChain) {
-        self.sensing = sensing;
+    /// Re-programs the backend's physical state from the compiled model and
+    /// re-applies the configured device variation (fresh sample from the
+    /// configured seed). A no-op for the software backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors.
+    pub fn reprogram(&mut self) -> Result<()> {
+        self.backend.reprogram()
     }
 
     /// Creates a scratch sized for this engine's geometry, for use with
     /// [`FebimEngine::infer_into`].
     pub fn make_scratch(&self) -> EvalScratch {
-        EvalScratch {
-            evidence: Vec::with_capacity(self.quantized.n_features()),
-            activation: Some(Activation::empty(self.array.layout())),
-            currents: Vec::with_capacity(self.array.layout().rows()),
-            mirrored: Vec::with_capacity(self.array.layout().rows()),
-        }
+        self.backend.make_scratch()
     }
 
-    /// Runs one in-memory inference for a continuous sample, reusing the
-    /// caller's scratch buffers: after the first call on a given geometry the
-    /// hot path performs no heap allocation. The accumulated wordline
-    /// currents remain available through
-    /// [`EvalScratch::wordline_currents`].
+    /// Runs one inference for a continuous sample, reusing the caller's
+    /// scratch buffers: after the first call on a given geometry the hot
+    /// path performs no heap allocation. The per-class scores remain
+    /// available through [`EvalScratch::wordline_currents`].
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::DatasetMismatch`] for a sample with the wrong
-    /// number of features and propagates crossbar/circuit errors.
+    /// number of features and propagates backend errors.
     pub fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
         if sample.len() != self.quantized.n_features() {
             return Err(CoreError::DatasetMismatch {
@@ -225,59 +346,10 @@ impl FebimEngine {
                 found_features: sample.len(),
             });
         }
-        self.quantized
-            .discretize_sample_into(sample, &mut scratch.evidence)?;
-        let activation = scratch
-            .activation
-            .get_or_insert_with(|| Activation::empty(self.array.layout()));
-        activation.set_observation(self.array.layout(), &scratch.evidence)?;
-        self.array
-            .wordline_currents_into(activation, &mut scratch.currents)?;
-        match self
-            .sensing
-            .sense_into(&scratch.currents, activation.len(), &mut scratch.mirrored)
-        {
-            Ok(readout) => Ok(InferenceStep {
-                prediction: readout.winner,
-                delay: readout.delay,
-                energy: readout.energy,
-                tie_broken: false,
-            }),
-            Err(CircuitError::AmbiguousWinner { .. }) => {
-                // Quantized posteriors can tie exactly; physical mismatch
-                // would break the tie, we do it deterministically instead.
-                let winner = argmax(&scratch.currents).expect("at least one wordline");
-                let delay = self.sensing.delay_model().worst_case(
-                    scratch.currents.len(),
-                    activation.len().max(1),
-                    self.sensing.wta(),
-                    self.sensing.mirror().gain,
-                )?;
-                // `sense_into` leaves the scratch unspecified on error, so
-                // re-mirror the currents before pricing the energy.
-                self.sensing
-                    .mirror()
-                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
-                let energy = self.sensing.energy_model().inference_with_mirrored(
-                    &scratch.currents,
-                    &scratch.mirrored,
-                    activation.len(),
-                    delay.total(),
-                    self.sensing.mirror(),
-                    self.sensing.wta(),
-                )?;
-                Ok(InferenceStep {
-                    prediction: winner,
-                    delay,
-                    energy,
-                    tie_broken: true,
-                })
-            }
-            Err(err) => Err(err.into()),
-        }
+        self.backend.infer_into(sample, scratch)
     }
 
-    /// Runs one in-memory inference for a continuous sample.
+    /// Runs one inference for a continuous sample.
     ///
     /// This is the allocating convenience wrapper around
     /// [`FebimEngine::infer_into`]; batched callers should create one
@@ -285,8 +357,7 @@ impl FebimEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::DatasetMismatch`] for a sample with the wrong
-    /// number of features and propagates crossbar/circuit errors.
+    /// Same as [`FebimEngine::infer_into`].
     pub fn infer(&self, sample: &[f64]) -> Result<InferenceOutcome> {
         let mut scratch = self.make_scratch();
         let step = self.infer_into(sample, &mut scratch)?;
@@ -359,10 +430,17 @@ impl FebimEngine {
         })
     }
 
-    /// Read-current map of the programmed crossbar (the data behind the
-    /// Fig. 8(b) state map), in amperes.
-    pub fn current_map(&self) -> Vec<Vec<f64>> {
-        self.array.current_map()
+    /// Read-current state map of the backend's cells, flattened row-major
+    /// into the scratch's score buffer (no fresh allocation after the first
+    /// call on a given geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedOperation`] for backends without
+    /// physical state (the software backend).
+    pub fn current_map_into<'a>(&self, scratch: &'a mut EvalScratch) -> Result<&'a [f64]> {
+        self.backend.current_map_into(&mut scratch.currents)?;
+        Ok(&scratch.currents)
     }
 }
 
@@ -372,6 +450,7 @@ mod tests {
     use febim_data::rng::seeded_rng;
     use febim_data::split::stratified_split;
     use febim_data::synthetic::iris_like;
+    use febim_device::VariationModel;
 
     fn iris_engine() -> (FebimEngine, Dataset, Dataset) {
         let dataset = iris_like(40).unwrap();
@@ -387,6 +466,9 @@ mod tests {
         assert_eq!(engine.array().layout().columns(), 64);
         assert_eq!(engine.program().state_count(), 4);
         assert!(engine.quantized().has_uniform_prior());
+        let info = engine.backend_info();
+        assert_eq!(info.events, 3);
+        assert_eq!(info.tiles, 1);
     }
 
     #[test]
@@ -526,6 +608,13 @@ mod tests {
                 assert!(current > 0.05e-6 && current < 1.2e-6, "current {current}");
             }
         }
+        // The scratch-reusing path sees the same flattened values.
+        let mut scratch = engine.make_scratch();
+        let flat = engine.current_map_into(&mut scratch).unwrap();
+        assert_eq!(flat.len(), 3 * 64);
+        for (index, &value) in flat.iter().enumerate() {
+            assert_eq!(value, map[index / 64][index % 64]);
+        }
     }
 
     #[test]
@@ -535,5 +624,42 @@ mod tests {
         engine.reprogram().unwrap();
         let after = engine.evaluate(&test).unwrap().accuracy;
         assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiled_engine_matches_the_monolithic_engine() {
+        let dataset = iris_like(43).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(43)).unwrap();
+        let config = EngineConfig::febim_default();
+        let monolithic = FebimEngine::fit(&split.train, config.clone()).unwrap();
+        let tiled =
+            FebimEngine::fit_tiled(&split.train, config, TileShape::new(2, 48).unwrap()).unwrap();
+        assert!(tiled.tiled_program().plan().is_multi_tile());
+        assert_eq!(tiled.backend_info().tiles, 4);
+        let mono_report = monolithic.evaluate(&split.test).unwrap();
+        let tiled_report = tiled.evaluate(&split.test).unwrap();
+        assert_eq!(mono_report.predictions, tiled_report.predictions);
+        assert_eq!(mono_report.accuracy, tiled_report.accuracy);
+        assert_eq!(mono_report.ties, tiled_report.ties);
+        // Same cells, same programmed currents.
+        assert_eq!(monolithic.current_map(), tiled.current_map());
+    }
+
+    #[test]
+    fn software_engine_is_the_exact_model() {
+        let dataset = iris_like(44).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(44)).unwrap();
+        let engine =
+            FebimEngine::fit_software(&split.train, EngineConfig::febim_default()).unwrap();
+        let report = engine.evaluate(&split.test).unwrap();
+        let software = engine.software_model().score(&split.test).unwrap();
+        assert_eq!(report.accuracy, software);
+        assert_eq!(report.mean_delay, 0.0);
+        assert_eq!(report.mean_energy, 0.0);
+        let mut scratch = engine.make_scratch();
+        assert!(matches!(
+            engine.current_map_into(&mut scratch),
+            Err(CoreError::UnsupportedOperation { .. })
+        ));
     }
 }

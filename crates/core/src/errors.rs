@@ -29,6 +29,13 @@ pub enum CoreError {
         /// Found number of features.
         found_features: usize,
     },
+    /// The selected inference backend does not implement an operation.
+    UnsupportedOperation {
+        /// Backend name (see `BackendInfo::name`).
+        backend: &'static str,
+        /// The operation the backend cannot perform.
+        operation: &'static str,
+    },
     /// Wrapped device-model error.
     Device(DeviceError),
     /// Wrapped circuit-model error.
@@ -57,6 +64,9 @@ impl fmt::Display for CoreError {
                 f,
                 "dataset has {found_features} features, engine expects {expected_features}"
             ),
+            CoreError::UnsupportedOperation { backend, operation } => {
+                write!(f, "backend `{backend}` does not support `{operation}`")
+            }
             CoreError::Device(err) => write!(f, "device error: {err}"),
             CoreError::Circuit(err) => write!(f, "circuit error: {err}"),
             CoreError::Crossbar(err) => write!(f, "crossbar error: {err}"),

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod compiler;
 pub mod config;
 pub mod engine;
@@ -38,19 +39,27 @@ pub mod monte_carlo;
 pub mod report;
 pub mod scaling;
 
-pub use compiler::{compile, CrossbarProgram};
+pub use backend::{
+    BackendInfo, BackendKind, CrossbarBackend, InferenceBackend, SoftwareBackend,
+    TiledFabricBackend,
+};
+pub use compiler::{compile, compile_tiled, CrossbarProgram, TiledProgram};
 pub use config::EngineConfig;
 pub use engine::{EvalScratch, EvaluationReport, FebimEngine, InferenceOutcome, InferenceStep};
 pub use errors::{CoreError, Result};
 pub use metrics::{ops_per_inference, performance_metrics, MetricsConfig, PerformanceMetrics};
 pub use monte_carlo::{
-    epoch_accuracy, epoch_accuracy_with_threads, variation_sweep, variation_sweep_with_threads,
-    EpochAccuracy, VariationPoint,
+    epoch_accuracy, epoch_accuracy_with_backend, epoch_accuracy_with_threads, variation_sweep,
+    variation_sweep_with_backend, variation_sweep_with_threads, EpochAccuracy, VariationPoint,
 };
 pub use report::{default_experiment_dir, Table};
 pub use scaling::{
     column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint,
 };
+/// JSON emission entry points (`to_string` / `to_string_pretty`) for every
+/// `Serialize`-deriving result type (e.g. [`EvaluationReport`],
+/// [`febim_crossbar::TilePlan`]) — the machinery behind `BENCH_*.json`.
+pub use serde::json;
 
 #[cfg(test)]
 mod proptests {
@@ -85,6 +94,42 @@ mod proptests {
                 if (sorted[0] - sorted[1]).abs() > 1e-9 {
                     prop_assert_eq!(outcome.prediction, software);
                 }
+            }
+        }
+
+        /// A model sharded across a tiled fabric of any tile shape infers
+        /// bit-identically to the monolithic single-array backend — same
+        /// wordline currents, same winners, same tie-breaks — across random
+        /// programs (seeds) and device variations.
+        #[test]
+        fn tiled_backend_is_bit_identical_to_monolithic(
+            seed in 0u64..30,
+            tile_rows in 1usize..4,
+            tile_columns in 1usize..80,
+            sigma_mv in 0.0f64..60.0,
+            variation_seed in 0u64..1000,
+        ) {
+            let dataset = iris_like(seed).unwrap();
+            let split = stratified_split(&dataset, 0.7, &mut seeded_rng(seed)).unwrap();
+            let config = EngineConfig::febim_default().with_variation(
+                febim_device::VariationModel::from_millivolts(sigma_mv),
+                variation_seed,
+            );
+            let monolithic = FebimEngine::fit(&split.train, config.clone()).unwrap();
+            let shape = febim_crossbar::TileShape::new(tile_rows, tile_columns).unwrap();
+            let tiled = FebimEngine::fit_tiled(&split.train, config, shape).unwrap();
+            let mut mono_scratch = monolithic.make_scratch();
+            let mut tiled_scratch = tiled.make_scratch();
+            for index in 0..split.test.n_samples() {
+                let sample = split.test.sample(index).unwrap();
+                let a = monolithic.infer_into(sample, &mut mono_scratch).unwrap();
+                let b = tiled.infer_into(sample, &mut tiled_scratch).unwrap();
+                prop_assert_eq!(a.prediction, b.prediction);
+                prop_assert_eq!(a.tie_broken, b.tie_broken);
+                prop_assert_eq!(
+                    mono_scratch.wordline_currents(),
+                    tiled_scratch.wordline_currents()
+                );
             }
         }
 

@@ -1,5 +1,13 @@
 //! Monte-Carlo robustness analysis against FeFET threshold-voltage variation
 //! (Fig. 8(c)) and multi-epoch accuracy evaluation (Fig. 7 / Fig. 8(a)).
+//!
+//! All sweeps are generic over the engine's [`InferenceBackend`]: the
+//! `*_with_backend` entry points accept a builder closure, so the same
+//! epoch-parallel harness drives the single-array crossbar, the tiled
+//! multi-array fabric (whose per-tile conductance caches are rebuilt
+//! independently inside each epoch worker — tiles parallelize across the
+//! epoch grid) or the exact software reference. The non-suffixed entry
+//! points keep the paper's single-array default.
 
 use serde::{Deserialize, Serialize};
 
@@ -8,6 +16,7 @@ use febim_data::split::stratified_split;
 use febim_data::{AccuracyStats, Dataset};
 use febim_device::VariationModel;
 
+use crate::backend::InferenceBackend;
 use crate::config::EngineConfig;
 use crate::engine::FebimEngine;
 use crate::errors::{CoreError, Result};
@@ -125,6 +134,39 @@ pub fn epoch_accuracy_with_threads(
     seed: u64,
     threads: usize,
 ) -> Result<EpochAccuracy> {
+    epoch_accuracy_with_backend(
+        dataset,
+        config,
+        test_ratio,
+        epochs,
+        seed,
+        threads,
+        FebimEngine::fit,
+    )
+}
+
+/// [`epoch_accuracy_with_threads`] generic over the inference backend:
+/// `build` constructs the per-epoch engine (e.g. `FebimEngine::fit`, or a
+/// closure capturing a [`febim_crossbar::TileShape`] that calls
+/// [`FebimEngine::fit_tiled`]). Epochs — and with a tiled builder, every
+/// tile of every epoch's fabric — run in parallel across the worker threads.
+///
+/// # Errors
+///
+/// Same as [`epoch_accuracy`], plus whatever `build` returns.
+pub fn epoch_accuracy_with_backend<B, F>(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+    build: F,
+) -> Result<EpochAccuracy>
+where
+    B: InferenceBackend,
+    F: Fn(&Dataset, EngineConfig) -> Result<FebimEngine<B>> + Sync,
+{
     check_epochs(epochs)?;
     let per_epoch = epoch_values(epochs, threads, |epoch| {
         let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
@@ -133,7 +175,7 @@ pub fn epoch_accuracy_with_threads(
             variation_seed: seed.wrapping_mul(0x9e37_79b9).wrapping_add(epoch as u64),
             ..config.clone()
         };
-        let engine = FebimEngine::fit(&split.train, epoch_config)?;
+        let engine = build(&split.train, epoch_config)?;
         Ok((
             engine.software_model().score(&split.test)?,
             engine.quantized().score(&split.test)?,
@@ -200,6 +242,40 @@ pub fn variation_sweep_with_threads(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<VariationPoint>> {
+    variation_sweep_with_backend(
+        dataset,
+        config,
+        sigmas_mv,
+        test_ratio,
+        epochs,
+        seed,
+        threads,
+        FebimEngine::fit,
+    )
+}
+
+/// [`variation_sweep_with_threads`] generic over the inference backend:
+/// `build` constructs the per-epoch engine, so the Fig. 8(c) experiment can
+/// run against the tiled fabric (or any other backend) unchanged.
+///
+/// # Errors
+///
+/// Same as [`variation_sweep`], plus whatever `build` returns.
+#[allow(clippy::too_many_arguments)]
+pub fn variation_sweep_with_backend<B, F>(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    sigmas_mv: &[f64],
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+    build: F,
+) -> Result<Vec<VariationPoint>>
+where
+    B: InferenceBackend,
+    F: Fn(&Dataset, EngineConfig) -> Result<FebimEngine<B>> + Sync,
+{
     check_epochs(epochs)?;
     let mut points = Vec::with_capacity(sigmas_mv.len());
     for &sigma_mv in sigmas_mv {
@@ -212,7 +288,7 @@ pub fn variation_sweep_with_threads(
                     .wrapping_add((epoch as u64) << 8)
                     .wrapping_add(sigma_mv as u64),
             );
-            let engine = FebimEngine::fit(&split.train, epoch_config)?;
+            let engine = build(&split.train, epoch_config)?;
             Ok(engine.evaluate(&split.test)?.accuracy)
         })?;
         points.push(VariationPoint {
@@ -324,6 +400,29 @@ mod tests {
             serial,
             variation_sweep(&dataset, &config, &sigmas, 0.7, 4, 9).unwrap()
         );
+    }
+
+    #[test]
+    fn tiled_backend_sweeps_match_the_monolithic_backend() {
+        // The tiled fabric's reads are bit-identical to the single array's,
+        // so every Monte-Carlo statistic must match byte for byte — including
+        // under device variation (same RNG consumption order).
+        let dataset = iris_like(67).unwrap();
+        let config = EngineConfig::febim_default();
+        let shape = febim_crossbar::TileShape::new(2, 24).unwrap();
+        let build_tiled = |train: &Dataset, epoch_config: EngineConfig| {
+            FebimEngine::fit_tiled(train, epoch_config, shape)
+        };
+        let monolithic = epoch_accuracy_with_threads(&dataset, &config, 0.7, 3, 13, 2).unwrap();
+        let tiled =
+            epoch_accuracy_with_backend(&dataset, &config, 0.7, 3, 13, 2, build_tiled).unwrap();
+        assert_eq!(monolithic, tiled);
+        let sweep_monolithic =
+            variation_sweep_with_threads(&dataset, &config, &[45.0], 0.7, 2, 5, 2).unwrap();
+        let sweep_tiled =
+            variation_sweep_with_backend(&dataset, &config, &[45.0], 0.7, 2, 5, 2, build_tiled)
+                .unwrap();
+        assert_eq!(sweep_monolithic, sweep_tiled);
     }
 
     #[test]

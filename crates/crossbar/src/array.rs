@@ -383,6 +383,21 @@ impl CrossbarArray {
                 .collect()
         })
     }
+
+    /// The cached read current of every cell, flattened row-major into `out`
+    /// (cleared first) — the allocation-reusing variant of
+    /// [`CrossbarArray::current_map`].
+    pub fn current_map_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.layout.cells());
+        self.with_cache(|cache| {
+            for row in 0..self.layout.rows() {
+                for column in 0..self.layout.columns() {
+                    out.push(cache.on_current(row, column));
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]

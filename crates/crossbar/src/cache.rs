@@ -64,6 +64,29 @@ impl ConductanceCache {
         self.on[row * self.columns + column]
     }
 
+    /// On/off current delta of one cell (the contribution an activated
+    /// column adds on top of the row's off-state leakage).
+    pub(crate) fn delta(&self, row: usize, column: usize) -> f64 {
+        let index = row * self.columns + column;
+        self.on[index] - self.off[index]
+    }
+
+    /// Accumulated off-state leakage of one row (summed in column order).
+    pub(crate) fn row_off_sum(&self, row: usize) -> f64 {
+        self.row_off_sums[row]
+    }
+
+    /// Adds the row's off currents into `accumulator`, cell by cell in
+    /// column order. The tiled fabric uses this to build fabric-level row
+    /// off-sums whose floating-point accumulation order is identical to a
+    /// monolithic array's, so merged reads stay bit-exact.
+    pub(crate) fn accumulate_row_off(&self, row: usize, accumulator: &mut f64) {
+        let base = row * self.columns;
+        for column in 0..self.columns {
+            *accumulator += self.off[base + column];
+        }
+    }
+
     /// Accumulated current of one wordline: the row's full off-state leakage
     /// plus the on/off delta of every activated column, visited in activation
     /// order.

@@ -132,6 +132,30 @@ impl CrossbarLayout {
         Ok(usize::from(self.has_prior) + node * self.evidence_levels + level)
     }
 
+    /// Whether the whole layout fits inside a single physical tile of
+    /// `rows × columns` cells.
+    pub fn fits_within(&self, rows: usize, columns: usize) -> bool {
+        self.rows() <= rows && self.columns() <= columns
+    }
+
+    /// Number of `(row, column)` tiles of the given fixed size needed to
+    /// cover the layout (the grid dimensions of a tiled fabric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidLayout`] for a zero-sized tile.
+    pub fn tiles_needed(&self, tile_rows: usize, tile_columns: usize) -> Result<(usize, usize)> {
+        if tile_rows == 0 || tile_columns == 0 {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!("tile shape {tile_rows}x{tile_columns} has a zero dimension"),
+            });
+        }
+        Ok((
+            self.rows().div_ceil(tile_rows),
+            self.columns().div_ceil(tile_columns),
+        ))
+    }
+
     /// The role of a column index.
     ///
     /// # Errors

@@ -48,6 +48,7 @@ pub mod errors;
 pub mod fault;
 pub mod layout;
 pub mod read;
+pub mod tiling;
 pub mod write;
 
 pub use array::{CrossbarArray, ProgrammingMode};
@@ -56,6 +57,7 @@ pub use errors::{CrossbarError, Result};
 pub use fault::{apply_fault, FaultKind, FaultModel, InjectedFault};
 pub use layout::{ColumnRole, CrossbarLayout};
 pub use read::Activation;
+pub use tiling::{TileGrid, TilePlan, TileShape};
 pub use write::WriteScheme;
 
 #[cfg(test)]
@@ -211,6 +213,72 @@ mod proptests {
             assert_reads_match(&array, &mut rng);
             array.cell_mut(row, column).unwrap().device_mut().set_vth_offset(0.02);
             assert_reads_match(&array, &mut rng);
+        }
+
+        /// A tiled fabric holding the same program as a monolithic array
+        /// produces bit-for-bit identical wordline currents across random
+        /// layouts, tile shapes, programs and device variations, and both
+        /// agree with the uncached fabric reference oracle.
+        #[test]
+        fn tiled_fabric_reads_match_monolithic(
+            events in 1usize..7,
+            nodes in 1usize..5,
+            levels_per_node in 1usize..5,
+            has_prior in proptest::bool::ANY,
+            tile_rows in 1usize..4,
+            tile_columns in 1usize..8,
+            program_seed in 0u64..1_000_000,
+            sigma_mv in 0.0f64..60.0,
+            variation_seed in 0u64..1_000_000,
+        ) {
+            let layout = CrossbarLayout::new(events, nodes, levels_per_node, has_prior).unwrap();
+            let shape = TileShape::new(tile_rows, tile_columns).unwrap();
+            let plan = TilePlan::new(layout, shape).unwrap();
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut grid = TileGrid::new(plan, programmer.clone());
+            let mut array = CrossbarArray::new(layout, programmer);
+
+            // Identical random program on both fabrics.
+            let mut rng = VariationModel::seeded_rng(program_seed);
+            let levels: Vec<Vec<Option<usize>>> = (0..layout.rows())
+                .map(|_| {
+                    (0..layout.columns())
+                        .map(|_| {
+                            if rng.gen::<f64>() < 0.25 {
+                                None
+                            } else {
+                                Some((rng.gen::<u64>() % 10) as usize)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            grid.program_matrix(&levels, ProgrammingMode::Ideal).unwrap();
+            array.program_matrix(&levels, ProgrammingMode::Ideal).unwrap();
+
+            let evidence: Vec<usize> = (0..nodes)
+                .map(|_| (rng.gen::<u64>() as usize) % levels_per_node)
+                .collect();
+            let sparse = Activation::from_observation(&layout, &evidence).unwrap();
+            let all = Activation::all_columns(&layout);
+            for activation in [&sparse, &all] {
+                let merged = grid.wordline_currents(activation).unwrap();
+                prop_assert_eq!(&merged, &array.wordline_currents(activation).unwrap());
+                prop_assert_eq!(&merged, &grid.wordline_currents_reference(activation).unwrap());
+            }
+
+            // Identically seeded variation keeps the fabrics in lockstep.
+            let variation = VariationModel::from_millivolts(sigma_mv);
+            let mut grid_rng = VariationModel::seeded_rng(variation_seed);
+            let mut array_rng = VariationModel::seeded_rng(variation_seed);
+            grid.apply_variation(&variation, &mut grid_rng);
+            array.apply_variation(&variation, &mut array_rng);
+            for activation in [&sparse, &all] {
+                prop_assert_eq!(
+                    grid.wordline_currents(activation).unwrap(),
+                    array.wordline_currents(activation).unwrap()
+                );
+            }
         }
 
         /// The O(1) activation mask agrees with a linear scan of the column

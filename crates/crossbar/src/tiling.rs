@@ -1,0 +1,906 @@
+//! Tiled multi-array crossbar fabric.
+//!
+//! A physical FeFET macro has a fixed tile size; a Bayesian model whose
+//! logical layout exceeds it must be sharded across a grid of tiles —
+//! row-wise over events (classes) and column-wise over evidence columns,
+//! the composition used by reconfigurable ferroelectric CIM fabrics. This
+//! module provides:
+//!
+//! * [`TileShape`] — the fixed physical tile geometry,
+//! * [`TilePlan`] — the mapping of a [`CrossbarLayout`] onto a tile grid,
+//! * [`TileGrid`] — the programmed fabric itself: one cell bank and one
+//!   conductance cache per tile, plus a fabric-level partial-sum path that
+//!   merges per-tile wordline currents.
+//!
+//! ## Bit-exactness
+//!
+//! The fabric read path is floating-point identical to a monolithic
+//! [`CrossbarArray`](crate::CrossbarArray) holding the same program: cells
+//! are programmed identically (so per-cell on/off currents match), the
+//! fabric-level row off-sums are accumulated cell by cell in global column
+//! order (the exact order the monolithic conductance cache uses), and
+//! activated-column deltas are added in activation order. Equivalence is
+//! proptest-enforced in this crate and at engine level.
+//!
+//! The one intentional divergence is [`ProgrammingMode::PulseTrain`]
+//! disturb: half-bias inhibit pulses only reach the rows of the tile being
+//! written — tiles are physically separate arrays — whereas a monolithic
+//! array disturbs every other row of the column.
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use febim_device::{LevelProgrammer, VariationModel};
+
+use crate::array::ProgrammingMode;
+use crate::cache::ConductanceCache;
+use crate::cell::Cell;
+use crate::errors::{CrossbarError, Result};
+use crate::layout::CrossbarLayout;
+use crate::read::Activation;
+use crate::write::WriteScheme;
+
+/// Fixed geometry of one physical crossbar tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileShape {
+    /// Wordlines per tile.
+    pub rows: usize,
+    /// Bitlines per tile.
+    pub columns: usize,
+}
+
+impl TileShape {
+    /// Creates a tile shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidLayout`] when either dimension is
+    /// zero.
+    pub fn new(rows: usize, columns: usize) -> Result<Self> {
+        if rows == 0 || columns == 0 {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!("tile shape {rows}x{columns} has a zero dimension"),
+            });
+        }
+        Ok(Self { rows, columns })
+    }
+
+    /// The 64×64 macro used for the fabric-scale studies (a 64-wordline
+    /// tile matching the Fig. 6 scalability sweep's tallest array).
+    pub fn febim_macro() -> Self {
+        Self {
+            rows: 64,
+            columns: 64,
+        }
+    }
+
+    /// Cells per tile.
+    pub fn cells(&self) -> usize {
+        self.rows * self.columns
+    }
+}
+
+/// The mapping of one logical crossbar layout onto a grid of fixed-size
+/// tiles: `row_tiles × col_tiles` tiles, edge tiles partially filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilePlan {
+    layout: CrossbarLayout,
+    shape: TileShape,
+    row_tiles: usize,
+    col_tiles: usize,
+}
+
+impl TilePlan {
+    /// Plans the tiling of `layout` onto tiles of `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates zero-dimension tile shapes.
+    pub fn new(layout: CrossbarLayout, shape: TileShape) -> Result<Self> {
+        let (row_tiles, col_tiles) = layout.tiles_needed(shape.rows, shape.columns)?;
+        Ok(Self {
+            layout,
+            shape,
+            row_tiles,
+            col_tiles,
+        })
+    }
+
+    /// The logical layout being sharded.
+    pub fn layout(&self) -> &CrossbarLayout {
+        &self.layout
+    }
+
+    /// The physical tile geometry.
+    pub fn shape(&self) -> TileShape {
+        self.shape
+    }
+
+    /// Number of tile rows (event shards).
+    pub fn row_tiles(&self) -> usize {
+        self.row_tiles
+    }
+
+    /// Number of tile columns (evidence shards).
+    pub fn col_tiles(&self) -> usize {
+        self.col_tiles
+    }
+
+    /// Total number of tiles in the grid.
+    pub fn tile_count(&self) -> usize {
+        self.row_tiles * self.col_tiles
+    }
+
+    /// Whether the model actually spans more than one tile.
+    pub fn is_multi_tile(&self) -> bool {
+        self.tile_count() > 1
+    }
+
+    /// Fraction of the provisioned fabric cells the layout actually uses.
+    pub fn utilization(&self) -> f64 {
+        self.layout.cells() as f64 / (self.tile_count() * self.shape.cells()) as f64
+    }
+
+    fn check_tile(&self, tile_row: usize, tile_col: usize) -> Result<()> {
+        if tile_row >= self.row_tiles || tile_col >= self.col_tiles {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row: tile_row,
+                column: tile_col,
+                rows: self.row_tiles,
+                columns: self.col_tiles,
+            });
+        }
+        Ok(())
+    }
+
+    /// Global row range covered by one tile row (edge tiles are shorter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] outside the grid.
+    pub fn tile_row_range(&self, tile_row: usize) -> Result<Range<usize>> {
+        self.check_tile(tile_row, 0)?;
+        let start = tile_row * self.shape.rows;
+        Ok(start..self.layout.rows().min(start + self.shape.rows))
+    }
+
+    /// Global column range covered by one tile column (edge tiles are
+    /// narrower).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] outside the grid.
+    pub fn tile_column_range(&self, tile_col: usize) -> Result<Range<usize>> {
+        self.check_tile(0, tile_col)?;
+        let start = tile_col * self.shape.columns;
+        Ok(start..self.layout.columns().min(start + self.shape.columns))
+    }
+
+    /// The `(tile_row, tile_col)` owning a global cell coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] outside the layout.
+    pub fn tile_of(&self, row: usize, column: usize) -> Result<(usize, usize)> {
+        if row >= self.layout.rows() || column >= self.layout.columns() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row,
+                column,
+                rows: self.layout.rows(),
+                columns: self.layout.columns(),
+            });
+        }
+        Ok((row / self.shape.rows, column / self.shape.columns))
+    }
+
+    /// Occupied dimensions of one tile (`rows × columns` of mapped cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] outside the grid.
+    pub fn tile_dims(&self, tile_row: usize, tile_col: usize) -> Result<(usize, usize)> {
+        Ok((
+            self.tile_row_range(tile_row)?.len(),
+            self.tile_column_range(tile_col)?.len(),
+        ))
+    }
+}
+
+/// One physical tile: its occupied cell bank in local row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tile {
+    rows: usize,
+    columns: usize,
+    cells: Vec<Cell>,
+}
+
+impl Tile {
+    fn index(&self, local_row: usize, local_col: usize) -> usize {
+        local_row * self.columns + local_col
+    }
+}
+
+/// Derived read state of the fabric: one conductance cache per tile plus the
+/// fabric-level row off-sums (accumulated in global column order so merged
+/// reads are bit-identical to a monolithic array's).
+#[derive(Debug, Clone)]
+struct FabricCache {
+    tiles: Vec<ConductanceCache>,
+    row_off_sums: Vec<f64>,
+}
+
+/// A programmed tiled crossbar fabric.
+///
+/// Rows are sharded across tile rows (each tile row senses a subset of the
+/// events), columns across tile columns (each tile accumulates a partial
+/// sum over its evidence columns). The fabric read path merges the per-tile
+/// partial wordline currents into full log-posterior currents; see the
+/// module docs for the bit-exactness guarantee.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TileGrid {
+    plan: TilePlan,
+    programmer: LevelProgrammer,
+    write_scheme: WriteScheme,
+    /// Tiles in grid row-major order (`tile_row * col_tiles + tile_col`).
+    tiles: Vec<Tile>,
+    write_energy: f64,
+    /// Derived state: `None` means stale (rebuilt on the next read). Skipped
+    /// by serialization and ignored by equality.
+    #[serde(skip)]
+    cache: RefCell<Option<FabricCache>>,
+}
+
+impl PartialEq for TileGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.plan == other.plan
+            && self.programmer == other.programmer
+            && self.write_scheme == other.write_scheme
+            && self.tiles == other.tiles
+            && self.write_energy == other.write_energy
+    }
+}
+
+impl TileGrid {
+    /// Creates an erased fabric for the given plan and level programmer.
+    pub fn new(plan: TilePlan, programmer: LevelProgrammer) -> Self {
+        let template = Cell::new(programmer.params().clone());
+        let tiles = (0..plan.row_tiles())
+            .flat_map(|tile_row| (0..plan.col_tiles()).map(move |tile_col| (tile_row, tile_col)))
+            .map(|(tile_row, tile_col)| {
+                let (rows, columns) = plan.tile_dims(tile_row, tile_col).expect("in-grid tile");
+                Tile {
+                    rows,
+                    columns,
+                    cells: vec![template.clone(); rows * columns],
+                }
+            })
+            .collect();
+        Self {
+            plan,
+            programmer,
+            write_scheme: WriteScheme::febim_default(),
+            tiles,
+            write_energy: 0.0,
+            cache: RefCell::new(None),
+        }
+    }
+
+    /// Borrow the tile plan.
+    pub fn plan(&self) -> &TilePlan {
+        &self.plan
+    }
+
+    /// Borrow the logical layout.
+    pub fn layout(&self) -> &CrossbarLayout {
+        self.plan.layout()
+    }
+
+    /// Borrow the level programmer.
+    pub fn programmer(&self) -> &LevelProgrammer {
+        &self.programmer
+    }
+
+    /// Replaces the write scheme (half-bias configuration) of every tile.
+    pub fn set_write_scheme(&mut self, scheme: WriteScheme) {
+        self.write_scheme = scheme;
+    }
+
+    /// Total write energy spent programming the fabric so far, in joules.
+    pub fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    /// Marks the fabric caches stale; the next read rebuilds them.
+    fn invalidate_cache(&mut self) {
+        *self.cache.get_mut() = None;
+    }
+
+    /// Runs `reader` against fresh per-tile caches and fabric row off-sums,
+    /// rebuilding them first if any mutation happened since the last read.
+    fn with_cache<T>(&self, reader: impl FnOnce(&FabricCache) -> T) -> T {
+        let mut slot = self.cache.borrow_mut();
+        let cache = slot.get_or_insert_with(|| {
+            let tile_caches: Vec<ConductanceCache> = self
+                .tiles
+                .iter()
+                .map(|tile| ConductanceCache::build(tile.rows, tile.columns, &tile.cells))
+                .collect();
+            // Fabric row off-sums accumulate across tile columns cell by
+            // cell, in global column order — the same floating-point
+            // accumulation order as a monolithic array's conductance cache.
+            let mut row_off_sums = Vec::with_capacity(self.plan.layout().rows());
+            for row in 0..self.plan.layout().rows() {
+                let tile_row = row / self.plan.shape().rows;
+                let local_row = row % self.plan.shape().rows;
+                let mut accumulator = 0.0;
+                for tile_col in 0..self.plan.col_tiles() {
+                    tile_caches[tile_row * self.plan.col_tiles() + tile_col]
+                        .accumulate_row_off(local_row, &mut accumulator);
+                }
+                row_off_sums.push(accumulator);
+            }
+            FabricCache {
+                tiles: tile_caches,
+                row_off_sums,
+            }
+        });
+        reader(cache)
+    }
+
+    fn tile_index_of(&self, row: usize, column: usize) -> Result<usize> {
+        let (tile_row, tile_col) = self.plan.tile_of(row, column)?;
+        Ok(tile_row * self.plan.col_tiles() + tile_col)
+    }
+
+    /// Borrow a cell by its global coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] outside the layout.
+    pub fn cell(&self, row: usize, column: usize) -> Result<&Cell> {
+        let tile_index = self.tile_index_of(row, column)?;
+        let tile = &self.tiles[tile_index];
+        let local = tile.index(
+            row % self.plan.shape().rows,
+            column % self.plan.shape().columns,
+        );
+        Ok(&tile.cells[local])
+    }
+
+    /// Mutably borrow a cell by its global coordinates; invalidates the
+    /// fabric caches up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] outside the layout.
+    pub fn cell_mut(&mut self, row: usize, column: usize) -> Result<&mut Cell> {
+        let tile_index = self.tile_index_of(row, column)?;
+        self.invalidate_cache();
+        let shape = self.plan.shape();
+        let tile = &mut self.tiles[tile_index];
+        let local = tile.index(row % shape.rows, column % shape.columns);
+        Ok(&mut tile.cells[local])
+    }
+
+    /// Programs one cell (global coordinates) to a multi-level state.
+    ///
+    /// With [`ProgrammingMode::PulseTrain`] the half-bias disturb pulses
+    /// reach the *other rows of the same tile* only — tiles are physically
+    /// separate arrays, so inhibit disturbance does not cross tile
+    /// boundaries (unlike a monolithic array spanning all events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for bad coordinates and
+    /// propagates device errors for unreachable levels.
+    pub fn program_cell(
+        &mut self,
+        row: usize,
+        column: usize,
+        level: usize,
+        mode: ProgrammingMode,
+    ) -> Result<()> {
+        let tile_index = self.tile_index_of(row, column)?;
+        self.invalidate_cache();
+        let shape = self.plan.shape();
+        let tile = &mut self.tiles[tile_index];
+        let local_row = row % shape.rows;
+        let local_col = column % shape.columns;
+        let local = tile.index(local_row, local_col);
+        let state = match mode {
+            ProgrammingMode::Ideal => self
+                .programmer
+                .program_ideal(tile.cells[local].device_mut(), level)?,
+            ProgrammingMode::PulseTrain => {
+                let state = self
+                    .programmer
+                    .program_with_pulses(tile.cells[local].device_mut(), level)?;
+                let scheme = self.write_scheme;
+                let pulses = u64::from(state.write_config.pulse_count) + 1;
+                for other_row in 0..tile.rows {
+                    if other_row == local_row {
+                        continue;
+                    }
+                    let other = tile.index(other_row, local_col);
+                    scheme.apply_disturb(&mut tile.cells[other], pulses);
+                }
+                state
+            }
+        };
+        tile.cells[local].set_programmed_level(level);
+        tile.cells[local].reset_disturb();
+        self.write_energy += self.programmer.write_energy(state.level)?;
+        Ok(())
+    }
+
+    /// Programs the whole fabric from a global level matrix (same shape
+    /// contract as
+    /// [`CrossbarArray::program_matrix`](crate::CrossbarArray::program_matrix)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] when the matrix shape
+    /// does not match the layout, and propagates programming errors.
+    pub fn program_matrix(
+        &mut self,
+        levels: &[Vec<Option<usize>>],
+        mode: ProgrammingMode,
+    ) -> Result<()> {
+        let layout = *self.plan.layout();
+        if levels.len() != layout.rows() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row: levels.len(),
+                column: 0,
+                rows: layout.rows(),
+                columns: layout.columns(),
+            });
+        }
+        for (row, row_levels) in levels.iter().enumerate() {
+            if row_levels.len() != layout.columns() {
+                return Err(CrossbarError::IndexOutOfBounds {
+                    row,
+                    column: row_levels.len(),
+                    rows: layout.rows(),
+                    columns: layout.columns(),
+                });
+            }
+            for (column, level) in row_levels.iter().enumerate() {
+                if let Some(level) = level {
+                    self.program_cell(row, column, *level, mode)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies Gaussian threshold-voltage variation to every occupied cell,
+    /// drawing offsets in global row-major order — the same RNG consumption
+    /// order as a monolithic array, so a shared seed produces identical
+    /// per-cell offsets.
+    pub fn apply_variation<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        self.invalidate_cache();
+        let layout = *self.plan.layout();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        for row in 0..layout.rows() {
+            for column in 0..layout.columns() {
+                let offset = variation.sample_offset(rng);
+                let tile_index = (row / shape.rows) * col_tiles + column / shape.columns;
+                let tile = &mut self.tiles[tile_index];
+                let local = tile.index(row % shape.rows, column % shape.columns);
+                tile.cells[local].device_mut().set_vth_offset(offset);
+            }
+        }
+    }
+
+    fn check_activation(&self, activation: &Activation) -> Result<()> {
+        if activation.total_columns() != self.plan.layout().columns() {
+            return Err(CrossbarError::ActivationLengthMismatch {
+                expected: self.plan.layout().columns(),
+                found: activation.total_columns(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Merged wordline currents of the whole fabric for a global activation
+    /// pattern, written into `out` (cleared first): fabric row off-sums plus
+    /// the per-tile on/off deltas of the activated columns, in activation
+    /// order. Bit-identical to a monolithic array holding the same program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the
+    /// activation was built for a different layout.
+    pub fn wordline_currents_into(
+        &self,
+        activation: &Activation,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_activation(activation)?;
+        let layout = *self.plan.layout();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        out.clear();
+        out.reserve(layout.rows());
+        self.with_cache(|cache| {
+            for row in 0..layout.rows() {
+                let tile_row = row / shape.rows;
+                let local_row = row % shape.rows;
+                let mut current = cache.row_off_sums[row];
+                for &column in activation.active_columns() {
+                    let tile = &cache.tiles[tile_row * col_tiles + column / shape.columns];
+                    current += tile.delta(local_row, column % shape.columns);
+                }
+                out.push(current);
+            }
+        });
+        Ok(())
+    }
+
+    /// Merged wordline currents of the whole fabric (allocating wrapper of
+    /// [`TileGrid::wordline_currents_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TileGrid::wordline_currents_into`].
+    pub fn wordline_currents(&self, activation: &Activation) -> Result<Vec<f64>> {
+        let mut currents = Vec::with_capacity(self.plan.layout().rows());
+        self.wordline_currents_into(activation, &mut currents)?;
+        Ok(currents)
+    }
+
+    /// Partial wordline currents of one tile for a global activation
+    /// pattern, written into `out` (cleared first): the tile's local row
+    /// off-sums plus the deltas of the activated columns that fall inside
+    /// the tile. Summing a tile row's partials across its tile columns
+    /// reconstructs the merged currents up to floating-point reassociation;
+    /// the merged path above avoids even that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a tile outside the
+    /// grid and [`CrossbarError::ActivationLengthMismatch`] for a foreign
+    /// activation.
+    pub fn tile_partial_currents_into(
+        &self,
+        tile_row: usize,
+        tile_col: usize,
+        activation: &Activation,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_activation(activation)?;
+        let columns = self.plan.tile_column_range(tile_col)?;
+        let rows = self.plan.tile_row_range(tile_row)?.len();
+        let tile_index = tile_row * self.plan.col_tiles() + tile_col;
+        out.clear();
+        out.reserve(rows);
+        self.with_cache(|cache| {
+            let tile = &cache.tiles[tile_index];
+            for local_row in 0..rows {
+                let mut current = tile.row_off_sum(local_row);
+                for &column in activation.active_columns() {
+                    if columns.contains(&column) {
+                        current += tile.delta(local_row, column - columns.start);
+                    }
+                }
+                out.push(current);
+            }
+        });
+        Ok(())
+    }
+
+    /// Number of activated columns that fall inside one tile column (the
+    /// bitlines that tile column actually drives during a read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a tile column outside
+    /// the grid.
+    pub fn tile_activated_columns(
+        &self,
+        tile_col: usize,
+        activation: &Activation,
+    ) -> Result<usize> {
+        let columns = self.plan.tile_column_range(tile_col)?;
+        Ok(activation
+            .active_columns()
+            .iter()
+            .filter(|&&column| columns.contains(&column))
+            .count())
+    }
+
+    /// Uncached merged read: evaluates the FeFET I-V model of every occupied
+    /// cell on every call, accumulating in the exact same order as the
+    /// cached fabric path (and as a monolithic array). This is the reference
+    /// oracle for the fabric equivalence property tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TileGrid::wordline_currents`].
+    pub fn wordline_currents_reference(&self, activation: &Activation) -> Result<Vec<f64>> {
+        self.check_activation(activation)?;
+        let layout = *self.plan.layout();
+        let mut currents = Vec::with_capacity(layout.rows());
+        for row in 0..layout.rows() {
+            let mut current = 0.0;
+            for column in 0..layout.columns() {
+                current += self.cell(row, column)?.read_current_off();
+            }
+            for &column in activation.active_columns() {
+                let cell = self.cell(row, column)?;
+                current += cell.read_current_on() - cell.read_current_off();
+            }
+            currents.push(current);
+        }
+        Ok(currents)
+    }
+
+    /// The programmed level of every occupied cell as a global matrix.
+    pub fn level_map(&self) -> Vec<Vec<Option<usize>>> {
+        let layout = *self.plan.layout();
+        (0..layout.rows())
+            .map(|row| {
+                (0..layout.columns())
+                    .map(|column| {
+                        self.cell(row, column)
+                            .expect("in-range indices")
+                            .programmed_level()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The cached read current of every occupied cell, flattened row-major
+    /// into `out` (cleared first) — the allocation-reusing fabric state map.
+    pub fn current_map_into(&self, out: &mut Vec<f64>) {
+        let layout = *self.plan.layout();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        out.clear();
+        out.reserve(layout.cells());
+        self.with_cache(|cache| {
+            for row in 0..layout.rows() {
+                let tile_row = row / shape.rows;
+                let local_row = row % shape.rows;
+                for column in 0..layout.columns() {
+                    let tile = &cache.tiles[tile_row * col_tiles + column / shape.columns];
+                    out.push(tile.on_current(local_row, column % shape.columns));
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::CrossbarArray;
+
+    fn plan_2x2() -> TilePlan {
+        // 3 events × (4 nodes × 4 levels) = 3×16 layout on 2×9 tiles
+        // → a 2 (row) × 2 (column) grid with ragged edge tiles.
+        let layout = CrossbarLayout::new(3, 4, 4, false).unwrap();
+        TilePlan::new(layout, TileShape::new(2, 9).unwrap()).unwrap()
+    }
+
+    fn grid_and_array() -> (TileGrid, CrossbarArray) {
+        let plan = plan_2x2();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut grid = TileGrid::new(plan, programmer.clone());
+        let mut array = CrossbarArray::new(*plan.layout(), programmer);
+        let mut levels = vec![vec![None; plan.layout().columns()]; plan.layout().rows()];
+        for (row, row_levels) in levels.iter_mut().enumerate() {
+            for (column, level) in row_levels.iter_mut().enumerate() {
+                *level = Some((3 * row + column) % 10);
+            }
+        }
+        grid.program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        (grid, array)
+    }
+
+    #[test]
+    fn zero_tile_shape_rejected() {
+        assert!(TileShape::new(0, 4).is_err());
+        assert!(TileShape::new(4, 0).is_err());
+        let layout = CrossbarLayout::new(3, 4, 4, false).unwrap();
+        assert!(layout.tiles_needed(0, 9).is_err());
+    }
+
+    #[test]
+    fn plan_covers_the_layout_exactly() {
+        let plan = plan_2x2();
+        assert_eq!(plan.row_tiles(), 2);
+        assert_eq!(plan.col_tiles(), 2);
+        assert_eq!(plan.tile_count(), 4);
+        assert!(plan.is_multi_tile());
+        assert_eq!(plan.tile_row_range(0).unwrap(), 0..2);
+        assert_eq!(plan.tile_row_range(1).unwrap(), 2..3);
+        assert_eq!(plan.tile_column_range(0).unwrap(), 0..9);
+        assert_eq!(plan.tile_column_range(1).unwrap(), 9..16);
+        assert_eq!(plan.tile_of(2, 10).unwrap(), (1, 1));
+        assert_eq!(plan.tile_dims(1, 1).unwrap(), (1, 7));
+        assert!(plan.tile_row_range(2).is_err());
+        assert!(plan.tile_of(3, 0).is_err());
+        let used = plan.utilization();
+        assert!((used - 48.0 / (4.0 * 18.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tile_plan_when_the_model_fits() {
+        let layout = CrossbarLayout::new(3, 4, 16, false).unwrap();
+        assert!(layout.fits_within(64, 64));
+        let macro_tile = TileShape::febim_macro();
+        assert_eq!((macro_tile.rows, macro_tile.columns), (64, 64));
+        assert_eq!(macro_tile.cells(), 4096);
+        let plan = TilePlan::new(layout, macro_tile).unwrap();
+        assert_eq!(plan.tile_count(), 1);
+        assert!(!plan.is_multi_tile());
+    }
+
+    #[test]
+    fn fabric_reads_match_monolithic_bit_for_bit() {
+        let (grid, array) = grid_and_array();
+        let layout = *grid.layout();
+        for evidence in [[0usize, 0, 0, 0], [1, 3, 2, 0], [3, 3, 3, 3]] {
+            let activation = Activation::from_observation(&layout, &evidence).unwrap();
+            assert_eq!(
+                grid.wordline_currents(&activation).unwrap(),
+                array.wordline_currents(&activation).unwrap()
+            );
+        }
+        let all = Activation::all_columns(&layout);
+        assert_eq!(
+            grid.wordline_currents(&all).unwrap(),
+            array.wordline_currents(&all).unwrap()
+        );
+        assert_eq!(
+            grid.wordline_currents(&all).unwrap(),
+            grid.wordline_currents_reference(&all).unwrap()
+        );
+    }
+
+    #[test]
+    fn variation_matches_monolithic_offsets() {
+        let (mut grid, mut array) = grid_and_array();
+        let variation = VariationModel::from_millivolts(45.0);
+        let mut grid_rng = VariationModel::seeded_rng(11);
+        let mut array_rng = VariationModel::seeded_rng(11);
+        grid.apply_variation(&variation, &mut grid_rng);
+        array.apply_variation(&variation, &mut array_rng);
+        let activation = Activation::all_columns(grid.layout());
+        assert_eq!(
+            grid.wordline_currents(&activation).unwrap(),
+            array.wordline_currents(&activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn tile_partials_sum_to_the_merged_currents() {
+        let (grid, _) = grid_and_array();
+        let layout = *grid.layout();
+        let activation = Activation::from_observation(&layout, &[1, 2, 3, 0]).unwrap();
+        let merged = grid.wordline_currents(&activation).unwrap();
+        let mut partial = Vec::new();
+        for tile_row in 0..grid.plan().row_tiles() {
+            let rows = grid.plan().tile_row_range(tile_row).unwrap();
+            let mut sums = vec![0.0; rows.len()];
+            for tile_col in 0..grid.plan().col_tiles() {
+                grid.tile_partial_currents_into(tile_row, tile_col, &activation, &mut partial)
+                    .unwrap();
+                for (sum, value) in sums.iter_mut().zip(&partial) {
+                    *sum += value;
+                }
+            }
+            for (local_row, sum) in sums.iter().enumerate() {
+                let merged_value = merged[rows.start + local_row];
+                assert!(
+                    (sum - merged_value).abs() <= merged_value.abs() * 1e-12,
+                    "tile row {tile_row} local {local_row}: {sum} vs {merged_value}"
+                );
+            }
+        }
+        // Activated columns distribute across tile columns.
+        let per_tile: usize = (0..grid.plan().col_tiles())
+            .map(|tile_col| grid.tile_activated_columns(tile_col, &activation).unwrap())
+            .sum();
+        assert_eq!(per_tile, activation.len());
+    }
+
+    #[test]
+    fn cell_access_and_mutation_track_the_cache() {
+        let (mut grid, _) = grid_and_array();
+        let activation = Activation::all_columns(grid.layout());
+        let before = grid.wordline_currents(&activation).unwrap();
+        grid.cell_mut(2, 10)
+            .unwrap()
+            .device_mut()
+            .set_vth_offset(0.1);
+        let after = grid.wordline_currents(&activation).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(
+            after,
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
+        assert!(grid.cell(3, 0).is_err());
+        assert!(grid.cell_mut(0, 99).is_err());
+    }
+
+    #[test]
+    fn program_matrix_validates_shape_and_maps_back() {
+        let plan = plan_2x2();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut grid = TileGrid::new(plan, programmer);
+        let wrong_rows = vec![vec![None; plan.layout().columns()]];
+        assert!(grid
+            .program_matrix(&wrong_rows, ProgrammingMode::Ideal)
+            .is_err());
+        let wrong_columns = vec![vec![None; 3]; plan.layout().rows()];
+        assert!(grid
+            .program_matrix(&wrong_columns, ProgrammingMode::Ideal)
+            .is_err());
+        let mut levels = vec![vec![None; plan.layout().columns()]; plan.layout().rows()];
+        levels[2][10] = Some(7);
+        grid.program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        assert_eq!(grid.level_map(), levels);
+        assert!(grid.write_energy() > 0.0);
+    }
+
+    #[test]
+    fn pulse_disturb_stays_within_the_tile() {
+        let plan = plan_2x2();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut grid = TileGrid::new(plan, programmer);
+        // Row 0 and row 1 share a tile row; row 2 lives in the second tile
+        // row, so programming (0, 0) must disturb (1, 0) but not (2, 0).
+        grid.program_cell(0, 0, 5, ProgrammingMode::PulseTrain)
+            .unwrap();
+        assert!(grid.cell(1, 0).unwrap().disturb_pulses() > 0);
+        assert_eq!(grid.cell(2, 0).unwrap().disturb_pulses(), 0);
+        assert_eq!(grid.cell(0, 0).unwrap().disturb_pulses(), 0);
+    }
+
+    #[test]
+    fn current_map_into_reuses_the_buffer() {
+        let (grid, array) = grid_and_array();
+        let mut flat = vec![9.9; 3];
+        grid.current_map_into(&mut flat);
+        assert_eq!(flat.len(), grid.layout().cells());
+        let reference = array.current_map();
+        for (index, value) in flat.iter().enumerate() {
+            let row = index / grid.layout().columns();
+            let column = index % grid.layout().columns();
+            assert_eq!(*value, reference[row][column]);
+        }
+    }
+
+    #[test]
+    fn foreign_activation_rejected() {
+        let (grid, _) = grid_and_array();
+        let other = CrossbarLayout::new(2, 2, 4, false).unwrap();
+        let activation = Activation::all_columns(&other);
+        assert!(matches!(
+            grid.wordline_currents(&activation),
+            Err(CrossbarError::ActivationLengthMismatch { .. })
+        ));
+        assert!(grid.wordline_currents_reference(&activation).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let (warm, _) = grid_and_array();
+        let (cold, _) = grid_and_array();
+        let activation = Activation::all_columns(warm.layout());
+        warm.wordline_currents(&activation).unwrap();
+        assert_eq!(warm, cold);
+    }
+}

@@ -171,11 +171,16 @@ mod tests {
 
     #[test]
     fn invalid_sweeps_rejected() {
-        let mut config = SweepConfig::default();
-        config.points = 1;
+        let config = SweepConfig {
+            points: 1,
+            ..SweepConfig::default()
+        };
         assert!(config.validate().is_err());
-        let mut config = SweepConfig::default();
-        config.vg_stop = config.vg_start;
+        let defaults = SweepConfig::default();
+        let config = SweepConfig {
+            vg_stop: defaults.vg_start,
+            ..defaults
+        };
         assert!(config.validate().is_err());
     }
 

@@ -180,9 +180,11 @@ mod tests {
 
     #[test]
     fn swapped_thresholds_rejected() {
-        let mut p = FeFetParams::default();
-        p.vth_high = -1.0;
-        p.vth_low = 1.0;
+        let p = FeFetParams {
+            vth_high: -1.0,
+            vth_low: 1.0,
+            ..FeFetParams::default()
+        };
         assert!(matches!(
             p.validate(),
             Err(DeviceError::InvalidParameter {
@@ -194,15 +196,19 @@ mod tests {
 
     #[test]
     fn non_positive_k_rejected() {
-        let mut p = FeFetParams::default();
-        p.k_sat = 0.0;
+        let p = FeFetParams {
+            k_sat: 0.0,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn switch_rate_out_of_range_rejected() {
-        let mut p = FeFetParams::default();
-        p.switch_rate = 1.5;
+        let mut p = FeFetParams {
+            switch_rate: 1.5,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
         p.switch_rate = 0.0;
         assert!(p.validate().is_err());
@@ -210,15 +216,19 @@ mod tests {
 
     #[test]
     fn v_on_below_v_off_rejected() {
-        let mut p = FeFetParams::default();
-        p.v_on = -1.0;
+        let p = FeFetParams {
+            v_on: -1.0,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn ideality_below_one_rejected() {
-        let mut p = FeFetParams::default();
-        p.ideality = 0.5;
+        let p = FeFetParams {
+            ideality: 0.5,
+            ..FeFetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -69,7 +69,9 @@ impl FeatureDiscretizer {
         }
         let min = self.minimums[feature];
         let max = self.maximums[feature];
-        if !(max > min) || value.is_nan() {
+        // `partial_cmp` keeps the NaN-bounds case (no ordering) on the
+        // degenerate path, exactly like the old `!(max > min)`.
+        if max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) || value.is_nan() {
             return Ok(0);
         }
         let normalized = ((value - min) / (max - min)).clamp(0.0, 1.0);

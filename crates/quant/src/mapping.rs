@@ -70,6 +70,27 @@ impl LevelCurrentMap {
         Ok(self.min_current + fraction * (self.max_current - self.min_current))
     }
 
+    /// Target read currents of a tile-sized block of quantized levels (the
+    /// per-tile analogue of mapping the whole level matrix): `None` entries
+    /// (erased cells) map to zero current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] for any level outside the map.
+    pub fn block_currents(&self, levels: &[Vec<Option<usize>>]) -> Result<Vec<Vec<f64>>> {
+        levels
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|level| match level {
+                        Some(level) => self.current_for_level(*level),
+                        None => Ok(0.0),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Builds the corresponding device-level programmer so levels can be
     /// turned into write-pulse configurations.
     ///
@@ -101,6 +122,23 @@ impl LevelCurrentMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn block_currents_map_cell_by_cell_with_erased_cells_at_zero() {
+        let map = LevelCurrentMap::febim_default(4).unwrap();
+        let block = vec![vec![Some(0), Some(3), None], vec![None, Some(1), Some(2)]];
+        let currents = map.block_currents(&block).unwrap();
+        for (row, row_levels) in block.iter().enumerate() {
+            for (column, level) in row_levels.iter().enumerate() {
+                let expected = match level {
+                    Some(level) => map.current_for_level(*level).unwrap(),
+                    None => 0.0,
+                };
+                assert_eq!(currents[row][column], expected);
+            }
+        }
+        assert!(map.block_currents(&[vec![Some(99)]]).is_err());
+    }
 
     #[test]
     fn construction_validation() {

@@ -170,6 +170,9 @@ impl QuantizedGnbc {
         // feature precision never erases likelihood information.
         let floor_log = config.probability_floor.ln();
         let mut normalized_likelihoods = vec![vec![vec![0.0f64; bins]; n_features]; n_classes];
+        // Columns are naturally (feature, bin)-major while the table is
+        // class-major, so the write below scatters across the outer axis.
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..n_features {
             let width = discretizer.bin_width(feature)?;
             for bin in 0..bins {
@@ -224,14 +227,9 @@ impl QuantizedGnbc {
         // whatever the clipped log-probabilities cover.
         let mut low = f64::INFINITY;
         let mut high = f64::NEG_INFINITY;
-        for class in 0..n_classes {
-            for feature in 0..n_features {
-                for bin in 0..bins {
-                    let value = normalized_likelihoods[class][feature][bin];
-                    low = low.min(value);
-                    high = high.max(value);
-                }
-            }
+        for value in normalized_likelihoods.iter().flatten().flatten().copied() {
+            low = low.min(value);
+            high = high.max(value);
         }
         for &value in &normalized_priors {
             low = low.min(value);
@@ -240,7 +238,9 @@ impl QuantizedGnbc {
         if config.column_normalization {
             high = 1.0;
         }
-        if !(low < high) {
+        // `partial_cmp` keeps NaN bounds (no ordering) on the degenerate
+        // path, exactly like the old `!(low < high)`.
+        if low.partial_cmp(&high) != Some(std::cmp::Ordering::Less) {
             // Fully uniform model (every column identical): give the quantizer
             // a non-degenerate range one natural-log unit wide.
             low = high - 1.0;
@@ -407,6 +407,60 @@ impl QuantizedGnbc {
             }
         }
         Ok(correct as f64 / dataset.n_samples() as f64)
+    }
+
+    /// Quantized level stored at one crossbar-ordered coordinate: column 0 is
+    /// the prior (when `include_prior`), followed by `n_features` blocks of
+    /// `2^Q_f` likelihood columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] for coordinates outside the
+    /// crossbar-ordered matrix.
+    pub fn level_at(&self, class: usize, column: usize, include_prior: bool) -> Result<usize> {
+        let bins = self.discretizer.bins();
+        if include_prior && column == 0 {
+            return self.prior_level(class);
+        }
+        let offset =
+            column
+                .checked_sub(usize::from(include_prior))
+                .ok_or(QuantError::UnknownIndex {
+                    kind: "column",
+                    index: column,
+                })?;
+        let feature = offset / bins;
+        if feature >= self.n_features {
+            return Err(QuantError::UnknownIndex {
+                kind: "column",
+                index: column,
+            });
+        }
+        self.likelihood_level(class, feature, offset % bins)
+    }
+
+    /// Tile-aware view of the level matrix: the quantized levels of one
+    /// rectangular block of the crossbar-ordered matrix (`classes` rows ×
+    /// crossbar `columns`), the programming source for one fabric tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] when the block reaches outside
+    /// the matrix.
+    pub fn level_matrix_block(
+        &self,
+        include_prior: bool,
+        classes: std::ops::Range<usize>,
+        columns: std::ops::Range<usize>,
+    ) -> Result<Vec<Vec<usize>>> {
+        classes
+            .map(|class| {
+                columns
+                    .clone()
+                    .map(|column| self.level_at(class, column, include_prior))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Cell-level matrix of quantized levels in crossbar column order:

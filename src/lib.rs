@@ -39,11 +39,13 @@ pub mod prelude {
     pub use febim_bayes::{
         BayesianNetwork, CategoricalNaiveBayes, Evidence, GaussianNaiveBayes, Node,
     };
-    pub use febim_compare::ComparisonTable;
+    pub use febim_compare::{ComparisonTable, FabricComparison};
     pub use febim_core::{
-        epoch_accuracy, performance_metrics, variation_sweep, EngineConfig, FebimEngine,
-        MetricsConfig,
+        epoch_accuracy, epoch_accuracy_with_backend, performance_metrics, variation_sweep,
+        variation_sweep_with_backend, BackendInfo, BackendKind, CrossbarBackend, EngineConfig,
+        FebimEngine, InferenceBackend, MetricsConfig, SoftwareBackend, TiledFabricBackend,
     };
+    pub use febim_crossbar::TileShape;
     pub use febim_data::rng::seeded_rng;
     pub use febim_data::split::{stratified_split, train_test_split};
     pub use febim_data::synthetic::{cancer_like, iris_like, wine_like};

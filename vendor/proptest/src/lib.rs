@@ -450,7 +450,7 @@ mod tests {
         ) {
             prop_assert!((-2.5..7.5).contains(&x));
             prop_assert!((3..9).contains(&n));
-            prop_assert!(flag || !flag);
+            prop_assert!(usize::from(flag) <= 1);
             prop_assert!(!v.is_empty() && v.len() < 5);
             prop_assert!(v.iter().all(|&e| e < 100));
         }

@@ -1,22 +1,39 @@
-//! Offline stand-in for the `serde` trait surface used by this workspace.
+//! Offline stand-in for the `serde` surface used by this workspace.
 //!
-//! The FeBiM crates only use serde through `#[derive(Serialize, Deserialize)]`
-//! on config and result structs — nothing in the workspace actually
-//! serializes (there is no serde_json/bincode dependency; CSV output is
-//! hand-rolled in `febim-core`). Since the build environment has no access to
-//! crates.io, this shim keeps those derives compiling: the traits are pure
-//! markers with blanket impls, and the derive macros expand to nothing.
+//! The build environment has no access to crates.io, so this shim provides
+//! the pieces the FeBiM crates actually rely on:
 //!
-//! If real serialization is ever needed, replace this vendored crate with the
-//! genuine `serde` by restoring the crates.io dependency.
+//! * a **real** [`Serialize`] trait that writes compact JSON — implemented
+//!   for the primitives, strings, `Vec`/slices, `Option` and tuples, and
+//!   derived for workspace types by the sibling `serde_derive` shim;
+//! * the [`json`] module with [`json::to_string`] / [`json::to_string_pretty`]
+//!   (the `serde_json` entry points the bench binaries use);
+//! * marker-only [`Deserialize`] / [`DeserializeOwned`] traits with blanket
+//!   impls (nothing in the workspace deserializes).
+//!
+//! The JSON encoding matches `serde_json` for the shapes in use: structs are
+//! objects, newtype structs are their inner value, unit enum variants are
+//! strings, struct/tuple variants are externally tagged objects, and
+//! non-finite floats serialize as `null`.
 
 #![warn(missing_docs)]
 
+// The derive macro lives in the macro namespace, the trait below in the type
+// namespace, so — exactly like real serde with `features = ["derive"]` —
+// `serde::Serialize` names both.
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+/// Types that can write themselves as JSON.
+///
+/// This is the shim's stand-in for `serde::Serialize`: instead of the full
+/// `Serializer` abstraction it exposes a single method that appends the
+/// compact JSON encoding of `self` to a buffer. `#[derive(Serialize)]`
+/// (from the vendored `serde_derive`) generates implementations for structs
+/// and enums.
+pub trait Serialize {
+    /// Appends the compact JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
 
 /// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
 /// types.
@@ -35,4 +52,323 @@ pub mod de {
 /// Mirrors `serde::ser` far enough for `Serialize` imports.
 pub mod ser {
     pub use crate::Serialize;
+}
+
+macro_rules! impl_serialize_integer {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buffer(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+
+/// Formats a signed 128-bit value into the caller's buffer without heap
+/// allocation (every workspace integer fits i128).
+fn itoa_buffer(buffer: &mut [u8; 40], mut value: i128) -> &str {
+    let negative = value < 0;
+    let mut index = buffer.len();
+    loop {
+        index -= 1;
+        // `unsigned_abs`-style digit extraction that survives i128::MIN.
+        let digit = (value % 10).unsigned_abs() as u8;
+        buffer[index] = b'0' + digit;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    if negative {
+        index -= 1;
+        buffer[index] = b'-';
+    }
+    std::str::from_utf8(&buffer[index..]).expect("ASCII digits")
+}
+
+impl_serialize_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's float formatting is shortest-round-trip, like the
+                    // ryu backend of serde_json: decimal notation in the
+                    // human-readable range, exponent notation for extremes.
+                    let magnitude = self.abs();
+                    if *self == 0.0 || (1e-4..1e16).contains(&magnitude) {
+                        let mut formatted = format!("{self}");
+                        if !formatted.contains('.') {
+                            formatted.push_str(".0");
+                        }
+                        out.push_str(&formatted);
+                    } else {
+                        out.push_str(&format!("{self:e}"));
+                    }
+                } else {
+                    // serde_json represents NaN/±inf as null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buffer = [0u8; 4];
+        json::escape_into(self.encode_utf8(&mut buffer), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(value) => value.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (index, element) in self.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            element.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    };
+}
+
+impl_serialize_tuple!(A: 0, B: 1);
+impl_serialize_tuple!(A: 0, B: 1, C: 2);
+impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<T: Serialize> Serialize for std::cell::RefCell<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.borrow().serialize_json(out);
+    }
+}
+
+/// `serde_json`-shaped entry points over the shim's [`Serialize`] trait.
+pub mod json {
+    use super::Serialize;
+
+    /// Serializes a value to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.serialize_json(&mut out);
+        out
+    }
+
+    /// Serializes a value to two-space-indented JSON (the `serde_json`
+    /// pretty format).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        reindent(&to_string(value))
+    }
+
+    /// Appends `text` as a JSON string literal (quoted and escaped).
+    pub fn escape_into(text: &str, out: &mut String) {
+        out.push('"');
+        for character in text.chars() {
+            match character {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                control if (control as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", control as u32));
+                }
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Reformats compact JSON with two-space indentation. The input must be
+    /// valid JSON (it always is here: it comes from [`to_string`]).
+    fn reindent(compact: &str) -> String {
+        let mut out = String::with_capacity(compact.len() * 2);
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut chars = compact.chars().peekable();
+        while let Some(character) = chars.next() {
+            if in_string {
+                out.push(character);
+                if escaped {
+                    escaped = false;
+                } else if character == '\\' {
+                    escaped = true;
+                } else if character == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match character {
+                '"' => {
+                    in_string = true;
+                    out.push('"');
+                }
+                '{' | '[' => {
+                    out.push(character);
+                    // Keep empty containers on one line.
+                    let closer = if character == '{' { '}' } else { ']' };
+                    if chars.peek() == Some(&closer) {
+                        out.push(closer);
+                        chars.next();
+                    } else {
+                        depth += 1;
+                        push_newline(&mut out, depth);
+                    }
+                }
+                '}' | ']' => {
+                    depth = depth.saturating_sub(1);
+                    push_newline(&mut out, depth);
+                    out.push(character);
+                }
+                ',' => {
+                    out.push(',');
+                    push_newline(&mut out, depth);
+                }
+                ':' => out.push_str(": "),
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    fn push_newline(out: &mut String, depth: usize) {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize_like_serde_json() {
+        assert_eq!(json::to_string(&42usize), "42");
+        assert_eq!(json::to_string(&-7i32), "-7");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for value in [0.1e-6, 1.0e-6, 2.36e-12, 581.4e12, 0.0, -3.25] {
+            let encoded = json::to_string(&value);
+            let decoded: f64 = encoded.parse().expect("JSON number parses as f64");
+            assert_eq!(decoded, value, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn containers_serialize() {
+        assert_eq!(json::to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&Vec::<u32>::new()), "[]");
+        assert_eq!(json::to_string(&Some(5u8)), "5");
+        assert_eq!(json::to_string(&Option::<u8>::None), "null");
+        assert_eq!(
+            json::to_string(&vec![vec![Some(1usize), None]]),
+            "[[1,null]]"
+        );
+        assert_eq!(json::to_string(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn pretty_printing_indents_and_preserves_strings() {
+        let pretty = json::to_string_pretty(&vec!["a{b".to_string(), "c,d".to_string()]);
+        assert_eq!(pretty, "[\n  \"a{b\",\n  \"c,d\"\n]");
+        let empty = json::to_string_pretty(&Vec::<u8>::new());
+        assert_eq!(empty, "[]");
+    }
+
+    #[test]
+    fn integer_extremes_format_correctly() {
+        assert_eq!(json::to_string(&u64::MAX), u64::MAX.to_string());
+        assert_eq!(json::to_string(&i64::MIN), i64::MIN.to_string());
+        assert_eq!(json::to_string(&0u8), "0");
+    }
 }

@@ -1,16 +1,28 @@
-//! No-op `Serialize`/`Deserialize` derive macros.
+//! `Serialize`/`Deserialize` derive macros for the offline `serde` shim.
 //!
-//! The sibling `serde` shim implements its marker traits for every type via
-//! blanket impls, so these derives only need to exist (and accept the
-//! `#[serde(...)]` helper attribute) — they expand to nothing.
+//! `Serialize` is a real derive now: it parses the item declaration with the
+//! bare `proc_macro` API (the build environment has no `syn`/`quote`) and
+//! emits an implementation of the shim's `serde::Serialize` trait that writes
+//! compact JSON, matching serde_json's data model for the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields → objects (`#[serde(skip)]` fields omitted),
+//! * newtype structs → the inner value, other tuple structs → arrays,
+//! * unit enum variants → `"Variant"`,
+//! * struct variants → `{"Variant":{...}}`, tuple variants →
+//!   `{"Variant":[...]}` (newtype variants → `{"Variant":value}`).
+//!
+//! `Deserialize` remains a no-op: nothing in the workspace deserializes, and
+//! the sibling shim keeps its blanket marker impl.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Accepts `#[derive(Serialize)]` and expands to nothing; the blanket impl in
-/// the `serde` shim already covers every type.
+/// Derives the shim's JSON-emitting `serde::Serialize` for structs and enums.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand_serialize(input)
+        .parse()
+        .expect("serde_derive shim produced invalid Rust")
 }
 
 /// Accepts `#[derive(Deserialize)]` and expands to nothing; the blanket impl
@@ -18,4 +30,329 @@ pub fn derive_serialize(_input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skipped: bool,
+}
+
+/// One parsed enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+fn expand_serialize(input: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+    skip_attributes_and_visibility(&tokens, &mut index);
+
+    let kind = match &tokens[index] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    index += 1;
+    let name = match &tokens[index] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive shim: expected an item name, found {other}"),
+    };
+    index += 1;
+    if matches!(&tokens.get(index), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (deriving {name})");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                serialize_named_fields(&parse_named_fields(group.stream()), "self.")
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                serialize_tuple_fields(count_tuple_fields(group.stream()), "self.")
+            }
+            // Unit struct: serde_json renders it as null.
+            _ => "out.push_str(\"null\");".to_string(),
+        },
+        "enum" => {
+            let group = match tokens.get(index) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
+                other => panic!("serde_derive shim: malformed enum body: {other:?}"),
+            };
+            serialize_enum(&parse_variants(group.stream()))
+        }
+        other => panic!("serde_derive shim: cannot derive Serialize for `{other}` items"),
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and an
+/// optional `pub` / `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], index: &mut usize) {
+    loop {
+        match tokens.get(*index) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == '#' => {
+                *index += 2; // `#` plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *index += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(*index) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        *index += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Whether an attribute group (the `[...]` contents) is `serde(skip)`.
+fn is_serde_skip(group: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(ident)), Some(TokenTree::Group(args)))
+            if ident.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|token| matches!(&token, TokenTree::Ident(arg) if arg.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` sequences (struct bodies and struct variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        // Leading attributes: record `#[serde(skip)]`, ignore the rest.
+        let mut skipped = false;
+        loop {
+            match tokens.get(index) {
+                Some(TokenTree::Punct(punct)) if punct.as_char() == '#' => {
+                    if let Some(TokenTree::Group(group)) = tokens.get(index + 1) {
+                        skipped |= is_serde_skip(&group.stream());
+                    }
+                    index += 2;
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    index += 1;
+                    if let Some(TokenTree::Group(group)) = tokens.get(index) {
+                        if group.delimiter() == Delimiter::Parenthesis {
+                            index += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = tokens.get(index) else {
+            break;
+        };
+        fields.push(Field {
+            name: field_name.to_string(),
+            skipped,
+        });
+        // Skip `: Type` up to the next top-level comma; commas inside angle
+        // brackets (`HashMap<K, V>`) belong to the type.
+        let mut angle_depth = 0i32;
+        index += 1;
+        while index < tokens.len() {
+            match &tokens[index] {
+                TokenTree::Punct(punct) if punct.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(punct) if punct.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(punct) if punct.as_char() == ',' && angle_depth == 0 => {
+                    index += 1;
+                    break;
+                }
+                _ => {}
+            }
+            index += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(punct) if punct.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(punct) if punct.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(punct) if punct.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    fields += 1;
+                    pending = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut index);
+        let Some(TokenTree::Ident(name)) = tokens.get(index) else {
+            break;
+        };
+        let name = name.to_string();
+        index += 1;
+        match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(group.stream())));
+                index += 1;
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, count_tuple_fields(group.stream())));
+                index += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip an optional discriminant and the trailing comma.
+        while index < tokens.len() {
+            if matches!(&tokens[index], TokenTree::Punct(punct) if punct.as_char() == ',') {
+                index += 1;
+                break;
+            }
+            index += 1;
+        }
+    }
+    variants
+}
+
+/// Emits the body serializing named fields as a JSON object. `accessor` is
+/// the expression prefix (`self.` or empty for destructured bindings).
+fn serialize_named_fields(fields: &[Field], accessor: &str) -> String {
+    let mut body = String::from("out.push('{');\n");
+    let mut first = true;
+    for field in fields {
+        if field.skipped {
+            continue;
+        }
+        if !first {
+            body.push_str("out.push(',');\n");
+        }
+        first = false;
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{}\\\":\");\n\
+             ::serde::Serialize::serialize_json(&{accessor}{}, out);\n",
+            field.name, field.name
+        ));
+    }
+    body.push_str("out.push('}');");
+    body
+}
+
+/// Emits the body serializing positional fields: newtype → inner value,
+/// otherwise a JSON array.
+fn serialize_tuple_fields(count: usize, accessor: &str) -> String {
+    match count {
+        0 => "out.push_str(\"null\");".to_string(),
+        1 => format!("::serde::Serialize::serialize_json(&{accessor}0, out);"),
+        _ => {
+            let mut body = String::from("out.push('[');\n");
+            for index in 0..count {
+                if index > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&{accessor}{index}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');");
+            body
+        }
+    }
+}
+
+fn serialize_enum(variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        match variant {
+            Variant::Unit(name) => {
+                arms.push_str(&format!(
+                    "Self::{name} => out.push_str(\"\\\"{name}\\\"\"),\n"
+                ));
+            }
+            Variant::Tuple(name, count) => {
+                let bindings: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+                let body = serialize_tuple_fields_bound(&bindings);
+                arms.push_str(&format!(
+                    "Self::{name}({}) => {{\n\
+                         out.push_str(\"{{\\\"{name}\\\":\");\n\
+                         {body}\n\
+                         out.push('}}');\n\
+                     }}\n",
+                    bindings.join(", ")
+                ));
+            }
+            Variant::Struct(name, fields) => {
+                let bindings: Vec<&str> = fields
+                    .iter()
+                    .filter(|field| !field.skipped)
+                    .map(|field| field.name.as_str())
+                    .collect();
+                let pattern = if bindings.len() == fields.len() {
+                    format!("Self::{name} {{ {} }}", bindings.join(", "))
+                } else {
+                    format!("Self::{name} {{ {}, .. }}", bindings.join(", "))
+                };
+                let inner = serialize_named_fields(fields, "");
+                arms.push_str(&format!(
+                    "{pattern} => {{\n\
+                         out.push_str(\"{{\\\"{name}\\\":\");\n\
+                         {inner}\n\
+                         out.push('}}');\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+/// Tuple-variant body over destructured bindings.
+fn serialize_tuple_fields_bound(bindings: &[String]) -> String {
+    match bindings.len() {
+        0 => "out.push_str(\"null\");".to_string(),
+        1 => format!("::serde::Serialize::serialize_json({}, out);", bindings[0]),
+        _ => {
+            let mut body = String::from("out.push('[');\n");
+            for (index, binding) in bindings.iter().enumerate() {
+                if index > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json({binding}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');");
+            body
+        }
+    }
 }
