@@ -18,9 +18,11 @@
 //! | `table1` | Cross-technology comparison |
 //!
 //! The extra `perf` binary records the before/after speedup of the
-//! conductance-cached read path into `BENCH_inference.json`, and the
-//! `fabric` binary records tiled-fabric vs. monolithic-array throughput
-//! (plus the tile plan and deployment telemetry) into `BENCH_fabric.json`.
+//! conductance-cached read path into `BENCH_inference.json`, the `fabric`
+//! binary records tiled-fabric vs. monolithic-array throughput (plus the
+//! tile plan and deployment telemetry) into `BENCH_fabric.json`, and the
+//! `serving` binary sweeps the concurrent batch-serving pool over
+//! replicas × batch size × backend into `BENCH_serving.json`.
 //!
 //! Run, for example, `cargo run -p febim-bench --bin fig6 --release`.
 

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod delay;
 pub mod energy;
 pub mod errors;
@@ -42,6 +43,7 @@ pub mod sense;
 pub mod transient;
 pub mod wta;
 
+pub use batch::{fabric_wordline_driver_energy, wordline_driver_energy, ReadGroup};
 pub use delay::{DelayBreakdown, DelayModel, DelayParams};
 pub use energy::{EnergyModel, EnergyParams, InferenceEnergy};
 pub use errors::{CircuitError, Result};

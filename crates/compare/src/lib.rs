@@ -22,10 +22,12 @@
 
 pub mod entry;
 pub mod fabric;
+pub mod serving;
 pub mod table;
 
 pub use entry::{CellConfiguration, DeviceUsage, TechnologyEntry};
 pub use fabric::{FabricComparison, FabricDeployment};
+pub use serving::{ServingComparison, ServingMeasurement};
 pub use table::{ComparisonTable, ImprovementSummary};
 
 pub mod bayesian_machine;

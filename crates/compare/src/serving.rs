@@ -1,0 +1,210 @@
+//! Sequential vs concurrent batch-serving deployment comparison.
+//!
+//! The serving pool's pitch is throughput: N engine replicas answering
+//! coalesced request batches should beat one engine answering one request
+//! at a time, and the grouped reads should also price below the sequential
+//! delay/energy baseline in the circuit model. This module assembles that
+//! comparison — one [`ServingMeasurement`] row per (backend, replicas,
+//! batch) configuration, aggregated into a [`ServingComparison`] table —
+//! in the same spirit as the fabric deployment rows.
+
+use serde::{Deserialize, Serialize};
+
+use febim_core::{PoolStats, Table};
+
+/// Measured telemetry of one serving configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingMeasurement {
+    /// Backend name (e.g. `tiled-fabric`).
+    pub backend: String,
+    /// Engine replicas (pool workers).
+    pub replicas: usize,
+    /// Batch-coalescing limit of the run.
+    pub max_batch: usize,
+    /// Requests served.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Wall-clock nanoseconds per request of the sequential single-sample
+    /// baseline (one engine, one scratch, one request at a time).
+    pub sequential_ns_per_request: f64,
+    /// Wall-clock nanoseconds per request of the grouped-read batched path
+    /// (`infer_batch_into` in `max_batch`-sized groups on one engine — the
+    /// per-replica service rate inside a pool worker).
+    pub batched_ns_per_request: f64,
+    /// Wall-clock nanoseconds per request through the serving pool
+    /// (replicas, queue and coalescing included).
+    pub serving_ns_per_request: f64,
+    /// `sequential_ns_per_request / batched_ns_per_request` (> 1 means
+    /// grouped reads out-serve sequential single-sample inference).
+    pub batched_speedup: f64,
+    /// `sequential_ns_per_request / serving_ns_per_request` (> 1 means the
+    /// whole pool out-serves sequential inference; needs the cores to scale
+    /// across).
+    pub throughput_speedup: f64,
+    /// Modeled amortized-over-sequential delay ratio of the grouped reads.
+    pub amortized_delay_ratio: f64,
+    /// Modeled amortized-over-sequential energy ratio of the grouped reads.
+    pub amortized_energy_ratio: f64,
+}
+
+impl ServingMeasurement {
+    /// Builds one row from a completed pool run and its measured timings.
+    pub fn new(
+        backend: impl Into<String>,
+        replicas: usize,
+        max_batch: usize,
+        stats: &PoolStats,
+        sequential_ns_per_request: f64,
+        batched_ns_per_request: f64,
+        serving_ns_per_request: f64,
+    ) -> Self {
+        Self {
+            backend: backend.into(),
+            replicas,
+            max_batch,
+            requests: stats.requests,
+            batches: stats.batches,
+            mean_batch_size: stats.mean_batch_size,
+            sequential_ns_per_request,
+            batched_ns_per_request,
+            serving_ns_per_request,
+            batched_speedup: sequential_ns_per_request / batched_ns_per_request,
+            throughput_speedup: sequential_ns_per_request / serving_ns_per_request,
+            amortized_delay_ratio: stats.delay_ratio(),
+            amortized_energy_ratio: stats.energy_ratio(),
+        }
+    }
+}
+
+/// A sweep of serving configurations over one request workload.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServingComparison {
+    /// One row per measured (backend, replicas, batch) configuration.
+    pub rows: Vec<ServingMeasurement>,
+}
+
+impl ServingComparison {
+    /// An empty comparison.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one measured configuration.
+    pub fn push(&mut self, row: ServingMeasurement) {
+        self.rows.push(row);
+    }
+
+    /// Best pool throughput speedup among rows of `backend` whose batch
+    /// limit is at least `min_batch` (`None` when nothing matches).
+    pub fn best_speedup(&self, backend: &str, min_batch: usize) -> Option<f64> {
+        self.best_of(backend, min_batch, |row| row.throughput_speedup)
+    }
+
+    /// Best grouped-read (batched-path) speedup among rows of `backend`
+    /// whose batch limit is at least `min_batch`.
+    pub fn best_batched_speedup(&self, backend: &str, min_batch: usize) -> Option<f64> {
+        self.best_of(backend, min_batch, |row| row.batched_speedup)
+    }
+
+    fn best_of(
+        &self,
+        backend: &str,
+        min_batch: usize,
+        metric: impl Fn(&ServingMeasurement) -> f64,
+    ) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|row| row.backend == backend && row.max_batch >= min_batch)
+            .map(metric)
+            .fold(None, |best, speedup| {
+                Some(best.map_or(speedup, |value: f64| value.max(speedup)))
+            })
+    }
+
+    /// Renders the sweep as a report table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "serving_comparison",
+            &[
+                "backend",
+                "replicas",
+                "max_batch",
+                "requests",
+                "mean_batch",
+                "sequential_ns",
+                "batched_ns",
+                "serving_ns",
+                "batched_speedup",
+                "pool_speedup",
+                "delay_ratio",
+                "energy_ratio",
+            ],
+        );
+        for row in &self.rows {
+            table.push_row(&[
+                row.backend.clone(),
+                row.replicas.to_string(),
+                row.max_batch.to_string(),
+                row.requests.to_string(),
+                format!("{:.2}", row.mean_batch_size),
+                format!("{:.1}", row.sequential_ns_per_request),
+                format!("{:.1}", row.batched_ns_per_request),
+                format!("{:.1}", row.serving_ns_per_request),
+                format!("{:.2}", row.batched_speedup),
+                format!("{:.2}", row.throughput_speedup),
+                format!("{:.4}", row.amortized_delay_ratio),
+                format!("{:.4}", row.amortized_energy_ratio),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_core::{EngineConfig, FebimEngine, ServingConfig, ServingPool};
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+
+    #[test]
+    fn rows_aggregate_pool_stats_and_render() {
+        let dataset = iris_like(88).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(88)).unwrap();
+        let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).unwrap();
+        let pool = ServingPool::replicate(&engine, 2, ServingConfig::febim_default()).unwrap();
+        let samples: Vec<Vec<f64>> = (0..split.test.n_samples())
+            .map(|index| split.test.sample(index).unwrap().to_vec())
+            .collect();
+        let answers = pool.serve(&samples);
+        assert!(answers.iter().all(Result::is_ok));
+        let stats = pool.shutdown();
+        let row =
+            ServingMeasurement::new("crossbar-single-array", 2, 8, &stats, 2000.0, 1000.0, 500.0);
+        assert_eq!(row.requests, samples.len() as u64);
+        assert!((row.throughput_speedup - 4.0).abs() < 1e-12);
+        assert!((row.batched_speedup - 2.0).abs() < 1e-12);
+        assert!(row.amortized_delay_ratio <= 1.0);
+        assert!(row.amortized_energy_ratio <= 1.0);
+        let mut comparison = ServingComparison::new();
+        comparison.push(row);
+        assert_eq!(
+            comparison.best_speedup("crossbar-single-array", 8),
+            Some(4.0)
+        );
+        assert_eq!(
+            comparison.best_batched_speedup("crossbar-single-array", 8),
+            Some(2.0)
+        );
+        assert_eq!(comparison.best_speedup("crossbar-single-array", 9), None);
+        assert_eq!(comparison.best_speedup("tiled-fabric", 1), None);
+        let rendered = comparison.to_table().to_pretty();
+        assert!(rendered.contains("crossbar-single-array"));
+        let json = serde::json::to_string(&comparison);
+        assert!(json.contains("\"throughput_speedup\""));
+    }
+}

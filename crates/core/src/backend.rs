@@ -25,8 +25,13 @@
 use std::sync::Arc;
 
 use febim_bayes::{argmax, GaussianNaiveBayes};
-use febim_circuit::{CircuitError, DelayBreakdown, InferenceEnergy, SensingChain, TileGeometry};
-use febim_crossbar::{Activation, CrossbarArray, ProgrammingMode, TileGrid, TileShape};
+use febim_circuit::{
+    fabric_wordline_driver_energy, wordline_driver_energy, CircuitError, DelayBreakdown,
+    InferenceEnergy, ReadGroup, SensingChain, TileGeometry,
+};
+use febim_crossbar::{
+    Activation, CrossbarArray, CrossbarLayout, ProgrammingMode, TileGrid, TileShape,
+};
 use febim_device::{LevelProgrammer, VariationModel};
 use febim_quant::QuantizedGnbc;
 use serde::{Deserialize, Serialize};
@@ -62,6 +67,83 @@ pub struct BackendInfo {
     pub tiles: usize,
 }
 
+/// Per-batch telemetry of one grouped inference: how the batch prices as a
+/// read group versus the same reads issued sequentially.
+///
+/// Per-sample [`InferenceStep`]s of a batch are always bit-identical to
+/// sequential inference; the telemetry is where batching shows up. Backends
+/// that support grouped reads (`amortized == true`) settle the array once
+/// and hold the wordline bias across the group, so `delay`/`energy` price
+/// below the `sequential_*` baselines; the default implementation simply
+/// sums the per-read figures (`amortized == false`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchTelemetry {
+    /// Number of inferences in the batch.
+    pub reads: usize,
+    /// Modeled delay of the whole batch.
+    pub delay: DelayBreakdown,
+    /// Modeled energy of the whole batch.
+    pub energy: InferenceEnergy,
+    /// Σ per-read total delays (what the batch costs issued one by one).
+    pub sequential_delay: f64,
+    /// Σ per-read total energies of the sequential baseline.
+    pub sequential_energy: f64,
+    /// Whether the backend amortized settling/drivers across the group.
+    pub amortized: bool,
+}
+
+impl BatchTelemetry {
+    /// Telemetry of an empty batch.
+    pub fn empty(amortized: bool) -> Self {
+        Self {
+            reads: 0,
+            delay: DelayBreakdown {
+                array: 0.0,
+                sensing: 0.0,
+            },
+            energy: InferenceEnergy {
+                array: 0.0,
+                sensing: 0.0,
+            },
+            sequential_delay: 0.0,
+            sequential_energy: 0.0,
+            amortized,
+        }
+    }
+
+    /// Telemetry of an amortized read group.
+    pub(crate) fn from_group(group: &ReadGroup) -> Self {
+        Self {
+            reads: group.reads(),
+            delay: group.delay(),
+            energy: group.energy(),
+            sequential_delay: group.sequential_delay(),
+            sequential_energy: group.sequential_energy(),
+            amortized: true,
+        }
+    }
+
+    /// Batched-over-sequential delay ratio (≤ 1 for amortized groups; 1.0
+    /// for an empty or cost-free batch).
+    pub fn delay_ratio(&self) -> f64 {
+        if self.sequential_delay > 0.0 {
+            self.delay.total() / self.sequential_delay
+        } else {
+            1.0
+        }
+    }
+
+    /// Batched-over-sequential energy ratio (≤ 1 for amortized groups; 1.0
+    /// for an empty or cost-free batch).
+    pub fn energy_ratio(&self) -> f64 {
+        if self.sequential_energy > 0.0 {
+            self.energy.total() / self.sequential_energy
+        } else {
+            1.0
+        }
+    }
+}
+
 /// A pluggable inference engine core.
 ///
 /// Implementations own their full physical (or mathematical) state; the
@@ -84,6 +166,46 @@ pub trait InferenceBackend {
     /// Propagates discretization, read and sensing errors.
     fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep>;
 
+    /// Runs one inference per sample of a batch, writing one
+    /// [`InferenceStep`] per sample into `steps` (cleared first) and
+    /// returning the batch-level telemetry.
+    ///
+    /// The contract every implementation must honor: per-sample steps (and
+    /// the final [`EvalScratch::wordline_currents`], which reflect the last
+    /// sample of the batch) are **bit-identical** to sequential
+    /// [`InferenceBackend::infer_into`] calls on the same backend — batching
+    /// may only change *how the group is priced*, never what it decides.
+    ///
+    /// The default implementation loops `infer_into` and sums the per-read
+    /// telemetry; backends with grouped-read support specialize it to
+    /// amortize array settling and wordline drivers across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-sample inference errors (the batch stops at the first
+    /// failing sample; `steps` holds the completed prefix).
+    fn infer_batch_into(
+        &self,
+        samples: &[Vec<f64>],
+        scratch: &mut EvalScratch,
+        steps: &mut Vec<InferenceStep>,
+    ) -> Result<BatchTelemetry> {
+        steps.clear();
+        let mut telemetry = BatchTelemetry::empty(false);
+        for sample in samples {
+            let step = self.infer_into(sample, scratch)?;
+            telemetry.reads += 1;
+            telemetry.delay.array += step.delay.array;
+            telemetry.delay.sensing += step.delay.sensing;
+            telemetry.energy.array += step.energy.array;
+            telemetry.energy.sensing += step.energy.sensing;
+            steps.push(step);
+        }
+        telemetry.sequential_delay = telemetry.delay.total();
+        telemetry.sequential_energy = telemetry.energy.total();
+        Ok(telemetry)
+    }
+
     /// Re-establishes the backend's physical state from its compiled model
     /// (programming the cells and re-applying the configured device
     /// variation). A no-op for stateless backends.
@@ -101,6 +223,26 @@ pub trait InferenceBackend {
     /// Returns [`CoreError::UnsupportedOperation`] for backends without
     /// physical state.
     fn current_map_into(&self, out: &mut Vec<f64>) -> Result<()>;
+}
+
+/// Discretizes every sample of a batch into one activation per read,
+/// reusing (and growing on demand) the scratch's activation pool. Shared by
+/// the grouped-read paths of the physical backends.
+fn fill_batch_activations(
+    quantized: &QuantizedGnbc,
+    layout: &CrossbarLayout,
+    samples: &[Vec<f64>],
+    scratch: &mut EvalScratch,
+) -> Result<()> {
+    if scratch.batch_activations.len() < samples.len() {
+        let template = Activation::empty(layout);
+        scratch.batch_activations.resize(samples.len(), template);
+    }
+    for (index, sample) in samples.iter().enumerate() {
+        quantized.discretize_sample_into(sample, &mut scratch.evidence)?;
+        scratch.batch_activations[index].set_observation(layout, &scratch.evidence)?;
+    }
+    Ok(())
 }
 
 /// Builds the level programmer shared by the physical backends.
@@ -246,6 +388,54 @@ impl CrossbarBackend {
     pub fn set_sensing(&mut self, sensing: SensingChain) {
         self.sensing = sensing;
     }
+
+    /// Resolves one read whose wordline currents are already in the scratch:
+    /// the shared tail of the sequential and grouped inference paths, so
+    /// both decide (and price a single read) identically.
+    fn sense_step(&self, activated: usize, scratch: &mut EvalScratch) -> Result<InferenceStep> {
+        match self
+            .sensing
+            .sense_into(&scratch.currents, activated, &mut scratch.mirrored)
+        {
+            Ok(readout) => Ok(InferenceStep {
+                prediction: readout.winner,
+                delay: readout.delay,
+                energy: readout.energy,
+                tie_broken: false,
+            }),
+            Err(CircuitError::AmbiguousWinner { .. }) => {
+                // Quantized posteriors can tie exactly; physical mismatch
+                // would break the tie, we do it deterministically instead.
+                let winner = argmax(&scratch.currents).expect("at least one wordline");
+                let delay = self.sensing.delay_model().worst_case(
+                    scratch.currents.len(),
+                    activated.max(1),
+                    self.sensing.wta(),
+                    self.sensing.mirror().gain,
+                )?;
+                // `sense_into` leaves the scratch unspecified on error, so
+                // re-mirror the currents before pricing the energy.
+                self.sensing
+                    .mirror()
+                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
+                let energy = self.sensing.energy_model().inference_with_mirrored(
+                    &scratch.currents,
+                    &scratch.mirrored,
+                    activated,
+                    delay.total(),
+                    self.sensing.mirror(),
+                    self.sensing.wta(),
+                )?;
+                Ok(InferenceStep {
+                    prediction: winner,
+                    delay,
+                    energy,
+                    tie_broken: true,
+                })
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
 }
 
 impl InferenceBackend for CrossbarBackend {
@@ -278,48 +468,39 @@ impl InferenceBackend for CrossbarBackend {
         activation.set_observation(self.array.layout(), &scratch.evidence)?;
         self.array
             .wordline_currents_into(activation, &mut scratch.currents)?;
-        match self
-            .sensing
-            .sense_into(&scratch.currents, activation.len(), &mut scratch.mirrored)
-        {
-            Ok(readout) => Ok(InferenceStep {
-                prediction: readout.winner,
-                delay: readout.delay,
-                energy: readout.energy,
-                tie_broken: false,
-            }),
-            Err(CircuitError::AmbiguousWinner { .. }) => {
-                // Quantized posteriors can tie exactly; physical mismatch
-                // would break the tie, we do it deterministically instead.
-                let winner = argmax(&scratch.currents).expect("at least one wordline");
-                let delay = self.sensing.delay_model().worst_case(
-                    scratch.currents.len(),
-                    activation.len().max(1),
-                    self.sensing.wta(),
-                    self.sensing.mirror().gain,
-                )?;
-                // `sense_into` leaves the scratch unspecified on error, so
-                // re-mirror the currents before pricing the energy.
-                self.sensing
-                    .mirror()
-                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
-                let energy = self.sensing.energy_model().inference_with_mirrored(
-                    &scratch.currents,
-                    &scratch.mirrored,
-                    activation.len(),
-                    delay.total(),
-                    self.sensing.mirror(),
-                    self.sensing.wta(),
-                )?;
-                Ok(InferenceStep {
-                    prediction: winner,
-                    delay,
-                    energy,
-                    tie_broken: true,
-                })
-            }
-            Err(err) => Err(err.into()),
+        let activated = activation.len();
+        self.sense_step(activated, scratch)
+    }
+
+    fn infer_batch_into(
+        &self,
+        samples: &[Vec<f64>],
+        scratch: &mut EvalScratch,
+        steps: &mut Vec<InferenceStep>,
+    ) -> Result<BatchTelemetry> {
+        steps.clear();
+        if samples.is_empty() {
+            return Ok(BatchTelemetry::empty(true));
         }
+        fill_batch_activations(&self.quantized, self.array.layout(), samples, scratch)?;
+        self.array.wordline_currents_batch_into(
+            &scratch.batch_activations[..samples.len()],
+            &mut scratch.batch_currents,
+        )?;
+        let rows = self.array.layout().rows();
+        let share = wordline_driver_energy(self.sensing.energy_model().params(), rows);
+        let mut group = ReadGroup::new();
+        for read in 0..samples.len() {
+            scratch.currents.clear();
+            scratch
+                .currents
+                .extend_from_slice(&scratch.batch_currents[read * rows..(read + 1) * rows]);
+            let activated = scratch.batch_activations[read].len();
+            let step = self.sense_step(activated, scratch)?;
+            group.add(&step.delay, &step.energy, share)?;
+            steps.push(step);
+        }
+        Ok(BatchTelemetry::from_group(&group))
     }
 
     fn reprogram(&mut self) -> Result<()> {
@@ -439,45 +620,11 @@ impl TiledFabricBackend {
             tile.activated_columns = tile_activated[index % plan.col_tiles()];
         }
     }
-}
 
-impl InferenceBackend for TiledFabricBackend {
-    fn info(&self) -> BackendInfo {
-        BackendInfo {
-            kind: BackendKind::TiledFabric,
-            name: "tiled-fabric",
-            events: self.grid.layout().rows(),
-            columns: self.grid.layout().columns(),
-            tiles: self.tiled.plan().tile_count(),
-        }
-    }
-
-    fn make_scratch(&self) -> EvalScratch {
-        EvalScratch {
-            evidence: Vec::with_capacity(self.quantized.n_features()),
-            activation: Some(Activation::empty(self.grid.layout())),
-            currents: Vec::with_capacity(self.grid.layout().rows()),
-            mirrored: Vec::with_capacity(self.grid.layout().rows()),
-            tiles: Vec::with_capacity(self.base_tiles.len()),
-            tile_activated: Vec::with_capacity(self.tiled.plan().col_tiles()),
-        }
-    }
-
-    fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
-        self.quantized
-            .discretize_sample_into(sample, &mut scratch.evidence)?;
-        let EvalScratch {
-            evidence,
-            activation,
-            currents,
-            tiles,
-            tile_activated,
-            ..
-        } = scratch;
-        let activation = activation.get_or_insert_with(|| Activation::empty(self.grid.layout()));
-        activation.set_observation(self.grid.layout(), evidence)?;
-        self.grid.wordline_currents_into(activation, currents)?;
-        self.fill_tile_geometries(activation, tiles, tile_activated);
+    /// Resolves one fabric read whose merged currents and tile geometries
+    /// are already in the scratch: the shared tail of the sequential and
+    /// grouped inference paths.
+    fn sense_fabric_step(&self, scratch: &mut EvalScratch) -> Result<InferenceStep> {
         let col_tiles = self.tiled.plan().col_tiles();
         match self.sensing.sense_fabric_into(
             &scratch.currents,
@@ -518,6 +665,91 @@ impl InferenceBackend for TiledFabricBackend {
             }
             Err(err) => Err(err.into()),
         }
+    }
+}
+
+impl InferenceBackend for TiledFabricBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::TiledFabric,
+            name: "tiled-fabric",
+            events: self.grid.layout().rows(),
+            columns: self.grid.layout().columns(),
+            tiles: self.tiled.plan().tile_count(),
+        }
+    }
+
+    fn make_scratch(&self) -> EvalScratch {
+        EvalScratch {
+            evidence: Vec::with_capacity(self.quantized.n_features()),
+            activation: Some(Activation::empty(self.grid.layout())),
+            currents: Vec::with_capacity(self.grid.layout().rows()),
+            mirrored: Vec::with_capacity(self.grid.layout().rows()),
+            tiles: Vec::with_capacity(self.base_tiles.len()),
+            tile_activated: Vec::with_capacity(self.tiled.plan().col_tiles()),
+            ..EvalScratch::default()
+        }
+    }
+
+    fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
+        self.quantized
+            .discretize_sample_into(sample, &mut scratch.evidence)?;
+        {
+            let EvalScratch {
+                evidence,
+                activation,
+                currents,
+                tiles,
+                tile_activated,
+                ..
+            } = scratch;
+            let activation =
+                activation.get_or_insert_with(|| Activation::empty(self.grid.layout()));
+            activation.set_observation(self.grid.layout(), evidence)?;
+            self.grid.wordline_currents_into(activation, currents)?;
+            self.fill_tile_geometries(activation, tiles, tile_activated);
+        }
+        self.sense_fabric_step(scratch)
+    }
+
+    fn infer_batch_into(
+        &self,
+        samples: &[Vec<f64>],
+        scratch: &mut EvalScratch,
+        steps: &mut Vec<InferenceStep>,
+    ) -> Result<BatchTelemetry> {
+        steps.clear();
+        if samples.is_empty() {
+            return Ok(BatchTelemetry::empty(true));
+        }
+        fill_batch_activations(&self.quantized, self.grid.layout(), samples, scratch)?;
+        self.grid.wordline_currents_batch_into(
+            &scratch.batch_activations[..samples.len()],
+            &mut scratch.batch_currents,
+        )?;
+        let rows = self.grid.layout().rows();
+        let share =
+            fabric_wordline_driver_energy(self.sensing.energy_model().params(), &self.base_tiles);
+        let mut group = ReadGroup::new();
+        for read in 0..samples.len() {
+            scratch.currents.clear();
+            scratch
+                .currents
+                .extend_from_slice(&scratch.batch_currents[read * rows..(read + 1) * rows]);
+            {
+                let EvalScratch {
+                    batch_activations,
+                    tiles,
+                    tile_activated,
+                    ..
+                } = scratch;
+                self.fill_tile_geometries(&batch_activations[read], tiles, tile_activated);
+            }
+            let step = self.sense_fabric_step(scratch)?;
+            group.add(&step.delay, &step.energy, share)?;
+            steps.push(step);
+        }
+        Ok(BatchTelemetry::from_group(&group))
     }
 
     fn reprogram(&mut self) -> Result<()> {
@@ -626,6 +858,116 @@ mod tests {
         assert_eq!(info.tiles, 4);
         assert_eq!(fabric.tiled_program().plan().row_tiles(), 2);
         assert_eq!(fabric.tiled_program().plan().col_tiles(), 2);
+    }
+
+    fn batch_of(test: &febim_data::Dataset) -> Vec<Vec<f64>> {
+        (0..test.n_samples())
+            .map(|index| test.sample(index).unwrap().to_vec())
+            .collect()
+    }
+
+    /// Batched inference must be bit-identical to sequential inference —
+    /// same steps (prediction, tie, delay, energy) and same final wordline
+    /// currents — on every backend; only the batch telemetry may improve.
+    fn assert_batch_matches_sequential<B: InferenceBackend>(backend: &B, batch: &[Vec<f64>]) {
+        let mut sequential_scratch = backend.make_scratch();
+        let sequential: Vec<InferenceStep> = batch
+            .iter()
+            .map(|sample| backend.infer_into(sample, &mut sequential_scratch).unwrap())
+            .collect();
+        let mut scratch = backend.make_scratch();
+        let mut steps = Vec::new();
+        let telemetry = backend
+            .infer_batch_into(batch, &mut scratch, &mut steps)
+            .unwrap();
+        assert_eq!(steps, sequential);
+        assert_eq!(
+            scratch.wordline_currents(),
+            sequential_scratch.wordline_currents()
+        );
+        assert_eq!(telemetry.reads, batch.len());
+        let sequential_delay: f64 = sequential.iter().map(|s| s.delay.total()).sum();
+        let sequential_energy: f64 = sequential.iter().map(|s| s.energy.total()).sum();
+        assert!((telemetry.sequential_delay - sequential_delay).abs() <= sequential_delay * 1e-12);
+        assert!(
+            (telemetry.sequential_energy - sequential_energy).abs() <= sequential_energy * 1e-12
+        );
+        if telemetry.amortized && batch.len() > 1 && sequential_delay > 0.0 {
+            assert!(telemetry.delay.total() < telemetry.sequential_delay);
+            assert!(telemetry.energy.total() < telemetry.sequential_energy);
+            assert!(telemetry.delay_ratio() < 1.0);
+            assert!(telemetry.energy_ratio() < 1.0);
+        }
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_on_every_backend() {
+        let (model, quantized, test) = trained();
+        let config = EngineConfig::febim_default();
+        let batch = batch_of(&test);
+        assert_batch_matches_sequential(&SoftwareBackend::new(model), &batch);
+        let crossbar = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        assert_batch_matches_sequential(&crossbar, &batch);
+        let fabric =
+            TiledFabricBackend::new(quantized, &config, TileShape::new(2, 24).unwrap()).unwrap();
+        assert_batch_matches_sequential(&fabric, &batch);
+        // The physical backends amortize; the software default path does not.
+        let mut scratch = crossbar.make_scratch();
+        let mut steps = Vec::new();
+        let telemetry = crossbar
+            .infer_batch_into(&batch, &mut scratch, &mut steps)
+            .unwrap();
+        assert!(telemetry.amortized);
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        let (model, quantized, _) = trained();
+        let config = EngineConfig::febim_default();
+        let crossbar = CrossbarBackend::new(quantized, &config).unwrap();
+        let software = SoftwareBackend::new(model);
+        for (telemetry, amortized) in [
+            (
+                {
+                    let mut scratch = crossbar.make_scratch();
+                    let mut steps = vec![InferenceStep {
+                        prediction: 9,
+                        delay: DelayBreakdown {
+                            array: 1.0,
+                            sensing: 1.0,
+                        },
+                        energy: InferenceEnergy {
+                            array: 1.0,
+                            sensing: 1.0,
+                        },
+                        tie_broken: false,
+                    }];
+                    let telemetry = crossbar
+                        .infer_batch_into(&[], &mut scratch, &mut steps)
+                        .unwrap();
+                    assert!(steps.is_empty(), "steps must be cleared");
+                    telemetry
+                },
+                true,
+            ),
+            (
+                {
+                    let mut scratch = software.make_scratch();
+                    let mut steps = Vec::new();
+                    software
+                        .infer_batch_into(&[], &mut scratch, &mut steps)
+                        .unwrap()
+                },
+                false,
+            ),
+        ] {
+            assert_eq!(telemetry.reads, 0);
+            assert_eq!(telemetry.delay.total(), 0.0);
+            assert_eq!(telemetry.energy.total(), 0.0);
+            assert_eq!(telemetry.amortized, amortized);
+            assert_eq!(telemetry.delay_ratio(), 1.0);
+            assert_eq!(telemetry.energy_ratio(), 1.0);
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@ use febim_data::Dataset;
 use febim_quant::QuantizedGnbc;
 
 use crate::backend::{
-    BackendInfo, CrossbarBackend, InferenceBackend, SoftwareBackend, TiledFabricBackend,
+    BackendInfo, BatchTelemetry, CrossbarBackend, InferenceBackend, SoftwareBackend,
+    TiledFabricBackend,
 };
 use crate::compiler::{CrossbarProgram, TiledProgram};
 use crate::config::EngineConfig;
@@ -74,6 +75,12 @@ pub struct EvalScratch {
     /// Activated-bitline count per tile column of the current read (tiled
     /// fabric backend only).
     pub(crate) tile_activated: Vec<usize>,
+    /// One activation per in-flight read of a batched inference (physical
+    /// backends only).
+    pub(crate) batch_activations: Vec<Activation>,
+    /// Wordline currents of a whole batched read group, read-major
+    /// (`batch_currents[read * rows + row]`).
+    pub(crate) batch_currents: Vec<f64>,
 }
 
 impl EvalScratch {
@@ -288,6 +295,27 @@ impl FebimEngine<SoftwareBackend> {
 }
 
 impl<B: InferenceBackend> FebimEngine<B> {
+    /// Builds an engine around a **custom** backend implementation: the
+    /// model is trained and quantized exactly as for the built-in backends,
+    /// then `build` receives the shared quantized tables and the validated
+    /// configuration and returns the backend. This is the extension point
+    /// for out-of-crate [`InferenceBackend`] implementations (instrumented
+    /// wrappers, alternative physics) so they can ride the full engine and
+    /// serving APIs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, training and quantization errors, plus
+    /// whatever `build` returns.
+    pub fn fit_with(
+        train_data: &Dataset,
+        config: EngineConfig,
+        build: impl FnOnce(Arc<QuantizedGnbc>, &EngineConfig) -> Result<B>,
+    ) -> Result<Self> {
+        let model = GaussianNaiveBayes::fit(train_data)?;
+        build_engine(Arc::new(model), train_data, config, build)
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -347,6 +375,36 @@ impl<B: InferenceBackend> FebimEngine<B> {
             });
         }
         self.backend.infer_into(sample, scratch)
+    }
+
+    /// Runs one inference for every sample of a batch, reusing the caller's
+    /// scratch and writing one [`InferenceStep`] per sample into `steps`
+    /// (cleared first). Per-sample results are **bit-identical** to
+    /// sequential [`FebimEngine::infer_into`] calls on the same backend; the
+    /// returned [`BatchTelemetry`] prices the whole group, with backends
+    /// that support grouped reads (the crossbar and the tiled fabric)
+    /// amortizing array settling and wordline drivers across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DatasetMismatch`] if any sample has the wrong
+    /// number of features (before any inference runs) and propagates backend
+    /// errors.
+    pub fn infer_batch_into(
+        &self,
+        samples: &[Vec<f64>],
+        scratch: &mut EvalScratch,
+        steps: &mut Vec<InferenceStep>,
+    ) -> Result<BatchTelemetry> {
+        for sample in samples {
+            if sample.len() != self.quantized.n_features() {
+                return Err(CoreError::DatasetMismatch {
+                    expected_features: self.quantized.n_features(),
+                    found_features: sample.len(),
+                });
+            }
+        }
+        self.backend.infer_batch_into(samples, scratch, steps)
     }
 
     /// Runs one inference for a continuous sample.

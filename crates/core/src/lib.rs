@@ -38,9 +38,10 @@ pub mod metrics;
 pub mod monte_carlo;
 pub mod report;
 pub mod scaling;
+pub mod serving;
 
 pub use backend::{
-    BackendInfo, BackendKind, CrossbarBackend, InferenceBackend, SoftwareBackend,
+    BackendInfo, BackendKind, BatchTelemetry, CrossbarBackend, InferenceBackend, SoftwareBackend,
     TiledFabricBackend,
 };
 pub use compiler::{compile, compile_tiled, CrossbarProgram, TiledProgram};
@@ -60,6 +61,9 @@ pub use scaling::{
 /// `Serialize`-deriving result type (e.g. [`EvaluationReport`],
 /// [`febim_crossbar::TilePlan`]) — the machinery behind `BENCH_*.json`.
 pub use serde::json;
+pub use serving::{
+    PoolStats, ServeOutcome, ServingConfig, ServingError, ServingPool, Ticket, WorkerReport,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,1219 @@
+//! Concurrent batch-serving engine pool.
+//!
+//! The engine answers one query at a time; a serving workload is many
+//! independent clients querying the *same* compiled model. This module
+//! turns N engine replicas (any [`InferenceBackend`], all programmed from
+//! one compiled/tiled program) into a [`ServingPool`]:
+//!
+//! ```text
+//!  clients ──submit()──▶ bounded MPSC queue ──▶ worker 0 ─ engine replica 0
+//!     │                  (backpressure:          worker 1 ─ engine replica 1
+//!     │                   QueueFull / block)       ⋮            ⋮
+//!     ◀──Ticket::wait()── per-request channel ◀─ worker N-1 ─ replica N-1
+//! ```
+//!
+//! Each worker pops a **batch** of queued requests (up to
+//! [`ServingConfig::max_batch`], waiting at most
+//! [`ServingConfig::max_wait_ticks`] queue polls for stragglers — ticks,
+//! not wall-clock, so tests are deterministic), runs it through the
+//! backend's grouped-read path ([`InferenceBackend::infer_batch_into`]) with
+//! a per-worker reused [`EvalScratch`](crate::engine::EvalScratch), and
+//! answers every request with its
+//! prediction plus the per-batch amortized delay/energy telemetry.
+//!
+//! ## Backpressure and shutdown
+//!
+//! The queue is bounded: [`ServingPool::submit`] never blocks and returns
+//! [`ServingError::QueueFull`] when the queue is at capacity, while
+//! [`ServingPool::submit_blocking`] waits for a slot. Shutdown is
+//! deterministic — every request that ever entered the queue is answered:
+//!
+//! * [`ServingPool::shutdown`] (and dropping the pool) closes the intake and
+//!   **drains**: workers keep answering until the queue is empty.
+//! * [`ServingPool::abort`] closes the intake and answers every request
+//!   still queued with the typed [`ServingError::ShutDown`]; only batches a
+//!   worker already holds finish normally.
+//!
+//! A [`Ticket`] can therefore never hang: its request is either answered,
+//! rejected with a typed error, or its channel is dropped (worker death),
+//! which [`Ticket::wait`] also reports as [`ServingError::ShutDown`]. Nor
+//! can a producer: when the **last** worker exits — normally or by panic —
+//! a drop guard closes the intake and rejects everything still queued, so
+//! blocked [`ServingPool::submit_blocking`] callers fail fast instead of
+//! waiting on a queue nothing will ever pop.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+
+use febim_circuit::{DelayBreakdown, InferenceEnergy};
+
+use crate::backend::{BatchTelemetry, InferenceBackend};
+use crate::engine::{FebimEngine, InferenceStep};
+use crate::errors::CoreError;
+
+/// Knobs of the batch-coalescing serving pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Largest number of requests a worker groups into one batched read.
+    pub max_batch: usize,
+    /// How many queue polls a worker spends waiting for stragglers before
+    /// dispatching a partial batch. Ticks are queue polls (each releases the
+    /// queue lock and yields), not wall-clock time, so batching behaviour is
+    /// deterministic under test. `0` dispatches whatever one poll finds.
+    pub max_wait_ticks: u32,
+    /// Capacity of the bounded request queue (the backpressure limit).
+    pub queue_depth: usize,
+}
+
+impl ServingConfig {
+    /// Default serving point: batches of up to 8, a few straggler polls, a
+    /// queue deep enough to keep every replica busy.
+    pub fn febim_default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait_ticks: 4,
+            queue_depth: 64,
+        }
+    }
+
+    /// Returns a copy with a different maximum batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns a copy with a different straggler-poll budget.
+    pub fn with_max_wait_ticks(mut self, ticks: u32) -> Self {
+        self.max_wait_ticks = ticks;
+        self
+    }
+
+    /// Returns a copy with a different queue capacity.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::InvalidConfig`] for a zero batch size or a
+    /// zero queue depth.
+    pub fn validate(&self) -> Result<(), ServingError> {
+        if self.max_batch == 0 {
+            return Err(ServingError::InvalidConfig {
+                name: "max_batch",
+                reason: "batches must hold at least one request".to_string(),
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(ServingError::InvalidConfig {
+                name: "queue_depth",
+                reason: "the request queue needs a positive capacity".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self::febim_default()
+    }
+}
+
+/// Typed errors of the serving pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingError {
+    /// A serving configuration value is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The pool was built without any engine replica.
+    NoReplicas,
+    /// Backpressure: the bounded request queue is at capacity.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The pool is shutting down (or shut down): the request was not — or
+    /// will not be — served.
+    ShutDown,
+    /// The request reached a worker but inference failed.
+    Inference(CoreError),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::InvalidConfig { name, reason } => {
+                write!(f, "invalid serving configuration `{name}`: {reason}")
+            }
+            ServingError::NoReplicas => write!(f, "serving pool needs at least one engine replica"),
+            ServingError::QueueFull { capacity } => {
+                write!(f, "request queue is full ({capacity} requests queued)")
+            }
+            ServingError::ShutDown => write!(f, "serving pool is shut down"),
+            ServingError::Inference(err) => write!(f, "inference failed: {err}"),
+        }
+    }
+}
+
+impl Error for ServingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServingError::Inference(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServingError {
+    fn from(err: CoreError) -> Self {
+        ServingError::Inference(err)
+    }
+}
+
+/// One served inference: the per-sample decision (bit-identical to a
+/// sequential [`FebimEngine::infer_into`] call on the same backend) plus the
+/// telemetry of the batch it rode in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeOutcome {
+    /// Predicted class.
+    pub prediction: usize,
+    /// Whether the winner was decided by deterministic tie-breaking.
+    pub tie_broken: bool,
+    /// Worst-case delay estimate of this single inference.
+    pub delay: DelayBreakdown,
+    /// Energy estimate of this single inference.
+    pub energy: InferenceEnergy,
+    /// Index of the worker (engine replica) that served the request.
+    pub worker: usize,
+    /// Amortized telemetry of the whole batch this request was grouped into.
+    pub batch: BatchTelemetry,
+}
+
+type ServeResult = Result<ServeOutcome, ServingError>;
+
+/// Handle to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    receiver: mpsc::Receiver<ServeResult>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered. Never hangs: a pool that shuts
+    /// down answers (or typed-rejects) every queued request, and a lost
+    /// worker surfaces as [`ServingError::ShutDown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed serving error of the request.
+    pub fn wait(self) -> ServeResult {
+        self.receiver.recv().unwrap_or(Err(ServingError::ShutDown))
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+struct Job {
+    sample: Vec<f64>,
+    responder: mpsc::Sender<ServeResult>,
+}
+
+/// State behind the queue lock.
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded MPSC request queue: many submitting clients, N consuming
+/// workers. Blocking waits sit on condvars (releasing the lock), so intake,
+/// batching and shutdown can never deadlock each other.
+#[derive(Debug)]
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl SharedQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking enqueue.
+    fn try_push(&self, job: Job) -> Result<(), ServingError> {
+        let mut state = self.lock_state();
+        if state.closed {
+            return Err(ServingError::ShutDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(ServingError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking enqueue: waits for a free slot instead of rejecting.
+    fn push_blocking(&self, job: Job) -> Result<(), ServingError> {
+        let mut state = self.lock_state();
+        loop {
+            if state.closed {
+                return Err(ServingError::ShutDown);
+            }
+            if state.jobs.len() < self.capacity {
+                state.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Pops the next batch into `batch` (cleared by the caller): blocks for
+    /// the first request, then spends up to `max_wait_ticks` queue polls
+    /// topping the batch up to `max_batch`. Returns `false` when the queue
+    /// is closed and fully drained (the worker should exit).
+    fn pop_batch(&self, batch: &mut Vec<Job>, max_batch: usize, max_wait_ticks: u32) -> bool {
+        let mut state = self.lock_state();
+        while state.jobs.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let mut ticks = 0u32;
+        loop {
+            while batch.len() < max_batch {
+                match state.jobs.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+            self.not_full.notify_all();
+            if batch.len() >= max_batch || state.closed || ticks >= max_wait_ticks {
+                return true;
+            }
+            // One straggler tick: release the lock, let clients enqueue,
+            // look again.
+            ticks += 1;
+            drop(state);
+            std::thread::yield_now();
+            state = self.lock_state();
+        }
+    }
+
+    /// Closes the intake and wakes every waiting client and worker.
+    fn close(&self) {
+        let mut state = self.lock_state();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Removes and returns everything still queued.
+    fn drain_remaining(&self) -> Vec<Job> {
+        let mut state = self.lock_state();
+        let drained = state.jobs.drain(..).collect();
+        drop(state);
+        self.not_full.notify_all();
+        drained
+    }
+}
+
+/// Serving statistics of one worker (engine replica).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Requests this worker answered.
+    pub requests: u64,
+    /// Batches this worker dispatched.
+    pub batches: u64,
+    /// Largest batch this worker dispatched.
+    pub largest_batch: usize,
+    /// Requests answered with [`ServingError::ShutDown`] during an abort.
+    pub shutdown_rejected: u64,
+    /// Requests answered with a typed [`ServingError::Inference`] error.
+    pub failed: u64,
+    /// Σ amortized batch delays, in seconds.
+    pub batched_delay_s: f64,
+    /// Σ amortized batch energies, in joules.
+    pub batched_energy_j: f64,
+    /// Σ sequential-baseline delays of the same reads, in seconds.
+    pub sequential_delay_s: f64,
+    /// Σ sequential-baseline energies of the same reads, in joules.
+    pub sequential_energy_j: f64,
+    /// Whether this worker's thread died (panicked) instead of reporting:
+    /// all other fields of a crashed report are zero — whatever the worker
+    /// had counted died with it.
+    pub crashed: bool,
+}
+
+/// Aggregated statistics of a completed pool run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Requests answered across all workers.
+    pub requests: u64,
+    /// Batches dispatched across all workers.
+    pub batches: u64,
+    /// Largest batch any worker dispatched.
+    pub largest_batch: usize,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Requests rejected with the typed shutdown error during an abort
+    /// (drained by [`ServingPool::abort`] itself or bounced by a worker
+    /// mid-abort).
+    pub shutdown_rejected: u64,
+    /// Requests answered with a typed [`ServingError::Inference`] error
+    /// (counted separately from the successful `requests`, so every request
+    /// that entered the queue reconciles as answered, failed, or rejected).
+    pub failed_requests: u64,
+    /// Worker threads that died (panicked) instead of reporting; their
+    /// counts are lost and their queued work was answered with
+    /// [`ServingError::ShutDown`].
+    pub crashed_workers: u64,
+    /// Σ amortized batch delays, in seconds.
+    pub batched_delay_s: f64,
+    /// Σ amortized batch energies, in joules.
+    pub batched_energy_j: f64,
+    /// Σ sequential-baseline delays, in seconds.
+    pub sequential_delay_s: f64,
+    /// Σ sequential-baseline energies, in joules.
+    pub sequential_energy_j: f64,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl PoolStats {
+    fn from_workers(workers: Vec<WorkerReport>) -> Self {
+        let mut stats = Self {
+            requests: 0,
+            batches: 0,
+            largest_batch: 0,
+            mean_batch_size: 0.0,
+            shutdown_rejected: 0,
+            failed_requests: 0,
+            crashed_workers: 0,
+            batched_delay_s: 0.0,
+            batched_energy_j: 0.0,
+            sequential_delay_s: 0.0,
+            sequential_energy_j: 0.0,
+            workers,
+        };
+        for report in &stats.workers {
+            stats.requests += report.requests;
+            stats.batches += report.batches;
+            stats.largest_batch = stats.largest_batch.max(report.largest_batch);
+            stats.shutdown_rejected += report.shutdown_rejected;
+            stats.failed_requests += report.failed;
+            stats.crashed_workers += u64::from(report.crashed);
+            stats.batched_delay_s += report.batched_delay_s;
+            stats.batched_energy_j += report.batched_energy_j;
+            stats.sequential_delay_s += report.sequential_delay_s;
+            stats.sequential_energy_j += report.sequential_energy_j;
+        }
+        if stats.batches > 0 {
+            stats.mean_batch_size = stats.requests as f64 / stats.batches as f64;
+        }
+        stats
+    }
+
+    /// Amortized-over-sequential modeled delay ratio of the whole run (≤ 1
+    /// when grouped reads amortized settling; 1.0 for an idle run).
+    pub fn delay_ratio(&self) -> f64 {
+        if self.sequential_delay_s > 0.0 {
+            self.batched_delay_s / self.sequential_delay_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Amortized-over-sequential modeled energy ratio of the whole run.
+    pub fn energy_ratio(&self) -> f64 {
+        if self.sequential_energy_j > 0.0 {
+            self.batched_energy_j / self.sequential_energy_j
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A pool of engine replicas serving batched inference requests.
+///
+/// The pool is backend-erased: any [`InferenceBackend`] builds one, and
+/// pools over different backends share the one `ServingPool` type. See the
+/// [module docs](self) for the architecture, the batching knobs and the
+/// backpressure/shutdown semantics.
+#[derive(Debug)]
+pub struct ServingPool {
+    queue: Arc<SharedQueue>,
+    /// `true` (the default): drained requests are answered on shutdown;
+    /// `false` (abort): drained requests get the typed shutdown error.
+    answer_drained: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+    config: ServingConfig,
+}
+
+impl ServingPool {
+    /// Spawns one worker per engine replica. All replicas must serve the
+    /// same compiled program (clone one engine, or build each replica from
+    /// the same training data and configuration) — the pool does not check
+    /// this, it is the caller's deployment contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::NoReplicas`] for an empty replica set and
+    /// propagates configuration validation errors.
+    pub fn new<B: InferenceBackend + Send + 'static>(
+        engines: Vec<FebimEngine<B>>,
+        config: ServingConfig,
+    ) -> Result<Self, ServingError> {
+        config.validate()?;
+        if engines.is_empty() {
+            return Err(ServingError::NoReplicas);
+        }
+        let queue = Arc::new(SharedQueue::new(config.queue_depth));
+        let answer_drained = Arc::new(AtomicBool::new(true));
+        let alive = Arc::new(AtomicUsize::new(engines.len()));
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(worker, engine)| {
+                let queue = Arc::clone(&queue);
+                let answer_drained = Arc::clone(&answer_drained);
+                let guard = WorkerGuard {
+                    queue: Arc::clone(&queue),
+                    alive: Arc::clone(&alive),
+                };
+                std::thread::Builder::new()
+                    .name(format!("febim-serve-{worker}"))
+                    .spawn(move || {
+                        // Runs on every exit path, including panic unwind:
+                        // the last worker out closes and rejects the queue.
+                        let _guard = guard;
+                        worker_loop(worker, engine, &queue, &answer_drained, config)
+                    })
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(Self {
+            queue,
+            answer_drained,
+            workers,
+            config,
+        })
+    }
+
+    /// Builds a pool of `replicas` clones of one engine (they share the
+    /// trained model and the quantized tables by `Arc`, so replication
+    /// copies only the physical state).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServingPool::new`] (`replicas == 0` maps to
+    /// [`ServingError::NoReplicas`]).
+    pub fn replicate<B: InferenceBackend + Clone + Send + 'static>(
+        engine: &FebimEngine<B>,
+        replicas: usize,
+        config: ServingConfig,
+    ) -> Result<Self, ServingError> {
+        Self::new(vec![engine.clone(); replicas], config)
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Number of worker replicas.
+    pub fn replicas(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::QueueFull`] when the bounded queue is at
+    /// capacity (backpressure — retry later or use
+    /// [`ServingPool::submit_blocking`]).
+    pub fn submit(&self, sample: Vec<f64>) -> Result<Ticket, ServingError> {
+        let (responder, receiver) = mpsc::channel();
+        self.queue.try_push(Job { sample, responder })?;
+        Ok(Ticket { receiver })
+    }
+
+    /// Submits one request, waiting for a queue slot when the pool is at
+    /// capacity (blocking backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::ShutDown`] when the pool closes while the
+    /// request waits for a slot.
+    pub fn submit_blocking(&self, sample: Vec<f64>) -> Result<Ticket, ServingError> {
+        let (responder, receiver) = mpsc::channel();
+        self.queue.push_blocking(Job { sample, responder })?;
+        Ok(Ticket { receiver })
+    }
+
+    /// Convenience: submits every sample (blocking backpressure) and waits
+    /// for all answers, returned in submission order.
+    pub fn serve(&self, samples: &[Vec<f64>]) -> Vec<ServeResult> {
+        let tickets: Vec<Result<Ticket, ServingError>> = samples
+            .iter()
+            .map(|sample| self.submit_blocking(sample.clone()))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|ticket| ticket.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Graceful shutdown: closes the intake, lets the workers answer every
+    /// request still queued, joins them and returns the aggregated serving
+    /// statistics. Dropping the pool performs the same drain, discarding the
+    /// statistics.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.finish()
+    }
+
+    /// Hard shutdown: closes the intake and answers every request still
+    /// queued with the typed [`ServingError::ShutDown`] instead of serving
+    /// it (the rejects are counted in [`PoolStats::shutdown_rejected`]).
+    /// Batches a worker already popped are still answered normally.
+    pub fn abort(mut self) -> PoolStats {
+        self.answer_drained.store(false, Ordering::SeqCst);
+        self.queue.close();
+        let mut rejected = 0u64;
+        for job in self.queue.drain_remaining() {
+            let _ = job.responder.send(Err(ServingError::ShutDown));
+            rejected += 1;
+        }
+        let mut stats = self.finish();
+        stats.shutdown_rejected += rejected;
+        stats
+    }
+
+    /// Shared close-and-join tail of every shutdown path. A worker whose
+    /// thread panicked is reported as a crashed zero-count entry under its
+    /// own index.
+    fn finish(&mut self) -> PoolStats {
+        self.queue.close();
+        let reports = self
+            .workers
+            .drain(..)
+            .enumerate()
+            .map(|(index, worker)| {
+                worker.join().unwrap_or_else(|_| WorkerReport {
+                    worker: index,
+                    crashed: true,
+                    ..WorkerReport::default()
+                })
+            })
+            .collect();
+        PoolStats::from_workers(reports)
+    }
+}
+
+impl Drop for ServingPool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.finish();
+        }
+    }
+}
+
+/// Dropped by each worker thread on any exit path (normal return or panic
+/// unwind). The last worker out closes the intake and rejects everything
+/// still queued with the typed shutdown error: with no consumer left, a
+/// blocked producer or an unanswered queued request must fail fast, never
+/// wait forever. On a graceful shutdown the queue is already closed and
+/// drained, so both actions are no-ops.
+struct WorkerGuard {
+    queue: Arc<SharedQueue>,
+    alive: Arc<AtomicUsize>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if self.alive.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.queue.close();
+            for job in self.queue.drain_remaining() {
+                let _ = job.responder.send(Err(ServingError::ShutDown));
+            }
+        }
+    }
+}
+
+/// One worker: pop a batch, run it through the grouped-read path with a
+/// reused scratch, answer every request, repeat until the queue closes and
+/// drains.
+fn worker_loop<B: InferenceBackend>(
+    worker: usize,
+    engine: FebimEngine<B>,
+    queue: &SharedQueue,
+    answer_drained: &AtomicBool,
+    config: ServingConfig,
+) -> WorkerReport {
+    let mut report = WorkerReport {
+        worker,
+        ..WorkerReport::default()
+    };
+    let mut scratch = engine.make_scratch();
+    let mut steps: Vec<InferenceStep> = Vec::with_capacity(config.max_batch);
+    let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
+    let mut samples: Vec<Vec<f64>> = Vec::with_capacity(config.max_batch);
+    let mut responders: Vec<mpsc::Sender<ServeResult>> = Vec::with_capacity(config.max_batch);
+    loop {
+        batch.clear();
+        if !queue.pop_batch(&mut batch, config.max_batch, config.max_wait_ticks) {
+            break;
+        }
+        if !answer_drained.load(Ordering::SeqCst) {
+            // Abort in progress: reject instead of serving.
+            report.shutdown_rejected += batch.len() as u64;
+            for job in batch.drain(..) {
+                let _ = job.responder.send(Err(ServingError::ShutDown));
+            }
+            continue;
+        }
+        samples.clear();
+        responders.clear();
+        for job in batch.drain(..) {
+            samples.push(job.sample);
+            responders.push(job.responder);
+        }
+        match engine.infer_batch_into(&samples, &mut scratch, &mut steps) {
+            Ok(telemetry) => {
+                report.requests += samples.len() as u64;
+                report.batches += 1;
+                report.largest_batch = report.largest_batch.max(samples.len());
+                report.batched_delay_s += telemetry.delay.total();
+                report.batched_energy_j += telemetry.energy.total();
+                report.sequential_delay_s += telemetry.sequential_delay;
+                report.sequential_energy_j += telemetry.sequential_energy;
+                for (responder, step) in responders.iter().zip(&steps) {
+                    let _ = responder.send(Ok(ServeOutcome {
+                        prediction: step.prediction,
+                        tie_broken: step.tie_broken,
+                        delay: step.delay,
+                        energy: step.energy,
+                        worker,
+                        batch: telemetry,
+                    }));
+                }
+            }
+            Err(_) => {
+                // The batch failed as a group (e.g. one malformed sample).
+                // Fall back to per-sample inference so one bad request
+                // cannot poison its batch mates: each request gets its own
+                // answer or its own typed error.
+                for (responder, sample) in responders.iter().zip(&samples) {
+                    let answer = engine
+                        .infer_into(sample, &mut scratch)
+                        .map(|step| {
+                            report.requests += 1;
+                            report.batched_delay_s += step.delay.total();
+                            report.batched_energy_j += step.energy.total();
+                            report.sequential_delay_s += step.delay.total();
+                            report.sequential_energy_j += step.energy.total();
+                            ServeOutcome {
+                                prediction: step.prediction,
+                                tie_broken: step.tie_broken,
+                                delay: step.delay,
+                                energy: step.energy,
+                                worker,
+                                batch: BatchTelemetry {
+                                    reads: 1,
+                                    delay: step.delay,
+                                    energy: step.energy,
+                                    sequential_delay: step.delay.total(),
+                                    sequential_energy: step.energy.total(),
+                                    amortized: false,
+                                },
+                            }
+                        })
+                        .map_err(ServingError::Inference);
+                    if answer.is_err() {
+                        report.failed += 1;
+                    }
+                    let _ = responder.send(answer);
+                }
+                report.batches += 1;
+                report.largest_batch = report.largest_batch.max(samples.len());
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendInfo, CrossbarBackend};
+    use crate::config::EngineConfig;
+    use crate::engine::EvalScratch;
+    use crate::errors::Result as CoreResult;
+    use febim_crossbar::TileShape;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+    use febim_data::Dataset;
+
+    fn split_for(seed: u64) -> (Dataset, Dataset) {
+        let dataset = iris_like(seed).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(seed)).unwrap();
+        (split.train, split.test)
+    }
+
+    fn samples_of(test: &Dataset) -> Vec<Vec<f64>> {
+        (0..test.n_samples())
+            .map(|index| test.sample(index).unwrap().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn config_validation_and_builders() {
+        assert!(ServingConfig::febim_default().validate().is_ok());
+        let config = ServingConfig::default()
+            .with_max_batch(16)
+            .with_max_wait_ticks(0)
+            .with_queue_depth(128);
+        assert_eq!(config.max_batch, 16);
+        assert_eq!(config.max_wait_ticks, 0);
+        assert_eq!(config.queue_depth, 128);
+        assert!(matches!(
+            ServingConfig::default().with_max_batch(0).validate(),
+            Err(ServingError::InvalidConfig {
+                name: "max_batch",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServingConfig::default().with_queue_depth(0).validate(),
+            Err(ServingError::InvalidConfig {
+                name: "queue_depth",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn typed_errors_display_and_wrap() {
+        assert!(ServingError::NoReplicas.to_string().contains("replica"));
+        assert!(ServingError::QueueFull { capacity: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(ServingError::ShutDown.to_string().contains("shut down"));
+        let err: ServingError = CoreError::NotProgrammed.into();
+        assert!(err.to_string().contains("inference failed"));
+        assert!(Error::source(&err).is_some());
+        assert!(Error::source(&ServingError::ShutDown).is_none());
+    }
+
+    #[test]
+    fn empty_pools_and_zero_replicas_rejected() {
+        let (train, _) = split_for(900);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        assert!(matches!(
+            ServingPool::new::<CrossbarBackend>(Vec::new(), ServingConfig::default()),
+            Err(ServingError::NoReplicas)
+        ));
+        assert!(matches!(
+            ServingPool::replicate(&engine, 0, ServingConfig::default()),
+            Err(ServingError::NoReplicas)
+        ));
+        assert!(matches!(
+            ServingPool::replicate(&engine, 1, ServingConfig::default().with_max_batch(0)),
+            Err(ServingError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_answers_match_sequential_inference_bit_for_bit() {
+        let (train, test) = split_for(901);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        let mut scratch = engine.make_scratch();
+        let samples = samples_of(&test);
+        let sequential: Vec<InferenceStep> = samples
+            .iter()
+            .map(|sample| engine.infer_into(sample, &mut scratch).unwrap())
+            .collect();
+        let pool =
+            ServingPool::replicate(&engine, 2, ServingConfig::default().with_max_batch(4)).unwrap();
+        assert_eq!(pool.replicas(), 2);
+        assert_eq!(pool.config().max_batch, 4);
+        let answers = pool.serve(&samples);
+        for (answer, step) in answers.iter().zip(&sequential) {
+            let outcome = answer.as_ref().unwrap();
+            assert_eq!(outcome.prediction, step.prediction);
+            assert_eq!(outcome.tie_broken, step.tie_broken);
+            assert_eq!(outcome.delay, step.delay);
+            assert_eq!(outcome.energy, step.energy);
+            assert!(outcome.worker < 2);
+            assert!(outcome.batch.reads >= 1 && outcome.batch.reads <= 4);
+            assert!(outcome.batch.amortized);
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, samples.len() as u64);
+        assert!(stats.batches >= 1);
+        assert!(stats.largest_batch <= 4);
+        assert!(stats.mean_batch_size >= 1.0);
+        assert_eq!(stats.shutdown_rejected, 0);
+        // The grouped pricing never exceeds the sequential baseline.
+        assert!(stats.batched_delay_s <= stats.sequential_delay_s);
+        assert!(stats.batched_energy_j <= stats.sequential_energy_j);
+        assert!(stats.delay_ratio() <= 1.0 && stats.delay_ratio() > 0.0);
+        assert!(stats.energy_ratio() <= 1.0 && stats.energy_ratio() > 0.0);
+        let json = serde::json::to_string(&stats);
+        assert!(json.contains("\"mean_batch_size\""));
+        assert!(json.contains("\"workers\""));
+    }
+
+    #[test]
+    fn tiled_pool_matches_the_monolithic_pool() {
+        let (train, test) = split_for(902);
+        let config = EngineConfig::febim_default();
+        let monolithic = FebimEngine::fit(&train, config.clone()).unwrap();
+        let tiled = FebimEngine::fit_tiled(&train, config, TileShape::new(2, 24).unwrap()).unwrap();
+        let samples = samples_of(&test);
+        let mono_pool = ServingPool::replicate(&monolithic, 2, ServingConfig::default()).unwrap();
+        let tile_pool = ServingPool::replicate(&tiled, 2, ServingConfig::default()).unwrap();
+        let mono_answers = mono_pool.serve(&samples);
+        let tile_answers = tile_pool.serve(&samples);
+        for (a, b) in mono_answers.iter().zip(&tile_answers) {
+            assert_eq!(
+                a.as_ref().unwrap().prediction,
+                b.as_ref().unwrap().prediction
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_get_their_own_typed_error() {
+        let (train, test) = split_for(903);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        let expected = engine.predict(test.sample(0).unwrap()).unwrap();
+        let pool =
+            ServingPool::replicate(&engine, 1, ServingConfig::default().with_max_batch(8)).unwrap();
+        let mut samples = vec![test.sample(0).unwrap().to_vec(); 5];
+        samples[2] = vec![1.0, 2.0]; // wrong feature count
+        let answers = pool.serve(&samples);
+        for (index, answer) in answers.iter().enumerate() {
+            if index == 2 {
+                assert!(matches!(
+                    answer,
+                    Err(ServingError::Inference(CoreError::DatasetMismatch { .. }))
+                ));
+            } else {
+                assert_eq!(answer.as_ref().unwrap().prediction, expected);
+            }
+        }
+        // The failed request is accounted separately, so the run reconciles:
+        // 4 answered + 1 failed = 5 submitted.
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.failed_requests, 1);
+    }
+
+    /// A backend whose reads block on a test-controlled gate, so tests can
+    /// deterministically trap a worker mid-batch, fill the queue behind it
+    /// and observe backpressure and shutdown semantics.
+    #[derive(Debug)]
+    struct Gate {
+        state: Mutex<(bool, usize)>, // (open, reads entered)
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                state: Mutex::new((false, 0)),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn open(&self) {
+            self.state.lock().unwrap().0 = true;
+            self.cv.notify_all();
+        }
+
+        fn wait_entered(&self, reads: usize) {
+            let mut state = self.state.lock().unwrap();
+            while state.1 < reads {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+
+        fn enter_and_wait(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.1 += 1;
+            self.cv.notify_all();
+            while !state.0 {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct GatedBackend {
+        inner: CrossbarBackend,
+        gate: Arc<Gate>,
+    }
+
+    impl InferenceBackend for GatedBackend {
+        fn info(&self) -> BackendInfo {
+            self.inner.info()
+        }
+
+        fn make_scratch(&self) -> EvalScratch {
+            self.inner.make_scratch()
+        }
+
+        fn infer_into(
+            &self,
+            sample: &[f64],
+            scratch: &mut EvalScratch,
+        ) -> CoreResult<InferenceStep> {
+            self.gate.enter_and_wait();
+            self.inner.infer_into(sample, scratch)
+        }
+
+        fn reprogram(&mut self) -> CoreResult<()> {
+            self.inner.reprogram()
+        }
+
+        fn current_map_into(&self, out: &mut Vec<f64>) -> CoreResult<()> {
+            self.inner.current_map_into(out)
+        }
+    }
+
+    fn gated_pool(seed: u64, config: ServingConfig) -> (ServingPool, Arc<Gate>, Vec<f64>, usize) {
+        let (train, test) = split_for(seed);
+        let gate = Gate::new();
+        let engine_gate = Arc::clone(&gate);
+        let engine_config = EngineConfig::febim_default();
+        let engine = FebimEngine::fit_with(&train, engine_config, move |quantized, config| {
+            Ok(GatedBackend {
+                inner: CrossbarBackend::new(quantized, config)?,
+                gate: engine_gate,
+            })
+        })
+        .unwrap();
+        let sample = test.sample(0).unwrap().to_vec();
+        // Reference prediction through a plain (ungated) engine trained on
+        // the same data.
+        let prediction = {
+            let plain = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+            plain.predict(&sample).unwrap()
+        };
+        let pool = ServingPool::new(vec![engine], config).unwrap();
+        (pool, gate, sample, prediction)
+    }
+
+    #[test]
+    fn backpressure_surfaces_as_a_typed_queue_full_error() {
+        let config = ServingConfig::default()
+            .with_max_batch(1)
+            .with_max_wait_ticks(0)
+            .with_queue_depth(1);
+        let (pool, gate, sample, prediction) = gated_pool(904, config);
+        // First request: the worker pops it and blocks inside the read.
+        let first = pool.submit(sample.clone()).unwrap();
+        gate.wait_entered(1);
+        // Second request fills the depth-1 queue; the third must bounce.
+        let second = pool.submit(sample.clone()).unwrap();
+        let third = pool.submit(sample.clone());
+        assert!(matches!(
+            third,
+            Err(ServingError::QueueFull { capacity: 1 })
+        ));
+        gate.open();
+        assert_eq!(first.wait().unwrap().prediction, prediction);
+        assert_eq!(second.wait().unwrap().prediction, prediction);
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn dropping_the_pool_answers_every_queued_request() {
+        let config = ServingConfig::default()
+            .with_max_batch(1)
+            .with_max_wait_ticks(0)
+            .with_queue_depth(8);
+        let (pool, gate, sample, prediction) = gated_pool(905, config);
+        let trapped = pool.submit(sample.clone()).unwrap();
+        gate.wait_entered(1);
+        let queued: Vec<Ticket> = (0..4)
+            .map(|_| pool.submit(sample.clone()).unwrap())
+            .collect();
+        // Drop the pool from another thread (it blocks draining); every
+        // ticket must still resolve once the gate opens.
+        let dropper = std::thread::spawn(move || drop(pool));
+        gate.open();
+        assert_eq!(trapped.wait().unwrap().prediction, prediction);
+        for ticket in queued {
+            assert_eq!(ticket.wait().unwrap().prediction, prediction);
+        }
+        dropper.join().unwrap();
+    }
+
+    #[test]
+    fn abort_rejects_queued_requests_with_the_typed_shutdown_error() {
+        let config = ServingConfig::default()
+            .with_max_batch(1)
+            .with_max_wait_ticks(0)
+            .with_queue_depth(8);
+        let (pool, gate, sample, prediction) = gated_pool(906, config);
+        let trapped = pool.submit(sample.clone()).unwrap();
+        gate.wait_entered(1);
+        let queued: Vec<Ticket> = (0..3)
+            .map(|_| pool.submit(sample.clone()).unwrap())
+            .collect();
+        // The worker is trapped inside the read, so `abort` deterministically
+        // drains the queued requests before the worker can reach them.
+        let aborter = std::thread::spawn(move || pool.abort());
+        for ticket in queued {
+            assert!(matches!(ticket.wait(), Err(ServingError::ShutDown)));
+        }
+        // The in-flight request still gets its answer, and every rejected
+        // request is accounted for in the returned statistics.
+        gate.open();
+        assert_eq!(trapped.wait().unwrap().prediction, prediction);
+        let stats = aborter.join().unwrap();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.shutdown_rejected, 3);
+        assert_eq!(stats.crashed_workers, 0);
+    }
+
+    /// A backend whose reads panic, to prove a dying replica is surfaced in
+    /// the statistics and can never hang a ticket.
+    #[derive(Debug)]
+    struct PanickingBackend {
+        inner: CrossbarBackend,
+    }
+
+    impl InferenceBackend for PanickingBackend {
+        fn info(&self) -> BackendInfo {
+            self.inner.info()
+        }
+
+        fn make_scratch(&self) -> EvalScratch {
+            self.inner.make_scratch()
+        }
+
+        fn infer_into(
+            &self,
+            _sample: &[f64],
+            _scratch: &mut EvalScratch,
+        ) -> CoreResult<InferenceStep> {
+            panic!("injected worker crash");
+        }
+
+        fn reprogram(&mut self) -> CoreResult<()> {
+            self.inner.reprogram()
+        }
+
+        fn current_map_into(&self, out: &mut Vec<f64>) -> CoreResult<()> {
+            self.inner.current_map_into(out)
+        }
+    }
+
+    #[test]
+    fn crashed_workers_are_reported_and_tickets_never_hang() {
+        let (train, test) = split_for(908);
+        let engine = FebimEngine::fit_with(
+            &train,
+            EngineConfig::febim_default(),
+            |quantized, config| {
+                Ok(PanickingBackend {
+                    inner: CrossbarBackend::new(quantized, config)?,
+                })
+            },
+        )
+        .unwrap();
+        let pool = ServingPool::new(
+            vec![engine],
+            ServingConfig::default()
+                .with_max_batch(1)
+                .with_max_wait_ticks(0),
+        )
+        .unwrap();
+        let sample = test.sample(0).unwrap().to_vec();
+        let first = pool.submit(sample.clone()).unwrap();
+        // The worker dies on the first request; its ticket must resolve to
+        // the typed shutdown error (the responder died with the thread).
+        assert!(matches!(first.wait(), Err(ServingError::ShutDown)));
+        // The dying worker's guard closes the intake, so the pool fails
+        // fast instead of queueing work nothing will pop: a submit racing
+        // the guard is either rejected outright or its queued request is
+        // drained with the typed error — it can never hang.
+        match pool.submit_blocking(sample) {
+            Err(ServingError::ShutDown) => {}
+            Ok(ticket) => assert!(matches!(ticket.wait(), Err(ServingError::ShutDown))),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.crashed_workers, 1);
+        assert_eq!(stats.workers.len(), 1);
+        assert!(stats.workers[0].crashed);
+        assert_eq!(stats.workers[0].worker, 0);
+        assert_eq!(stats.requests, 0);
+    }
+
+    #[test]
+    fn shutdown_collects_per_worker_reports() {
+        let (train, test) = split_for(907);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        let pool = ServingPool::replicate(&engine, 3, ServingConfig::default()).unwrap();
+        let samples = samples_of(&test);
+        let answers = pool.serve(&samples);
+        assert!(answers.iter().all(Result::is_ok));
+        let stats = pool.shutdown();
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(
+            stats.workers.iter().map(|w| w.requests).sum::<u64>(),
+            samples.len() as u64
+        );
+        for (index, report) in stats.workers.iter().enumerate() {
+            assert_eq!(report.worker, index);
+        }
+    }
+}

@@ -306,6 +306,40 @@ impl CrossbarArray {
         Ok(())
     }
 
+    /// Accumulated wordline currents for a whole group of activation
+    /// patterns, written into `out` (cleared first) read after read:
+    /// `out[read * rows + row]` is the current of `row` under
+    /// `activations[read]`. The conductance cache is borrowed **once** for
+    /// the whole group, so a serving batch amortizes the cache check and
+    /// borrow across all its reads; every read's currents are bit-identical
+    /// to a standalone [`CrossbarArray::wordline_currents_into`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when any
+    /// activation was built for a different layout (before any current is
+    /// written).
+    pub fn wordline_currents_batch_into(
+        &self,
+        activations: &[Activation],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        for activation in activations {
+            self.check_activation(activation)?;
+        }
+        let rows = self.layout.rows();
+        out.clear();
+        out.reserve(rows * activations.len());
+        self.with_cache(|cache| {
+            for activation in activations {
+                for row in 0..rows {
+                    out.push(cache.wordline_current(row, activation));
+                }
+            }
+        });
+        Ok(())
+    }
+
     /// Accumulated currents of every wordline for an activation pattern.
     ///
     /// # Errors

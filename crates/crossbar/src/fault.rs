@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use febim_device::Polarization;
 
 use crate::array::CrossbarArray;
+use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
+use crate::tiling::TileGrid;
 
 /// The kind of hard defect injected into a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -86,6 +88,35 @@ impl FaultModel {
     ) -> Result<Vec<InjectedFault>> {
         let rows = array.layout().rows();
         let columns = array.layout().columns();
+        self.draw_faults(rows, columns, rng, |row, column, kind| {
+            apply_fault(array, row, column, kind)
+        })
+    }
+
+    /// Injects faults into every occupied cell of a tiled fabric, drawing in
+    /// **global row-major order** — the same RNG consumption order as
+    /// [`FaultModel::inject`] on a monolithic array, so a shared seed defects
+    /// exactly the same global coordinates on both deployments.
+    pub fn inject_grid<R: Rng + ?Sized>(
+        &self,
+        grid: &mut TileGrid,
+        rng: &mut R,
+    ) -> Result<Vec<InjectedFault>> {
+        let rows = grid.layout().rows();
+        let columns = grid.layout().columns();
+        self.draw_faults(rows, columns, rng, |row, column, kind| {
+            apply_grid_fault(grid, row, column, kind)
+        })
+    }
+
+    /// Shared row-major fault-drawing loop of the two deployments.
+    fn draw_faults<R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        columns: usize,
+        rng: &mut R,
+        mut apply: impl FnMut(usize, usize, FaultKind) -> Result<()>,
+    ) -> Result<Vec<InjectedFault>> {
         let mut faults = Vec::new();
         for row in 0..rows {
             for column in 0..columns {
@@ -97,7 +128,7 @@ impl FaultModel {
                 } else {
                     FaultKind::StuckProgrammed
                 };
-                apply_fault(array, row, column, kind)?;
+                apply(row, column, kind)?;
                 faults.push(InjectedFault { row, column, kind });
             }
         }
@@ -123,14 +154,38 @@ pub fn apply_fault(
     column: usize,
     kind: FaultKind,
 ) -> Result<()> {
-    let cell = array.cell_mut(row, column)?;
+    fault_cell(array.cell_mut(row, column)?, kind);
+    Ok(())
+}
+
+/// Applies a single hard fault to one cell of a tiled fabric, addressed by
+/// its **global** coordinates (the defect lands in whichever tile owns the
+/// cell). The defective device state is identical to [`apply_fault`] on a
+/// monolithic array, so a fabric with the same faulty global cells degrades
+/// identically.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside the
+/// fabric's logical layout.
+pub fn apply_grid_fault(
+    grid: &mut TileGrid,
+    row: usize,
+    column: usize,
+    kind: FaultKind,
+) -> Result<()> {
+    fault_cell(grid.cell_mut(row, column)?, kind);
+    Ok(())
+}
+
+/// The defective device state shared by both deployments.
+fn fault_cell(cell: &mut Cell, kind: FaultKind) {
     let polarization = match kind {
         FaultKind::StuckErased => Polarization::ERASED,
         FaultKind::StuckProgrammed => Polarization::SATURATED,
     };
     cell.device_mut().set_polarization(polarization);
     cell.device_mut().set_vth_offset(0.0);
-    Ok(())
 }
 
 #[cfg(test)]
@@ -211,6 +266,45 @@ mod tests {
     fn out_of_bounds_fault_rejected() {
         let mut array = programmed_array();
         assert!(apply_fault(&mut array, 9, 0, FaultKind::StuckErased).is_err());
+    }
+
+    #[test]
+    fn grid_injection_matches_monolithic_injection_per_seed() {
+        use crate::tiling::{TilePlan, TileShape};
+        let layout = CrossbarLayout::new(3, 4, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let plan = TilePlan::new(layout, TileShape::new(2, 9).unwrap()).unwrap();
+        let mut array = CrossbarArray::new(layout, programmer.clone());
+        let mut grid = crate::tiling::TileGrid::new(plan, programmer);
+        let levels: Vec<Vec<Option<usize>>> = (0..layout.rows())
+            .map(|row| {
+                (0..layout.columns())
+                    .map(|column| Some((row + column) % 10))
+                    .collect()
+            })
+            .collect();
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        grid.program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        let model = FaultModel::new(0.25, 0.5).unwrap();
+        let array_faults = model
+            .inject(&mut array, &mut VariationModel::seeded_rng(9))
+            .unwrap();
+        let grid_faults = model
+            .inject_grid(&mut grid, &mut VariationModel::seeded_rng(9))
+            .unwrap();
+        // Same seed, same row-major draw order → same defects, and the two
+        // faulty deployments read identically everywhere.
+        assert_eq!(array_faults, grid_faults);
+        assert!(!grid_faults.is_empty());
+        let activation = Activation::all_columns(&layout);
+        assert_eq!(
+            array.wordline_currents(&activation).unwrap(),
+            grid.wordline_currents(&activation).unwrap()
+        );
+        assert!(apply_grid_fault(&mut grid, 9, 0, FaultKind::StuckErased).is_err());
     }
 
     #[test]

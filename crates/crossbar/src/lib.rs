@@ -54,7 +54,7 @@ pub mod write;
 pub use array::{CrossbarArray, ProgrammingMode};
 pub use cell::Cell;
 pub use errors::{CrossbarError, Result};
-pub use fault::{apply_fault, FaultKind, FaultModel, InjectedFault};
+pub use fault::{apply_fault, apply_grid_fault, FaultKind, FaultModel, InjectedFault};
 pub use layout::{ColumnRole, CrossbarLayout};
 pub use read::Activation;
 pub use tiling::{TileGrid, TilePlan, TileShape};

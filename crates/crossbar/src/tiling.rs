@@ -541,6 +541,69 @@ impl TileGrid {
         Ok(())
     }
 
+    /// Merged wordline currents of the whole fabric for a group of
+    /// activation patterns, written into `out` (cleared first) read after
+    /// read: `out[read * rows + row]` is the merged current of global `row`
+    /// under `activations[read]`. This is the grouped-read kernel of the
+    /// serving path: the per-tile conductance caches and the fabric row
+    /// off-sums are borrowed **once** for the whole group, and each read's
+    /// activated columns are translated to `(tile column, local column)`
+    /// coordinates **once** instead of once per wordline — the division-free
+    /// inner loop the batch amortizes its setup over. Every read accumulates
+    /// in exactly the order of a standalone
+    /// [`TileGrid::wordline_currents_into`] call, so results stay
+    /// bit-identical to sequential reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when any
+    /// activation was built for a different layout (before any current is
+    /// written).
+    pub fn wordline_currents_batch_into(
+        &self,
+        activations: &[Activation],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        for activation in activations {
+            self.check_activation(activation)?;
+        }
+        let layout = *self.plan.layout();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        out.clear();
+        out.reserve(layout.rows() * activations.len());
+        // (tile column, local column) of each activated column, in
+        // activation order; refilled per read, allocated once per group.
+        let mut translated: Vec<(usize, usize)> = Vec::new();
+        self.with_cache(|cache| {
+            for activation in activations {
+                translated.clear();
+                translated.extend(
+                    activation
+                        .active_columns()
+                        .iter()
+                        .map(|&column| (column / shape.columns, column % shape.columns)),
+                );
+                let mut tile_row = 0usize;
+                let mut local_row = 0usize;
+                for row in 0..layout.rows() {
+                    let tile_base = tile_row * col_tiles;
+                    let mut current = cache.row_off_sums[row];
+                    for &(tile_col, local_col) in &translated {
+                        current += cache.tiles[tile_base + tile_col].delta(local_row, local_col);
+                    }
+                    out.push(current);
+                    local_row += 1;
+                    if local_row == shape.rows {
+                        local_row = 0;
+                        tile_row += 1;
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+
     /// Merged wordline currents of the whole fabric (allocating wrapper of
     /// [`TileGrid::wordline_currents_into`]).
     ///
@@ -813,6 +876,44 @@ mod tests {
             .map(|tile_col| grid.tile_activated_columns(tile_col, &activation).unwrap())
             .sum();
         assert_eq!(per_tile, activation.len());
+    }
+
+    #[test]
+    fn batched_reads_match_sequential_reads_bit_for_bit() {
+        let (grid, array) = grid_and_array();
+        let layout = *grid.layout();
+        let activations: Vec<Activation> = [[0usize, 0, 0, 0], [1, 3, 2, 0], [3, 3, 3, 3]]
+            .iter()
+            .map(|evidence| Activation::from_observation(&layout, evidence).unwrap())
+            .collect();
+        let mut grid_batch = vec![7.7; 2];
+        grid.wordline_currents_batch_into(&activations, &mut grid_batch)
+            .unwrap();
+        let mut array_batch = Vec::new();
+        array
+            .wordline_currents_batch_into(&activations, &mut array_batch)
+            .unwrap();
+        assert_eq!(grid_batch.len(), activations.len() * layout.rows());
+        assert_eq!(grid_batch, array_batch);
+        for (read, activation) in activations.iter().enumerate() {
+            let sequential = grid.wordline_currents(activation).unwrap();
+            let start = read * layout.rows();
+            assert_eq!(&grid_batch[start..start + layout.rows()], &sequential[..]);
+        }
+        // Foreign activations are rejected before anything is written.
+        let other = CrossbarLayout::new(2, 2, 4, false).unwrap();
+        let mut mixed = activations.clone();
+        mixed.push(Activation::all_columns(&other));
+        assert!(grid
+            .wordline_currents_batch_into(&mixed, &mut grid_batch)
+            .is_err());
+        assert!(array
+            .wordline_currents_batch_into(&mixed, &mut array_batch)
+            .is_err());
+        // An empty group reads nothing.
+        grid.wordline_currents_batch_into(&[], &mut grid_batch)
+            .unwrap();
+        assert!(grid_batch.is_empty());
     }
 
     #[test]

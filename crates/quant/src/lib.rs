@@ -100,5 +100,121 @@ mod proptests {
                 prop_assert!(bin < discretizer.bins());
             }
         }
+
+        /// The crossbar-ordered views of a quantized model agree cell for
+        /// cell under any bit-widths and any tile shape: `level_at` matches
+        /// the flat `level_matrix`, every tile-shaped `level_matrix_block`
+        /// of a full grid partition is the corresponding flat window, and
+        /// mapping a block to read currents round-trips identically to
+        /// mapping the flat matrix.
+        #[test]
+        fn level_views_agree_cell_for_cell(
+            seed in 0u64..20,
+            feature_bits in 1u32..5,
+            likelihood_bits in 1u32..4,
+            tile_rows in 1usize..4,
+            tile_columns in 1usize..20,
+            include_prior in proptest::bool::ANY,
+        ) {
+            let dataset = febim_data::synthetic::iris_like(seed).unwrap();
+            let split = febim_data::split::stratified_split(
+                &dataset, 0.7, &mut febim_data::rng::seeded_rng(seed)).unwrap();
+            let model = febim_bayes::GaussianNaiveBayes::fit(&split.train).unwrap();
+            let quantized = QuantizedGnbc::quantize(
+                &model, &split.train, QuantConfig::new(feature_bits, likelihood_bits)).unwrap();
+            let flat = quantized.level_matrix(include_prior);
+            let rows = quantized.n_classes();
+            let columns =
+                usize::from(include_prior) + quantized.n_features() * quantized.discretizer().bins();
+            prop_assert_eq!(flat.len(), rows);
+            prop_assert_eq!(flat[0].len(), columns);
+            for (class, row) in flat.iter().enumerate() {
+                for (column, &level) in row.iter().enumerate() {
+                    prop_assert_eq!(
+                        quantized.level_at(class, column, include_prior).unwrap(),
+                        level
+                    );
+                }
+            }
+            // Partition the matrix into (tile_rows x tile_columns) tiles, as
+            // a fabric deployment would, and check every block view.
+            let map = LevelCurrentMap::febim_default(quantized.quantizer().levels()).unwrap();
+            for row_start in (0..rows).step_by(tile_rows) {
+                for col_start in (0..columns).step_by(tile_columns) {
+                    let row_end = rows.min(row_start + tile_rows);
+                    let col_end = columns.min(col_start + tile_columns);
+                    let block = quantized
+                        .level_matrix_block(include_prior, row_start..row_end, col_start..col_end)
+                        .unwrap();
+                    prop_assert_eq!(block.len(), row_end - row_start);
+                    for (r, block_row) in block.iter().enumerate() {
+                        prop_assert_eq!(block_row.len(), col_end - col_start);
+                        for (c, &level) in block_row.iter().enumerate() {
+                            prop_assert_eq!(level, flat[row_start + r][col_start + c]);
+                        }
+                    }
+                    // Mapping round trip: the block's programmed currents are
+                    // the flat matrix's currents for the same cells.
+                    let occupied: Vec<Vec<Option<usize>>> = block
+                        .iter()
+                        .map(|row| row.iter().map(|&level| Some(level)).collect())
+                        .collect();
+                    let currents = map.block_currents(&occupied).unwrap();
+                    for (r, row_currents) in currents.iter().enumerate() {
+                        for (c, &current) in row_currents.iter().enumerate() {
+                            let expected = map
+                                .current_for_level(flat[row_start + r][col_start + c])
+                                .unwrap();
+                            prop_assert_eq!(current, expected);
+                        }
+                    }
+                }
+            }
+            // Blocks reaching outside the matrix are rejected.
+            prop_assert!(quantized
+                .level_matrix_block(include_prior, 0..rows + 1, 0..columns)
+                .is_err());
+            prop_assert!(quantized
+                .level_matrix_block(include_prior, 0..rows, 0..columns + 1)
+                .is_err());
+        }
+
+        /// Discretize → level round trip: for any sample, the crossbar
+        /// column each feature activates stores exactly the likelihood level
+        /// of that feature's discretized bin, for every class — the
+        /// invariant that makes the crossbar accumulation equal the
+        /// quantized software sum.
+        #[test]
+        fn discretized_samples_activate_the_right_levels(
+            seed in 0u64..20,
+            feature_bits in 1u32..5,
+            likelihood_bits in 1u32..4,
+            index in 0usize..105,
+            include_prior in proptest::bool::ANY,
+        ) {
+            let dataset = febim_data::synthetic::iris_like(seed).unwrap();
+            let split = febim_data::split::stratified_split(
+                &dataset, 0.7, &mut febim_data::rng::seeded_rng(seed)).unwrap();
+            let model = febim_bayes::GaussianNaiveBayes::fit(&split.train).unwrap();
+            let quantized = QuantizedGnbc::quantize(
+                &model, &split.train, QuantConfig::new(feature_bits, likelihood_bits)).unwrap();
+            let sample = split.test.sample(index % split.test.n_samples()).unwrap();
+            let bins = quantized.discretize_sample(sample).unwrap();
+            let mut reused = vec![99; 1];
+            quantized.discretize_sample_into(sample, &mut reused).unwrap();
+            prop_assert_eq!(&bins, &reused);
+            prop_assert_eq!(bins.len(), quantized.n_features());
+            let bin_count = quantized.discretizer().bins();
+            for (feature, &bin) in bins.iter().enumerate() {
+                prop_assert!(bin < bin_count);
+                let column = usize::from(include_prior) + feature * bin_count + bin;
+                for class in 0..quantized.n_classes() {
+                    prop_assert_eq!(
+                        quantized.level_at(class, column, include_prior).unwrap(),
+                        quantized.likelihood_level(class, feature, bin).unwrap()
+                    );
+                }
+            }
+        }
     }
 }

@@ -35,6 +35,27 @@ pub use febim_device as device;
 pub use febim_quant as quant;
 
 /// Commonly used items for examples and quick experiments.
+///
+/// The serving surface is re-exported here too — an engine becomes a
+/// concurrent batch-serving pool in one call:
+///
+/// ```
+/// use febim_suite::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = iris_like(11)?;
+/// let split = stratified_split(&dataset, 0.7, &mut seeded_rng(11))?;
+/// let engine = FebimEngine::fit(&split.train, EngineConfig::febim_default())?;
+/// let pool = ServingPool::replicate(&engine, 2, ServingConfig::febim_default())?;
+/// let sample = split.test.sample(0).expect("sample").to_vec();
+/// let outcome = pool.submit(sample)?.wait()?;
+/// assert_eq!(outcome.prediction, engine.predict(split.test.sample(0).unwrap())?);
+/// assert!(outcome.batch.reads >= 1);
+/// let stats = pool.shutdown();
+/// assert_eq!(stats.requests, 1);
+/// # Ok(())
+/// # }
+/// ```
 pub mod prelude {
     pub use febim_bayes::{
         BayesianNetwork, CategoricalNaiveBayes, Evidence, GaussianNaiveBayes, Node,
@@ -42,8 +63,10 @@ pub mod prelude {
     pub use febim_compare::{ComparisonTable, FabricComparison};
     pub use febim_core::{
         epoch_accuracy, epoch_accuracy_with_backend, performance_metrics, variation_sweep,
-        variation_sweep_with_backend, BackendInfo, BackendKind, CrossbarBackend, EngineConfig,
-        FebimEngine, InferenceBackend, MetricsConfig, SoftwareBackend, TiledFabricBackend,
+        variation_sweep_with_backend, BackendInfo, BackendKind, BatchTelemetry, CrossbarBackend,
+        EngineConfig, FebimEngine, InferenceBackend, MetricsConfig, PoolStats, ServeOutcome,
+        ServingConfig, ServingError, ServingPool, SoftwareBackend, Ticket, TiledFabricBackend,
+        WorkerReport,
     };
     pub use febim_crossbar::TileShape;
     pub use febim_data::rng::seeded_rng;

@@ -1,0 +1,238 @@
+//! Cross-backend equivalence matrix: for every example dataset (quickstart
+//! iris, spam frequencies, medical cohort), the Software, Crossbar and
+//! TiledFabric backends — sequential, batched and through the concurrent
+//! serving pool — must agree:
+//!
+//! * Crossbar and TiledFabric decide **bit-identically** (same predictions,
+//!   same ties, same wordline currents) on every path;
+//! * batched `infer_batch_into` is bit-identical to sequential `infer_into`
+//!   on the same backend (steps, delay, energy, final currents);
+//! * the serving pool answers bit-identically to sequential inference on
+//!   the backend it serves;
+//! * the Software FP64 reference agrees exactly on the well-separated spam
+//!   and medical tasks, and within the documented quantization loss on
+//!   iris.
+
+use febim_suite::data::synthetic::{ClassSpec, SyntheticSpec};
+use febim_suite::data::Dataset;
+use febim_suite::prelude::*;
+
+/// The spam example's continuous keyword-frequency corpus.
+fn spam_spec() -> SyntheticSpec {
+    SyntheticSpec {
+        name: "mail-frequencies".to_string(),
+        feature_names: vec![
+            "link_density".to_string(),
+            "offer_density".to_string(),
+            "urgency_density".to_string(),
+            "sender_reputation".to_string(),
+        ],
+        classes: vec![
+            ClassSpec::new(vec![0.3, 0.2, 0.1, 0.8], vec![0.2, 0.15, 0.1, 0.1], 120),
+            ClassSpec::new(vec![2.5, 1.8, 1.2, 0.25], vec![0.9, 0.7, 0.6, 0.15], 80),
+        ],
+    }
+}
+
+/// The medical example's synthetic patient cohort.
+fn medical_spec() -> SyntheticSpec {
+    SyntheticSpec {
+        name: "patients".to_string(),
+        feature_names: vec![
+            "temperature_c".to_string(),
+            "respiratory_rate".to_string(),
+            "spo2_percent".to_string(),
+            "crp_mg_l".to_string(),
+        ],
+        classes: vec![
+            ClassSpec::new(vec![36.8, 14.0, 98.0, 3.0], vec![0.3, 1.5, 1.0, 2.0], 60),
+            ClassSpec::new(vec![38.6, 18.0, 96.0, 25.0], vec![0.5, 2.0, 1.5, 10.0], 45),
+            ClassSpec::new(vec![39.2, 26.0, 90.0, 120.0], vec![0.6, 3.0, 3.0, 40.0], 30),
+        ],
+    }
+}
+
+/// One row of the dataset matrix: name, data, split seed/ratio, and whether
+/// the FP64 software reference is expected to agree *exactly* with the
+/// quantized hardware backends (true for the well-separated example tasks).
+struct MatrixCase {
+    name: &'static str,
+    dataset: Dataset,
+    seed: u64,
+    test_ratio: f64,
+    software_exact: bool,
+}
+
+fn matrix() -> Vec<MatrixCase> {
+    vec![
+        MatrixCase {
+            name: "quickstart",
+            dataset: iris_like(2024).expect("iris dataset"),
+            seed: 2024,
+            test_ratio: 0.7,
+            software_exact: false,
+        },
+        MatrixCase {
+            name: "spam",
+            dataset: spam_spec().generate(555).expect("spam dataset"),
+            seed: 555,
+            test_ratio: 0.5,
+            software_exact: true,
+        },
+        MatrixCase {
+            name: "medical",
+            dataset: medical_spec().generate(77).expect("medical dataset"),
+            seed: 77,
+            test_ratio: 0.5,
+            software_exact: true,
+        },
+    ]
+}
+
+fn samples_of(test: &Dataset) -> Vec<Vec<f64>> {
+    (0..test.n_samples())
+        .map(|index| test.sample(index).expect("sample").to_vec())
+        .collect()
+}
+
+/// Sequential steps + final wordline currents of one engine over a sample
+/// set, through one reused scratch (the reference every other path must
+/// reproduce bit for bit).
+fn sequential_steps<B: InferenceBackend>(
+    engine: &FebimEngine<B>,
+    samples: &[Vec<f64>],
+) -> (Vec<febim_suite::core::InferenceStep>, Vec<f64>) {
+    let mut scratch = engine.make_scratch();
+    let steps = samples
+        .iter()
+        .map(|sample| engine.infer_into(sample, &mut scratch).expect("infer"))
+        .collect();
+    (steps, scratch.wordline_currents().to_vec())
+}
+
+/// Asserts batched inference and the serving pool are bit-identical to the
+/// sequential reference on one backend, and returns the predictions.
+fn check_backend_paths<B>(engine: &FebimEngine<B>, samples: &[Vec<f64>]) -> Vec<usize>
+where
+    B: InferenceBackend + Clone + Send + 'static,
+{
+    let (sequential, final_currents) = sequential_steps(engine, samples);
+
+    // Batched path: same steps, same final currents.
+    let mut scratch = engine.make_scratch();
+    let mut steps = Vec::new();
+    let telemetry = engine
+        .infer_batch_into(samples, &mut scratch, &mut steps)
+        .expect("batched inference");
+    assert_eq!(steps, sequential, "batched steps diverged from sequential");
+    assert_eq!(
+        scratch.wordline_currents(),
+        &final_currents[..],
+        "batched currents diverged from sequential"
+    );
+    assert_eq!(telemetry.reads, samples.len());
+    if telemetry.amortized {
+        assert!(telemetry.delay.total() <= telemetry.sequential_delay);
+        assert!(telemetry.energy.total() <= telemetry.sequential_energy);
+    }
+
+    // Serving path: every answer matches its sequential step exactly.
+    let pool =
+        ServingPool::replicate(engine, 2, ServingConfig::febim_default()).expect("serving pool");
+    let answers = pool.serve(samples);
+    for (answer, step) in answers.iter().zip(&sequential) {
+        let outcome = answer.as_ref().expect("served answer");
+        assert_eq!(outcome.prediction, step.prediction);
+        assert_eq!(outcome.tie_broken, step.tie_broken);
+        assert_eq!(outcome.delay, step.delay);
+        assert_eq!(outcome.energy, step.energy);
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.requests, samples.len() as u64);
+
+    sequential.iter().map(|step| step.prediction).collect()
+}
+
+#[test]
+fn every_backend_and_path_agrees_on_every_example_dataset() {
+    for case in matrix() {
+        let split = stratified_split(&case.dataset, case.test_ratio, &mut seeded_rng(case.seed))
+            .expect("split");
+        let samples = samples_of(&split.test);
+        let config = EngineConfig::febim_default();
+
+        let software = FebimEngine::fit_software(&split.train, config.clone()).expect("software");
+        let crossbar = FebimEngine::fit(&split.train, config.clone()).expect("crossbar");
+        let tiled = FebimEngine::fit_tiled(&split.train, config, TileShape::new(2, 24).unwrap())
+            .expect("tiled fabric");
+        assert!(
+            tiled.tiled_program().plan().is_multi_tile(),
+            "{}: the fabric case must actually shard",
+            case.name
+        );
+
+        let software_predictions = check_backend_paths(&software, &samples);
+        let crossbar_predictions = check_backend_paths(&crossbar, &samples);
+        let tiled_predictions = check_backend_paths(&tiled, &samples);
+
+        // The two physical deployments are bit-identical to each other.
+        assert_eq!(
+            crossbar_predictions, tiled_predictions,
+            "{}: crossbar vs tiled fabric diverged",
+            case.name
+        );
+
+        // The FP64 reference: exact on the separable example tasks, within
+        // the documented quantization loss on iris.
+        if case.software_exact {
+            assert_eq!(
+                software_predictions, crossbar_predictions,
+                "{}: software vs crossbar diverged",
+                case.name
+            );
+        } else {
+            let agreement = software_predictions
+                .iter()
+                .zip(&crossbar_predictions)
+                .filter(|(a, b)| a == b)
+                .count() as f64
+                / samples.len() as f64;
+            assert!(
+                agreement >= 0.95,
+                "{}: software/crossbar agreement {agreement}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fabric_currents_match_the_monolithic_currents_sample_for_sample() {
+    for case in matrix() {
+        let split = stratified_split(&case.dataset, case.test_ratio, &mut seeded_rng(case.seed))
+            .expect("split");
+        let config = EngineConfig::febim_default();
+        let crossbar = FebimEngine::fit(&split.train, config.clone()).expect("crossbar");
+        let tiled = FebimEngine::fit_tiled(&split.train, config, TileShape::new(2, 24).unwrap())
+            .expect("tiled fabric");
+        let mut crossbar_scratch = crossbar.make_scratch();
+        let mut tiled_scratch = tiled.make_scratch();
+        for index in 0..split.test.n_samples() {
+            let sample = split.test.sample(index).expect("sample");
+            let a = crossbar
+                .infer_into(sample, &mut crossbar_scratch)
+                .expect("crossbar infer");
+            let b = tiled
+                .infer_into(sample, &mut tiled_scratch)
+                .expect("tiled infer");
+            assert_eq!(a.prediction, b.prediction, "{} sample {index}", case.name);
+            assert_eq!(a.tie_broken, b.tie_broken, "{} sample {index}", case.name);
+            assert_eq!(
+                crossbar_scratch.wordline_currents(),
+                tiled_scratch.wordline_currents(),
+                "{} sample {index}: merged fabric currents diverged",
+                case.name
+            );
+        }
+    }
+}

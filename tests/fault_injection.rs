@@ -1,8 +1,10 @@
 //! Integration test: classification robustness of the FeBiM engine against
 //! hard cell defects (stuck-erased / stuck-programmed FeFETs), an extension
-//! of the paper's variation study to hard faults.
+//! of the paper's variation study to hard faults — on the monolithic array
+//! and on individual tiles of a tiled fabric, which must degrade
+//! identically when the same global cells are defective.
 
-use febim_suite::crossbar::{FaultKind, FaultModel};
+use febim_suite::crossbar::{apply_grid_fault, Activation, FaultKind, FaultModel};
 use febim_suite::prelude::*;
 
 #[test]
@@ -47,6 +49,118 @@ fn hard_faults_degrade_accuracy_gracefully() {
         "clean {clean_accuracy} vs faulty {faulty_accuracy}"
     );
     assert!(faulty_accuracy > 0.6, "faulty accuracy {faulty_accuracy}");
+}
+
+#[test]
+fn tile_faults_degrade_the_fabric_identically_to_the_monolithic_array() {
+    // Deploy the same trained model monolithically and across a 2x24-tile
+    // fabric (a 2x3 grid at iris scale), inject the same random stuck-at
+    // faults into both — the row-major draw order guarantees the same seed
+    // defects the same global cells, landing in four different tiles — and
+    // require bit-identical degraded reads everywhere.
+    let dataset = iris_like(5003).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(5003)).expect("split");
+    let config = EngineConfig::febim_default();
+    let engine = FebimEngine::fit(&split.train, config.clone()).expect("engine");
+    let tiled = FebimEngine::fit_tiled(&split.train, config, TileShape::new(2, 24).unwrap())
+        .expect("tiled engine");
+    let clean_accuracy = engine.evaluate(&split.test).expect("evaluate").accuracy;
+
+    let mut faulty_array = engine.array().clone();
+    let mut faulty_grid = tiled.grid().clone();
+    let model = FaultModel::new(0.04, 0.6).expect("fault model");
+    let array_faults = model
+        .inject(&mut faulty_array, &mut seeded_rng(177))
+        .expect("inject array");
+    let grid_faults = model
+        .inject_grid(&mut faulty_grid, &mut seeded_rng(177))
+        .expect("inject grid");
+    assert_eq!(array_faults, grid_faults, "defect maps must match per seed");
+    assert!(!grid_faults.is_empty(), "expected some injected faults");
+    // The defects must spread across more than one tile of the 2x3 grid.
+    let plan = tiled.tiled_program().plan();
+    let mut defective_tiles: Vec<(usize, usize)> = grid_faults
+        .iter()
+        .map(|fault| plan.tile_of(fault.row, fault.column).expect("tile"))
+        .collect();
+    defective_tiles.sort_unstable();
+    defective_tiles.dedup();
+    assert!(
+        defective_tiles.len() > 1,
+        "faults landed in a single tile: {defective_tiles:?}"
+    );
+
+    // Every decision of the degraded fabric matches the degraded array.
+    let mut correct = 0usize;
+    for (sample, label) in split.test.iter() {
+        let bins = engine.quantized().discretize_sample(sample).expect("bins");
+        let activation =
+            Activation::from_observation(faulty_array.layout(), &bins).expect("activation");
+        let array_currents = faulty_array
+            .wordline_currents(&activation)
+            .expect("array currents");
+        let grid_currents = faulty_grid
+            .wordline_currents(&activation)
+            .expect("grid currents");
+        assert_eq!(
+            array_currents, grid_currents,
+            "degraded reads diverged between deployments"
+        );
+        let winner = febim_suite::bayes::argmax(&grid_currents).expect("winner");
+        if winner == label {
+            correct += 1;
+        }
+    }
+    let faulty_accuracy = correct as f64 / split.test.n_samples() as f64;
+    assert!(
+        clean_accuracy - faulty_accuracy < 0.35,
+        "clean {clean_accuracy} vs faulty {faulty_accuracy}"
+    );
+}
+
+#[test]
+fn targeted_tile_fault_biases_the_fabric_like_the_array() {
+    // The single-cell fault entry point addresses the fabric by global
+    // coordinates: sticking the same cells in a tile and in the monolithic
+    // array must bias the same row to the same win.
+    let dataset = iris_like(5004).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(5004)).expect("split");
+    let config = EngineConfig::febim_default();
+    let engine = FebimEngine::fit(&split.train, config.clone()).expect("engine");
+    let tiled = FebimEngine::fit_tiled(&split.train, config, TileShape::new(2, 24).unwrap())
+        .expect("tiled engine");
+    let mut faulty_array = engine.array().clone();
+    let mut faulty_grid = tiled.grid().clone();
+    let bins = vec![0usize; 4];
+    for feature in 0..4 {
+        let column = faulty_array
+            .layout()
+            .likelihood_column(feature, 0)
+            .expect("column");
+        febim_suite::crossbar::apply_fault(
+            &mut faulty_array,
+            2,
+            column,
+            FaultKind::StuckProgrammed,
+        )
+        .expect("array fault");
+        apply_grid_fault(&mut faulty_grid, 2, column, FaultKind::StuckProgrammed)
+            .expect("grid fault");
+    }
+    let activation =
+        Activation::from_observation(faulty_array.layout(), &bins).expect("activation");
+    let array_currents = faulty_array
+        .wordline_currents(&activation)
+        .expect("array currents");
+    let grid_currents = faulty_grid
+        .wordline_currents(&activation)
+        .expect("grid currents");
+    assert_eq!(array_currents, grid_currents);
+    assert_eq!(
+        febim_suite::bayes::argmax(&grid_currents).expect("winner"),
+        2,
+        "currents {grid_currents:?}"
+    );
 }
 
 #[test]
