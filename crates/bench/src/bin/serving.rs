@@ -20,17 +20,35 @@
 //!   `best_tiled_batched_speedup` the record asserts to be ≥ 1 at
 //!   batch ≥ 8.
 //!
-//! Everything — the sweep table, the per-row modeled amortization ratios
-//! and the headline speedup — lands in `BENCH_serving.json`.
+//! Everything — the sweep table, the per-row modeled amortization ratios,
+//! the per-row queue-wait and end-to-end latency percentiles and the
+//! headline speedups — lands in `BENCH_serving.json`.
+//!
+//! Two regression gates run on every invocation (CI included, via
+//! `--quick`):
+//!
+//! * **overhead gate**: the pool must serve within 2x of raw sequential
+//!   `infer_into` at batch ≥ 8 on at least one backend
+//!   (`best_pool_overhead_ratio ≤ 2`);
+//! * **budget gate**: the best iris-scale pool ns/request at batch ≥ 8 —
+//!   the pool's per-request overhead floor, where messaging dominates the
+//!   ~100 ns inference — must stay at or under the checked-in
+//!   `pool_ns_per_request_budget` of `SERVING_BUDGET.json`.
+//!
+//! Both gates re-measure the decisive configuration with fresh passes
+//! before failing, so one noisy sweep on a loaded host doesn't flake CI.
 //!
 //! Usage:
 //!
 //! ```console
-//! cargo run --release -p febim-bench --bin serving [-- --quick] [--out PATH]
+//! cargo run --release -p febim-bench --bin serving \
+//!     [-- --quick] [--out PATH] [--budget PATH]
 //! ```
 //!
 //! `--quick` shortens the request stream (used by the CI bench-smoke step);
-//! `--out` overrides the output path (default `BENCH_serving.json`).
+//! `--out` overrides the output path (default `BENCH_serving.json`);
+//! `--budget` overrides the budget file path (default
+//! `SERVING_BUDGET.json`).
 
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -61,6 +79,15 @@ struct ServingRecord {
     /// batch ≥ 8 rows — the acceptance headline: ≥ 1 means batched serving
     /// out-serves sequential single-sample inference.
     best_tiled_batched_speedup: f64,
+    /// Smallest `serving_ns / sequential_ns` ratio among all batch ≥ 8 rows
+    /// — the overhead-gate headline: ≤ 2 means the pool serves within 2x of
+    /// raw sequential `infer_into` on at least one backend.
+    best_pool_overhead_ratio: f64,
+    /// Best iris-scale pool ns/request at batch ≥ 8 — the pool's measured
+    /// per-request overhead floor, gated against the checked-in budget.
+    iris_pool_floor_ns_per_request: f64,
+    /// The `pool_ns_per_request_budget` the floor was gated against.
+    pool_ns_per_request_budget: f64,
 }
 
 /// Request stream: the test split cycled up to `count` samples.
@@ -203,7 +230,7 @@ fn sweep_backend<B: InferenceBackend + Clone + Send + 'static>(
                 serving_ns,
             );
             println!(
-                "{:<28} replicas {:>2}  batch {:>3}  mean batch {:>6.2}  sequential {:>8.1} ns  batched {:>8.1} ns ({:>5.2}x)  pool {:>8.1} ns ({:>5.2}x)  delay x{:.3}  energy x{:.3}",
+                "{:<28} replicas {:>2}  batch {:>3}  mean batch {:>6.2}  sequential {:>8.1} ns  batched {:>8.1} ns ({:>5.2}x)  pool {:>8.1} ns ({:>5.2}x)  wait p50/p99 {:>6}/{:>6} ns  e2e p50/p99 {:>6}/{:>6} ns  delay x{:.3}  energy x{:.3}",
                 row.backend,
                 row.replicas,
                 row.max_batch,
@@ -213,6 +240,10 @@ fn sweep_backend<B: InferenceBackend + Clone + Send + 'static>(
                 row.batched_speedup,
                 row.serving_ns_per_request,
                 row.throughput_speedup,
+                row.queue_wait_p50_ns,
+                row.queue_wait_p99_ns,
+                row.e2e_p50_ns,
+                row.e2e_p99_ns,
                 row.amortized_delay_ratio,
                 row.amortized_energy_ratio,
             );
@@ -264,6 +295,45 @@ fn for_each_backend(
     );
 }
 
+/// Smallest pool ns/request among rows whose backend label starts with
+/// `prefix` and whose batch limit is at least `min_batch`.
+fn best_pool_ns(comparison: &ServingComparison, prefix: &str, min_batch: usize) -> Option<f64> {
+    comparison
+        .rows
+        .iter()
+        .filter(|row| row.backend.starts_with(prefix) && row.max_batch >= min_batch)
+        .map(|row| row.serving_ns_per_request)
+        .fold(None, |best, ns| Some(best.map_or(ns, |b: f64| b.min(ns))))
+}
+
+/// Smallest `serving_ns / sequential_ns` ratio among all batch ≥ `min_batch`
+/// rows — how close the pool gets to raw sequential inference on its best
+/// backend.
+fn best_overhead_ratio(comparison: &ServingComparison, min_batch: usize) -> Option<f64> {
+    comparison
+        .rows
+        .iter()
+        .filter(|row| row.max_batch >= min_batch)
+        .map(|row| row.serving_ns_per_request / row.sequential_ns_per_request)
+        .fold(None, |best, ratio| {
+            Some(best.map_or(ratio, |b: f64| b.min(ratio)))
+        })
+}
+
+/// Extracts `"pool_ns_per_request_budget": <number>` from the checked-in
+/// budget file. Parsed by hand — the vendored serde shim serializes only, so
+/// the budget record stays a plain JSON object anything can read.
+fn load_budget(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"pool_ns_per_request_budget\"";
+    let after_key = &text[text.find(key)? + key.len()..];
+    let value = after_key.trim_start().strip_prefix(':')?.trim_start();
+    let end = value
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(value.len());
+    value[..end].parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -273,6 +343,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let budget_path = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "SERVING_BUDGET.json".to_string());
     let requests = if quick { 1_500 } else { 12_000 };
     let passes = if quick { 2 } else { 3 };
 
@@ -292,7 +368,10 @@ fn main() {
 
     // Workload 1 — iris scale (3×64 on a 2×3 grid of 2×24 tiles): inference
     // is ~100 ns, so these rows record the pool's per-request overhead
-    // floor.
+    // floor. The software engine and stream outlive the block: the budget
+    // gate re-measures them if the first sweep lands over budget.
+    let iris_software;
+    let iris_samples;
     {
         let dataset = iris_like(42).expect("dataset");
         let split = stratified_split(&dataset, 0.7, &mut seeded_rng(42)).expect("split");
@@ -317,6 +396,8 @@ fn main() {
             &batches_swept,
             passes,
         );
+        iris_software = software;
+        iris_samples = samples;
     }
 
     // Workload 2 — fig6 scale (64 classes × 32 features → a 64×512 layout
@@ -327,6 +408,7 @@ fn main() {
     let split = stratified_split(&dataset, 0.7, &mut seeded_rng(4242)).expect("split");
     let fig6_samples = request_stream(&split.test, requests);
     let fig6_tiled;
+    let fig6_software;
     {
         let software = FebimEngine::fit_software(&split.train, config.clone()).expect("software");
         let crossbar = FebimEngine::fit(&split.train, config.clone()).expect("crossbar");
@@ -350,6 +432,7 @@ fn main() {
             passes,
         );
         fig6_tiled = tiled;
+        fig6_software = software;
     }
 
     // Headline: the grouped-read path must out-serve sequential
@@ -395,6 +478,81 @@ fn main() {
          (measured {best_tiled_batched_speedup:.3}x)"
     );
 
+    // Overhead gate: the pool's full request path (rings, stealing, batched
+    // ticket completion) must land within 2x of raw sequential `infer_into`
+    // at batch >= 8 on at least one backend. Re-measure the strongest
+    // configuration (fig6 software, where inference is expensive enough for
+    // coalescing to pay) before failing a noisy sweep.
+    let mut best_ratio = best_overhead_ratio(&comparison, 8).expect("batch >= 8 rows swept");
+    for attempt in 0..3 {
+        if best_ratio <= 2.0 {
+            break;
+        }
+        println!(
+            "\nre-measuring the fig6 software pool (attempt {}, overhead ratio {:.3}x)",
+            attempt + 1,
+            best_ratio
+        );
+        sweep_backend(
+            &mut comparison,
+            "fig6",
+            &fig6_software,
+            &fig6_samples,
+            &[1],
+            &[8],
+            passes + 1,
+        );
+        best_ratio = best_overhead_ratio(&comparison, 8).expect("batch >= 8 rows swept");
+    }
+    println!(
+        "\noverhead gate: pool within {best_ratio:.3}x of raw sequential inference at batch >= 8 \
+         (limit 2x)"
+    );
+    assert!(
+        best_ratio <= 2.0,
+        "the serving pool must stay within 2x of raw sequential inference at batch >= 8 on at \
+         least one backend (measured {best_ratio:.3}x)"
+    );
+
+    // Budget gate: the iris-scale pool floor — where messaging, not
+    // inference, is the cost — must hold the checked-in ns/request budget.
+    // Re-measure the floor configuration with fresh passes before failing.
+    let budget = load_budget(&budget_path).unwrap_or_else(|| {
+        eprintln!(
+            "could not read pool_ns_per_request_budget from {budget_path}; \
+             regenerate SERVING_BUDGET.json or pass --budget PATH"
+        );
+        std::process::exit(1);
+    });
+    let mut floor_ns = best_pool_ns(&comparison, "iris/", 8).expect("iris rows swept");
+    for attempt in 0..3 {
+        if floor_ns <= budget {
+            break;
+        }
+        println!(
+            "\nre-measuring the iris pool floor (attempt {}, {:.1} ns vs {:.1} ns budget)",
+            attempt + 1,
+            floor_ns,
+            budget
+        );
+        sweep_backend(
+            &mut comparison,
+            "iris",
+            &iris_software,
+            &iris_samples,
+            &[1, 2],
+            &[32],
+            passes + 1,
+        );
+        floor_ns = best_pool_ns(&comparison, "iris/", 8).expect("iris rows swept");
+    }
+    println!("budget gate: iris pool floor {floor_ns:.1} ns/request (budget {budget:.1} ns)");
+    assert!(
+        floor_ns <= budget,
+        "the pool's per-request overhead floor regressed past the checked-in budget \
+         ({floor_ns:.1} ns > {budget:.1} ns); fix the regression or re-baseline SERVING_BUDGET.json"
+    );
+
     let record = ServingRecord {
         bench: "serving",
         generated_unix_s: SystemTime::now()
@@ -407,6 +565,9 @@ fn main() {
         batches_swept,
         comparison,
         best_tiled_batched_speedup,
+        best_pool_overhead_ratio: best_ratio,
+        iris_pool_floor_ns_per_request: floor_ns,
+        pool_ns_per_request_budget: budget,
     };
     match std::fs::write(&out_path, serde::json::to_string_pretty(&record) + "\n") {
         Ok(()) => println!("(written to {out_path})"),

@@ -48,6 +48,21 @@ pub struct ServingMeasurement {
     pub amortized_delay_ratio: f64,
     /// Modeled amortized-over-sequential energy ratio of the grouped reads.
     pub amortized_energy_ratio: f64,
+    /// Median nanoseconds a request waited in the submission rings before a
+    /// worker picked it up.
+    pub queue_wait_p50_ns: u64,
+    /// 95th-percentile queue-wait nanoseconds.
+    pub queue_wait_p95_ns: u64,
+    /// 99th-percentile queue-wait nanoseconds — the tail the sharded rings
+    /// exist to keep flat.
+    pub queue_wait_p99_ns: u64,
+    /// Median end-to-end nanoseconds from submission to batched-ticket
+    /// completion.
+    pub e2e_p50_ns: u64,
+    /// 95th-percentile end-to-end nanoseconds.
+    pub e2e_p95_ns: u64,
+    /// 99th-percentile end-to-end nanoseconds.
+    pub e2e_p99_ns: u64,
 }
 
 impl ServingMeasurement {
@@ -75,6 +90,12 @@ impl ServingMeasurement {
             throughput_speedup: sequential_ns_per_request / serving_ns_per_request,
             amortized_delay_ratio: stats.delay_ratio(),
             amortized_energy_ratio: stats.energy_ratio(),
+            queue_wait_p50_ns: stats.queue_wait.p50_ns(),
+            queue_wait_p95_ns: stats.queue_wait.p95_ns(),
+            queue_wait_p99_ns: stats.queue_wait.p99_ns(),
+            e2e_p50_ns: stats.end_to_end.p50_ns(),
+            e2e_p95_ns: stats.end_to_end.p95_ns(),
+            e2e_p99_ns: stats.end_to_end.p99_ns(),
         }
     }
 }
@@ -141,6 +162,10 @@ impl ServingComparison {
                 "pool_speedup",
                 "delay_ratio",
                 "energy_ratio",
+                "wait_p50_ns",
+                "wait_p99_ns",
+                "e2e_p50_ns",
+                "e2e_p99_ns",
             ],
         );
         for row in &self.rows {
@@ -157,6 +182,10 @@ impl ServingComparison {
                 format!("{:.2}", row.throughput_speedup),
                 format!("{:.4}", row.amortized_delay_ratio),
                 format!("{:.4}", row.amortized_energy_ratio),
+                row.queue_wait_p50_ns.to_string(),
+                row.queue_wait_p99_ns.to_string(),
+                row.e2e_p50_ns.to_string(),
+                row.e2e_p99_ns.to_string(),
             ]);
         }
         table
@@ -190,6 +219,15 @@ mod tests {
         assert!((row.batched_speedup - 2.0).abs() < 1e-12);
         assert!(row.amortized_delay_ratio <= 1.0);
         assert!(row.amortized_energy_ratio <= 1.0);
+        // The latency percentiles come straight from the pool's histograms:
+        // ordered, and the end-to-end tail dominates the queue-wait tail
+        // because completion happens after dispatch.
+        assert!(row.queue_wait_p50_ns <= row.queue_wait_p95_ns);
+        assert!(row.queue_wait_p95_ns <= row.queue_wait_p99_ns);
+        assert!(row.e2e_p50_ns <= row.e2e_p95_ns);
+        assert!(row.e2e_p95_ns <= row.e2e_p99_ns);
+        assert!(row.e2e_p99_ns >= row.queue_wait_p99_ns);
+        assert!(row.e2e_p50_ns > 0);
         let mut comparison = ServingComparison::new();
         comparison.push(row);
         assert_eq!(
@@ -204,7 +242,11 @@ mod tests {
         assert_eq!(comparison.best_speedup("tiled-fabric", 1), None);
         let rendered = comparison.to_table().to_pretty();
         assert!(rendered.contains("crossbar-single-array"));
+        assert!(rendered.contains("wait_p50_ns"));
+        assert!(rendered.contains("e2e_p99_ns"));
         let json = serde::json::to_string(&comparison);
         assert!(json.contains("\"throughput_speedup\""));
+        assert!(json.contains("\"queue_wait_p99_ns\""));
+        assert!(json.contains("\"e2e_p50_ns\""));
     }
 }

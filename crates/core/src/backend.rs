@@ -482,6 +482,20 @@ impl InferenceBackend for CrossbarBackend {
         if samples.is_empty() {
             return Ok(BatchTelemetry::empty(true));
         }
+        if let [sample] = samples {
+            // Singleton fall-through: skip the batch scratch machinery and
+            // price the plain sequential read as a group of one, so batching
+            // is never slower than sequential at `max_batch == 1`.
+            let step = self.infer_into(sample, scratch)?;
+            let share = wordline_driver_energy(
+                self.sensing.energy_model().params(),
+                self.array.layout().rows(),
+            );
+            let mut group = ReadGroup::new();
+            group.add(&step.delay, &step.energy, share)?;
+            steps.push(step);
+            return Ok(BatchTelemetry::from_group(&group));
+        }
         fill_batch_activations(&self.quantized, self.array.layout(), samples, scratch)?;
         self.array.wordline_currents_batch_into(
             &scratch.batch_activations[..samples.len()],
@@ -721,6 +735,20 @@ impl InferenceBackend for TiledFabricBackend {
         steps.clear();
         if samples.is_empty() {
             return Ok(BatchTelemetry::empty(true));
+        }
+        if let [sample] = samples {
+            // Singleton fall-through: same contract as the monolithic
+            // backend — a group of one read prices exactly like the read
+            // itself, with none of the batch-scratch copies.
+            let step = self.infer_into(sample, scratch)?;
+            let share = fabric_wordline_driver_energy(
+                self.sensing.energy_model().params(),
+                &self.base_tiles,
+            );
+            let mut group = ReadGroup::new();
+            group.add(&step.delay, &step.energy, share)?;
+            steps.push(step);
+            return Ok(BatchTelemetry::from_group(&group));
         }
         fill_batch_activations(&self.quantized, self.grid.layout(), samples, scratch)?;
         self.grid.wordline_currents_batch_into(

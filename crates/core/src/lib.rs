@@ -62,7 +62,8 @@ pub use scaling::{
 /// [`febim_crossbar::TilePlan`]) — the machinery behind `BENCH_*.json`.
 pub use serde::json;
 pub use serving::{
-    PoolStats, ServeOutcome, ServingConfig, ServingError, ServingPool, Ticket, WorkerReport,
+    LatencyHistogram, PoolStats, ServeOutcome, ServingConfig, ServingError, ServingPool, Ticket,
+    WorkerReport,
 };
 
 #[cfg(test)]

@@ -6,49 +6,66 @@
 //! one compiled/tiled program) into a [`ServingPool`]:
 //!
 //! ```text
-//!  clients ──submit()──▶ bounded MPSC queue ──▶ worker 0 ─ engine replica 0
-//!     │                  (backpressure:          worker 1 ─ engine replica 1
-//!     │                   QueueFull / block)       ⋮            ⋮
-//!     ◀──Ticket::wait()── per-request channel ◀─ worker N-1 ─ replica N-1
+//!  clients ──submit()──▶ ring 0 (lock-free) ──▶ worker 0 ─ engine replica 0
+//!     │      round-robin  ring 1 (lock-free) ──▶ worker 1 ─ engine replica 1
+//!     │      + overflow      ⋮        ▲  steal      ⋮            ⋮
+//!     │      to any ring  ring N-1 ───┴──────▶ worker N-1 ─ replica N-1
+//!     ◀──Ticket::wait()── per-request publish cell ◀─ batched completion
 //! ```
 //!
-//! Each worker pops a **batch** of queued requests (up to
+//! Submission is sharded: each worker owns a bounded lock-free ring buffer
+//! (sequence-numbered slots, atomic head/tail), and a submitter places each
+//! request round-robin, overflowing into any ring with space before
+//! reporting [`ServingError::QueueFull`]. Workers drain their own ring
+//! first and **steal** from the others, so a slow replica can never strand
+//! queued requests. Each worker pops a **batch** of queued requests (up to
 //! [`ServingConfig::max_batch`], waiting at most
 //! [`ServingConfig::max_wait_ticks`] queue polls for stragglers — ticks,
 //! not wall-clock, so tests are deterministic), runs it through the
 //! backend's grouped-read path ([`InferenceBackend::infer_batch_into`]) with
 //! a per-worker reused [`EvalScratch`](crate::engine::EvalScratch), and
-//! answers every request with its
-//! prediction plus the per-batch amortized delay/energy telemetry.
+//! answers every request with its prediction plus the per-batch amortized
+//! delay/energy telemetry.
+//!
+//! Completion is batched and wake-free on the fast path: each request's
+//! answer is published into its [`Ticket`]'s cell with a single
+//! release-swap, and a waiting client is unparked only if it actually
+//! parked (it first spins on the cell). No per-request mutex or condvar
+//! round-trip remains anywhere on the submit → serve → complete path; the
+//! only blocking primitives left are the idle-worker parking lot and the
+//! blocking-backpressure waiters, both gated behind counters so the
+//! uncontended path never touches them.
 //!
 //! ## Backpressure and shutdown
 //!
-//! The queue is bounded: [`ServingPool::submit`] never blocks and returns
-//! [`ServingError::QueueFull`] when the queue is at capacity, while
+//! Admission is bounded by [`ServingConfig::queue_depth`] across all rings:
+//! [`ServingPool::submit`] never blocks and returns
+//! [`ServingError::QueueFull`] when the pool is at capacity, while
 //! [`ServingPool::submit_blocking`] waits for a slot. Shutdown is
-//! deterministic — every request that ever entered the queue is answered:
+//! deterministic — every request that ever entered a ring is answered:
 //!
 //! * [`ServingPool::shutdown`] (and dropping the pool) closes the intake and
-//!   **drains**: workers keep answering until the queue is empty.
+//!   **drains**: workers keep answering until every ring is empty.
 //! * [`ServingPool::abort`] closes the intake and answers every request
 //!   still queued with the typed [`ServingError::ShutDown`]; only batches a
 //!   worker already holds finish normally.
 //!
 //! A [`Ticket`] can therefore never hang: its request is either answered,
-//! rejected with a typed error, or its channel is dropped (worker death),
-//! which [`Ticket::wait`] also reports as [`ServingError::ShutDown`]. Nor
+//! rejected with a typed error, or its job is dropped unanswered (worker
+//! death), which a drop guard converts into [`ServingError::ShutDown`]. Nor
 //! can a producer: when the **last** worker exits — normally or by panic —
-//! a drop guard closes the intake and rejects everything still queued, so
-//! blocked [`ServingPool::submit_blocking`] callers fail fast instead of
-//! waiting on a queue nothing will ever pop.
+//! a guard closes the intake (waiting out any in-flight push) and rejects
+//! everything still queued, so blocked [`ServingPool::submit_blocking`]
+//! callers fail fast instead of waiting on rings nothing will ever pop.
 
-use std::collections::VecDeque;
+use std::cell::UnsafeCell;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -64,11 +81,12 @@ pub struct ServingConfig {
     /// Largest number of requests a worker groups into one batched read.
     pub max_batch: usize,
     /// How many queue polls a worker spends waiting for stragglers before
-    /// dispatching a partial batch. Ticks are queue polls (each releases the
-    /// queue lock and yields), not wall-clock time, so batching behaviour is
-    /// deterministic under test. `0` dispatches whatever one poll finds.
+    /// dispatching a partial batch. Ticks are queue polls (each yields the
+    /// thread and re-sweeps the rings), not wall-clock time, so batching
+    /// behaviour is deterministic under test. `0` dispatches whatever one
+    /// poll finds.
     pub max_wait_ticks: u32,
-    /// Capacity of the bounded request queue (the backpressure limit).
+    /// Total admission capacity across all rings (the backpressure limit).
     pub queue_depth: usize,
 }
 
@@ -206,10 +224,204 @@ pub struct ServeOutcome {
 
 type ServeResult = Result<ServeOutcome, ServingError>;
 
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+const HISTOGRAM_BUCKETS: usize = 256;
+/// Nanosecond values below this limit get one exact bucket each.
+const HISTOGRAM_LINEAR_LIMIT: u64 = 16;
+
+/// Fixed-footprint log-linear latency histogram (nanosecond samples).
+///
+/// The first 16 buckets are exact (0–15 ns); above that each power of two
+/// splits into 4 sub-buckets, so relative bucketing error stays below 25%
+/// (~12.5% mean) across the full `u64` range in 256 counters. Recording is
+/// two increments — cheap enough for the serving hot path — and worker
+/// histograms merge bucket-wise into pool-level percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < HISTOGRAM_LINEAR_LIMIT {
+            return nanos as usize;
+        }
+        let msb = 63 - u64::from(nanos.leading_zeros()); // >= 4 here
+        let sub = ((nanos >> (msb - 2)) & 3) as usize;
+        let index = HISTOGRAM_LINEAR_LIMIT as usize + (msb as usize - 4) * 4 + sub;
+        index.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Midpoint (representative value) of one bucket, in nanoseconds.
+    fn bucket_midpoint(index: usize) -> u64 {
+        if index < HISTOGRAM_LINEAR_LIMIT as usize {
+            return index as u64;
+        }
+        let offset = index - HISTOGRAM_LINEAR_LIMIT as usize;
+        let group = offset / 4;
+        let sub = (offset % 4) as u64;
+        let base = 1u64 << (group + 4);
+        let width = base / 4;
+        base + sub * width + width / 2
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate latency at `percentile` (0–100), in nanoseconds; `0` for
+    /// an empty histogram.
+    pub fn percentile_ns(&self, percentile: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let fraction = percentile.clamp(0.0, 100.0) / 100.0;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((fraction * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return Self::bucket_midpoint(index);
+            }
+        }
+        Self::bucket_midpoint(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median latency, in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 95th-percentile latency, in nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(95.0)
+    }
+
+    /// 99th-percentile latency, in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+}
+
+fn nanos_between(earlier: Instant, later: Instant) -> u64 {
+    u64::try_from(later.saturating_duration_since(earlier).as_nanos()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Ticket: spin-then-park publish cell
+// ---------------------------------------------------------------------------
+
+const TICKET_PENDING: u8 = 0;
+const TICKET_WAITING: u8 = 1;
+const TICKET_READY: u8 = 2;
+
+/// How long [`Ticket::wait`] spins on the publish cell before parking.
+const TICKET_SPIN_WAITS: u32 = 64;
+
+/// One-shot result cell a worker publishes into and (at most) one client
+/// waits on. The state machine is `PENDING → {WAITING →} READY`: the worker
+/// writes the result and release-swaps to `READY` (one atomic op, no lock);
+/// the waiter spins briefly and only registers itself + parks when the
+/// answer is genuinely not there yet, so the batch-completion fast path
+/// issues no wakes at all.
+struct TicketCell {
+    state: AtomicU8,
+    /// Parked waiter, registered *before* the `PENDING → WAITING` CAS so a
+    /// completer that observes `WAITING` always finds the thread to unpark.
+    waiter: Mutex<Option<std::thread::Thread>>,
+    /// Written exactly once, before the `READY` publish; read exactly once,
+    /// after observing `READY` (acquire) — never concurrently.
+    result: UnsafeCell<Option<ServeResult>>,
+}
+
+// SAFETY: `result` is written once by the completing worker before the
+// release-swap to `READY` and read once by the waiter after an acquire load
+// of `READY`; the state machine makes the accesses mutually exclusive.
+unsafe impl Send for TicketCell {}
+unsafe impl Sync for TicketCell {}
+
+impl TicketCell {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::new(TICKET_PENDING),
+            waiter: Mutex::new(None),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// Publishes the answer: one release-swap, plus an unpark only if the
+    /// client already parked.
+    fn complete(&self, result: ServeResult) {
+        // SAFETY: sole writer (the job's ticket is taken exactly once), and
+        // no reader until the swap below publishes `READY`.
+        unsafe {
+            *self.result.get() = Some(result);
+        }
+        if self.state.swap(TICKET_READY, Ordering::AcqRel) == TICKET_WAITING {
+            let thread = self
+                .waiter
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(thread) = thread {
+                thread.unpark();
+            }
+        }
+    }
+
+    fn take_result(&self) -> ServeResult {
+        // SAFETY: called only after an acquire load observed `READY`, which
+        // happens-after the completer's write.
+        unsafe { (*self.result.get()).take() }.unwrap_or(Err(ServingError::ShutDown))
+    }
+}
+
+impl fmt::Debug for TicketCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketCell")
+            .field("state", &self.state.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
 /// Handle to one submitted request.
 #[derive(Debug)]
 pub struct Ticket {
-    receiver: mpsc::Receiver<ServeResult>,
+    cell: Arc<TicketCell>,
 }
 
 impl Ticket {
@@ -221,141 +433,507 @@ impl Ticket {
     ///
     /// Returns the typed serving error of the request.
     pub fn wait(self) -> ServeResult {
-        self.receiver.recv().unwrap_or(Err(ServingError::ShutDown))
+        let cell = &self.cell;
+        for _ in 0..TICKET_SPIN_WAITS {
+            if cell.state.load(Ordering::Acquire) == TICKET_READY {
+                return cell.take_result();
+            }
+            std::hint::spin_loop();
+        }
+        // Slow path: register, then announce we are waiting. The CAS can
+        // only fail because the answer landed in the meantime.
+        *cell.waiter.lock().unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
+        if cell
+            .state
+            .compare_exchange(
+                TICKET_PENDING,
+                TICKET_WAITING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            while cell.state.load(Ordering::Acquire) != TICKET_READY {
+                std::thread::park();
+            }
+        }
+        cell.take_result()
     }
 }
 
-/// One queued request.
+// ---------------------------------------------------------------------------
+// Jobs and the lock-free rings
+// ---------------------------------------------------------------------------
+
+/// One queued request. Dropping a job whose ticket was never completed
+/// (worker panic mid-batch, ring teardown) answers it with the typed
+/// shutdown error, so a [`Ticket`] can never hang.
 #[derive(Debug)]
 struct Job {
     sample: Vec<f64>,
-    responder: mpsc::Sender<ServeResult>,
+    ticket: Option<Arc<TicketCell>>,
+    submitted: Instant,
 }
 
-/// State behind the queue lock.
-#[derive(Debug)]
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-/// The bounded MPSC request queue: many submitting clients, N consuming
-/// workers. Blocking waits sit on condvars (releasing the lock), so intake,
-/// batching and shutdown can never deadlock each other.
-#[derive(Debug)]
-struct SharedQueue {
-    state: Mutex<QueueState>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    capacity: usize,
-}
-
-impl SharedQueue {
-    fn new(capacity: usize) -> Self {
+impl Job {
+    fn new(sample: Vec<f64>, ticket: Arc<TicketCell>) -> Self {
         Self {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::with_capacity(capacity),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
+            sample,
+            ticket: Some(ticket),
+            submitted: Instant::now(),
+        }
+    }
+
+    fn complete(mut self, result: ServeResult) {
+        if let Some(cell) = self.ticket.take() {
+            cell.complete(result);
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if let Some(cell) = self.ticket.take() {
+            cell.complete(Err(ServingError::ShutDown));
+        }
+    }
+}
+
+/// One slot of a ring: a sequence number encoding whose turn the slot is
+/// (push or pop, and for which lap), and the job payload.
+struct RingSlot {
+    sequence: AtomicUsize,
+    job: UnsafeCell<MaybeUninit<Job>>,
+}
+
+/// Bounded lock-free MPMC ring buffer (sequence-numbered slots, after
+/// Vyukov): producers are the submitting client threads, consumers the
+/// owning worker *and* any worker stealing from it. Capacity is a power of
+/// two ≥ 2; push and pop are one CAS plus one release store each.
+struct Ring {
+    slots: Box<[RingSlot]>,
+    mask: usize,
+    /// Next position to push (claimed by CAS).
+    enqueue: AtomicUsize,
+    /// Next position to pop (claimed by CAS).
+    dequeue: AtomicUsize,
+}
+
+// SAFETY: slot payloads are transferred between threads under the sequence
+// protocol — a slot is written only after its claim CAS and read only after
+// the writer's release store, so no two threads touch a payload at once.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    /// `capacity` must be a power of two ≥ 2 (the sequence protocol cannot
+    /// distinguish full from empty on a 1-slot ring).
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two() && capacity >= 2);
+        let slots = (0..capacity)
+            .map(|index| RingSlot {
+                sequence: AtomicUsize::new(index),
+                job: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            mask: capacity - 1,
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Non-blocking push; returns the job when the ring is full.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let sequence = slot.sequence.load(Ordering::Acquire);
+            let lag = sequence as isize - pos as isize;
+            if lag == 0 {
+                match self.enqueue.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed this slot for this push;
+                        // no other thread touches it until the store below.
+                        unsafe {
+                            (*slot.job.get()).write(job);
+                        }
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if lag < 0 {
+                return Err(job);
+            } else {
+                pos = self.enqueue.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Non-blocking pop; `None` when the ring is empty.
+    fn pop(&self) -> Option<Job> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let sequence = slot.sequence.load(Ordering::Acquire);
+            let lag = sequence as isize - pos.wrapping_add(1) as isize;
+            if lag == 0 {
+                match self.dequeue.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed this slot; the producer's
+                        // release store made the payload visible.
+                        let job = unsafe { (*slot.job.get()).assume_init_read() };
+                        slot.sequence.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            Ordering::Release,
+                        );
+                        return Some(job);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if lag < 0 {
+                return None;
+            } else {
+                pos = self.dequeue.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Any job still queued is answered with the typed shutdown error by
+        // its own drop guard.
+        while self.pop().is_some() {}
+    }
+}
+
+impl fmt::Debug for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.slots.len())
+            .field("enqueue", &self.enqueue.load(Ordering::Relaxed))
+            .field("dequeue", &self.dequeue.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared pool state
+// ---------------------------------------------------------------------------
+
+/// Everything the submitters, workers and shutdown paths share. All hot-path
+/// coordination is atomics on this struct; the two mutex/condvar pairs guard
+/// only the *slow* paths (idle workers, blocked producers) and are gated
+/// behind counters so nobody touches them while the pool is busy.
+#[derive(Debug)]
+struct PoolShared {
+    /// One bounded ring per worker, submitter round-robin + worker stealing.
+    rings: Vec<Ring>,
+    /// Total admitted-but-not-yet-popped requests (the backpressure bound).
+    queued: AtomicUsize,
+    /// Configured admission capacity ([`ServingConfig::queue_depth`]).
+    capacity: usize,
+    /// Round-robin cursor of the submitters.
+    cursor: AtomicUsize,
+    /// Intake closed (shutdown/abort/last-worker-out).
+    closed: AtomicBool,
+    /// Submitters inside `try_push`. `close` waits for this to reach zero so
+    /// a racing push either lands before the post-close drain or is
+    /// rejected — never stranded in a ring nobody will sweep.
+    pushing: AtomicUsize,
+    /// `true` (the default): drained requests are answered on shutdown;
+    /// `false` (abort): drained requests get the typed shutdown error.
+    answer_drained: AtomicBool,
+    /// Workers parked on `idle_cv`. Submitters skip the wake syscall
+    /// entirely while this is zero (the busy-pool fast path).
+    sleepers: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    /// Producers blocked in `submit_blocking`. Workers skip the wake unless
+    /// someone is actually waiting for space.
+    blocked: AtomicUsize,
+    space_lock: Mutex<()>,
+    space_cv: Condvar,
+}
+
+impl PoolShared {
+    fn new(workers: usize, capacity: usize) -> Self {
+        let per_ring = capacity.div_ceil(workers).next_power_of_two().max(2);
+        Self {
+            rings: (0..workers).map(|_| Ring::new(per_ring)).collect(),
+            queued: AtomicUsize::new(0),
             capacity,
+            cursor: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            pushing: AtomicUsize::new(0),
+            answer_drained: AtomicBool::new(true),
+            sleepers: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            blocked: AtomicUsize::new(0),
+            space_lock: Mutex::new(()),
+            space_cv: Condvar::new(),
         }
     }
 
-    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Non-blocking admission + placement. On failure the job is handed
+    /// back untouched alongside the typed error.
+    fn try_push(&self, job: Job) -> Result<(), (Job, ServingError)> {
+        self.pushing.fetch_add(1, Ordering::SeqCst);
+        let result = self.try_push_inner(job);
+        self.pushing.fetch_sub(1, Ordering::SeqCst);
+        result
     }
 
-    /// Non-blocking enqueue.
-    fn try_push(&self, job: Job) -> Result<(), ServingError> {
-        let mut state = self.lock_state();
-        if state.closed {
-            return Err(ServingError::ShutDown);
+    fn try_push_inner(&self, job: Job) -> Result<(), (Job, ServingError)> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err((job, ServingError::ShutDown));
         }
-        if state.jobs.len() >= self.capacity {
-            return Err(ServingError::QueueFull {
-                capacity: self.capacity,
-            });
+        // Admission: the global count enforces `queue_depth` exactly, so
+        // ring capacities (rounded up to powers of two) never leak extra
+        // slots past the configured backpressure limit.
+        if self.queued.fetch_add(1, Ordering::SeqCst) >= self.capacity {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err((
+                job,
+                ServingError::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
         }
-        state.jobs.push_back(job);
-        self.not_empty.notify_one();
+        // Placement: round-robin over the rings, overflowing into any ring
+        // with space. Admission guarantees a free slot exists (total ring
+        // capacity ≥ `queue_depth` ≥ admitted jobs), so the scan can only
+        // miss transiently while a concurrent push/pop is mid-flight.
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let rings = self.rings.len();
+        let mut job = job;
+        'place: loop {
+            if self.closed.load(Ordering::SeqCst) {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Err((job, ServingError::ShutDown));
+            }
+            for offset in 0..rings {
+                match self.rings[(start + offset) % rings].push(job) {
+                    Ok(()) => break 'place,
+                    Err(returned) => job = returned,
+                }
+            }
+            std::hint::spin_loop();
+        }
+        fence(Ordering::SeqCst);
+        self.wake_worker();
         Ok(())
     }
 
-    /// Blocking enqueue: waits for a free slot instead of rejecting.
+    /// Blocking admission: waits for a slot instead of rejecting.
     fn push_blocking(&self, job: Job) -> Result<(), ServingError> {
-        let mut state = self.lock_state();
+        let mut job = job;
         loop {
-            if state.closed {
-                return Err(ServingError::ShutDown);
+            match self.try_push(job) {
+                Ok(()) => return Ok(()),
+                Err((returned, ServingError::QueueFull { .. })) => {
+                    job = returned;
+                    let guard = self
+                        .space_lock
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    self.blocked.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    // Recheck after registering: a worker that freed space
+                    // (or a close) before seeing `blocked > 0` cannot be
+                    // missed.
+                    if !self.closed.load(Ordering::SeqCst)
+                        && self.queued.load(Ordering::SeqCst) >= self.capacity
+                    {
+                        drop(
+                            self.space_cv
+                                .wait(guard)
+                                .unwrap_or_else(PoisonError::into_inner),
+                        );
+                    } else {
+                        drop(guard);
+                    }
+                    self.blocked.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err((_, err)) => return Err(err),
             }
-            if state.jobs.len() < self.capacity {
-                state.jobs.push_back(job);
-                self.not_empty.notify_one();
-                return Ok(());
-            }
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Pops the next batch into `batch` (cleared by the caller): blocks for
-    /// the first request, then spends up to `max_wait_ticks` queue polls
-    /// topping the batch up to `max_batch`. Returns `false` when the queue
-    /// is closed and fully drained (the worker should exit).
-    fn pop_batch(&self, batch: &mut Vec<Job>, max_batch: usize, max_wait_ticks: u32) -> bool {
-        let mut state = self.lock_state();
-        while state.jobs.is_empty() {
-            if state.closed {
-                return false;
-            }
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        let mut ticks = 0u32;
-        loop {
+    /// Pops into `batch` (up to `max_batch` total): the worker's own ring
+    /// first, then stealing round-robin from the others. Returns how many
+    /// jobs this sweep added.
+    fn pop_any(&self, worker: usize, batch: &mut Vec<Job>, max_batch: usize) -> usize {
+        let rings = self.rings.len();
+        let mut got = 0usize;
+        for offset in 0..rings {
+            let ring = &self.rings[(worker + offset) % rings];
             while batch.len() < max_batch {
-                match state.jobs.pop_front() {
-                    Some(job) => batch.push(job),
+                match ring.pop() {
+                    Some(job) => {
+                        batch.push(job);
+                        got += 1;
+                    }
                     None => break,
                 }
             }
-            self.not_full.notify_all();
-            if batch.len() >= max_batch || state.closed || ticks >= max_wait_ticks {
-                return true;
+            if batch.len() >= max_batch {
+                break;
             }
-            // One straggler tick: release the lock, let clients enqueue,
-            // look again.
-            ticks += 1;
-            drop(state);
+        }
+        if got > 0 {
+            self.queued.fetch_sub(got, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            self.signal_space();
+        }
+        got
+    }
+
+    /// Blocks one worker until work or close. Registers in `sleepers` first
+    /// and rechecks under the lock (Dekker with the submitter's
+    /// queued-then-sleepers order), so a push can never slip between the
+    /// empty sweep and the wait.
+    fn idle_wait(&self) {
+        let guard = self
+            .idle_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if self.closed.load(Ordering::SeqCst) || self.queued.load(Ordering::SeqCst) > 0 {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+            // Admitted work may still be mid-placement: give the producer
+            // the core instead of spinning on an empty ring.
             std::thread::yield_now();
-            state = self.lock_state();
+            return;
+        }
+        drop(
+            self.idle_cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes one idle worker, if any is actually parked.
+    fn wake_worker(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self
+                .idle_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.idle_cv.notify_one();
         }
     }
 
-    /// Closes the intake and wakes every waiting client and worker.
-    fn close(&self) {
-        let mut state = self.lock_state();
-        state.closed = true;
-        drop(state);
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
+    /// Wakes blocked producers, if any is actually parked.
+    fn signal_space(&self) {
+        if self.blocked.load(Ordering::SeqCst) > 0 {
+            let _guard = self
+                .space_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.space_cv.notify_all();
+        }
     }
 
-    /// Removes and returns everything still queued.
+    /// Closes the intake: after this returns, no push is in flight and none
+    /// can land, so a subsequent [`PoolShared::drain_remaining`] sees every
+    /// admitted job. Wakes everyone.
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        while self.pushing.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        {
+            let _guard = self
+                .idle_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.idle_cv.notify_all();
+        }
+        {
+            let _guard = self
+                .space_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.space_cv.notify_all();
+        }
+    }
+
+    /// Removes and returns everything still queued (call after
+    /// [`PoolShared::close`]).
     fn drain_remaining(&self) -> Vec<Job> {
-        let mut state = self.lock_state();
-        let drained = state.jobs.drain(..).collect();
-        drop(state);
-        self.not_full.notify_all();
+        let mut drained = Vec::new();
+        for ring in &self.rings {
+            while let Some(job) = ring.pop() {
+                drained.push(job);
+            }
+        }
+        if !drained.is_empty() {
+            self.queued.fetch_sub(drained.len(), Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            self.signal_space();
+        }
         drained
     }
+
+    /// Fills `batch` with the next dispatch: blocks (parking when idle) for
+    /// the first request, then spends up to `max_wait_ticks` yield-polls
+    /// topping the batch up to `max_batch`. Returns `false` when the pool is
+    /// closed and every ring has drained (the worker should exit).
+    fn fill_batch(
+        &self,
+        worker: usize,
+        batch: &mut Vec<Job>,
+        max_batch: usize,
+        max_wait_ticks: u32,
+    ) -> bool {
+        loop {
+            if self.pop_any(worker, batch, max_batch) > 0 {
+                break;
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                // Final sweep: `close` waited out in-flight pushes, so an
+                // empty sweep after seeing `closed` means empty for good.
+                if self.pop_any(worker, batch, max_batch) == 0 {
+                    return false;
+                }
+                break;
+            }
+            self.idle_wait();
+        }
+        let mut ticks = 0u32;
+        while batch.len() < max_batch
+            && ticks < max_wait_ticks
+            && !self.closed.load(Ordering::SeqCst)
+        {
+            ticks += 1;
+            std::thread::yield_now();
+            self.pop_any(worker, batch, max_batch);
+        }
+        true
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Reports and statistics
+// ---------------------------------------------------------------------------
 
 /// Serving statistics of one worker (engine replica).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -380,6 +958,11 @@ pub struct WorkerReport {
     pub sequential_delay_s: f64,
     /// Σ sequential-baseline energies of the same reads, in joules.
     pub sequential_energy_j: f64,
+    /// Submit → dispatch wait of every request this worker served.
+    pub queue_wait: LatencyHistogram,
+    /// Submit → answer-published latency of every request this worker
+    /// served.
+    pub end_to_end: LatencyHistogram,
     /// Whether this worker's thread died (panicked) instead of reporting:
     /// all other fields of a crashed report are zero — whatever the worker
     /// had counted died with it.
@@ -417,6 +1000,10 @@ pub struct PoolStats {
     pub sequential_delay_s: f64,
     /// Σ sequential-baseline energies, in joules.
     pub sequential_energy_j: f64,
+    /// Submit → dispatch queue-wait across all workers.
+    pub queue_wait: LatencyHistogram,
+    /// Submit → answer-published latency across all workers.
+    pub end_to_end: LatencyHistogram,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerReport>,
 }
@@ -435,8 +1022,12 @@ impl PoolStats {
             batched_energy_j: 0.0,
             sequential_delay_s: 0.0,
             sequential_energy_j: 0.0,
+            queue_wait: LatencyHistogram::new(),
+            end_to_end: LatencyHistogram::new(),
             workers,
         };
+        let mut queue_wait = LatencyHistogram::new();
+        let mut end_to_end = LatencyHistogram::new();
         for report in &stats.workers {
             stats.requests += report.requests;
             stats.batches += report.batches;
@@ -448,7 +1039,11 @@ impl PoolStats {
             stats.batched_energy_j += report.batched_energy_j;
             stats.sequential_delay_s += report.sequential_delay_s;
             stats.sequential_energy_j += report.sequential_energy_j;
+            queue_wait.merge(&report.queue_wait);
+            end_to_end.merge(&report.end_to_end);
         }
+        stats.queue_wait = queue_wait;
+        stats.end_to_end = end_to_end;
         if stats.batches > 0 {
             stats.mean_batch_size = stats.requests as f64 / stats.batches as f64;
         }
@@ -475,6 +1070,10 @@ impl PoolStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
 /// A pool of engine replicas serving batched inference requests.
 ///
 /// The pool is backend-erased: any [`InferenceBackend`] builds one, and
@@ -483,10 +1082,7 @@ impl PoolStats {
 /// backpressure/shutdown semantics.
 #[derive(Debug)]
 pub struct ServingPool {
-    queue: Arc<SharedQueue>,
-    /// `true` (the default): drained requests are answered on shutdown;
-    /// `false` (abort): drained requests get the typed shutdown error.
-    answer_drained: Arc<AtomicBool>,
+    shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<WorkerReport>>,
     config: ServingConfig,
 }
@@ -509,33 +1105,30 @@ impl ServingPool {
         if engines.is_empty() {
             return Err(ServingError::NoReplicas);
         }
-        let queue = Arc::new(SharedQueue::new(config.queue_depth));
-        let answer_drained = Arc::new(AtomicBool::new(true));
+        let shared = Arc::new(PoolShared::new(engines.len(), config.queue_depth));
         let alive = Arc::new(AtomicUsize::new(engines.len()));
         let workers = engines
             .into_iter()
             .enumerate()
             .map(|(worker, engine)| {
-                let queue = Arc::clone(&queue);
-                let answer_drained = Arc::clone(&answer_drained);
+                let shared = Arc::clone(&shared);
                 let guard = WorkerGuard {
-                    queue: Arc::clone(&queue),
+                    shared: Arc::clone(&shared),
                     alive: Arc::clone(&alive),
                 };
                 std::thread::Builder::new()
                     .name(format!("febim-serve-{worker}"))
                     .spawn(move || {
                         // Runs on every exit path, including panic unwind:
-                        // the last worker out closes and rejects the queue.
+                        // the last worker out closes and rejects the rings.
                         let _guard = guard;
-                        worker_loop(worker, engine, &queue, &answer_drained, config)
+                        worker_loop(worker, &engine, &shared, config)
                     })
                     .expect("spawn serving worker")
             })
             .collect();
         Ok(Self {
-            queue,
-            answer_drained,
+            shared,
             workers,
             config,
         })
@@ -571,13 +1164,19 @@ impl ServingPool {
     ///
     /// # Errors
     ///
-    /// Returns [`ServingError::QueueFull`] when the bounded queue is at
-    /// capacity (backpressure — retry later or use
-    /// [`ServingPool::submit_blocking`]).
+    /// Returns [`ServingError::QueueFull`] when the pool is at capacity
+    /// (backpressure — retry later or use [`ServingPool::submit_blocking`]).
     pub fn submit(&self, sample: Vec<f64>) -> Result<Ticket, ServingError> {
-        let (responder, receiver) = mpsc::channel();
-        self.queue.try_push(Job { sample, responder })?;
-        Ok(Ticket { receiver })
+        let cell = Arc::new(TicketCell::new());
+        match self.shared.try_push(Job::new(sample, Arc::clone(&cell))) {
+            Ok(()) => Ok(Ticket { cell }),
+            Err((job, err)) => {
+                // The job never entered a ring; disarm its drop guard so the
+                // unused cell is not "answered".
+                drop(job);
+                Err(err)
+            }
+        }
     }
 
     /// Submits one request, waiting for a queue slot when the pool is at
@@ -588,9 +1187,10 @@ impl ServingPool {
     /// Returns [`ServingError::ShutDown`] when the pool closes while the
     /// request waits for a slot.
     pub fn submit_blocking(&self, sample: Vec<f64>) -> Result<Ticket, ServingError> {
-        let (responder, receiver) = mpsc::channel();
-        self.queue.push_blocking(Job { sample, responder })?;
-        Ok(Ticket { receiver })
+        let cell = Arc::new(TicketCell::new());
+        self.shared
+            .push_blocking(Job::new(sample, Arc::clone(&cell)))?;
+        Ok(Ticket { cell })
     }
 
     /// Convenience: submits every sample (blocking backpressure) and waits
@@ -619,11 +1219,11 @@ impl ServingPool {
     /// it (the rejects are counted in [`PoolStats::shutdown_rejected`]).
     /// Batches a worker already popped are still answered normally.
     pub fn abort(mut self) -> PoolStats {
-        self.answer_drained.store(false, Ordering::SeqCst);
-        self.queue.close();
+        self.shared.answer_drained.store(false, Ordering::SeqCst);
+        self.shared.close();
         let mut rejected = 0u64;
-        for job in self.queue.drain_remaining() {
-            let _ = job.responder.send(Err(ServingError::ShutDown));
+        for job in self.shared.drain_remaining() {
+            job.complete(Err(ServingError::ShutDown));
             rejected += 1;
         }
         let mut stats = self.finish();
@@ -635,7 +1235,7 @@ impl ServingPool {
     /// thread panicked is reported as a crashed zero-count entry under its
     /// own index.
     fn finish(&mut self) -> PoolStats {
-        self.queue.close();
+        self.shared.close();
         let reports = self
             .workers
             .drain(..)
@@ -664,32 +1264,31 @@ impl Drop for ServingPool {
 /// unwind). The last worker out closes the intake and rejects everything
 /// still queued with the typed shutdown error: with no consumer left, a
 /// blocked producer or an unanswered queued request must fail fast, never
-/// wait forever. On a graceful shutdown the queue is already closed and
+/// wait forever. On a graceful shutdown the rings are already closed and
 /// drained, so both actions are no-ops.
 struct WorkerGuard {
-    queue: Arc<SharedQueue>,
+    shared: Arc<PoolShared>,
     alive: Arc<AtomicUsize>,
 }
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
         if self.alive.fetch_sub(1, Ordering::SeqCst) == 1 {
-            self.queue.close();
-            for job in self.queue.drain_remaining() {
-                let _ = job.responder.send(Err(ServingError::ShutDown));
+            self.shared.close();
+            for job in self.shared.drain_remaining() {
+                job.complete(Err(ServingError::ShutDown));
             }
         }
     }
 }
 
-/// One worker: pop a batch, run it through the grouped-read path with a
-/// reused scratch, answer every request, repeat until the queue closes and
-/// drains.
+/// One worker: fill a batch (own ring first, stealing from the others), run
+/// it through the grouped-read path with a reused scratch, publish every
+/// answer, repeat until the pool closes and the rings drain.
 fn worker_loop<B: InferenceBackend>(
     worker: usize,
-    engine: FebimEngine<B>,
-    queue: &SharedQueue,
-    answer_drained: &AtomicBool,
+    engine: &FebimEngine<B>,
+    shared: &PoolShared,
     config: ServingConfig,
 ) -> WorkerReport {
     let mut report = WorkerReport {
@@ -700,37 +1299,48 @@ fn worker_loop<B: InferenceBackend>(
     let mut steps: Vec<InferenceStep> = Vec::with_capacity(config.max_batch);
     let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
     let mut samples: Vec<Vec<f64>> = Vec::with_capacity(config.max_batch);
-    let mut responders: Vec<mpsc::Sender<ServeResult>> = Vec::with_capacity(config.max_batch);
     loop {
         batch.clear();
-        if !queue.pop_batch(&mut batch, config.max_batch, config.max_wait_ticks) {
+        if !shared.fill_batch(worker, &mut batch, config.max_batch, config.max_wait_ticks) {
             break;
         }
-        if !answer_drained.load(Ordering::SeqCst) {
+        if !shared.answer_drained.load(Ordering::SeqCst) {
             // Abort in progress: reject instead of serving.
             report.shutdown_rejected += batch.len() as u64;
             for job in batch.drain(..) {
-                let _ = job.responder.send(Err(ServingError::ShutDown));
+                job.complete(Err(ServingError::ShutDown));
             }
             continue;
         }
+        // Take the samples out; the jobs keep their tickets armed, so a
+        // panic inside inference still answers every request (via the job
+        // drop guard) instead of hanging its ticket.
+        let dispatched = Instant::now();
         samples.clear();
-        responders.clear();
-        for job in batch.drain(..) {
-            samples.push(job.sample);
-            responders.push(job.responder);
+        for job in &mut batch {
+            report
+                .queue_wait
+                .record(nanos_between(job.submitted, dispatched));
+            samples.push(std::mem::take(&mut job.sample));
         }
         match engine.infer_batch_into(&samples, &mut scratch, &mut steps) {
             Ok(telemetry) => {
-                report.requests += samples.len() as u64;
+                report.requests += batch.len() as u64;
                 report.batches += 1;
-                report.largest_batch = report.largest_batch.max(samples.len());
+                report.largest_batch = report.largest_batch.max(batch.len());
                 report.batched_delay_s += telemetry.delay.total();
                 report.batched_energy_j += telemetry.energy.total();
                 report.sequential_delay_s += telemetry.sequential_delay;
                 report.sequential_energy_j += telemetry.sequential_energy;
-                for (responder, step) in responders.iter().zip(&steps) {
-                    let _ = responder.send(Ok(ServeOutcome {
+                // Batched completion: publish the whole batch back to back
+                // (one release-swap each); wakes only reach clients that
+                // actually parked.
+                let completed = Instant::now();
+                for (job, step) in batch.drain(..).zip(&steps) {
+                    report
+                        .end_to_end
+                        .record(nanos_between(job.submitted, completed));
+                    job.complete(Ok(ServeOutcome {
                         prediction: step.prediction,
                         tie_broken: step.tie_broken,
                         delay: step.delay,
@@ -745,7 +1355,8 @@ fn worker_loop<B: InferenceBackend>(
                 // Fall back to per-sample inference so one bad request
                 // cannot poison its batch mates: each request gets its own
                 // answer or its own typed error.
-                for (responder, sample) in responders.iter().zip(&samples) {
+                let size = batch.len();
+                for (job, sample) in batch.drain(..).zip(&samples) {
                     let answer = engine
                         .infer_into(sample, &mut scratch)
                         .map(|step| {
@@ -774,10 +1385,13 @@ fn worker_loop<B: InferenceBackend>(
                     if answer.is_err() {
                         report.failed += 1;
                     }
-                    let _ = responder.send(answer);
+                    report
+                        .end_to_end
+                        .record(nanos_between(job.submitted, Instant::now()));
+                    job.complete(answer);
                 }
                 report.batches += 1;
-                report.largest_batch = report.largest_batch.max(samples.len());
+                report.largest_batch = report.largest_batch.max(size);
             }
         }
     }
@@ -849,6 +1463,79 @@ mod tests {
     }
 
     #[test]
+    fn ring_is_fifo_and_reports_full_and_empty() {
+        let ring = Ring::new(4);
+        assert!(ring.pop().is_none());
+        for index in 0..4 {
+            let cell = Arc::new(TicketCell::new());
+            assert!(ring.push(Job::new(vec![f64::from(index)], cell)).is_ok());
+        }
+        // Full: the fifth push hands the job back (whose drop guard then
+        // answers its unused ticket).
+        assert!(ring
+            .push(Job::new(vec![4.0], Arc::new(TicketCell::new())))
+            .is_err());
+        // FIFO order, and slots recycle after pops.
+        for index in 0..4 {
+            let job = ring.pop().expect("queued job");
+            assert_eq!(job.sample, vec![f64::from(index)]);
+        }
+        assert!(ring.pop().is_none());
+        assert!(ring
+            .push(Job::new(vec![9.0], Arc::new(TicketCell::new())))
+            .is_ok());
+        assert_eq!(ring.pop().expect("recycled slot").sample, vec![9.0]);
+    }
+
+    #[test]
+    fn dropped_jobs_answer_their_tickets_with_shutdown() {
+        let cell = Arc::new(TicketCell::new());
+        let job = Job::new(vec![1.0], Arc::clone(&cell));
+        drop(job);
+        assert!(matches!(
+            Ticket { cell }.wait(),
+            Err(ServingError::ShutDown)
+        ));
+    }
+
+    #[test]
+    fn latency_histogram_buckets_merge_and_percentiles() {
+        let mut histogram = LatencyHistogram::new();
+        assert_eq!(histogram.count(), 0);
+        assert_eq!(histogram.percentile_ns(50.0), 0);
+        // Exact region: every value below 16 ns has its own bucket.
+        for nanos in 0..16u64 {
+            assert_eq!(LatencyHistogram::bucket_index(nanos), nanos as usize);
+            assert_eq!(LatencyHistogram::bucket_midpoint(nanos as usize), nanos);
+        }
+        // Log-linear region: bucket index is monotone in the sample value.
+        let mut last = 0;
+        for shift in 4..63 {
+            let index = LatencyHistogram::bucket_index(1u64 << shift);
+            assert!(index > last, "shift {shift}");
+            last = index;
+        }
+        assert!(LatencyHistogram::bucket_index(u64::MAX) < HISTOGRAM_BUCKETS);
+        // Percentiles: 100 samples at ~100 ns, 5 at ~10_000 ns.
+        for _ in 0..100 {
+            histogram.record(100);
+        }
+        for _ in 0..5 {
+            histogram.record(10_000);
+        }
+        let p50 = histogram.p50_ns();
+        let p99 = histogram.p99_ns();
+        assert!((75..=150).contains(&p50), "p50 = {p50}");
+        assert!((7_500..=15_000).contains(&p99), "p99 = {p99}");
+        assert!(histogram.p95_ns() >= p50);
+        // Merge accumulates counts bucket-wise.
+        let mut other = LatencyHistogram::new();
+        other.record(100);
+        other.merge(&histogram);
+        assert_eq!(other.count(), histogram.count() + 1);
+    }
+
+    #[test]
     fn empty_pools_and_zero_replicas_rejected() {
         let (train, _) = split_for(900);
         let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
@@ -897,6 +1584,11 @@ mod tests {
         assert!(stats.largest_batch <= 4);
         assert!(stats.mean_batch_size >= 1.0);
         assert_eq!(stats.shutdown_rejected, 0);
+        // Every served request was timed, worker histograms merge into the
+        // pool-level ones, and the percentiles are ordered.
+        assert_eq!(stats.queue_wait.count(), samples.len() as u64);
+        assert_eq!(stats.end_to_end.count(), samples.len() as u64);
+        assert!(stats.end_to_end.p50_ns() <= stats.end_to_end.p99_ns());
         // The grouped pricing never exceeds the sequential baseline.
         assert!(stats.batched_delay_s <= stats.sequential_delay_s);
         assert!(stats.batched_energy_j <= stats.sequential_energy_j);
@@ -905,6 +1597,7 @@ mod tests {
         let json = serde::json::to_string(&stats);
         assert!(json.contains("\"mean_batch_size\""));
         assert!(json.contains("\"workers\""));
+        assert!(json.contains("\"queue_wait\""));
     }
 
     #[test]
@@ -1179,7 +1872,7 @@ mod tests {
         let sample = test.sample(0).unwrap().to_vec();
         let first = pool.submit(sample.clone()).unwrap();
         // The worker dies on the first request; its ticket must resolve to
-        // the typed shutdown error (the responder died with the thread).
+        // the typed shutdown error (the job's drop guard answers it).
         assert!(matches!(first.wait(), Err(ServingError::ShutDown)));
         // The dying worker's guard closes the intake, so the pool fails
         // fast instead of queueing work nothing will pop: a submit racing

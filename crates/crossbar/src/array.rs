@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use febim_device::{LevelProgrammer, VariationModel};
 
-use crate::cache::ConductanceCache;
+use crate::cache::{lane_delta_sum, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::layout::CrossbarLayout;
@@ -353,7 +353,9 @@ impl CrossbarArray {
 
     /// Uncached single-wordline read: evaluates the FeFET I-V model for every
     /// cell of the row on every call, accumulating in the exact same order as
-    /// the cached sparse path. This is the reference oracle for the
+    /// the cached sparse path — off-state leakage in column order, then the
+    /// activated deltas in the committed 4-lane order (see
+    /// [`crate::cache`]'s module docs). This is the reference oracle for the
     /// equivalence property tests and the "before" baseline of the perf
     /// record — results are bit-identical to
     /// [`CrossbarArray::wordline_current`] whenever the cache is fresh.
@@ -370,11 +372,11 @@ impl CrossbarArray {
         for cell in row_cells {
             current += cell.read_current_off();
         }
-        for &column in activation.active_columns() {
-            let cell = &row_cells[column];
-            current += cell.read_current_on() - cell.read_current_off();
-        }
-        Ok(current)
+        let deltas: Vec<f64> = row_cells
+            .iter()
+            .map(|cell| cell.read_current_on() - cell.read_current_off())
+            .collect();
+        Ok(current + lane_delta_sum(&deltas, activation.active_columns()))
     }
 
     /// Uncached all-wordline read (see

@@ -15,20 +15,63 @@
 //! so one inference is O(rows × activated columns) with no device-model
 //! calls. [`crate::CrossbarArray`] rebuilds the cache lazily after any
 //! mutation (programming, variation injection, direct cell access).
+//!
+//! ## The committed summation order
+//!
+//! The delta sum is evaluated by [`lane_delta_sum`]: four independent
+//! accumulator lanes striped over the activation order in chunks of four
+//! (an autovectorizable f64x4 shape on stable Rust), a scalar tail for the
+//! remainder, combined as
+//!
+//! ```text
+//! ((lane0 + lane1) + (lane2 + lane3)) + tail
+//! ```
+//!
+//! and finally added onto `row_off_sum`. Floating-point addition is not
+//! associative, so this order **is** the bit-exactness contract: the cached
+//! kernel, the tiled fabric's merged read and the uncached reference oracles
+//! all evaluate it identically, and the crate's property tests pin every
+//! remainder case (0–3 trailing columns).
 
 use crate::cell::Cell;
 use crate::read::Activation;
 
+/// On/off delta sum over the activated columns in the committed 4-lane
+/// order (see the module docs): lanes striped over activation order,
+/// combined as `((lane0 + lane1) + (lane2 + lane3)) + tail`.
+///
+/// `deltas` is indexed by column; every fast and reference read path in
+/// this crate funnels through this one function so the floating-point
+/// accumulation order can never silently diverge.
+#[inline]
+pub(crate) fn lane_delta_sum(deltas: &[f64], active_columns: &[usize]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = active_columns.chunks_exact(4);
+    for chunk in &mut chunks {
+        lanes[0] += deltas[chunk[0]];
+        lanes[1] += deltas[chunk[1]];
+        lanes[2] += deltas[chunk[2]];
+        lanes[3] += deltas[chunk[3]];
+    }
+    let mut tail = 0.0;
+    for &column in chunks.remainder() {
+        tail += deltas[column];
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
 /// Struct-of-arrays conductance snapshot of a programmed crossbar.
 ///
-/// All vectors are row-major; `on`/`off` hold one entry per cell and
-/// `row_off_sums` one entry per row (the accumulated leakage of a fully
+/// All vectors are row-major; `on`/`off`/`delta` hold one entry per cell
+/// (`delta = on - off`, precomputed so the read kernel is a pure gather-sum)
+/// and `row_off_sums` one entry per row (the accumulated leakage of a fully
 /// inhibited wordline, summed in column order).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ConductanceCache {
     columns: usize,
     on: Vec<f64>,
     off: Vec<f64>,
+    delta: Vec<f64>,
     row_off_sums: Vec<f64>,
 }
 
@@ -38,9 +81,13 @@ impl ConductanceCache {
         debug_assert_eq!(cells.len(), rows * columns);
         let mut on = Vec::with_capacity(cells.len());
         let mut off = Vec::with_capacity(cells.len());
+        let mut delta = Vec::with_capacity(cells.len());
         for cell in cells {
-            on.push(cell.read_current_on());
-            off.push(cell.read_current_off());
+            let cell_on = cell.read_current_on();
+            let cell_off = cell.read_current_off();
+            on.push(cell_on);
+            off.push(cell_off);
+            delta.push(cell_on - cell_off);
         }
         let mut row_off_sums = Vec::with_capacity(rows);
         for row in 0..rows {
@@ -55,6 +102,7 @@ impl ConductanceCache {
             columns,
             on,
             off,
+            delta,
             row_off_sums,
         }
     }
@@ -67,8 +115,14 @@ impl ConductanceCache {
     /// On/off current delta of one cell (the contribution an activated
     /// column adds on top of the row's off-state leakage).
     pub(crate) fn delta(&self, row: usize, column: usize) -> f64 {
-        let index = row * self.columns + column;
-        self.on[index] - self.off[index]
+        self.delta[row * self.columns + column]
+    }
+
+    /// The precomputed on/off deltas of one row, indexed by column — the
+    /// contiguous slice the 4-lane kernel gathers from.
+    pub(crate) fn row_deltas(&self, row: usize) -> &[f64] {
+        let base = row * self.columns;
+        &self.delta[base..base + self.columns]
     }
 
     /// Accumulated off-state leakage of one row (summed in column order).
@@ -88,16 +142,10 @@ impl ConductanceCache {
     }
 
     /// Accumulated current of one wordline: the row's full off-state leakage
-    /// plus the on/off delta of every activated column, visited in activation
-    /// order.
+    /// plus the activated columns' on/off deltas in the committed 4-lane
+    /// order (see [`lane_delta_sum`]).
     pub(crate) fn wordline_current(&self, row: usize, activation: &Activation) -> f64 {
-        let base = row * self.columns;
-        let mut current = self.row_off_sums[row];
-        for &column in activation.active_columns() {
-            let index = base + column;
-            current += self.on[index] - self.off[index];
-        }
-        current
+        self.row_off_sums[row] + lane_delta_sum(self.row_deltas(row), activation.active_columns())
     }
 }
 
@@ -122,6 +170,10 @@ mod tests {
             let column = index % layout.columns();
             assert_eq!(cache.on_current(row, column), cell.read_current_on());
             assert_eq!(cache.off[index], cell.read_current_off());
+            assert_eq!(
+                cache.delta(row, column),
+                cell.read_current_on() - cell.read_current_off()
+            );
         }
         // The row off-sum accumulates in column order.
         let expected: f64 = cells[..layout.columns()]
@@ -145,5 +197,29 @@ mod tests {
         let all = Activation::all_columns(&layout);
         assert_eq!(cache.wordline_current(0, &none), cache.row_off_sums[0]);
         assert!(cache.wordline_current(0, &all) > cache.wordline_current(0, &none));
+    }
+
+    #[test]
+    fn lane_sum_order_is_the_committed_one() {
+        // Deltas chosen so reassociation visibly changes the result: the
+        // committed order must match an explicit lane-by-lane evaluation.
+        let deltas: Vec<f64> = (0..11)
+            .map(|index| 1.0 + (index as f64) * 1e-16 + (index as f64).sin())
+            .collect();
+        for active in 0..=deltas.len() {
+            let columns: Vec<usize> = (0..active).collect();
+            let measured = lane_delta_sum(&deltas, &columns);
+            let mut lanes = [0.0f64; 4];
+            let full = active / 4 * 4;
+            for (slot, &column) in columns[..full].iter().enumerate() {
+                lanes[slot % 4] += deltas[column];
+            }
+            let mut tail = 0.0;
+            for &column in &columns[full..] {
+                tail += deltas[column];
+            }
+            let expected = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail;
+            assert_eq!(measured, expected, "active={active}");
+        }
     }
 }

@@ -91,8 +91,10 @@ mod proptests {
     }
 
     /// Asserts the cached sparse read equals the uncached reference path
-    /// bit-for-bit, for both a sparse observation and the all-columns stress
-    /// pattern.
+    /// bit-for-bit: for a sparse observation, for the all-columns stress
+    /// pattern, and for every activation prefix length up to nine columns —
+    /// the latter walks the 4-lane kernel through every `chunks_exact(4)`
+    /// remainder case (0–3 trailing columns) on both full and partial lanes.
     fn assert_reads_match<R: Rng>(array: &CrossbarArray, rng: &mut R) {
         let nodes = array.layout().evidence_nodes();
         let levels = array.layout().evidence_levels();
@@ -109,6 +111,16 @@ mod proptests {
             array.wordline_currents(&all).unwrap(),
             array.wordline_currents_reference(&all).unwrap(),
         );
+        let columns = array.layout().columns();
+        for active in 0..=columns.min(9) {
+            let picks: Vec<usize> = (0..active).map(|index| columns - 1 - index).collect();
+            let prefix = Activation::from_columns(array.layout(), &picks).unwrap();
+            assert_eq!(
+                array.wordline_currents(&prefix).unwrap(),
+                array.wordline_currents_reference(&prefix).unwrap(),
+                "active={active}",
+            );
+        }
     }
 
     proptest! {
@@ -215,6 +227,67 @@ mod proptests {
             assert_reads_match(&array, &mut rng);
         }
 
+        /// The committed summation order of the sparse read kernel, pinned
+        /// against an independent in-test evaluation: off currents in column
+        /// order, then four delta lanes striped over the activation order,
+        /// combined `((l0+l1)+(l2+l3)) + tail`. Swept over every activation
+        /// length up to the full layout so all `chunks_exact(4)` remainder
+        /// cases are exercised; this keeps the fast path and the reference
+        /// oracle from ever drifting together.
+        #[test]
+        fn kernel_summation_order_is_pinned(
+            events in 1usize..5,
+            nodes in 1usize..4,
+            levels_per_node in 1usize..5,
+            has_prior in proptest::bool::ANY,
+            program_seed in 0u64..1_000_000,
+            sigma_mv in 0.0f64..60.0,
+        ) {
+            let layout = CrossbarLayout::new(events, nodes, levels_per_node, has_prior).unwrap();
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut array = CrossbarArray::new(layout, programmer);
+            let mut rng = VariationModel::seeded_rng(program_seed);
+            program_random(&mut array, &mut rng);
+            let variation = VariationModel::from_millivolts(sigma_mv);
+            array.apply_variation(&variation, &mut rng);
+
+            let columns = layout.columns();
+            for active in 0..=columns {
+                // Reversed column order so activation order ≠ column order.
+                let picks: Vec<usize> = (0..active).map(|index| columns - 1 - index).collect();
+                let activation = Activation::from_columns(&layout, &picks).unwrap();
+                let measured = array.wordline_currents(&activation).unwrap();
+                for (row, &value) in measured.iter().enumerate() {
+                    let mut off_sum = 0.0;
+                    for column in 0..columns {
+                        off_sum += array.cell(row, column).unwrap().read_current_off();
+                    }
+                    let deltas: Vec<f64> = picks
+                        .iter()
+                        .map(|&column| {
+                            let cell = array.cell(row, column).unwrap();
+                            cell.read_current_on() - cell.read_current_off()
+                        })
+                        .collect();
+                    let mut lanes = [0.0f64; 4];
+                    let full = active / 4 * 4;
+                    for (slot, delta) in deltas[..full].iter().enumerate() {
+                        lanes[slot % 4] += delta;
+                    }
+                    let mut tail = 0.0;
+                    for delta in &deltas[full..] {
+                        tail += delta;
+                    }
+                    let expected =
+                        off_sum + (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail);
+                    prop_assert_eq!(
+                        value, expected,
+                        "row {} with {} active columns", row, active
+                    );
+                }
+            }
+        }
+
         /// A tiled fabric holding the same program as a monolithic array
         /// produces bit-for-bit identical wordline currents across random
         /// layouts, tile shapes, programs and device variations, and both
@@ -265,6 +338,19 @@ mod proptests {
                 let merged = grid.wordline_currents(activation).unwrap();
                 prop_assert_eq!(&merged, &array.wordline_currents(activation).unwrap());
                 prop_assert_eq!(&merged, &grid.wordline_currents_reference(activation).unwrap());
+            }
+
+            // Every activation length up to nine columns keeps the fabric in
+            // lockstep with the monolithic array through all 4-lane
+            // remainder cases.
+            for active in 0..=layout.columns().min(9) {
+                let picks: Vec<usize> =
+                    (0..active).map(|index| layout.columns() - 1 - index).collect();
+                let prefix = Activation::from_columns(&layout, &picks).unwrap();
+                prop_assert_eq!(
+                    grid.wordline_currents(&prefix).unwrap(),
+                    array.wordline_currents(&prefix).unwrap()
+                );
             }
 
             // Identically seeded variation keeps the fabrics in lockstep.

@@ -18,9 +18,12 @@
 //! [`CrossbarArray`](crate::CrossbarArray) holding the same program: cells
 //! are programmed identically (so per-cell on/off currents match), the
 //! fabric-level row off-sums are accumulated cell by cell in global column
-//! order (the exact order the monolithic conductance cache uses), and
-//! activated-column deltas are added in activation order. Equivalence is
-//! proptest-enforced in this crate and at engine level.
+//! order (the exact order the monolithic conductance cache uses), and the
+//! activated-column deltas are gathered from a fabric-level delta matrix
+//! (assembled in global column order from the per-tile caches) through the
+//! exact same committed 4-lane reduction as the monolithic kernel (see
+//! [`crate::cache`]'s module docs). Equivalence is proptest-enforced in
+//! this crate and at engine level.
 //!
 //! The one intentional divergence is [`ProgrammingMode::PulseTrain`]
 //! disturb: half-bias inhibit pulses only reach the rows of the tile being
@@ -36,7 +39,7 @@ use serde::{Deserialize, Serialize};
 use febim_device::{LevelProgrammer, VariationModel};
 
 use crate::array::ProgrammingMode;
-use crate::cache::ConductanceCache;
+use crate::cache::{lane_delta_sum, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::layout::CrossbarLayout;
@@ -223,13 +226,28 @@ impl Tile {
     }
 }
 
-/// Derived read state of the fabric: one conductance cache per tile plus the
+/// Derived read state of the fabric: one conductance cache per tile, the
 /// fabric-level row off-sums (accumulated in global column order so merged
-/// reads are bit-identical to a monolithic array's).
+/// reads are bit-identical to a monolithic array's), and a fabric-level
+/// on/off delta matrix in global row-major order — the contiguous gather
+/// target that lets a merged read run the exact same 4-lane kernel as a
+/// monolithic array, with no per-column tile translation on the hot path.
 #[derive(Debug, Clone)]
 struct FabricCache {
     tiles: Vec<ConductanceCache>,
     row_off_sums: Vec<f64>,
+    /// `delta[row * layout.columns() + column]`, bit-identical per cell to
+    /// the monolithic cache's deltas (same device-model evaluations).
+    delta: Vec<f64>,
+    columns: usize,
+}
+
+impl FabricCache {
+    /// The global-order delta slice of one fabric row.
+    fn row_deltas(&self, row: usize) -> &[f64] {
+        let base = row * self.columns;
+        &self.delta[base..base + self.columns]
+    }
 }
 
 /// A programmed tiled crossbar fabric.
@@ -331,20 +349,28 @@ impl TileGrid {
             // Fabric row off-sums accumulate across tile columns cell by
             // cell, in global column order — the same floating-point
             // accumulation order as a monolithic array's conductance cache.
-            let mut row_off_sums = Vec::with_capacity(self.plan.layout().rows());
-            for row in 0..self.plan.layout().rows() {
+            // The fabric delta matrix is stitched together in the same
+            // global order, so per-cell deltas are the very values a
+            // monolithic cache would hold.
+            let layout = *self.plan.layout();
+            let mut row_off_sums = Vec::with_capacity(layout.rows());
+            let mut delta = Vec::with_capacity(layout.cells());
+            for row in 0..layout.rows() {
                 let tile_row = row / self.plan.shape().rows;
                 let local_row = row % self.plan.shape().rows;
                 let mut accumulator = 0.0;
                 for tile_col in 0..self.plan.col_tiles() {
-                    tile_caches[tile_row * self.plan.col_tiles() + tile_col]
-                        .accumulate_row_off(local_row, &mut accumulator);
+                    let tile = &tile_caches[tile_row * self.plan.col_tiles() + tile_col];
+                    tile.accumulate_row_off(local_row, &mut accumulator);
+                    delta.extend_from_slice(tile.row_deltas(local_row));
                 }
                 row_off_sums.push(accumulator);
             }
             FabricCache {
                 tiles: tile_caches,
                 row_off_sums,
+                delta,
+                columns: layout.columns(),
             }
         });
         reader(cache)
@@ -508,8 +534,9 @@ impl TileGrid {
 
     /// Merged wordline currents of the whole fabric for a global activation
     /// pattern, written into `out` (cleared first): fabric row off-sums plus
-    /// the per-tile on/off deltas of the activated columns, in activation
-    /// order. Bit-identical to a monolithic array holding the same program.
+    /// the activated columns' deltas gathered from the fabric delta matrix
+    /// through the committed 4-lane reduction. Bit-identical to a monolithic
+    /// array holding the same program.
     ///
     /// # Errors
     ///
@@ -521,21 +548,15 @@ impl TileGrid {
         out: &mut Vec<f64>,
     ) -> Result<()> {
         self.check_activation(activation)?;
-        let layout = *self.plan.layout();
-        let shape = self.plan.shape();
-        let col_tiles = self.plan.col_tiles();
+        let rows = self.plan.layout().rows();
         out.clear();
-        out.reserve(layout.rows());
+        out.reserve(rows);
         self.with_cache(|cache| {
-            for row in 0..layout.rows() {
-                let tile_row = row / shape.rows;
-                let local_row = row % shape.rows;
-                let mut current = cache.row_off_sums[row];
-                for &column in activation.active_columns() {
-                    let tile = &cache.tiles[tile_row * col_tiles + column / shape.columns];
-                    current += tile.delta(local_row, column % shape.columns);
-                }
-                out.push(current);
+            for row in 0..rows {
+                out.push(
+                    cache.row_off_sums[row]
+                        + lane_delta_sum(cache.row_deltas(row), activation.active_columns()),
+                );
             }
         });
         Ok(())
@@ -545,14 +566,12 @@ impl TileGrid {
     /// activation patterns, written into `out` (cleared first) read after
     /// read: `out[read * rows + row]` is the merged current of global `row`
     /// under `activations[read]`. This is the grouped-read kernel of the
-    /// serving path: the per-tile conductance caches and the fabric row
-    /// off-sums are borrowed **once** for the whole group, and each read's
-    /// activated columns are translated to `(tile column, local column)`
-    /// coordinates **once** instead of once per wordline — the division-free
-    /// inner loop the batch amortizes its setup over. Every read accumulates
-    /// in exactly the order of a standalone
-    /// [`TileGrid::wordline_currents_into`] call, so results stay
-    /// bit-identical to sequential reads.
+    /// serving path: the fabric delta matrix and row off-sums are borrowed
+    /// **once** for the whole group, and every read runs the same committed
+    /// 4-lane gather as a standalone
+    /// [`TileGrid::wordline_currents_into`] call (no per-column tile
+    /// translation at all), so results stay bit-identical to sequential
+    /// reads.
     ///
     /// # Errors
     ///
@@ -567,37 +586,16 @@ impl TileGrid {
         for activation in activations {
             self.check_activation(activation)?;
         }
-        let layout = *self.plan.layout();
-        let shape = self.plan.shape();
-        let col_tiles = self.plan.col_tiles();
+        let rows = self.plan.layout().rows();
         out.clear();
-        out.reserve(layout.rows() * activations.len());
-        // (tile column, local column) of each activated column, in
-        // activation order; refilled per read, allocated once per group.
-        let mut translated: Vec<(usize, usize)> = Vec::new();
+        out.reserve(rows * activations.len());
         self.with_cache(|cache| {
             for activation in activations {
-                translated.clear();
-                translated.extend(
-                    activation
-                        .active_columns()
-                        .iter()
-                        .map(|&column| (column / shape.columns, column % shape.columns)),
-                );
-                let mut tile_row = 0usize;
-                let mut local_row = 0usize;
-                for row in 0..layout.rows() {
-                    let tile_base = tile_row * col_tiles;
-                    let mut current = cache.row_off_sums[row];
-                    for &(tile_col, local_col) in &translated {
-                        current += cache.tiles[tile_base + tile_col].delta(local_row, local_col);
-                    }
-                    out.push(current);
-                    local_row += 1;
-                    if local_row == shape.rows {
-                        local_row = 0;
-                        tile_row += 1;
-                    }
+                for row in 0..rows {
+                    out.push(
+                        cache.row_off_sums[row]
+                            + lane_delta_sum(cache.row_deltas(row), activation.active_columns()),
+                    );
                 }
             }
         });
@@ -688,16 +686,16 @@ impl TileGrid {
         self.check_activation(activation)?;
         let layout = *self.plan.layout();
         let mut currents = Vec::with_capacity(layout.rows());
+        let mut deltas = Vec::with_capacity(layout.columns());
         for row in 0..layout.rows() {
             let mut current = 0.0;
+            deltas.clear();
             for column in 0..layout.columns() {
-                current += self.cell(row, column)?.read_current_off();
-            }
-            for &column in activation.active_columns() {
                 let cell = self.cell(row, column)?;
-                current += cell.read_current_on() - cell.read_current_off();
+                current += cell.read_current_off();
+                deltas.push(cell.read_current_on() - cell.read_current_off());
             }
-            currents.push(current);
+            currents.push(current + lane_delta_sum(&deltas, activation.active_columns()));
         }
         Ok(currents)
     }
