@@ -1,0 +1,205 @@
+//! Drift-resilience comparison: accuracy retention with and without online
+//! recalibration.
+//!
+//! The noise campaign (`febim_core::noise_campaign`) measures, per array
+//! scale × non-ideality severity, the accuracy of a fresh array, the same
+//! array after ageing, and after one recalibration pass. This module turns
+//! those points into a comparison table in the spirit of Table 1: one
+//! [`ResilienceRow`] per campaign cell, with the retention ratios and the
+//! refresh energy amortized over the epochs, aggregated into a
+//! [`ResilienceComparison`].
+
+use serde::{Deserialize, Serialize};
+
+use febim_core::{NoisePoint, Table};
+
+/// One (array scale × severity) row of the drift-resilience comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceRow {
+    /// Severity label of the scenario.
+    pub label: String,
+    /// Evidence columns of the programmed array (the scale axis).
+    pub columns: usize,
+    /// Ticks the array aged before the aged evaluation.
+    pub age_ticks: u64,
+    /// Mean accuracy of the freshly programmed array.
+    pub fresh_accuracy: f64,
+    /// Mean accuracy after ageing, before any refresh.
+    pub aged_accuracy: f64,
+    /// Mean accuracy after the recalibration pass.
+    pub recovered_accuracy: f64,
+    /// `aged / fresh` — what an uncalibrated deployment keeps.
+    pub retention_without_refresh: f64,
+    /// `recovered / fresh` — what the recalibrated deployment keeps.
+    pub retention_with_refresh: f64,
+    /// Cells reprogrammed by the recalibration passes, over all epochs.
+    pub cells_refreshed: u64,
+    /// Program pulses spent by the recalibration passes, over all epochs.
+    pub refresh_pulses: u64,
+    /// Refresh energy in joules, over all epochs.
+    pub refresh_energy_j: f64,
+}
+
+impl ResilienceRow {
+    /// Builds one row from a noise-campaign point.
+    pub fn from_point(point: &NoisePoint) -> Self {
+        let fresh = point.fresh.mean;
+        let ratio = |value: f64| if fresh > 0.0 { value / fresh } else { 0.0 };
+        Self {
+            label: point.label.clone(),
+            columns: point.columns,
+            age_ticks: point.age_ticks,
+            fresh_accuracy: fresh,
+            aged_accuracy: point.aged.mean,
+            recovered_accuracy: point.recovered.mean,
+            retention_without_refresh: ratio(point.aged.mean),
+            retention_with_refresh: ratio(point.recovered.mean),
+            cells_refreshed: point.refresh.cells_refreshed,
+            refresh_pulses: point.refresh.pulses_applied,
+            refresh_energy_j: point.refresh.energy_joules,
+        }
+    }
+}
+
+/// The assembled drift-resilience comparison.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceComparison {
+    /// One row per (array scale × severity) campaign cell.
+    pub rows: Vec<ResilienceRow>,
+}
+
+impl ResilienceComparison {
+    /// Builds the comparison from the points of a noise campaign.
+    pub fn from_points(points: &[NoisePoint]) -> Self {
+        Self {
+            rows: points.iter().map(ResilienceRow::from_point).collect(),
+        }
+    }
+
+    /// Worst accuracy retention across the rows without any refresh
+    /// (`None` when the comparison is empty).
+    pub fn worst_retention_without_refresh(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .map(|row| row.retention_without_refresh)
+            .fold(None, |worst, value| {
+                Some(worst.map_or(value, |w: f64| w.min(value)))
+            })
+    }
+
+    /// Worst accuracy retention across the rows with recalibration.
+    pub fn worst_retention_with_refresh(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .map(|row| row.retention_with_refresh)
+            .fold(None, |worst, value| {
+                Some(worst.map_or(value, |w: f64| w.min(value)))
+            })
+    }
+
+    /// Total refresh energy across the rows, in joules.
+    pub fn total_refresh_energy_j(&self) -> f64 {
+        self.rows.iter().map(|row| row.refresh_energy_j).sum()
+    }
+
+    /// Renders the comparison as a report table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "drift_resilience",
+            &[
+                "scenario",
+                "columns",
+                "age_ticks",
+                "fresh",
+                "aged",
+                "recovered",
+                "retention_aged",
+                "retention_refreshed",
+                "cells_refreshed",
+                "refresh_pulses",
+                "refresh_energy_j",
+            ],
+        );
+        for row in &self.rows {
+            table.push_row(&[
+                row.label.clone(),
+                row.columns.to_string(),
+                row.age_ticks.to_string(),
+                format!("{:.4}", row.fresh_accuracy),
+                format!("{:.4}", row.aged_accuracy),
+                format!("{:.4}", row.recovered_accuracy),
+                format!("{:.4}", row.retention_without_refresh),
+                format!("{:.4}", row.retention_with_refresh),
+                row.cells_refreshed.to_string(),
+                row.refresh_pulses.to_string(),
+                format!("{:.3e}", row.refresh_energy_j),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_core::{noise_campaign, EngineConfig, NoiseScenario};
+    use febim_data::synthetic::iris_like;
+    use febim_device::{NonIdealityStack, ReadDisturb, RetentionDrift};
+    use febim_quant::QuantConfig;
+
+    #[test]
+    fn resilience_rows_track_the_noise_campaign() {
+        let dataset = iris_like(90).unwrap();
+        let config = EngineConfig::febim_default();
+        let scenarios = [
+            NoiseScenario::new("ideal", NonIdealityStack::ideal(), 50_000),
+            NoiseScenario::new(
+                "drift+disturb",
+                NonIdealityStack::ideal()
+                    .with_drift(RetentionDrift::new(0.05, 100))
+                    .with_disturb(ReadDisturb::new(64, 0.002)),
+                50_000,
+            ),
+        ];
+        let points = noise_campaign(
+            &dataset,
+            &config,
+            &[QuantConfig::febim_optimal()],
+            &scenarios,
+            1e-6,
+            0.7,
+            2,
+            90,
+        )
+        .unwrap();
+        let comparison = ResilienceComparison::from_points(&points);
+        assert_eq!(comparison.rows.len(), 2);
+        let ideal = &comparison.rows[0];
+        let noisy = &comparison.rows[1];
+        // An ideal array keeps everything, refresh or not.
+        assert_eq!(ideal.retention_without_refresh, 1.0);
+        assert_eq!(ideal.retention_with_refresh, 1.0);
+        assert_eq!(ideal.refresh_pulses, 0);
+        // Recalibration restores the drifted array to its fresh accuracy
+        // exactly (σ_VTH = 0), and it costs real refresh work.
+        assert_eq!(noisy.retention_with_refresh, 1.0);
+        assert!(noisy.cells_refreshed > 0);
+        assert!(noisy.refresh_energy_j > 0.0);
+        assert_eq!(comparison.worst_retention_with_refresh(), Some(1.0));
+        assert!(comparison.worst_retention_without_refresh().unwrap() <= 1.0);
+        assert!(comparison.total_refresh_energy_j() > 0.0);
+        let rendered = comparison.to_table().to_pretty();
+        assert!(rendered.contains("drift+disturb"));
+        assert!(rendered.contains("retention_refreshed"));
+        let json = serde::json::to_string(&comparison);
+        assert!(json.contains("\"retention_with_refresh\""));
+    }
+
+    #[test]
+    fn empty_comparison_has_no_worst_case() {
+        let comparison = ResilienceComparison::default();
+        assert_eq!(comparison.worst_retention_without_refresh(), None);
+        assert_eq!(comparison.worst_retention_with_refresh(), None);
+        assert_eq!(comparison.total_refresh_energy_j(), 0.0);
+    }
+}

@@ -30,7 +30,7 @@ use febim_circuit::{
     InferenceEnergy, ReadGroup, SensingChain, TileGeometry,
 };
 use febim_crossbar::{
-    Activation, CrossbarArray, CrossbarLayout, ProgrammingMode, TileGrid, TileShape,
+    Activation, CrossbarArray, CrossbarLayout, ProgrammingMode, RefreshOutcome, TileGrid, TileShape,
 };
 use febim_device::{LevelProgrammer, VariationModel};
 use febim_quant::QuantizedGnbc;
@@ -223,6 +223,43 @@ pub trait InferenceBackend {
     /// Returns [`CoreError::UnsupportedOperation`] for backends without
     /// physical state.
     fn current_map_into(&self, out: &mut Vec<f64>) -> Result<()>;
+
+    /// Advances the backend's physical clock by `ticks`, aging every cell
+    /// under the configured retention-drift model. A no-op for backends
+    /// without time-varying state.
+    fn advance_time(&mut self, _ticks: u64) {}
+
+    /// The backend's physical clock in ticks (0 for stateless backends).
+    fn clock(&self) -> u64 {
+        0
+    }
+
+    /// Monotone version counter of the backend's physical state. Any event
+    /// that can change a cached conductance — programming, variation,
+    /// aging, accumulated read disturb, recalibration — bumps it, so a
+    /// scheduler can skip drift scans while the epoch is unchanged.
+    fn state_epoch(&self) -> u64 {
+        0
+    }
+
+    /// The largest effective threshold-voltage shift (drift plus disturb,
+    /// in volts) currently degrading any programmed cell. Stateless
+    /// backends report 0.
+    fn worst_effective_shift(&self) -> f64 {
+        0.0
+    }
+
+    /// Reprograms every cell whose effective threshold shift exceeds
+    /// `max_vth_shift` volts back to its target level, resetting the cell's
+    /// age and disturb counters. Returns the work done (pulses, energy,
+    /// rows refreshed); stateless backends return an all-zero outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors.
+    fn recalibrate(&mut self, _max_vth_shift: f64) -> Result<RefreshOutcome> {
+        Ok(RefreshOutcome::default())
+    }
 }
 
 /// Discretizes every sample of a batch into one activation per read,
@@ -355,7 +392,11 @@ impl CrossbarBackend {
     pub fn new(quantized: Arc<QuantizedGnbc>, config: &EngineConfig) -> Result<Self> {
         let program = compile(&quantized, config.force_prior_column)?;
         let programmer = level_programmer(config, program.state_count())?;
-        let array = CrossbarArray::new(*program.layout(), programmer);
+        let array = CrossbarArray::with_non_idealities(
+            *program.layout(),
+            programmer,
+            config.non_idealities,
+        )?;
         let mut backend = Self {
             quantized,
             program,
@@ -531,6 +572,28 @@ impl InferenceBackend for CrossbarBackend {
         self.array.current_map_into(out);
         Ok(())
     }
+
+    fn advance_time(&mut self, ticks: u64) {
+        self.array.advance_time(ticks);
+    }
+
+    fn clock(&self) -> u64 {
+        self.array.clock()
+    }
+
+    fn state_epoch(&self) -> u64 {
+        self.array.state_epoch()
+    }
+
+    fn worst_effective_shift(&self) -> f64 {
+        self.array.worst_effective_shift()
+    }
+
+    fn recalibrate(&mut self, max_vth_shift: f64) -> Result<RefreshOutcome> {
+        Ok(self
+            .array
+            .recalibrate(max_vth_shift, self.programming_mode)?)
+    }
 }
 
 /// The tiled multi-array fabric backend: the compiled program sharded across
@@ -565,7 +628,7 @@ impl TiledFabricBackend {
     ) -> Result<Self> {
         let tiled = compile_tiled(&quantized, config.force_prior_column, shape)?;
         let programmer = level_programmer(config, tiled.state_count())?;
-        let grid = TileGrid::new(*tiled.plan(), programmer);
+        let grid = TileGrid::with_non_idealities(*tiled.plan(), programmer, config.non_idealities)?;
         let plan = tiled.plan();
         let mut base_tiles = Vec::with_capacity(plan.tile_count());
         for tile_row in 0..plan.row_tiles() {
@@ -794,6 +857,28 @@ impl InferenceBackend for TiledFabricBackend {
         self.grid.current_map_into(out);
         Ok(())
     }
+
+    fn advance_time(&mut self, ticks: u64) {
+        self.grid.advance_time(ticks);
+    }
+
+    fn clock(&self) -> u64 {
+        self.grid.clock()
+    }
+
+    fn state_epoch(&self) -> u64 {
+        self.grid.state_epoch()
+    }
+
+    fn worst_effective_shift(&self) -> f64 {
+        self.grid.worst_effective_shift()
+    }
+
+    fn recalibrate(&mut self, max_vth_shift: f64) -> Result<RefreshOutcome> {
+        Ok(self
+            .grid
+            .recalibrate(max_vth_shift, self.programming_mode)?)
+    }
 }
 
 #[cfg(test)]
@@ -802,6 +887,7 @@ mod tests {
     use febim_data::rng::seeded_rng;
     use febim_data::split::stratified_split;
     use febim_data::synthetic::iris_like;
+    use febim_device::NonIdealityStack;
     use febim_quant::QuantConfig;
 
     fn trained() -> (
@@ -995,6 +1081,72 @@ mod tests {
             assert_eq!(telemetry.amortized, amortized);
             assert_eq!(telemetry.delay_ratio(), 1.0);
             assert_eq!(telemetry.energy_ratio(), 1.0);
+        }
+    }
+
+    #[test]
+    fn stateless_backend_time_surface_is_inert() {
+        let (model, _, _) = trained();
+        let mut software = SoftwareBackend::new(model);
+        assert_eq!(software.clock(), 0);
+        assert_eq!(software.state_epoch(), 0);
+        assert_eq!(software.worst_effective_shift(), 0.0);
+        software.advance_time(1_000_000);
+        assert_eq!(software.clock(), 0);
+        let outcome = software.recalibrate(0.0).unwrap();
+        assert_eq!(outcome, RefreshOutcome::default());
+    }
+
+    /// Aging drifts both physical backends off their programmed state and a
+    /// recalibration pass restores the freshly programmed current map bit
+    /// for bit, on the monolithic array and the tiled grid alike.
+    #[test]
+    fn physical_backends_age_and_recalibrate() {
+        let (_, quantized, test) = trained();
+        let stack = NonIdealityStack::ideal()
+            .with_drift(febim_device::RetentionDrift::new(0.04, 50))
+            .with_disturb(febim_device::ReadDisturb::new(64, 0.002));
+        let config = EngineConfig::febim_default().with_non_idealities(stack);
+        let crossbar = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        let fabric = TiledFabricBackend::new(
+            Arc::clone(&quantized),
+            &config,
+            TileShape::new(2, 24).unwrap(),
+        )
+        .unwrap();
+        let sample = test.sample(0).unwrap().to_vec();
+        for mut backend in [
+            Box::new(crossbar) as Box<dyn InferenceBackend>,
+            Box::new(fabric) as Box<dyn InferenceBackend>,
+        ] {
+            let mut fresh = Vec::new();
+            backend.current_map_into(&mut fresh).unwrap();
+            let epoch = backend.state_epoch();
+            assert_eq!(backend.worst_effective_shift(), 0.0);
+
+            backend.advance_time(5_000);
+            assert_eq!(backend.clock(), 5_000);
+            assert!(backend.state_epoch() > epoch, "aging must bump the epoch");
+            assert!(backend.worst_effective_shift() > 0.0);
+            let mut aged = Vec::new();
+            backend.current_map_into(&mut aged).unwrap();
+            assert_ne!(fresh, aged, "drift must move the read currents");
+            // Reads keep flowing against the aged state.
+            let mut scratch = backend.make_scratch();
+            backend.infer_into(&sample, &mut scratch).unwrap();
+
+            let outcome = backend.recalibrate(1e-6).unwrap();
+            assert!(outcome.cells_refreshed > 0);
+            assert!(outcome.rows_refreshed > 0);
+            assert_eq!(backend.worst_effective_shift(), 0.0);
+            let mut restored = Vec::new();
+            backend.current_map_into(&mut restored).unwrap();
+            assert_eq!(fresh, restored, "recalibration must restore bit-exact");
+
+            // Nothing drifted ⇒ a second pass finds no work.
+            let idle = backend.recalibrate(1e-6).unwrap();
+            assert_eq!(idle.cells_refreshed, 0);
+            assert_eq!(idle.pulses_applied, 0);
         }
     }
 

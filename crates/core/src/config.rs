@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use febim_crossbar::ProgrammingMode;
-use febim_device::{FeFetParams, VariationModel};
+use febim_device::{FeFetParams, NonIdealityStack, VariationModel};
 use febim_quant::QuantConfig;
 
 use crate::errors::{CoreError, Result};
@@ -17,6 +17,11 @@ pub struct EngineConfig {
     pub device: FeFetParams,
     /// Threshold-voltage variation applied when the crossbar is programmed.
     pub variation: VariationModel,
+    /// Time-varying and spatial non-idealities of the physical arrays (wire
+    /// IR drop, retention drift, read disturb). The default is the ideal
+    /// stack, whose reads are bit-identical to a stack-free build.
+    #[serde(default)]
+    pub non_idealities: NonIdealityStack,
     /// How cells are programmed (ideal polarization vs. full pulse trains).
     pub programming_mode: ProgrammingMode,
     /// Whether to emit a prior column even when the prior is uniform.
@@ -33,6 +38,7 @@ impl EngineConfig {
             quant: QuantConfig::febim_optimal(),
             device: FeFetParams::febim_calibrated(),
             variation: VariationModel::ideal(),
+            non_idealities: NonIdealityStack::ideal(),
             programming_mode: ProgrammingMode::Ideal,
             force_prior_column: false,
             variation_seed: 0,
@@ -58,6 +64,13 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with the given non-ideality stack (wire IR drop,
+    /// retention drift, read disturb).
+    pub fn with_non_idealities(mut self, stack: NonIdealityStack) -> Self {
+        self.non_idealities = stack;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -75,6 +88,12 @@ impl EngineConfig {
             .validate()
             .map_err(|err| CoreError::InvalidConfig {
                 name: "device",
+                reason: err.to_string(),
+            })?;
+        self.non_idealities
+            .validate()
+            .map_err(|err| CoreError::InvalidConfig {
+                name: "non_idealities",
                 reason: err.to_string(),
             })?;
         Ok(())
@@ -115,6 +134,39 @@ mod tests {
             config.validate(),
             Err(CoreError::InvalidConfig { name: "quant", .. })
         ));
+    }
+
+    #[test]
+    fn invalid_non_ideality_stack_rejected() {
+        use febim_device::RetentionDrift;
+        let config = EngineConfig::febim_default().with_non_idealities(
+            NonIdealityStack::ideal().with_drift(RetentionDrift {
+                volts_per_decade: f64::NAN,
+                time_scale_ticks: 100,
+            }),
+        );
+        assert!(matches!(
+            config.validate(),
+            Err(CoreError::InvalidConfig {
+                name: "non_idealities",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_ideality_builder_composes() {
+        use febim_device::{ReadDisturb, RetentionDrift, WireResistance};
+        let stack = NonIdealityStack::ideal()
+            .with_wire(WireResistance::uniform(2.0))
+            .with_drift(RetentionDrift::new(0.01, 100))
+            .with_disturb(ReadDisturb::new(50, 0.001));
+        let config = EngineConfig::febim_default().with_non_idealities(stack);
+        assert_eq!(config.non_idealities, stack);
+        assert!(!config.non_idealities.is_ideal());
+        config.validate().unwrap();
+        // The default stack stays ideal.
+        assert!(EngineConfig::febim_default().non_idealities.is_ideal());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use febim_circuit::{DelayBreakdown, InferenceEnergy, SensingChain, TileGeometry};
-use febim_crossbar::{Activation, CrossbarArray, TileGrid, TileShape};
+use febim_crossbar::{Activation, CrossbarArray, RefreshOutcome, TileGrid, TileShape};
 
 use febim_bayes::GaussianNaiveBayes;
 use febim_data::Dataset;
@@ -350,6 +350,41 @@ impl<B: InferenceBackend> FebimEngine<B> {
     /// Propagates programming errors.
     pub fn reprogram(&mut self) -> Result<()> {
         self.backend.reprogram()
+    }
+
+    /// Advances the backend's physical clock by `ticks`, aging every cell
+    /// under the configured retention-drift model. A no-op for the software
+    /// backend.
+    pub fn advance_time(&mut self, ticks: u64) {
+        self.backend.advance_time(ticks);
+    }
+
+    /// The backend's physical clock in ticks (0 for the software backend).
+    pub fn clock(&self) -> u64 {
+        self.backend.clock()
+    }
+
+    /// Monotone version counter of the backend's physical state (see
+    /// [`InferenceBackend::state_epoch`]).
+    pub fn state_epoch(&self) -> u64 {
+        self.backend.state_epoch()
+    }
+
+    /// The largest effective threshold-voltage shift (drift plus disturb,
+    /// in volts) currently degrading any programmed cell.
+    pub fn worst_effective_shift(&self) -> f64 {
+        self.backend.worst_effective_shift()
+    }
+
+    /// Reprograms every cell whose effective threshold shift exceeds
+    /// `max_vth_shift` volts back to its target level and returns the work
+    /// done. A zero-work no-op for the software backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors.
+    pub fn recalibrate(&mut self, max_vth_shift: f64) -> Result<RefreshOutcome> {
+        self.backend.recalibrate(max_vth_shift)
     }
 
     /// Creates a scratch sized for this engine's geometry, for use with

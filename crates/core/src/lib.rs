@@ -36,6 +36,7 @@ pub mod engine;
 pub mod errors;
 pub mod metrics;
 pub mod monte_carlo;
+pub mod recalibration;
 pub mod report;
 pub mod scaling;
 pub mod serving;
@@ -50,9 +51,12 @@ pub use engine::{EvalScratch, EvaluationReport, FebimEngine, InferenceOutcome, I
 pub use errors::{CoreError, Result};
 pub use metrics::{ops_per_inference, performance_metrics, MetricsConfig, PerformanceMetrics};
 pub use monte_carlo::{
-    epoch_accuracy, epoch_accuracy_with_backend, epoch_accuracy_with_threads, variation_sweep,
-    variation_sweep_with_backend, variation_sweep_with_threads, EpochAccuracy, VariationPoint,
+    epoch_accuracy, epoch_accuracy_with_backend, epoch_accuracy_with_threads, noise_campaign,
+    noise_campaign_with_backend, noise_campaign_with_threads, variation_sweep,
+    variation_sweep_with_backend, variation_sweep_with_threads, EpochAccuracy, NoisePoint,
+    NoiseScenario, VariationPoint,
 };
+pub use recalibration::{RecalibrationPolicy, RecalibrationReport, RecalibrationScheduler};
 pub use report::{default_experiment_dir, Table};
 pub use scaling::{
     column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint,

@@ -11,10 +11,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use febim_crossbar::RefreshOutcome;
 use febim_data::rng::seeded_rng;
 use febim_data::split::stratified_split;
 use febim_data::{AccuracyStats, Dataset};
-use febim_device::VariationModel;
+use febim_device::{NonIdealityStack, VariationModel};
+use febim_quant::QuantConfig;
 
 use crate::backend::InferenceBackend;
 use crate::config::EngineConfig;
@@ -41,6 +43,54 @@ pub struct EpochAccuracy {
     pub quantized: AccuracyStats,
     /// Mean in-memory (crossbar + WTA) accuracy over the epochs.
     pub in_memory: AccuracyStats,
+}
+
+/// One non-ideality severity scenario of the noise campaign: a stack of
+/// physical non-idealities plus how long the array serves before the aged
+/// accuracy is measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseScenario {
+    /// Human-readable severity label (e.g. `"mild-drift"`).
+    pub label: String,
+    /// The non-ideality stack applied to every epoch's array.
+    pub stack: NonIdealityStack,
+    /// Physical ticks the array ages between programming and the aged
+    /// evaluation.
+    pub age_ticks: u64,
+}
+
+impl NoiseScenario {
+    /// Creates a scenario.
+    pub fn new(label: impl Into<String>, stack: NonIdealityStack, age_ticks: u64) -> Self {
+        Self {
+            label: label.into(),
+            stack,
+            age_ticks,
+        }
+    }
+}
+
+/// Accuracy of one (array scale × severity) cell of the noise campaign:
+/// the accuracy floor before ageing, after ageing, and after an online
+/// recalibration pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoisePoint {
+    /// Severity label of the scenario.
+    pub label: String,
+    /// Quantization configuration setting the array scale.
+    pub quant: QuantConfig,
+    /// Realized evidence columns of the programmed array (the scale axis).
+    pub columns: usize,
+    /// Ticks the array aged before the aged evaluation.
+    pub age_ticks: u64,
+    /// Accuracy of the freshly programmed array.
+    pub fresh: AccuracyStats,
+    /// Accuracy after ageing (drift plus accumulated read disturb).
+    pub aged: AccuracyStats,
+    /// Accuracy after the recalibration pass.
+    pub recovered: AccuracyStats,
+    /// Refresh work of the recalibration passes, merged over the epochs.
+    pub refresh: RefreshOutcome,
 }
 
 fn check_epochs(epochs: usize) -> Result<()> {
@@ -300,6 +350,154 @@ where
     Ok(points)
 }
 
+/// The time-varying non-ideality campaign: for every array scale (a
+/// [`QuantConfig`]) × severity scenario, Monte-Carlo epochs measure the
+/// accuracy floor of a freshly programmed array, the same array after
+/// ageing under the scenario's stack (retention drift plus the read
+/// disturb accumulated by the fresh evaluation itself), and after one
+/// recalibration pass at `max_vth_shift` tolerance.
+///
+/// Epochs run in parallel across the available cores with the same
+/// epoch-seeded determinism contract as [`epoch_accuracy`]: the returned
+/// points are byte-identical to a serial execution.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for zero epochs and propagates
+/// training, programming and recalibration errors.
+#[allow(clippy::too_many_arguments)]
+pub fn noise_campaign(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    scales: &[QuantConfig],
+    scenarios: &[NoiseScenario],
+    max_vth_shift: f64,
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+) -> Result<Vec<NoisePoint>> {
+    noise_campaign_with_backend(
+        dataset,
+        config,
+        scales,
+        scenarios,
+        max_vth_shift,
+        test_ratio,
+        epochs,
+        seed,
+        default_threads(),
+        FebimEngine::fit,
+    )
+}
+
+/// [`noise_campaign`] with an explicit worker-thread count (`1` forces the
+/// serial reference execution).
+///
+/// # Errors
+///
+/// Same as [`noise_campaign`].
+#[allow(clippy::too_many_arguments)]
+pub fn noise_campaign_with_threads(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    scales: &[QuantConfig],
+    scenarios: &[NoiseScenario],
+    max_vth_shift: f64,
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<NoisePoint>> {
+    noise_campaign_with_backend(
+        dataset,
+        config,
+        scales,
+        scenarios,
+        max_vth_shift,
+        test_ratio,
+        epochs,
+        seed,
+        threads,
+        FebimEngine::fit,
+    )
+}
+
+/// [`noise_campaign`] generic over the inference backend and the worker
+/// thread count (`threads == 1` forces the serial reference execution).
+///
+/// # Errors
+///
+/// Same as [`noise_campaign`], plus whatever `build` returns.
+#[allow(clippy::too_many_arguments)]
+pub fn noise_campaign_with_backend<B, F>(
+    dataset: &Dataset,
+    config: &EngineConfig,
+    scales: &[QuantConfig],
+    scenarios: &[NoiseScenario],
+    max_vth_shift: f64,
+    test_ratio: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+    build: F,
+) -> Result<Vec<NoisePoint>>
+where
+    B: InferenceBackend,
+    F: Fn(&Dataset, EngineConfig) -> Result<FebimEngine<B>> + Sync,
+{
+    check_epochs(epochs)?;
+    let mut points = Vec::with_capacity(scales.len() * scenarios.len());
+    for (scale_index, &quant) in scales.iter().enumerate() {
+        for (scenario_index, scenario) in scenarios.iter().enumerate() {
+            let per_epoch = epoch_values(epochs, threads, |epoch| {
+                let mut rng = seeded_rng(seed.wrapping_add(epoch as u64));
+                let split = stratified_split(dataset, test_ratio, &mut rng)?;
+                let epoch_config = EngineConfig {
+                    quant,
+                    non_idealities: scenario.stack,
+                    variation_seed: seed
+                        .wrapping_mul(0x9e37_79b9)
+                        .wrapping_add((scale_index as u64) << 24)
+                        .wrapping_add((scenario_index as u64) << 16)
+                        .wrapping_add(epoch as u64),
+                    ..config.clone()
+                };
+                let mut engine = build(&split.train, epoch_config)?;
+                let columns = engine.backend_info().columns;
+                let fresh = engine.evaluate(&split.test)?.accuracy;
+                engine.advance_time(scenario.age_ticks);
+                let aged = engine.evaluate(&split.test)?.accuracy;
+                let refresh = engine.recalibrate(max_vth_shift)?;
+                let recovered = engine.evaluate(&split.test)?.accuracy;
+                Ok((columns, fresh, aged, recovered, refresh))
+            })?;
+            let mut columns = 0usize;
+            let mut fresh = Vec::with_capacity(epochs);
+            let mut aged = Vec::with_capacity(epochs);
+            let mut recovered = Vec::with_capacity(epochs);
+            let mut refresh = RefreshOutcome::default();
+            for (epoch_columns, f, a, r, outcome) in per_epoch {
+                columns = columns.max(epoch_columns);
+                fresh.push(f);
+                aged.push(a);
+                recovered.push(r);
+                refresh.merge(&outcome);
+            }
+            points.push(NoisePoint {
+                label: scenario.label.clone(),
+                quant,
+                columns,
+                age_ticks: scenario.age_ticks,
+                fresh: AccuracyStats::from_values(&fresh)?,
+                aged: AccuracyStats::from_values(&aged)?,
+                recovered: AccuracyStats::from_values(&recovered)?,
+                refresh,
+            });
+        }
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +621,102 @@ mod tests {
             variation_sweep_with_backend(&dataset, &config, &[45.0], 0.7, 2, 5, 2, build_tiled)
                 .unwrap();
         assert_eq!(sweep_monolithic, sweep_tiled);
+    }
+
+    fn drifted_scenarios() -> Vec<NoiseScenario> {
+        use febim_device::{ReadDisturb, RetentionDrift};
+        vec![
+            NoiseScenario::new("ideal", NonIdealityStack::ideal(), 100_000),
+            NoiseScenario::new(
+                "drift+disturb",
+                NonIdealityStack::ideal()
+                    .with_drift(RetentionDrift::new(0.05, 100))
+                    .with_disturb(ReadDisturb::new(64, 0.002)),
+                100_000,
+            ),
+        ]
+    }
+
+    #[test]
+    fn noise_campaign_recovers_fresh_accuracy_and_counts_refresh_work() {
+        let dataset = iris_like(68).unwrap();
+        let config = EngineConfig::febim_default();
+        let scales = [QuantConfig::febim_optimal()];
+        let points = noise_campaign(
+            &dataset,
+            &config,
+            &scales,
+            &drifted_scenarios(),
+            1e-6,
+            0.7,
+            3,
+            68,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        let ideal = &points[0];
+        let noisy = &points[1];
+        assert!(ideal.columns > 0);
+        // Ideal arrays never drift, so ageing is a no-op and recalibration
+        // finds nothing to refresh.
+        assert_eq!(ideal.fresh, ideal.aged);
+        assert_eq!(ideal.fresh, ideal.recovered);
+        assert_eq!(ideal.refresh.cells_refreshed, 0);
+        // The drifted scenario does real refresh work, and with σ_VTH = 0 the
+        // refreshed array reproduces the fresh accuracy exactly.
+        assert!(noisy.refresh.cells_refreshed > 0);
+        assert!(noisy.refresh.pulses_applied > 0);
+        assert!(noisy.refresh.energy_joules > 0.0);
+        assert_eq!(noisy.fresh, noisy.recovered);
+    }
+
+    #[test]
+    fn parallel_noise_campaign_is_byte_identical_to_serial() {
+        let dataset = iris_like(69).unwrap();
+        let config = EngineConfig::febim_default();
+        let scales = [QuantConfig::febim_optimal()];
+        let scenarios = drifted_scenarios();
+        let serial = noise_campaign_with_threads(
+            &dataset, &config, &scales, &scenarios, 1e-6, 0.7, 4, 69, 1,
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = noise_campaign_with_threads(
+                &dataset, &config, &scales, &scenarios, 1e-6, 0.7, 4, 69, threads,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn tiled_noise_campaign_matches_the_monolithic_backend() {
+        let dataset = iris_like(70).unwrap();
+        let config = EngineConfig::febim_default();
+        let scales = [QuantConfig::febim_optimal()];
+        let scenarios = drifted_scenarios();
+        let shape = febim_crossbar::TileShape::new(2, 24).unwrap();
+        let build_tiled = |train: &Dataset, epoch_config: EngineConfig| {
+            FebimEngine::fit_tiled(train, epoch_config, shape)
+        };
+        let monolithic = noise_campaign_with_threads(
+            &dataset, &config, &scales, &scenarios, 1e-6, 0.7, 3, 70, 2,
+        )
+        .unwrap();
+        let tiled = noise_campaign_with_backend(
+            &dataset,
+            &config,
+            &scales,
+            &scenarios,
+            1e-6,
+            0.7,
+            3,
+            70,
+            2,
+            build_tiled,
+        )
+        .unwrap();
+        assert_eq!(monolithic, tiled);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Online recalibration scheduling.
+//!
+//! Retention drift and read disturb degrade a programmed crossbar over
+//! time (see [`febim_device`]'s non-ideality stack); the paper's remedy is
+//! a periodic refresh that reprograms only the cells that have drifted past
+//! a tolerance. This module provides the policy/scheduler pair the engine
+//! and the serving pool share:
+//!
+//! * [`RecalibrationPolicy`] — how often to check and how much effective
+//!   threshold shift to tolerate;
+//! * [`RecalibrationScheduler`] — a small state machine driven by
+//!   [`RecalibrationScheduler::tick`]: it ages the engine, counts down the
+//!   check interval, and when a check is due decides between three
+//!   outcomes: *skip* (the backend's state epoch has not moved since the
+//!   last check, so no conductance can have changed and the drift scan is
+//!   pointless), *pass* (the worst effective shift is within tolerance),
+//!   or *recalibrate* (reprogram the drifted cells and merge the refresh
+//!   counters into the running [`RecalibrationReport`]).
+//!
+//! The epoch-based skip is what makes background recalibration cheap
+//! enough to interleave with serving: an idle engine costs one integer
+//! compare per check, not an O(cells) drift scan.
+
+use serde::{Deserialize, Serialize};
+
+use febim_crossbar::RefreshOutcome;
+
+use crate::backend::InferenceBackend;
+use crate::engine::FebimEngine;
+use crate::errors::{CoreError, Result};
+
+/// When and how aggressively to recalibrate a drifting backend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecalibrationPolicy {
+    /// Ticks between drift checks (the scheduler's countdown period).
+    pub check_interval_ticks: u64,
+    /// Largest effective threshold-voltage shift (volts) tolerated before a
+    /// cell is reprogrammed.
+    pub max_vth_shift: f64,
+}
+
+impl RecalibrationPolicy {
+    /// A policy checking every `check_interval_ticks` and reprogramming
+    /// cells shifted by more than `max_vth_shift` volts.
+    pub fn new(check_interval_ticks: u64, max_vth_shift: f64) -> Self {
+        Self {
+            check_interval_ticks,
+            max_vth_shift,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero check interval or a
+    /// negative / non-finite shift tolerance.
+    pub fn validate(&self) -> Result<()> {
+        if self.check_interval_ticks == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration",
+                reason: "check interval must be at least one tick".to_string(),
+            });
+        }
+        if !self.max_vth_shift.is_finite() || self.max_vth_shift < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                name: "recalibration",
+                reason: format!(
+                    "shift tolerance must be finite and non-negative, got {}",
+                    self.max_vth_shift
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Running totals of a scheduler's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecalibrationReport {
+    /// Drift scans actually run.
+    pub checks: u64,
+    /// Due checks skipped because the state epoch had not moved.
+    pub skipped_checks: u64,
+    /// Checks that found at least one cell beyond tolerance and refreshed.
+    pub passes: u64,
+    /// Merged refresh counters (cells checked/refreshed, pulses, energy).
+    pub outcome: RefreshOutcome,
+}
+
+/// Drives periodic drift checks and recalibration passes over one engine.
+///
+/// The scheduler owns no engine state — it watches the backend's clock and
+/// state epoch through the [`FebimEngine`] it is handed, so the same
+/// scheduler value works standalone (explicit [`RecalibrationScheduler::tick`]
+/// calls in a simulation loop) and inside a serving worker (ticked between
+/// batches).
+#[derive(Debug, Clone)]
+pub struct RecalibrationScheduler {
+    policy: RecalibrationPolicy,
+    ticks_until_check: u64,
+    last_epoch: Option<u64>,
+    report: RecalibrationReport,
+}
+
+impl RecalibrationScheduler {
+    /// Creates a scheduler with a full countdown until the first check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the policy is invalid.
+    pub fn new(policy: RecalibrationPolicy) -> Result<Self> {
+        policy.validate()?;
+        Ok(Self {
+            policy,
+            ticks_until_check: policy.check_interval_ticks,
+            last_epoch: None,
+            report: RecalibrationReport::default(),
+        })
+    }
+
+    /// The policy this scheduler enforces.
+    pub fn policy(&self) -> &RecalibrationPolicy {
+        &self.policy
+    }
+
+    /// Running totals of checks, skips, passes and refresh work.
+    pub fn report(&self) -> &RecalibrationReport {
+        &self.report
+    }
+
+    /// Advances the engine's physical clock by `ticks` and runs every drift
+    /// check that falls due in that window (one per elapsed interval, so a
+    /// large jump cannot silently swallow checks — though consecutive due
+    /// checks with an unchanged epoch collapse into skips). Returns the
+    /// merged outcome when at least one recalibration pass refreshed cells,
+    /// `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors from the recalibration pass.
+    pub fn tick<B: InferenceBackend>(
+        &mut self,
+        engine: &mut FebimEngine<B>,
+        ticks: u64,
+    ) -> Result<Option<RefreshOutcome>> {
+        engine.advance_time(ticks);
+        let mut elapsed = ticks;
+        let mut merged: Option<RefreshOutcome> = None;
+        while elapsed >= self.ticks_until_check {
+            elapsed -= self.ticks_until_check;
+            self.ticks_until_check = self.policy.check_interval_ticks;
+            if let Some(outcome) = self.check(engine)? {
+                merged
+                    .get_or_insert_with(RefreshOutcome::default)
+                    .merge(&outcome);
+            }
+        }
+        self.ticks_until_check -= elapsed;
+        Ok(merged)
+    }
+
+    /// Runs one drift check immediately, regardless of the countdown.
+    ///
+    /// Skips the scan entirely when the backend's state epoch has not moved
+    /// since the previous check (nothing can have drifted); otherwise scans
+    /// for the worst effective shift and recalibrates if it exceeds the
+    /// policy tolerance. Returns the refresh outcome when cells were
+    /// reprogrammed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors from the recalibration pass.
+    pub fn check<B: InferenceBackend>(
+        &mut self,
+        engine: &mut FebimEngine<B>,
+    ) -> Result<Option<RefreshOutcome>> {
+        let epoch = engine.state_epoch();
+        if self.last_epoch == Some(epoch) {
+            self.report.skipped_checks += 1;
+            return Ok(None);
+        }
+        self.report.checks += 1;
+        if engine.worst_effective_shift() <= self.policy.max_vth_shift {
+            self.last_epoch = Some(epoch);
+            return Ok(None);
+        }
+        let outcome = engine.recalibrate(self.policy.max_vth_shift)?;
+        // Record the post-refresh epoch so the pass itself does not force
+        // the next check to rescan an untouched array.
+        self.last_epoch = Some(engine.state_epoch());
+        if outcome.cells_refreshed > 0 {
+            self.report.passes += 1;
+            self.report.outcome.merge(&outcome);
+            Ok(Some(outcome))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+    use febim_device::{NonIdealityStack, RetentionDrift};
+    use febim_quant::QuantConfig;
+
+    use crate::backend::CrossbarBackend;
+    use crate::config::EngineConfig;
+
+    fn drifting_engine() -> (FebimEngine<CrossbarBackend>, febim_data::Dataset) {
+        let dataset = iris_like(90).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(90)).unwrap();
+        let config = EngineConfig::febim_default()
+            .with_quant(QuantConfig::febim_optimal())
+            .with_non_idealities(
+                NonIdealityStack::ideal().with_drift(RetentionDrift::new(0.05, 100)),
+            );
+        let engine = FebimEngine::fit(&split.train, config).unwrap();
+        (engine, split.test)
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        assert!(RecalibrationScheduler::new(RecalibrationPolicy::new(0, 0.01)).is_err());
+        assert!(RecalibrationScheduler::new(RecalibrationPolicy::new(10, -0.01)).is_err());
+        assert!(RecalibrationScheduler::new(RecalibrationPolicy::new(10, f64::NAN)).is_err());
+        RecalibrationScheduler::new(RecalibrationPolicy::new(10, 0.01)).unwrap();
+    }
+
+    #[test]
+    fn scheduler_recalibrates_once_drift_exceeds_tolerance() {
+        let (mut engine, _) = drifting_engine();
+        let mut scheduler =
+            RecalibrationScheduler::new(RecalibrationPolicy::new(100, 2e-2)).unwrap();
+        // Early ticks: drift is still below tolerance.
+        assert!(scheduler.tick(&mut engine, 100).unwrap().is_none());
+        assert_eq!(scheduler.report().checks, 1);
+        assert_eq!(scheduler.report().passes, 0);
+        // Age far enough that log-time drift clears one millivolt.
+        let outcome = loop {
+            if let Some(outcome) = scheduler.tick(&mut engine, 100).unwrap() {
+                break outcome;
+            }
+            assert!(engine.clock() < 1_000_000, "drift never exceeded tolerance");
+        };
+        assert!(outcome.cells_refreshed > 0);
+        assert!(outcome.pulses_applied > 0);
+        assert!(outcome.energy_joules > 0.0);
+        assert_eq!(scheduler.report().passes, 1);
+        assert!(engine.worst_effective_shift() <= 2e-2);
+    }
+
+    #[test]
+    fn tick_runs_every_check_that_falls_due() {
+        let (mut engine, _) = drifting_engine();
+        let mut scheduler = RecalibrationScheduler::new(RecalibrationPolicy::new(10, 1e3)).unwrap();
+        // One jump spanning five intervals runs five due checks; the first
+        // scans (epoch moved during the jump), the rest collapse into
+        // epoch-unchanged skips.
+        scheduler.tick(&mut engine, 50).unwrap();
+        let report = *scheduler.report();
+        assert_eq!(report.checks + report.skipped_checks, 5);
+        assert_eq!(report.checks, 1);
+        // Sub-interval ticks accumulate across calls.
+        scheduler.tick(&mut engine, 4).unwrap();
+        scheduler.tick(&mut engine, 5).unwrap();
+        let report = *scheduler.report();
+        assert_eq!(report.checks + report.skipped_checks, 5);
+        scheduler.tick(&mut engine, 1).unwrap();
+        let report = *scheduler.report();
+        assert_eq!(report.checks + report.skipped_checks, 6);
+    }
+
+    #[test]
+    fn unchanged_epoch_skips_the_drift_scan() {
+        let (mut engine, _) = drifting_engine();
+        let mut scheduler = RecalibrationScheduler::new(RecalibrationPolicy::new(10, 1e3)).unwrap();
+        scheduler.check(&mut engine).unwrap();
+        assert_eq!(scheduler.report().checks, 1);
+        // No aging, no reads: the epoch is unchanged, so repeated checks
+        // cost an integer compare and never rescan.
+        for _ in 0..5 {
+            scheduler.check(&mut engine).unwrap();
+        }
+        assert_eq!(scheduler.report().checks, 1);
+        assert_eq!(scheduler.report().skipped_checks, 5);
+        // Aging bumps the epoch and re-arms the scan.
+        engine.advance_time(10);
+        scheduler.check(&mut engine).unwrap();
+        assert_eq!(scheduler.report().checks, 2);
+    }
+
+    #[test]
+    fn software_engine_never_needs_recalibration() {
+        let dataset = iris_like(60).unwrap();
+        let engine_config = EngineConfig::febim_default();
+        let mut engine = FebimEngine::fit_software(&dataset, engine_config).unwrap();
+        let mut scheduler = RecalibrationScheduler::new(RecalibrationPolicy::new(10, 0.0)).unwrap();
+        for _ in 0..3 {
+            assert!(scheduler.tick(&mut engine, 25).unwrap().is_none());
+        }
+        assert_eq!(scheduler.report().passes, 0);
+        assert_eq!(scheduler.report().outcome, RefreshOutcome::default());
+    }
+
+    /// A recalibrated engine predicts bit-identically to a freshly
+    /// programmed one: the scheduler restores accuracy, not just currents.
+    #[test]
+    fn recalibration_restores_fresh_predictions() {
+        let (mut engine, test) = drifting_engine();
+        let (fresh_engine, _) = drifting_engine();
+        let mut fresh_scratch = fresh_engine.make_scratch();
+        let mut scratch = engine.make_scratch();
+        engine.advance_time(2_000_000);
+        let mut scheduler = RecalibrationScheduler::new(RecalibrationPolicy::new(1, 1e-4)).unwrap();
+        let outcome = scheduler.check(&mut engine).unwrap().expect("drifted");
+        assert!(outcome.cells_refreshed > 0);
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            let recalibrated = engine.infer_into(sample, &mut scratch).unwrap();
+            let fresh = fresh_engine.infer_into(sample, &mut fresh_scratch).unwrap();
+            assert_eq!(recalibrated.prediction, fresh.prediction);
+            assert_eq!(
+                scratch.wordline_currents(),
+                fresh_scratch.wordline_currents()
+            );
+        }
+    }
+}

@@ -62,7 +62,7 @@ use std::cell::UnsafeCell;
 use std::error::Error;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -74,9 +74,10 @@ use febim_circuit::{DelayBreakdown, InferenceEnergy};
 use crate::backend::{BatchTelemetry, InferenceBackend};
 use crate::engine::{FebimEngine, InferenceStep};
 use crate::errors::CoreError;
+use crate::recalibration::{RecalibrationPolicy, RecalibrationScheduler};
 
 /// Knobs of the batch-coalescing serving pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServingConfig {
     /// Largest number of requests a worker groups into one batched read.
     pub max_batch: usize,
@@ -88,6 +89,18 @@ pub struct ServingConfig {
     pub max_wait_ticks: u32,
     /// Total admission capacity across all rings (the backpressure limit).
     pub queue_depth: usize,
+    /// Physical ticks each dispatched batch advances its replica's clock
+    /// (ageing the cells under the configured retention-drift model).
+    /// `0` — the default — freezes physical time.
+    #[serde(default)]
+    pub ticks_per_batch: u64,
+    /// Optional online recalibration: each worker runs a
+    /// [`RecalibrationScheduler`] over its own replica, checking for drift
+    /// between batches — never while a batch is in flight, so requests are
+    /// answered through recalibration without a single drop or stall.
+    /// [`ServingPool::request_recalibration`] forces a check out of band.
+    #[serde(default)]
+    pub recalibration: Option<RecalibrationPolicy>,
 }
 
 impl ServingConfig {
@@ -98,6 +111,8 @@ impl ServingConfig {
             max_batch: 8,
             max_wait_ticks: 4,
             queue_depth: 64,
+            ticks_per_batch: 0,
+            recalibration: None,
         }
     }
 
@@ -119,6 +134,18 @@ impl ServingConfig {
         self
     }
 
+    /// Returns a copy ageing each replica by `ticks` per dispatched batch.
+    pub fn with_ticks_per_batch(mut self, ticks: u64) -> Self {
+        self.ticks_per_batch = ticks;
+        self
+    }
+
+    /// Returns a copy with online recalibration enabled under `policy`.
+    pub fn with_recalibration(mut self, policy: RecalibrationPolicy) -> Self {
+        self.recalibration = Some(policy);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -137,6 +164,14 @@ impl ServingConfig {
                 name: "queue_depth",
                 reason: "the request queue needs a positive capacity".to_string(),
             });
+        }
+        if let Some(policy) = &self.recalibration {
+            policy
+                .validate()
+                .map_err(|err| ServingError::InvalidConfig {
+                    name: "recalibration",
+                    reason: err.to_string(),
+                })?;
         }
         Ok(())
     }
@@ -667,6 +702,12 @@ struct PoolShared {
     blocked: AtomicUsize,
     space_lock: Mutex<()>,
     space_cv: Condvar,
+    /// Recalibration request generation. Every
+    /// [`ServingPool::request_recalibration`] bump asks each worker to run
+    /// one out-of-band drift check on its replica between batches (or
+    /// immediately, when idle); workers track the last generation they
+    /// honoured.
+    recalibration: AtomicU64,
 }
 
 impl PoolShared {
@@ -686,6 +727,7 @@ impl PoolShared {
             blocked: AtomicUsize::new(0),
             space_lock: Mutex::new(()),
             space_cv: Condvar::new(),
+            recalibration: AtomicU64::new(0),
         }
     }
 
@@ -803,18 +845,22 @@ impl PoolShared {
         got
     }
 
-    /// Blocks one worker until work or close. Registers in `sleepers` first
-    /// and rechecks under the lock (Dekker with the submitter's
-    /// queued-then-sleepers order), so a push can never slip between the
-    /// empty sweep and the wait.
-    fn idle_wait(&self) {
+    /// Blocks one worker until work, close or a recalibration request.
+    /// Registers in `sleepers` first and rechecks under the lock (Dekker
+    /// with the submitter's queued-then-sleepers order and the requester's
+    /// bump-then-sleepers order), so neither a push nor a recalibration
+    /// request can slip between the empty sweep and the wait.
+    fn idle_wait(&self, recalibration_seen: u64) {
         let guard = self
             .idle_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         fence(Ordering::SeqCst);
-        if self.closed.load(Ordering::SeqCst) || self.queued.load(Ordering::SeqCst) > 0 {
+        if self.closed.load(Ordering::SeqCst)
+            || self.queued.load(Ordering::SeqCst) > 0
+            || self.recalibration.load(Ordering::SeqCst) != recalibration_seen
+        {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
             drop(guard);
             // Admitted work may still be mid-placement: give the producer
@@ -895,15 +941,21 @@ impl PoolShared {
 
     /// Fills `batch` with the next dispatch: blocks (parking when idle) for
     /// the first request, then spends up to `max_wait_ticks` yield-polls
-    /// topping the batch up to `max_batch`. Returns `false` when the pool is
-    /// closed and every ring has drained (the worker should exit).
+    /// topping the batch up to `max_batch`. Returns
+    /// [`FillOutcome::Closed`] when the pool is closed and every ring has
+    /// drained (the worker should exit), and [`FillOutcome::Recalibrate`]
+    /// (with an empty batch) when a recalibration request past
+    /// `recalibration_seen` arrives while the worker is otherwise idle —
+    /// requests always win over recalibration, so an idle check can never
+    /// delay queued work.
     fn fill_batch(
         &self,
         worker: usize,
         batch: &mut Vec<Job>,
         max_batch: usize,
         max_wait_ticks: u32,
-    ) -> bool {
+        recalibration_seen: u64,
+    ) -> FillOutcome {
         loop {
             if self.pop_any(worker, batch, max_batch) > 0 {
                 break;
@@ -912,11 +964,14 @@ impl PoolShared {
                 // Final sweep: `close` waited out in-flight pushes, so an
                 // empty sweep after seeing `closed` means empty for good.
                 if self.pop_any(worker, batch, max_batch) == 0 {
-                    return false;
+                    return FillOutcome::Closed;
                 }
                 break;
             }
-            self.idle_wait();
+            if self.recalibration.load(Ordering::SeqCst) != recalibration_seen {
+                return FillOutcome::Recalibrate;
+            }
+            self.idle_wait(recalibration_seen);
         }
         let mut ticks = 0u32;
         while batch.len() < max_batch
@@ -927,8 +982,19 @@ impl PoolShared {
             std::thread::yield_now();
             self.pop_any(worker, batch, max_batch);
         }
-        true
+        FillOutcome::Batch
     }
+}
+
+/// What a worker's [`PoolShared::fill_batch`] sweep produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FillOutcome {
+    /// At least one job was popped into the batch.
+    Batch,
+    /// The pool is closed and drained; the worker should exit.
+    Closed,
+    /// No work is queued but a recalibration request is pending.
+    Recalibrate,
 }
 
 // ---------------------------------------------------------------------------
@@ -963,6 +1029,16 @@ pub struct WorkerReport {
     /// Submit → answer-published latency of every request this worker
     /// served.
     pub end_to_end: LatencyHistogram,
+    /// Recalibration passes that reprogrammed at least one cell of this
+    /// worker's replica (always between batches, never mid-batch).
+    pub recalibrations: u64,
+    /// Σ write pulses those passes applied.
+    pub recalibration_pulses: u64,
+    /// Σ programming energy those passes spent, in joules.
+    pub recalibration_energy_j: f64,
+    /// Recalibration attempts that failed with a programming error (the
+    /// replica keeps serving on its drifted state).
+    pub recalibration_failures: u64,
     /// Whether this worker's thread died (panicked) instead of reporting:
     /// all other fields of a crashed report are zero — whatever the worker
     /// had counted died with it.
@@ -1004,6 +1080,14 @@ pub struct PoolStats {
     pub queue_wait: LatencyHistogram,
     /// Submit → answer-published latency across all workers.
     pub end_to_end: LatencyHistogram,
+    /// Recalibration passes that reprogrammed cells, across all workers.
+    pub recalibrations: u64,
+    /// Σ write pulses applied by recalibration across all workers.
+    pub recalibration_pulses: u64,
+    /// Σ programming energy spent by recalibration, in joules.
+    pub recalibration_energy_j: f64,
+    /// Failed recalibration attempts across all workers.
+    pub recalibration_failures: u64,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerReport>,
 }
@@ -1024,6 +1108,10 @@ impl PoolStats {
             sequential_energy_j: 0.0,
             queue_wait: LatencyHistogram::new(),
             end_to_end: LatencyHistogram::new(),
+            recalibrations: 0,
+            recalibration_pulses: 0,
+            recalibration_energy_j: 0.0,
+            recalibration_failures: 0,
             workers,
         };
         let mut queue_wait = LatencyHistogram::new();
@@ -1039,6 +1127,10 @@ impl PoolStats {
             stats.batched_energy_j += report.batched_energy_j;
             stats.sequential_delay_s += report.sequential_delay_s;
             stats.sequential_energy_j += report.sequential_energy_j;
+            stats.recalibrations += report.recalibrations;
+            stats.recalibration_pulses += report.recalibration_pulses;
+            stats.recalibration_energy_j += report.recalibration_energy_j;
+            stats.recalibration_failures += report.recalibration_failures;
             queue_wait.merge(&report.queue_wait);
             end_to_end.merge(&report.end_to_end);
         }
@@ -1122,7 +1214,7 @@ impl ServingPool {
                         // Runs on every exit path, including panic unwind:
                         // the last worker out closes and rejects the rings.
                         let _guard = guard;
-                        worker_loop(worker, &engine, &shared, config)
+                        worker_loop(worker, engine, &shared, config)
                     })
                     .expect("spawn serving worker")
             })
@@ -1158,6 +1250,26 @@ impl ServingPool {
     /// Number of worker replicas.
     pub fn replicas(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Asks every worker to run one out-of-band drift check on its replica
+    /// at the next safe point — between batches when busy, immediately when
+    /// idle (parked workers are woken). Never stalls traffic: a worker
+    /// holding a batch finishes and answers it first, and queued requests
+    /// always dispatch before an idle check runs. The check honours the
+    /// configured [`ServingConfig::recalibration`] policy; on a pool built
+    /// without one the request is a no-op.
+    pub fn request_recalibration(&self) {
+        self.shared.recalibration.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self
+                .shared
+                .idle_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.shared.idle_cv.notify_all();
+        }
     }
 
     /// Submits one request without blocking.
@@ -1282,12 +1394,32 @@ impl Drop for WorkerGuard {
     }
 }
 
+/// Records the result of one scheduler action (tick or forced check) into
+/// the worker's report.
+fn record_recalibration(
+    result: crate::errors::Result<Option<febim_crossbar::RefreshOutcome>>,
+    report: &mut WorkerReport,
+) {
+    match result {
+        Ok(Some(outcome)) => {
+            report.recalibrations += 1;
+            report.recalibration_pulses += outcome.pulses_applied;
+            report.recalibration_energy_j += outcome.energy_joules;
+        }
+        Ok(None) => {}
+        Err(_) => report.recalibration_failures += 1,
+    }
+}
+
 /// One worker: fill a batch (own ring first, stealing from the others), run
 /// it through the grouped-read path with a reused scratch, publish every
-/// answer, repeat until the pool closes and the rings drain.
+/// answer, repeat until the pool closes and the rings drain. Between
+/// batches the worker ages its replica by [`ServingConfig::ticks_per_batch`]
+/// and lets its [`RecalibrationScheduler`] check for drift, so the replica's
+/// physical state stays current without ever stalling a request.
 fn worker_loop<B: InferenceBackend>(
     worker: usize,
-    engine: &FebimEngine<B>,
+    mut engine: FebimEngine<B>,
     shared: &PoolShared,
     config: ServingConfig,
 ) -> WorkerReport {
@@ -1299,10 +1431,31 @@ fn worker_loop<B: InferenceBackend>(
     let mut steps: Vec<InferenceStep> = Vec::with_capacity(config.max_batch);
     let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
     let mut samples: Vec<Vec<f64>> = Vec::with_capacity(config.max_batch);
+    // The scheduler policy was validated with the serving config.
+    let mut scheduler = config
+        .recalibration
+        .map(|policy| RecalibrationScheduler::new(policy).expect("validated recalibration policy"));
+    let mut recalibration_seen = shared.recalibration.load(Ordering::SeqCst);
     loop {
         batch.clear();
-        if !shared.fill_batch(worker, &mut batch, config.max_batch, config.max_wait_ticks) {
-            break;
+        match shared.fill_batch(
+            worker,
+            &mut batch,
+            config.max_batch,
+            config.max_wait_ticks,
+            recalibration_seen,
+        ) {
+            FillOutcome::Closed => break,
+            FillOutcome::Recalibrate => {
+                // Idle out-of-band request: honour the newest generation
+                // (coalescing any requests that raced in) and check now.
+                recalibration_seen = shared.recalibration.load(Ordering::SeqCst);
+                if let Some(scheduler) = scheduler.as_mut() {
+                    record_recalibration(scheduler.check(&mut engine), &mut report);
+                }
+                continue;
+            }
+            FillOutcome::Batch => {}
         }
         if !shared.answer_drained.load(Ordering::SeqCst) {
             // Abort in progress: reject instead of serving.
@@ -1392,6 +1545,25 @@ fn worker_loop<B: InferenceBackend>(
                 }
                 report.batches += 1;
                 report.largest_batch = report.largest_batch.max(size);
+            }
+        }
+        // Between batches — every ticket of the batch is already answered,
+        // none is held — age the replica and run any drift check that falls
+        // due. Queued requests still win: the next iteration pops them
+        // before the worker can idle.
+        if let Some(scheduler) = scheduler.as_mut() {
+            record_recalibration(
+                scheduler.tick(&mut engine, config.ticks_per_batch),
+                &mut report,
+            );
+        } else if config.ticks_per_batch > 0 {
+            engine.advance_time(config.ticks_per_batch);
+        }
+        let generation = shared.recalibration.load(Ordering::SeqCst);
+        if generation != recalibration_seen {
+            recalibration_seen = generation;
+            if let Some(scheduler) = scheduler.as_mut() {
+                record_recalibration(scheduler.check(&mut engine), &mut report);
             }
         }
     }
@@ -1889,6 +2061,125 @@ mod tests {
         assert!(stats.workers[0].crashed);
         assert_eq!(stats.workers[0].worker, 0);
         assert_eq!(stats.requests, 0);
+    }
+
+    #[test]
+    fn invalid_recalibration_policy_is_rejected() {
+        let config = ServingConfig::default().with_recalibration(RecalibrationPolicy::new(0, 1e-3));
+        assert!(matches!(
+            config.validate(),
+            Err(ServingError::InvalidConfig {
+                name: "recalibration",
+                ..
+            })
+        ));
+        ServingConfig::default()
+            .with_ticks_per_batch(100)
+            .with_recalibration(RecalibrationPolicy::new(100, 1e-3))
+            .validate()
+            .unwrap();
+    }
+
+    /// Serving config for a pool whose replicas age fast enough that a
+    /// drift check between batches finds work.
+    fn drifting_serving(seed: u64) -> (FebimEngine<CrossbarBackend>, Vec<Vec<f64>>) {
+        let (train, test) = split_for(seed);
+        let config = EngineConfig::febim_default().with_non_idealities(
+            febim_device::NonIdealityStack::ideal()
+                .with_drift(febim_device::RetentionDrift::new(0.05, 100)),
+        );
+        let engine = FebimEngine::fit(&train, config).unwrap();
+        (engine, samples_of(&test))
+    }
+
+    /// The tentpole serving guarantee: a pool whose replicas drift and
+    /// recalibrate online answers every single ticket — zero drops, zero
+    /// hangs — while the scheduler reprograms cells between batches.
+    #[test]
+    fn pool_recalibrates_between_batches_without_dropping_requests() {
+        let (engine, samples) = drifting_serving(910);
+        let config = ServingConfig::default()
+            .with_max_batch(4)
+            .with_ticks_per_batch(500)
+            .with_recalibration(RecalibrationPolicy::new(500, 1e-3));
+        let pool = ServingPool::replicate(&engine, 2, config).unwrap();
+        let mut answered = 0u64;
+        for _ in 0..4 {
+            for answer in pool.serve(&samples) {
+                answer.unwrap();
+                answered += 1;
+            }
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, answered);
+        assert_eq!(stats.failed_requests, 0);
+        assert_eq!(stats.shutdown_rejected, 0);
+        assert_eq!(stats.crashed_workers, 0);
+        assert!(
+            stats.recalibrations >= 1,
+            "drifting replicas must have recalibrated at least once"
+        );
+        assert!(stats.recalibration_pulses > 0);
+        assert!(stats.recalibration_energy_j > 0.0);
+        assert_eq!(stats.recalibration_failures, 0);
+        // Per-worker telemetry reconciles with the pool totals.
+        assert_eq!(
+            stats.workers.iter().map(|w| w.recalibrations).sum::<u64>(),
+            stats.recalibrations
+        );
+    }
+
+    /// `request_recalibration` forces a check out of band even when the
+    /// scheduled interval would never fire, and traffic flows through it.
+    #[test]
+    fn forced_recalibration_checks_out_of_band() {
+        let (engine, samples) = drifting_serving(911);
+        let config = ServingConfig::default()
+            .with_ticks_per_batch(500)
+            // An interval no run of this length ever reaches: only the
+            // forced request can trigger the check.
+            .with_recalibration(RecalibrationPolicy::new(u64::MAX, 1e-3));
+        let pool = ServingPool::replicate(&engine, 1, config).unwrap();
+        for answer in pool.serve(&samples) {
+            answer.unwrap();
+        }
+        pool.request_recalibration();
+        // Traffic after the request keeps flowing; the single worker honours
+        // the request between these batches.
+        for answer in pool.serve(&samples) {
+            answer.unwrap();
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, 2 * samples.len() as u64);
+        assert!(
+            stats.recalibrations >= 1,
+            "the forced check must have recalibrated the aged replica"
+        );
+        assert_eq!(stats.recalibration_failures, 0);
+    }
+
+    /// Recalibration requests reach parked workers (the idle wake path) and
+    /// never wedge an idle pool.
+    #[test]
+    fn idle_pool_survives_recalibration_requests() {
+        let (train, test) = split_for(912);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        let config =
+            ServingConfig::default().with_recalibration(RecalibrationPolicy::new(100, 1e-3));
+        let pool = ServingPool::replicate(&engine, 2, config).unwrap();
+        // Let the workers reach the parked state, then poke them twice.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        pool.request_recalibration();
+        pool.request_recalibration();
+        let samples = samples_of(&test);
+        for answer in pool.serve(&samples) {
+            answer.unwrap();
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, samples.len() as u64);
+        // Ideal devices never drift, so the checks found nothing to do.
+        assert_eq!(stats.recalibrations, 0);
+        assert_eq!(stats.recalibration_failures, 0);
     }
 
     #[test]

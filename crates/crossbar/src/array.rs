@@ -1,18 +1,34 @@
-//! The FeFET crossbar array: programming, variation injection and wordline
-//! current accumulation.
+//! The FeFET crossbar array: programming, variation injection, time-varying
+//! non-idealities and wordline current accumulation.
+//!
+//! ## Epoch-versioned conductance cache
+//!
+//! Conductances are functions of time and read history once a
+//! [`NonIdealityStack`] is configured: retention drift depends on the array
+//! clock, read disturb on per-wordline read counters, IR-drop on the cell's
+//! position. The array therefore versions its derived state with a
+//! monotonic `state_epoch` — bumped by every write, drift tick and
+//! disturb-tier crossing — and keeps a dirty set describing *which* cells
+//! changed since the cache last matched the epoch. Bringing the cache
+//! current re-evaluates only the dirty cells (plus their rows' off-sums,
+//! re-accumulated in full column order so a partial refresh is bit-identical
+//! to a full rebuild); the dirty set degrades to a full rebuild when the
+//! sparse work would approach the cost of one.
 
 use std::cell::RefCell;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use febim_device::{LevelProgrammer, VariationModel};
+use febim_device::{
+    CellContext, DeviceError, LevelProgrammer, NonIdealityStack, ProgrammedState, VariationModel,
+};
 
 use crate::cache::{lane_delta_sum, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::layout::CrossbarLayout;
-use crate::read::Activation;
+use crate::read::{Activation, ReadCounters};
 use crate::write::WriteScheme;
 
 /// How cells are programmed.
@@ -26,15 +42,126 @@ pub enum ProgrammingMode {
     PulseTrain,
 }
 
+/// Cache maintenance counters: how the conductance cache was kept current.
+///
+/// `cells_recomputed` counts device-model evaluations (the expensive part of
+/// a rebuild); the regression tests pin that a single-cell mutation
+/// recomputes a single cell, not the whole array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct RebuildStats {
+    /// Times the whole cache was rebuilt from scratch.
+    pub full_rebuilds: u64,
+    /// Times the cache was brought current by a sparse patch.
+    pub partial_refreshes: u64,
+    /// Total cells whose on/off currents were re-evaluated.
+    pub cells_recomputed: u64,
+}
+
+/// Outcome of one recalibration pass over the array (see
+/// [`CrossbarArray::recalibrate`]): how much was checked, refreshed, and
+/// what the refresh cost in pulses and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct RefreshOutcome {
+    /// Programmed cells whose effective threshold shift was evaluated.
+    pub cells_checked: u64,
+    /// Wordlines that were rewritten.
+    pub rows_refreshed: u64,
+    /// Programmed cells that were rewritten.
+    pub cells_refreshed: u64,
+    /// Write pulses applied (minimal Preisach top-up trains where possible).
+    pub pulses_applied: u64,
+    /// Write energy spent by the pass, in joules.
+    pub energy_joules: f64,
+}
+
+impl RefreshOutcome {
+    /// Folds another pass's counters into this one.
+    pub fn merge(&mut self, other: &RefreshOutcome) {
+        self.cells_checked += other.cells_checked;
+        self.rows_refreshed += other.rows_refreshed;
+        self.cells_refreshed += other.cells_refreshed;
+        self.pulses_applied += other.pulses_applied;
+        self.energy_joules += other.energy_joules;
+    }
+}
+
+/// What changed since the conductance cache last matched the state epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DirtyState {
+    /// Nothing: the cache (if built) is current.
+    Clean,
+    /// Only the listed cell indices and whole rows changed.
+    Sparse {
+        /// Row-major cell indices with stale conductances.
+        cells: Vec<usize>,
+        /// Rows whose every cell is stale (disturb-tier crossings).
+        rows: Vec<usize>,
+    },
+    /// Everything is stale (or the sparse set overflowed its budget).
+    All,
+}
+
+impl DirtyState {
+    fn sparse_work(cells: &[usize], rows: &[usize], columns: usize) -> usize {
+        cells.len() + rows.len() * columns
+    }
+
+    /// Marks one cell stale, degrading to `All` when the sparse set would
+    /// cost a significant fraction of a full rebuild.
+    pub(crate) fn mark_cell(&mut self, index: usize, total_cells: usize, columns: usize) {
+        let overflow = match self {
+            DirtyState::All => false,
+            DirtyState::Clean => {
+                *self = DirtyState::Sparse {
+                    cells: vec![index],
+                    rows: Vec::new(),
+                };
+                false
+            }
+            DirtyState::Sparse { cells, rows } => {
+                cells.push(index);
+                Self::sparse_work(cells, rows, columns) * 2 >= total_cells
+            }
+        };
+        if overflow {
+            *self = DirtyState::All;
+        }
+    }
+
+    /// Marks one whole row stale (same overflow rule as
+    /// [`DirtyState::mark_cell`]).
+    pub(crate) fn mark_row(&mut self, row: usize, total_cells: usize, columns: usize) {
+        let overflow = match self {
+            DirtyState::All => false,
+            DirtyState::Clean => {
+                *self = DirtyState::Sparse {
+                    cells: Vec::new(),
+                    rows: vec![row],
+                };
+                false
+            }
+            DirtyState::Sparse { cells, rows } => {
+                rows.push(row);
+                Self::sparse_work(cells, rows, columns) * 2 >= total_cells
+            }
+        };
+        if overflow {
+            *self = DirtyState::All;
+        }
+    }
+}
+
 /// A programmed FeFET crossbar.
 ///
-/// Reads go through a lazily rebuilt conductance cache: the device I-V
-/// model is evaluated once per cell after each mutation (programming,
-/// variation injection or direct cell access), and every subsequent
+/// Reads go through an epoch-versioned conductance cache: the device I-V
+/// model is evaluated per cell only when that cell's state changed
+/// (programming, variation injection, direct cell access, retention-drift
+/// ticks or read-disturb tier crossings), and every
 /// [`CrossbarArray::wordline_currents`] call is a sparse accumulation over
 /// the activated columns only. The uncached
 /// [`CrossbarArray::wordline_currents_reference`] path re-evaluates the
-/// device model on every call and serves as the equivalence oracle.
+/// device model — including the configured [`NonIdealityStack`] — on every
+/// call and serves as the equivalence oracle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrossbarArray {
     layout: CrossbarLayout,
@@ -42,26 +169,53 @@ pub struct CrossbarArray {
     write_scheme: WriteScheme,
     cells: Vec<Cell>,
     write_energy: f64,
-    /// Derived state: `None` means stale (rebuilt on the next read). Skipped
-    /// by serialization and ignored by equality.
+    /// Composable time-varying non-ideality models.
+    stack: NonIdealityStack,
+    /// Array clock in retention ticks (advanced by
+    /// [`CrossbarArray::advance_time`]).
+    clock: u64,
+    /// Per-wordline read counters (read history is physical state once a
+    /// disturb model is configured). Skipped by serialization.
+    #[serde(skip)]
+    row_reads: ReadCounters,
+    /// Monotonic version of the physical state; bumped by every mutation
+    /// that can change a read current.
+    #[serde(skip)]
+    state_epoch: std::cell::Cell<u64>,
+    /// The state epoch the cache was last brought up to date with.
+    #[serde(skip)]
+    cache_epoch: std::cell::Cell<u64>,
+    /// Which cells changed between `cache_epoch` and `state_epoch`.
+    #[serde(skip)]
+    dirty: RefCell<DirtyState>,
+    /// Cache maintenance counters.
+    #[serde(skip)]
+    stats: std::cell::Cell<RebuildStats>,
+    /// Derived state: `None` means never built. Skipped by serialization and
+    /// ignored by equality.
     #[serde(skip)]
     cache: RefCell<Option<ConductanceCache>>,
 }
 
 impl PartialEq for CrossbarArray {
     fn eq(&self, other: &Self) -> bool {
-        // The conductance cache is derived state; two arrays are equal when
-        // their programmed cells (and bookkeeping) are, cached or not.
+        // The conductance cache, dirty set and epochs are derived state; two
+        // arrays are equal when their physical state (cells, clock, read
+        // history, non-ideality configuration, bookkeeping) is.
         self.layout == other.layout
             && self.programmer == other.programmer
             && self.write_scheme == other.write_scheme
             && self.cells == other.cells
             && self.write_energy == other.write_energy
+            && self.stack == other.stack
+            && self.clock == other.clock
+            && self.row_reads == other.row_reads
     }
 }
 
 impl CrossbarArray {
-    /// Creates an erased crossbar with the given layout and level programmer.
+    /// Creates an erased, ideal (no non-idealities) crossbar with the given
+    /// layout and level programmer.
     pub fn new(layout: CrossbarLayout, programmer: LevelProgrammer) -> Self {
         // Build one template cell and clone it, instead of cloning the device
         // parameter struct once per cell.
@@ -73,8 +227,32 @@ impl CrossbarArray {
             write_scheme: WriteScheme::febim_default(),
             cells,
             write_energy: 0.0,
+            stack: NonIdealityStack::ideal(),
+            clock: 0,
+            row_reads: ReadCounters::new(layout.rows()),
+            state_epoch: std::cell::Cell::new(0),
+            cache_epoch: std::cell::Cell::new(0),
+            dirty: RefCell::new(DirtyState::All),
+            stats: std::cell::Cell::new(RebuildStats::default()),
             cache: RefCell::new(None),
         }
+    }
+
+    /// Creates an erased crossbar with a configured non-ideality stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] when the stack parameters are
+    /// unphysical (see [`NonIdealityStack::validate`]).
+    pub fn with_non_idealities(
+        layout: CrossbarLayout,
+        programmer: LevelProgrammer,
+        stack: NonIdealityStack,
+    ) -> Result<Self> {
+        stack.validate()?;
+        let mut array = Self::new(layout, programmer);
+        array.stack = stack;
+        Ok(array)
     }
 
     /// Replaces the write scheme (half-bias configuration).
@@ -97,19 +275,200 @@ impl CrossbarArray {
         self.write_energy
     }
 
-    /// Marks the conductance cache stale; the next read rebuilds it.
-    fn invalidate_cache(&mut self) {
-        *self.cache.get_mut() = None;
+    /// The configured non-ideality stack.
+    pub fn non_idealities(&self) -> &NonIdealityStack {
+        &self.stack
     }
 
-    /// Runs `reader` against a fresh conductance cache, rebuilding it first
-    /// if any mutation happened since the last read.
-    fn with_cache<T>(&self, reader: impl FnOnce(&ConductanceCache) -> T) -> T {
+    /// Replaces the non-ideality stack; every cached conductance is stale
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] when the stack parameters are
+    /// unphysical.
+    pub fn set_non_idealities(&mut self, stack: NonIdealityStack) -> Result<()> {
+        stack.validate()?;
+        self.stack = stack;
+        self.mark_all();
+        Ok(())
+    }
+
+    /// Current array clock, in retention ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the array clock by `ticks`. With a retention-drift model
+    /// configured this ages every cell, so the whole cache goes stale (one
+    /// epoch bump, one full rebuild on the next read); without one the clock
+    /// still advances but no conductance changes.
+    pub fn advance_time(&mut self, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        self.clock = self.clock.saturating_add(ticks);
+        if self.stack.is_time_varying() {
+            self.mark_all();
+        }
+    }
+
+    /// Monotonic version of the array's physical state. Two equal epochs
+    /// guarantee no read-current-affecting mutation happened in between.
+    pub fn state_epoch(&self) -> u64 {
+        self.state_epoch.get()
+    }
+
+    /// Cache maintenance counters accumulated since construction.
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.stats.get()
+    }
+
+    /// Reads accumulated by one wordline since its last refresh (zero unless
+    /// a read-disturb model is configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn row_reads(&self, row: usize) -> Result<u64> {
+        self.check_row(row)?;
+        Ok(self.row_reads.get(row))
+    }
+
+    fn bump_epoch(&self) {
+        self.state_epoch.set(self.state_epoch.get() + 1);
+    }
+
+    fn mark_all(&mut self) {
+        *self.dirty.get_mut() = DirtyState::All;
+        self.bump_epoch();
+    }
+
+    fn mark_cell(&mut self, index: usize) {
+        self.dirty
+            .get_mut()
+            .mark_cell(index, self.layout.cells(), self.layout.columns());
+        self.bump_epoch();
+    }
+
+    /// Registers one read of `row` for the disturb model; a tier crossing
+    /// makes the row's conductances stale.
+    fn note_row_read(&self, row: usize) {
+        if !self.stack.tracks_reads() {
+            return;
+        }
+        let (before, after) = self.row_reads.bump(row);
+        if self.stack.read_tier(before) != self.stack.read_tier(after) {
+            self.dirty
+                .borrow_mut()
+                .mark_row(row, self.layout.cells(), self.layout.columns());
+            self.bump_epoch();
+        }
+    }
+
+    /// The non-ideality evaluation context of one cell.
+    fn cell_context(&self, row: usize, column: usize, cell: &Cell) -> CellContext {
+        CellContext {
+            row,
+            column,
+            rows: self.layout.rows(),
+            columns: self.layout.columns(),
+            age_ticks: self.clock.saturating_sub(cell.programmed_at()),
+            disturb_pulses: cell.disturb_pulses(),
+            row_reads: self.row_reads.get(row),
+        }
+    }
+
+    /// The single per-cell evaluation point: `(on, off)` read currents under
+    /// the configured non-ideality stack. Cache builds, partial refreshes
+    /// and the uncached reference oracles all funnel through this function,
+    /// so cached and reference reads can never diverge. An ideal stack takes
+    /// the unshifted fast path, which is bit-identical to evaluating with a
+    /// zero shift and a unit current factor.
+    fn evaluate_cell(&self, row: usize, column: usize) -> (f64, f64) {
+        let cell = &self.cells[row * self.layout.columns() + column];
+        if self.stack.is_ideal() {
+            return (cell.read_current_on(), cell.read_current_off());
+        }
+        let ctx = self.cell_context(row, column, cell);
+        let shift = self.stack.vth_shift(&ctx);
+        let v_drain = self.programmer.params().v_drain_read;
+        let on = cell.device().read_current_on_shifted(shift);
+        let off = cell.device().read_current_off_shifted(shift);
+        (
+            on * self.stack.current_factor(&ctx, on, v_drain),
+            off * self.stack.current_factor(&ctx, off, v_drain),
+        )
+    }
+
+    /// Brings the conductance cache up to the current state epoch: a sparse
+    /// patch when the dirty set is sparse (recompute the dirty cells, then
+    /// re-accumulate the touched rows' off-sums in full column order — bit
+    /// identical to a full rebuild), a full rebuild otherwise.
+    fn ensure_cache(&self) {
+        if self.cache_epoch.get() == self.state_epoch.get() && self.cache.borrow().is_some() {
+            return;
+        }
+        let columns = self.layout.columns();
         let mut slot = self.cache.borrow_mut();
-        let cache = slot.get_or_insert_with(|| {
-            ConductanceCache::build(self.layout.rows(), self.layout.columns(), &self.cells)
-        });
-        reader(cache)
+        let mut dirty = self.dirty.borrow_mut();
+        let mut stats = self.stats.get();
+        let patched = match (slot.as_mut(), &mut *dirty) {
+            (Some(cache), DirtyState::Sparse { cells, rows }) => {
+                rows.sort_unstable();
+                rows.dedup();
+                cells.sort_unstable();
+                cells.dedup();
+                let mut recomputed = 0u64;
+                let mut touched_rows = rows.clone();
+                for &row in rows.iter() {
+                    for column in 0..columns {
+                        let (on, off) = self.evaluate_cell(row, column);
+                        cache.refresh_cell(row, column, on, off);
+                        recomputed += 1;
+                    }
+                }
+                for &index in cells.iter() {
+                    let row = index / columns;
+                    if rows.binary_search(&row).is_ok() {
+                        continue; // already refreshed with its whole row
+                    }
+                    let column = index % columns;
+                    let (on, off) = self.evaluate_cell(row, column);
+                    cache.refresh_cell(row, column, on, off);
+                    recomputed += 1;
+                    touched_rows.push(row);
+                }
+                touched_rows.sort_unstable();
+                touched_rows.dedup();
+                for &row in &touched_rows {
+                    cache.recompute_row_off_sum(row);
+                }
+                stats.partial_refreshes += 1;
+                stats.cells_recomputed += recomputed;
+                true
+            }
+            _ => false,
+        };
+        if !patched {
+            *slot = Some(ConductanceCache::build_with(
+                self.layout.rows(),
+                columns,
+                |row, column| self.evaluate_cell(row, column),
+            ));
+            stats.full_rebuilds += 1;
+            stats.cells_recomputed += self.layout.cells() as u64;
+        }
+        self.stats.set(stats);
+        *dirty = DirtyState::Clean;
+        self.cache_epoch.set(self.state_epoch.get());
+    }
+
+    /// Runs `reader` against an up-to-date conductance cache.
+    fn with_cache<T>(&self, reader: impl FnOnce(&ConductanceCache) -> T) -> T {
+        self.ensure_cache();
+        let slot = self.cache.borrow();
+        reader(slot.as_ref().expect("cache ensured"))
     }
 
     fn cell_index(&self, row: usize, column: usize) -> Result<usize> {
@@ -137,8 +496,8 @@ impl CrossbarArray {
 
     /// Mutably borrow a cell.
     ///
-    /// The conductance cache is invalidated up front, so any mutation made
-    /// through the returned borrow is reflected by the next read.
+    /// Only the touched cell is marked stale, so the next read recomputes
+    /// one cell (plus its row's off-sum), not the whole array.
     ///
     /// # Errors
     ///
@@ -146,7 +505,7 @@ impl CrossbarArray {
     /// the array.
     pub fn cell_mut(&mut self, row: usize, column: usize) -> Result<&mut Cell> {
         let index = self.cell_index(row, column)?;
-        self.invalidate_cache();
+        self.mark_cell(index);
         Ok(&mut self.cells[index])
     }
 
@@ -167,12 +526,12 @@ impl CrossbarArray {
         mode: ProgrammingMode,
     ) -> Result<()> {
         let index = self.cell_index(row, column)?;
-        self.invalidate_cache();
         let state = match mode {
             ProgrammingMode::Ideal => {
                 let state = self
                     .programmer
                     .program_ideal(self.cells[index].device_mut(), level)?;
+                self.mark_cell(index);
                 state
             }
             ProgrammingMode::PulseTrain => {
@@ -188,12 +547,16 @@ impl CrossbarArray {
                     }
                     let other_index = self.cell_index(other_row, column)?;
                     scheme.apply_disturb(&mut self.cells[other_index], pulses);
+                    self.mark_cell(other_index);
                 }
+                self.mark_cell(index);
                 state
             }
         };
+        let clock = self.clock;
         self.cells[index].set_programmed_level(level);
         self.cells[index].reset_disturb();
+        self.cells[index].set_programmed_at(clock);
         self.write_energy += self.programmer.write_energy(state.level)?;
         Ok(())
     }
@@ -236,9 +599,9 @@ impl CrossbarArray {
         Ok(())
     }
 
-    /// Applies Gaussian threshold-voltage variation to every cell.
+    /// Applies threshold-voltage variation to every cell.
     pub fn apply_variation<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
-        self.invalidate_cache();
+        self.mark_all();
         for cell in &mut self.cells {
             let offset = variation.sample_offset(rng);
             cell.device_mut().set_vth_offset(offset);
@@ -269,7 +632,8 @@ impl CrossbarArray {
 
     /// Accumulated current of one wordline for an activation pattern, in
     /// amperes: the row's off-state leakage plus the on/off delta of every
-    /// activated column, served from the conductance cache.
+    /// activated column, served from the conductance cache. Counts as one
+    /// read of the wordline for the disturb model.
     ///
     /// # Errors
     ///
@@ -279,12 +643,14 @@ impl CrossbarArray {
     pub fn wordline_current(&self, row: usize, activation: &Activation) -> Result<f64> {
         self.check_activation(activation)?;
         self.check_row(row)?;
+        self.note_row_read(row);
         Ok(self.with_cache(|cache| cache.wordline_current(row, activation)))
     }
 
     /// Accumulated currents of every wordline for an activation pattern,
     /// written into `out` (cleared first). This is the allocation-free read
-    /// used by the batched inference path.
+    /// used by the batched inference path; it counts as one read of every
+    /// wordline for the disturb model.
     ///
     /// # Errors
     ///
@@ -298,6 +664,9 @@ impl CrossbarArray {
         self.check_activation(activation)?;
         out.clear();
         out.reserve(self.layout.rows());
+        for row in 0..self.layout.rows() {
+            self.note_row_read(row);
+        }
         self.with_cache(|cache| {
             for row in 0..self.layout.rows() {
                 out.push(cache.wordline_current(row, activation));
@@ -309,10 +678,12 @@ impl CrossbarArray {
     /// Accumulated wordline currents for a whole group of activation
     /// patterns, written into `out` (cleared first) read after read:
     /// `out[read * rows + row]` is the current of `row` under
-    /// `activations[read]`. The conductance cache is borrowed **once** for
-    /// the whole group, so a serving batch amortizes the cache check and
-    /// borrow across all its reads; every read's currents are bit-identical
-    /// to a standalone [`CrossbarArray::wordline_currents_into`] call.
+    /// `activations[read]`. Without a read-disturb model the conductance
+    /// cache is borrowed **once** for the whole group; with one, each read
+    /// registers its wordline reads and re-checks the cache first, so a
+    /// mid-batch tier crossing is reflected exactly as it would be by
+    /// sequential [`CrossbarArray::wordline_currents_into`] calls — batched
+    /// and sequential reads stay bit-identical in every configuration.
     ///
     /// # Errors
     ///
@@ -330,13 +701,26 @@ impl CrossbarArray {
         let rows = self.layout.rows();
         out.clear();
         out.reserve(rows * activations.len());
-        self.with_cache(|cache| {
-            for activation in activations {
+        if !self.stack.tracks_reads() {
+            self.with_cache(|cache| {
+                for activation in activations {
+                    for row in 0..rows {
+                        out.push(cache.wordline_current(row, activation));
+                    }
+                }
+            });
+            return Ok(());
+        }
+        for activation in activations {
+            for row in 0..rows {
+                self.note_row_read(row);
+            }
+            self.with_cache(|cache| {
                 for row in 0..rows {
                     out.push(cache.wordline_current(row, activation));
                 }
-            }
-        });
+            });
+        }
         Ok(())
     }
 
@@ -351,14 +735,15 @@ impl CrossbarArray {
         Ok(currents)
     }
 
-    /// Uncached single-wordline read: evaluates the FeFET I-V model for every
-    /// cell of the row on every call, accumulating in the exact same order as
-    /// the cached sparse path — off-state leakage in column order, then the
-    /// activated deltas in the committed 4-lane order (see
-    /// [`crate::cache`]'s module docs). This is the reference oracle for the
-    /// equivalence property tests and the "before" baseline of the perf
-    /// record — results are bit-identical to
-    /// [`CrossbarArray::wordline_current`] whenever the cache is fresh.
+    /// Uncached single-wordline read: evaluates the FeFET I-V model — with
+    /// the configured non-ideality stack — for every cell of the row on
+    /// every call, accumulating in the exact same order as the cached sparse
+    /// path: off-state leakage in column order, then the activated deltas in
+    /// the committed 4-lane order (see [`crate::cache`]'s module docs). This
+    /// is the reference oracle for the equivalence property tests; it does
+    /// **not** register wordline reads, so calling it right after a cached
+    /// read observes the same read history and returns bit-identical
+    /// currents.
     ///
     /// # Errors
     ///
@@ -366,16 +751,14 @@ impl CrossbarArray {
     pub fn wordline_current_reference(&self, row: usize, activation: &Activation) -> Result<f64> {
         self.check_activation(activation)?;
         self.check_row(row)?;
-        let base = row * self.layout.columns();
-        let row_cells = &self.cells[base..base + self.layout.columns()];
+        let columns = self.layout.columns();
         let mut current = 0.0;
-        for cell in row_cells {
-            current += cell.read_current_off();
+        let mut deltas = Vec::with_capacity(columns);
+        for column in 0..columns {
+            let (on, off) = self.evaluate_cell(row, column);
+            current += off;
+            deltas.push(on - off);
         }
-        let deltas: Vec<f64> = row_cells
-            .iter()
-            .map(|cell| cell.read_current_on() - cell.read_current_off())
-            .collect();
         Ok(current + lane_delta_sum(&deltas, activation.active_columns()))
     }
 
@@ -389,6 +772,148 @@ impl CrossbarArray {
         (0..self.layout.rows())
             .map(|row| self.wordline_current_reference(row, activation))
             .collect()
+    }
+
+    fn level_state<'a>(
+        programmer: &LevelProgrammer,
+        states: &'a mut Vec<Option<ProgrammedState>>,
+        level: usize,
+    ) -> Result<&'a ProgrammedState> {
+        if level >= states.len() {
+            states.resize(level + 1, None);
+        }
+        if states[level].is_none() {
+            states[level] = Some(programmer.state_for_level(level)?);
+        }
+        Ok(states[level].as_ref().expect("just filled"))
+    }
+
+    /// Effective threshold error of one programmed cell, in volts: the
+    /// stack's time/history-dependent shift plus the polarization deviation
+    /// from the level target expressed through the threshold window.
+    fn effective_shift(
+        &self,
+        row: usize,
+        column: usize,
+        target: &ProgrammedState,
+        window: f64,
+    ) -> f64 {
+        let cell = &self.cells[row * self.layout.columns() + column];
+        let ctx = self.cell_context(row, column, cell);
+        let pol_error =
+            (target.polarization.value() - cell.device().polarization().value()) * window;
+        self.stack.vth_shift(&ctx) + pol_error
+    }
+
+    /// The largest effective threshold error (volts) over all programmed
+    /// cells — the quantity a recalibration scheduler compares against its
+    /// tolerance.
+    pub fn worst_effective_shift(&self) -> f64 {
+        let window = self.programmer.params().vth_window();
+        let mut states: Vec<Option<ProgrammedState>> = Vec::new();
+        let mut worst = 0.0f64;
+        for row in 0..self.layout.rows() {
+            for column in 0..self.layout.columns() {
+                let index = row * self.layout.columns() + column;
+                let Some(level) = self.cells[index].programmed_level() else {
+                    continue;
+                };
+                let target = Self::level_state(&self.programmer, &mut states, level)
+                    .expect("programmed level was validated at program time")
+                    .clone();
+                worst = worst.max(self.effective_shift(row, column, &target, window).abs());
+            }
+        }
+        worst
+    }
+
+    /// One recalibration pass: every programmed cell's effective threshold
+    /// error (drift + disturb + polarization relaxation) is checked against
+    /// `max_vth_shift` (volts), and any wordline holding an out-of-tolerance
+    /// cell is rewritten whole — with minimal Preisach top-up pulse trains
+    /// under [`ProgrammingMode::PulseTrain`] (full erase + retrain only when
+    /// a cell overshot its target), or a direct state install priced at the
+    /// full train under [`ProgrammingMode::Ideal`]. Refreshed rows restart
+    /// their retention age, disturb counters and read counters.
+    ///
+    /// Recalibration writes are modelled disturb-free: a refresh pass is
+    /// assumed to use a sequencing that does not half-bias neighbouring
+    /// rows, so one pass cannot create the drift it is correcting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] for a non-positive or non-finite
+    /// tolerance, and propagates programming errors.
+    pub fn recalibrate(
+        &mut self,
+        max_vth_shift: f64,
+        mode: ProgrammingMode,
+    ) -> Result<RefreshOutcome> {
+        if !max_vth_shift.is_finite() || max_vth_shift <= 0.0 {
+            return Err(CrossbarError::Device(DeviceError::InvalidParameter {
+                name: "max_vth_shift",
+                reason: "recalibration tolerance must be positive and finite".to_string(),
+            }));
+        }
+        let rows = self.layout.rows();
+        let columns = self.layout.columns();
+        let window = self.programmer.params().vth_window();
+        let energy_per_pulse = self.programmer.params().write_energy_per_pulse;
+        let mut states: Vec<Option<ProgrammedState>> = Vec::new();
+        let mut outcome = RefreshOutcome::default();
+        for row in 0..rows {
+            let mut refresh_row = false;
+            for column in 0..columns {
+                let index = row * columns + column;
+                let Some(level) = self.cells[index].programmed_level() else {
+                    continue;
+                };
+                outcome.cells_checked += 1;
+                let target = Self::level_state(&self.programmer, &mut states, level)?.clone();
+                if self.effective_shift(row, column, &target, window).abs() > max_vth_shift {
+                    refresh_row = true;
+                    break;
+                }
+            }
+            if !refresh_row {
+                continue;
+            }
+            outcome.rows_refreshed += 1;
+            let clock = self.clock;
+            for column in 0..columns {
+                let index = row * columns + column;
+                let Some(level) = self.cells[index].programmed_level() else {
+                    continue;
+                };
+                let pulses = match mode {
+                    ProgrammingMode::Ideal => {
+                        let target =
+                            Self::level_state(&self.programmer, &mut states, level)?.clone();
+                        self.cells[index]
+                            .device_mut()
+                            .set_polarization(target.polarization);
+                        u64::from(target.write_config.pulse_count) + 1
+                    }
+                    ProgrammingMode::PulseTrain => u64::from(
+                        self.programmer
+                            .refresh_with_pulses(self.cells[index].device_mut(), level)?,
+                    ),
+                };
+                outcome.cells_refreshed += 1;
+                outcome.pulses_applied += pulses;
+                let energy = energy_per_pulse * pulses as f64;
+                outcome.energy_joules += energy;
+                self.write_energy += energy;
+                self.cells[index].set_programmed_at(clock);
+                self.cells[index].reset_disturb();
+            }
+            self.row_reads.reset_row(row);
+            self.dirty
+                .get_mut()
+                .mark_row(row, self.layout.cells(), columns);
+            self.bump_epoch();
+        }
+        Ok(outcome)
     }
 
     /// The programmed level of every cell as a matrix (for Fig. 8(b)-style
@@ -407,7 +932,8 @@ impl CrossbarArray {
             .collect()
     }
 
-    /// The read current of every cell as a matrix, in amperes.
+    /// The read current of every cell as a matrix, in amperes (diagnostic
+    /// state map; does not count as wordline reads).
     pub fn current_map(&self) -> Vec<Vec<f64>> {
         self.with_cache(|cache| {
             (0..self.layout.rows())
@@ -439,12 +965,21 @@ impl CrossbarArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use febim_device::VariationModel;
+    use febim_device::{
+        NonIdealityStack, ReadDisturb, RetentionDrift, VariationModel, WireResistance,
+    };
 
     fn small_array() -> CrossbarArray {
         let layout = CrossbarLayout::new(2, 2, 4, true).unwrap();
         let programmer = LevelProgrammer::febim_default(10).unwrap();
         CrossbarArray::new(layout, programmer)
+    }
+
+    fn noisy_stack() -> NonIdealityStack {
+        NonIdealityStack::ideal()
+            .with_wire(WireResistance::uniform(50.0))
+            .with_drift(RetentionDrift::new(0.004, 100))
+            .with_disturb(ReadDisturb::new(10, 0.001))
     }
 
     #[test]
@@ -505,6 +1040,7 @@ mod tests {
         assert!(array
             .wordline_current_reference(7, &Activation::all_columns(array.layout()))
             .is_err());
+        assert!(array.row_reads(7).is_err());
     }
 
     #[test]
@@ -632,6 +1168,295 @@ mod tests {
             array.wordline_currents(&activation).unwrap(),
             array.wordline_currents_reference(&activation).unwrap()
         );
+    }
+
+    #[test]
+    fn single_cell_mutation_refreshes_a_single_cell() {
+        let mut array = small_array();
+        let activation = Activation::all_columns(array.layout());
+        array.wordline_currents(&activation).unwrap(); // warm: one full build
+        let before = array.rebuild_stats();
+        assert_eq!(before.full_rebuilds, 1);
+
+        array
+            .cell_mut(1, 3)
+            .unwrap()
+            .device_mut()
+            .set_vth_offset(0.05);
+        array.wordline_currents(&activation).unwrap();
+        let after = array.rebuild_stats();
+        assert_eq!(after.full_rebuilds, 1, "no second full rebuild");
+        assert_eq!(after.partial_refreshes, before.partial_refreshes + 1);
+        assert_eq!(
+            after.cells_recomputed,
+            before.cells_recomputed + 1,
+            "exactly one cell re-evaluated"
+        );
+        // And the patched cache still matches the oracle bit for bit.
+        assert_eq!(
+            array.wordline_currents(&activation).unwrap(),
+            array.wordline_currents_reference(&activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn epoch_advances_with_every_mutation() {
+        let mut array = small_array();
+        let e0 = array.state_epoch();
+        array.program_cell(0, 0, 3, ProgrammingMode::Ideal).unwrap();
+        let e1 = array.state_epoch();
+        assert!(e1 > e0);
+        array.cell_mut(0, 0).unwrap();
+        let e2 = array.state_epoch();
+        assert!(e2 > e1);
+        // Without a drift model, time does not invalidate anything.
+        array.advance_time(50);
+        assert_eq!(array.state_epoch(), e2);
+        assert_eq!(array.clock(), 50);
+        // With one, it does.
+        array
+            .set_non_idealities(
+                NonIdealityStack::ideal().with_drift(RetentionDrift::new(0.004, 100)),
+            )
+            .unwrap();
+        let e3 = array.state_epoch();
+        assert!(e3 > e2);
+        array.advance_time(50);
+        assert!(array.state_epoch() > e3);
+    }
+
+    #[test]
+    fn drift_lowers_read_currents_over_time() {
+        let layout = CrossbarLayout::new(1, 1, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let stack = NonIdealityStack::ideal().with_drift(RetentionDrift::new(0.010, 100));
+        let mut array = CrossbarArray::with_non_idealities(layout, programmer, stack).unwrap();
+        array.program_cell(0, 0, 9, ProgrammingMode::Ideal).unwrap();
+        let activation = Activation::from_columns(array.layout(), &[0]).unwrap();
+        let fresh = array.wordline_current(0, &activation).unwrap();
+        array.advance_time(10_000);
+        let aged = array.wordline_current(0, &activation).unwrap();
+        assert!(aged < fresh, "aged {aged:.3e} fresh {fresh:.3e}");
+        // The cached read still matches the oracle after aging.
+        assert_eq!(
+            aged,
+            array.wordline_current_reference(0, &activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn read_disturb_accumulates_per_wordline() {
+        let layout = CrossbarLayout::new(2, 1, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let stack = NonIdealityStack::ideal().with_disturb(ReadDisturb::new(5, 0.005));
+        let mut array = CrossbarArray::with_non_idealities(layout, programmer, stack).unwrap();
+        array.program_cell(0, 0, 9, ProgrammingMode::Ideal).unwrap();
+        let activation = Activation::from_columns(array.layout(), &[0]).unwrap();
+        let first = array.wordline_current(0, &activation).unwrap();
+        // Hammer row 0 across a tier boundary; row 1 is never read.
+        let mut last = first;
+        for _ in 0..10 {
+            last = array.wordline_current(0, &activation).unwrap();
+        }
+        assert!(last < first, "disturbed {last:.3e} first {first:.3e}");
+        assert_eq!(array.row_reads(0).unwrap(), 11);
+        assert_eq!(array.row_reads(1).unwrap(), 0);
+        // Oracle agreement after the tier crossing.
+        assert_eq!(
+            last,
+            array.wordline_current_reference(0, &activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn wire_resistance_attenuates_far_cells() {
+        let layout = CrossbarLayout::new(1, 2, 8, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let ideal = {
+            let mut array = CrossbarArray::new(layout, programmer.clone());
+            array
+                .program_cell(0, 15, 9, ProgrammingMode::Ideal)
+                .unwrap();
+            array
+        };
+        let resistive = {
+            let stack = NonIdealityStack::ideal().with_wire(WireResistance::uniform(200.0));
+            let mut array = CrossbarArray::with_non_idealities(layout, programmer, stack).unwrap();
+            array
+                .program_cell(0, 15, 9, ProgrammingMode::Ideal)
+                .unwrap();
+            array
+        };
+        let activation = Activation::from_columns(&layout, &[15]).unwrap();
+        let clean = ideal.wordline_current(0, &activation).unwrap();
+        let dropped = resistive.wordline_current(0, &activation).unwrap();
+        assert!(dropped < clean, "IR drop must attenuate: {dropped:.3e}");
+        assert_eq!(
+            dropped,
+            resistive
+                .wordline_current_reference(0, &activation)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn batched_reads_match_sequential_under_disturb() {
+        let layout = CrossbarLayout::new(2, 2, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let stack = NonIdealityStack::ideal().with_disturb(ReadDisturb::new(3, 0.002));
+        let mut batched = CrossbarArray::with_non_idealities(layout, programmer, stack).unwrap();
+        let mut levels = vec![vec![None; layout.columns()]; layout.rows()];
+        for (row, row_levels) in levels.iter_mut().enumerate() {
+            for (column, level) in row_levels.iter_mut().enumerate() {
+                *level = Some((row * 3 + column) % 10);
+            }
+        }
+        batched
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        let sequential = batched.clone();
+
+        let activations: Vec<Activation> = (0..8)
+            .map(|i| Activation::from_observation(&layout, &[i % 4, (i + 1) % 4]).unwrap())
+            .collect();
+        let mut batch_out = Vec::new();
+        batched
+            .wordline_currents_batch_into(&activations, &mut batch_out)
+            .unwrap();
+        let mut seq_out = Vec::new();
+        let mut scratch = Vec::new();
+        for activation in &activations {
+            sequential
+                .wordline_currents_into(activation, &mut scratch)
+                .unwrap();
+            seq_out.extend_from_slice(&scratch);
+        }
+        // 8 reads × 3-read tiers: several tier crossings inside the batch.
+        assert_eq!(batch_out, seq_out);
+        assert_eq!(batched.row_reads(0).unwrap(), 8);
+    }
+
+    #[test]
+    fn recalibration_restores_drifted_currents() {
+        let layout = CrossbarLayout::new(2, 1, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let stack = NonIdealityStack::ideal().with_drift(RetentionDrift::new(0.012, 100));
+        let mut array = CrossbarArray::with_non_idealities(layout, programmer, stack).unwrap();
+        // Program every cell: recalibration can only restore programmed
+        // cells (erased cells have no target level to refresh towards).
+        let levels = vec![
+            vec![Some(9), Some(1), Some(2), Some(3)],
+            vec![Some(4), Some(5), Some(6), Some(7)],
+        ];
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        let activation = Activation::all_columns(array.layout());
+        let fresh = array.wordline_currents(&activation).unwrap();
+
+        array.advance_time(100_000);
+        let aged = array.wordline_currents(&activation).unwrap();
+        assert!(aged[0] < fresh[0]);
+        assert!(array.worst_effective_shift() > 0.01);
+
+        // Within-tolerance pass is a no-op.
+        let lax = array.recalibrate(1.0, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(lax.rows_refreshed, 0);
+        assert_eq!(lax.cells_refreshed, 0);
+
+        // A tight pass rewrites both rows and restores the fresh currents.
+        let energy_before = array.write_energy();
+        let outcome = array.recalibrate(0.005, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(outcome.rows_refreshed, 2);
+        assert_eq!(outcome.cells_refreshed, 8);
+        assert!(outcome.pulses_applied > 0);
+        assert!(outcome.energy_joules > 0.0);
+        assert!(array.write_energy() > energy_before);
+        let restored = array.wordline_currents(&activation).unwrap();
+        assert_eq!(restored, fresh, "refresh restores the fresh read bitwise");
+        assert!(array.worst_effective_shift() < 1e-12);
+        // And the patched cache still matches the oracle.
+        assert_eq!(
+            restored,
+            array.wordline_currents_reference(&activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn pulse_train_recalibration_uses_minimal_topups() {
+        let layout = CrossbarLayout::new(1, 1, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut array = CrossbarArray::new(layout, programmer);
+        array
+            .program_cell(0, 0, 8, ProgrammingMode::PulseTrain)
+            .unwrap();
+        // Relax the polarization slightly, as accumulated disturb would.
+        let pol = array.cell(0, 0).unwrap().device().polarization().value();
+        array
+            .cell_mut(0, 0)
+            .unwrap()
+            .device_mut()
+            .set_polarization(febim_device::Polarization::new(pol * 0.96));
+        let full_train = u64::from(
+            array
+                .programmer()
+                .state_for_level(8)
+                .unwrap()
+                .write_config
+                .pulse_count,
+        );
+        let outcome = array
+            .recalibrate(0.005, ProgrammingMode::PulseTrain)
+            .unwrap();
+        assert_eq!(outcome.cells_refreshed, 1);
+        assert!(
+            outcome.pulses_applied < full_train / 4,
+            "top-up {} vs full train {}",
+            outcome.pulses_applied,
+            full_train
+        );
+    }
+
+    #[test]
+    fn recalibrate_rejects_bad_tolerance() {
+        let mut array = small_array();
+        assert!(array.recalibrate(0.0, ProgrammingMode::Ideal).is_err());
+        assert!(array.recalibrate(f64::NAN, ProgrammingMode::Ideal).is_err());
+    }
+
+    #[test]
+    fn invalid_stack_rejected() {
+        let layout = CrossbarLayout::new(1, 1, 4, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let bad = NonIdealityStack::ideal().with_wire(WireResistance {
+            wordline_ohm_per_cell: f64::NAN,
+            bitline_ohm_per_cell: 0.0,
+        });
+        assert!(CrossbarArray::with_non_idealities(layout, programmer, bad).is_err());
+    }
+
+    #[test]
+    fn noisy_cached_reads_match_oracle() {
+        let layout = CrossbarLayout::new(3, 2, 4, true).unwrap();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut array =
+            CrossbarArray::with_non_idealities(layout, programmer, noisy_stack()).unwrap();
+        let mut levels = vec![vec![None; layout.columns()]; layout.rows()];
+        for (row, row_levels) in levels.iter_mut().enumerate() {
+            for (column, level) in row_levels.iter_mut().enumerate() {
+                *level = Some((row * 5 + column) % 10);
+            }
+        }
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        let activation = Activation::all_columns(array.layout());
+        array.advance_time(777);
+        for _ in 0..25 {
+            let cached = array.wordline_currents(&activation).unwrap();
+            let oracle = array.wordline_currents_reference(&activation).unwrap();
+            assert_eq!(cached, oracle);
+        }
     }
 
     #[test]

@@ -33,7 +33,6 @@
 //! all evaluate it identically, and the crate's property tests pin every
 //! remainder case (0–3 trailing columns).
 
-use crate::cell::Cell;
 use crate::read::Activation;
 
 /// On/off delta sum over the activated columns in the committed 4-lane
@@ -76,18 +75,29 @@ pub(crate) struct ConductanceCache {
 }
 
 impl ConductanceCache {
-    /// Evaluates the device model once per cell and snapshots the results.
-    pub(crate) fn build(rows: usize, columns: usize, cells: &[Cell]) -> Self {
-        debug_assert_eq!(cells.len(), rows * columns);
-        let mut on = Vec::with_capacity(cells.len());
-        let mut off = Vec::with_capacity(cells.len());
-        let mut delta = Vec::with_capacity(cells.len());
-        for cell in cells {
-            let cell_on = cell.read_current_on();
-            let cell_off = cell.read_current_off();
-            on.push(cell_on);
-            off.push(cell_off);
-            delta.push(cell_on - cell_off);
+    /// Builds a cache from an arbitrary per-cell evaluation point
+    /// `(row, column) -> (on, off)`, visiting cells in row-major order.
+    ///
+    /// This is the entry point the non-ideality-aware owners use: the same
+    /// closure that builds the cache also drives the uncached reference
+    /// oracles and the partial-refresh path, so all three see identical
+    /// per-cell currents bit for bit.
+    pub(crate) fn build_with(
+        rows: usize,
+        columns: usize,
+        mut eval: impl FnMut(usize, usize) -> (f64, f64),
+    ) -> Self {
+        let cells = rows * columns;
+        let mut on = Vec::with_capacity(cells);
+        let mut off = Vec::with_capacity(cells);
+        let mut delta = Vec::with_capacity(cells);
+        for row in 0..rows {
+            for column in 0..columns {
+                let (cell_on, cell_off) = eval(row, column);
+                on.push(cell_on);
+                off.push(cell_off);
+                delta.push(cell_on - cell_off);
+            }
         }
         let mut row_off_sums = Vec::with_capacity(rows);
         for row in 0..rows {
@@ -105,6 +115,31 @@ impl ConductanceCache {
             delta,
             row_off_sums,
         }
+    }
+
+    /// Overwrites the snapshot of one cell with freshly evaluated currents.
+    ///
+    /// The owning array must call
+    /// [`ConductanceCache::recompute_row_off_sum`] for the touched row
+    /// afterwards; until then the row's off-sum is stale.
+    pub(crate) fn refresh_cell(&mut self, row: usize, column: usize, on: f64, off: f64) {
+        let index = row * self.columns + column;
+        self.on[index] = on;
+        self.off[index] = off;
+        self.delta[index] = on - off;
+    }
+
+    /// Recomputes one row's off-state leakage sum from the stored per-cell
+    /// off currents, accumulating in column order — the exact order
+    /// [`ConductanceCache::build_with`] uses, so a partial refresh is
+    /// bit-identical to a full rebuild.
+    pub(crate) fn recompute_row_off_sum(&mut self, row: usize) {
+        let base = row * self.columns;
+        let mut sum = 0.0;
+        for column in 0..self.columns {
+            sum += self.off[base + column];
+        }
+        self.row_off_sums[row] = sum;
     }
 
     /// Cached `V_on` read current of one cell.
@@ -152,8 +187,18 @@ impl ConductanceCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cell::Cell;
     use crate::layout::CrossbarLayout;
     use febim_device::FeFetParams;
+
+    /// Builds a cache straight from a cell bank (the ideal-stack evaluation
+    /// the owning array uses when no non-ideality is configured).
+    fn build(rows: usize, columns: usize, cells: &[Cell]) -> ConductanceCache {
+        ConductanceCache::build_with(rows, columns, |row, column| {
+            let cell = &cells[row * columns + column];
+            (cell.read_current_on(), cell.read_current_off())
+        })
+    }
 
     #[test]
     fn cache_matches_fresh_device_evaluations() {
@@ -164,7 +209,7 @@ mod tests {
         cells[1]
             .device_mut()
             .set_polarization(febim_device::Polarization::new(0.6));
-        let cache = ConductanceCache::build(layout.rows(), layout.columns(), &cells);
+        let cache = build(layout.rows(), layout.columns(), &cells);
         for (index, cell) in cells.iter().enumerate() {
             let row = index / layout.columns();
             let column = index % layout.columns();
@@ -192,11 +237,40 @@ mod tests {
             cell.device_mut()
                 .set_polarization(febim_device::Polarization::new(0.7));
         }
-        let cache = ConductanceCache::build(1, 4, &cells);
+        let cache = build(1, 4, &cells);
         let none = Activation::from_columns(&layout, &[]).unwrap();
         let all = Activation::all_columns(&layout);
         assert_eq!(cache.wordline_current(0, &none), cache.row_off_sums[0]);
         assert!(cache.wordline_current(0, &all) > cache.wordline_current(0, &none));
+    }
+
+    #[test]
+    fn partial_refresh_matches_full_rebuild_bit_for_bit() {
+        let layout = CrossbarLayout::new(3, 2, 2, false).unwrap();
+        let mut cells: Vec<Cell> = (0..layout.cells())
+            .map(|_| Cell::new(FeFetParams::febim_calibrated()))
+            .collect();
+        for (index, cell) in cells.iter_mut().enumerate() {
+            cell.device_mut()
+                .set_polarization(febim_device::Polarization::new(0.2 + 0.05 * (index as f64)));
+        }
+        let mut cache = build(layout.rows(), layout.columns(), &cells);
+        // Mutate two cells of row 1 and refresh only those entries.
+        for column in [0usize, 3] {
+            let index = layout.columns() + column;
+            cells[index]
+                .device_mut()
+                .set_polarization(febim_device::Polarization::new(0.9));
+            cache.refresh_cell(
+                1,
+                column,
+                cells[index].read_current_on(),
+                cells[index].read_current_off(),
+            );
+        }
+        cache.recompute_row_off_sum(1);
+        let rebuilt = build(layout.rows(), layout.columns(), &cells);
+        assert_eq!(cache, rebuilt);
     }
 
     #[test]

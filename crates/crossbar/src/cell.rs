@@ -10,6 +10,9 @@ pub struct Cell {
     device: FeFet,
     programmed_level: Option<usize>,
     disturb_pulses: u64,
+    /// Array clock tick at which the cell was last (re)programmed; retention
+    /// drift ages the cell relative to this instant.
+    programmed_at: u64,
 }
 
 impl Cell {
@@ -19,6 +22,7 @@ impl Cell {
             device: FeFet::new(params),
             programmed_level: None,
             disturb_pulses: 0,
+            programmed_at: 0,
         }
     }
 
@@ -56,6 +60,17 @@ impl Cell {
     /// Clears the disturb counter (called after a fresh program operation).
     pub fn reset_disturb(&mut self) {
         self.disturb_pulses = 0;
+    }
+
+    /// Array clock tick at which the cell was last (re)programmed.
+    pub fn programmed_at(&self) -> u64 {
+        self.programmed_at
+    }
+
+    /// Records the array clock tick of a (re)program; retention drift ages
+    /// the cell from this instant.
+    pub fn set_programmed_at(&mut self, tick: u64) {
+        self.programmed_at = tick;
     }
 
     /// Read current of the cell when its bitline is activated with `V_on`.
@@ -104,6 +119,14 @@ mod tests {
         cell.add_disturb_pulses(u64::MAX);
         cell.add_disturb_pulses(5);
         assert_eq!(cell.disturb_pulses(), u64::MAX);
+    }
+
+    #[test]
+    fn programmed_at_round_trips() {
+        let mut cell = Cell::new(FeFetParams::febim_calibrated());
+        assert_eq!(cell.programmed_at(), 0);
+        cell.set_programmed_at(1234);
+        assert_eq!(cell.programmed_at(), 1234);
     }
 
     #[test]

@@ -51,14 +51,18 @@ pub mod read;
 pub mod tiling;
 pub mod write;
 
-pub use array::{CrossbarArray, ProgrammingMode};
+pub use array::{CrossbarArray, ProgrammingMode, RebuildStats, RefreshOutcome};
 pub use cell::Cell;
 pub use errors::{CrossbarError, Result};
 pub use fault::{apply_fault, apply_grid_fault, FaultKind, FaultModel, InjectedFault};
 pub use layout::{ColumnRole, CrossbarLayout};
 pub use read::Activation;
-pub use tiling::{TileGrid, TilePlan, TileShape};
+pub use tiling::{GridRebuildStats, TileGrid, TilePlan, TileShape};
 pub use write::WriteScheme;
+
+// Re-exported so downstream crates can configure arrays without a direct
+// `febim-device` dependency on the non-ideality types.
+pub use febim_device::{NonIdealityStack, ReadDisturb, RetentionDrift, WireResistance};
 
 #[cfg(test)]
 mod proptests {
@@ -363,6 +367,97 @@ mod proptests {
                 prop_assert_eq!(
                     grid.wordline_currents(activation).unwrap(),
                     array.wordline_currents(activation).unwrap()
+                );
+            }
+        }
+
+        /// Under a randomized schedule of drift ticks, reads (disturb-tier
+        /// crossings), reprogramming and recalibration passes, the
+        /// epoch-versioned caches of both the monolithic array and the tiled
+        /// fabric stay bit-for-bit identical to the uncached reference
+        /// oracles — and to each other — for every non-ideality
+        /// configuration (IR-drop, retention drift, read disturb, and their
+        /// composition).
+        #[test]
+        fn noisy_schedules_keep_caches_bit_exact(
+            events in 1usize..5,
+            nodes in 1usize..4,
+            levels_per_node in 1usize..5,
+            has_prior in proptest::bool::ANY,
+            tile_rows in 1usize..3,
+            tile_columns in 1usize..6,
+            schedule_seed in 0u64..1_000_000,
+            wire_ohm in 0.0f64..100.0,
+            drift_millivolts in 0.0f64..15.0,
+            reads_per_tier in 1u64..6,
+            disturb_millivolts in 0.0f64..3.0,
+        ) {
+            let layout = CrossbarLayout::new(events, nodes, levels_per_node, has_prior).unwrap();
+            let stack = NonIdealityStack::ideal()
+                .with_wire(WireResistance::uniform(wire_ohm))
+                .with_drift(RetentionDrift::new(drift_millivolts * 1e-3, 50))
+                .with_disturb(ReadDisturb::new(reads_per_tier, disturb_millivolts * 1e-3));
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut array =
+                CrossbarArray::with_non_idealities(layout, programmer.clone(), stack).unwrap();
+            let plan =
+                TilePlan::new(layout, TileShape::new(tile_rows, tile_columns).unwrap()).unwrap();
+            let mut grid = TileGrid::with_non_idealities(plan, programmer, stack).unwrap();
+
+            let mut rng = VariationModel::seeded_rng(schedule_seed);
+            let levels: Vec<Vec<Option<usize>>> = (0..layout.rows())
+                .map(|_| {
+                    (0..layout.columns())
+                        .map(|_| Some((rng.gen::<u64>() % 10) as usize))
+                        .collect()
+                })
+                .collect();
+            array.program_matrix(&levels, ProgrammingMode::Ideal).unwrap();
+            grid.program_matrix(&levels, ProgrammingMode::Ideal).unwrap();
+
+            for step in 0..10u32 {
+                match rng.gen::<u64>() % 4 {
+                    0 => {
+                        let ticks = rng.gen::<u64>() % 500;
+                        array.advance_time(ticks);
+                        grid.advance_time(ticks);
+                    }
+                    1 => {
+                        let row = (rng.gen::<u64>() as usize) % layout.rows();
+                        let column = (rng.gen::<u64>() as usize) % layout.columns();
+                        let level = (rng.gen::<u64>() % 10) as usize;
+                        array.program_cell(row, column, level, ProgrammingMode::Ideal).unwrap();
+                        grid.program_cell(row, column, level, ProgrammingMode::Ideal).unwrap();
+                    }
+                    2 => {
+                        let a = array.recalibrate(0.02, ProgrammingMode::Ideal).unwrap();
+                        let g = grid.recalibrate(0.02, ProgrammingMode::Ideal).unwrap();
+                        prop_assert_eq!(a.rows_refreshed, g.rows_refreshed, "step {}", step);
+                        prop_assert_eq!(a.cells_refreshed, g.cells_refreshed, "step {}", step);
+                    }
+                    _ => {}
+                }
+                let evidence: Vec<usize> = (0..nodes)
+                    .map(|_| (rng.gen::<u64>() as usize) % levels_per_node)
+                    .collect();
+                let activation = Activation::from_observation(&layout, &evidence).unwrap();
+                // One cached read per fabric per step: read counters advance
+                // in lockstep, so cached, reference and cross-fabric values
+                // must all coincide exactly.
+                let from_array = array.wordline_currents(&activation).unwrap();
+                let from_grid = grid.wordline_currents(&activation).unwrap();
+                prop_assert_eq!(&from_array, &from_grid, "step {}", step);
+                prop_assert_eq!(
+                    &from_array,
+                    &array.wordline_currents_reference(&activation).unwrap(),
+                    "step {}",
+                    step
+                );
+                prop_assert_eq!(
+                    &from_grid,
+                    &grid.wordline_currents_reference(&activation).unwrap(),
+                    "step {}",
+                    step
                 );
             }
         }

@@ -177,6 +177,47 @@ impl Activation {
     }
 }
 
+/// Per-wordline read counters with interior mutability.
+///
+/// Read paths take `&self` on the owning array, so the counters live in
+/// [`std::cell::Cell`]s; both [`crate::CrossbarArray`] and
+/// [`crate::TileGrid`] use this to drive the read-disturb tier model. The
+/// counters are derived read-history state: they are skipped by
+/// serialization but participate in equality (read history is physical
+/// state once a disturb model is configured).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ReadCounters {
+    counts: Vec<std::cell::Cell<u64>>,
+}
+
+impl ReadCounters {
+    /// Zeroed counters for `rows` wordlines.
+    pub(crate) fn new(rows: usize) -> Self {
+        Self {
+            counts: vec![std::cell::Cell::new(0); rows],
+        }
+    }
+
+    /// Reads accumulated by one wordline since its last reset.
+    pub(crate) fn get(&self, row: usize) -> u64 {
+        self.counts[row].get()
+    }
+
+    /// Registers one read of `row`, returning `(before, after)` so the
+    /// caller can detect disturb-tier crossings.
+    pub(crate) fn bump(&self, row: usize) -> (u64, u64) {
+        let before = self.counts[row].get();
+        let after = before.saturating_add(1);
+        self.counts[row].set(after);
+        (before, after)
+    }
+
+    /// Clears one wordline's counter (called after a row refresh).
+    pub(crate) fn reset_row(&self, row: usize) {
+        self.counts[row].set(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +334,22 @@ mod tests {
         let activation = Activation::all_columns(&layout);
         assert!(!activation.is_active(layout.columns()));
         assert!(!activation.is_active(usize::MAX));
+    }
+
+    #[test]
+    fn read_counters_bump_and_reset() {
+        let counters = ReadCounters::new(3);
+        assert_eq!(counters.get(1), 0);
+        assert_eq!(counters.bump(1), (0, 1));
+        assert_eq!(counters.bump(1), (1, 2));
+        assert_eq!(counters.bump(0), (0, 1));
+        assert_eq!(counters.get(1), 2);
+        counters.reset_row(1);
+        assert_eq!(counters.get(1), 0);
+        assert_eq!(counters.get(0), 1);
+        // Equality follows the counter values.
+        let other = ReadCounters::new(3);
+        other.bump(0);
+        assert_eq!(counters, other);
     }
 }

@@ -15,15 +15,27 @@
 //! ## Bit-exactness
 //!
 //! The fabric read path is floating-point identical to a monolithic
-//! [`CrossbarArray`](crate::CrossbarArray) holding the same program: cells
-//! are programmed identically (so per-cell on/off currents match), the
-//! fabric-level row off-sums are accumulated cell by cell in global column
-//! order (the exact order the monolithic conductance cache uses), and the
-//! activated-column deltas are gathered from a fabric-level delta matrix
-//! (assembled in global column order from the per-tile caches) through the
-//! exact same committed 4-lane reduction as the monolithic kernel (see
+//! [`CrossbarArray`](crate::CrossbarArray) holding the same program **and
+//! the same non-ideality stack**: cells are programmed identically (so
+//! per-cell on/off currents match), non-idealities are evaluated in global
+//! coordinates (the fabric models the stitched logical array, so a cell's
+//! IR-drop position, retention age and wordline read count are the same
+//! whether the array is monolithic or sharded), the fabric-level row
+//! off-sums are accumulated cell by cell in global column order (the exact
+//! order the monolithic conductance cache uses), and the activated-column
+//! deltas are gathered from a fabric-level delta matrix (assembled in
+//! global column order from the per-tile caches) through the exact same
+//! committed 4-lane reduction as the monolithic kernel (see
 //! [`crate::cache`]'s module docs). Equivalence is proptest-enforced in
 //! this crate and at engine level.
+//!
+//! ## Tile-granular cache epochs
+//!
+//! The fabric versions its derived state like the monolithic array does,
+//! but dirtiness is tracked **per tile**: mutating one cell (or crossing a
+//! read-disturb tier on one wordline) only marks the owning tiles stale, so
+//! bringing the fabric cache current rebuilds those tiles and re-stitches
+//! their global rows — one drifted tile does not invalidate the whole grid.
 //!
 //! The one intentional divergence is [`ProgrammingMode::PulseTrain`]
 //! disturb: half-bias inhibit pulses only reach the rows of the tile being
@@ -36,14 +48,16 @@ use std::ops::Range;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use febim_device::{LevelProgrammer, VariationModel};
+use febim_device::{
+    CellContext, DeviceError, LevelProgrammer, NonIdealityStack, ProgrammedState, VariationModel,
+};
 
-use crate::array::ProgrammingMode;
+use crate::array::{ProgrammingMode, RefreshOutcome};
 use crate::cache::{lane_delta_sum, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::layout::CrossbarLayout;
-use crate::read::Activation;
+use crate::read::{Activation, ReadCounters};
 use crate::write::WriteScheme;
 
 /// Fixed geometry of one physical crossbar tile.
@@ -212,6 +226,18 @@ impl TilePlan {
     }
 }
 
+/// Cache maintenance counters of a tiled fabric (the tile-granular analogue
+/// of [`crate::RebuildStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct GridRebuildStats {
+    /// Times the whole fabric cache was rebuilt from scratch.
+    pub full_rebuilds: u64,
+    /// Individual tiles rebuilt by partial refreshes.
+    pub tile_rebuilds: u64,
+    /// Total cells whose on/off currents were re-evaluated.
+    pub cells_recomputed: u64,
+}
+
 /// One physical tile: its occupied cell bank in local row-major order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Tile {
@@ -223,6 +249,38 @@ struct Tile {
 impl Tile {
     fn index(&self, local_row: usize, local_col: usize) -> usize {
         local_row * self.columns + local_col
+    }
+}
+
+/// Which tiles changed since the fabric cache last matched the state epoch.
+#[derive(Debug, Clone, PartialEq)]
+enum GridDirty {
+    /// Nothing: the cache (if built) is current.
+    Clean,
+    /// Only the listed tile indices hold stale conductances.
+    Tiles(Vec<usize>),
+    /// Every tile is stale.
+    All,
+}
+
+impl GridDirty {
+    /// Marks one tile stale, degrading to `All` when at least half the grid
+    /// is already dirty (re-stitching then costs as much as a full build).
+    fn mark_tile(&mut self, index: usize, tile_count: usize) {
+        let overflow = match self {
+            GridDirty::All => false,
+            GridDirty::Clean => {
+                *self = GridDirty::Tiles(vec![index]);
+                tile_count <= 1
+            }
+            GridDirty::Tiles(tiles) => {
+                tiles.push(index);
+                tiles.len() * 2 >= tile_count
+            }
+        };
+        if overflow {
+            *self = GridDirty::All;
+        }
     }
 }
 
@@ -256,7 +314,8 @@ impl FabricCache {
 /// events), columns across tile columns (each tile accumulates a partial
 /// sum over its evidence columns). The fabric read path merges the per-tile
 /// partial wordline currents into full log-posterior currents; see the
-/// module docs for the bit-exactness guarantee.
+/// module docs for the bit-exactness guarantee and the tile-granular cache
+/// epoch scheme.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TileGrid {
     plan: TilePlan,
@@ -265,8 +324,28 @@ pub struct TileGrid {
     /// Tiles in grid row-major order (`tile_row * col_tiles + tile_col`).
     tiles: Vec<Tile>,
     write_energy: f64,
-    /// Derived state: `None` means stale (rebuilt on the next read). Skipped
-    /// by serialization and ignored by equality.
+    /// Composable time-varying non-ideality models, evaluated in global
+    /// coordinates (the fabric models the stitched logical array).
+    stack: NonIdealityStack,
+    /// Fabric clock in retention ticks.
+    clock: u64,
+    /// Per-global-wordline read counters. Skipped by serialization.
+    #[serde(skip)]
+    row_reads: ReadCounters,
+    /// Monotonic version of the fabric's physical state.
+    #[serde(skip)]
+    state_epoch: std::cell::Cell<u64>,
+    /// The state epoch the cache was last brought up to date with.
+    #[serde(skip)]
+    cache_epoch: std::cell::Cell<u64>,
+    /// Which tiles changed between `cache_epoch` and `state_epoch`.
+    #[serde(skip)]
+    dirty: RefCell<GridDirty>,
+    /// Cache maintenance counters.
+    #[serde(skip)]
+    stats: std::cell::Cell<GridRebuildStats>,
+    /// Derived state: `None` means never built. Skipped by serialization and
+    /// ignored by equality.
     #[serde(skip)]
     cache: RefCell<Option<FabricCache>>,
 }
@@ -278,11 +357,15 @@ impl PartialEq for TileGrid {
             && self.write_scheme == other.write_scheme
             && self.tiles == other.tiles
             && self.write_energy == other.write_energy
+            && self.stack == other.stack
+            && self.clock == other.clock
+            && self.row_reads == other.row_reads
     }
 }
 
 impl TileGrid {
-    /// Creates an erased fabric for the given plan and level programmer.
+    /// Creates an erased, ideal (no non-idealities) fabric for the given
+    /// plan and level programmer.
     pub fn new(plan: TilePlan, programmer: LevelProgrammer) -> Self {
         let template = Cell::new(programmer.params().clone());
         let tiles = (0..plan.row_tiles())
@@ -302,8 +385,32 @@ impl TileGrid {
             write_scheme: WriteScheme::febim_default(),
             tiles,
             write_energy: 0.0,
+            stack: NonIdealityStack::ideal(),
+            clock: 0,
+            row_reads: ReadCounters::new(plan.layout().rows()),
+            state_epoch: std::cell::Cell::new(0),
+            cache_epoch: std::cell::Cell::new(0),
+            dirty: RefCell::new(GridDirty::All),
+            stats: std::cell::Cell::new(GridRebuildStats::default()),
             cache: RefCell::new(None),
         }
+    }
+
+    /// Creates an erased fabric with a configured non-ideality stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] when the stack parameters are
+    /// unphysical (see [`NonIdealityStack::validate`]).
+    pub fn with_non_idealities(
+        plan: TilePlan,
+        programmer: LevelProgrammer,
+        stack: NonIdealityStack,
+    ) -> Result<Self> {
+        stack.validate()?;
+        let mut grid = Self::new(plan, programmer);
+        grid.stack = stack;
+        Ok(grid)
     }
 
     /// Borrow the tile plan.
@@ -331,20 +438,210 @@ impl TileGrid {
         self.write_energy
     }
 
-    /// Marks the fabric caches stale; the next read rebuilds them.
-    fn invalidate_cache(&mut self) {
-        *self.cache.get_mut() = None;
+    /// The configured non-ideality stack.
+    pub fn non_idealities(&self) -> &NonIdealityStack {
+        &self.stack
     }
 
-    /// Runs `reader` against fresh per-tile caches and fabric row off-sums,
-    /// rebuilding them first if any mutation happened since the last read.
-    fn with_cache<T>(&self, reader: impl FnOnce(&FabricCache) -> T) -> T {
+    /// Replaces the non-ideality stack; every cached conductance is stale
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] when the stack parameters are
+    /// unphysical.
+    pub fn set_non_idealities(&mut self, stack: NonIdealityStack) -> Result<()> {
+        stack.validate()?;
+        self.stack = stack;
+        self.mark_all();
+        Ok(())
+    }
+
+    /// Current fabric clock, in retention ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the fabric clock by `ticks` (ages every cell when a
+    /// retention-drift model is configured).
+    pub fn advance_time(&mut self, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        self.clock = self.clock.saturating_add(ticks);
+        if self.stack.is_time_varying() {
+            self.mark_all();
+        }
+    }
+
+    /// Monotonic version of the fabric's physical state.
+    pub fn state_epoch(&self) -> u64 {
+        self.state_epoch.get()
+    }
+
+    /// Cache maintenance counters accumulated since construction.
+    pub fn rebuild_stats(&self) -> GridRebuildStats {
+        self.stats.get()
+    }
+
+    /// Reads accumulated by one global wordline since its last refresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for a bad row.
+    pub fn row_reads(&self, row: usize) -> Result<u64> {
+        if row >= self.plan.layout().rows() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row,
+                column: 0,
+                rows: self.plan.layout().rows(),
+                columns: self.plan.layout().columns(),
+            });
+        }
+        Ok(self.row_reads.get(row))
+    }
+
+    fn bump_epoch(&self) {
+        self.state_epoch.set(self.state_epoch.get() + 1);
+    }
+
+    fn mark_all(&mut self) {
+        *self.dirty.get_mut() = GridDirty::All;
+        self.bump_epoch();
+    }
+
+    fn mark_tile(&mut self, tile_index: usize) {
+        self.dirty
+            .get_mut()
+            .mark_tile(tile_index, self.plan.tile_count());
+        self.bump_epoch();
+    }
+
+    /// Registers one read of a global wordline; a disturb-tier crossing
+    /// makes every tile of the row's tile row stale.
+    fn note_row_read(&self, row: usize) {
+        if !self.stack.tracks_reads() {
+            return;
+        }
+        let (before, after) = self.row_reads.bump(row);
+        if self.stack.read_tier(before) != self.stack.read_tier(after) {
+            let tile_row = row / self.plan.shape().rows;
+            let mut dirty = self.dirty.borrow_mut();
+            for tile_col in 0..self.plan.col_tiles() {
+                dirty.mark_tile(
+                    tile_row * self.plan.col_tiles() + tile_col,
+                    self.plan.tile_count(),
+                );
+            }
+            drop(dirty);
+            self.bump_epoch();
+        }
+    }
+
+    /// The non-ideality evaluation context of one cell, in **global**
+    /// coordinates — a sharded fabric reads exactly like the monolithic
+    /// logical array it implements.
+    fn cell_context(&self, row: usize, column: usize, cell: &Cell) -> CellContext {
+        CellContext {
+            row,
+            column,
+            rows: self.plan.layout().rows(),
+            columns: self.plan.layout().columns(),
+            age_ticks: self.clock.saturating_sub(cell.programmed_at()),
+            disturb_pulses: cell.disturb_pulses(),
+            row_reads: self.row_reads.get(row),
+        }
+    }
+
+    /// The single per-cell evaluation point (global coordinates), shared by
+    /// tile cache builds, partial tile refreshes and the uncached reference
+    /// oracle — bit-identical to
+    /// [`CrossbarArray`](crate::CrossbarArray)'s under the same stack.
+    fn evaluate_cell(&self, row: usize, column: usize) -> (f64, f64) {
+        let cell = self.cell(row, column).expect("in-range indices");
+        if self.stack.is_ideal() {
+            return (cell.read_current_on(), cell.read_current_off());
+        }
+        let ctx = self.cell_context(row, column, cell);
+        let shift = self.stack.vth_shift(&ctx);
+        let v_drain = self.programmer.params().v_drain_read;
+        let on = cell.device().read_current_on_shifted(shift);
+        let off = cell.device().read_current_off_shifted(shift);
+        (
+            on * self.stack.current_factor(&ctx, on, v_drain),
+            off * self.stack.current_factor(&ctx, off, v_drain),
+        )
+    }
+
+    /// Builds one tile's conductance cache by evaluating the shared
+    /// per-cell evaluation point at the tile's global coordinates.
+    fn build_tile_cache(&self, tile_index: usize) -> ConductanceCache {
+        let col_tiles = self.plan.col_tiles();
+        let shape = self.plan.shape();
+        let row_base = (tile_index / col_tiles) * shape.rows;
+        let col_base = (tile_index % col_tiles) * shape.columns;
+        let tile = &self.tiles[tile_index];
+        ConductanceCache::build_with(tile.rows, tile.columns, |local_row, local_col| {
+            self.evaluate_cell(row_base + local_row, col_base + local_col)
+        })
+    }
+
+    /// Re-stitches the fabric-level off-sum and delta row of one global row
+    /// from the per-tile caches, in global column order — the exact
+    /// accumulation a full stitch uses, so a partial re-stitch is
+    /// bit-identical.
+    fn restitch_row(&self, cache: &mut FabricCache, row: usize) {
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        let tile_row = row / shape.rows;
+        let local_row = row % shape.rows;
+        let mut accumulator = 0.0;
+        let mut base = row * cache.columns;
+        for tile_col in 0..col_tiles {
+            let tile = &cache.tiles[tile_row * col_tiles + tile_col];
+            tile.accumulate_row_off(local_row, &mut accumulator);
+            let deltas = tile.row_deltas(local_row);
+            cache.delta[base..base + deltas.len()].copy_from_slice(deltas);
+            base += deltas.len();
+        }
+        cache.row_off_sums[row] = accumulator;
+    }
+
+    /// Brings the fabric cache up to the current state epoch: dirty tiles
+    /// are rebuilt and their global rows re-stitched; a full rebuild runs
+    /// when everything is stale (or nothing is cached yet).
+    fn ensure_cache(&self) {
+        if self.cache_epoch.get() == self.state_epoch.get() && self.cache.borrow().is_some() {
+            return;
+        }
         let mut slot = self.cache.borrow_mut();
-        let cache = slot.get_or_insert_with(|| {
-            let tile_caches: Vec<ConductanceCache> = self
-                .tiles
-                .iter()
-                .map(|tile| ConductanceCache::build(tile.rows, tile.columns, &tile.cells))
+        let mut dirty = self.dirty.borrow_mut();
+        let mut stats = self.stats.get();
+        let patched = match (slot.as_mut(), &mut *dirty) {
+            (Some(cache), GridDirty::Tiles(tiles)) => {
+                tiles.sort_unstable();
+                tiles.dedup();
+                let mut tile_rows: Vec<usize> = Vec::with_capacity(tiles.len());
+                for &tile_index in tiles.iter() {
+                    cache.tiles[tile_index] = self.build_tile_cache(tile_index);
+                    stats.tile_rebuilds += 1;
+                    stats.cells_recomputed += self.tiles[tile_index].cells.len() as u64;
+                    tile_rows.push(tile_index / self.plan.col_tiles());
+                }
+                tile_rows.sort_unstable();
+                tile_rows.dedup();
+                for &tile_row in &tile_rows {
+                    for row in self.plan.tile_row_range(tile_row).expect("in-grid tile") {
+                        self.restitch_row(cache, row);
+                    }
+                }
+                true
+            }
+            _ => false,
+        };
+        if !patched {
+            let tile_caches: Vec<ConductanceCache> = (0..self.tiles.len())
+                .map(|tile_index| self.build_tile_cache(tile_index))
                 .collect();
             // Fabric row off-sums accumulate across tile columns cell by
             // cell, in global column order — the same floating-point
@@ -366,14 +663,25 @@ impl TileGrid {
                 }
                 row_off_sums.push(accumulator);
             }
-            FabricCache {
+            *slot = Some(FabricCache {
                 tiles: tile_caches,
                 row_off_sums,
                 delta,
                 columns: layout.columns(),
-            }
-        });
-        reader(cache)
+            });
+            stats.full_rebuilds += 1;
+            stats.cells_recomputed += layout.cells() as u64;
+        }
+        self.stats.set(stats);
+        *dirty = GridDirty::Clean;
+        self.cache_epoch.set(self.state_epoch.get());
+    }
+
+    /// Runs `reader` against an up-to-date fabric cache.
+    fn with_cache<T>(&self, reader: impl FnOnce(&FabricCache) -> T) -> T {
+        self.ensure_cache();
+        let slot = self.cache.borrow();
+        reader(slot.as_ref().expect("cache ensured"))
     }
 
     fn tile_index_of(&self, row: usize, column: usize) -> Result<usize> {
@@ -396,15 +704,15 @@ impl TileGrid {
         Ok(&tile.cells[local])
     }
 
-    /// Mutably borrow a cell by its global coordinates; invalidates the
-    /// fabric caches up front.
+    /// Mutably borrow a cell by its global coordinates; marks the owning
+    /// tile stale up front, so the next read rebuilds only that tile.
     ///
     /// # Errors
     ///
     /// Returns [`CrossbarError::IndexOutOfBounds`] outside the layout.
     pub fn cell_mut(&mut self, row: usize, column: usize) -> Result<&mut Cell> {
         let tile_index = self.tile_index_of(row, column)?;
-        self.invalidate_cache();
+        self.mark_tile(tile_index);
         let shape = self.plan.shape();
         let tile = &mut self.tiles[tile_index];
         let local = tile.index(row % shape.rows, column % shape.columns);
@@ -430,8 +738,9 @@ impl TileGrid {
         mode: ProgrammingMode,
     ) -> Result<()> {
         let tile_index = self.tile_index_of(row, column)?;
-        self.invalidate_cache();
+        self.mark_tile(tile_index);
         let shape = self.plan.shape();
+        let clock = self.clock;
         let tile = &mut self.tiles[tile_index];
         let local_row = row % shape.rows;
         let local_col = column % shape.columns;
@@ -458,6 +767,7 @@ impl TileGrid {
         };
         tile.cells[local].set_programmed_level(level);
         tile.cells[local].reset_disturb();
+        tile.cells[local].set_programmed_at(clock);
         self.write_energy += self.programmer.write_energy(state.level)?;
         Ok(())
     }
@@ -502,12 +812,12 @@ impl TileGrid {
         Ok(())
     }
 
-    /// Applies Gaussian threshold-voltage variation to every occupied cell,
-    /// drawing offsets in global row-major order — the same RNG consumption
-    /// order as a monolithic array, so a shared seed produces identical
-    /// per-cell offsets.
+    /// Applies threshold-voltage variation to every occupied cell, drawing
+    /// offsets in global row-major order — the same RNG consumption order
+    /// as a monolithic array, so a shared seed produces identical per-cell
+    /// offsets.
     pub fn apply_variation<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
-        self.invalidate_cache();
+        self.mark_all();
         let layout = *self.plan.layout();
         let shape = self.plan.shape();
         let col_tiles = self.plan.col_tiles();
@@ -536,7 +846,8 @@ impl TileGrid {
     /// pattern, written into `out` (cleared first): fabric row off-sums plus
     /// the activated columns' deltas gathered from the fabric delta matrix
     /// through the committed 4-lane reduction. Bit-identical to a monolithic
-    /// array holding the same program.
+    /// array holding the same program and stack. Counts as one read of every
+    /// global wordline for the disturb model.
     ///
     /// # Errors
     ///
@@ -551,6 +862,9 @@ impl TileGrid {
         let rows = self.plan.layout().rows();
         out.clear();
         out.reserve(rows);
+        for row in 0..rows {
+            self.note_row_read(row);
+        }
         self.with_cache(|cache| {
             for row in 0..rows {
                 out.push(
@@ -565,13 +879,11 @@ impl TileGrid {
     /// Merged wordline currents of the whole fabric for a group of
     /// activation patterns, written into `out` (cleared first) read after
     /// read: `out[read * rows + row]` is the merged current of global `row`
-    /// under `activations[read]`. This is the grouped-read kernel of the
-    /// serving path: the fabric delta matrix and row off-sums are borrowed
-    /// **once** for the whole group, and every read runs the same committed
-    /// 4-lane gather as a standalone
-    /// [`TileGrid::wordline_currents_into`] call (no per-column tile
-    /// translation at all), so results stay bit-identical to sequential
-    /// reads.
+    /// under `activations[read]`. Without a read-disturb model the fabric
+    /// cache is borrowed **once** for the whole group; with one, each read
+    /// registers its wordline reads and re-checks the cache first, so a
+    /// mid-batch tier crossing is reflected exactly as it would be by
+    /// sequential [`TileGrid::wordline_currents_into`] calls.
     ///
     /// # Errors
     ///
@@ -589,16 +901,35 @@ impl TileGrid {
         let rows = self.plan.layout().rows();
         out.clear();
         out.reserve(rows * activations.len());
-        self.with_cache(|cache| {
-            for activation in activations {
+        if !self.stack.tracks_reads() {
+            self.with_cache(|cache| {
+                for activation in activations {
+                    for row in 0..rows {
+                        out.push(
+                            cache.row_off_sums[row]
+                                + lane_delta_sum(
+                                    cache.row_deltas(row),
+                                    activation.active_columns(),
+                                ),
+                        );
+                    }
+                }
+            });
+            return Ok(());
+        }
+        for activation in activations {
+            for row in 0..rows {
+                self.note_row_read(row);
+            }
+            self.with_cache(|cache| {
                 for row in 0..rows {
                     out.push(
                         cache.row_off_sums[row]
                             + lane_delta_sum(cache.row_deltas(row), activation.active_columns()),
                     );
                 }
-            }
-        });
+            });
+        }
         Ok(())
     }
 
@@ -619,7 +950,8 @@ impl TileGrid {
     /// off-sums plus the deltas of the activated columns that fall inside
     /// the tile. Summing a tile row's partials across its tile columns
     /// reconstructs the merged currents up to floating-point reassociation;
-    /// the merged path above avoids even that.
+    /// the merged path above avoids even that. Does not count as wordline
+    /// reads (it is a diagnostic sub-read of the same cycle).
     ///
     /// # Errors
     ///
@@ -674,10 +1006,12 @@ impl TileGrid {
             .count())
     }
 
-    /// Uncached merged read: evaluates the FeFET I-V model of every occupied
-    /// cell on every call, accumulating in the exact same order as the
-    /// cached fabric path (and as a monolithic array). This is the reference
-    /// oracle for the fabric equivalence property tests.
+    /// Uncached merged read: evaluates the FeFET I-V model — with the
+    /// configured non-ideality stack — of every occupied cell on every
+    /// call, accumulating in the exact same order as the cached fabric path
+    /// (and as a monolithic array). This is the reference oracle for the
+    /// fabric equivalence property tests; it does **not** register wordline
+    /// reads.
     ///
     /// # Errors
     ///
@@ -691,13 +1025,160 @@ impl TileGrid {
             let mut current = 0.0;
             deltas.clear();
             for column in 0..layout.columns() {
-                let cell = self.cell(row, column)?;
-                current += cell.read_current_off();
-                deltas.push(cell.read_current_on() - cell.read_current_off());
+                let (on, off) = self.evaluate_cell(row, column);
+                current += off;
+                deltas.push(on - off);
             }
             currents.push(current + lane_delta_sum(&deltas, activation.active_columns()));
         }
         Ok(currents)
+    }
+
+    /// Effective threshold error of one programmed cell (see
+    /// [`CrossbarArray::recalibrate`](crate::CrossbarArray::recalibrate)).
+    fn effective_shift(
+        &self,
+        row: usize,
+        column: usize,
+        target: &ProgrammedState,
+        window: f64,
+    ) -> f64 {
+        let cell = self.cell(row, column).expect("in-range indices");
+        let ctx = self.cell_context(row, column, cell);
+        let pol_error =
+            (target.polarization.value() - cell.device().polarization().value()) * window;
+        self.stack.vth_shift(&ctx) + pol_error
+    }
+
+    fn level_state<'a>(
+        programmer: &LevelProgrammer,
+        states: &'a mut Vec<Option<ProgrammedState>>,
+        level: usize,
+    ) -> Result<&'a ProgrammedState> {
+        if level >= states.len() {
+            states.resize(level + 1, None);
+        }
+        if states[level].is_none() {
+            states[level] = Some(programmer.state_for_level(level)?);
+        }
+        Ok(states[level].as_ref().expect("just filled"))
+    }
+
+    /// The largest effective threshold error (volts) over all programmed
+    /// cells of the fabric.
+    pub fn worst_effective_shift(&self) -> f64 {
+        let layout = *self.plan.layout();
+        let window = self.programmer.params().vth_window();
+        let mut states: Vec<Option<ProgrammedState>> = Vec::new();
+        let mut worst = 0.0f64;
+        for row in 0..layout.rows() {
+            for column in 0..layout.columns() {
+                let Some(level) = self
+                    .cell(row, column)
+                    .expect("in-range indices")
+                    .programmed_level()
+                else {
+                    continue;
+                };
+                let target = Self::level_state(&self.programmer, &mut states, level)
+                    .expect("programmed level was validated at program time")
+                    .clone();
+                worst = worst.max(self.effective_shift(row, column, &target, window).abs());
+            }
+        }
+        worst
+    }
+
+    /// One recalibration pass over the whole fabric: the tile-granular
+    /// analogue of
+    /// [`CrossbarArray::recalibrate`](crate::CrossbarArray::recalibrate).
+    /// Global wordlines holding an out-of-tolerance programmed cell are
+    /// rewritten whole; refreshed rows restart their retention age, disturb
+    /// counters and read counters, and only the touched tiles go stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] for a non-positive or non-finite
+    /// tolerance, and propagates programming errors.
+    pub fn recalibrate(
+        &mut self,
+        max_vth_shift: f64,
+        mode: ProgrammingMode,
+    ) -> Result<RefreshOutcome> {
+        if !max_vth_shift.is_finite() || max_vth_shift <= 0.0 {
+            return Err(CrossbarError::Device(DeviceError::InvalidParameter {
+                name: "max_vth_shift",
+                reason: "recalibration tolerance must be positive and finite".to_string(),
+            }));
+        }
+        let layout = *self.plan.layout();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        let window = self.programmer.params().vth_window();
+        let energy_per_pulse = self.programmer.params().write_energy_per_pulse;
+        let mut states: Vec<Option<ProgrammedState>> = Vec::new();
+        let mut outcome = RefreshOutcome::default();
+        for row in 0..layout.rows() {
+            let mut refresh_row = false;
+            for column in 0..layout.columns() {
+                let Some(level) = self
+                    .cell(row, column)
+                    .expect("in-range indices")
+                    .programmed_level()
+                else {
+                    continue;
+                };
+                outcome.cells_checked += 1;
+                let target = Self::level_state(&self.programmer, &mut states, level)?.clone();
+                if self.effective_shift(row, column, &target, window).abs() > max_vth_shift {
+                    refresh_row = true;
+                    break;
+                }
+            }
+            if !refresh_row {
+                continue;
+            }
+            outcome.rows_refreshed += 1;
+            let clock = self.clock;
+            let tile_row = row / shape.rows;
+            let local_row = row % shape.rows;
+            for column in 0..layout.columns() {
+                let tile_index = tile_row * col_tiles + column / shape.columns;
+                let local = self.tiles[tile_index].index(local_row, column % shape.columns);
+                let Some(level) = self.tiles[tile_index].cells[local].programmed_level() else {
+                    continue;
+                };
+                let pulses = match mode {
+                    ProgrammingMode::Ideal => {
+                        let target =
+                            Self::level_state(&self.programmer, &mut states, level)?.clone();
+                        self.tiles[tile_index].cells[local]
+                            .device_mut()
+                            .set_polarization(target.polarization);
+                        u64::from(target.write_config.pulse_count) + 1
+                    }
+                    ProgrammingMode::PulseTrain => u64::from(self.programmer.refresh_with_pulses(
+                        self.tiles[tile_index].cells[local].device_mut(),
+                        level,
+                    )?),
+                };
+                outcome.cells_refreshed += 1;
+                outcome.pulses_applied += pulses;
+                let energy = energy_per_pulse * pulses as f64;
+                outcome.energy_joules += energy;
+                self.write_energy += energy;
+                self.tiles[tile_index].cells[local].set_programmed_at(clock);
+                self.tiles[tile_index].cells[local].reset_disturb();
+            }
+            self.row_reads.reset_row(row);
+            for tile_col in 0..col_tiles {
+                self.dirty
+                    .get_mut()
+                    .mark_tile(tile_row * col_tiles + tile_col, self.plan.tile_count());
+            }
+            self.bump_epoch();
+        }
+        Ok(outcome)
     }
 
     /// The programmed level of every occupied cell as a global matrix.
@@ -741,6 +1222,7 @@ impl TileGrid {
 mod tests {
     use super::*;
     use crate::array::CrossbarArray;
+    use febim_device::{ReadDisturb, RetentionDrift, WireResistance};
 
     fn plan_2x2() -> TilePlan {
         // 3 events × (4 nodes × 4 levels) = 3×16 layout on 2×9 tiles
@@ -749,17 +1231,45 @@ mod tests {
         TilePlan::new(layout, TileShape::new(2, 9).unwrap()).unwrap()
     }
 
-    fn grid_and_array() -> (TileGrid, CrossbarArray) {
-        let plan = plan_2x2();
-        let programmer = LevelProgrammer::febim_default(10).unwrap();
-        let mut grid = TileGrid::new(plan, programmer.clone());
-        let mut array = CrossbarArray::new(*plan.layout(), programmer);
-        let mut levels = vec![vec![None; plan.layout().columns()]; plan.layout().rows()];
+    fn checker_levels(layout: &CrossbarLayout) -> Vec<Vec<Option<usize>>> {
+        let mut levels = vec![vec![None; layout.columns()]; layout.rows()];
         for (row, row_levels) in levels.iter_mut().enumerate() {
             for (column, level) in row_levels.iter_mut().enumerate() {
                 *level = Some((3 * row + column) % 10);
             }
         }
+        levels
+    }
+
+    fn grid_and_array() -> (TileGrid, CrossbarArray) {
+        let plan = plan_2x2();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut grid = TileGrid::new(plan, programmer.clone());
+        let mut array = CrossbarArray::new(*plan.layout(), programmer);
+        let levels = checker_levels(plan.layout());
+        grid.program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        (grid, array)
+    }
+
+    fn noisy_stack() -> NonIdealityStack {
+        NonIdealityStack::ideal()
+            .with_wire(WireResistance::uniform(40.0))
+            .with_drift(RetentionDrift::new(0.004, 100))
+            .with_disturb(ReadDisturb::new(7, 0.001))
+    }
+
+    fn noisy_grid_and_array() -> (TileGrid, CrossbarArray) {
+        let plan = plan_2x2();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut grid =
+            TileGrid::with_non_idealities(plan, programmer.clone(), noisy_stack()).unwrap();
+        let mut array =
+            CrossbarArray::with_non_idealities(*plan.layout(), programmer, noisy_stack()).unwrap();
+        let levels = checker_levels(plan.layout());
         grid.program_matrix(&levels, ProgrammingMode::Ideal)
             .unwrap();
         array
@@ -827,6 +1337,25 @@ mod tests {
             grid.wordline_currents(&all).unwrap(),
             grid.wordline_currents_reference(&all).unwrap()
         );
+    }
+
+    #[test]
+    fn noisy_fabric_reads_match_monolithic_bit_for_bit() {
+        let (mut grid, mut array) = noisy_grid_and_array();
+        let layout = *grid.layout();
+        grid.advance_time(12_345);
+        array.advance_time(12_345);
+        let all = Activation::all_columns(&layout);
+        // Many reads: drift is frozen in time but read-disturb tiers keep
+        // crossing; the fabric and the monolithic array must agree on every
+        // single read (their global read counters advance in lockstep).
+        for _ in 0..30 {
+            let tiled = grid.wordline_currents(&all).unwrap();
+            let monolithic = array.wordline_currents(&all).unwrap();
+            assert_eq!(tiled, monolithic);
+            assert_eq!(tiled, grid.wordline_currents_reference(&all).unwrap());
+        }
+        assert_eq!(grid.row_reads(0).unwrap(), array.row_reads(0).unwrap());
     }
 
     #[test]
@@ -915,6 +1444,33 @@ mod tests {
     }
 
     #[test]
+    fn batched_reads_match_sequential_under_disturb() {
+        let (grid, _) = noisy_grid_and_array();
+        let (sequential, _) = noisy_grid_and_array();
+        let layout = *grid.layout();
+        let activations: Vec<Activation> = (0..20)
+            .map(|i| {
+                Activation::from_observation(&layout, &[i % 4, (i + 1) % 4, (i + 2) % 4, i % 4])
+                    .unwrap()
+            })
+            .collect();
+        let mut batch_out = Vec::new();
+        grid.wordline_currents_batch_into(&activations, &mut batch_out)
+            .unwrap();
+        let mut seq_out = Vec::new();
+        let mut scratch = Vec::new();
+        for activation in &activations {
+            sequential
+                .wordline_currents_into(activation, &mut scratch)
+                .unwrap();
+            seq_out.extend_from_slice(&scratch);
+        }
+        // 20 reads over 7-read tiers: tier crossings inside the batch.
+        assert_eq!(batch_out, seq_out);
+        assert_eq!(grid.row_reads(0).unwrap(), 20);
+    }
+
+    #[test]
     fn cell_access_and_mutation_track_the_cache() {
         let (mut grid, _) = grid_and_array();
         let activation = Activation::all_columns(grid.layout());
@@ -931,6 +1487,34 @@ mod tests {
         );
         assert!(grid.cell(3, 0).is_err());
         assert!(grid.cell_mut(0, 99).is_err());
+    }
+
+    #[test]
+    fn single_cell_mutation_rebuilds_a_single_tile() {
+        let (mut grid, _) = grid_and_array();
+        let activation = Activation::all_columns(grid.layout());
+        grid.wordline_currents(&activation).unwrap(); // warm: one full build
+        let before = grid.rebuild_stats();
+        assert_eq!(before.full_rebuilds, 1);
+
+        // (2, 10) lives in tile (1, 1), a 1×7 edge tile.
+        grid.cell_mut(2, 10)
+            .unwrap()
+            .device_mut()
+            .set_vth_offset(0.05);
+        grid.wordline_currents(&activation).unwrap();
+        let after = grid.rebuild_stats();
+        assert_eq!(after.full_rebuilds, 1, "no second full rebuild");
+        assert_eq!(after.tile_rebuilds, before.tile_rebuilds + 1);
+        assert_eq!(
+            after.cells_recomputed,
+            before.cells_recomputed + 7,
+            "only the 1x7 edge tile re-evaluated"
+        );
+        assert_eq!(
+            grid.wordline_currents(&activation).unwrap(),
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
     }
 
     #[test]
@@ -966,6 +1550,37 @@ mod tests {
         assert!(grid.cell(1, 0).unwrap().disturb_pulses() > 0);
         assert_eq!(grid.cell(2, 0).unwrap().disturb_pulses(), 0);
         assert_eq!(grid.cell(0, 0).unwrap().disturb_pulses(), 0);
+    }
+
+    #[test]
+    fn tiled_recalibration_restores_drifted_currents() {
+        let plan = plan_2x2();
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let stack = NonIdealityStack::ideal().with_drift(RetentionDrift::new(0.012, 100));
+        let mut grid = TileGrid::with_non_idealities(plan, programmer, stack).unwrap();
+        let levels = checker_levels(plan.layout());
+        grid.program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        let activation = Activation::all_columns(grid.layout());
+        let fresh = grid.wordline_currents(&activation).unwrap();
+
+        grid.advance_time(100_000);
+        let aged = grid.wordline_currents(&activation).unwrap();
+        assert_ne!(aged, fresh);
+        assert!(grid.worst_effective_shift() > 0.01);
+
+        let outcome = grid.recalibrate(0.005, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(outcome.rows_refreshed as usize, grid.layout().rows());
+        assert_eq!(outcome.cells_refreshed as usize, grid.layout().cells());
+        assert!(outcome.energy_joules > 0.0);
+        let restored = grid.wordline_currents(&activation).unwrap();
+        assert_eq!(restored, fresh, "refresh restores the fresh read bitwise");
+        assert!(grid.worst_effective_shift() < 1e-12);
+        assert_eq!(
+            restored,
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
+        assert!(grid.recalibrate(0.0, ProgrammingMode::Ideal).is_err());
     }
 
     #[test]

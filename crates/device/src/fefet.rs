@@ -93,9 +93,20 @@ impl FeFet {
     /// which reduces to the square law `k (vg - vth)²` far above threshold and
     /// to an exponential subthreshold current below threshold.
     pub fn ids(&self, vg: f64) -> f64 {
+        self.ids_with_vth_shift(vg, 0.0)
+    }
+
+    /// Drain-source current with an additional threshold-voltage shift, in
+    /// amperes.
+    ///
+    /// The shift is added on top of the polarization-derived threshold and
+    /// the static variation offset; time-varying non-ideality models
+    /// (retention drift, read disturb) evaluate the device through this
+    /// entry point. A zero shift is bit-identical to [`FeFet::ids`].
+    pub fn ids_with_vth_shift(&self, vg: f64, vth_shift: f64) -> f64 {
         let p = &self.params;
         let slope = p.thermal_slope();
-        let overdrive = (vg - self.vth()) / slope;
+        let overdrive = (vg - (self.vth() + vth_shift)) / slope;
         // Numerically stable softplus.
         let softplus = if overdrive > 30.0 {
             overdrive
@@ -114,6 +125,18 @@ impl FeFet {
     /// Leakage current with the inhibit voltage `V_off` applied to the gate.
     pub fn read_current_off(&self) -> f64 {
         self.ids(self.params.v_off)
+    }
+
+    /// Read current at `V_on` under an additional threshold shift (see
+    /// [`FeFet::ids_with_vth_shift`]).
+    pub fn read_current_on_shifted(&self, vth_shift: f64) -> f64 {
+        self.ids_with_vth_shift(self.params.v_on, vth_shift)
+    }
+
+    /// Leakage current at `V_off` under an additional threshold shift (see
+    /// [`FeFet::ids_with_vth_shift`]).
+    pub fn read_current_off_shifted(&self, vth_shift: f64) -> f64 {
+        self.ids_with_vth_shift(self.params.v_off, vth_shift)
     }
 
     /// Applies one gate pulse through the Preisach switching model.
@@ -263,6 +286,20 @@ mod tests {
         d.apply_pulse_train(Pulse::nominal_write(d.params()), 50);
         d.erase();
         assert_eq!(d.polarization(), Polarization::ERASED);
+    }
+
+    #[test]
+    fn zero_shift_is_bit_identical() {
+        let params = FeFetParams::febim_calibrated();
+        let d = FeFet::with_polarization(params, Polarization::new(0.6));
+        for vg in [-0.5, 0.0, 0.5, 1.2] {
+            assert_eq!(d.ids(vg), d.ids_with_vth_shift(vg, 0.0));
+        }
+        assert_eq!(d.read_current_on(), d.read_current_on_shifted(0.0));
+        assert_eq!(d.read_current_off(), d.read_current_off_shifted(0.0));
+        // A positive shift lowers the read current like raising V_TH does.
+        assert!(d.read_current_on_shifted(0.05) < d.read_current_on());
+        assert!(d.read_current_on_shifted(-0.05) > d.read_current_on());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod energy;
 pub mod errors;
 pub mod fefet;
 pub mod iv;
+pub mod nonideality;
 pub mod params;
 pub mod preisach;
 pub mod programming;
@@ -51,15 +52,19 @@ pub use energy::EnergyBreakdown;
 pub use errors::{DeviceError, Result};
 pub use fefet::FeFet;
 pub use iv::{multilevel_iv_curves, IvCurve, IvPoint, SweepConfig};
+pub use nonideality::{
+    CellContext, NonIdeality, NonIdealityStack, ReadDisturb, RetentionDrift, WireResistance,
+};
 pub use params::FeFetParams;
 pub use preisach::{Polarization, PreisachModel, Pulse};
 pub use programming::{LevelProgrammer, ProgrammedState, WriteConfig};
-pub use variation::{standard_normal, VariationModel};
+pub use variation::{standard_normal, VariationModel, VthDistribution};
 
 #[cfg(test)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use rand::Rng;
 
     proptest! {
         /// Polarization never leaves the physical range whatever pulse is applied.
@@ -126,6 +131,50 @@ mod proptests {
             // 8 sigma bound: astronomically unlikely to fail for a correct
             // Gaussian sampler.
             prop_assert!(sample.abs() < 8.0 * model.sigma_vth);
+        }
+
+        /// Zero-sigma variation of either family is byte-identical to having
+        /// no variation model at all: every offset is exactly 0.0 and the RNG
+        /// stream is left untouched.
+        #[test]
+        fn ideal_variation_is_byte_identical(
+            seed in 0u64..1000,
+            shape in 1e-6f64..2.0,
+            draws in 1usize..32,
+        ) {
+            for model in [VariationModel::ideal(), VariationModel::lognormal(0.0, shape)] {
+                let mut sampled = VariationModel::seeded_rng(seed);
+                let mut untouched = VariationModel::seeded_rng(seed);
+                for _ in 0..draws {
+                    let offset = model.sample_offset(&mut sampled);
+                    prop_assert_eq!(offset.to_bits(), 0.0f64.to_bits());
+                }
+                prop_assert_eq!(sampled.gen::<u64>(), untouched.gen::<u64>());
+            }
+        }
+
+        /// The ideal non-ideality stack is inert for any cell context: zero
+        /// threshold shift and a unit current factor, bitwise.
+        #[test]
+        fn ideal_stack_is_inert(
+            row in 0usize..64,
+            column in 0usize..64,
+            age in 0u64..1_000_000,
+            reads in 0u64..1_000_000,
+            current in 1e-9f64..1e-5,
+        ) {
+            let stack = NonIdealityStack::ideal();
+            let ctx = CellContext {
+                row,
+                column,
+                rows: 64,
+                columns: 64,
+                age_ticks: age,
+                disturb_pulses: reads / 7,
+                row_reads: reads,
+            };
+            prop_assert_eq!(stack.vth_shift(&ctx).to_bits(), 0.0f64.to_bits());
+            prop_assert_eq!(stack.current_factor(&ctx, current, 0.1).to_bits(), 1.0f64.to_bits());
         }
     }
 }

@@ -1,0 +1,508 @@
+//! Composable time-varying non-ideality models for FeFET crossbar reads.
+//!
+//! Real arrays do not read the conductances they were programmed with: wire
+//! resistance along word/bitlines attenuates far cells (IR-drop), retention
+//! loss shifts the threshold voltage as the ferroelectric polarization
+//! relaxes over time, and repeated read stress on a wordline accumulates a
+//! small disturb shift. Each effect is one [`NonIdeality`] implementation;
+//! [`NonIdealityStack`] composes them into the single evaluation point the
+//! crossbar crate threads through both its cached read kernel and its
+//! uncached reference oracle, so the two stay bit-identical under every
+//! configuration.
+//!
+//! All models are **deterministic functions of the cell's situation**
+//! ([`CellContext`]): position in the array, ticks since the cell was last
+//! programmed, absorbed half-bias disturb pulses and wordline read count.
+//! Randomness stays in [`crate::VariationModel`] (static device-to-device
+//! variation sampled once at programming time); the time-varying stack is
+//! replayable, which is what makes epoch-versioned conductance caching
+//! possible at all.
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::{DeviceError, Result};
+
+/// Read-time situation of one crossbar cell, consumed by
+/// [`NonIdeality`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellContext {
+    /// Wordline index of the cell.
+    pub row: usize,
+    /// Bitline index of the cell.
+    pub column: usize,
+    /// Total wordlines of the (sub-)array the cell lives in.
+    pub rows: usize,
+    /// Total bitlines of the (sub-)array the cell lives in.
+    pub columns: usize,
+    /// Ticks elapsed since the cell was last programmed (retention age).
+    pub age_ticks: u64,
+    /// Half-bias write-disturb pulses absorbed since the last program.
+    pub disturb_pulses: u64,
+    /// Reads issued on the cell's wordline since its last refresh.
+    pub row_reads: u64,
+}
+
+/// One pluggable non-ideality: a deterministic threshold-voltage shift
+/// and/or a multiplicative current attenuation for a cell in a given
+/// situation.
+///
+/// Implementations must return exactly `0.0` / `1.0` when the effect is
+/// inactive so the ideal configuration stays bit-identical to the
+/// no-non-ideality code path (`vth + 0.0` and `i * 1.0` are exact).
+pub trait NonIdeality {
+    /// Short human-readable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Additive threshold-voltage shift in volts for the cell.
+    fn vth_shift(&self, _ctx: &CellContext) -> f64 {
+        0.0
+    }
+
+    /// Multiplicative attenuation of the cell's read current.
+    ///
+    /// `unattenuated_amps` is the current the cell would source without this
+    /// effect and `v_drain` the read drain bias, so position-dependent
+    /// IR-drop models can form the voltage-divider ratio.
+    fn current_factor(&self, _ctx: &CellContext, _unattenuated_amps: f64, _v_drain: f64) -> f64 {
+        1.0
+    }
+}
+
+/// Word/bitline wire resistance: per-position IR-drop along the array lines.
+///
+/// The read current of a cell at `(row, column)` flows through
+/// `row + 1` bitline segments and `column + 1` wordline segments of metal
+/// before reaching the sense node. To first order the series resistance `R`
+/// forms a divider with the cell's own operating point, attenuating the
+/// unattenuated current `I0` to `I0 / (1 + (I0 / V_drain) · R)` — far
+/// corners of a large array lose the most current, exactly the
+/// line-resistance effect modelled by explicit memristor crossbar engines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireResistance {
+    /// Wordline metal resistance per cell pitch, in ohms.
+    pub wordline_ohm_per_cell: f64,
+    /// Bitline metal resistance per cell pitch, in ohms.
+    pub bitline_ohm_per_cell: f64,
+}
+
+impl WireResistance {
+    /// Creates a wire-resistance model; negative resistances clamp to zero.
+    pub fn new(wordline_ohm_per_cell: f64, bitline_ohm_per_cell: f64) -> Self {
+        Self {
+            wordline_ohm_per_cell: wordline_ohm_per_cell.max(0.0),
+            bitline_ohm_per_cell: bitline_ohm_per_cell.max(0.0),
+        }
+    }
+
+    /// Symmetric model with the same per-cell resistance on both lines.
+    pub fn uniform(ohm_per_cell: f64) -> Self {
+        Self::new(ohm_per_cell, ohm_per_cell)
+    }
+
+    /// Series metal resistance seen by the cell at `(ctx.row, ctx.column)`.
+    pub fn series_resistance(&self, ctx: &CellContext) -> f64 {
+        self.bitline_ohm_per_cell * (ctx.row + 1) as f64
+            + self.wordline_ohm_per_cell * (ctx.column + 1) as f64
+    }
+}
+
+impl NonIdeality for WireResistance {
+    fn name(&self) -> &'static str {
+        "wire-resistance"
+    }
+
+    fn current_factor(&self, ctx: &CellContext, unattenuated_amps: f64, v_drain: f64) -> f64 {
+        let resistance = self.series_resistance(ctx);
+        if resistance == 0.0 || v_drain <= 0.0 || unattenuated_amps <= 0.0 {
+            return 1.0;
+        }
+        1.0 / (1.0 + (unattenuated_amps / v_drain) * resistance)
+    }
+}
+
+/// Retention drift: the programmed polarization relaxes over time, raising
+/// the effective threshold voltage logarithmically in the cell's age — the
+/// classic `ΔV_TH ∝ log(t)` retention trace of ferroelectric memories.
+///
+/// The shift scales with how many decades of `time_scale_ticks` have passed
+/// since the cell was programmed; a freshly refreshed cell (age 0) is
+/// exactly unshifted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionDrift {
+    /// Threshold shift per decade of elapsed time, in volts.
+    pub volts_per_decade: f64,
+    /// Ticks that make up the first decade of the drift law.
+    pub time_scale_ticks: u64,
+}
+
+impl RetentionDrift {
+    /// Creates a drift model; the rate clamps to zero and the time scale to
+    /// at least one tick.
+    pub fn new(volts_per_decade: f64, time_scale_ticks: u64) -> Self {
+        Self {
+            volts_per_decade: volts_per_decade.max(0.0),
+            time_scale_ticks: time_scale_ticks.max(1),
+        }
+    }
+}
+
+impl NonIdeality for RetentionDrift {
+    fn name(&self) -> &'static str {
+        "retention-drift"
+    }
+
+    fn vth_shift(&self, ctx: &CellContext) -> f64 {
+        if ctx.age_ticks == 0 || self.volts_per_decade == 0.0 {
+            return 0.0;
+        }
+        let decades = (1.0 + ctx.age_ticks as f64 / self.time_scale_ticks as f64).log10();
+        self.volts_per_decade * decades
+    }
+}
+
+/// Read-disturb accumulation: every read applies `V_on` gate stress to the
+/// activated wordline, and over many reads the stress shifts the cells'
+/// threshold voltage.
+///
+/// The shift is **tier-quantized**: it only changes when the wordline's
+/// read count crosses a multiple of `reads_per_tier`. Between crossings the
+/// shift is constant, which is what lets the epoch-versioned conductance
+/// cache stay coherent — a read bumps the cache epoch only at a tier
+/// boundary instead of on every single read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadDisturb {
+    /// Reads per disturb tier (cache epoch granularity).
+    pub reads_per_tier: u64,
+    /// Threshold shift added per completed tier, in volts.
+    pub volts_per_tier: f64,
+}
+
+impl ReadDisturb {
+    /// Creates a read-disturb model; the tier size clamps to at least one
+    /// read and the shift to zero.
+    pub fn new(reads_per_tier: u64, volts_per_tier: f64) -> Self {
+        Self {
+            reads_per_tier: reads_per_tier.max(1),
+            volts_per_tier: volts_per_tier.max(0.0),
+        }
+    }
+
+    /// The disturb tier a read count falls into.
+    pub fn tier(&self, row_reads: u64) -> u64 {
+        row_reads / self.reads_per_tier
+    }
+}
+
+impl NonIdeality for ReadDisturb {
+    fn name(&self) -> &'static str {
+        "read-disturb"
+    }
+
+    fn vth_shift(&self, ctx: &CellContext) -> f64 {
+        if self.volts_per_tier == 0.0 {
+            return 0.0;
+        }
+        self.tier(ctx.row_reads) as f64 * self.volts_per_tier
+    }
+}
+
+/// The composed non-ideality configuration of one array.
+///
+/// A concrete struct of optional models (rather than trait objects) so the
+/// stack stays `Clone + PartialEq + Serialize` and the crossbar crate can
+/// embed it directly in array state. Effects apply in a fixed order: all
+/// threshold shifts sum, then all current factors multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NonIdealityStack {
+    /// Word/bitline IR-drop, if modelled.
+    pub wire: Option<WireResistance>,
+    /// Retention drift vs. elapsed ticks, if modelled.
+    pub drift: Option<RetentionDrift>,
+    /// Read-disturb accumulation per wordline read, if modelled.
+    pub disturb: Option<ReadDisturb>,
+}
+
+impl NonIdealityStack {
+    /// The empty stack: every read is ideal.
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// Adds a wire-resistance model.
+    pub fn with_wire(mut self, wire: WireResistance) -> Self {
+        self.wire = Some(wire);
+        self
+    }
+
+    /// Adds a retention-drift model.
+    pub fn with_drift(mut self, drift: RetentionDrift) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Adds a read-disturb model.
+    pub fn with_disturb(mut self, disturb: ReadDisturb) -> Self {
+        self.disturb = Some(disturb);
+        self
+    }
+
+    /// Whether no non-ideality is configured (the fast-path guarantee: an
+    /// ideal stack never perturbs a read).
+    pub fn is_ideal(&self) -> bool {
+        self.wire.is_none() && self.drift.is_none() && self.disturb.is_none()
+    }
+
+    /// Whether any configured effect depends on elapsed time.
+    pub fn is_time_varying(&self) -> bool {
+        self.drift.is_some()
+    }
+
+    /// Whether any configured effect depends on the wordline read count.
+    pub fn tracks_reads(&self) -> bool {
+        self.disturb.is_some()
+    }
+
+    /// The disturb tier of a wordline read count (0 when read disturb is not
+    /// modelled). Cache epochs advance when this value changes.
+    pub fn read_tier(&self, row_reads: u64) -> u64 {
+        self.disturb
+            .as_ref()
+            .map_or(0, |disturb| disturb.tier(row_reads))
+    }
+
+    /// Summed threshold-voltage shift of every configured effect, in volts.
+    pub fn vth_shift(&self, ctx: &CellContext) -> f64 {
+        let mut shift = 0.0;
+        if let Some(drift) = &self.drift {
+            shift += drift.vth_shift(ctx);
+        }
+        if let Some(disturb) = &self.disturb {
+            shift += disturb.vth_shift(ctx);
+        }
+        shift
+    }
+
+    /// Product of every configured effect's current attenuation.
+    pub fn current_factor(&self, ctx: &CellContext, unattenuated_amps: f64, v_drain: f64) -> f64 {
+        match &self.wire {
+            Some(wire) => wire.current_factor(ctx, unattenuated_amps, v_drain),
+            None => 1.0,
+        }
+    }
+
+    /// Validates the physical consistency of the configured models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-finite resistances,
+    /// drift rates or tier shifts.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(wire) = &self.wire {
+            if !wire.wordline_ohm_per_cell.is_finite() || !wire.bitline_ohm_per_cell.is_finite() {
+                return Err(DeviceError::InvalidParameter {
+                    name: "wire_resistance",
+                    reason: "per-cell line resistances must be finite".to_string(),
+                });
+            }
+            if wire.wordline_ohm_per_cell < 0.0 || wire.bitline_ohm_per_cell < 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "wire_resistance",
+                    reason: "per-cell line resistances cannot be negative".to_string(),
+                });
+            }
+        }
+        if let Some(drift) = &self.drift {
+            if !drift.volts_per_decade.is_finite() || drift.volts_per_decade < 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "retention_drift",
+                    reason: "drift rate must be finite and non-negative".to_string(),
+                });
+            }
+            if drift.time_scale_ticks == 0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "retention_drift",
+                    reason: "time scale must be at least one tick".to_string(),
+                });
+            }
+        }
+        if let Some(disturb) = &self.disturb {
+            if !disturb.volts_per_tier.is_finite() || disturb.volts_per_tier < 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "read_disturb",
+                    reason: "tier shift must be finite and non-negative".to_string(),
+                });
+            }
+            if disturb.reads_per_tier == 0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "read_disturb",
+                    reason: "tier size must be at least one read".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(row: usize, column: usize) -> CellContext {
+        CellContext {
+            row,
+            column,
+            rows: 4,
+            columns: 8,
+            age_ticks: 0,
+            disturb_pulses: 0,
+            row_reads: 0,
+        }
+    }
+
+    #[test]
+    fn ideal_stack_is_exactly_inert() {
+        let stack = NonIdealityStack::ideal();
+        assert!(stack.is_ideal());
+        assert!(!stack.is_time_varying());
+        assert!(!stack.tracks_reads());
+        let context = ctx(3, 7);
+        assert_eq!(stack.vth_shift(&context), 0.0);
+        assert_eq!(stack.current_factor(&context, 1e-6, 0.1), 1.0);
+        assert_eq!(stack.read_tier(1_000_000), 0);
+        stack.validate().unwrap();
+    }
+
+    #[test]
+    fn wire_resistance_attenuates_far_corners_more() {
+        let wire = WireResistance::uniform(50.0);
+        let near = wire.current_factor(&ctx(0, 0), 1e-6, 0.1);
+        let far = wire.current_factor(&ctx(3, 7), 1e-6, 0.1);
+        assert!(near < 1.0);
+        assert!(far < near);
+        // Zero current or zero resistance is exactly unattenuated.
+        assert_eq!(wire.current_factor(&ctx(3, 7), 0.0, 0.1), 1.0);
+        assert_eq!(
+            WireResistance::uniform(0.0).current_factor(&ctx(3, 7), 1e-6, 0.1),
+            1.0
+        );
+    }
+
+    #[test]
+    fn wire_resistance_scales_with_current() {
+        // A stronger cell loses a larger fraction: the divider is nonlinear.
+        let wire = WireResistance::uniform(100.0);
+        let weak = wire.current_factor(&ctx(1, 1), 0.1e-6, 0.1);
+        let strong = wire.current_factor(&ctx(1, 1), 1.0e-6, 0.1);
+        assert!(strong < weak);
+    }
+
+    #[test]
+    fn drift_grows_logarithmically_with_age() {
+        let drift = RetentionDrift::new(0.010, 1_000);
+        let mut context = ctx(0, 0);
+        assert_eq!(drift.vth_shift(&context), 0.0);
+        context.age_ticks = 1_000;
+        let one_decade = drift.vth_shift(&context);
+        context.age_ticks = 10_000;
+        let two_decades = drift.vth_shift(&context);
+        assert!(one_decade > 0.0);
+        assert!(two_decades > one_decade);
+        // log10(1 + 10) / log10(1 + 1) is about 3.46; a linear law would
+        // grow the shift tenfold per decade.
+        assert!(two_decades < 4.0 * one_decade, "log law, not linear");
+    }
+
+    #[test]
+    fn read_disturb_is_tier_quantized() {
+        let disturb = ReadDisturb::new(100, 0.002);
+        let mut context = ctx(0, 0);
+        context.row_reads = 99;
+        assert_eq!(disturb.vth_shift(&context), 0.0);
+        context.row_reads = 100;
+        assert_eq!(disturb.vth_shift(&context), 0.002);
+        context.row_reads = 199;
+        assert_eq!(disturb.vth_shift(&context), 0.002);
+        context.row_reads = 250;
+        assert_eq!(disturb.vth_shift(&context), 2.0 * 0.002);
+        assert_eq!(disturb.tier(250), 2);
+    }
+
+    #[test]
+    fn stack_composes_shifts_and_factors() {
+        let stack = NonIdealityStack::ideal()
+            .with_wire(WireResistance::uniform(25.0))
+            .with_drift(RetentionDrift::new(0.005, 100))
+            .with_disturb(ReadDisturb::new(10, 0.001));
+        assert!(!stack.is_ideal());
+        assert!(stack.is_time_varying());
+        assert!(stack.tracks_reads());
+        let mut context = ctx(1, 2);
+        context.age_ticks = 100;
+        context.row_reads = 25;
+        let shift = stack.vth_shift(&context);
+        let drift_only = RetentionDrift::new(0.005, 100).vth_shift(&context);
+        let disturb_only = ReadDisturb::new(10, 0.001).vth_shift(&context);
+        assert_eq!(shift, drift_only + disturb_only);
+        assert!(stack.current_factor(&context, 1e-6, 0.1) < 1.0);
+        assert_eq!(stack.read_tier(25), 2);
+        stack.validate().unwrap();
+    }
+
+    #[test]
+    fn constructors_clamp_unphysical_inputs() {
+        let wire = WireResistance::new(-5.0, -1.0);
+        assert_eq!(wire.wordline_ohm_per_cell, 0.0);
+        assert_eq!(wire.bitline_ohm_per_cell, 0.0);
+        let drift = RetentionDrift::new(-0.1, 0);
+        assert_eq!(drift.volts_per_decade, 0.0);
+        assert_eq!(drift.time_scale_ticks, 1);
+        let disturb = ReadDisturb::new(0, -1.0);
+        assert_eq!(disturb.reads_per_tier, 1);
+        assert_eq!(disturb.volts_per_tier, 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_parameters() {
+        let mut stack = NonIdealityStack::ideal().with_wire(WireResistance {
+            wordline_ohm_per_cell: f64::NAN,
+            bitline_ohm_per_cell: 0.0,
+        });
+        assert!(stack.validate().is_err());
+        stack.wire = None;
+        stack.drift = Some(RetentionDrift {
+            volts_per_decade: f64::INFINITY,
+            time_scale_ticks: 1,
+        });
+        assert!(stack.validate().is_err());
+        stack.drift = Some(RetentionDrift {
+            volts_per_decade: 0.01,
+            time_scale_ticks: 0,
+        });
+        assert!(stack.validate().is_err());
+        stack.drift = None;
+        stack.disturb = Some(ReadDisturb {
+            reads_per_tier: 0,
+            volts_per_tier: 0.001,
+        });
+        assert!(stack.validate().is_err());
+    }
+
+    #[test]
+    fn trait_objects_compose_too() {
+        // The trait is object-safe so custom effects can be prototyped
+        // outside the built-in stack.
+        let effects: Vec<Box<dyn NonIdeality>> = vec![
+            Box::new(WireResistance::uniform(10.0)),
+            Box::new(RetentionDrift::new(0.01, 100)),
+            Box::new(ReadDisturb::new(50, 0.001)),
+        ];
+        let mut context = ctx(2, 3);
+        context.age_ticks = 500;
+        context.row_reads = 120;
+        let shift: f64 = effects.iter().map(|e| e.vth_shift(&context)).sum();
+        assert!(shift > 0.0);
+        assert_eq!(effects[0].name(), "wire-resistance");
+        assert_eq!(effects[1].name(), "retention-drift");
+        assert_eq!(effects[2].name(), "read-disturb");
+    }
+}

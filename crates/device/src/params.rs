@@ -149,6 +149,13 @@ impl FeFetParams {
                 reason: "energy per pulse cannot be negative".to_string(),
             });
         }
+        if self.v_drain_read <= 0.0 || !self.v_drain_read.is_finite() {
+            // Wire-resistance IR-drop models divide by the read drain bias.
+            return Err(DeviceError::InvalidParameter {
+                name: "v_drain_read",
+                reason: "read drain bias must be positive and finite".to_string(),
+            });
+        }
         Ok(())
     }
 
@@ -227,6 +234,15 @@ mod tests {
     fn ideality_below_one_rejected() {
         let p = FeFetParams {
             ideality: 0.5,
+            ..FeFetParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn non_positive_drain_bias_rejected() {
+        let p = FeFetParams {
+            v_drain_read: 0.0,
             ..FeFetParams::default()
         };
         assert!(p.validate().is_err());

@@ -224,6 +224,44 @@ impl PreisachModel {
     pub fn pulses_to_reach(&self, target: Polarization) -> Option<u32> {
         Self::pulses_to_reach_with(&self.params, target)
     }
+
+    /// Number of nominal write pulses (rounded up) required to raise the
+    /// polarization from `from` to at least `target`, for a borrowed
+    /// parameter set — the minimal top-up train a recalibration pass applies
+    /// to a cell that has only partially decayed, instead of paying the full
+    /// erase-and-retrain cost.
+    ///
+    /// Returns `Some(0)` when the state is already at or above the target
+    /// and `None` when the target is unreachable (≥ 1.0).
+    pub fn pulses_to_reach_from_with(
+        params: &FeFetParams,
+        from: Polarization,
+        target: Polarization,
+    ) -> Option<u32> {
+        let alpha = Self::switching_fraction_with(params, Pulse::nominal_write(params));
+        if alpha <= 0.0 {
+            return None;
+        }
+        let s = from.value();
+        let t = target.value();
+        if t <= s {
+            return Some(0);
+        }
+        if t >= 1.0 {
+            return None;
+        }
+        // Each pulse leaves a (1 - alpha) fraction of the unswitched
+        // remainder: (1 - t) = (1 - s)(1 - alpha)^n.
+        let n = ((1.0 - t) / (1.0 - s)).ln() / (1.0 - alpha).ln();
+        Some(n.ceil().max(0.0) as u32)
+    }
+
+    /// Number of nominal write pulses (rounded up) required to raise the
+    /// polarization from `from` to at least `target` (see
+    /// [`PreisachModel::pulses_to_reach_from_with`]).
+    pub fn pulses_to_reach_from(&self, from: Polarization, target: Polarization) -> Option<u32> {
+        Self::pulses_to_reach_from_with(&self.params, from, target)
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +400,54 @@ mod tests {
         assert!(
             (65..=80).contains(&high_state),
             "high state pulses {high_state}"
+        );
+    }
+
+    #[test]
+    fn top_up_trains_are_minimal_and_bracket_the_target() {
+        let m = model();
+        for (from, target) in [(0.0, 0.3), (0.2, 0.529), (0.5, 0.748), (0.74, 0.748)] {
+            let from = Polarization::new(from);
+            let target = Polarization::new(target);
+            let n = m.pulses_to_reach_from(from, target).expect("reachable");
+            let reached = m
+                .apply_pulse_train(from, Pulse::nominal_write(m.params()), n)
+                .value();
+            assert!(
+                reached >= target.value() - 1e-9,
+                "target not reached at {n}"
+            );
+            if n > 0 {
+                let before = m
+                    .apply_pulse_train(from, Pulse::nominal_write(m.params()), n - 1)
+                    .value();
+                assert!(before < target.value(), "train of {n} not minimal");
+            }
+        }
+        // Topping up from erased matches the from-scratch count.
+        let target = Polarization::new(0.6);
+        assert_eq!(
+            m.pulses_to_reach_from(Polarization::ERASED, target),
+            m.pulses_to_reach(target)
+        );
+        // A decayed-but-close state needs far fewer pulses than a retrain.
+        let close = m
+            .pulses_to_reach_from(Polarization::new(0.72), Polarization::new(0.748))
+            .unwrap();
+        let scratch = m.pulses_to_reach(Polarization::new(0.748)).unwrap();
+        assert!(close < scratch / 4, "top-up {close} vs retrain {scratch}");
+    }
+
+    #[test]
+    fn top_up_handles_degenerate_inputs() {
+        let m = model();
+        assert_eq!(
+            m.pulses_to_reach_from(Polarization::new(0.8), Polarization::new(0.5)),
+            Some(0)
+        );
+        assert_eq!(
+            m.pulses_to_reach_from(Polarization::new(0.3), Polarization::SATURATED),
+            None
         );
     }
 

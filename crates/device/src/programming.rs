@@ -231,6 +231,55 @@ impl LevelProgrammer {
         // One erase pulse plus the programming pulse train.
         Ok(self.params.write_energy_per_pulse * (state.write_config.pulse_count as f64 + 1.0))
     }
+
+    /// Minimal pulse train that tops a partially relaxed device back up to the
+    /// target polarization of `level` without an erase.
+    ///
+    /// Returns `Some(pulses)` when the device sits at or below the target
+    /// (retention drift and read disturb only ever relax polarization toward
+    /// the erased state, so this is the common recalibration case) and `None`
+    /// when the device has overshot the target and needs a full erase +
+    /// retrain instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LevelProgrammer::state_for_level`].
+    pub fn top_up_pulses(&self, device: &FeFet, level: usize) -> Result<Option<u32>> {
+        let state = self.state_for_level(level)?;
+        let current = device.polarization();
+        if current.value() > state.polarization.value() {
+            return Ok(None);
+        }
+        Ok(PreisachModel::pulses_to_reach_from_with(
+            &self.params,
+            current,
+            state.polarization,
+        ))
+    }
+
+    /// Refreshes a drifted device back to `level` with the cheapest physical
+    /// pulse sequence: a minimal top-up train when the device relaxed below
+    /// the target, or a full erase + retrain when it overshot.
+    ///
+    /// Returns the total pulse count applied (including the erase pulse when
+    /// one was needed), which prices the refresh at
+    /// `pulses * write_energy_per_pulse` joules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LevelProgrammer::state_for_level`].
+    pub fn refresh_with_pulses(&self, device: &mut FeFet, level: usize) -> Result<u32> {
+        match self.top_up_pulses(device, level)? {
+            Some(pulses) => {
+                device.apply_pulse_train(Pulse::nominal_write(&self.params), pulses);
+                Ok(pulses)
+            }
+            None => {
+                let state = self.program_with_pulses(device, level)?;
+                Ok(state.write_config.pulse_count + 1)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +406,45 @@ mod tests {
             assert!(read > previous);
             previous = read;
         }
+    }
+
+    #[test]
+    fn top_up_refresh_is_cheaper_than_retrain() {
+        let p = programmer();
+        let level = 6;
+        let state = p.state_for_level(level).unwrap();
+        let mut device = FeFet::new(p.params().clone());
+        p.program_ideal(&mut device, level).unwrap();
+        // Relax the device slightly below target, as retention drift would.
+        device.set_polarization(Polarization::new(state.polarization.value() * 0.97));
+        let top_up = p.top_up_pulses(&device, level).unwrap().expect("reachable");
+        assert!(top_up > 0);
+        assert!(
+            top_up < state.write_config.pulse_count / 4,
+            "top-up {top_up} vs full retrain {}",
+            state.write_config.pulse_count
+        );
+        let applied = p.refresh_with_pulses(&mut device, level).unwrap();
+        assert_eq!(applied, top_up);
+        assert!(device.polarization().value() >= state.polarization.value());
+        let relative_error =
+            (device.read_current_on() - state.target_current).abs() / state.target_current;
+        assert!(relative_error < 0.1, "post-refresh error {relative_error}");
+    }
+
+    #[test]
+    fn overshoot_falls_back_to_full_retrain() {
+        let p = programmer();
+        let level = 2;
+        let state = p.state_for_level(level).unwrap();
+        let mut device = FeFet::new(p.params().clone());
+        device.set_polarization(Polarization::new(state.polarization.value() + 0.1));
+        assert!(p.top_up_pulses(&device, level).unwrap().is_none());
+        let applied = p.refresh_with_pulses(&mut device, level).unwrap();
+        assert_eq!(applied, state.write_config.pulse_count + 1);
+        let relative_error =
+            (device.read_current_on() - state.target_current).abs() / state.target_current;
+        assert!(relative_error < 0.2, "post-retrain error {relative_error}");
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! Threshold-voltage variation model used for the Monte-Carlo robustness
 //! analysis (Fig. 8(c) of the paper).
+//!
+//! Device-to-device V_TH variation is sampled once per cell at programming
+//! time. Two distribution families are supported: the paper's Gaussian
+//! (symmetric, σ_VTH from 0 to 45 mV, experimental value 38 mV) and a
+//! zero-median lognormal-style skewed family matching the resistance
+//! statistics reported for filamentary RRAM — the tail of a lognormal
+//! distribution produces the rare far-out devices a Gaussian underestimates.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -7,18 +14,38 @@ use serde::{Deserialize, Serialize};
 
 use crate::fefet::FeFet;
 
-/// Gaussian device-to-device threshold-voltage variation.
+/// Shape of the device-to-device V_TH offset distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum VthDistribution {
+    /// Symmetric Gaussian offsets (the paper's Fig. 8(c) model).
+    #[default]
+    Gaussian,
+    /// Zero-median skewed offsets `σ · (exp(shape · z) − 1) / shape` with
+    /// `z ~ N(0, 1)`: the offset is a shifted lognormal whose right tail
+    /// grows with `shape`, recovering the Gaussian as `shape → 0`.
+    Lognormal {
+        /// Skewness parameter of the lognormal tail (σ of the underlying
+        /// normal in log space); must be positive.
+        shape: f64,
+    },
+}
+
+/// Device-to-device threshold-voltage variation.
 ///
-/// The paper sweeps `σ_VTH` from 0 to 45 mV and cites an experimental
-/// device-to-device variation of 38 mV.
+/// The scale parameter `sigma_vth` is the standard deviation of the
+/// underlying normal draw in volts; for the lognormal family it sets the
+/// small-shape slope, so both families are directly comparable at the same
+/// `sigma_vth`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VariationModel {
     /// Standard deviation of the device-to-device V_TH offset, in volts.
     pub sigma_vth: f64,
+    /// Distribution family the offsets are drawn from.
+    pub distribution: VthDistribution,
 }
 
 impl VariationModel {
-    /// Creates a variation model with the given σ_VTH in volts.
+    /// Creates a Gaussian variation model with the given σ_VTH in volts.
     ///
     /// # Examples
     ///
@@ -31,12 +58,30 @@ impl VariationModel {
     pub fn new(sigma_vth: f64) -> Self {
         Self {
             sigma_vth: sigma_vth.max(0.0),
+            distribution: VthDistribution::Gaussian,
         }
     }
 
-    /// Creates a variation model from a σ_VTH expressed in millivolts.
+    /// Creates a Gaussian variation model from a σ_VTH in millivolts.
     pub fn from_millivolts(sigma_mv: f64) -> Self {
         Self::new(sigma_mv * 1e-3)
+    }
+
+    /// Creates a lognormal-family variation model with the given σ_VTH in
+    /// volts and tail shape (clamped positive; a vanishing shape recovers
+    /// the Gaussian limit).
+    pub fn lognormal(sigma_vth: f64, shape: f64) -> Self {
+        Self {
+            sigma_vth: sigma_vth.max(0.0),
+            distribution: VthDistribution::Lognormal {
+                shape: shape.max(1e-12),
+            },
+        }
+    }
+
+    /// Creates a lognormal-family model from a σ_VTH in millivolts.
+    pub fn lognormal_from_millivolts(sigma_mv: f64, shape: f64) -> Self {
+        Self::lognormal(sigma_mv * 1e-3, shape)
     }
 
     /// The ideal, variation-free model.
@@ -50,11 +95,20 @@ impl VariationModel {
     }
 
     /// Draws one V_TH offset sample in volts.
+    ///
+    /// A zero-σ model returns exactly `0.0` **without consuming the RNG**,
+    /// so ideal configurations are byte-identical to a build with no
+    /// variation model at all and RNG streams stay aligned across
+    /// configurations that mix ideal and non-ideal arrays.
     pub fn sample_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.sigma_vth == 0.0 {
             return 0.0;
         }
-        self.sigma_vth * standard_normal(rng)
+        let z = standard_normal(rng);
+        match self.distribution {
+            VthDistribution::Gaussian => self.sigma_vth * z,
+            VthDistribution::Lognormal { shape } => self.sigma_vth * (shape * z).exp_m1() / shape,
+        }
     }
 
     /// Applies an independent random offset to every device in the slice.
@@ -103,16 +157,33 @@ mod tests {
     }
 
     #[test]
+    fn ideal_model_does_not_consume_the_rng() {
+        // Zero-σ sampling must leave the RNG stream untouched for either
+        // family, so ideal and absent variation are indistinguishable.
+        for model in [VariationModel::ideal(), VariationModel::lognormal(0.0, 0.5)] {
+            let mut sampled = VariationModel::seeded_rng(9);
+            let mut untouched = VariationModel::seeded_rng(9);
+            for _ in 0..5 {
+                assert_eq!(model.sample_offset(&mut sampled), 0.0);
+            }
+            assert_eq!(sampled.gen::<u64>(), untouched.gen::<u64>());
+        }
+    }
+
+    #[test]
     fn millivolt_constructor_converts_units() {
         let model = VariationModel::from_millivolts(45.0);
         assert!((model.sigma_vth - 0.045).abs() < 1e-12);
         assert!((model.sigma_millivolts() - 45.0).abs() < 1e-9);
+        assert_eq!(model.distribution, VthDistribution::Gaussian);
     }
 
     #[test]
     fn negative_sigma_is_clamped() {
         let model = VariationModel::new(-0.01);
         assert_eq!(model.sigma_vth, 0.0);
+        let skewed = VariationModel::lognormal(-0.01, 0.4);
+        assert_eq!(skewed.sigma_vth, 0.0);
     }
 
     #[test]
@@ -129,17 +200,56 @@ mod tests {
     }
 
     #[test]
+    fn lognormal_family_is_right_skewed_with_zero_median() {
+        let model = VariationModel::lognormal_from_millivolts(30.0, 0.8);
+        let mut rng = VariationModel::seeded_rng(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample_offset(&mut rng)).collect();
+        let positive = samples.iter().filter(|s| **s > 0.0).count() as f64 / n as f64;
+        // Median at zero: the sign split stays balanced...
+        assert!(
+            (positive - 0.5).abs() < 0.02,
+            "positive fraction {positive}"
+        );
+        // ...but the mean is pulled up by the heavy right tail.
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean > 0.005, "mean {mean}");
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > -min, "tail asymmetry: max {max} min {min}");
+        // The offset is bounded below by -σ/shape (lognormal support).
+        assert!(min > -model.sigma_vth / 0.8 - 1e-12, "min {min}");
+    }
+
+    #[test]
+    fn small_shape_recovers_the_gaussian_limit() {
+        let gaussian = VariationModel::from_millivolts(30.0);
+        let skewed = VariationModel::lognormal_from_millivolts(30.0, 1e-9);
+        let mut rng_a = VariationModel::seeded_rng(5);
+        let mut rng_b = VariationModel::seeded_rng(5);
+        for _ in 0..64 {
+            let a = gaussian.sample_offset(&mut rng_a);
+            let b = skewed.sample_offset(&mut rng_b);
+            assert!((a - b).abs() < 1e-9, "gaussian {a} lognormal-limit {b}");
+        }
+    }
+
+    #[test]
     fn same_seed_reproduces_offsets() {
-        let model = VariationModel::from_millivolts(15.0);
-        let a: Vec<f64> = {
-            let mut rng = VariationModel::seeded_rng(7);
-            (0..16).map(|_| model.sample_offset(&mut rng)).collect()
-        };
-        let b: Vec<f64> = {
-            let mut rng = VariationModel::seeded_rng(7);
-            (0..16).map(|_| model.sample_offset(&mut rng)).collect()
-        };
-        assert_eq!(a, b);
+        for model in [
+            VariationModel::from_millivolts(15.0),
+            VariationModel::lognormal_from_millivolts(15.0, 0.6),
+        ] {
+            let a: Vec<f64> = {
+                let mut rng = VariationModel::seeded_rng(7);
+                (0..16).map(|_| model.sample_offset(&mut rng)).collect()
+            };
+            let b: Vec<f64> = {
+                let mut rng = VariationModel::seeded_rng(7);
+                (0..16).map(|_| model.sample_offset(&mut rng)).collect()
+            };
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -62,9 +62,10 @@ pub mod prelude {
     };
     pub use febim_compare::{ComparisonTable, FabricComparison};
     pub use febim_core::{
-        epoch_accuracy, epoch_accuracy_with_backend, performance_metrics, variation_sweep,
-        variation_sweep_with_backend, BackendInfo, BackendKind, BatchTelemetry, CrossbarBackend,
-        EngineConfig, FebimEngine, InferenceBackend, MetricsConfig, PoolStats, ServeOutcome,
+        epoch_accuracy, epoch_accuracy_with_backend, noise_campaign, performance_metrics,
+        variation_sweep, variation_sweep_with_backend, BackendInfo, BackendKind, BatchTelemetry,
+        CrossbarBackend, EngineConfig, FebimEngine, InferenceBackend, MetricsConfig, NoisePoint,
+        NoiseScenario, PoolStats, RecalibrationPolicy, RecalibrationScheduler, ServeOutcome,
         ServingConfig, ServingError, ServingPool, SoftwareBackend, Ticket, TiledFabricBackend,
         WorkerReport,
     };
@@ -72,7 +73,9 @@ pub mod prelude {
     pub use febim_data::rng::seeded_rng;
     pub use febim_data::split::{stratified_split, train_test_split};
     pub use febim_data::synthetic::{cancer_like, iris_like, wine_like};
-    pub use febim_device::VariationModel;
+    pub use febim_device::{
+        NonIdealityStack, ReadDisturb, RetentionDrift, VariationModel, WireResistance,
+    };
     pub use febim_quant::{QuantConfig, QuantizedGnbc};
 }
 
