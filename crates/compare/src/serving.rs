@@ -63,6 +63,27 @@ pub struct ServingMeasurement {
     pub e2e_p95_ns: u64,
     /// 99th-percentile end-to-end nanoseconds.
     pub e2e_p99_ns: u64,
+    /// Scrub passes that found defects during the run.
+    #[serde(default)]
+    pub scrubs: u64,
+    /// Defective cells those passes detected.
+    #[serde(default)]
+    pub faults_detected: u64,
+    /// Defective cells healed in place or via spare rows.
+    #[serde(default)]
+    pub faults_repaired: u64,
+    /// Replica health transitions during the run.
+    #[serde(default)]
+    pub health_transitions: u64,
+    /// Requests retried on a surviving replica after an inference failure.
+    #[serde(default)]
+    pub failovers: u64,
+    /// Requests answered through the exact software fallback.
+    #[serde(default)]
+    pub fallback_served: u64,
+    /// Replicas that ended the run quarantined.
+    #[serde(default)]
+    pub quarantined_workers: u64,
 }
 
 impl ServingMeasurement {
@@ -96,6 +117,13 @@ impl ServingMeasurement {
             e2e_p50_ns: stats.end_to_end.p50_ns(),
             e2e_p95_ns: stats.end_to_end.p95_ns(),
             e2e_p99_ns: stats.end_to_end.p99_ns(),
+            scrubs: stats.scrubs,
+            faults_detected: stats.faults_detected,
+            faults_repaired: stats.faults_repaired,
+            health_transitions: stats.health_transitions,
+            failovers: stats.failovers,
+            fallback_served: stats.fallback_served,
+            quarantined_workers: stats.quarantined_workers,
         }
     }
 }
@@ -166,6 +194,13 @@ impl ServingComparison {
                 "wait_p99_ns",
                 "e2e_p50_ns",
                 "e2e_p99_ns",
+                "scrubs",
+                "faults_det",
+                "faults_rep",
+                "health_trans",
+                "failovers",
+                "fallback",
+                "quarantined",
             ],
         );
         for row in &self.rows {
@@ -186,6 +221,13 @@ impl ServingComparison {
                 row.queue_wait_p99_ns.to_string(),
                 row.e2e_p50_ns.to_string(),
                 row.e2e_p99_ns.to_string(),
+                row.scrubs.to_string(),
+                row.faults_detected.to_string(),
+                row.faults_repaired.to_string(),
+                row.health_transitions.to_string(),
+                row.failovers.to_string(),
+                row.fallback_served.to_string(),
+                row.quarantined_workers.to_string(),
             ]);
         }
         table
@@ -244,9 +286,13 @@ mod tests {
         assert!(rendered.contains("crossbar-single-array"));
         assert!(rendered.contains("wait_p50_ns"));
         assert!(rendered.contains("e2e_p99_ns"));
+        assert!(rendered.contains("quarantined"));
+        assert!(rendered.contains("failovers"));
         let json = serde::json::to_string(&comparison);
         assert!(json.contains("\"throughput_speedup\""));
         assert!(json.contains("\"queue_wait_p99_ns\""));
         assert!(json.contains("\"e2e_p50_ns\""));
+        assert!(json.contains("\"fallback_served\""));
+        assert!(json.contains("\"health_transitions\""));
     }
 }

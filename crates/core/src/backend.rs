@@ -30,7 +30,8 @@ use febim_circuit::{
     InferenceEnergy, ReadGroup, SensingChain, TileGeometry,
 };
 use febim_crossbar::{
-    Activation, CrossbarArray, CrossbarLayout, ProgrammingMode, RefreshOutcome, TileGrid, TileShape,
+    apply_scheduled_fault, apply_scheduled_grid_fault, Activation, CrossbarArray, CrossbarLayout,
+    FaultSchedule, ProgrammingMode, RefreshOutcome, ScrubOutcome, TileGrid, TileShape,
 };
 use febim_device::{LevelProgrammer, VariationModel};
 use febim_quant::QuantizedGnbc;
@@ -260,6 +261,34 @@ pub trait InferenceBackend {
     fn recalibrate(&mut self, _max_vth_shift: f64) -> Result<RefreshOutcome> {
         Ok(RefreshOutcome::default())
     }
+
+    /// BIST-style scrub pass: read-verifies every programmed cell against
+    /// its target signature, repairs transient defects by reprogramming in
+    /// place and — on tiled fabrics — remaps rows holding stuck cells onto
+    /// spare physical rows. Unrepairable defects come back flagged in the
+    /// outcome's reports so the owner (e.g. a serving pool) can quarantine
+    /// the replica. Stateless backends have nothing to scrub and return a
+    /// clean all-zero outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors from repair writes.
+    fn scrub(&mut self, _max_vth_shift: f64) -> Result<ScrubOutcome> {
+        Ok(ScrubOutcome::default())
+    }
+
+    /// Installs a deterministic chaos schedule: as
+    /// [`InferenceBackend::advance_time`] moves the physical clock past an
+    /// event's strike tick, the event corrupts its cell (and latches it
+    /// stuck when permanent). Replaces any previously installed schedule;
+    /// a no-op for stateless backends.
+    fn set_fault_schedule(&mut self, _schedule: FaultSchedule) {}
+
+    /// Scheduled chaos events not yet delivered (0 for stateless backends
+    /// or when no schedule is installed).
+    fn pending_faults(&self) -> usize {
+        0
+    }
 }
 
 /// Discretizes every sample of a batch into one activation per read,
@@ -380,6 +409,8 @@ pub struct CrossbarBackend {
     programming_mode: ProgrammingMode,
     variation: VariationModel,
     variation_seed: u64,
+    /// Pending chaos events delivered by [`InferenceBackend::advance_time`].
+    fault_schedule: Option<FaultSchedule>,
 }
 
 impl CrossbarBackend {
@@ -405,6 +436,7 @@ impl CrossbarBackend {
             programming_mode: config.programming_mode,
             variation: config.variation,
             variation_seed: config.variation_seed,
+            fault_schedule: None,
         };
         backend.reprogram()?;
         Ok(backend)
@@ -575,6 +607,21 @@ impl InferenceBackend for CrossbarBackend {
 
     fn advance_time(&mut self, ticks: u64) {
         self.array.advance_time(ticks);
+        if let Some(schedule) = self.fault_schedule.as_mut() {
+            let now = self.array.clock();
+            for event in schedule.take_due(now) {
+                // A schedule drawn for a different geometry can carry
+                // out-of-range coordinates; dropping those events beats
+                // panicking mid-serving.
+                let _ = apply_scheduled_fault(
+                    &mut self.array,
+                    event.row,
+                    event.column,
+                    event.kind,
+                    event.permanent,
+                );
+            }
+        }
     }
 
     fn clock(&self) -> u64 {
@@ -594,6 +641,20 @@ impl InferenceBackend for CrossbarBackend {
             .array
             .recalibrate(max_vth_shift, self.programming_mode)?)
     }
+
+    fn scrub(&mut self, max_vth_shift: f64) -> Result<ScrubOutcome> {
+        Ok(self.array.scrub(max_vth_shift, self.programming_mode)?)
+    }
+
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.fault_schedule = Some(schedule);
+    }
+
+    fn pending_faults(&self) -> usize {
+        self.fault_schedule
+            .as_ref()
+            .map_or(0, FaultSchedule::pending)
+    }
 }
 
 /// The tiled multi-array fabric backend: the compiled program sharded across
@@ -612,6 +673,8 @@ pub struct TiledFabricBackend {
     programming_mode: ProgrammingMode,
     variation: VariationModel,
     variation_seed: u64,
+    /// Pending chaos events delivered by [`InferenceBackend::advance_time`].
+    fault_schedule: Option<FaultSchedule>,
 }
 
 impl TiledFabricBackend {
@@ -650,6 +713,7 @@ impl TiledFabricBackend {
             programming_mode: config.programming_mode,
             variation: config.variation,
             variation_seed: config.variation_seed,
+            fault_schedule: None,
         };
         backend.reprogram()?;
         Ok(backend)
@@ -860,6 +924,19 @@ impl InferenceBackend for TiledFabricBackend {
 
     fn advance_time(&mut self, ticks: u64) {
         self.grid.advance_time(ticks);
+        if let Some(schedule) = self.fault_schedule.as_mut() {
+            let now = self.grid.clock();
+            for event in schedule.take_due(now) {
+                // Same out-of-range tolerance as the monolithic backend.
+                let _ = apply_scheduled_grid_fault(
+                    &mut self.grid,
+                    event.row,
+                    event.column,
+                    event.kind,
+                    event.permanent,
+                );
+            }
+        }
     }
 
     fn clock(&self) -> u64 {
@@ -878,6 +955,20 @@ impl InferenceBackend for TiledFabricBackend {
         Ok(self
             .grid
             .recalibrate(max_vth_shift, self.programming_mode)?)
+    }
+
+    fn scrub(&mut self, max_vth_shift: f64) -> Result<ScrubOutcome> {
+        Ok(self.grid.scrub(max_vth_shift, self.programming_mode)?)
+    }
+
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.fault_schedule = Some(schedule);
+    }
+
+    fn pending_faults(&self) -> usize {
+        self.fault_schedule
+            .as_ref()
+            .map_or(0, FaultSchedule::pending)
     }
 }
 
@@ -1148,6 +1239,104 @@ mod tests {
             assert_eq!(idle.cells_refreshed, 0);
             assert_eq!(idle.pulses_applied, 0);
         }
+    }
+
+    /// The chaos surface end to end on both physical backends: scheduled
+    /// faults strike as the clock advances past their tick, a scrub pass
+    /// detects every defect, heals the transients in place, and — on the
+    /// tiled fabric with spare rows — remaps the permanent defect onto a
+    /// spare so the restored current map is bit-identical to fresh.
+    #[test]
+    fn scheduled_faults_strike_on_advance_and_scrub_heals() {
+        use febim_crossbar::{FaultKind, ScheduledFault};
+        let (_, quantized, _) = trained();
+        let config = EngineConfig::febim_default();
+        let crossbar = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        let fabric = TiledFabricBackend::new(
+            Arc::clone(&quantized),
+            &config,
+            TileShape::new(2, 24).unwrap().with_spare_rows(1),
+        )
+        .unwrap();
+        let schedule = || {
+            FaultSchedule::new(vec![
+                ScheduledFault {
+                    at_tick: 10,
+                    row: 0,
+                    column: 0,
+                    kind: FaultKind::StuckErased,
+                    permanent: false,
+                },
+                ScheduledFault {
+                    at_tick: 20,
+                    row: 1,
+                    column: 5,
+                    kind: FaultKind::StuckErased,
+                    permanent: true,
+                },
+            ])
+        };
+        for (mut backend, has_spares) in [
+            (Box::new(crossbar) as Box<dyn InferenceBackend>, false),
+            (Box::new(fabric) as Box<dyn InferenceBackend>, true),
+        ] {
+            let mut fresh = Vec::new();
+            backend.current_map_into(&mut fresh).unwrap();
+            assert_eq!(backend.pending_faults(), 0);
+            backend.set_fault_schedule(schedule());
+            assert_eq!(backend.pending_faults(), 2);
+
+            // Nothing strikes before its tick.
+            backend.advance_time(9);
+            assert_eq!(backend.pending_faults(), 2);
+            let mut map = Vec::new();
+            backend.current_map_into(&mut map).unwrap();
+            assert_eq!(fresh, map, "no fault may strike before its tick");
+
+            // The transient strikes at tick 10, the permanent at tick 20.
+            backend.advance_time(6);
+            assert_eq!(backend.pending_faults(), 1);
+            backend.advance_time(10);
+            assert_eq!(backend.pending_faults(), 0);
+            backend.current_map_into(&mut map).unwrap();
+            assert_ne!(fresh, map, "struck faults must corrupt the reads");
+
+            let outcome = backend.scrub(1e-6).unwrap();
+            assert_eq!(outcome.reports.len(), 2, "scrub must find both defects");
+            if has_spares {
+                // Transient healed in place + stuck cell healed by remap.
+                assert_eq!(outcome.cells_repaired, 2);
+                assert!(outcome.fully_repaired());
+                assert_eq!(outcome.rows_remapped, 1);
+                assert_eq!(outcome.stuck_cells, 0);
+                backend.current_map_into(&mut map).unwrap();
+                assert_eq!(fresh, map, "spare-row repair must restore bit-exact");
+            } else {
+                // Only the transient heals; the stuck cell has no spare.
+                assert_eq!(outcome.cells_repaired, 1);
+                assert!(!outcome.fully_repaired());
+                assert_eq!(outcome.stuck_cells, 1);
+                assert_eq!(outcome.unrepaired().count(), 1);
+            }
+            assert!(outcome.pulses_applied > 0);
+
+            // A follow-up pass finds nothing new to repair.
+            let idle = backend.scrub(1e-6).unwrap();
+            assert_eq!(idle.cells_repaired, 0);
+            assert_eq!(idle.rows_remapped, 0);
+        }
+    }
+
+    /// The software backend's self-healing surface is inert.
+    #[test]
+    fn stateless_backend_fault_surface_is_inert() {
+        let (model, _, _) = trained();
+        let mut software = SoftwareBackend::new(model);
+        software.set_fault_schedule(FaultSchedule::empty());
+        assert_eq!(software.pending_faults(), 0);
+        let outcome = software.scrub(0.0).unwrap();
+        assert!(outcome.is_clean());
+        assert!(outcome.fully_repaired());
     }
 
     #[test]

@@ -8,7 +8,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use febim_circuit::{DelayBreakdown, InferenceEnergy, SensingChain, TileGeometry};
-use febim_crossbar::{Activation, CrossbarArray, RefreshOutcome, TileGrid, TileShape};
+use febim_crossbar::{
+    Activation, CrossbarArray, FaultSchedule, RefreshOutcome, ScrubOutcome, TileGrid, TileShape,
+};
 
 use febim_bayes::GaussianNaiveBayes;
 use febim_data::Dataset;
@@ -385,6 +387,45 @@ impl<B: InferenceBackend> FebimEngine<B> {
     /// Propagates programming errors.
     pub fn recalibrate(&mut self, max_vth_shift: f64) -> Result<RefreshOutcome> {
         self.backend.recalibrate(max_vth_shift)
+    }
+
+    /// BIST-style scrub pass over the backend's cells: read-verifies every
+    /// programmed cell against its target signature, repairs transient
+    /// defects in place and — on the tiled fabric — remaps rows with stuck
+    /// cells onto spare physical rows. A clean no-op for the software
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors from repair writes.
+    pub fn scrub(&mut self, max_vth_shift: f64) -> Result<ScrubOutcome> {
+        self.backend.scrub(max_vth_shift)
+    }
+
+    /// Installs a deterministic chaos schedule on the backend: events strike
+    /// as [`FebimEngine::advance_time`] moves the clock past their tick. A
+    /// no-op for the software backend.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.backend.set_fault_schedule(schedule);
+    }
+
+    /// Scheduled chaos events not yet delivered.
+    pub fn pending_faults(&self) -> usize {
+        self.backend.pending_faults()
+    }
+
+    /// Builds the exact software-reference twin of this engine: the same
+    /// trained model, quantized tables and configuration, served through a
+    /// [`SoftwareBackend`]. This is the graceful-degradation fallback a
+    /// serving pool switches to when every physical replica has been
+    /// quarantined.
+    pub fn software_fallback(&self) -> FebimEngine<SoftwareBackend> {
+        FebimEngine {
+            config: self.config.clone(),
+            model: Arc::clone(&self.model),
+            quantized: Arc::clone(&self.quantized),
+            backend: SoftwareBackend::new(Arc::clone(&self.model)),
+        }
     }
 
     /// Creates a scratch sized for this engine's geometry, for use with

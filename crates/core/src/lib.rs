@@ -34,6 +34,7 @@ pub mod compiler;
 pub mod config;
 pub mod engine;
 pub mod errors;
+pub mod health;
 pub mod metrics;
 pub mod monte_carlo;
 pub mod recalibration;
@@ -49,6 +50,7 @@ pub use compiler::{compile, compile_tiled, CrossbarProgram, TiledProgram};
 pub use config::EngineConfig;
 pub use engine::{EvalScratch, EvaluationReport, FebimEngine, InferenceOutcome, InferenceStep};
 pub use errors::{CoreError, Result};
+pub use health::{ReplicaHealth, ScrubPolicy, ScrubReport, ScrubScheduler};
 pub use metrics::{ops_per_inference, performance_metrics, MetricsConfig, PerformanceMetrics};
 pub use monte_carlo::{
     epoch_accuracy, epoch_accuracy_with_backend, epoch_accuracy_with_threads, noise_campaign,

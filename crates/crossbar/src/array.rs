@@ -27,6 +27,7 @@ use febim_device::{
 use crate::cache::{lane_delta_sum, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
+use crate::fault::{FaultKind, FaultReport, ScrubOutcome};
 use crate::layout::CrossbarLayout;
 use crate::read::{Activation, ReadCounters};
 use crate::write::WriteScheme;
@@ -528,16 +529,27 @@ impl CrossbarArray {
         let index = self.cell_index(row, column)?;
         let state = match mode {
             ProgrammingMode::Ideal => {
-                let state = self
-                    .programmer
-                    .program_ideal(self.cells[index].device_mut(), level)?;
+                let state = if self.cells[index].is_stuck() {
+                    // A stuck stack does not respond to the write; the target
+                    // state is still resolved for bookkeeping and energy.
+                    self.programmer.state_for_level(level)?
+                } else {
+                    self.programmer
+                        .program_ideal(self.cells[index].device_mut(), level)?
+                };
                 self.mark_cell(index);
                 state
             }
             ProgrammingMode::PulseTrain => {
-                let state = self
-                    .programmer
-                    .program_with_pulses(self.cells[index].device_mut(), level)?;
+                let state = if self.cells[index].is_stuck() {
+                    // The train is still driven onto the wordline (so the
+                    // column neighbours absorb disturb below), but the stuck
+                    // stack's polarization does not move.
+                    self.programmer.state_for_level(level)?
+                } else {
+                    self.programmer
+                        .program_with_pulses(self.cells[index].device_mut(), level)?
+                };
                 // Unselected rows of the same column see V_w/2 pulses.
                 let scheme = self.write_scheme;
                 let pulses = u64::from(state.write_config.pulse_count) + 1;
@@ -807,7 +819,9 @@ impl CrossbarArray {
 
     /// The largest effective threshold error (volts) over all programmed
     /// cells — the quantity a recalibration scheduler compares against its
-    /// tolerance.
+    /// tolerance. Cells already classified as stuck are excluded: their
+    /// error is permanent by definition and belongs to the scrub/repair
+    /// subsystem ([`CrossbarArray::scrub`]), not to drift recalibration.
     pub fn worst_effective_shift(&self) -> f64 {
         let window = self.programmer.params().vth_window();
         let mut states: Vec<Option<ProgrammedState>> = Vec::new();
@@ -815,6 +829,9 @@ impl CrossbarArray {
         for row in 0..self.layout.rows() {
             for column in 0..self.layout.columns() {
                 let index = row * self.layout.columns() + column;
+                if self.cells[index].is_stuck() {
+                    continue;
+                }
                 let Some(level) = self.cells[index].programmed_level() else {
                     continue;
                 };
@@ -865,6 +882,9 @@ impl CrossbarArray {
             let mut refresh_row = false;
             for column in 0..columns {
                 let index = row * columns + column;
+                if self.cells[index].is_stuck() {
+                    continue;
+                }
                 let Some(level) = self.cells[index].programmed_level() else {
                     continue;
                 };
@@ -882,6 +902,9 @@ impl CrossbarArray {
             let clock = self.clock;
             for column in 0..columns {
                 let index = row * columns + column;
+                if self.cells[index].is_stuck() {
+                    continue;
+                }
                 let Some(level) = self.cells[index].programmed_level() else {
                     continue;
                 };
@@ -912,6 +935,113 @@ impl CrossbarArray {
                 .get_mut()
                 .mark_row(row, self.layout.cells(), columns);
             self.bump_epoch();
+        }
+        Ok(outcome)
+    }
+
+    /// One BIST-style scrub pass: every programmed cell's effective
+    /// threshold error is read back and compared against the program's
+    /// expected signature (the memoized per-level target states — the same
+    /// oracle the epoch-versioned cache is built from). A cell out of
+    /// signature gets one in-place rewrite attempt and is re-read; a cell
+    /// that still misses its target after the rewrite is classified as
+    /// permanently stuck (latching [`Cell::is_stuck`]) and reported through
+    /// a [`FaultReport`] with `repaired == false`.
+    ///
+    /// Unlike [`CrossbarArray::recalibrate`] — which corrects *recoverable*
+    /// drift row-wise and skips known-stuck cells — the scrub is purely
+    /// read-driven: it checks every programmed cell including already-stuck
+    /// ones, so detection never depends on the fault injector having
+    /// annotated the cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] for a non-positive or non-finite
+    /// tolerance, and propagates programming errors.
+    pub fn scrub(&mut self, max_vth_shift: f64, mode: ProgrammingMode) -> Result<ScrubOutcome> {
+        if !max_vth_shift.is_finite() || max_vth_shift <= 0.0 {
+            return Err(CrossbarError::Device(DeviceError::InvalidParameter {
+                name: "max_vth_shift",
+                reason: "scrub tolerance must be positive and finite".to_string(),
+            }));
+        }
+        let rows = self.layout.rows();
+        let columns = self.layout.columns();
+        let window = self.programmer.params().vth_window();
+        let energy_per_pulse = self.programmer.params().write_energy_per_pulse;
+        let mut states: Vec<Option<ProgrammedState>> = Vec::new();
+        let mut outcome = ScrubOutcome::default();
+        for row in 0..rows {
+            let mut row_touched = false;
+            for column in 0..columns {
+                let index = row * columns + column;
+                let Some(level) = self.cells[index].programmed_level() else {
+                    continue;
+                };
+                outcome.cells_checked += 1;
+                let target = Self::level_state(&self.programmer, &mut states, level)?.clone();
+                if self.effective_shift(row, column, &target, window).abs() <= max_vth_shift {
+                    continue;
+                }
+                // Out of signature: classify the observed state, then try one
+                // in-place rewrite. A stuck stack does not respond, so the
+                // guard in the device mutation is the physics, not the logic.
+                let kind = if self.cells[index].device().polarization().value() >= 0.5 {
+                    FaultKind::StuckProgrammed
+                } else {
+                    FaultKind::StuckErased
+                };
+                if !self.cells[index].is_stuck() {
+                    let clock = self.clock;
+                    let pulses = match mode {
+                        ProgrammingMode::Ideal => {
+                            self.cells[index]
+                                .device_mut()
+                                .set_polarization(target.polarization);
+                            u64::from(target.write_config.pulse_count) + 1
+                        }
+                        ProgrammingMode::PulseTrain => u64::from(
+                            self.programmer
+                                .refresh_with_pulses(self.cells[index].device_mut(), level)?,
+                        ),
+                    };
+                    outcome.pulses_applied += pulses;
+                    let energy = energy_per_pulse * pulses as f64;
+                    outcome.energy_joules += energy;
+                    self.write_energy += energy;
+                    self.cells[index].set_programmed_at(clock);
+                    self.cells[index].reset_disturb();
+                    // A rewrite re-settles the wordline's read history the
+                    // same way a recalibration refresh does.
+                    self.row_reads.reset_row(row);
+                    row_touched = true;
+                }
+                // Re-read after the repair attempt.
+                if self.effective_shift(row, column, &target, window).abs() <= max_vth_shift {
+                    outcome.cells_repaired += 1;
+                    outcome.reports.push(FaultReport {
+                        row,
+                        column,
+                        kind,
+                        repaired: true,
+                    });
+                } else {
+                    outcome.stuck_cells += 1;
+                    self.cells[index].set_stuck(true);
+                    outcome.reports.push(FaultReport {
+                        row,
+                        column,
+                        kind,
+                        repaired: false,
+                    });
+                }
+            }
+            if row_touched {
+                self.dirty
+                    .get_mut()
+                    .mark_row(row, self.layout.cells(), columns);
+                self.bump_epoch();
+            }
         }
         Ok(outcome)
     }
@@ -1482,5 +1612,111 @@ mod tests {
         let activation = Activation::all_columns(warm.layout());
         warm.wordline_currents(&activation).unwrap();
         assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn scrub_rejects_bad_tolerance() {
+        let mut array = small_array();
+        assert!(array.scrub(0.0, ProgrammingMode::Ideal).is_err());
+        assert!(array.scrub(-1.0, ProgrammingMode::Ideal).is_err());
+        assert!(array.scrub(f64::NAN, ProgrammingMode::Ideal).is_err());
+    }
+
+    #[test]
+    fn scrub_on_clean_array_is_clean() {
+        let mut array = small_array();
+        array.program_cell(0, 1, 9, ProgrammingMode::Ideal).unwrap();
+        array.program_cell(1, 3, 4, ProgrammingMode::Ideal).unwrap();
+        let outcome = array.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert!(outcome.is_clean());
+        assert!(outcome.fully_repaired());
+        assert_eq!(outcome.cells_checked, 2);
+        assert_eq!(outcome.pulses_applied, 0);
+        assert_eq!(outcome.energy_joules, 0.0);
+    }
+
+    #[test]
+    fn scrub_repairs_transient_fault_bit_exactly() {
+        let mut array = small_array();
+        array.program_cell(0, 1, 9, ProgrammingMode::Ideal).unwrap();
+        array.program_cell(1, 3, 4, ProgrammingMode::Ideal).unwrap();
+        let activation = Activation::all_columns(array.layout());
+        let reference = array.wordline_currents(&activation).unwrap();
+
+        crate::fault::apply_scheduled_fault(&mut array, 0, 1, FaultKind::StuckErased, false)
+            .unwrap();
+        let faulted = array.wordline_currents(&activation).unwrap();
+        assert_ne!(faulted, reference);
+
+        let outcome = array.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert!(!outcome.is_clean());
+        assert!(outcome.fully_repaired());
+        assert_eq!(outcome.cells_repaired, 1);
+        assert_eq!(outcome.stuck_cells, 0);
+        assert!(outcome.pulses_applied > 0);
+        assert!(outcome.energy_joules > 0.0);
+        assert_eq!(
+            outcome.reports,
+            vec![FaultReport {
+                row: 0,
+                column: 1,
+                kind: FaultKind::StuckErased,
+                repaired: true,
+            }]
+        );
+        let healed = array.wordline_currents(&activation).unwrap();
+        assert_eq!(healed, reference);
+    }
+
+    #[test]
+    fn scrub_flags_permanent_fault_as_stuck() {
+        let mut array = small_array();
+        array.program_cell(0, 1, 2, ProgrammingMode::Ideal).unwrap();
+        array.program_cell(1, 3, 4, ProgrammingMode::Ideal).unwrap();
+        crate::fault::apply_scheduled_fault(&mut array, 0, 1, FaultKind::StuckProgrammed, true)
+            .unwrap();
+
+        let outcome = array.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(outcome.stuck_cells, 1);
+        assert_eq!(outcome.cells_repaired, 0);
+        assert!(!outcome.fully_repaired());
+        let unrepaired: Vec<&FaultReport> = outcome.unrepaired().collect();
+        assert_eq!(unrepaired.len(), 1);
+        assert_eq!(unrepaired[0].row, 0);
+        assert_eq!(unrepaired[0].column, 1);
+        assert_eq!(unrepaired[0].kind, FaultKind::StuckProgrammed);
+        assert!(array.cell(0, 1).unwrap().is_stuck());
+
+        // Detection is read-driven: a second scrub still checks and still
+        // reports the stuck cell instead of trusting the latched flag.
+        let again = array.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(again.cells_checked, 2);
+        assert_eq!(again.stuck_cells, 1);
+        assert_eq!(again.pulses_applied, 0);
+
+        // Recalibration leaves stuck cells to the scrub/repair subsystem.
+        assert_eq!(array.worst_effective_shift(), 0.0);
+        let refresh = array.recalibrate(0.05, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(refresh.rows_refreshed, 0);
+    }
+
+    #[test]
+    fn stuck_cell_ignores_programming() {
+        let mut array = small_array();
+        array.cell_mut(0, 1).unwrap().set_stuck(true);
+        let before = array.cell(0, 1).unwrap().device().polarization().value();
+        array.program_cell(0, 1, 9, ProgrammingMode::Ideal).unwrap();
+        let after = array.cell(0, 1).unwrap().device().polarization().value();
+        assert_eq!(before, after);
+        assert_eq!(array.cell(0, 1).unwrap().programmed_level(), Some(9));
+        assert!(array.write_energy() > 0.0);
+
+        array
+            .program_cell(0, 1, 9, ProgrammingMode::PulseTrain)
+            .unwrap();
+        let after_train = array.cell(0, 1).unwrap().device().polarization().value();
+        assert_eq!(before, after_train);
+        // Column neighbours still absorb the half-bias train.
+        assert!(array.cell(1, 1).unwrap().disturb_pulses() > 0);
     }
 }

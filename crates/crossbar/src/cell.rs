@@ -13,6 +13,11 @@ pub struct Cell {
     /// Array clock tick at which the cell was last (re)programmed; retention
     /// drift ages the cell relative to this instant.
     programmed_at: u64,
+    /// Whether the ferroelectric stack is permanently stuck: write pulses no
+    /// longer move the polarization, so reprogramming cannot repair the cell
+    /// (spare-row remapping can route around it).
+    #[serde(default)]
+    stuck: bool,
 }
 
 impl Cell {
@@ -23,6 +28,7 @@ impl Cell {
             programmed_level: None,
             disturb_pulses: 0,
             programmed_at: 0,
+            stuck: false,
         }
     }
 
@@ -71,6 +77,17 @@ impl Cell {
     /// the cell from this instant.
     pub fn set_programmed_at(&mut self, tick: u64) {
         self.programmed_at = tick;
+    }
+
+    /// Whether the cell is permanently stuck (programming pulses no longer
+    /// move its polarization).
+    pub fn is_stuck(&self) -> bool {
+        self.stuck
+    }
+
+    /// Marks the cell as permanently stuck in its current polarization state.
+    pub fn set_stuck(&mut self, stuck: bool) {
+        self.stuck = stuck;
     }
 
     /// Read current of the cell when its bitline is activated with `V_on`.
@@ -127,6 +144,16 @@ mod tests {
         assert_eq!(cell.programmed_at(), 0);
         cell.set_programmed_at(1234);
         assert_eq!(cell.programmed_at(), 1234);
+    }
+
+    #[test]
+    fn stuck_flag_round_trips() {
+        let mut cell = Cell::new(FeFetParams::febim_calibrated());
+        assert!(!cell.is_stuck());
+        cell.set_stuck(true);
+        assert!(cell.is_stuck());
+        cell.set_stuck(false);
+        assert!(!cell.is_stuck());
     }
 
     #[test]

@@ -5,6 +5,24 @@
 //! endurance failures) or stuck at a fixed programmed level (ferroelectric
 //! imprint). This module injects such defects into a programmed crossbar so
 //! the classification robustness against hard faults can be quantified.
+//!
+//! Two injection surfaces exist:
+//!
+//! * **Program-time** — [`FaultModel::inject`] / [`FaultModel::inject_grid`]
+//!   defect the array once, right after programming (the PR 4 surface; its
+//!   RNG draw order is frozen).
+//! * **Time-indexed** — [`FaultModel::draw_schedule`] produces a seeded
+//!   [`FaultSchedule`] of faults stamped with the array-clock tick at which
+//!   they strike, so a serving pool can be chaos-tested with defects landing
+//!   *mid-traffic*. Scheduled faults may be **transient** (the polarization
+//!   is corrupted but the cell still accepts write pulses — a refresh heals
+//!   it) or **permanent** (the cell is [`Cell::is_stuck`] afterwards and
+//!   only spare-row remapping can route around it).
+//!
+//! Detection and repair live next door: [`CrossbarArray::scrub`] and
+//! [`TileGrid::scrub`](crate::TileGrid::scrub) classify defective cells
+//! against the program's expected conductance pattern and report the
+//! unrepairable ones as typed [`FaultReport`]s inside a [`ScrubOutcome`].
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -142,6 +160,194 @@ impl Default for FaultModel {
     }
 }
 
+/// One fault scheduled to strike at a specific array-clock tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// Array-clock tick at which the defect manifests.
+    pub at_tick: u64,
+    /// Row (wordline) of the faulty cell.
+    pub row: usize,
+    /// Column (bitline) of the faulty cell.
+    pub column: usize,
+    /// The defect type.
+    pub kind: FaultKind,
+    /// Whether the cell is permanently stuck afterwards (reprogramming
+    /// cannot heal it) or merely corrupted (a refresh restores it).
+    pub permanent: bool,
+}
+
+/// A deterministic, time-ordered queue of faults to inject as the array
+/// clock advances — the chaos-injection surface of the self-healing tests
+/// and benches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultSchedule {
+    /// Faults sorted by [`ScheduledFault::at_tick`] (stable for equal ticks).
+    events: Vec<ScheduledFault>,
+    /// Index of the first not-yet-delivered event.
+    #[serde(default)]
+    next: usize,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from an arbitrary event list (sorted by strike
+    /// tick, stable for equal ticks, so delivery order is deterministic).
+    pub fn new(mut events: Vec<ScheduledFault>) -> Self {
+        events.sort_by_key(|event| event.at_tick);
+        Self { events, next: 0 }
+    }
+
+    /// An empty schedule.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Every scheduled event, delivered or not, in strike order.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Number of events not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Removes and returns every event due at or before `now` (array-clock
+    /// ticks), in strike order. Subsequent calls never re-deliver an event.
+    pub fn take_due(&mut self, now: u64) -> Vec<ScheduledFault> {
+        let start = self.next;
+        while self.next < self.events.len() && self.events[self.next].at_tick <= now {
+            self.next += 1;
+        }
+        self.events[start..self.next].to_vec()
+    }
+}
+
+impl FaultModel {
+    /// Draws a seeded, time-indexed fault schedule: each cell of a
+    /// `rows × columns` array is defected independently with
+    /// `cell_fault_rate`, visiting cells in row-major order; every drawn
+    /// fault is stamped with a strike tick uniform in
+    /// `[start_tick, end_tick)` and is permanent with probability
+    /// `permanent_fraction`.
+    ///
+    /// This is a **new** RNG consumption order — the frozen program-time
+    /// order of [`FaultModel::inject`] / [`FaultModel::inject_grid`] is
+    /// untouched, so old call sites keep drawing byte-identical faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidLayout`] when `permanent_fraction`
+    /// is outside `[0, 1]` or the tick window is empty.
+    pub fn draw_schedule<R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        columns: usize,
+        start_tick: u64,
+        end_tick: u64,
+        permanent_fraction: f64,
+        rng: &mut R,
+    ) -> Result<FaultSchedule> {
+        if !(0.0..=1.0).contains(&permanent_fraction) || !permanent_fraction.is_finite() {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!("permanent_fraction must lie in [0, 1], got {permanent_fraction}"),
+            });
+        }
+        if start_tick >= end_tick {
+            return Err(CrossbarError::InvalidLayout {
+                reason: format!("empty fault window [{start_tick}, {end_tick})"),
+            });
+        }
+        let span = (end_tick - start_tick) as f64;
+        let mut events = Vec::new();
+        for row in 0..rows {
+            for column in 0..columns {
+                if self.cell_fault_rate == 0.0 || rng.gen::<f64>() >= self.cell_fault_rate {
+                    continue;
+                }
+                let kind = if rng.gen::<f64>() < self.stuck_erased_fraction {
+                    FaultKind::StuckErased
+                } else {
+                    FaultKind::StuckProgrammed
+                };
+                let at_tick = start_tick + (rng.gen::<f64>() * span) as u64;
+                let permanent = rng.gen::<f64>() < permanent_fraction;
+                events.push(ScheduledFault {
+                    at_tick: at_tick.min(end_tick - 1),
+                    row,
+                    column,
+                    kind,
+                    permanent,
+                });
+            }
+        }
+        Ok(FaultSchedule::new(events))
+    }
+}
+
+/// One defective cell found by a scrub pass, in logical coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Logical row (wordline) of the defective cell.
+    pub row: usize,
+    /// Logical column (bitline) of the defective cell.
+    pub column: usize,
+    /// Defect classification from the read signature (a stuck cell reading
+    /// far above its target is [`FaultKind::StuckProgrammed`]; far below,
+    /// [`FaultKind::StuckErased`]).
+    pub kind: FaultKind,
+    /// Whether the scrub repaired the cell (refresh or spare-row remap).
+    /// `false` marks an unrepairable defect the owner must route around —
+    /// a serving pool quarantines the replica.
+    pub repaired: bool,
+}
+
+/// The result of one BIST-style scrub pass over an array or fabric.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScrubOutcome {
+    /// Programmed cells whose read signature was checked.
+    pub cells_checked: u64,
+    /// Defective cells healed in place by reprogramming (transient faults).
+    pub cells_repaired: u64,
+    /// Logical rows remapped onto spare physical rows (tiled fabrics only).
+    pub rows_remapped: u64,
+    /// Defective cells that survived a repair attempt (stuck).
+    pub stuck_cells: u64,
+    /// Total programming pulses spent on repairs.
+    pub pulses_applied: u64,
+    /// Total repair write energy in joules.
+    pub energy_joules: f64,
+    /// One report per defective cell found, repaired or not.
+    pub reports: Vec<FaultReport>,
+}
+
+impl ScrubOutcome {
+    /// Whether the pass found no defective cells at all.
+    pub fn is_clean(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Whether every defect found was repaired (vacuously true when clean).
+    pub fn fully_repaired(&self) -> bool {
+        self.reports.iter().all(|report| report.repaired)
+    }
+
+    /// The unrepairable defects (empty when the fabric healed completely).
+    pub fn unrepaired(&self) -> impl Iterator<Item = &FaultReport> {
+        self.reports.iter().filter(|report| !report.repaired)
+    }
+
+    /// Folds another pass's counters and reports into this one.
+    pub fn merge(&mut self, other: &ScrubOutcome) {
+        self.cells_checked += other.cells_checked;
+        self.cells_repaired += other.cells_repaired;
+        self.rows_remapped += other.rows_remapped;
+        self.stuck_cells += other.stuck_cells;
+        self.pulses_applied += other.pulses_applied;
+        self.energy_joules += other.energy_joules;
+        self.reports.extend_from_slice(&other.reports);
+    }
+}
+
 /// Applies a single hard fault to one cell.
 ///
 /// # Errors
@@ -175,6 +381,52 @@ pub fn apply_grid_fault(
     kind: FaultKind,
 ) -> Result<()> {
     fault_cell(grid.cell_mut(row, column)?, kind);
+    Ok(())
+}
+
+/// Applies one [`ScheduledFault`] (minus its timestamp) to a monolithic
+/// array: the transient device corruption of [`apply_fault`], plus the
+/// permanent [`Cell::is_stuck`] latch when the fault is permanent.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside the
+/// array.
+pub fn apply_scheduled_fault(
+    array: &mut CrossbarArray,
+    row: usize,
+    column: usize,
+    kind: FaultKind,
+    permanent: bool,
+) -> Result<()> {
+    let cell = array.cell_mut(row, column)?;
+    fault_cell(cell, kind);
+    if permanent {
+        cell.set_stuck(true);
+    }
+    Ok(())
+}
+
+/// Applies one [`ScheduledFault`] (minus its timestamp) to a tiled fabric,
+/// addressed by global coordinates — the grid analogue of
+/// [`apply_scheduled_fault`].
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::IndexOutOfBounds`] for coordinates outside the
+/// fabric's logical layout.
+pub fn apply_scheduled_grid_fault(
+    grid: &mut TileGrid,
+    row: usize,
+    column: usize,
+    kind: FaultKind,
+    permanent: bool,
+) -> Result<()> {
+    let cell = grid.cell_mut(row, column)?;
+    fault_cell(cell, kind);
+    if permanent {
+        cell.set_stuck(true);
+    }
     Ok(())
 }
 
@@ -320,5 +572,153 @@ mod tests {
             .unwrap();
         assert_eq!(faults_a, faults_b);
         assert!(!faults_a.is_empty());
+    }
+
+    /// The program-time injection RNG order is frozen: re-deriving the draw
+    /// loop by hand from the same seed must reproduce `inject` exactly, so
+    /// adding the time-indexed schedule surface cannot have shifted a single
+    /// draw for old call sites.
+    #[test]
+    fn inject_rng_order_is_frozen() {
+        let model = FaultModel::new(0.2, 0.5).unwrap();
+        let mut array = programmed_array();
+        let faults = model
+            .inject(&mut array, &mut VariationModel::seeded_rng(7))
+            .unwrap();
+        let mut rng = VariationModel::seeded_rng(7);
+        let mut expected = Vec::new();
+        for row in 0..2 {
+            for column in 0..16 {
+                if rng.gen::<f64>() >= model.cell_fault_rate {
+                    continue;
+                }
+                let kind = if rng.gen::<f64>() < model.stuck_erased_fraction {
+                    FaultKind::StuckErased
+                } else {
+                    FaultKind::StuckProgrammed
+                };
+                expected.push(InjectedFault { row, column, kind });
+            }
+        }
+        assert_eq!(faults, expected);
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_time_ordered() {
+        let model = FaultModel::new(0.3, 0.5).unwrap();
+        let a = model
+            .draw_schedule(4, 8, 100, 1_000, 0.5, &mut VariationModel::seeded_rng(13))
+            .unwrap();
+        let b = model
+            .draw_schedule(4, 8, 100, 1_000, 0.5, &mut VariationModel::seeded_rng(13))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty());
+        for pair in a.events().windows(2) {
+            assert!(pair[0].at_tick <= pair[1].at_tick);
+        }
+        for event in a.events() {
+            assert!((100..1_000).contains(&event.at_tick));
+            assert!(event.row < 4 && event.column < 8);
+        }
+        assert!(a.events().iter().any(|event| event.permanent));
+        assert!(a.events().iter().any(|event| !event.permanent));
+    }
+
+    #[test]
+    fn take_due_delivers_each_event_exactly_once() {
+        let events = vec![
+            ScheduledFault {
+                at_tick: 50,
+                row: 1,
+                column: 2,
+                kind: FaultKind::StuckErased,
+                permanent: true,
+            },
+            ScheduledFault {
+                at_tick: 10,
+                row: 0,
+                column: 0,
+                kind: FaultKind::StuckProgrammed,
+                permanent: false,
+            },
+            ScheduledFault {
+                at_tick: 50,
+                row: 0,
+                column: 1,
+                kind: FaultKind::StuckErased,
+                permanent: false,
+            },
+        ];
+        let mut schedule = FaultSchedule::new(events);
+        assert_eq!(schedule.pending(), 3);
+        assert!(schedule.take_due(9).is_empty());
+        let first = schedule.take_due(10);
+        assert_eq!(first.len(), 1);
+        assert_eq!((first[0].row, first[0].column), (0, 0));
+        assert_eq!(schedule.pending(), 2);
+        // Equal ticks deliver in insertion order (stable sort).
+        let due = schedule.take_due(1_000);
+        assert_eq!(due.len(), 2);
+        assert_eq!((due[0].row, due[0].column), (1, 2));
+        assert_eq!((due[1].row, due[1].column), (0, 1));
+        assert_eq!(schedule.pending(), 0);
+        assert!(schedule.take_due(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn invalid_schedule_parameters_rejected() {
+        let model = FaultModel::new(0.3, 0.5).unwrap();
+        let mut rng = VariationModel::seeded_rng(1);
+        assert!(model.draw_schedule(2, 2, 0, 10, -0.1, &mut rng).is_err());
+        assert!(model.draw_schedule(2, 2, 0, 10, 1.5, &mut rng).is_err());
+        assert!(model.draw_schedule(2, 2, 10, 10, 0.5, &mut rng).is_err());
+        assert!(model.draw_schedule(2, 2, 20, 10, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn permanent_faults_latch_the_stuck_flag() {
+        let mut array = programmed_array();
+        apply_scheduled_fault(&mut array, 0, 3, FaultKind::StuckErased, false).unwrap();
+        assert!(!array.cell(0, 3).unwrap().is_stuck());
+        apply_scheduled_fault(&mut array, 1, 4, FaultKind::StuckProgrammed, true).unwrap();
+        assert!(array.cell(1, 4).unwrap().is_stuck());
+        assert!(apply_scheduled_fault(&mut array, 9, 0, FaultKind::StuckErased, true).is_err());
+    }
+
+    #[test]
+    fn scrub_outcome_merges_and_classifies() {
+        let mut outcome = ScrubOutcome {
+            cells_checked: 10,
+            cells_repaired: 1,
+            reports: vec![FaultReport {
+                row: 0,
+                column: 1,
+                kind: FaultKind::StuckErased,
+                repaired: true,
+            }],
+            ..ScrubOutcome::default()
+        };
+        assert!(!outcome.is_clean());
+        assert!(outcome.fully_repaired());
+        let other = ScrubOutcome {
+            cells_checked: 5,
+            stuck_cells: 1,
+            pulses_applied: 7,
+            energy_joules: 1e-12,
+            reports: vec![FaultReport {
+                row: 2,
+                column: 3,
+                kind: FaultKind::StuckProgrammed,
+                repaired: false,
+            }],
+            ..ScrubOutcome::default()
+        };
+        outcome.merge(&other);
+        assert_eq!(outcome.cells_checked, 15);
+        assert_eq!(outcome.reports.len(), 2);
+        assert!(!outcome.fully_repaired());
+        assert_eq!(outcome.unrepaired().count(), 1);
+        assert!(ScrubOutcome::default().is_clean());
     }
 }

@@ -54,7 +54,10 @@ pub mod write;
 pub use array::{CrossbarArray, ProgrammingMode, RebuildStats, RefreshOutcome};
 pub use cell::Cell;
 pub use errors::{CrossbarError, Result};
-pub use fault::{apply_fault, apply_grid_fault, FaultKind, FaultModel, InjectedFault};
+pub use fault::{
+    apply_fault, apply_grid_fault, apply_scheduled_fault, apply_scheduled_grid_fault, FaultKind,
+    FaultModel, FaultReport, FaultSchedule, InjectedFault, ScheduledFault, ScrubOutcome,
+};
 pub use layout::{ColumnRole, CrossbarLayout};
 pub use read::Activation;
 pub use tiling::{GridRebuildStats, TileGrid, TilePlan, TileShape};
@@ -458,6 +461,86 @@ mod proptests {
                     &grid.wordline_currents_reference(&activation).unwrap(),
                     "step {}",
                     step
+                );
+            }
+        }
+
+        /// Spare-row self-repair is read-transparent: after injecting
+        /// permanent stuck-at faults at random coordinates and scrubbing, a
+        /// fabric provisioned with enough spare rows serves every activation
+        /// bit-identically to an unfaulted fabric holding the same program —
+        /// including under a position-dependent (IR-drop) stack, because
+        /// non-idealities are evaluated in logical coordinates.
+        #[test]
+        fn remapped_spare_reads_are_bit_identical(
+            events in 1usize..6,
+            nodes in 1usize..5,
+            levels_per_node in 1usize..5,
+            has_prior in proptest::bool::ANY,
+            tile_rows in 1usize..4,
+            tile_columns in 1usize..8,
+            fault_seed in 0u64..1_000_000,
+            wire_ohm in 0.0f64..80.0,
+        ) {
+            let layout = CrossbarLayout::new(events, nodes, levels_per_node, has_prior).unwrap();
+            // Enough spares for the worst case: every logical row of every
+            // tile remapped.
+            let shape = TileShape::new(tile_rows, tile_columns)
+                .unwrap()
+                .with_spare_rows(tile_rows);
+            let plan = TilePlan::new(layout, shape).unwrap();
+            let stack = NonIdealityStack::ideal().with_wire(WireResistance::uniform(wire_ohm));
+            let programmer = LevelProgrammer::febim_default(10).unwrap();
+            let mut grid =
+                TileGrid::with_non_idealities(plan, programmer.clone(), stack).unwrap();
+            let mut pristine = TileGrid::with_non_idealities(
+                TilePlan::new(layout, TileShape::new(tile_rows, tile_columns).unwrap()).unwrap(),
+                programmer,
+                stack,
+            )
+            .unwrap();
+
+            let mut rng = VariationModel::seeded_rng(fault_seed);
+            let levels: Vec<Vec<Option<usize>>> = (0..layout.rows())
+                .map(|_| {
+                    (0..layout.columns())
+                        .map(|_| Some((rng.gen::<u64>() % 10) as usize))
+                        .collect()
+                })
+                .collect();
+            grid.program_matrix(&levels, ProgrammingMode::Ideal).unwrap();
+            pristine.program_matrix(&levels, ProgrammingMode::Ideal).unwrap();
+
+            // Permanent stuck-at faults at up to four random coordinates.
+            for _ in 0..=(rng.gen::<u64>() % 4) {
+                let row = (rng.gen::<u64>() as usize) % layout.rows();
+                let column = (rng.gen::<u64>() as usize) % layout.columns();
+                let kind = if rng.gen::<f64>() < 0.5 {
+                    FaultKind::StuckErased
+                } else {
+                    FaultKind::StuckProgrammed
+                };
+                apply_scheduled_grid_fault(&mut grid, row, column, kind, true).unwrap();
+            }
+
+            // A tight tolerance: healthy cells sit exactly on target under
+            // Ideal programming and a wire-only stack, while any stuck-at
+            // polarization flip is macroscopic.
+            let outcome = grid.scrub(1e-6, ProgrammingMode::Ideal).unwrap();
+            prop_assert!(outcome.fully_repaired(), "spares were provisioned for every row");
+
+            let all = Activation::all_columns(&layout);
+            prop_assert_eq!(
+                grid.wordline_currents(&all).unwrap(),
+                pristine.wordline_currents(&all).unwrap()
+            );
+            for active in 0..=layout.columns().min(9) {
+                let picks: Vec<usize> =
+                    (0..active).map(|index| layout.columns() - 1 - index).collect();
+                let prefix = Activation::from_columns(&layout, &picks).unwrap();
+                prop_assert_eq!(
+                    grid.wordline_currents(&prefix).unwrap(),
+                    pristine.wordline_currents(&prefix).unwrap()
                 );
             }
         }

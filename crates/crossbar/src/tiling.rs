@@ -56,6 +56,7 @@ use crate::array::{ProgrammingMode, RefreshOutcome};
 use crate::cache::{lane_delta_sum, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
+use crate::fault::{FaultKind, FaultReport, ScrubOutcome};
 use crate::layout::CrossbarLayout;
 use crate::read::{Activation, ReadCounters};
 use crate::write::WriteScheme;
@@ -67,10 +68,17 @@ pub struct TileShape {
     pub rows: usize,
     /// Bitlines per tile.
     pub columns: usize,
+    /// Redundant spare wordlines fabricated below the logical rows of every
+    /// tile. Spares carry no part of the program until a scrub pass remaps a
+    /// logical row holding an unrepairable cell onto one (see
+    /// [`TileGrid::scrub`]); they do not count towards [`TileShape::cells`]
+    /// or the plan's utilization.
+    #[serde(default)]
+    pub spare_rows: usize,
 }
 
 impl TileShape {
-    /// Creates a tile shape.
+    /// Creates a tile shape with no spare rows.
     ///
     /// # Errors
     ///
@@ -82,7 +90,17 @@ impl TileShape {
                 reason: format!("tile shape {rows}x{columns} has a zero dimension"),
             });
         }
-        Ok(Self { rows, columns })
+        Ok(Self {
+            rows,
+            columns,
+            spare_rows: 0,
+        })
+    }
+
+    /// The same geometry with `spare_rows` redundant wordlines per tile.
+    pub fn with_spare_rows(mut self, spare_rows: usize) -> Self {
+        self.spare_rows = spare_rows;
+        self
     }
 
     /// The 64×64 macro used for the fabric-scale studies (a 64-wordline
@@ -91,10 +109,11 @@ impl TileShape {
         Self {
             rows: 64,
             columns: 64,
+            spare_rows: 0,
         }
     }
 
-    /// Cells per tile.
+    /// Logical (program-visible) cells per tile; spare rows excluded.
     pub fn cells(&self) -> usize {
         self.rows * self.columns
     }
@@ -238,17 +257,36 @@ pub struct GridRebuildStats {
     pub cells_recomputed: u64,
 }
 
-/// One physical tile: its occupied cell bank in local row-major order.
+/// One physical tile: its occupied cell bank in local row-major order, the
+/// provisioned spare rows appended below the logical rows, and the
+/// logical-to-physical wordline remap table the self-repair path rewires.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Tile {
     rows: usize,
     columns: usize,
+    /// Spare physical wordlines appended after the `rows` logical ones.
+    spare_rows: usize,
+    /// `remap[logical local row] = physical backing row` — identity until a
+    /// scrub pass routes a defective wordline onto a spare.
+    remap: Vec<usize>,
+    /// Spare rows consumed by repairs so far.
+    spares_used: usize,
+    /// `(rows + spare_rows) × columns` cells, physical row-major.
     cells: Vec<Cell>,
 }
 
 impl Tile {
+    /// Physical cell index of a **logical** local coordinate, routed through
+    /// the remap table. Every programming, variation, refresh and read path
+    /// addresses cells through this one function, so a repaired wordline is
+    /// transparently served by its spare.
     fn index(&self, local_row: usize, local_col: usize) -> usize {
-        local_row * self.columns + local_col
+        self.remap[local_row] * self.columns + local_col
+    }
+
+    /// Whether an unused spare wordline remains.
+    fn has_free_spare(&self) -> bool {
+        self.spares_used < self.spare_rows
     }
 }
 
@@ -372,10 +410,14 @@ impl TileGrid {
             .flat_map(|tile_row| (0..plan.col_tiles()).map(move |tile_col| (tile_row, tile_col)))
             .map(|(tile_row, tile_col)| {
                 let (rows, columns) = plan.tile_dims(tile_row, tile_col).expect("in-grid tile");
+                let spare_rows = plan.shape().spare_rows;
                 Tile {
                     rows,
                     columns,
-                    cells: vec![template.clone(); rows * columns],
+                    spare_rows,
+                    remap: (0..rows).collect(),
+                    spares_used: 0,
+                    cells: vec![template.clone(); (rows + spare_rows) * columns],
                 }
             })
             .collect();
@@ -625,7 +667,8 @@ impl TileGrid {
                 for &tile_index in tiles.iter() {
                     cache.tiles[tile_index] = self.build_tile_cache(tile_index);
                     stats.tile_rebuilds += 1;
-                    stats.cells_recomputed += self.tiles[tile_index].cells.len() as u64;
+                    let tile = &self.tiles[tile_index];
+                    stats.cells_recomputed += (tile.rows * tile.columns) as u64;
                     tile_rows.push(tile_index / self.plan.col_tiles());
                 }
                 tile_rows.sort_unstable();
@@ -746,13 +789,25 @@ impl TileGrid {
         let local_col = column % shape.columns;
         let local = tile.index(local_row, local_col);
         let state = match mode {
-            ProgrammingMode::Ideal => self
-                .programmer
-                .program_ideal(tile.cells[local].device_mut(), level)?,
+            ProgrammingMode::Ideal => {
+                if tile.cells[local].is_stuck() {
+                    // A stuck stack does not respond to the write; the
+                    // target state is still resolved for bookkeeping.
+                    self.programmer.state_for_level(level)?
+                } else {
+                    self.programmer
+                        .program_ideal(tile.cells[local].device_mut(), level)?
+                }
+            }
             ProgrammingMode::PulseTrain => {
-                let state = self
-                    .programmer
-                    .program_with_pulses(tile.cells[local].device_mut(), level)?;
+                let state = if tile.cells[local].is_stuck() {
+                    // The train still drives the tile column (neighbours
+                    // absorb disturb below) but the stuck cell stays put.
+                    self.programmer.state_for_level(level)?
+                } else {
+                    self.programmer
+                        .program_with_pulses(tile.cells[local].device_mut(), level)?
+                };
                 let scheme = self.write_scheme;
                 let pulses = u64::from(state.write_config.pulse_count) + 1;
                 for other_row in 0..tile.rows {
@@ -1065,7 +1120,8 @@ impl TileGrid {
     }
 
     /// The largest effective threshold error (volts) over all programmed
-    /// cells of the fabric.
+    /// cells of the fabric. Cells already classified as stuck are excluded
+    /// (their error is permanent and belongs to [`TileGrid::scrub`]).
     pub fn worst_effective_shift(&self) -> f64 {
         let layout = *self.plan.layout();
         let window = self.programmer.params().vth_window();
@@ -1073,11 +1129,11 @@ impl TileGrid {
         let mut worst = 0.0f64;
         for row in 0..layout.rows() {
             for column in 0..layout.columns() {
-                let Some(level) = self
-                    .cell(row, column)
-                    .expect("in-range indices")
-                    .programmed_level()
-                else {
+                let cell = self.cell(row, column).expect("in-range indices");
+                if cell.is_stuck() {
+                    continue;
+                }
+                let Some(level) = cell.programmed_level() else {
                     continue;
                 };
                 let target = Self::level_state(&self.programmer, &mut states, level)
@@ -1121,11 +1177,11 @@ impl TileGrid {
         for row in 0..layout.rows() {
             let mut refresh_row = false;
             for column in 0..layout.columns() {
-                let Some(level) = self
-                    .cell(row, column)
-                    .expect("in-range indices")
-                    .programmed_level()
-                else {
+                let cell = self.cell(row, column).expect("in-range indices");
+                if cell.is_stuck() {
+                    continue;
+                }
+                let Some(level) = cell.programmed_level() else {
                     continue;
                 };
                 outcome.cells_checked += 1;
@@ -1145,6 +1201,9 @@ impl TileGrid {
             for column in 0..layout.columns() {
                 let tile_index = tile_row * col_tiles + column / shape.columns;
                 let local = self.tiles[tile_index].index(local_row, column % shape.columns);
+                if self.tiles[tile_index].cells[local].is_stuck() {
+                    continue;
+                }
                 let Some(level) = self.tiles[tile_index].cells[local].programmed_level() else {
                     continue;
                 };
@@ -1177,6 +1236,224 @@ impl TileGrid {
                     .mark_tile(tile_row * col_tiles + tile_col, self.plan.tile_count());
             }
             self.bump_epoch();
+        }
+        Ok(outcome)
+    }
+
+    /// Total spare wordlines provisioned across all tiles.
+    pub fn spare_rows_total(&self) -> usize {
+        self.tiles.iter().map(|tile| tile.spare_rows).sum()
+    }
+
+    /// Spare wordlines consumed by repairs so far.
+    pub fn spares_used(&self) -> usize {
+        self.tiles.iter().map(|tile| tile.spares_used).sum()
+    }
+
+    /// Whether any tile serves `row` from a remapped spare wordline
+    /// (`false` for rows outside the layout).
+    pub fn is_row_remapped(&self, row: usize) -> bool {
+        if row >= self.plan.layout().rows() {
+            return false;
+        }
+        let shape = self.plan.shape();
+        let tile_row = row / shape.rows;
+        let local_row = row % shape.rows;
+        (0..self.plan.col_tiles()).any(|tile_col| {
+            let tile = &self.tiles[tile_row * self.plan.col_tiles() + tile_col];
+            local_row < tile.rows && tile.remap[local_row] != local_row
+        })
+    }
+
+    /// One BIST-style scrub pass over the fabric — the tile-granular,
+    /// spare-row-repairing analogue of
+    /// [`CrossbarArray::scrub`](crate::CrossbarArray::scrub).
+    ///
+    /// Every programmed cell is read back against the program's expected
+    /// signature. A cell out of signature gets one in-place rewrite attempt
+    /// and a re-read; a cell that still misses its target is unrepairable in
+    /// place, and its wordline *segment* (the logical row within the owning
+    /// tile) is repaired by reprogramming the segment's contents onto a free
+    /// spare physical row — the minimal Preisach train from the erased spare
+    /// under [`ProgrammingMode::PulseTrain`] — and rewiring the tile's remap
+    /// table. Reads through the remap stay bit-identical to the pre-fault
+    /// reference because non-idealities are evaluated in logical
+    /// coordinates. When the tile has no free spare, the defective cells are
+    /// latched stuck and reported with `repaired == false`; the caller
+    /// decides whether the fabric must be quarantined.
+    ///
+    /// Like recalibration, repair writes are modelled disturb-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] for a non-positive or non-finite
+    /// tolerance, and propagates programming errors.
+    pub fn scrub(&mut self, max_vth_shift: f64, mode: ProgrammingMode) -> Result<ScrubOutcome> {
+        if !max_vth_shift.is_finite() || max_vth_shift <= 0.0 {
+            return Err(CrossbarError::Device(DeviceError::InvalidParameter {
+                name: "max_vth_shift",
+                reason: "scrub tolerance must be positive and finite".to_string(),
+            }));
+        }
+        let layout = *self.plan.layout();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        let window = self.programmer.params().vth_window();
+        let energy_per_pulse = self.programmer.params().write_energy_per_pulse;
+        let mut states: Vec<Option<ProgrammedState>> = Vec::new();
+        let mut outcome = ScrubOutcome::default();
+        for row in 0..layout.rows() {
+            let tile_row = row / shape.rows;
+            let local_row = row % shape.rows;
+            let clock = self.clock;
+            let mut row_touched = false;
+            // Cells still out of signature after the in-place attempt, in
+            // ascending column order (so tile groups are contiguous).
+            let mut unrepaired: Vec<(usize, FaultKind)> = Vec::new();
+            for column in 0..layout.columns() {
+                let Some(level) = self
+                    .cell(row, column)
+                    .expect("in-range indices")
+                    .programmed_level()
+                else {
+                    continue;
+                };
+                outcome.cells_checked += 1;
+                let target = Self::level_state(&self.programmer, &mut states, level)?.clone();
+                if self.effective_shift(row, column, &target, window).abs() <= max_vth_shift {
+                    continue;
+                }
+                // Out of signature: classify the observed state, then try
+                // one in-place rewrite (a stuck stack does not respond).
+                let observed = self
+                    .cell(row, column)
+                    .expect("in-range indices")
+                    .device()
+                    .polarization()
+                    .value();
+                let kind = if observed >= 0.5 {
+                    FaultKind::StuckProgrammed
+                } else {
+                    FaultKind::StuckErased
+                };
+                let tile_index = tile_row * col_tiles + column / shape.columns;
+                let local = self.tiles[tile_index].index(local_row, column % shape.columns);
+                if !self.tiles[tile_index].cells[local].is_stuck() {
+                    let pulses = match mode {
+                        ProgrammingMode::Ideal => {
+                            self.tiles[tile_index].cells[local]
+                                .device_mut()
+                                .set_polarization(target.polarization);
+                            u64::from(target.write_config.pulse_count) + 1
+                        }
+                        ProgrammingMode::PulseTrain => {
+                            u64::from(self.programmer.refresh_with_pulses(
+                                self.tiles[tile_index].cells[local].device_mut(),
+                                level,
+                            )?)
+                        }
+                    };
+                    outcome.pulses_applied += pulses;
+                    let energy = energy_per_pulse * pulses as f64;
+                    outcome.energy_joules += energy;
+                    self.write_energy += energy;
+                    self.tiles[tile_index].cells[local].set_programmed_at(clock);
+                    self.tiles[tile_index].cells[local].reset_disturb();
+                    self.row_reads.reset_row(row);
+                    row_touched = true;
+                }
+                // Re-read after the repair attempt.
+                if self.effective_shift(row, column, &target, window).abs() <= max_vth_shift {
+                    outcome.cells_repaired += 1;
+                    outcome.reports.push(FaultReport {
+                        row,
+                        column,
+                        kind,
+                        repaired: true,
+                    });
+                } else {
+                    unrepaired.push((column, kind));
+                }
+            }
+            // Spare-row repair, one tile segment at a time.
+            let mut start = 0;
+            while start < unrepaired.len() {
+                let tile_col = unrepaired[start].0 / shape.columns;
+                let mut end = start;
+                while end < unrepaired.len() && unrepaired[end].0 / shape.columns == tile_col {
+                    end += 1;
+                }
+                let group = &unrepaired[start..end];
+                start = end;
+                let tile_index = tile_row * col_tiles + tile_col;
+                if !self.tiles[tile_index].has_free_spare() {
+                    for &(column, kind) in group {
+                        let local = self.tiles[tile_index].index(local_row, column % shape.columns);
+                        self.tiles[tile_index].cells[local].set_stuck(true);
+                        outcome.stuck_cells += 1;
+                        outcome.reports.push(FaultReport {
+                            row,
+                            column,
+                            kind,
+                            repaired: false,
+                        });
+                    }
+                    continue;
+                }
+                // Reprogram the whole logical row segment onto the spare
+                // physical row, then rewire the remap table.
+                let spare_phys = self.tiles[tile_index].rows + self.tiles[tile_index].spares_used;
+                let columns_in_tile = self.tiles[tile_index].columns;
+                for local_col in 0..columns_in_tile {
+                    let old = self.tiles[tile_index].index(local_row, local_col);
+                    let Some(level) = self.tiles[tile_index].cells[old].programmed_level() else {
+                        continue;
+                    };
+                    let spare_index = spare_phys * columns_in_tile + local_col;
+                    let state = match mode {
+                        ProgrammingMode::Ideal => self.programmer.program_ideal(
+                            self.tiles[tile_index].cells[spare_index].device_mut(),
+                            level,
+                        )?,
+                        ProgrammingMode::PulseTrain => self.programmer.program_with_pulses(
+                            self.tiles[tile_index].cells[spare_index].device_mut(),
+                            level,
+                        )?,
+                    };
+                    let pulses = u64::from(state.write_config.pulse_count) + 1;
+                    outcome.pulses_applied += pulses;
+                    let energy = energy_per_pulse * pulses as f64;
+                    outcome.energy_joules += energy;
+                    self.write_energy += energy;
+                    let cell = &mut self.tiles[tile_index].cells[spare_index];
+                    cell.set_programmed_level(level);
+                    cell.reset_disturb();
+                    cell.set_programmed_at(clock);
+                }
+                let tile = &mut self.tiles[tile_index];
+                tile.remap[local_row] = spare_phys;
+                tile.spares_used += 1;
+                outcome.rows_remapped += 1;
+                self.row_reads.reset_row(row);
+                row_touched = true;
+                for &(column, kind) in group {
+                    outcome.cells_repaired += 1;
+                    outcome.reports.push(FaultReport {
+                        row,
+                        column,
+                        kind,
+                        repaired: true,
+                    });
+                }
+            }
+            if row_touched {
+                for tile_col in 0..col_tiles {
+                    self.dirty
+                        .get_mut()
+                        .mark_tile(tile_row * col_tiles + tile_col, self.plan.tile_count());
+                }
+                self.bump_epoch();
+            }
         }
         Ok(outcome)
     }
@@ -1616,5 +1893,135 @@ mod tests {
         let activation = Activation::all_columns(warm.layout());
         warm.wordline_currents(&activation).unwrap();
         assert_eq!(warm, cold);
+    }
+
+    fn spare_plan(spare_rows: usize) -> TilePlan {
+        let layout = CrossbarLayout::new(3, 4, 4, false).unwrap();
+        let shape = TileShape::new(2, 9).unwrap().with_spare_rows(spare_rows);
+        TilePlan::new(layout, shape).unwrap()
+    }
+
+    fn spare_grid(spare_rows: usize) -> TileGrid {
+        let plan = spare_plan(spare_rows);
+        let programmer = LevelProgrammer::febim_default(10).unwrap();
+        let mut grid = TileGrid::new(plan, programmer);
+        grid.program_matrix(&checker_levels(plan.layout()), ProgrammingMode::Ideal)
+            .unwrap();
+        grid
+    }
+
+    #[test]
+    fn spare_rows_do_not_change_logical_geometry() {
+        let shape = TileShape::new(2, 9).unwrap().with_spare_rows(3);
+        assert_eq!(shape.spare_rows, 3);
+        assert_eq!(shape.cells(), 18, "spares excluded from logical cells");
+        let plan = spare_plan(2);
+        assert_eq!(plan.tile_count(), 4);
+        let grid = spare_grid(2);
+        assert_eq!(grid.spare_rows_total(), 8);
+        assert_eq!(grid.spares_used(), 0);
+        assert!(!grid.is_row_remapped(0));
+        // Reads are unaffected by provisioned-but-unused spares.
+        let (reference, _) = grid_and_array();
+        let activation = Activation::all_columns(grid.layout());
+        assert_eq!(
+            grid.wordline_currents(&activation).unwrap(),
+            reference.wordline_currents(&activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_scrub_repairs_transient_fault_in_place() {
+        let mut grid = spare_grid(1);
+        let activation = Activation::all_columns(grid.layout());
+        let reference = grid.wordline_currents(&activation).unwrap();
+        crate::fault::apply_scheduled_grid_fault(&mut grid, 2, 10, FaultKind::StuckErased, false)
+            .unwrap();
+        assert_ne!(grid.wordline_currents(&activation).unwrap(), reference);
+
+        let outcome = grid.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert!(outcome.fully_repaired());
+        assert_eq!(outcome.cells_repaired, 1);
+        assert_eq!(outcome.rows_remapped, 0, "in-place repair needs no spare");
+        assert_eq!(grid.spares_used(), 0);
+        assert_eq!(grid.wordline_currents(&activation).unwrap(), reference);
+    }
+
+    #[test]
+    fn grid_scrub_remaps_permanent_fault_onto_spare_bit_exactly() {
+        let mut grid = spare_grid(1);
+        let activation = Activation::all_columns(grid.layout());
+        let reference = grid.wordline_currents(&activation).unwrap();
+        crate::fault::apply_scheduled_grid_fault(
+            &mut grid,
+            2,
+            10,
+            FaultKind::StuckProgrammed,
+            true,
+        )
+        .unwrap();
+        assert_ne!(grid.wordline_currents(&activation).unwrap(), reference);
+
+        let outcome = grid.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert!(outcome.fully_repaired());
+        assert_eq!(outcome.stuck_cells, 0);
+        assert_eq!(outcome.rows_remapped, 1);
+        assert!(outcome.pulses_applied > 0);
+        assert_eq!(grid.spares_used(), 1);
+        assert!(grid.is_row_remapped(2));
+        assert!(!grid.is_row_remapped(0));
+        let report = &outcome.reports[0];
+        assert_eq!((report.row, report.column), (2, 10));
+        assert_eq!(report.kind, FaultKind::StuckProgrammed);
+        assert!(report.repaired);
+
+        // Reads through the remap are bit-identical to the pre-fault
+        // reference, on the cached path and the uncached oracle alike.
+        let healed = grid.wordline_currents(&activation).unwrap();
+        assert_eq!(healed, reference);
+        assert_eq!(
+            healed,
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
+        assert_eq!(grid.worst_effective_shift(), 0.0);
+
+        // The repaired row keeps working as a programming target.
+        grid.program_cell(2, 10, 9, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(grid.cell(2, 10).unwrap().programmed_level(), Some(9));
+        assert!(!grid.cell(2, 10).unwrap().is_stuck());
+    }
+
+    #[test]
+    fn grid_scrub_without_spares_reports_unrepairable_cells() {
+        let mut grid = spare_grid(0);
+        crate::fault::apply_scheduled_grid_fault(&mut grid, 2, 10, FaultKind::StuckErased, true)
+            .unwrap();
+        let outcome = grid.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert!(!outcome.fully_repaired());
+        assert_eq!(outcome.stuck_cells, 1);
+        assert_eq!(outcome.rows_remapped, 0);
+        let unrepaired: Vec<&FaultReport> = outcome.unrepaired().collect();
+        assert_eq!(unrepaired.len(), 1);
+        assert_eq!((unrepaired[0].row, unrepaired[0].column), (2, 10));
+        assert!(grid.cell(2, 10).unwrap().is_stuck());
+        // Recalibration leaves the latched cell to the repair subsystem.
+        assert_eq!(grid.worst_effective_shift(), 0.0);
+        let refresh = grid.recalibrate(0.05, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(refresh.rows_refreshed, 0);
+    }
+
+    #[test]
+    fn grid_scrub_exhausts_spares_then_degrades() {
+        let mut grid = spare_grid(1);
+        // Rows 0 and 1 share tile (0, 1): the single spare covers only one.
+        crate::fault::apply_scheduled_grid_fault(&mut grid, 0, 10, FaultKind::StuckErased, true)
+            .unwrap();
+        crate::fault::apply_scheduled_grid_fault(&mut grid, 1, 10, FaultKind::StuckErased, true)
+            .unwrap();
+        let outcome = grid.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(outcome.rows_remapped, 1);
+        assert_eq!(outcome.stuck_cells, 1);
+        assert!(!outcome.fully_repaired());
+        assert_eq!(grid.spares_used(), 1);
     }
 }

@@ -67,7 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         Err(err) => panic!("submit failed: {err}"),
                     }
                 };
-                let outcome = ticket.wait().expect("served answer");
+                // Bounded wait: `wait_timeout` hands the ticket back on
+                // expiry instead of blocking forever, so a client can
+                // interleave other work (or give up) while the answer is
+                // still in flight. Here it simply retries until served.
+                let mut pending = ticket;
+                let outcome = loop {
+                    match pending.wait_timeout(10_000) {
+                        Ok(result) => break result.expect("served answer"),
+                        Err(ticket) => pending = ticket,
+                    }
+                };
                 answered += 1;
                 if outcome.batch.reads > 1 {
                     grouped += 1;

@@ -65,11 +65,11 @@ pub mod prelude {
         epoch_accuracy, epoch_accuracy_with_backend, noise_campaign, performance_metrics,
         variation_sweep, variation_sweep_with_backend, BackendInfo, BackendKind, BatchTelemetry,
         CrossbarBackend, EngineConfig, FebimEngine, InferenceBackend, MetricsConfig, NoisePoint,
-        NoiseScenario, PoolStats, RecalibrationPolicy, RecalibrationScheduler, ServeOutcome,
-        ServingConfig, ServingError, ServingPool, SoftwareBackend, Ticket, TiledFabricBackend,
-        WorkerReport,
+        NoiseScenario, PoolStats, RecalibrationPolicy, RecalibrationScheduler, ReplicaHealth,
+        ScrubPolicy, ScrubReport, ScrubScheduler, ServeOutcome, ServingConfig, ServingError,
+        ServingPool, SoftwareBackend, Ticket, TiledFabricBackend, WorkerReport,
     };
-    pub use febim_crossbar::TileShape;
+    pub use febim_crossbar::{FaultKind, FaultSchedule, ScheduledFault, ScrubOutcome, TileShape};
     pub use febim_data::rng::seeded_rng;
     pub use febim_data::split::{stratified_split, train_test_split};
     pub use febim_data::synthetic::{cancer_like, iris_like, wine_like};

@@ -164,6 +164,54 @@ fn targeted_tile_fault_biases_the_fabric_like_the_array() {
 }
 
 #[test]
+fn scrub_heals_scheduled_strikes_back_to_the_fresh_read_path() {
+    // The time-indexed chaos path: scheduled faults strike while the engine
+    // ages, pending counts drain on time, and one scrub pass restores the
+    // exact fresh bit pattern — the detection/repair loop the serving
+    // pool's background scrubber runs between batches.
+    let dataset = iris_like(5005).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(5005)).expect("split");
+    let mut engine = FebimEngine::fit(&split.train, EngineConfig::febim_default()).expect("engine");
+    let fresh_map = engine.current_map();
+    let fresh_accuracy = engine.evaluate(&split.test).expect("evaluate").accuracy;
+
+    engine.set_fault_schedule(FaultSchedule::new(vec![
+        ScheduledFault {
+            at_tick: 3,
+            row: 1,
+            column: 3,
+            kind: FaultKind::StuckErased,
+            permanent: false,
+        },
+        ScheduledFault {
+            at_tick: 7,
+            row: 2,
+            column: 5,
+            kind: FaultKind::StuckProgrammed,
+            permanent: false,
+        },
+    ]));
+    assert_eq!(engine.pending_faults(), 2);
+    engine.advance_time(5);
+    assert_eq!(engine.pending_faults(), 1, "only the tick-3 fault is due");
+    engine.advance_time(5);
+    assert_eq!(engine.pending_faults(), 0, "the tick-7 fault struck too");
+
+    let outcome = engine.scrub(1e-6).expect("scrub");
+    assert!(outcome.fully_repaired(), "transient faults heal in place");
+    assert!(outcome.cells_repaired >= 1, "the strikes must be detected");
+    assert_eq!(
+        engine.current_map(),
+        fresh_map,
+        "repair must restore the exact fresh bit pattern"
+    );
+    assert_eq!(
+        engine.evaluate(&split.test).expect("evaluate").accuracy,
+        fresh_accuracy
+    );
+}
+
+#[test]
 fn stuck_programmed_faults_bias_towards_the_faulty_row() {
     let dataset = iris_like(5002).expect("dataset");
     let split = stratified_split(&dataset, 0.7, &mut seeded_rng(5002)).expect("split");

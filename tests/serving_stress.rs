@@ -276,6 +276,141 @@ fn abort_partitions_every_ticket_between_served_and_rejected() {
     );
 }
 
+/// Chaos under multi-producer load: one replica takes an unrepairable
+/// scheduled hit while producers hammer the rings and a chaos thread
+/// forces scrub checks. The struck replica is quarantined mid-stream, yet
+/// every admitted ticket still resolves exactly once — and everything the
+/// surviving replicas answered is bit-correct.
+#[test]
+fn chaos_quarantine_under_load_resolves_every_ticket_exactly_once() {
+    use febim_suite::prelude::{FaultKind, FaultSchedule, ScheduledFault, ScrubPolicy};
+
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 50;
+    let dataset = iris_like(3104).expect("dataset");
+    let split = stratified_split(&dataset, 0.7, &mut seeded_rng(3104)).expect("split");
+    let config = EngineConfig::febim_default();
+    let mut struck = FebimEngine::fit(&split.train, config.clone()).expect("struck engine");
+    struck.set_fault_schedule(FaultSchedule::new(vec![ScheduledFault {
+        at_tick: 1,
+        row: 1,
+        column: 3,
+        kind: FaultKind::StuckErased,
+        permanent: true,
+    }]));
+    // Deterministic chaos: land the strike before deployment so the
+    // quarantine depends only on the forced scrub, not on which replica
+    // happens to age first under the randomized load.
+    struck.advance_time(2);
+    assert_eq!(struck.pending_faults(), 0, "the strike must have landed");
+    let healthy = FebimEngine::fit(&split.train, config.clone()).expect("healthy engine");
+    let reference = FebimEngine::fit(&split.train, config).expect("reference engine");
+    let expected: Vec<usize> = (0..split.test.n_samples())
+        .map(|index| {
+            reference
+                .predict(split.test.sample(index).expect("sample"))
+                .expect("reference prediction")
+        })
+        .collect();
+
+    let pool = ServingPool::new(
+        vec![struck, healthy.clone(), healthy],
+        ServingConfig::febim_default()
+            .with_max_batch(8)
+            .with_queue_depth(32)
+            .with_ticks_per_batch(5)
+            .with_scrub(ScrubPolicy::new(1_000_000, 1e-3)),
+    )
+    .expect("pool");
+
+    let test = &split.test;
+    let (ok, rejected) = std::thread::scope(|scope| {
+        // The chaos thread forces scrub checks until the struck replica is
+        // caught and quarantined, then lets the producers finish.
+        let chaos = {
+            let pool = &pool;
+            scope.spawn(move || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                while pool
+                    .worker_health()
+                    .iter()
+                    .all(|health| health.is_serving())
+                {
+                    pool.request_scrub();
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "the struck replica was never quarantined"
+                    );
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let tallies: Vec<(usize, usize)> = (0..PRODUCERS)
+            .map(|producer| {
+                let pool = &pool;
+                let expected = &expected[..];
+                scope.spawn(move || {
+                    let mut rng = seeded_rng(9300 + producer as u64);
+                    let mut pending: Vec<(usize, Ticket)> = Vec::with_capacity(PER_PRODUCER);
+                    for _ in 0..PER_PRODUCER {
+                        let index = rng.gen_range(0..test.n_samples());
+                        let sample = test.sample(index).expect("sample").to_vec();
+                        let ticket = pool.submit_blocking(sample).expect("submit");
+                        pending.push((index, ticket));
+                        for _ in 0..rng.gen_range(0..400_usize) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let mut ok = 0;
+                    let mut rejected = 0;
+                    for (index, ticket) in pending {
+                        match ticket.wait() {
+                            Ok(outcome) => {
+                                // Answers from surviving replicas must be
+                                // bit-correct; the struck replica may have
+                                // answered corrupted reads before its
+                                // quarantine, so only its origin is checked.
+                                if outcome.worker != 0 {
+                                    assert_eq!(outcome.prediction, expected[index]);
+                                }
+                                ok += 1;
+                            }
+                            Err(ServingError::ShutDown) => rejected += 1,
+                            Err(other) => panic!("unexpected ticket error: {other}"),
+                        }
+                    }
+                    (ok, rejected)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("producer thread"))
+            .collect();
+        chaos.join().expect("chaos thread");
+        (
+            tallies.iter().map(|(ok, _)| *ok).sum::<usize>(),
+            tallies.iter().map(|(_, rejected)| *rejected).sum::<usize>(),
+        )
+    });
+
+    assert_eq!(ok, PRODUCERS * PER_PRODUCER, "every ticket answered Ok");
+    assert_eq!(rejected, 0, "no shutdown raced the producers");
+    let health = pool.worker_health();
+    assert!(!health[0].is_serving(), "the struck replica stays out");
+    assert_eq!(pool.serving_replicas(), 2);
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.requests, (PRODUCERS * PER_PRODUCER) as u64);
+    assert_eq!(stats.shutdown_rejected, 0);
+    assert_eq!(stats.crashed_workers, 0);
+    assert_eq!(stats.quarantined_workers, 1);
+    assert!(stats.scrubs >= 1, "quarantine must come from a real scrub");
+    assert!(stats.faults_detected >= 1);
+    assert!(stats.health_transitions >= 1);
+    assert!(stats.workers[0].quarantined);
+    assert_eq!(stats.fallback_served, 0, "survivors carried the load");
+}
+
 /// A worker panicking mid-batch under multi-producer load: its in-flight
 /// jobs resolve to the typed error via the drop guards, the surviving
 /// workers keep serving correct answers, and the crash is surfaced in the
