@@ -10,7 +10,7 @@ use febim_data::rng::seeded_rng;
 use febim_data::split::stratified_split;
 use febim_data::synthetic::iris_like;
 use febim_device::{FeFet, FeFetParams, LevelProgrammer};
-use febim_quant::{QuantConfig, QuantizedGnbc};
+use febim_quant::{Encoding, QuantConfig, QuantizedGnbc};
 
 fn programming_benches(c: &mut Criterion) {
     let programmer = LevelProgrammer::febim_default(10).expect("programmer");
@@ -42,7 +42,7 @@ fn programming_benches(c: &mut Criterion) {
     let model = GaussianNaiveBayes::fit(&split.train).expect("fit");
     let quantized = QuantizedGnbc::quantize(&model, &split.train, QuantConfig::febim_optimal())
         .expect("quantize");
-    let program = compile(&quantized, false).expect("compile");
+    let program = compile(&quantized, false, Encoding::OneHot).expect("compile");
     let array_programmer = LevelProgrammer::new(
         FeFetParams::febim_calibrated(),
         program.state_count(),

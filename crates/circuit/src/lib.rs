@@ -40,6 +40,7 @@ pub mod errors;
 pub mod fabric;
 pub mod mirror;
 pub mod sense;
+pub mod shift_add;
 pub mod transient;
 pub mod wta;
 
@@ -50,6 +51,7 @@ pub use errors::{CircuitError, Result};
 pub use fabric::{RecalibrationOverhead, TileGeometry};
 pub use mirror::CurrentMirror;
 pub use sense::{SenseMargin, SenseOutcome, SenseReadout, SensingChain};
+pub use shift_add::merge_plane_sums_into;
 pub use transient::{first_order_settling, integrate, TransientConfig, Waveform, WaveformPoint};
 pub use wta::{WtaCircuit, WtaDecision, WtaParams, WtaTransient};
 

@@ -1,0 +1,480 @@
+//! Shift-add sensing stage for packed bit-plane reads.
+//!
+//! A bit-plane-packed crossbar (see the quant crate's `Encoding::BitPlane`)
+//! does not read log-posterior currents directly: one read cycle produces,
+//! per wordline, one exact-integer partial sum per bit plane — the count of
+//! activated columns whose selected digit has that plane's bit set. The
+//! sensing module then merges the planes with a shift-add bus:
+//!
+//! ```text
+//! score[row]  = Σ_plane 2^plane · partial[row][plane]      (exact integer)
+//! current[row] = floor_current + lsb_current · score[row]  (one affine map)
+//! ```
+//!
+//! Every summand is an exact integer in `f64` (bit counts times powers of
+//! two), so the merged scores carry no floating-point reassociation hazard;
+//! scaling into the current domain happens exactly once, at the end. The
+//! merged currents then drive the very same mirror and WTA as a one-hot
+//! read, so packing never changes the decision path — only the column
+//! footprint and the read telemetry.
+//!
+//! Pricing: the merge bus re-uses the array's column-settling constant once
+//! per plane on top of the (much narrower) packed-column settling, and
+//! charges one bitline-driver switch per row per plane for the shift-add
+//! accumulators. Both monolithic and tiled-fabric variants are provided.
+
+use crate::delay::DelayBreakdown;
+use crate::energy::InferenceEnergy;
+use crate::errors::{CircuitError, Result};
+use crate::fabric::TileGeometry;
+use crate::sense::{SenseReadout, SensingChain};
+
+/// Merges per-plane partial sums into wordline currents, written into
+/// `merged` (cleared first).
+///
+/// `plane_sums` holds `rows × planes` entries laid out
+/// `plane_sums[row * planes + plane]`; each entry must be a non-negative
+/// finite count. `lsb_current` is the current step of one least-significant
+/// score unit and `floor_current` the shared per-row offset (both in
+/// amperes).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::EmptyInput`] for no partial sums,
+/// [`CircuitError::InvalidParameter`] for a zero plane count, a partial-sum
+/// length that does not tile into planes, a non-positive `lsb_current` or a
+/// negative `floor_current`, and [`CircuitError::InvalidCurrent`] for a
+/// negative or non-finite partial sum.
+pub fn merge_plane_sums_into(
+    plane_sums: &[f64],
+    planes: usize,
+    lsb_current: f64,
+    floor_current: f64,
+    merged: &mut Vec<f64>,
+) -> Result<()> {
+    if plane_sums.is_empty() {
+        return Err(CircuitError::EmptyInput);
+    }
+    if planes == 0 {
+        return Err(CircuitError::InvalidParameter {
+            name: "planes",
+            reason: "a packed read carries at least one bit plane".to_string(),
+        });
+    }
+    if !plane_sums.len().is_multiple_of(planes) {
+        return Err(CircuitError::InvalidParameter {
+            name: "plane_sums",
+            reason: format!(
+                "{} partial sums cannot tile into {planes} planes",
+                plane_sums.len()
+            ),
+        });
+    }
+    if !(lsb_current > 0.0 && lsb_current.is_finite()) {
+        return Err(CircuitError::InvalidParameter {
+            name: "lsb_current",
+            reason: format!("must be positive and finite, got {lsb_current}"),
+        });
+    }
+    if !(floor_current >= 0.0 && floor_current.is_finite()) {
+        return Err(CircuitError::InvalidParameter {
+            name: "floor_current",
+            reason: format!("must be non-negative and finite, got {floor_current}"),
+        });
+    }
+    for (index, &value) in plane_sums.iter().enumerate() {
+        if !(value >= 0.0 && value.is_finite()) {
+            return Err(CircuitError::InvalidCurrent { index, value });
+        }
+    }
+    let rows = plane_sums.len() / planes;
+    merged.clear();
+    merged.reserve(rows);
+    for row in 0..rows {
+        let base = row * planes;
+        // Integer partial sums times exact powers of two: the score is an
+        // exact integer in f64 however the terms associate.
+        let mut score = 0.0;
+        for (plane, &partial) in plane_sums[base..base + planes].iter().enumerate() {
+            score += partial * (1u64 << plane) as f64;
+        }
+        merged.push(floor_current + lsb_current * score);
+    }
+    Ok(())
+}
+
+fn check_planes(planes: usize) -> Result<()> {
+    if planes == 0 {
+        return Err(CircuitError::InvalidParameter {
+            name: "planes",
+            reason: "a packed read carries at least one bit plane".to_string(),
+        });
+    }
+    Ok(())
+}
+
+impl SensingChain {
+    /// Worst-case delay of one packed shift-add read on a monolithic array:
+    /// the settling of the (reduced) packed columns, plus one merge-bus pass
+    /// per plane, plus the usual WTA resolution over the merged rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for a zero plane count and
+    /// propagates delay-model errors.
+    pub fn shift_add_delay(
+        &self,
+        rows: usize,
+        activated_columns: usize,
+        planes: usize,
+    ) -> Result<DelayBreakdown> {
+        check_planes(planes)?;
+        let mut delay = self.delay_model().worst_case(
+            rows,
+            activated_columns.max(1),
+            self.wta(),
+            self.mirror().gain,
+        )?;
+        delay.array += self.delay_model().params().per_column * planes as f64;
+        Ok(delay)
+    }
+
+    /// Energy of one packed shift-add read on a monolithic array: the usual
+    /// driver/conduction/mirror/WTA pricing over the merged currents and the
+    /// (reduced) activated packed columns, plus one bitline-driver switch
+    /// per row per plane for the shift-add accumulators.
+    ///
+    /// `mirrored_currents` must be `mirror().copy_all` of `merged_currents`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for a zero plane count and
+    /// propagates energy-model errors.
+    pub fn shift_add_energy(
+        &self,
+        merged_currents: &[f64],
+        mirrored_currents: &[f64],
+        activated_columns: usize,
+        planes: usize,
+        duration: f64,
+    ) -> Result<InferenceEnergy> {
+        check_planes(planes)?;
+        let mut energy = self.energy_model().inference_with_mirrored(
+            merged_currents,
+            mirrored_currents,
+            activated_columns,
+            duration,
+            self.mirror(),
+            self.wta(),
+        )?;
+        energy.array += (planes * merged_currents.len()) as f64
+            * self.energy_model().params().bitline_driver_energy;
+        Ok(energy)
+    }
+
+    /// Senses one packed shift-add read on a monolithic array without
+    /// allocating: merges the plane partials into `merged_scratch`, mirrors
+    /// them into `mirrored_scratch` (both cleared first), resolves the WTA
+    /// and prices the packed delay and energy.
+    ///
+    /// The decision runs over the merged currents through the exact mirror
+    /// and WTA a one-hot read uses. Packed integer scores tie far more often
+    /// than analog sums, so callers should expect and handle
+    /// [`CircuitError::AmbiguousWinner`]; the public
+    /// [`SensingChain::shift_add_delay`] / [`SensingChain::shift_add_energy`]
+    /// helpers let a tie fallback price the read identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge, mirror, WTA, delay and energy errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sense_shift_add_into(
+        &self,
+        plane_sums: &[f64],
+        planes: usize,
+        lsb_current: f64,
+        floor_current: f64,
+        activated_columns: usize,
+        merged_scratch: &mut Vec<f64>,
+        mirrored_scratch: &mut Vec<f64>,
+    ) -> Result<SenseReadout> {
+        merge_plane_sums_into(
+            plane_sums,
+            planes,
+            lsb_current,
+            floor_current,
+            merged_scratch,
+        )?;
+        self.mirror()
+            .copy_all_into(merged_scratch, mirrored_scratch)?;
+        let decision = self.wta().resolve(mirrored_scratch)?;
+        let delay = self.shift_add_delay(merged_scratch.len(), activated_columns, planes)?;
+        let energy = self.shift_add_energy(
+            merged_scratch,
+            mirrored_scratch,
+            activated_columns,
+            planes,
+            delay.total(),
+        )?;
+        Ok(SenseReadout {
+            winner: decision.winner,
+            decision,
+            delay,
+            energy,
+        })
+    }
+
+    /// Worst-case delay of one packed shift-add read on a tiled fabric: the
+    /// parallel per-tile settling and merge bus of
+    /// [`SensingChain::fabric_delay`], plus one merge-bus pass per plane.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensingChain::fabric_delay`], plus
+    /// [`CircuitError::InvalidParameter`] for a zero plane count.
+    pub fn shift_add_fabric_delay(
+        &self,
+        tiles: &[TileGeometry],
+        col_tiles: usize,
+        merged_rows: usize,
+        planes: usize,
+    ) -> Result<DelayBreakdown> {
+        check_planes(planes)?;
+        let mut delay = self.fabric_delay(tiles, col_tiles, merged_rows)?;
+        delay.array += self.delay_model().params().per_column * planes as f64;
+        Ok(delay)
+    }
+
+    /// Energy of one packed shift-add read on a tiled fabric: the per-tile
+    /// driver pricing of [`SensingChain::fabric_energy`], plus one
+    /// bitline-driver switch per merged row per plane for the shift-add
+    /// accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensingChain::fabric_energy`], plus
+    /// [`CircuitError::InvalidParameter`] for a zero plane count.
+    pub fn shift_add_fabric_energy(
+        &self,
+        merged_currents: &[f64],
+        mirrored_currents: &[f64],
+        tiles: &[TileGeometry],
+        col_tiles: usize,
+        planes: usize,
+        duration: f64,
+    ) -> Result<InferenceEnergy> {
+        check_planes(planes)?;
+        let mut energy = self.fabric_energy(
+            merged_currents,
+            mirrored_currents,
+            tiles,
+            col_tiles,
+            duration,
+        )?;
+        energy.array += (planes * merged_currents.len()) as f64
+            * self.energy_model().params().bitline_driver_energy;
+        Ok(energy)
+    }
+
+    /// Senses one packed shift-add read on a tiled fabric without
+    /// allocating — the fabric counterpart of
+    /// [`SensingChain::sense_shift_add_into`], pricing delay and energy with
+    /// the fabric variants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge, mirror, WTA (including
+    /// [`CircuitError::AmbiguousWinner`] for tied integer scores), delay and
+    /// energy errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sense_shift_add_fabric_into(
+        &self,
+        plane_sums: &[f64],
+        planes: usize,
+        lsb_current: f64,
+        floor_current: f64,
+        tiles: &[TileGeometry],
+        col_tiles: usize,
+        merged_scratch: &mut Vec<f64>,
+        mirrored_scratch: &mut Vec<f64>,
+    ) -> Result<SenseReadout> {
+        merge_plane_sums_into(
+            plane_sums,
+            planes,
+            lsb_current,
+            floor_current,
+            merged_scratch,
+        )?;
+        self.mirror()
+            .copy_all_into(merged_scratch, mirrored_scratch)?;
+        let decision = self.wta().resolve(mirrored_scratch)?;
+        let delay = self.shift_add_fabric_delay(tiles, col_tiles, merged_scratch.len(), planes)?;
+        let energy = self.shift_add_fabric_energy(
+            merged_scratch,
+            mirrored_scratch,
+            tiles,
+            col_tiles,
+            planes,
+            delay.total(),
+        )?;
+        Ok(SenseReadout {
+            winner: decision.winner,
+            decision,
+            delay,
+            energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> SensingChain {
+        SensingChain::febim_calibrated()
+    }
+
+    const LSB: f64 = 0.1e-6;
+
+    #[test]
+    fn merge_weighs_planes_by_powers_of_two() {
+        // Two rows, three planes: scores 1·1 + 2·2 + 4·3 = 17 and
+        // 1·4 + 2·0 + 4·1 = 8.
+        let sums = [1.0, 2.0, 3.0, 4.0, 0.0, 1.0];
+        let mut merged = vec![9.9; 1];
+        merge_plane_sums_into(&sums, 3, LSB, 0.0, &mut merged).unwrap();
+        assert_eq!(merged, vec![17.0 * LSB, 8.0 * LSB]);
+        // A floor offsets every row equally.
+        merge_plane_sums_into(&sums, 3, LSB, 0.05e-6, &mut merged).unwrap();
+        assert_eq!(merged, vec![0.05e-6 + 17.0 * LSB, 0.05e-6 + 8.0 * LSB]);
+    }
+
+    #[test]
+    fn merge_validates_its_inputs() {
+        let mut merged = Vec::new();
+        assert!(matches!(
+            merge_plane_sums_into(&[], 2, LSB, 0.0, &mut merged),
+            Err(CircuitError::EmptyInput)
+        ));
+        assert!(merge_plane_sums_into(&[1.0, 2.0], 0, LSB, 0.0, &mut merged).is_err());
+        assert!(merge_plane_sums_into(&[1.0, 2.0, 3.0], 2, LSB, 0.0, &mut merged).is_err());
+        assert!(merge_plane_sums_into(&[1.0, 2.0], 2, 0.0, 0.0, &mut merged).is_err());
+        assert!(merge_plane_sums_into(&[1.0, 2.0], 2, LSB, -1.0, &mut merged).is_err());
+        assert!(matches!(
+            merge_plane_sums_into(&[1.0, f64::NAN], 2, LSB, 0.0, &mut merged),
+            Err(CircuitError::InvalidCurrent { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn shift_add_read_picks_the_largest_merged_score() {
+        let chain = chain();
+        // Scores: 5, 14, 9 over two planes.
+        let sums = [1.0, 2.0, 4.0, 5.0, 1.0, 4.0];
+        let mut merged = Vec::new();
+        let mut mirrored = Vec::new();
+        let readout = chain
+            .sense_shift_add_into(&sums, 2, LSB, 0.0, 8, &mut merged, &mut mirrored)
+            .unwrap();
+        assert_eq!(readout.winner, 1);
+        assert_eq!(merged, vec![5.0 * LSB, 14.0 * LSB, 9.0 * LSB]);
+        assert_eq!(mirrored.len(), 3);
+        assert!(readout.delay.total() > 0.0);
+        assert!(readout.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn tied_integer_scores_surface_as_ambiguous() {
+        let chain = chain();
+        // Both rows merge to score 6.
+        let sums = [2.0, 2.0, 0.0, 3.0];
+        let mut merged = Vec::new();
+        let mut mirrored = Vec::new();
+        assert!(matches!(
+            chain.sense_shift_add_into(&sums, 2, LSB, 0.0, 4, &mut merged, &mut mirrored),
+            Err(CircuitError::AmbiguousWinner { .. })
+        ));
+        // The tie fallback can still price the read via the public helpers.
+        let delay = chain.shift_add_delay(merged.len(), 4, 2).unwrap();
+        let energy = chain
+            .shift_add_energy(&merged, &mirrored, 4, 2, delay.total())
+            .unwrap();
+        assert!(delay.total() > 0.0 && energy.total() > 0.0);
+    }
+
+    #[test]
+    fn shift_add_pricing_adds_the_merge_pass_on_top_of_the_base_read() {
+        let chain = chain();
+        let merged = [0.5e-6, 1.4e-6, 0.9e-6];
+        let mirrored = chain.mirror().copy_all(&merged).unwrap();
+        let planes = 2;
+        let base_delay = chain
+            .delay_model()
+            .worst_case(3, 8, chain.wta(), chain.mirror().gain)
+            .unwrap();
+        let packed_delay = chain.shift_add_delay(3, 8, planes).unwrap();
+        let per_column = chain.delay_model().params().per_column;
+        assert!((packed_delay.array - base_delay.array - per_column * planes as f64).abs() < 1e-24);
+        assert_eq!(packed_delay.sensing, base_delay.sensing);
+
+        let duration = packed_delay.total();
+        let base_energy = chain
+            .energy_model()
+            .inference(&merged, 8, duration, chain.mirror(), chain.wta())
+            .unwrap();
+        let packed_energy = chain
+            .shift_add_energy(&merged, &mirrored, 8, planes, duration)
+            .unwrap();
+        let per_driver = chain.energy_model().params().bitline_driver_energy;
+        assert!(
+            (packed_energy.array - base_energy.array - (planes * 3) as f64 * per_driver).abs()
+                < 1e-24
+        );
+        assert_eq!(packed_energy.sensing, base_energy.sensing);
+    }
+
+    #[test]
+    fn fabric_shift_add_matches_the_monolithic_decision() {
+        let chain = chain();
+        let sums = [1.0, 2.0, 4.0, 5.0, 1.0, 4.0];
+        let tiles = vec![
+            TileGeometry {
+                rows: 2,
+                columns: 4,
+                activated_columns: 3,
+            },
+            TileGeometry {
+                rows: 1,
+                columns: 4,
+                activated_columns: 3,
+            },
+        ];
+        let mut merged = Vec::new();
+        let mut mirrored = Vec::new();
+        let fabric = chain
+            .sense_shift_add_fabric_into(&sums, 2, LSB, 0.0, &tiles, 1, &mut merged, &mut mirrored)
+            .unwrap();
+        let mut merged_mono = Vec::new();
+        let mut mirrored_mono = Vec::new();
+        let monolithic = chain
+            .sense_shift_add_into(&sums, 2, LSB, 0.0, 6, &mut merged_mono, &mut mirrored_mono)
+            .unwrap();
+        assert_eq!(fabric.winner, monolithic.winner);
+        assert_eq!(merged, merged_mono);
+        // Fabric pricing layers the per-plane merge pass on the fabric base.
+        let base = chain.fabric_delay(&tiles, 1, 3).unwrap();
+        assert!(
+            (fabric.delay.array - base.array - chain.delay_model().params().per_column * 2.0).abs()
+                < 1e-24
+        );
+        // Zero planes are rejected everywhere.
+        assert!(chain.shift_add_delay(3, 8, 0).is_err());
+        assert!(chain.shift_add_fabric_delay(&tiles, 1, 3, 0).is_err());
+        assert!(chain
+            .shift_add_energy(&merged, &mirrored, 6, 0, 1e-9)
+            .is_err());
+        assert!(chain
+            .shift_add_fabric_energy(&merged, &mirrored, &tiles, 1, 0, 1e-9)
+            .is_err());
+    }
+}

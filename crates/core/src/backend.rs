@@ -31,10 +31,10 @@ use febim_circuit::{
 };
 use febim_crossbar::{
     apply_scheduled_fault, apply_scheduled_grid_fault, Activation, CrossbarArray, CrossbarLayout,
-    FaultSchedule, ProgrammingMode, RefreshOutcome, ScrubOutcome, TileGrid, TileShape,
+    FaultSchedule, LevelLadder, ProgrammingMode, RefreshOutcome, ScrubOutcome, TileGrid, TileShape,
 };
 use febim_device::{LevelProgrammer, VariationModel};
-use febim_quant::QuantizedGnbc;
+use febim_quant::{bit_offset_of, QuantizedGnbc};
 use serde::{Deserialize, Serialize};
 
 use crate::compiler::{compile, compile_tiled, CrossbarProgram, TiledProgram};
@@ -321,6 +321,70 @@ fn level_programmer(config: &EngineConfig, state_count: usize) -> Result<LevelPr
     )?)
 }
 
+/// Precomputed geometry of the bit-plane read path, shared by both physical
+/// backends. `None` on a backend means it reads one-hot.
+#[derive(Debug, Clone)]
+struct PackedRead {
+    /// Bins packed into one multi-bit cell (`r = bits / Q_l`).
+    digits_per_cell: usize,
+    /// Bits per likelihood digit (`Q_l`).
+    digit_bits: u32,
+    /// Bit planes sensed per read (`Q_l`).
+    planes: usize,
+    /// Flash-ADC ladder digitizing cell on-currents back into stored values.
+    ladder: LevelLadder,
+    /// Current step of one merged-score unit on the shift-add bus.
+    lsb_current: f64,
+    /// Shared per-row current offset of the merged read.
+    floor_current: f64,
+}
+
+impl PackedRead {
+    /// Builds the packed-read geometry for a configuration, or `None` for
+    /// one-hot encodings. `state_count` is the compiled program's state
+    /// count (`2^bits` for packed programs), which sizes the ladder.
+    fn for_config(config: &EngineConfig, state_count: usize) -> Result<Option<Self>> {
+        if !config.encoding.is_packed() {
+            return Ok(None);
+        }
+        let digit_bits = config.quant.likelihood_bits;
+        Ok(Some(Self {
+            digits_per_cell: config.encoding.digits_per_cell(digit_bits),
+            digit_bits,
+            planes: config.encoding.planes(digit_bits),
+            ladder: LevelLadder::new(
+                febim_device::programming::DEFAULT_MIN_READ_CURRENT,
+                febim_device::programming::DEFAULT_MAX_READ_CURRENT,
+                state_count,
+            )?,
+            lsb_current: febim_device::programming::DEFAULT_MIN_READ_CURRENT,
+            floor_current: 0.0,
+        }))
+    }
+
+    /// Maps one read's discretized per-feature bins onto packed columns
+    /// (written into `packed_evidence`, cleared first) and appends the
+    /// activated columns' digit bit offsets to `bit_offsets` in activation
+    /// order: the prior column first (offset zero) when the layout has one,
+    /// then one packed column per feature.
+    fn fill_observation(
+        &self,
+        evidence: &[usize],
+        has_prior: bool,
+        packed_evidence: &mut Vec<usize>,
+        bit_offsets: &mut Vec<u8>,
+    ) {
+        packed_evidence.clear();
+        if has_prior {
+            bit_offsets.push(0);
+        }
+        for &bin in evidence {
+            packed_evidence.push(bin / self.digits_per_cell);
+            bit_offsets.push(bit_offset_of(bin, self.digits_per_cell, self.digit_bits) as u8);
+        }
+    }
+}
+
 /// The exact FP64 software reference backend.
 ///
 /// Scores are unnormalized log posteriors (written into the scratch's score
@@ -409,6 +473,8 @@ pub struct CrossbarBackend {
     programming_mode: ProgrammingMode,
     variation: VariationModel,
     variation_seed: u64,
+    /// Bit-plane read geometry (`None` for one-hot programs).
+    packed: Option<PackedRead>,
     /// Pending chaos events delivered by [`InferenceBackend::advance_time`].
     fault_schedule: Option<FaultSchedule>,
 }
@@ -421,8 +487,9 @@ impl CrossbarBackend {
     ///
     /// Propagates compilation and programming errors.
     pub fn new(quantized: Arc<QuantizedGnbc>, config: &EngineConfig) -> Result<Self> {
-        let program = compile(&quantized, config.force_prior_column)?;
+        let program = compile(&quantized, config.force_prior_column, config.encoding)?;
         let programmer = level_programmer(config, program.state_count())?;
+        let packed = PackedRead::for_config(config, program.state_count())?;
         let array = CrossbarArray::with_non_idealities(
             *program.layout(),
             programmer,
@@ -436,6 +503,7 @@ impl CrossbarBackend {
             programming_mode: config.programming_mode,
             variation: config.variation,
             variation_seed: config.variation_seed,
+            packed,
             fault_schedule: None,
         };
         backend.reprogram()?;
@@ -509,6 +577,64 @@ impl CrossbarBackend {
             Err(err) => Err(err.into()),
         }
     }
+
+    /// Resolves one packed read whose plane partial sums are already in the
+    /// scratch: merges them on the shift-add bus into `scratch.currents`
+    /// (so [`EvalScratch::wordline_currents`] reports the merged scores as
+    /// currents, exactly like a one-hot read) and prices the packed read.
+    /// Integer packed scores tie far more often than analog sums, so the
+    /// deterministic argmax tie-break is part of the expected path here.
+    fn sense_packed_step(
+        &self,
+        packed: &PackedRead,
+        activated: usize,
+        scratch: &mut EvalScratch,
+    ) -> Result<InferenceStep> {
+        match self.sensing.sense_shift_add_into(
+            &scratch.plane_sums,
+            packed.planes,
+            packed.lsb_current,
+            packed.floor_current,
+            activated,
+            &mut scratch.currents,
+            &mut scratch.mirrored,
+        ) {
+            Ok(readout) => Ok(InferenceStep {
+                prediction: readout.winner,
+                delay: readout.delay,
+                energy: readout.energy,
+                tie_broken: false,
+            }),
+            Err(CircuitError::AmbiguousWinner { .. }) => {
+                // The merge ran before the WTA, so `scratch.currents` holds
+                // the merged currents; break the tie deterministically and
+                // price the read with the packed helpers.
+                let winner = argmax(&scratch.currents).expect("at least one wordline");
+                let delay = self.sensing.shift_add_delay(
+                    scratch.currents.len(),
+                    activated,
+                    packed.planes,
+                )?;
+                self.sensing
+                    .mirror()
+                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
+                let energy = self.sensing.shift_add_energy(
+                    &scratch.currents,
+                    &scratch.mirrored,
+                    activated,
+                    packed.planes,
+                    delay.total(),
+                )?;
+                Ok(InferenceStep {
+                    prediction: winner,
+                    delay,
+                    energy,
+                    tie_broken: true,
+                })
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
 }
 
 impl InferenceBackend for CrossbarBackend {
@@ -535,6 +661,40 @@ impl InferenceBackend for CrossbarBackend {
     fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
         self.quantized
             .discretize_sample_into(sample, &mut scratch.evidence)?;
+        if let Some(packed) = &self.packed {
+            let activated;
+            {
+                let EvalScratch {
+                    evidence,
+                    activation,
+                    packed_evidence,
+                    bit_offsets,
+                    plane_sums,
+                    level_scratch,
+                    ..
+                } = scratch;
+                let activation =
+                    activation.get_or_insert_with(|| Activation::empty(self.array.layout()));
+                bit_offsets.clear();
+                packed.fill_observation(
+                    evidence,
+                    self.array.layout().has_prior(),
+                    packed_evidence,
+                    bit_offsets,
+                );
+                activation.set_observation(self.array.layout(), packed_evidence)?;
+                self.array.plane_partial_sums_into(
+                    activation,
+                    bit_offsets,
+                    packed.planes,
+                    &packed.ladder,
+                    level_scratch,
+                    plane_sums,
+                )?;
+                activated = activation.len();
+            }
+            return self.sense_packed_step(packed, activated, scratch);
+        }
         let activation = scratch
             .activation
             .get_or_insert_with(|| Activation::empty(self.array.layout()));
@@ -567,6 +727,62 @@ impl InferenceBackend for CrossbarBackend {
             let mut group = ReadGroup::new();
             group.add(&step.delay, &step.energy, share)?;
             steps.push(step);
+            return Ok(BatchTelemetry::from_group(&group));
+        }
+        if let Some(packed) = &self.packed {
+            // Packed grouped read: one batched bit-plane kernel pass, then
+            // per-read shift-add sensing — bit-identical to sequential
+            // packed reads, priced as one amortized group.
+            let layout = self.array.layout();
+            if scratch.batch_activations.len() < samples.len() {
+                let template = Activation::empty(layout);
+                scratch.batch_activations.resize(samples.len(), template);
+            }
+            scratch.bit_offsets.clear();
+            for (index, sample) in samples.iter().enumerate() {
+                self.quantized
+                    .discretize_sample_into(sample, &mut scratch.evidence)?;
+                let EvalScratch {
+                    evidence,
+                    packed_evidence,
+                    bit_offsets,
+                    batch_activations,
+                    ..
+                } = scratch;
+                packed.fill_observation(evidence, layout.has_prior(), packed_evidence, bit_offsets);
+                batch_activations[index].set_observation(layout, packed_evidence)?;
+            }
+            {
+                let EvalScratch {
+                    bit_offsets,
+                    batch_activations,
+                    batch_currents,
+                    level_scratch,
+                    ..
+                } = scratch;
+                self.array.plane_partial_sums_batch_into(
+                    &batch_activations[..samples.len()],
+                    bit_offsets,
+                    packed.planes,
+                    &packed.ladder,
+                    level_scratch,
+                    batch_currents,
+                )?;
+            }
+            let rows = layout.rows();
+            let stride = rows * packed.planes;
+            let share = wordline_driver_energy(self.sensing.energy_model().params(), rows);
+            let mut group = ReadGroup::new();
+            for read in 0..samples.len() {
+                scratch.plane_sums.clear();
+                scratch
+                    .plane_sums
+                    .extend_from_slice(&scratch.batch_currents[read * stride..(read + 1) * stride]);
+                let activated = scratch.batch_activations[read].len();
+                let step = self.sense_packed_step(packed, activated, scratch)?;
+                group.add(&step.delay, &step.energy, share)?;
+                steps.push(step);
+            }
             return Ok(BatchTelemetry::from_group(&group));
         }
         fill_batch_activations(&self.quantized, self.array.layout(), samples, scratch)?;
@@ -673,6 +889,8 @@ pub struct TiledFabricBackend {
     programming_mode: ProgrammingMode,
     variation: VariationModel,
     variation_seed: u64,
+    /// Bit-plane read geometry (`None` for one-hot programs).
+    packed: Option<PackedRead>,
     /// Pending chaos events delivered by [`InferenceBackend::advance_time`].
     fault_schedule: Option<FaultSchedule>,
 }
@@ -689,8 +907,14 @@ impl TiledFabricBackend {
         config: &EngineConfig,
         shape: TileShape,
     ) -> Result<Self> {
-        let tiled = compile_tiled(&quantized, config.force_prior_column, shape)?;
+        let tiled = compile_tiled(
+            &quantized,
+            config.force_prior_column,
+            shape,
+            config.encoding,
+        )?;
         let programmer = level_programmer(config, tiled.state_count())?;
+        let packed = PackedRead::for_config(config, tiled.state_count())?;
         let grid = TileGrid::with_non_idealities(*tiled.plan(), programmer, config.non_idealities)?;
         let plan = tiled.plan();
         let mut base_tiles = Vec::with_capacity(plan.tile_count());
@@ -713,6 +937,7 @@ impl TiledFabricBackend {
             programming_mode: config.programming_mode,
             variation: config.variation,
             variation_seed: config.variation_seed,
+            packed,
             fault_schedule: None,
         };
         backend.reprogram()?;
@@ -807,6 +1032,62 @@ impl TiledFabricBackend {
             Err(err) => Err(err.into()),
         }
     }
+
+    /// Resolves one packed fabric read whose plane partial sums and tile
+    /// geometries are already in the scratch: the fabric counterpart of the
+    /// monolithic backend's packed sense step, with the same deterministic
+    /// tie-break over the merged currents.
+    fn sense_packed_fabric_step(
+        &self,
+        packed: &PackedRead,
+        scratch: &mut EvalScratch,
+    ) -> Result<InferenceStep> {
+        let col_tiles = self.tiled.plan().col_tiles();
+        match self.sensing.sense_shift_add_fabric_into(
+            &scratch.plane_sums,
+            packed.planes,
+            packed.lsb_current,
+            packed.floor_current,
+            &scratch.tiles,
+            col_tiles,
+            &mut scratch.currents,
+            &mut scratch.mirrored,
+        ) {
+            Ok(readout) => Ok(InferenceStep {
+                prediction: readout.winner,
+                delay: readout.delay,
+                energy: readout.energy,
+                tie_broken: false,
+            }),
+            Err(CircuitError::AmbiguousWinner { .. }) => {
+                let winner = argmax(&scratch.currents).expect("at least one wordline");
+                let delay = self.sensing.shift_add_fabric_delay(
+                    &scratch.tiles,
+                    col_tiles,
+                    scratch.currents.len(),
+                    packed.planes,
+                )?;
+                self.sensing
+                    .mirror()
+                    .copy_all_into(&scratch.currents, &mut scratch.mirrored)?;
+                let energy = self.sensing.shift_add_fabric_energy(
+                    &scratch.currents,
+                    &scratch.mirrored,
+                    &scratch.tiles,
+                    col_tiles,
+                    packed.planes,
+                    delay.total(),
+                )?;
+                Ok(InferenceStep {
+                    prediction: winner,
+                    delay,
+                    energy,
+                    tie_broken: true,
+                })
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
 }
 
 impl InferenceBackend for TiledFabricBackend {
@@ -835,6 +1116,41 @@ impl InferenceBackend for TiledFabricBackend {
     fn infer_into(&self, sample: &[f64], scratch: &mut EvalScratch) -> Result<InferenceStep> {
         self.quantized
             .discretize_sample_into(sample, &mut scratch.evidence)?;
+        if let Some(packed) = &self.packed {
+            {
+                let EvalScratch {
+                    evidence,
+                    activation,
+                    packed_evidence,
+                    bit_offsets,
+                    plane_sums,
+                    level_scratch,
+                    tiles,
+                    tile_activated,
+                    ..
+                } = scratch;
+                let activation =
+                    activation.get_or_insert_with(|| Activation::empty(self.grid.layout()));
+                bit_offsets.clear();
+                packed.fill_observation(
+                    evidence,
+                    self.grid.layout().has_prior(),
+                    packed_evidence,
+                    bit_offsets,
+                );
+                activation.set_observation(self.grid.layout(), packed_evidence)?;
+                self.grid.plane_partial_sums_into(
+                    activation,
+                    bit_offsets,
+                    packed.planes,
+                    &packed.ladder,
+                    level_scratch,
+                    plane_sums,
+                )?;
+                self.fill_tile_geometries(activation, tiles, tile_activated);
+            }
+            return self.sense_packed_fabric_step(packed, scratch);
+        }
         {
             let EvalScratch {
                 evidence,
@@ -875,6 +1191,72 @@ impl InferenceBackend for TiledFabricBackend {
             let mut group = ReadGroup::new();
             group.add(&step.delay, &step.energy, share)?;
             steps.push(step);
+            return Ok(BatchTelemetry::from_group(&group));
+        }
+        if let Some(packed) = &self.packed {
+            // Packed grouped fabric read: same shape as the monolithic
+            // packed batch, with the fabric kernel and fabric pricing.
+            let layout = self.grid.layout();
+            if scratch.batch_activations.len() < samples.len() {
+                let template = Activation::empty(layout);
+                scratch.batch_activations.resize(samples.len(), template);
+            }
+            scratch.bit_offsets.clear();
+            for (index, sample) in samples.iter().enumerate() {
+                self.quantized
+                    .discretize_sample_into(sample, &mut scratch.evidence)?;
+                let EvalScratch {
+                    evidence,
+                    packed_evidence,
+                    bit_offsets,
+                    batch_activations,
+                    ..
+                } = scratch;
+                packed.fill_observation(evidence, layout.has_prior(), packed_evidence, bit_offsets);
+                batch_activations[index].set_observation(layout, packed_evidence)?;
+            }
+            {
+                let EvalScratch {
+                    bit_offsets,
+                    batch_activations,
+                    batch_currents,
+                    level_scratch,
+                    ..
+                } = scratch;
+                self.grid.plane_partial_sums_batch_into(
+                    &batch_activations[..samples.len()],
+                    bit_offsets,
+                    packed.planes,
+                    &packed.ladder,
+                    level_scratch,
+                    batch_currents,
+                )?;
+            }
+            let rows = layout.rows();
+            let stride = rows * packed.planes;
+            let share = fabric_wordline_driver_energy(
+                self.sensing.energy_model().params(),
+                &self.base_tiles,
+            );
+            let mut group = ReadGroup::new();
+            for read in 0..samples.len() {
+                scratch.plane_sums.clear();
+                scratch
+                    .plane_sums
+                    .extend_from_slice(&scratch.batch_currents[read * stride..(read + 1) * stride]);
+                {
+                    let EvalScratch {
+                        batch_activations,
+                        tiles,
+                        tile_activated,
+                        ..
+                    } = scratch;
+                    self.fill_tile_geometries(&batch_activations[read], tiles, tile_activated);
+                }
+                let step = self.sense_packed_fabric_step(packed, scratch)?;
+                group.add(&step.delay, &step.energy, share)?;
+                steps.push(step);
+            }
             return Ok(BatchTelemetry::from_group(&group));
         }
         fill_batch_activations(&self.quantized, self.grid.layout(), samples, scratch)?;
@@ -979,7 +1361,7 @@ mod tests {
     use febim_data::split::stratified_split;
     use febim_data::synthetic::iris_like;
     use febim_device::NonIdealityStack;
-    use febim_quant::QuantConfig;
+    use febim_quant::{Encoding, QuantConfig};
 
     fn trained() -> (
         Arc<GaussianNaiveBayes>,
@@ -1123,6 +1505,111 @@ mod tests {
             .infer_batch_into(&batch, &mut scratch, &mut steps)
             .unwrap();
         assert!(telemetry.amortized);
+    }
+
+    /// The packed crossbar read must reproduce the software oracle exactly:
+    /// unpacking the quantized tables and summing the observed bins' levels
+    /// gives an integer score per class, and the merged shift-add current is
+    /// that score times the LSB current, bit for bit.
+    #[test]
+    fn packed_crossbar_matches_the_level_sum_oracle() {
+        let (_, quantized, test) = trained();
+        let config = EngineConfig::febim_default().with_encoding(Encoding::BitPlane { bits: 4 });
+        let backend = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        // 4-bit cells pack two 2-bit bins: half the one-hot columns.
+        assert_eq!(backend.program().layout().columns(), 32);
+        assert_eq!(backend.program().state_count(), 16);
+        let lsb = febim_device::programming::DEFAULT_MIN_READ_CURRENT;
+        let mut scratch = backend.make_scratch();
+        let mut evidence = Vec::new();
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            backend.infer_into(sample, &mut scratch).unwrap();
+            quantized
+                .discretize_sample_into(sample, &mut evidence)
+                .unwrap();
+            for class in 0..quantized.n_classes() {
+                let score: usize = evidence
+                    .iter()
+                    .enumerate()
+                    .map(|(feature, &bin)| quantized.likelihood_level(class, feature, bin).unwrap())
+                    .sum();
+                assert_eq!(scratch.wordline_currents()[class], lsb * score as f64);
+            }
+        }
+    }
+
+    /// At sigma = 0 the packed read ranks classes by the same integer level
+    /// sums the one-hot read accumulates in the analog domain, so untied
+    /// predictions agree sample for sample and the accuracy is identical.
+    #[test]
+    fn packed_predictions_match_one_hot_at_zero_sigma() {
+        let (_, quantized, test) = trained();
+        let one_hot =
+            CrossbarBackend::new(Arc::clone(&quantized), &EngineConfig::febim_default()).unwrap();
+        for bits in [4u32, 8] {
+            let config = EngineConfig::febim_default().with_encoding(Encoding::BitPlane { bits });
+            let packed = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+            let mut one_hot_scratch = one_hot.make_scratch();
+            let mut packed_scratch = packed.make_scratch();
+            let mut agreements = 0usize;
+            for index in 0..test.n_samples() {
+                let sample = test.sample(index).unwrap();
+                let a = one_hot.infer_into(sample, &mut one_hot_scratch).unwrap();
+                let b = packed.infer_into(sample, &mut packed_scratch).unwrap();
+                // Integer scores tie more often than analog sums; whenever
+                // neither read tie-broke, the winners must coincide.
+                if !a.tie_broken && !b.tie_broken {
+                    assert_eq!(a.prediction, b.prediction);
+                    agreements += 1;
+                }
+                // Packed reads price the narrower column count plus the
+                // merge bus; both stay finite and positive.
+                assert!(b.delay.total() > 0.0 && b.energy.total() > 0.0);
+            }
+            assert!(agreements > 0, "no untied sample to compare");
+        }
+    }
+
+    /// Packed reads on the tiled fabric are bit-identical to the monolithic
+    /// packed backend: same integer partials, same merged currents, same
+    /// decisions.
+    #[test]
+    fn packed_fabric_matches_the_monolithic_packed_backend() {
+        let (_, quantized, test) = trained();
+        let config = EngineConfig::febim_default().with_encoding(Encoding::BitPlane { bits: 4 });
+        let crossbar = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        let fabric =
+            TiledFabricBackend::new(quantized, &config, TileShape::new(2, 12).unwrap()).unwrap();
+        assert!(fabric.tiled_program().plan().is_multi_tile());
+        assert_eq!(fabric.info().columns, 32);
+        let mut crossbar_scratch = crossbar.make_scratch();
+        let mut fabric_scratch = fabric.make_scratch();
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            let a = crossbar.infer_into(sample, &mut crossbar_scratch).unwrap();
+            let b = fabric.infer_into(sample, &mut fabric_scratch).unwrap();
+            assert_eq!(a.prediction, b.prediction);
+            assert_eq!(a.tie_broken, b.tie_broken);
+            assert_eq!(
+                crossbar_scratch.wordline_currents(),
+                fabric_scratch.wordline_currents()
+            );
+        }
+    }
+
+    /// The grouped packed read path obeys the same bit-identity contract as
+    /// the one-hot batch paths, on both physical backends.
+    #[test]
+    fn packed_batched_inference_is_bit_identical() {
+        let (_, quantized, test) = trained();
+        let config = EngineConfig::febim_default().with_encoding(Encoding::BitPlane { bits: 4 });
+        let batch = batch_of(&test);
+        let crossbar = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        assert_batch_matches_sequential(&crossbar, &batch);
+        let fabric =
+            TiledFabricBackend::new(quantized, &config, TileShape::new(2, 12).unwrap()).unwrap();
+        assert_batch_matches_sequential(&fabric, &batch);
     }
 
     #[test]
@@ -1324,6 +1811,52 @@ mod tests {
             let idle = backend.scrub(1e-6).unwrap();
             assert_eq!(idle.cells_repaired, 0);
             assert_eq!(idle.rows_remapped, 0);
+        }
+    }
+
+    /// Spare-row repair composes with bit-plane packing: after a permanent
+    /// stuck fault strikes a packed fabric and a scrub remaps the row onto a
+    /// spare, packed reads are again bit-identical to a pristine monolithic
+    /// packed backend.
+    #[test]
+    fn packed_fabric_reads_survive_faults_and_scrub() {
+        use febim_crossbar::{FaultKind, ScheduledFault};
+        let (_, quantized, test) = trained();
+        let config = EngineConfig::febim_default().with_encoding(Encoding::BitPlane { bits: 4 });
+        let pristine = CrossbarBackend::new(Arc::clone(&quantized), &config).unwrap();
+        // Strike a cell that actually stores a nonzero packed value, so the
+        // stuck-erased fault is observable and forces a remap.
+        let column = (0..pristine.program().layout().columns())
+            .find(|&column| pristine.program().levels()[1][column].unwrap_or(0) != 0)
+            .expect("a programmed packed cell");
+        let mut fabric = TiledFabricBackend::new(
+            quantized,
+            &config,
+            TileShape::new(2, 12).unwrap().with_spare_rows(1),
+        )
+        .unwrap();
+        fabric.set_fault_schedule(FaultSchedule::new(vec![ScheduledFault {
+            at_tick: 5,
+            row: 1,
+            column,
+            kind: FaultKind::StuckErased,
+            permanent: true,
+        }]));
+        fabric.advance_time(10);
+        let outcome = fabric.scrub(1e-6).unwrap();
+        assert!(outcome.fully_repaired());
+        assert_eq!(outcome.rows_remapped, 1);
+        let mut pristine_scratch = pristine.make_scratch();
+        let mut fabric_scratch = fabric.make_scratch();
+        for index in 0..test.n_samples() {
+            let sample = test.sample(index).unwrap();
+            let a = pristine.infer_into(sample, &mut pristine_scratch).unwrap();
+            let b = fabric.infer_into(sample, &mut fabric_scratch).unwrap();
+            assert_eq!(a.prediction, b.prediction);
+            assert_eq!(
+                pristine_scratch.wordline_currents(),
+                fabric_scratch.wordline_currents()
+            );
         }
     }
 

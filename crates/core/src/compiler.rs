@@ -5,7 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 use febim_crossbar::{CrossbarLayout, TilePlan, TileShape};
-use febim_quant::QuantizedGnbc;
+use febim_quant::{pack_feature_levels, Encoding, QuantizedGnbc};
 
 use crate::errors::Result;
 
@@ -16,8 +16,12 @@ pub struct CrossbarProgram {
     layout: CrossbarLayout,
     /// `levels[row][column]`: target level, or `None` for cells left erased.
     levels: Vec<Vec<Option<usize>>>,
-    /// Number of FeFET states used by the program (`2^Q_l`).
+    /// Number of FeFET states used by the program (`2^Q_l` for one-hot,
+    /// `2^bits` for bit-plane cells).
     state_count: usize,
+    /// Column encoding the levels were emitted under.
+    #[serde(default)]
+    encoding: Encoding,
 }
 
 impl CrossbarProgram {
@@ -49,6 +53,11 @@ impl CrossbarProgram {
     pub fn bits_per_cell(&self) -> f64 {
         (self.state_count as f64).log2()
     }
+
+    /// The column encoding the program was compiled for.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
 }
 
 /// Compiles a quantized GNBC into a crossbar program.
@@ -57,15 +66,30 @@ impl CrossbarProgram {
 /// `force_prior_column` is set, matching the paper's choice of omitting the
 /// prior block for the balanced iris dataset (Fig. 8(b)).
 ///
+/// Under [`Encoding::OneHot`] every `(feature, bin)` pair gets its own
+/// column. Under [`Encoding::BitPlane`] each feature's per-bin level row is
+/// packed `digits_per_cell` bins at a time into multi-bit cells, shrinking
+/// the likelihood block by that factor; the prior column (when emitted)
+/// stores its level raw in the lowest digit slot.
+///
 /// # Errors
 ///
-/// Propagates layout-construction and level-lookup errors.
-pub fn compile(quantized: &QuantizedGnbc, force_prior_column: bool) -> Result<CrossbarProgram> {
+/// Propagates layout-construction, level-lookup, and digit-packing errors,
+/// and rejects an encoding too narrow for the model's likelihood precision.
+pub fn compile(
+    quantized: &QuantizedGnbc,
+    force_prior_column: bool,
+    encoding: Encoding,
+) -> Result<CrossbarProgram> {
+    let likelihood_bits = quantized.config().likelihood_bits;
+    encoding.validate(likelihood_bits)?;
     let include_prior = force_prior_column || !quantized.has_uniform_prior();
+    let bins = quantized.discretizer().bins();
+    let digits_per_cell = encoding.digits_per_cell(likelihood_bits);
     let layout = CrossbarLayout::new(
         quantized.n_classes(),
         quantized.n_features(),
-        quantized.discretizer().bins(),
+        encoding.columns_per_feature(bins, likelihood_bits),
         include_prior,
     )?;
     let mut levels = vec![vec![None; layout.columns()]; layout.rows()];
@@ -74,16 +98,25 @@ pub fn compile(quantized: &QuantizedGnbc, force_prior_column: bool) -> Result<Cr
             row[prior_column] = Some(quantized.prior_level(class)?);
         }
         for feature in 0..quantized.n_features() {
-            for bin in 0..quantized.discretizer().bins() {
-                let column = layout.likelihood_column(feature, bin)?;
-                row[column] = Some(quantized.likelihood_level(class, feature, bin)?);
+            let bin_levels = (0..bins)
+                .map(|bin| quantized.likelihood_level(class, feature, bin))
+                .collect::<febim_quant::Result<Vec<usize>>>()?;
+            let cell_values = if encoding.is_packed() {
+                pack_feature_levels(&bin_levels, digits_per_cell, likelihood_bits)?
+            } else {
+                bin_levels
+            };
+            for (slot, value) in cell_values.into_iter().enumerate() {
+                let column = layout.likelihood_column(feature, slot)?;
+                row[column] = Some(value);
             }
         }
     }
     Ok(CrossbarProgram {
         layout,
         levels,
-        state_count: quantized.quantizer().levels(),
+        state_count: encoding.state_count(quantized.quantizer().levels()),
+        encoding,
     })
 }
 
@@ -118,6 +151,11 @@ impl TiledProgram {
         self.program.state_count()
     }
 
+    /// The column encoding the program was compiled for.
+    pub fn encoding(&self) -> Encoding {
+        self.program.encoding()
+    }
+
     /// The level block one tile must be programmed with (local row-major
     /// order, edge tiles smaller than the physical tile shape).
     ///
@@ -147,8 +185,9 @@ pub fn compile_tiled(
     quantized: &QuantizedGnbc,
     force_prior_column: bool,
     shape: TileShape,
+    encoding: Encoding,
 ) -> Result<TiledProgram> {
-    let program = compile(quantized, force_prior_column)?;
+    let program = compile(quantized, force_prior_column, encoding)?;
     let plan = TilePlan::new(*program.layout(), shape)?;
     Ok(TiledProgram { program, plan })
 }
@@ -172,7 +211,7 @@ mod tests {
 
     #[test]
     fn iris_program_matches_figure_8b_geometry() {
-        let program = compile(&iris_quantized(), false).unwrap();
+        let program = compile(&iris_quantized(), false, Encoding::OneHot).unwrap();
         // 3 classes x 64 bitlines, no prior column, 2-bit cells.
         assert_eq!(program.layout().rows(), 3);
         assert_eq!(program.layout().columns(), 64);
@@ -184,7 +223,7 @@ mod tests {
 
     #[test]
     fn forcing_the_prior_column_adds_one_column() {
-        let program = compile(&iris_quantized(), true).unwrap();
+        let program = compile(&iris_quantized(), true, Encoding::OneHot).unwrap();
         assert_eq!(program.layout().columns(), 65);
         assert!(program.layout().has_prior());
         assert_eq!(program.programmed_cells(), 195);
@@ -198,7 +237,7 @@ mod tests {
         assert!(!model.has_uniform_prior());
         let quantized =
             QuantizedGnbc::quantize(&model, &split.train, QuantConfig::new(3, 3)).unwrap();
-        let program = compile(&quantized, false).unwrap();
+        let program = compile(&quantized, false, Encoding::OneHot).unwrap();
         assert!(program.layout().has_prior());
         assert_eq!(program.layout().rows(), 2);
         assert_eq!(program.layout().columns(), 1 + 30 * 8);
@@ -206,7 +245,7 @@ mod tests {
 
     #[test]
     fn every_level_is_within_the_state_count() {
-        let program = compile(&iris_quantized(), false).unwrap();
+        let program = compile(&iris_quantized(), false, Encoding::OneHot).unwrap();
         for row in program.levels() {
             for level in row.iter().flatten() {
                 assert!(*level < program.state_count());
@@ -217,7 +256,7 @@ mod tests {
     #[test]
     fn levels_match_the_quantized_tables() {
         let quantized = iris_quantized();
-        let program = compile(&quantized, false).unwrap();
+        let program = compile(&quantized, false, Encoding::OneHot).unwrap();
         for class in 0..quantized.n_classes() {
             for feature in 0..quantized.n_features() {
                 for bin in 0..quantized.discretizer().bins() {
@@ -234,7 +273,13 @@ mod tests {
     #[test]
     fn tiled_compile_covers_the_iris_program_with_a_2x2_grid() {
         let quantized = iris_quantized();
-        let tiled = compile_tiled(&quantized, false, TileShape::new(2, 48).unwrap()).unwrap();
+        let tiled = compile_tiled(
+            &quantized,
+            false,
+            TileShape::new(2, 48).unwrap(),
+            Encoding::OneHot,
+        )
+        .unwrap();
         // 3×64 on 2×48 tiles → 2 tile rows × 2 tile columns.
         assert_eq!(tiled.plan().row_tiles(), 2);
         assert_eq!(tiled.plan().col_tiles(), 2);
@@ -243,14 +288,19 @@ mod tests {
         assert_eq!(tiled.state_count(), 4);
         assert_eq!(
             tiled.program(),
-            &compile(&quantized, false).unwrap(),
+            &compile(&quantized, false, Encoding::OneHot).unwrap(),
             "tiling must not change the compiled levels"
         );
         assert!(
-            compile_tiled(&quantized, false, TileShape::new(64, 64).unwrap())
-                .unwrap()
-                .plan()
-                .tile_count()
+            compile_tiled(
+                &quantized,
+                false,
+                TileShape::new(64, 64).unwrap(),
+                Encoding::OneHot
+            )
+            .unwrap()
+            .plan()
+            .tile_count()
                 == 1
         );
     }
@@ -258,7 +308,13 @@ mod tests {
     #[test]
     fn tile_level_blocks_match_the_quantized_tables() {
         let quantized = iris_quantized();
-        let tiled = compile_tiled(&quantized, false, TileShape::new(2, 24).unwrap()).unwrap();
+        let tiled = compile_tiled(
+            &quantized,
+            false,
+            TileShape::new(2, 24).unwrap(),
+            Encoding::OneHot,
+        )
+        .unwrap();
         for tile_row in 0..tiled.plan().row_tiles() {
             for tile_col in 0..tiled.plan().col_tiles() {
                 let block = tiled.tile_levels(tile_row, tile_col).unwrap();
@@ -278,6 +334,77 @@ mod tests {
     }
 
     #[test]
+    fn packed_iris_program_halves_the_columns_at_four_bits() {
+        use febim_quant::{digit_slot_of, packed_column_of, unpack_digit};
+        let quantized = iris_quantized();
+        let encoding = Encoding::BitPlane { bits: 4 };
+        let packed = compile(&quantized, false, encoding).unwrap();
+        // 4-bit cells pack two 2-bit bins: 3 classes x 32 bitlines.
+        assert_eq!(packed.layout().rows(), 3);
+        assert_eq!(packed.layout().columns(), 32);
+        assert_eq!(packed.state_count(), 16);
+        assert_eq!(packed.encoding(), encoding);
+        assert!((packed.bits_per_cell() - 4.0).abs() < 1e-12);
+        assert_eq!(packed.programmed_cells(), 96);
+        // Every bin level survives the packing bit for bit.
+        let r = encoding.digits_per_cell(2);
+        for class in 0..quantized.n_classes() {
+            for feature in 0..quantized.n_features() {
+                for bin in 0..quantized.discretizer().bins() {
+                    let column = packed
+                        .layout()
+                        .likelihood_column(feature, packed_column_of(bin, r))
+                        .unwrap();
+                    let cell = packed.levels()[class][column].unwrap();
+                    assert_eq!(
+                        unpack_digit(cell, digit_slot_of(bin, r), 2),
+                        quantized.likelihood_level(class, feature, bin).unwrap()
+                    );
+                }
+            }
+        }
+        // An 8-bit cell packs four bins: 16 columns for the same model.
+        let wide = compile(&quantized, false, Encoding::BitPlane { bits: 8 }).unwrap();
+        assert_eq!(wide.layout().columns(), 16);
+        assert_eq!(wide.state_count(), 256);
+    }
+
+    #[test]
+    fn packed_prior_column_stores_the_raw_level() {
+        let quantized = iris_quantized();
+        let packed = compile(&quantized, true, Encoding::BitPlane { bits: 4 }).unwrap();
+        let prior_column = packed.layout().prior_column().unwrap();
+        for class in 0..quantized.n_classes() {
+            assert_eq!(
+                packed.levels()[class][prior_column],
+                Some(quantized.prior_level(class).unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_cells_are_rejected_at_compile_time() {
+        // A 1-bit cell cannot hold one Q_l = 2 digit.
+        assert!(compile(&iris_quantized(), false, Encoding::BitPlane { bits: 1 }).is_err());
+    }
+
+    #[test]
+    fn packed_tiled_program_matches_the_monolithic_packing() {
+        let quantized = iris_quantized();
+        let encoding = Encoding::BitPlane { bits: 4 };
+        let tiled =
+            compile_tiled(&quantized, false, TileShape::new(2, 16).unwrap(), encoding).unwrap();
+        assert_eq!(tiled.encoding(), encoding);
+        assert_eq!(tiled.plan().row_tiles(), 2);
+        assert_eq!(tiled.plan().col_tiles(), 2);
+        assert_eq!(
+            tiled.program(),
+            &compile(&quantized, false, encoding).unwrap(),
+            "tiling must not change the packed levels"
+        );
+    }
+
+    #[test]
     fn degenerate_single_class_still_compiles() {
         let dataset = Dataset::new(
             "single",
@@ -289,7 +416,7 @@ mod tests {
         .unwrap();
         let model = GaussianNaiveBayes::fit(&dataset).unwrap();
         let quantized = QuantizedGnbc::quantize(&model, &dataset, QuantConfig::new(2, 2)).unwrap();
-        let program = compile(&quantized, false).unwrap();
+        let program = compile(&quantized, false, Encoding::OneHot).unwrap();
         assert_eq!(program.layout().rows(), 1);
     }
 }

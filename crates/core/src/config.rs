@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use febim_crossbar::ProgrammingMode;
 use febim_device::{FeFetParams, NonIdealityStack, VariationModel};
-use febim_quant::QuantConfig;
+use febim_quant::{Encoding, QuantConfig};
 
 use crate::errors::{CoreError, Result};
 
@@ -24,6 +24,12 @@ pub struct EngineConfig {
     pub non_idealities: NonIdealityStack,
     /// How cells are programmed (ideal polarization vs. full pulse trains).
     pub programming_mode: ProgrammingMode,
+    /// How quantized log-likelihoods map onto crossbar columns: the paper's
+    /// one-hot layout (one column per bin), or bit-plane packing (several
+    /// bin digits share one multi-level column, read back with a shift-add
+    /// merge). The default is one-hot.
+    #[serde(default)]
+    pub encoding: Encoding,
     /// Whether to emit a prior column even when the prior is uniform.
     pub force_prior_column: bool,
     /// RNG seed used for variation sampling.
@@ -40,9 +46,16 @@ impl EngineConfig {
             variation: VariationModel::ideal(),
             non_idealities: NonIdealityStack::ideal(),
             programming_mode: ProgrammingMode::Ideal,
+            encoding: Encoding::OneHot,
             force_prior_column: false,
             variation_seed: 0,
         }
+    }
+
+    /// Returns a copy with a different column encoding.
+    pub fn with_encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
     }
 
     /// Returns a copy with a different quantization configuration.
@@ -94,6 +107,12 @@ impl EngineConfig {
             .validate()
             .map_err(|err| CoreError::InvalidConfig {
                 name: "non_idealities",
+                reason: err.to_string(),
+            })?;
+        self.encoding
+            .validate(self.quant.likelihood_bits)
+            .map_err(|err| CoreError::InvalidConfig {
+                name: "encoding",
                 reason: err.to_string(),
             })?;
         Ok(())
@@ -167,6 +186,32 @@ mod tests {
         config.validate().unwrap();
         // The default stack stays ideal.
         assert!(EngineConfig::febim_default().non_idealities.is_ideal());
+    }
+
+    #[test]
+    fn encoding_defaults_to_one_hot_and_validates_bit_budget() {
+        let config = EngineConfig::febim_default();
+        assert_eq!(config.encoding, Encoding::OneHot);
+        let packed = config.clone().with_encoding(Encoding::BitPlane { bits: 4 });
+        packed.validate().unwrap();
+        // Q_l = 2 digits cannot fit into a 1-bit cell.
+        let starved = config.clone().with_encoding(Encoding::BitPlane { bits: 1 });
+        assert!(matches!(
+            starved.validate(),
+            Err(CoreError::InvalidConfig {
+                name: "encoding",
+                ..
+            })
+        ));
+        // More than eight bits per cell is out of the device envelope.
+        let oversized = config.with_encoding(Encoding::BitPlane { bits: 9 });
+        assert!(matches!(
+            oversized.validate(),
+            Err(CoreError::InvalidConfig {
+                name: "encoding",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -83,6 +83,17 @@ pub struct EvalScratch {
     /// Wordline currents of a whole batched read group, read-major
     /// (`batch_currents[read * rows + row]`).
     pub(crate) batch_currents: Vec<f64>,
+    /// Packed-column evidence of the current read (bit-plane encoding only):
+    /// the discretized bin of each feature mapped to its packed column.
+    pub(crate) packed_evidence: Vec<usize>,
+    /// Per-activated-column digit bit offsets of a packed read (bit-plane
+    /// encoding only; concatenated read-major for batched reads).
+    pub(crate) bit_offsets: Vec<u8>,
+    /// Per-plane integer partial sums of a packed read, row-major
+    /// (`plane_sums[row * planes + plane]`; read-major on top for batches).
+    pub(crate) plane_sums: Vec<f64>,
+    /// Digitized per-column cell levels of one packed wordline read.
+    pub(crate) level_scratch: Vec<usize>,
 }
 
 impl EvalScratch {

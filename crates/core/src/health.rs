@@ -27,6 +27,7 @@ use febim_crossbar::ScrubOutcome;
 use crate::backend::InferenceBackend;
 use crate::engine::FebimEngine;
 use crate::errors::{CoreError, Result};
+use crate::scheduler::EpochScheduler;
 
 /// Health of one serving replica, as decided by its scrub history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -161,8 +162,7 @@ pub struct ScrubReport {
 #[derive(Debug, Clone)]
 pub struct ScrubScheduler {
     policy: ScrubPolicy,
-    ticks_until_check: u64,
-    last_epoch: Option<u64>,
+    epoch: EpochScheduler,
     health: ReplicaHealth,
     report: ScrubReport,
 }
@@ -178,8 +178,7 @@ impl ScrubScheduler {
         policy.validate()?;
         Ok(Self {
             policy,
-            ticks_until_check: policy.check_interval_ticks,
-            last_epoch: None,
+            epoch: EpochScheduler::new(policy.check_interval_ticks),
             health: ReplicaHealth::Healthy,
             report: ScrubReport::default(),
         })
@@ -243,18 +242,14 @@ impl ScrubScheduler {
         engine: &mut FebimEngine<B>,
         ticks: u64,
     ) -> Result<Option<ScrubOutcome>> {
-        let mut elapsed = ticks;
         let mut merged: Option<ScrubOutcome> = None;
-        while elapsed >= self.ticks_until_check {
-            elapsed -= self.ticks_until_check;
-            self.ticks_until_check = self.policy.check_interval_ticks;
+        for _ in 0..self.epoch.due_checks(ticks) {
             if let Some(outcome) = self.check(engine)? {
                 merged
                     .get_or_insert_with(ScrubOutcome::default)
                     .merge(&outcome);
             }
         }
-        self.ticks_until_check -= elapsed;
         Ok(merged)
     }
 
@@ -274,7 +269,7 @@ impl ScrubScheduler {
         engine: &mut FebimEngine<B>,
     ) -> Result<Option<ScrubOutcome>> {
         let epoch = engine.state_epoch();
-        if self.last_epoch == Some(epoch) {
+        if self.epoch.is_unmoved(epoch) {
             self.report.skipped_checks += 1;
             // The epoch snapshot was taken *after* the last repair pass, so
             // an unmoved epoch proves the array still sits in its verified
@@ -290,7 +285,7 @@ impl ScrubScheduler {
         let outcome = engine.scrub(self.policy.max_vth_shift)?;
         // Record the post-repair epoch so the pass itself does not force
         // the next check to rescan an untouched array.
-        self.last_epoch = Some(engine.state_epoch());
+        self.epoch.record(engine.state_epoch());
         let next = self.health.after_scrub(&outcome);
         if next != self.health {
             self.health = next;

@@ -40,6 +40,7 @@ pub mod monte_carlo;
 pub mod recalibration;
 pub mod report;
 pub mod scaling;
+pub mod scheduler;
 pub mod serving;
 
 pub use backend::{
@@ -63,6 +64,7 @@ pub use report::{default_experiment_dir, Table};
 pub use scaling::{
     column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint,
 };
+pub use scheduler::EpochScheduler;
 /// JSON emission entry points (`to_string` / `to_string_pretty`) for every
 /// `Serialize`-deriving result type (e.g. [`EvaluationReport`],
 /// [`febim_crossbar::TilePlan`]) — the machinery behind `BENCH_*.json`.
@@ -141,6 +143,57 @@ mod proptests {
                     mono_scratch.wordline_currents(),
                     tiled_scratch.wordline_currents()
                 );
+            }
+        }
+
+        /// A bit-plane-packed engine of any legal cell width infers
+        /// bit-identically on the monolithic array and on any tiled fabric,
+        /// and its merged shift-add scores reproduce the unpacked level-sum
+        /// oracle exactly — the engine-level round-trip contract of the
+        /// packed encoding.
+        #[test]
+        fn packed_engines_match_the_unpacked_oracle(
+            seed in 0u64..20,
+            bits in 2u32..9,
+            tile_rows in 1usize..4,
+            tile_columns in 1usize..40,
+        ) {
+            let dataset = iris_like(seed).unwrap();
+            let split = stratified_split(&dataset, 0.7, &mut seeded_rng(seed)).unwrap();
+            let config = EngineConfig::febim_default()
+                .with_encoding(febim_quant::Encoding::BitPlane { bits });
+            let monolithic = FebimEngine::fit(&split.train, config.clone()).unwrap();
+            let shape = febim_crossbar::TileShape::new(tile_rows, tile_columns).unwrap();
+            let tiled = FebimEngine::fit_tiled(&split.train, config, shape).unwrap();
+            let lsb = febim_device::programming::DEFAULT_MIN_READ_CURRENT;
+            let quantized = monolithic.quantized();
+            let mut mono_scratch = monolithic.make_scratch();
+            let mut tiled_scratch = tiled.make_scratch();
+            let mut evidence = Vec::new();
+            for index in 0..split.test.n_samples() {
+                let sample = split.test.sample(index).unwrap();
+                let a = monolithic.infer_into(sample, &mut mono_scratch).unwrap();
+                let b = tiled.infer_into(sample, &mut tiled_scratch).unwrap();
+                prop_assert_eq!(a.prediction, b.prediction);
+                prop_assert_eq!(a.tie_broken, b.tie_broken);
+                prop_assert_eq!(
+                    mono_scratch.wordline_currents(),
+                    tiled_scratch.wordline_currents()
+                );
+                quantized.discretize_sample_into(sample, &mut evidence).unwrap();
+                for class in 0..quantized.n_classes() {
+                    let score: usize = evidence
+                        .iter()
+                        .enumerate()
+                        .map(|(feature, &bin)| {
+                            quantized.likelihood_level(class, feature, bin).unwrap()
+                        })
+                        .sum();
+                    prop_assert_eq!(
+                        mono_scratch.wordline_currents()[class],
+                        lsb * score as f64
+                    );
+                }
             }
         }
 

@@ -28,6 +28,7 @@ use febim_crossbar::RefreshOutcome;
 use crate::backend::InferenceBackend;
 use crate::engine::FebimEngine;
 use crate::errors::{CoreError, Result};
+use crate::scheduler::EpochScheduler;
 
 /// When and how aggressively to recalibrate a drifting backend.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,8 +99,7 @@ pub struct RecalibrationReport {
 #[derive(Debug, Clone)]
 pub struct RecalibrationScheduler {
     policy: RecalibrationPolicy,
-    ticks_until_check: u64,
-    last_epoch: Option<u64>,
+    epoch: EpochScheduler,
     report: RecalibrationReport,
 }
 
@@ -113,8 +113,7 @@ impl RecalibrationScheduler {
         policy.validate()?;
         Ok(Self {
             policy,
-            ticks_until_check: policy.check_interval_ticks,
-            last_epoch: None,
+            epoch: EpochScheduler::new(policy.check_interval_ticks),
             report: RecalibrationReport::default(),
         })
     }
@@ -145,18 +144,14 @@ impl RecalibrationScheduler {
         ticks: u64,
     ) -> Result<Option<RefreshOutcome>> {
         engine.advance_time(ticks);
-        let mut elapsed = ticks;
         let mut merged: Option<RefreshOutcome> = None;
-        while elapsed >= self.ticks_until_check {
-            elapsed -= self.ticks_until_check;
-            self.ticks_until_check = self.policy.check_interval_ticks;
+        for _ in 0..self.epoch.due_checks(ticks) {
             if let Some(outcome) = self.check(engine)? {
                 merged
                     .get_or_insert_with(RefreshOutcome::default)
                     .merge(&outcome);
             }
         }
-        self.ticks_until_check -= elapsed;
         Ok(merged)
     }
 
@@ -176,19 +171,19 @@ impl RecalibrationScheduler {
         engine: &mut FebimEngine<B>,
     ) -> Result<Option<RefreshOutcome>> {
         let epoch = engine.state_epoch();
-        if self.last_epoch == Some(epoch) {
+        if self.epoch.is_unmoved(epoch) {
             self.report.skipped_checks += 1;
             return Ok(None);
         }
         self.report.checks += 1;
         if engine.worst_effective_shift() <= self.policy.max_vth_shift {
-            self.last_epoch = Some(epoch);
+            self.epoch.record(epoch);
             return Ok(None);
         }
         let outcome = engine.recalibrate(self.policy.max_vth_shift)?;
         // Record the post-refresh epoch so the pass itself does not force
         // the next check to rescan an untouched array.
-        self.last_epoch = Some(engine.state_epoch());
+        self.epoch.record(engine.state_epoch());
         if outcome.cells_refreshed > 0 {
             self.report.passes += 1;
             self.report.outcome.merge(&outcome);

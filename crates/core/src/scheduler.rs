@@ -1,0 +1,152 @@
+//! The generic epoch-skip countdown shared by the maintenance schedulers.
+//!
+//! [`RecalibrationScheduler`](crate::RecalibrationScheduler) and
+//! [`ScrubScheduler`](crate::ScrubScheduler) drive different maintenance
+//! passes (drift refresh vs fault scrub) but share the same two pieces of
+//! clockwork:
+//!
+//! * a **countdown** that converts an arbitrary tick advance into the exact
+//!   number of due checks — one per elapsed interval, so a large jump can
+//!   never silently swallow a check;
+//! * an **epoch gate** that compares the backend's state epoch against the
+//!   snapshot taken after the previous pass, so a due check on an untouched
+//!   array collapses into a single integer compare instead of an O(cells)
+//!   scan.
+//!
+//! [`EpochScheduler`] owns exactly that clockwork and nothing else: the
+//! wrappers keep their own policies, reports and health machines, which is
+//! why their public APIs (and pinned check/skip counts) are unchanged by
+//! the extraction.
+
+/// Countdown + epoch-skip state machine driving one periodic maintenance
+/// pass.
+///
+/// The scheduler is deliberately dumb: it counts ticks, answers "how many
+/// checks fell due", and remembers the last verified state epoch. What a
+/// check *does* — scan for drift, scrub for faults — belongs to the caller.
+#[derive(Debug, Clone)]
+pub struct EpochScheduler {
+    interval_ticks: u64,
+    ticks_until_check: u64,
+    last_epoch: Option<u64>,
+}
+
+impl EpochScheduler {
+    /// Creates a scheduler with a full countdown until the first check.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval — callers validate their policies before
+    /// constructing the scheduler, so a zero here is a programming error.
+    pub fn new(interval_ticks: u64) -> Self {
+        assert!(interval_ticks > 0, "check interval must be at least 1 tick");
+        Self {
+            interval_ticks,
+            ticks_until_check: interval_ticks,
+            last_epoch: None,
+        }
+    }
+
+    /// Ticks between due checks.
+    pub fn interval_ticks(&self) -> u64 {
+        self.interval_ticks
+    }
+
+    /// Ticks left before the next check falls due.
+    pub fn ticks_until_check(&self) -> u64 {
+        self.ticks_until_check
+    }
+
+    /// Counts `ticks` against the countdown and returns how many checks
+    /// fell due in that window — one per elapsed interval. Sub-interval
+    /// remainders carry over to the next call, so split advances accumulate
+    /// exactly like one large advance.
+    pub fn due_checks(&mut self, ticks: u64) -> u64 {
+        if ticks < self.ticks_until_check {
+            self.ticks_until_check -= ticks;
+            return 0;
+        }
+        let past_first = ticks - self.ticks_until_check;
+        let extra = past_first / self.interval_ticks;
+        self.ticks_until_check = self.interval_ticks - past_first % self.interval_ticks;
+        1 + extra
+    }
+
+    /// Whether the backend still sits at the last verified epoch — in which
+    /// case nothing can have changed and the caller should skip its scan.
+    pub fn is_unmoved(&self, epoch: u64) -> bool {
+        self.last_epoch == Some(epoch)
+    }
+
+    /// Records the epoch the array was just verified (or repaired) at, so
+    /// the next due check on an untouched array skips.
+    pub fn record(&mut self, epoch: u64) {
+        self.last_epoch = Some(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_interval_ticks_accumulate_across_calls() {
+        let mut scheduler = EpochScheduler::new(10);
+        assert_eq!(scheduler.due_checks(4), 0);
+        assert_eq!(scheduler.due_checks(5), 0);
+        assert_eq!(scheduler.ticks_until_check(), 1);
+        assert_eq!(scheduler.due_checks(1), 1);
+        assert_eq!(scheduler.ticks_until_check(), 10);
+    }
+
+    #[test]
+    fn one_large_jump_owes_one_check_per_elapsed_interval() {
+        let mut scheduler = EpochScheduler::new(10);
+        assert_eq!(scheduler.due_checks(50), 5);
+        assert_eq!(scheduler.ticks_until_check(), 10);
+        // A remainder re-arms a partial countdown.
+        assert_eq!(scheduler.due_checks(23), 2);
+        assert_eq!(scheduler.ticks_until_check(), 7);
+        assert_eq!(scheduler.due_checks(0), 0);
+        assert_eq!(scheduler.ticks_until_check(), 7);
+    }
+
+    #[test]
+    fn closed_form_matches_the_reference_loop() {
+        for interval in 1u64..8 {
+            let mut fast = EpochScheduler::new(interval);
+            let mut remaining = interval;
+            for ticks in [0u64, 1, 3, 7, 12, 100, 2, interval, interval * 3] {
+                let mut elapsed = ticks;
+                let mut due = 0u64;
+                while elapsed >= remaining {
+                    elapsed -= remaining;
+                    remaining = interval;
+                    due += 1;
+                }
+                remaining -= elapsed;
+                assert_eq!(fast.due_checks(ticks), due);
+                assert_eq!(fast.ticks_until_check(), remaining);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_gate_skips_only_the_recorded_epoch() {
+        let mut scheduler = EpochScheduler::new(1);
+        // No pass has run yet: the first check always scans.
+        assert!(!scheduler.is_unmoved(0));
+        scheduler.record(7);
+        assert!(scheduler.is_unmoved(7));
+        assert!(!scheduler.is_unmoved(8));
+        scheduler.record(8);
+        assert!(scheduler.is_unmoved(8));
+        assert!(!scheduler.is_unmoved(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 tick")]
+    fn zero_intervals_are_rejected() {
+        let _ = EpochScheduler::new(0);
+    }
+}

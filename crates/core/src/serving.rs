@@ -2336,6 +2336,36 @@ mod tests {
         }
     }
 
+    /// A pool of bit-plane-packed replicas serves the same answers as
+    /// sequential packed inference: the shift-add read path composes with
+    /// batched serving exactly like one-hot reads do.
+    #[test]
+    fn packed_pool_matches_sequential_packed_inference() {
+        let (train, test) = split_for(906);
+        let config = EngineConfig::febim_default()
+            .with_encoding(febim_quant::Encoding::BitPlane { bits: 4 });
+        let engine = FebimEngine::fit(&train, config).unwrap();
+        let mut scratch = engine.make_scratch();
+        let samples = samples_of(&test);
+        let sequential: Vec<InferenceStep> = samples
+            .iter()
+            .map(|sample| engine.infer_into(sample, &mut scratch).unwrap())
+            .collect();
+        let pool =
+            ServingPool::replicate(&engine, 2, ServingConfig::default().with_max_batch(4)).unwrap();
+        let answers = pool.serve(&samples);
+        for (answer, step) in answers.iter().zip(&sequential) {
+            let outcome = answer.as_ref().unwrap();
+            assert_eq!(outcome.prediction, step.prediction);
+            assert_eq!(outcome.tie_broken, step.tie_broken);
+            assert_eq!(outcome.delay, step.delay);
+            assert_eq!(outcome.energy, step.energy);
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.requests, samples.len() as u64);
+        assert!(stats.batched_delay_s <= stats.sequential_delay_s);
+    }
+
     #[test]
     fn malformed_requests_get_their_own_typed_error() {
         let (train, test) = split_for(903);

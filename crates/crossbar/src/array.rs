@@ -24,12 +24,12 @@ use febim_device::{
     CellContext, DeviceError, LevelProgrammer, NonIdealityStack, ProgrammedState, VariationModel,
 };
 
-use crate::cache::{lane_delta_sum, ConductanceCache};
+use crate::cache::{lane_delta_sum, row_plane_partials, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::fault::{FaultKind, FaultReport, ScrubOutcome};
 use crate::layout::CrossbarLayout;
-use crate::read::{Activation, ReadCounters};
+use crate::read::{Activation, LevelLadder, ReadCounters};
 use crate::write::WriteScheme;
 
 /// How cells are programmed.
@@ -62,6 +62,7 @@ pub struct RebuildStats {
 /// [`CrossbarArray::recalibrate`]): how much was checked, refreshed, and
 /// what the refresh cost in pulses and energy.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[must_use = "maintenance outcomes carry repair counters and energy costs that must be merged into reports"]
 pub struct RefreshOutcome {
     /// Programmed cells whose effective threshold shift was evaluated.
     pub cells_checked: u64,
@@ -784,6 +785,191 @@ impl CrossbarArray {
         (0..self.layout.rows())
             .map(|row| self.wordline_current_reference(row, activation))
             .collect()
+    }
+
+    /// Validates the per-slot bit offsets of a packed read against the
+    /// activation they annotate.
+    fn check_bit_offsets(activation: &Activation, bit_offsets: &[u8]) -> Result<()> {
+        if bit_offsets.len() != activation.len() {
+            return Err(CrossbarError::ActivationLengthMismatch {
+                expected: activation.len(),
+                found: bit_offsets.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-plane partial sums of one packed bit-plane read, written into
+    /// `out` (cleared first) as `out[row * planes + plane]`: each activated
+    /// column's effective on-current is digitized through `ladder` into its
+    /// multi-level state, and plane `q` counts the activated columns whose
+    /// state has bit `bit_offsets[slot] + q` set, in the committed 4-lane
+    /// summation order (see [`crate::cache`]'s module docs).
+    /// `bit_offsets[slot]` annotates `activation.active_columns()[slot]`
+    /// with the bit position of that column's selected digit.
+    ///
+    /// `level_scratch` is the caller's reusable digitizing buffer; the
+    /// partials are exact integers in `f64`, ready for the sensing chain's
+    /// shift-add merge. Counts as one read of every wordline for the
+    /// disturb model, exactly like
+    /// [`CrossbarArray::wordline_currents_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the
+    /// activation was built for a different layout or `bit_offsets` does not
+    /// annotate every activated column.
+    pub fn plane_partial_sums_into(
+        &self,
+        activation: &Activation,
+        bit_offsets: &[u8],
+        planes: usize,
+        ladder: &LevelLadder,
+        level_scratch: &mut Vec<usize>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_activation(activation)?;
+        Self::check_bit_offsets(activation, bit_offsets)?;
+        let rows = self.layout.rows();
+        out.clear();
+        out.reserve(rows * planes);
+        for row in 0..rows {
+            self.note_row_read(row);
+        }
+        self.with_cache(|cache| {
+            for row in 0..rows {
+                row_plane_partials(
+                    |column| cache.on_current(row, column),
+                    activation.active_columns(),
+                    bit_offsets,
+                    planes,
+                    ladder,
+                    level_scratch,
+                    out,
+                );
+            }
+        });
+        Ok(())
+    }
+
+    /// Uncached packed read: evaluates the FeFET I-V model — with the
+    /// configured non-ideality stack — for every activated cell on every
+    /// call and digitizes through the same ladder and summation order as
+    /// [`CrossbarArray::plane_partial_sums_into`]. The reference oracle for
+    /// the packed-read equivalence tests; does **not** register wordline
+    /// reads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossbarArray::plane_partial_sums_into`].
+    pub fn plane_partial_sums_reference(
+        &self,
+        activation: &Activation,
+        bit_offsets: &[u8],
+        planes: usize,
+        ladder: &LevelLadder,
+    ) -> Result<Vec<f64>> {
+        self.check_activation(activation)?;
+        Self::check_bit_offsets(activation, bit_offsets)?;
+        let rows = self.layout.rows();
+        let mut out = Vec::with_capacity(rows * planes);
+        let mut level_scratch = Vec::with_capacity(activation.len());
+        for row in 0..rows {
+            row_plane_partials(
+                |column| self.evaluate_cell(row, column).0,
+                activation.active_columns(),
+                bit_offsets,
+                planes,
+                ladder,
+                &mut level_scratch,
+                &mut out,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Packed partial sums for a whole group of reads, written into `out`
+    /// (cleared first) read after read:
+    /// `out[(read * rows + row) * planes + plane]`. `bit_offsets` holds the
+    /// per-read offset slices concatenated in read order. The cache-borrow
+    /// and disturb-registration split mirrors
+    /// [`CrossbarArray::wordline_currents_batch_into`], so batched packed
+    /// reads stay bit-identical to sequential
+    /// [`CrossbarArray::plane_partial_sums_into`] calls in every
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when any
+    /// activation was built for a different layout or `bit_offsets` does
+    /// not annotate exactly the activated columns of every read (before any
+    /// partial is written).
+    pub fn plane_partial_sums_batch_into(
+        &self,
+        activations: &[Activation],
+        bit_offsets: &[u8],
+        planes: usize,
+        ladder: &LevelLadder,
+        level_scratch: &mut Vec<usize>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let mut total = 0usize;
+        for activation in activations {
+            self.check_activation(activation)?;
+            total += activation.len();
+        }
+        if bit_offsets.len() != total {
+            return Err(CrossbarError::ActivationLengthMismatch {
+                expected: total,
+                found: bit_offsets.len(),
+            });
+        }
+        let rows = self.layout.rows();
+        out.clear();
+        out.reserve(rows * planes * activations.len());
+        if !self.stack.tracks_reads() {
+            self.with_cache(|cache| {
+                let mut cursor = 0usize;
+                for activation in activations {
+                    let offsets = &bit_offsets[cursor..cursor + activation.len()];
+                    cursor += activation.len();
+                    for row in 0..rows {
+                        row_plane_partials(
+                            |column| cache.on_current(row, column),
+                            activation.active_columns(),
+                            offsets,
+                            planes,
+                            ladder,
+                            level_scratch,
+                            out,
+                        );
+                    }
+                }
+            });
+            return Ok(());
+        }
+        let mut cursor = 0usize;
+        for activation in activations {
+            let offsets = &bit_offsets[cursor..cursor + activation.len()];
+            cursor += activation.len();
+            for row in 0..rows {
+                self.note_row_read(row);
+            }
+            self.with_cache(|cache| {
+                for row in 0..rows {
+                    row_plane_partials(
+                        |column| cache.on_current(row, column),
+                        activation.active_columns(),
+                        offsets,
+                        planes,
+                        ladder,
+                        level_scratch,
+                        out,
+                    );
+                }
+            });
+        }
+        Ok(())
     }
 
     fn level_state<'a>(
@@ -1718,5 +1904,226 @@ mod tests {
         assert_eq!(before, after_train);
         // Column neighbours still absorb the half-bias train.
         assert!(array.cell(1, 1).unwrap().disturb_pulses() > 0);
+    }
+
+    /// A 2-row array with 16-level cells, programmed so each column stores a
+    /// known packed state, plus the flash-ADC ladder matching the
+    /// programmer's current window.
+    fn packed_array(levels: &[Vec<Option<usize>>]) -> (CrossbarArray, LevelLadder) {
+        let layout = CrossbarLayout::new(2, 2, 2, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(16).unwrap();
+        let ladder = LevelLadder::new(
+            programmer.min_current(),
+            programmer.max_current(),
+            programmer.levels(),
+        )
+        .unwrap();
+        let mut array = CrossbarArray::new(layout, programmer);
+        array
+            .program_matrix(levels, ProgrammingMode::Ideal)
+            .unwrap();
+        (array, ladder)
+    }
+
+    #[test]
+    fn packed_partials_count_the_programmed_bits() {
+        // Row 0 stores 0b0110, 0b0001, 0b1111, 0b1000; row 1 the reverse.
+        let levels = vec![
+            vec![Some(0b0110), Some(0b0001), Some(0b1111), Some(0b1000)],
+            vec![Some(0b1000), Some(0b1111), Some(0b0001), Some(0b0110)],
+        ];
+        let (array, ladder) = packed_array(&levels);
+        let activation = Activation::from_columns(array.layout(), &[0, 1, 2]).unwrap();
+        // Column 0 contributes digit bits 2..4, columns 1 and 2 bits 0..2.
+        let bit_offsets = [2, 0, 0];
+        let mut scratch = Vec::new();
+        let mut partials = Vec::new();
+        array
+            .plane_partial_sums_into(
+                &activation,
+                &bit_offsets,
+                2,
+                &ladder,
+                &mut scratch,
+                &mut partials,
+            )
+            .unwrap();
+        // Row 0 plane 0: bit2(0b0110)=1, bit0(0b0001)=1, bit0(0b1111)=1.
+        // Row 0 plane 1: bit3(0b0110)=0, bit1(0b0001)=0, bit1(0b1111)=1.
+        // Row 1 plane 0: bit2(0b1000)=0, bit0(0b1111)=1, bit0(0b0001)=1.
+        // Row 1 plane 1: bit3(0b1000)=1, bit1(0b1111)=1, bit1(0b0001)=0.
+        assert_eq!(partials, vec![3.0, 1.0, 2.0, 2.0]);
+        let reference = array
+            .plane_partial_sums_reference(&activation, &bit_offsets, 2, &ladder)
+            .unwrap();
+        assert_eq!(partials, reference);
+    }
+
+    #[test]
+    fn packed_partials_validate_their_inputs() {
+        let levels = vec![vec![Some(1); 4]; 2];
+        let (array, ladder) = packed_array(&levels);
+        let activation = Activation::from_columns(array.layout(), &[0, 1]).unwrap();
+        let mut scratch = Vec::new();
+        let mut partials = Vec::new();
+        // One offset for two activated columns.
+        assert!(matches!(
+            array.plane_partial_sums_into(
+                &activation,
+                &[0],
+                2,
+                &ladder,
+                &mut scratch,
+                &mut partials,
+            ),
+            Err(CrossbarError::ActivationLengthMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(array
+            .plane_partial_sums_reference(&activation, &[0], 2, &ladder)
+            .is_err());
+        // Activation built for a different layout.
+        let other_layout = CrossbarLayout::new(2, 3, 2, false).unwrap();
+        let foreign = Activation::all_columns(&other_layout);
+        assert!(array
+            .plane_partial_sums_reference(&foreign, &[0; 6], 2, &ladder)
+            .is_err());
+        // Batch offsets must cover every read exactly.
+        assert!(matches!(
+            array.plane_partial_sums_batch_into(
+                &[activation.clone(), activation],
+                &[0; 3],
+                2,
+                &ladder,
+                &mut scratch,
+                &mut partials,
+            ),
+            Err(CrossbarError::ActivationLengthMismatch {
+                expected: 4,
+                found: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn noisy_packed_partials_match_the_oracle_and_register_disturb() {
+        let layout = CrossbarLayout::new(2, 2, 2, false).unwrap();
+        let programmer = LevelProgrammer::febim_default(16).unwrap();
+        let ladder = LevelLadder::new(
+            programmer.min_current(),
+            programmer.max_current(),
+            programmer.levels(),
+        )
+        .unwrap();
+        let mut array =
+            CrossbarArray::with_non_idealities(layout, programmer, noisy_stack()).unwrap();
+        let levels = vec![
+            vec![Some(3), Some(12), Some(7), Some(15)],
+            vec![Some(8), Some(1), Some(14), Some(5)],
+        ];
+        array
+            .program_matrix(&levels, ProgrammingMode::Ideal)
+            .unwrap();
+        array.advance_time(555);
+        let activation = Activation::all_columns(array.layout());
+        let bit_offsets = [0u8, 2, 0, 2];
+        let mut scratch = Vec::new();
+        let mut partials = Vec::new();
+        for _ in 0..20 {
+            array
+                .plane_partial_sums_into(
+                    &activation,
+                    &bit_offsets,
+                    2,
+                    &ladder,
+                    &mut scratch,
+                    &mut partials,
+                )
+                .unwrap();
+            let oracle = array
+                .plane_partial_sums_reference(&activation, &bit_offsets, 2, &ladder)
+                .unwrap();
+            assert_eq!(partials, oracle);
+        }
+        // Packed reads feed the read-disturb model like ordinary wordline
+        // reads.
+        assert_eq!(array.row_reads(0).unwrap(), 20);
+    }
+
+    #[test]
+    fn batched_packed_partials_match_sequential_reads() {
+        for stack in [
+            NonIdealityStack::ideal(),
+            NonIdealityStack::ideal().with_disturb(ReadDisturb::new(3, 0.002)),
+        ] {
+            let layout = CrossbarLayout::new(2, 2, 2, false).unwrap();
+            let programmer = LevelProgrammer::febim_default(16).unwrap();
+            let ladder = LevelLadder::new(
+                programmer.min_current(),
+                programmer.max_current(),
+                programmer.levels(),
+            )
+            .unwrap();
+            let mut batched =
+                CrossbarArray::with_non_idealities(layout, programmer.clone(), stack).unwrap();
+            let mut sequential =
+                CrossbarArray::with_non_idealities(layout, programmer, stack).unwrap();
+            let levels = vec![
+                vec![Some(9), Some(2), Some(13), Some(6)],
+                vec![Some(4), Some(11), Some(0), Some(15)],
+            ];
+            for array in [&mut batched, &mut sequential] {
+                array
+                    .program_matrix(&levels, ProgrammingMode::Ideal)
+                    .unwrap();
+            }
+            let reads = [
+                (
+                    Activation::from_columns(batched.layout(), &[0, 2]).unwrap(),
+                    vec![0u8, 2],
+                ),
+                (Activation::all_columns(batched.layout()), vec![2, 0, 2, 0]),
+                (
+                    Activation::from_columns(batched.layout(), &[3]).unwrap(),
+                    vec![0],
+                ),
+            ];
+            let activations: Vec<Activation> = reads.iter().map(|(a, _)| a.clone()).collect();
+            let flat_offsets: Vec<u8> = reads.iter().flat_map(|(_, o)| o.clone()).collect();
+            let mut scratch = Vec::new();
+            let mut batch_out = Vec::new();
+            batched
+                .plane_partial_sums_batch_into(
+                    &activations,
+                    &flat_offsets,
+                    2,
+                    &ladder,
+                    &mut scratch,
+                    &mut batch_out,
+                )
+                .unwrap();
+            let mut sequential_out = Vec::new();
+            for (activation, offsets) in &reads {
+                let mut one = Vec::new();
+                sequential
+                    .plane_partial_sums_into(
+                        activation,
+                        offsets,
+                        2,
+                        &ladder,
+                        &mut scratch,
+                        &mut one,
+                    )
+                    .unwrap();
+                sequential_out.extend_from_slice(&one);
+            }
+            assert_eq!(batch_out, sequential_out);
+            assert_eq!(
+                batched.row_reads(0).unwrap(),
+                sequential.row_reads(0).unwrap()
+            );
+        }
     }
 }

@@ -33,7 +33,7 @@
 //! all evaluate it identically, and the crate's property tests pin every
 //! remainder case (0–3 trailing columns).
 
-use crate::read::Activation;
+use crate::read::{Activation, LevelLadder};
 
 /// On/off delta sum over the activated columns in the committed 4-lane
 /// order (see the module docs): lanes striped over activation order,
@@ -57,6 +57,65 @@ pub(crate) fn lane_delta_sum(deltas: &[f64], active_columns: &[usize]) -> f64 {
         tail += deltas[column];
     }
     ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// Bit-plane variant of [`lane_delta_sum`]: sums `bit(slot)` for slots
+/// `0..count` in the committed 4-lane striping and
+/// `((lane0 + lane1) + (lane2 + lane3)) + tail` combine. The closure lets
+/// the monolithic array and the tiled fabric plug in their own per-slot
+/// bit extraction (cache-backed or uncached-oracle) while guaranteeing the
+/// identical summation structure — the same contract [`lane_delta_sum`]
+/// pins for analog reads. The summands are exact 0.0/1.0 values, so the
+/// partial sums are exact integers in `f64`.
+#[inline]
+pub(crate) fn lane_bit_sum(count: usize, mut bit: impl FnMut(usize) -> f64) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let full = count / 4 * 4;
+    let mut slot = 0;
+    while slot < full {
+        lanes[0] += bit(slot);
+        lanes[1] += bit(slot + 1);
+        lanes[2] += bit(slot + 2);
+        lanes[3] += bit(slot + 3);
+        slot += 4;
+    }
+    let mut tail = 0.0;
+    for slot in full..count {
+        tail += bit(slot);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// One wordline's per-plane partial sums of a packed bit-plane read,
+/// appended to `out` (`planes` values, plane 0 = LSB first).
+///
+/// Every activated column's effective on-current is digitized **once**
+/// through the ladder into `level_scratch` (the caller-provided hoist that
+/// keeps the per-plane loops free of ladder arithmetic); plane `q` then
+/// counts, in the committed 4-lane order, the activated columns whose
+/// effective level has bit `bit_offsets[slot] + q` set. Both the cached
+/// kernels and the uncached reference oracles — monolithic and tiled —
+/// funnel through this one function with their own `on_current` accessor,
+/// so packed partial sums can never diverge between them.
+pub(crate) fn row_plane_partials(
+    mut on_current: impl FnMut(usize) -> f64,
+    active_columns: &[usize],
+    bit_offsets: &[u8],
+    planes: usize,
+    ladder: &LevelLadder,
+    level_scratch: &mut Vec<usize>,
+    out: &mut Vec<f64>,
+) {
+    level_scratch.clear();
+    level_scratch.reserve(active_columns.len());
+    for &column in active_columns {
+        level_scratch.push(ladder.level_for_current(on_current(column)));
+    }
+    for plane in 0..planes {
+        out.push(lane_bit_sum(active_columns.len(), |slot| {
+            f64::from(((level_scratch[slot] >> (bit_offsets[slot] as usize + plane)) & 1) as u32)
+        }));
+    }
 }
 
 /// Struct-of-arrays conductance snapshot of a programmed crossbar.
@@ -271,6 +330,49 @@ mod tests {
         cache.recompute_row_off_sum(1);
         let rebuilt = build(layout.rows(), layout.columns(), &cells);
         assert_eq!(cache, rebuilt);
+    }
+
+    #[test]
+    fn bit_lane_sum_counts_exactly() {
+        // 0/1 summands make every partial an exact integer regardless of
+        // striping, but the committed lane structure must still be the one
+        // an explicit lane-by-lane evaluation produces.
+        let bits = [1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0];
+        for count in 0..=bits.len() {
+            let measured = lane_bit_sum(count, |slot| bits[slot]);
+            let expected: f64 = bits[..count].iter().sum();
+            assert_eq!(measured, expected, "count={count}");
+        }
+    }
+
+    #[test]
+    fn row_plane_partials_count_set_bits_per_plane() {
+        // Three packed columns whose effective currents decode to levels
+        // 0b0110, 0b0001 and 0b1111 on a 16-level ladder; the digit of
+        // interest sits at offset 0, 0 and 2 respectively.
+        let ladder = crate::read::LevelLadder::new(0.1e-6, 1.0e-6, 16).unwrap();
+        let span = 0.9e-6;
+        let levels = [0b0110usize, 0b0001, 0b1111];
+        let currents: Vec<f64> = levels
+            .iter()
+            .map(|&level| 0.1e-6 + level as f64 / 15.0 * span)
+            .collect();
+        let active = [0usize, 1, 2];
+        let offsets = [0u8, 0, 2];
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        row_plane_partials(
+            |column| currents[column],
+            &active,
+            &offsets,
+            2,
+            &ladder,
+            &mut scratch,
+            &mut out,
+        );
+        // Plane 0 (LSB): bits are 0, 1, 1 → 2. Plane 1: bits 1, 0, 1 → 2.
+        assert_eq!(out, vec![2.0, 2.0]);
+        assert_eq!(scratch, levels);
     }
 
     #[test]

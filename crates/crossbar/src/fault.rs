@@ -303,6 +303,7 @@ pub struct FaultReport {
 
 /// The result of one BIST-style scrub pass over an array or fabric.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "maintenance outcomes carry repair counters and energy costs that must be merged into reports"]
 pub struct ScrubOutcome {
     /// Programmed cells whose read signature was checked.
     pub cells_checked: u64,

@@ -2,8 +2,84 @@
 
 use serde::{Deserialize, Serialize};
 
+use febim_device::DeviceError;
+
 use crate::errors::{CrossbarError, Result};
 use crate::layout::CrossbarLayout;
+
+/// Flash-ADC style quantizer mapping an effective cell read current back to
+/// the nearest programmed multi-level state — the digitizing front end of
+/// the packed bit-plane read path.
+///
+/// The level programmer targets currents linearly spaced over
+/// `[min_current, max_current]`, so the ladder's `round()` recovers the
+/// programmed level exactly on an ideal array; under non-idealities it
+/// digitizes whatever effective current the epoch-versioned cache (or the
+/// uncached oracle — both funnel through the same per-cell evaluation)
+/// reports, so the cached and reference packed reads can never diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelLadder {
+    min_current: f64,
+    max_current: f64,
+    levels: usize,
+}
+
+impl LevelLadder {
+    /// A ladder with `levels` thresholds linearly spaced over the read
+    /// window `[min_current, max_current]` (amperes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::Device`] for fewer than two levels or a
+    /// non-finite / inverted current window.
+    pub fn new(min_current: f64, max_current: f64, levels: usize) -> Result<Self> {
+        if levels < 2 {
+            return Err(CrossbarError::Device(DeviceError::InvalidParameter {
+                name: "levels",
+                reason: format!("a level ladder needs at least 2 levels, got {levels}"),
+            }));
+        }
+        if !(min_current.is_finite() && max_current.is_finite() && max_current > min_current) {
+            return Err(CrossbarError::Device(DeviceError::InvalidParameter {
+                name: "current_window",
+                reason: format!(
+                    "read window [{min_current:e}, {max_current:e}] must be finite and increasing"
+                ),
+            }));
+        }
+        Ok(Self {
+            min_current,
+            max_current,
+            levels,
+        })
+    }
+
+    /// Number of distinguishable levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Low end of the read window, in amperes.
+    pub fn min_current(&self) -> f64 {
+        self.min_current
+    }
+
+    /// High end of the read window, in amperes.
+    pub fn max_current(&self) -> f64 {
+        self.max_current
+    }
+
+    /// The level whose target current is nearest to `current`, clamped to
+    /// the ladder's range (currents outside the window saturate, exactly
+    /// like a flash ADC).
+    pub fn level_for_current(&self, current: f64) -> usize {
+        let span = self.max_current - self.min_current;
+        let normalized = (current - self.min_current) / span * (self.levels - 1) as f64;
+        // NaN rounds to 0 through the max() (f64::max ignores a NaN self).
+        let level = normalized.round().max(0.0) as usize;
+        level.min(self.levels - 1)
+    }
+}
 
 /// Which bitlines are driven with `V_on` during one inference.
 ///
@@ -334,6 +410,32 @@ mod tests {
         let activation = Activation::all_columns(&layout);
         assert!(!activation.is_active(layout.columns()));
         assert!(!activation.is_active(usize::MAX));
+    }
+
+    #[test]
+    fn level_ladder_round_trips_the_programmed_targets() {
+        let ladder = LevelLadder::new(0.1e-6, 1.0e-6, 16).unwrap();
+        assert_eq!(ladder.levels(), 16);
+        let span = ladder.max_current() - ladder.min_current();
+        for level in 0..16 {
+            let target = ladder.min_current() + level as f64 / 15.0 * span;
+            assert_eq!(ladder.level_for_current(target), level);
+            // Half-a-step perturbations still land on the same level.
+            assert_eq!(ladder.level_for_current(target + 0.4 * span / 15.0), level);
+            assert_eq!(ladder.level_for_current(target - 0.4 * span / 15.0), level);
+        }
+        // Out-of-window currents saturate like a flash ADC.
+        assert_eq!(ladder.level_for_current(-1.0), 0);
+        assert_eq!(ladder.level_for_current(1.0), 15);
+        assert_eq!(ladder.level_for_current(f64::NAN), 0);
+    }
+
+    #[test]
+    fn level_ladder_validates_its_window() {
+        assert!(LevelLadder::new(0.1e-6, 1.0e-6, 1).is_err());
+        assert!(LevelLadder::new(1.0e-6, 0.1e-6, 4).is_err());
+        assert!(LevelLadder::new(0.0, f64::INFINITY, 4).is_err());
+        assert!(LevelLadder::new(0.1e-6, 1.0e-6, 2).is_ok());
     }
 
     #[test]

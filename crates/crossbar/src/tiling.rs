@@ -53,12 +53,12 @@ use febim_device::{
 };
 
 use crate::array::{ProgrammingMode, RefreshOutcome};
-use crate::cache::{lane_delta_sum, ConductanceCache};
+use crate::cache::{lane_delta_sum, row_plane_partials, ConductanceCache};
 use crate::cell::Cell;
 use crate::errors::{CrossbarError, Result};
 use crate::fault::{FaultKind, FaultReport, ScrubOutcome};
 use crate::layout::CrossbarLayout;
-use crate::read::{Activation, ReadCounters};
+use crate::read::{Activation, LevelLadder, ReadCounters};
 use crate::write::WriteScheme;
 
 /// Fixed geometry of one physical crossbar tile.
@@ -1089,6 +1089,206 @@ impl TileGrid {
         Ok(currents)
     }
 
+    /// Validates the per-slot bit offsets of a packed read against the
+    /// activation they annotate.
+    fn check_bit_offsets(activation: &Activation, bit_offsets: &[u8]) -> Result<()> {
+        if bit_offsets.len() != activation.len() {
+            return Err(CrossbarError::ActivationLengthMismatch {
+                expected: activation.len(),
+                found: bit_offsets.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-plane partial sums of one packed bit-plane read across the whole
+    /// fabric, written into `out` (cleared first) as
+    /// `out[row * planes + plane]`. Each activated column's effective
+    /// on-current is gathered from its owning tile's conductance cache and
+    /// digitized through `ladder`; plane `q` counts the activated columns
+    /// whose multi-level state has bit `bit_offsets[slot] + q` set, in the
+    /// committed 4-lane summation order. Because the per-cell on-currents
+    /// are bit-identical to a monolithic
+    /// [`CrossbarArray`](crate::CrossbarArray)'s under the same program and
+    /// stack, so are the digitized states and therefore the partials.
+    /// Counts as one read of every global wordline for the disturb model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when the
+    /// activation was built for a different layout or `bit_offsets` does
+    /// not annotate every activated column.
+    pub fn plane_partial_sums_into(
+        &self,
+        activation: &Activation,
+        bit_offsets: &[u8],
+        planes: usize,
+        ladder: &LevelLadder,
+        level_scratch: &mut Vec<usize>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.check_activation(activation)?;
+        Self::check_bit_offsets(activation, bit_offsets)?;
+        let rows = self.plan.layout().rows();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        out.clear();
+        out.reserve(rows * planes);
+        for row in 0..rows {
+            self.note_row_read(row);
+        }
+        self.with_cache(|cache| {
+            for row in 0..rows {
+                let tile_base = (row / shape.rows) * col_tiles;
+                let local_row = row % shape.rows;
+                row_plane_partials(
+                    |column| {
+                        cache.tiles[tile_base + column / shape.columns]
+                            .on_current(local_row, column % shape.columns)
+                    },
+                    activation.active_columns(),
+                    bit_offsets,
+                    planes,
+                    ladder,
+                    level_scratch,
+                    out,
+                );
+            }
+        });
+        Ok(())
+    }
+
+    /// Uncached packed read over the fabric: evaluates the FeFET I-V model —
+    /// with the configured non-ideality stack — for every activated cell on
+    /// every call and digitizes through the same ladder and summation order
+    /// as [`TileGrid::plane_partial_sums_into`]. The reference oracle for
+    /// the fabric packed-read equivalence tests; does **not** register
+    /// wordline reads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TileGrid::plane_partial_sums_into`].
+    pub fn plane_partial_sums_reference(
+        &self,
+        activation: &Activation,
+        bit_offsets: &[u8],
+        planes: usize,
+        ladder: &LevelLadder,
+    ) -> Result<Vec<f64>> {
+        self.check_activation(activation)?;
+        Self::check_bit_offsets(activation, bit_offsets)?;
+        let rows = self.plan.layout().rows();
+        let mut out = Vec::with_capacity(rows * planes);
+        let mut level_scratch = Vec::with_capacity(activation.len());
+        for row in 0..rows {
+            row_plane_partials(
+                |column| self.evaluate_cell(row, column).0,
+                activation.active_columns(),
+                bit_offsets,
+                planes,
+                ladder,
+                &mut level_scratch,
+                &mut out,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Packed partial sums for a whole group of reads, written into `out`
+    /// (cleared first) read after read:
+    /// `out[(read * rows + row) * planes + plane]`. `bit_offsets` holds the
+    /// per-read offset slices concatenated in read order. The cache-borrow
+    /// and disturb-registration split mirrors
+    /// [`TileGrid::wordline_currents_batch_into`], so batched packed reads
+    /// stay bit-identical to sequential
+    /// [`TileGrid::plane_partial_sums_into`] calls in every configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationLengthMismatch`] when any
+    /// activation was built for a different layout or `bit_offsets` does
+    /// not annotate exactly the activated columns of every read (before any
+    /// partial is written).
+    pub fn plane_partial_sums_batch_into(
+        &self,
+        activations: &[Activation],
+        bit_offsets: &[u8],
+        planes: usize,
+        ladder: &LevelLadder,
+        level_scratch: &mut Vec<usize>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let mut total = 0usize;
+        for activation in activations {
+            self.check_activation(activation)?;
+            total += activation.len();
+        }
+        if bit_offsets.len() != total {
+            return Err(CrossbarError::ActivationLengthMismatch {
+                expected: total,
+                found: bit_offsets.len(),
+            });
+        }
+        let rows = self.plan.layout().rows();
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        out.clear();
+        out.reserve(rows * planes * activations.len());
+        if !self.stack.tracks_reads() {
+            self.with_cache(|cache| {
+                let mut cursor = 0usize;
+                for activation in activations {
+                    let offsets = &bit_offsets[cursor..cursor + activation.len()];
+                    cursor += activation.len();
+                    for row in 0..rows {
+                        let tile_base = (row / shape.rows) * col_tiles;
+                        let local_row = row % shape.rows;
+                        row_plane_partials(
+                            |column| {
+                                cache.tiles[tile_base + column / shape.columns]
+                                    .on_current(local_row, column % shape.columns)
+                            },
+                            activation.active_columns(),
+                            offsets,
+                            planes,
+                            ladder,
+                            level_scratch,
+                            out,
+                        );
+                    }
+                }
+            });
+            return Ok(());
+        }
+        let mut cursor = 0usize;
+        for activation in activations {
+            let offsets = &bit_offsets[cursor..cursor + activation.len()];
+            cursor += activation.len();
+            for row in 0..rows {
+                self.note_row_read(row);
+            }
+            self.with_cache(|cache| {
+                for row in 0..rows {
+                    let tile_base = (row / shape.rows) * col_tiles;
+                    let local_row = row % shape.rows;
+                    row_plane_partials(
+                        |column| {
+                            cache.tiles[tile_base + column / shape.columns]
+                                .on_current(local_row, column % shape.columns)
+                        },
+                        activation.active_columns(),
+                        offsets,
+                        planes,
+                        ladder,
+                        level_scratch,
+                        out,
+                    );
+                }
+            });
+        }
+        Ok(())
+    }
+
     /// Effective threshold error of one programmed cell (see
     /// [`CrossbarArray::recalibrate`](crate::CrossbarArray::recalibrate)).
     fn effective_shift(
@@ -2023,5 +2223,181 @@ mod tests {
         assert_eq!(outcome.stuck_cells, 1);
         assert!(!outcome.fully_repaired());
         assert_eq!(grid.spares_used(), 1);
+    }
+
+    fn test_ladder(programmer: &LevelProgrammer) -> LevelLadder {
+        LevelLadder::new(
+            programmer.min_current(),
+            programmer.max_current(),
+            programmer.levels(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn packed_fabric_partials_match_monolithic_and_oracle() {
+        let (grid, array) = grid_and_array();
+        let layout = *grid.layout();
+        let ladder = test_ladder(grid.programmer());
+        let activation = Activation::from_observation(&layout, &[1, 3, 2, 0]).unwrap();
+        let bit_offsets = vec![0u8, 2, 0, 2];
+        let mut scratch = Vec::new();
+        let mut fabric = Vec::new();
+        let mut monolithic = Vec::new();
+        grid.plane_partial_sums_into(
+            &activation,
+            &bit_offsets,
+            2,
+            &ladder,
+            &mut scratch,
+            &mut fabric,
+        )
+        .unwrap();
+        array
+            .plane_partial_sums_into(
+                &activation,
+                &bit_offsets,
+                2,
+                &ladder,
+                &mut scratch,
+                &mut monolithic,
+            )
+            .unwrap();
+        assert_eq!(fabric.len(), layout.rows() * 2);
+        assert_eq!(fabric, monolithic);
+        assert_eq!(
+            fabric,
+            grid.plane_partial_sums_reference(&activation, &bit_offsets, 2, &ladder)
+                .unwrap()
+        );
+        // Offset slices shorter than the activation are rejected.
+        assert!(grid
+            .plane_partial_sums_reference(&activation, &bit_offsets[..2], 2, &ladder)
+            .is_err());
+    }
+
+    #[test]
+    fn noisy_packed_fabric_matches_monolithic_under_disturb() {
+        let (grid, array) = noisy_grid_and_array();
+        let layout = *grid.layout();
+        let ladder = test_ladder(grid.programmer());
+        let activation = Activation::all_columns(&layout);
+        let bit_offsets = vec![1u8; activation.len()];
+        let mut scratch = Vec::new();
+        let mut fabric = Vec::new();
+        let mut monolithic = Vec::new();
+        // Read-disturb tiers keep crossing; the packed fabric path, the
+        // packed monolithic path and the uncached oracle must stay in
+        // lockstep on every single read.
+        for _ in 0..20 {
+            grid.plane_partial_sums_into(
+                &activation,
+                &bit_offsets,
+                2,
+                &ladder,
+                &mut scratch,
+                &mut fabric,
+            )
+            .unwrap();
+            array
+                .plane_partial_sums_into(
+                    &activation,
+                    &bit_offsets,
+                    2,
+                    &ladder,
+                    &mut scratch,
+                    &mut monolithic,
+                )
+                .unwrap();
+            assert_eq!(fabric, monolithic);
+            assert_eq!(
+                fabric,
+                grid.plane_partial_sums_reference(&activation, &bit_offsets, 2, &ladder)
+                    .unwrap()
+            );
+        }
+        assert_eq!(grid.row_reads(0).unwrap(), array.row_reads(0).unwrap());
+    }
+
+    #[test]
+    fn batched_packed_fabric_matches_sequential_reads() {
+        let (grid, _) = noisy_grid_and_array();
+        let (sequential, _) = noisy_grid_and_array();
+        let layout = *grid.layout();
+        let ladder = test_ladder(grid.programmer());
+        let reads: Vec<(Activation, Vec<u8>)> = (0..9)
+            .map(|i| {
+                let activation =
+                    Activation::from_observation(&layout, &[i % 4, (i + 1) % 4, (i + 2) % 4, 0])
+                        .unwrap();
+                let offsets = vec![(i % 3) as u8; activation.len()];
+                (activation, offsets)
+            })
+            .collect();
+        let activations: Vec<Activation> = reads.iter().map(|(a, _)| a.clone()).collect();
+        let flat_offsets: Vec<u8> = reads.iter().flat_map(|(_, o)| o.clone()).collect();
+        let mut scratch = Vec::new();
+        let mut batch_out = Vec::new();
+        grid.plane_partial_sums_batch_into(
+            &activations,
+            &flat_offsets,
+            2,
+            &ladder,
+            &mut scratch,
+            &mut batch_out,
+        )
+        .unwrap();
+        let mut seq_out = Vec::new();
+        let mut one = Vec::new();
+        for (activation, offsets) in &reads {
+            sequential
+                .plane_partial_sums_into(activation, offsets, 2, &ladder, &mut scratch, &mut one)
+                .unwrap();
+            seq_out.extend_from_slice(&one);
+        }
+        assert_eq!(batch_out, seq_out);
+        assert_eq!(grid.row_reads(0).unwrap(), 9);
+    }
+
+    #[test]
+    fn packed_fabric_reads_survive_spare_row_repair() {
+        let mut grid = spare_grid(2);
+        let layout = *grid.layout();
+        let ladder = test_ladder(grid.programmer());
+        let activation = Activation::all_columns(&layout);
+        let bit_offsets = vec![0u8; activation.len()];
+        let reference = grid
+            .plane_partial_sums_reference(&activation, &bit_offsets, 2, &ladder)
+            .unwrap();
+        crate::fault::apply_scheduled_grid_fault(
+            &mut grid,
+            2,
+            10,
+            FaultKind::StuckProgrammed,
+            true,
+        )
+        .unwrap();
+        let outcome = grid.scrub(0.05, ProgrammingMode::Ideal).unwrap();
+        assert_eq!(outcome.rows_remapped, 1);
+        assert!(grid.is_row_remapped(2));
+        // Packed reads through the remap are bit-identical to the pre-fault
+        // reference, cached and uncached alike.
+        let mut scratch = Vec::new();
+        let mut healed = Vec::new();
+        grid.plane_partial_sums_into(
+            &activation,
+            &bit_offsets,
+            2,
+            &ladder,
+            &mut scratch,
+            &mut healed,
+        )
+        .unwrap();
+        assert_eq!(healed, reference);
+        assert_eq!(
+            healed,
+            grid.plane_partial_sums_reference(&activation, &bit_offsets, 2, &ladder)
+                .unwrap()
+        );
     }
 }

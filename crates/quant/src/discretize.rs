@@ -54,6 +54,27 @@ impl FeatureDiscretizer {
         self.minimums.len()
     }
 
+    /// Whether a feature's fitted range is degenerate: a single distinct
+    /// training value (or NaN bounds) leaves every bin zero-width, so all
+    /// values collapse onto bin 0. The quantization pipeline gives such
+    /// features a neutral single-level mapping instead of letting the
+    /// zero bin width poison the log-domain dynamic range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnknownIndex`] when the feature does not exist.
+    pub fn is_degenerate(&self, feature: usize) -> Result<bool> {
+        if feature >= self.n_features() {
+            return Err(QuantError::UnknownIndex {
+                kind: "feature",
+                index: feature,
+            });
+        }
+        let min = self.minimums[feature];
+        let max = self.maximums[feature];
+        Ok(max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater))
+    }
+
     /// Bin index of one feature value; values outside the fitted range clamp
     /// to the first/last bin (as happens for unseen test samples).
     ///
@@ -240,6 +261,16 @@ mod tests {
         let d = FeatureDiscretizer::fit(&dataset, 3).unwrap();
         assert_eq!(d.bin(0, 2.0).unwrap(), 0);
         assert_eq!(d.bin(0, 100.0).unwrap(), 0);
+        assert!(d.is_degenerate(0).unwrap());
+        assert_eq!(d.bin_width(0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degeneracy_detection_matches_bin_widths() {
+        let d = FeatureDiscretizer::fit(&toy(), 2).unwrap();
+        assert!(!d.is_degenerate(0).unwrap());
+        assert!(!d.is_degenerate(1).unwrap());
+        assert!(d.is_degenerate(5).is_err());
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Column encodings for the compiled crossbar: the paper's one-hot layout
+//! and the multi-bit shift-add bit-plane packing.
+//!
+//! One-hot spends one column per `(feature, bin)` pair, so the array width
+//! scales with `2^Q_f` per feature. The bit-plane encoding instead packs
+//! `r = bits / Q_l` adjacent bins' quantized log-likelihood levels into one
+//! multi-bit cell as a base-`2^Q_l` digit string:
+//!
+//! ```text
+//! packed[j] = Σ_{i < r}  level(bin j·r + i) · 2^(i·Q_l)
+//! ```
+//!
+//! so each feature needs only `ceil(bins / r)` physical columns. A read
+//! activates one packed column per feature (exactly like one-hot activates
+//! one bin column), senses `Q_l` bit planes of the stored digit, and the
+//! sensing chain's shift-add merge reconstructs the same integer level sum
+//! the one-hot read accumulates in the analog domain.
+//!
+//! The pack/unpack helpers here are the **round-trip contract**: for every
+//! digit width and every level table, `unpack_digit(pack_digits(..))`
+//! returns the original levels bit for bit. The crossbar and core crates
+//! build on that contract to prove packed reads equal the unpacked oracle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::errors::{QuantError, Result};
+
+/// Widest bit-plane cell supported (an 8-bit multi-level FeFET is already
+/// beyond demonstrated devices; wider cells would also overflow the
+/// `2^Q_l`-ary digit arithmetic long before `usize` does).
+pub const MAX_BITPLANE_BITS: u32 = 8;
+
+/// How quantized log-likelihood levels are laid out across crossbar columns.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Encoding {
+    /// The paper's layout: one column per `(feature, bin)`, each cell storing
+    /// one `2^Q_l`-level likelihood; the wordline current is the level sum.
+    #[default]
+    OneHot,
+    /// Multi-bit packing: each cell holds `bits` bits of capacity and stores
+    /// `bits / Q_l` adjacent bins' levels as one base-`2^Q_l` digit string.
+    /// Reads sense `Q_l` bit planes and merge them with shift-add.
+    BitPlane {
+        /// Bits of storage per cell (`2^bits` programmable states). Must be
+        /// at least `Q_l` (one whole digit) and at most
+        /// [`MAX_BITPLANE_BITS`].
+        bits: u32,
+    },
+}
+
+impl Encoding {
+    /// Validates the encoding against the likelihood precision it must
+    /// carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidPrecision`] for a bit-plane cell width
+    /// outside `[1, 8]` and [`QuantError::InvalidParameter`] when the cell
+    /// is too narrow to hold even one `Q_l`-bit digit.
+    pub fn validate(&self, likelihood_bits: u32) -> Result<()> {
+        match *self {
+            Self::OneHot => Ok(()),
+            Self::BitPlane { bits } => {
+                if bits == 0 || bits > MAX_BITPLANE_BITS {
+                    return Err(QuantError::InvalidPrecision {
+                        kind: "bit-plane",
+                        bits,
+                    });
+                }
+                if bits < likelihood_bits {
+                    return Err(QuantError::InvalidParameter {
+                        name: "encoding",
+                        reason: format!(
+                            "a {bits}-bit cell cannot hold one {likelihood_bits}-bit \
+                             likelihood digit"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of `likelihood_bits`-wide digits one cell carries: `1` for
+    /// one-hot, `floor(bits / Q_l)` (at least one) for bit-plane.
+    pub fn digits_per_cell(&self, likelihood_bits: u32) -> usize {
+        match *self {
+            Self::OneHot => 1,
+            Self::BitPlane { bits } => ((bits / likelihood_bits.max(1)).max(1)) as usize,
+        }
+    }
+
+    /// Physical columns needed per feature for `bins` evidence bins.
+    pub fn columns_per_feature(&self, bins: usize, likelihood_bits: u32) -> usize {
+        bins.div_ceil(self.digits_per_cell(likelihood_bits))
+    }
+
+    /// Programmable states each cell must support: the quantizer's level
+    /// count for one-hot, `2^bits` for bit-plane.
+    pub fn state_count(&self, likelihood_levels: usize) -> usize {
+        match *self {
+            Self::OneHot => likelihood_levels,
+            Self::BitPlane { bits } => 1usize << bits,
+        }
+    }
+
+    /// Number of bit planes one packed read senses (`Q_l`; one-hot reads are
+    /// a single analog plane).
+    pub fn planes(&self, likelihood_bits: u32) -> usize {
+        match self {
+            Self::OneHot => 1,
+            Self::BitPlane { .. } => likelihood_bits as usize,
+        }
+    }
+
+    /// Whether this encoding uses the packed shift-add read path.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, Self::BitPlane { .. })
+    }
+}
+
+/// Packs a digit string into one cell value: `digits[i]` lands at bit offset
+/// `i · digit_bits`, little-endian in digit order.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidParameter`] when a digit does not fit in
+/// `digit_bits` or the string overflows [`MAX_BITPLANE_BITS`] total bits.
+pub fn pack_digits(digits: &[usize], digit_bits: u32) -> Result<usize> {
+    let total_bits = digit_bits as usize * digits.len();
+    if digit_bits == 0 || total_bits > MAX_BITPLANE_BITS as usize {
+        return Err(QuantError::InvalidParameter {
+            name: "digits",
+            reason: format!(
+                "{} digits of {digit_bits} bits exceed the {MAX_BITPLANE_BITS}-bit cell",
+                digits.len()
+            ),
+        });
+    }
+    let mut packed = 0usize;
+    for (slot, &digit) in digits.iter().enumerate() {
+        if digit >= 1usize << digit_bits {
+            return Err(QuantError::InvalidParameter {
+                name: "digits",
+                reason: format!("digit {digit} does not fit in {digit_bits} bits"),
+            });
+        }
+        packed |= digit << (slot as u32 * digit_bits);
+    }
+    Ok(packed)
+}
+
+/// Extracts digit `slot` (bit offset `slot · digit_bits`) from a packed cell
+/// value — the exact inverse of [`pack_digits`].
+pub fn unpack_digit(packed: usize, slot: usize, digit_bits: u32) -> usize {
+    (packed >> (slot as u32 * digit_bits)) & ((1usize << digit_bits) - 1)
+}
+
+/// The packed column a bin lands in when `digits_per_cell` bins share a cell.
+pub fn packed_column_of(bin: usize, digits_per_cell: usize) -> usize {
+    bin / digits_per_cell
+}
+
+/// The digit slot a bin occupies inside its packed column.
+pub fn digit_slot_of(bin: usize, digits_per_cell: usize) -> usize {
+    bin % digits_per_cell
+}
+
+/// Bit offset of a bin's digit inside its packed cell value.
+pub fn bit_offset_of(bin: usize, digits_per_cell: usize, digit_bits: u32) -> u32 {
+    digit_slot_of(bin, digits_per_cell) as u32 * digit_bits
+}
+
+/// Packs one feature's per-bin level row into its
+/// `ceil(bins / digits_per_cell)` packed column values. Trailing slots of
+/// the last column are zero.
+///
+/// # Errors
+///
+/// Propagates [`pack_digits`] errors.
+pub fn pack_feature_levels(
+    levels: &[usize],
+    digits_per_cell: usize,
+    digit_bits: u32,
+) -> Result<Vec<usize>> {
+    levels
+        .chunks(digits_per_cell)
+        .map(|chunk| pack_digits(chunk, digit_bits))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_is_the_identity_encoding() {
+        let encoding = Encoding::OneHot;
+        assert!(encoding.validate(2).is_ok());
+        assert_eq!(encoding.digits_per_cell(2), 1);
+        assert_eq!(encoding.columns_per_feature(16, 2), 16);
+        assert_eq!(encoding.state_count(4), 4);
+        assert_eq!(encoding.planes(2), 1);
+        assert!(!encoding.is_packed());
+        assert_eq!(Encoding::default(), Encoding::OneHot);
+    }
+
+    #[test]
+    fn bit_plane_geometry_at_the_paper_operating_point() {
+        // Q_l = 2 bit: a 4-bit cell packs two bins, an 8-bit cell four.
+        let four = Encoding::BitPlane { bits: 4 };
+        assert!(four.validate(2).is_ok());
+        assert_eq!(four.digits_per_cell(2), 2);
+        assert_eq!(four.columns_per_feature(16, 2), 8);
+        assert_eq!(four.state_count(4), 16);
+        assert_eq!(four.planes(2), 2);
+        assert!(four.is_packed());
+        let eight = Encoding::BitPlane { bits: 8 };
+        assert_eq!(eight.digits_per_cell(2), 4);
+        assert_eq!(eight.columns_per_feature(16, 2), 4);
+        // Bins that do not divide evenly round the column count up.
+        assert_eq!(eight.columns_per_feature(15, 2), 4);
+        assert_eq!(eight.columns_per_feature(17, 2), 5);
+    }
+
+    #[test]
+    fn validation_rejects_impossible_cells() {
+        assert!(Encoding::BitPlane { bits: 0 }.validate(2).is_err());
+        assert!(Encoding::BitPlane { bits: 9 }.validate(2).is_err());
+        // A 2-bit cell cannot hold one 3-bit digit.
+        assert!(Encoding::BitPlane { bits: 2 }.validate(3).is_err());
+        // Exactly one digit is fine.
+        assert!(Encoding::BitPlane { bits: 2 }.validate(2).is_ok());
+    }
+
+    #[test]
+    fn pack_round_trips_by_hand() {
+        // levels [3, 1] at 2-bit digits: 3 + 1·4 = 7.
+        let packed = pack_digits(&[3, 1], 2).unwrap();
+        assert_eq!(packed, 7);
+        assert_eq!(unpack_digit(packed, 0, 2), 3);
+        assert_eq!(unpack_digit(packed, 1, 2), 1);
+    }
+
+    #[test]
+    fn pack_rejects_overflow() {
+        assert!(pack_digits(&[4], 2).is_err());
+        assert!(pack_digits(&[0; 5], 2).is_err());
+        assert!(pack_digits(&[0], 0).is_err());
+        assert!(pack_digits(&[1; 4], 2).is_ok());
+    }
+
+    #[test]
+    fn feature_rows_pack_with_zero_padding() {
+        let levels = [1usize, 2, 3, 0, 2];
+        let packed = pack_feature_levels(&levels, 2, 2).unwrap();
+        assert_eq!(packed.len(), 3);
+        for (bin, &level) in levels.iter().enumerate() {
+            assert_eq!(
+                unpack_digit(packed[packed_column_of(bin, 2)], digit_slot_of(bin, 2), 2),
+                level
+            );
+        }
+        // The padding slot reads zero.
+        assert_eq!(unpack_digit(packed[2], 1, 2), 0);
+        assert_eq!(bit_offset_of(3, 2, 2), 2);
+        assert_eq!(bit_offset_of(4, 2, 2), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pack → unpack is the identity for every digit width 1–8, any
+        /// number of digits that fits the cell, and any digit values.
+        #[test]
+        fn pack_unpack_round_trip(
+            digit_bits in 1u32..=8,
+            raw in proptest::collection::vec(0usize..256, 1..9),
+        ) {
+            let capacity = (MAX_BITPLANE_BITS / digit_bits) as usize;
+            let digits: Vec<usize> = raw
+                .iter()
+                .take(capacity)
+                .map(|&d| d % (1usize << digit_bits))
+                .collect();
+            let packed = pack_digits(&digits, digit_bits).unwrap();
+            prop_assert!(packed < 1usize << (digit_bits as usize * digits.len()));
+            for (slot, &digit) in digits.iter().enumerate() {
+                prop_assert_eq!(unpack_digit(packed, slot, digit_bits), digit);
+            }
+        }
+
+        /// Feature-row packing places every bin at the coordinates the
+        /// addressing helpers report, for any bin count and cell capacity.
+        #[test]
+        fn feature_row_addressing_agrees(
+            digit_bits in 1u32..=4,
+            bins in 1usize..64,
+            seed in 0u64..1000,
+        ) {
+            let digits_per_cell = (MAX_BITPLANE_BITS / digit_bits) as usize;
+            let levels: Vec<usize> = (0..bins)
+                .map(|bin| {
+                    // Cheap deterministic pseudo-levels: no RNG dependency.
+                    (seed as usize)
+                        .wrapping_mul(31)
+                        .wrapping_add(bin * 7)
+                        % (1usize << digit_bits)
+                })
+                .collect();
+            let packed = pack_feature_levels(&levels, digits_per_cell, digit_bits).unwrap();
+            prop_assert_eq!(packed.len(), bins.div_ceil(digits_per_cell));
+            for (bin, &level) in levels.iter().enumerate() {
+                let column = packed_column_of(bin, digits_per_cell);
+                let slot = digit_slot_of(bin, digits_per_cell);
+                prop_assert_eq!(unpack_digit(packed[column], slot, digit_bits), level);
+                prop_assert_eq!(
+                    bit_offset_of(bin, digits_per_cell, digit_bits),
+                    slot as u32 * digit_bits
+                );
+            }
+        }
+
+        /// The encoding's geometry accounting is self-consistent: packed
+        /// column counts shrink by exactly the digits-per-cell factor
+        /// (rounded up) and never lose a bin.
+        #[test]
+        fn geometry_is_consistent(
+            bits in 1u32..=8,
+            likelihood_bits in 1u32..=8,
+            bins in 1usize..512,
+        ) {
+            let likelihood_bits = likelihood_bits.min(bits);
+            let encoding = Encoding::BitPlane { bits };
+            prop_assert!(encoding.validate(likelihood_bits).is_ok());
+            let r = encoding.digits_per_cell(likelihood_bits);
+            prop_assert_eq!(r, (bits / likelihood_bits) as usize);
+            let columns = encoding.columns_per_feature(bins, likelihood_bits);
+            prop_assert!(columns * r >= bins);
+            prop_assert!((columns - 1) * r < bins);
+            prop_assert!(encoding.state_count(1 << likelihood_bits) == 1 << bits);
+        }
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod discretize;
+pub mod encoding;
 pub mod errors;
 pub mod mapping;
 pub mod pipeline;
@@ -38,6 +39,10 @@ pub mod quantizer;
 pub mod transform;
 
 pub use discretize::FeatureDiscretizer;
+pub use encoding::{
+    bit_offset_of, digit_slot_of, pack_digits, pack_feature_levels, packed_column_of, unpack_digit,
+    Encoding, MAX_BITPLANE_BITS,
+};
 pub use errors::{QuantError, Result};
 pub use mapping::LevelCurrentMap;
 pub use pipeline::{QuantConfig, QuantizedGnbc};

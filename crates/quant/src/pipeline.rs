@@ -175,10 +175,20 @@ impl QuantizedGnbc {
         #[allow(clippy::needless_range_loop)]
         for feature in 0..n_features {
             let width = discretizer.bin_width(feature)?;
+            // A feature with a single distinct training value has zero-width
+            // bins; `ln(width)` would collapse toward -744 and poison the
+            // global quantization range (catastrophically so on the
+            // unnormalized ablation path). Such a feature carries no
+            // discriminative signal, so it gets the degenerate single-level
+            // mapping: every class reads the ln(1) cap in every bin.
+            let degenerate = discretizer.is_degenerate(feature)?;
             for bin in 0..bins {
                 let center = discretizer.bin_center(feature, bin)?;
                 let column: Vec<f64> = (0..n_classes)
                     .map(|class| {
+                        if degenerate {
+                            return 0.0;
+                        }
                         let log_pdf = model
                             .feature_log_likelihood(class, feature, center)
                             .expect("validated indices");
@@ -630,6 +640,81 @@ mod tests {
         assert!(
             normalized >= ablated - 0.05,
             "normalized {normalized} vs ablated {ablated}"
+        );
+    }
+
+    #[test]
+    fn single_valued_feature_gets_a_degenerate_mapping() {
+        // Regression: a constant feature used to feed ln(0-width) ≈ -744
+        // into the quantizer range, flattening every other feature's levels
+        // on the unnormalized path. It must instead map to one neutral level
+        // and leave the discriminative features intact.
+        let (model_src, train_src, test_src) = trained_iris();
+        let widen = |data: &Dataset| {
+            let samples: Vec<Vec<f64>> = data
+                .samples()
+                .iter()
+                .map(|s| {
+                    let mut s = s.clone();
+                    s.push(42.0);
+                    s
+                })
+                .collect();
+            let mut names: Vec<String> = (0..data.n_features()).map(|f| format!("f{f}")).collect();
+            names.push("constant".to_string());
+            Dataset::new(
+                "widened",
+                names,
+                data.n_classes(),
+                samples,
+                data.labels().to_vec(),
+            )
+            .unwrap()
+        };
+        let train = widen(&train_src);
+        let test = widen(&test_src);
+        let model = GaussianNaiveBayes::fit(&train).unwrap();
+        for config in [
+            QuantConfig::febim_optimal(),
+            QuantConfig::febim_optimal().without_column_normalization(),
+        ] {
+            let quantized = QuantizedGnbc::quantize(&model, &train, config).unwrap();
+            // The degenerate feature maps every class to one shared level in
+            // every bin: no discrimination, no range damage.
+            let constant = quantized.n_features() - 1;
+            let level = quantized.likelihood_level(0, constant, 0).unwrap();
+            for class in 0..quantized.n_classes() {
+                for bin in 0..quantized.discretizer().bins() {
+                    assert_eq!(
+                        quantized.likelihood_level(class, constant, bin).unwrap(),
+                        level
+                    );
+                }
+            }
+            // The quantizer range stays in the truncated-log regime instead
+            // of collapsing to ln(f64::MIN_POSITIVE) ≈ -744.
+            assert!(
+                quantized.quantizer().low() > -50.0,
+                "quantizer low {} poisoned by the zero-width bin",
+                quantized.quantizer().low()
+            );
+            // The other features still discriminate.
+            let accuracy = quantized.score(&test).unwrap();
+            assert!(accuracy > 0.8, "accuracy collapsed to {accuracy}");
+        }
+        // Baseline: same data without the constant feature scores the same.
+        let baseline =
+            QuantizedGnbc::quantize(&model_src, &train_src, QuantConfig::febim_optimal())
+                .unwrap()
+                .score(&test_src)
+                .unwrap();
+        let widened = QuantizedGnbc::quantize(&model, &train, QuantConfig::febim_optimal())
+            .unwrap()
+            .score(&test)
+            .unwrap();
+        assert!(
+            (baseline - widened).abs() < 0.05,
+            "baseline {baseline} vs widened {widened}"
         );
     }
 
