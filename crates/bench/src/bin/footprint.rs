@@ -72,6 +72,12 @@ struct FootprintPoint {
     /// Modelled sensing-chain energy per inference (joules, averaged over
     /// the test split).
     modeled_energy_j: f64,
+    /// This point's modelled energy divided by the one-hot baseline's on
+    /// the same split (1.0 for the baseline itself). Above 1 means the
+    /// multi-level refinement reads of the packed encoding cost extra
+    /// energy per inference; the smaller array must not cost more than the
+    /// checked-in factor.
+    energy_ratio: f64,
 }
 
 /// The persisted record tracking the footprint trajectory.
@@ -88,6 +94,11 @@ struct FootprintRecord {
     /// The gated fig6-scale 4-bit packed read throughput and its budget.
     fig6_packed_read_ns_4bit: f64,
     packed_read_ns_per_inference_budget: f64,
+    /// The gated fig6-scale 4-bit packed-over-one-hot modelled energy
+    /// ratio and its budget (deterministic circuit model, no slack
+    /// needed).
+    fig6_packed_energy_ratio_4bit: f64,
+    max_packed_energy_ratio_fig6_4bit: f64,
     /// The accuracy-delta tolerance every packed point was gated against.
     max_accuracy_delta: f64,
     points: Vec<FootprintPoint>,
@@ -144,7 +155,7 @@ fn measure_point(
     dataset: &str,
     split: &TrainTestSplit,
     encoding: Encoding,
-    baseline: Option<(usize, f64)>,
+    baseline: Option<(usize, f64, f64)>,
     samples: &[Vec<f64>],
     passes: usize,
 ) -> FootprintPoint {
@@ -159,7 +170,8 @@ fn measure_point(
         Encoding::OneHot => ("one-hot".to_string(), likelihood_bits),
         Encoding::BitPlane { bits } => (format!("bit-plane/{bits}"), bits),
     };
-    let (baseline_columns, baseline_accuracy) = baseline.unwrap_or((layout.columns(), accuracy));
+    let (baseline_columns, baseline_accuracy, baseline_energy) =
+        baseline.unwrap_or((layout.columns(), accuracy, modeled_energy_j));
     FootprintPoint {
         dataset: dataset.to_string(),
         encoding: name,
@@ -174,6 +186,7 @@ fn measure_point(
         read_ns_per_inference,
         modeled_delay_s,
         modeled_energy_j,
+        energy_ratio: modeled_energy_j / baseline_energy,
     }
 }
 
@@ -227,6 +240,7 @@ fn main() {
     let mut points = Vec::new();
     let mut fig6_reduction_4bit = 0.0;
     let mut fig6_packed_ns_4bit = f64::INFINITY;
+    let mut fig6_energy_ratio_4bit = f64::INFINITY;
     for (label, dataset, seed) in [("iris", &iris, 42u64), ("fig6-64x512", &fig6, 4242)] {
         let split = stratified_split(dataset, 0.7, &mut seeded_rng(seed)).expect("split");
         let samples = request_stream(&split.test, inferences);
@@ -235,7 +249,7 @@ fn main() {
             let point = measure_point(label, &split, encoding, baseline, &samples, passes);
             println!(
                 "{:<12} {:<12} {:>3}x{:<4} array ({:>6} cells) acc {:.4} ({:+.4}) \
-                 read {:>8.1} ns ({:.2}x fewer columns)",
+                 read {:>8.1} ns ({:.2}x fewer columns, energy x{:.3})",
                 point.dataset,
                 point.encoding,
                 point.rows,
@@ -245,13 +259,15 @@ fn main() {
                 point.accuracy_delta,
                 point.read_ns_per_inference,
                 point.column_reduction,
+                point.energy_ratio,
             );
             if baseline.is_none() {
-                baseline = Some((point.columns, point.accuracy));
+                baseline = Some((point.columns, point.accuracy, point.modeled_energy_j));
             }
             if label.starts_with("fig6") && encoding == (Encoding::BitPlane { bits: 4 }) {
                 fig6_reduction_4bit = point.column_reduction;
                 fig6_packed_ns_4bit = point.read_ns_per_inference;
+                fig6_energy_ratio_4bit = point.energy_ratio;
             }
             points.push(point);
         }
@@ -267,6 +283,7 @@ fn main() {
             "reduction",
             "accuracy",
             "read_ns",
+            "energy_x",
         ],
     );
     for point in &points {
@@ -278,6 +295,7 @@ fn main() {
             format!("{:.2}x", point.column_reduction),
             format!("{:.4}", point.accuracy),
             format!("{:.1}", point.read_ns_per_inference),
+            format!("{:.3}", point.energy_ratio),
         ]);
     }
     println!("\n{}", table.to_pretty());
@@ -353,6 +371,26 @@ fn main() {
          re-baseline FOOTPRINT_BUDGET.json"
     );
 
+    // Gate 4: the packed encoding's modelled energy per inference — the
+    // multi-level refinement reads priced through the sensing chain — must
+    // not exceed the one-hot baseline's by more than the checked-in
+    // factor. The circuit model is deterministic, so no re-measurement.
+    let max_energy_ratio = load_budget(&budget_path, "max_packed_energy_ratio_fig6_4bit")
+        .unwrap_or_else(|| {
+            eprintln!("could not read max_packed_energy_ratio_fig6_4bit from {budget_path}");
+            std::process::exit(1);
+        });
+    println!(
+        "energy: fig6 4-bit packed costs x{fig6_energy_ratio_4bit:.3} the one-hot modelled \
+         energy per inference (cap x{max_energy_ratio:.3})"
+    );
+    assert!(
+        fig6_energy_ratio_4bit <= max_energy_ratio,
+        "the packed encoding's modelled energy per inference exceeded the checked-in cap \
+         (x{fig6_energy_ratio_4bit:.3} > x{max_energy_ratio:.3} of one-hot); fix the \
+         refinement pricing or re-baseline FOOTPRINT_BUDGET.json"
+    );
+
     let record = FootprintRecord {
         bench: "footprint",
         generated_unix_s: SystemTime::now()
@@ -365,6 +403,8 @@ fn main() {
         min_column_reduction_fig6_4bit: min_reduction,
         fig6_packed_read_ns_4bit: fig6_packed_ns_4bit,
         packed_read_ns_per_inference_budget: ns_budget,
+        fig6_packed_energy_ratio_4bit: fig6_energy_ratio_4bit,
+        max_packed_energy_ratio_fig6_4bit: max_energy_ratio,
         max_accuracy_delta: max_delta,
         points,
     };

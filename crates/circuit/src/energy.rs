@@ -19,6 +19,11 @@ pub struct EnergyParams {
     pub wordline_driver_energy: f64,
     /// Drain bias seen by the conducting cells during a read, in volts.
     pub read_drain_bias: f64,
+    /// Energy of one multi-level sensing refinement step, in joules: one
+    /// SAR/ladder comparison resolving the next stored bit of a multi-bit
+    /// cell during a packed read. One-hot reads never pay it.
+    #[serde(default)]
+    pub level_refine_energy: f64,
 }
 
 impl EnergyParams {
@@ -29,6 +34,9 @@ impl EnergyParams {
             bitline_driver_energy: 0.08e-15,
             wordline_driver_energy: 0.05e-15,
             read_drain_bias: 0.1,
+            // Half a bitline-driver switch per comparison: a sense-amp
+            // strobe against one ladder reference.
+            level_refine_energy: 0.04e-15,
         }
     }
 
@@ -38,10 +46,11 @@ impl EnergyParams {
     ///
     /// Returns [`CircuitError::InvalidParameter`] for non-positive entries.
     pub fn validate(&self) -> Result<()> {
-        let positive: [(&'static str, f64); 3] = [
+        let positive: [(&'static str, f64); 4] = [
             ("bitline_driver_energy", self.bitline_driver_energy),
             ("wordline_driver_energy", self.wordline_driver_energy),
             ("read_drain_bias", self.read_drain_bias),
+            ("level_refine_energy", self.level_refine_energy),
         ];
         for (name, value) in positive {
             if !(value > 0.0 && value.is_finite()) {

@@ -113,6 +113,16 @@ fn check_planes(planes: usize) -> Result<()> {
     Ok(())
 }
 
+fn check_cell_bits(cell_bits: usize) -> Result<()> {
+    if cell_bits == 0 {
+        return Err(CircuitError::InvalidParameter {
+            name: "cell_bits",
+            reason: "a packed cell stores at least one bit".to_string(),
+        });
+    }
+    Ok(())
+}
+
 impl SensingChain {
     /// Worst-case delay of one packed shift-add read on a monolithic array:
     /// the settling of the (reduced) packed columns, plus one merge-bus pass
@@ -142,23 +152,29 @@ impl SensingChain {
     /// Energy of one packed shift-add read on a monolithic array: the usual
     /// driver/conduction/mirror/WTA pricing over the merged currents and the
     /// (reduced) activated packed columns, plus one bitline-driver switch
-    /// per row per plane for the shift-add accumulators.
+    /// per row per plane for the shift-add accumulators, plus the
+    /// multi-level sensing refinement — every activated multi-bit cell is
+    /// digitized by `cell_bits` successive ladder comparisons
+    /// (`cell_bits = log2` of the cell's state count), each priced at
+    /// [`crate::EnergyParams::level_refine_energy`].
     ///
     /// `mirrored_currents` must be `mirror().copy_all` of `merged_currents`.
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::InvalidParameter`] for a zero plane count and
-    /// propagates energy-model errors.
+    /// Returns [`CircuitError::InvalidParameter`] for a zero plane or
+    /// cell-bit count and propagates energy-model errors.
     pub fn shift_add_energy(
         &self,
         merged_currents: &[f64],
         mirrored_currents: &[f64],
         activated_columns: usize,
         planes: usize,
+        cell_bits: usize,
         duration: f64,
     ) -> Result<InferenceEnergy> {
         check_planes(planes)?;
+        check_cell_bits(cell_bits)?;
         let mut energy = self.energy_model().inference_with_mirrored(
             merged_currents,
             mirrored_currents,
@@ -169,6 +185,8 @@ impl SensingChain {
         )?;
         energy.array += (planes * merged_currents.len()) as f64
             * self.energy_model().params().bitline_driver_energy;
+        energy.sensing += (cell_bits * activated_columns) as f64
+            * self.energy_model().params().level_refine_energy;
         Ok(energy)
     }
 
@@ -192,6 +210,7 @@ impl SensingChain {
         &self,
         plane_sums: &[f64],
         planes: usize,
+        cell_bits: usize,
         lsb_current: f64,
         floor_current: f64,
         activated_columns: usize,
@@ -214,6 +233,7 @@ impl SensingChain {
             mirrored_scratch,
             activated_columns,
             planes,
+            cell_bits,
             delay.total(),
         )?;
         Ok(SenseReadout {
@@ -248,12 +268,15 @@ impl SensingChain {
     /// Energy of one packed shift-add read on a tiled fabric: the per-tile
     /// driver pricing of [`SensingChain::fabric_energy`], plus one
     /// bitline-driver switch per merged row per plane for the shift-add
-    /// accumulators.
+    /// accumulators, plus `cell_bits` ladder comparisons per activated cell
+    /// across all tiles for the multi-level sensing refinement.
     ///
     /// # Errors
     ///
     /// Same as [`SensingChain::fabric_energy`], plus
-    /// [`CircuitError::InvalidParameter`] for a zero plane count.
+    /// [`CircuitError::InvalidParameter`] for a zero plane or cell-bit
+    /// count.
+    #[allow(clippy::too_many_arguments)]
     pub fn shift_add_fabric_energy(
         &self,
         merged_currents: &[f64],
@@ -261,9 +284,11 @@ impl SensingChain {
         tiles: &[TileGeometry],
         col_tiles: usize,
         planes: usize,
+        cell_bits: usize,
         duration: f64,
     ) -> Result<InferenceEnergy> {
         check_planes(planes)?;
+        check_cell_bits(cell_bits)?;
         let mut energy = self.fabric_energy(
             merged_currents,
             mirrored_currents,
@@ -273,6 +298,9 @@ impl SensingChain {
         )?;
         energy.array += (planes * merged_currents.len()) as f64
             * self.energy_model().params().bitline_driver_energy;
+        let activated: usize = tiles.iter().map(|tile| tile.activated_columns).sum();
+        energy.sensing +=
+            (cell_bits * activated) as f64 * self.energy_model().params().level_refine_energy;
         Ok(energy)
     }
 
@@ -291,6 +319,7 @@ impl SensingChain {
         &self,
         plane_sums: &[f64],
         planes: usize,
+        cell_bits: usize,
         lsb_current: f64,
         floor_current: f64,
         tiles: &[TileGeometry],
@@ -315,6 +344,7 @@ impl SensingChain {
             tiles,
             col_tiles,
             planes,
+            cell_bits,
             delay.total(),
         )?;
         Ok(SenseReadout {
@@ -374,7 +404,7 @@ mod tests {
         let mut merged = Vec::new();
         let mut mirrored = Vec::new();
         let readout = chain
-            .sense_shift_add_into(&sums, 2, LSB, 0.0, 8, &mut merged, &mut mirrored)
+            .sense_shift_add_into(&sums, 2, 2, LSB, 0.0, 8, &mut merged, &mut mirrored)
             .unwrap();
         assert_eq!(readout.winner, 1);
         assert_eq!(merged, vec![5.0 * LSB, 14.0 * LSB, 9.0 * LSB]);
@@ -391,13 +421,13 @@ mod tests {
         let mut merged = Vec::new();
         let mut mirrored = Vec::new();
         assert!(matches!(
-            chain.sense_shift_add_into(&sums, 2, LSB, 0.0, 4, &mut merged, &mut mirrored),
+            chain.sense_shift_add_into(&sums, 2, 2, LSB, 0.0, 4, &mut merged, &mut mirrored),
             Err(CircuitError::AmbiguousWinner { .. })
         ));
         // The tie fallback can still price the read via the public helpers.
         let delay = chain.shift_add_delay(merged.len(), 4, 2).unwrap();
         let energy = chain
-            .shift_add_energy(&merged, &mirrored, 4, 2, delay.total())
+            .shift_add_energy(&merged, &mirrored, 4, 2, 2, delay.total())
             .unwrap();
         assert!(delay.total() > 0.0 && energy.total() > 0.0);
     }
@@ -408,6 +438,7 @@ mod tests {
         let merged = [0.5e-6, 1.4e-6, 0.9e-6];
         let mirrored = chain.mirror().copy_all(&merged).unwrap();
         let planes = 2;
+        let cell_bits = 4;
         let base_delay = chain
             .delay_model()
             .worst_case(3, 8, chain.wta(), chain.mirror().gain)
@@ -423,14 +454,22 @@ mod tests {
             .inference(&merged, 8, duration, chain.mirror(), chain.wta())
             .unwrap();
         let packed_energy = chain
-            .shift_add_energy(&merged, &mirrored, 8, planes, duration)
+            .shift_add_energy(&merged, &mirrored, 8, planes, cell_bits, duration)
             .unwrap();
         let per_driver = chain.energy_model().params().bitline_driver_energy;
         assert!(
             (packed_energy.array - base_energy.array - (planes * 3) as f64 * per_driver).abs()
                 < 1e-24
         );
-        assert_eq!(packed_energy.sensing, base_energy.sensing);
+        // Multi-level refinement: `cell_bits` ladder comparisons for each of
+        // the 8 activated multi-bit cells, priced on the sensing side.
+        let per_refine = chain.energy_model().params().level_refine_energy;
+        assert!(per_refine > 0.0);
+        assert!(
+            (packed_energy.sensing - base_energy.sensing - (cell_bits * 8) as f64 * per_refine)
+                .abs()
+                < 1e-24
+        );
     }
 
     #[test]
@@ -452,12 +491,31 @@ mod tests {
         let mut merged = Vec::new();
         let mut mirrored = Vec::new();
         let fabric = chain
-            .sense_shift_add_fabric_into(&sums, 2, LSB, 0.0, &tiles, 1, &mut merged, &mut mirrored)
+            .sense_shift_add_fabric_into(
+                &sums,
+                2,
+                2,
+                LSB,
+                0.0,
+                &tiles,
+                1,
+                &mut merged,
+                &mut mirrored,
+            )
             .unwrap();
         let mut merged_mono = Vec::new();
         let mut mirrored_mono = Vec::new();
         let monolithic = chain
-            .sense_shift_add_into(&sums, 2, LSB, 0.0, 6, &mut merged_mono, &mut mirrored_mono)
+            .sense_shift_add_into(
+                &sums,
+                2,
+                2,
+                LSB,
+                0.0,
+                6,
+                &mut merged_mono,
+                &mut mirrored_mono,
+            )
             .unwrap();
         assert_eq!(fabric.winner, monolithic.winner);
         assert_eq!(merged, merged_mono);
@@ -467,14 +525,58 @@ mod tests {
             (fabric.delay.array - base.array - chain.delay_model().params().per_column * 2.0).abs()
                 < 1e-24
         );
-        // Zero planes are rejected everywhere.
+        // Zero planes and zero cell bits are rejected everywhere.
         assert!(chain.shift_add_delay(3, 8, 0).is_err());
         assert!(chain.shift_add_fabric_delay(&tiles, 1, 3, 0).is_err());
         assert!(chain
-            .shift_add_energy(&merged, &mirrored, 6, 0, 1e-9)
+            .shift_add_energy(&merged, &mirrored, 6, 0, 2, 1e-9)
             .is_err());
         assert!(chain
-            .shift_add_fabric_energy(&merged, &mirrored, &tiles, 1, 0, 1e-9)
+            .shift_add_energy(&merged, &mirrored, 6, 2, 0, 1e-9)
             .is_err());
+        assert!(chain
+            .shift_add_fabric_energy(&merged, &mirrored, &tiles, 1, 0, 2, 1e-9)
+            .is_err());
+        assert!(chain
+            .shift_add_fabric_energy(&merged, &mirrored, &tiles, 1, 2, 0, 1e-9)
+            .is_err());
+    }
+
+    #[test]
+    fn fabric_refinement_charges_every_activated_tile_column() {
+        let chain = chain();
+        let merged = [0.5e-6, 1.4e-6, 0.9e-6];
+        let mirrored = chain.mirror().copy_all(&merged).unwrap();
+        let tiles = vec![
+            TileGeometry {
+                rows: 2,
+                columns: 4,
+                activated_columns: 3,
+            },
+            TileGeometry {
+                rows: 1,
+                columns: 4,
+                activated_columns: 2,
+            },
+        ];
+        let base = chain
+            .fabric_energy(&merged, &mirrored, &tiles, 1, 1e-9)
+            .unwrap();
+        let cell_bits = 3;
+        let packed = chain
+            .shift_add_fabric_energy(&merged, &mirrored, &tiles, 1, 2, cell_bits, 1e-9)
+            .unwrap();
+        let params = *chain.energy_model().params();
+        // 5 activated cells across both tiles × 3 refinement comparisons.
+        assert!(
+            (packed.sensing - base.sensing - (cell_bits * 5) as f64 * params.level_refine_energy)
+                .abs()
+                < 1e-24
+        );
+        assert!(
+            (packed.array - base.array - (2 * merged.len()) as f64 * params.bitline_driver_energy)
+                .abs()
+                < 1e-24
+        );
     }
 }

@@ -1,0 +1,149 @@
+//! Multi-tenant registry deployment comparison.
+//!
+//! The model registry's pitch is consolidation: several tenants sharing one
+//! bank fleet should serve each model bit-identically to a dedicated
+//! single-tenant engine, while the hot-swap reprogramming that makes the
+//! sharing possible stays an explicitly priced, bounded cost. This module
+//! assembles that comparison — one [`TenantMeasurement`] row per tenant,
+//! aggregated with the fleet's swap telemetry into a
+//! [`RegistryComparison`] table — in the same spirit as the serving rows.
+
+use serde::{Deserialize, Serialize};
+
+use febim_core::Table;
+
+/// Measured telemetry of one tenant served through the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMeasurement {
+    /// Tenant model id.
+    pub model: u64,
+    /// Tiles the tenant's compiled program occupies on its bank.
+    pub tiles: usize,
+    /// Requests served against this tenant.
+    pub requests: u64,
+    /// Wall-clock nanoseconds per request of the tenant's dedicated
+    /// single-tenant engine (one engine, one scratch, one request at a
+    /// time) — the consolidation baseline.
+    pub dedicated_ns_per_request: f64,
+    /// Wall-clock nanoseconds per request through the shared registry
+    /// (routing, queueing and ticket completion included).
+    pub registry_ns_per_request: f64,
+    /// `registry_ns_per_request / dedicated_ns_per_request` — the price of
+    /// sharing the fleet instead of owning an engine.
+    pub overhead_ratio: f64,
+    /// Whether every registry answer matched the dedicated engine
+    /// bit-for-bit (prediction, tie-break, delay and energy).
+    pub bit_identical: bool,
+}
+
+/// A tenant-mix sweep over one registry deployment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistryComparison {
+    /// One row per tenant.
+    pub rows: Vec<TenantMeasurement>,
+    /// Hot swaps (installs, evictions and fault-ins) the fleet ran.
+    pub swaps: u64,
+    /// Programming/erase pulses those swaps spent on the fabric.
+    pub swap_pulses: u64,
+    /// Energy (J) those pulse trains cost, priced through the Preisach
+    /// programmer.
+    pub swap_energy_j: f64,
+}
+
+impl RegistryComparison {
+    /// An empty comparison.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one tenant's row.
+    pub fn push(&mut self, row: TenantMeasurement) {
+        self.rows.push(row);
+    }
+
+    /// `true` when every tenant row answered bit-identically to its
+    /// dedicated engine.
+    pub fn all_bit_identical(&self) -> bool {
+        self.rows.iter().all(|row| row.bit_identical)
+    }
+
+    /// Smallest registry ns/request among the tenant rows (`None` when no
+    /// rows were measured).
+    pub fn best_registry_ns(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .map(|row| row.registry_ns_per_request)
+            .fold(None, |best, ns| Some(best.map_or(ns, |b: f64| b.min(ns))))
+    }
+
+    /// Renders the sweep as a report table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "registry_comparison",
+            &[
+                "model",
+                "tiles",
+                "requests",
+                "dedicated_ns",
+                "registry_ns",
+                "overhead",
+                "bit_identical",
+            ],
+        );
+        for row in &self.rows {
+            table.push_row(&[
+                row.model.to_string(),
+                row.tiles.to_string(),
+                row.requests.to_string(),
+                format!("{:.1}", row.dedicated_ns_per_request),
+                format!("{:.1}", row.registry_ns_per_request),
+                format!("{:.2}", row.overhead_ratio),
+                row.bit_identical.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_aggregate_and_render() {
+        let mut comparison = RegistryComparison::new();
+        comparison.push(TenantMeasurement {
+            model: 11,
+            tiles: 6,
+            requests: 32,
+            dedicated_ns_per_request: 100.0,
+            registry_ns_per_request: 400.0,
+            overhead_ratio: 4.0,
+            bit_identical: true,
+        });
+        comparison.push(TenantMeasurement {
+            model: 22,
+            tiles: 6,
+            requests: 32,
+            dedicated_ns_per_request: 120.0,
+            registry_ns_per_request: 360.0,
+            overhead_ratio: 3.0,
+            bit_identical: true,
+        });
+        comparison.swaps = 3;
+        comparison.swap_pulses = 420;
+        comparison.swap_energy_j = 1.5e-9;
+        assert!(comparison.all_bit_identical());
+        assert_eq!(comparison.best_registry_ns(), Some(360.0));
+        let rendered = comparison.to_table().to_pretty();
+        assert!(rendered.contains("registry_comparison"));
+        assert!(rendered.contains("bit_identical"));
+        assert!(rendered.contains("22"));
+        let json = serde::json::to_string(&comparison);
+        assert!(json.contains("\"swap_pulses\""));
+        assert!(json.contains("\"overhead_ratio\""));
+        comparison.rows[1].bit_identical = false;
+        assert!(!comparison.all_bit_identical());
+        assert_eq!(RegistryComparison::new().best_registry_ns(), None);
+    }
+}

@@ -54,7 +54,10 @@ pub enum BackendKind {
 }
 
 /// Descriptive metadata of an inference backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `name` is a `&'static str` picked by the backend, so
+/// the type is reporting output, never decoded back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct BackendInfo {
     /// Backend family.
     pub kind: BackendKind,
@@ -142,6 +145,27 @@ impl BatchTelemetry {
         } else {
             1.0
         }
+    }
+}
+
+/// Write-pulse cost of moving a model on or off a physical backend: the
+/// Preisach pulse-train length and the programming energy of either
+/// programming a compiled model onto erased cells
+/// ([`InferenceBackend::program_cost`]) or erasing its region back to the
+/// blank state ([`InferenceBackend::decommission`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SwapCost {
+    /// Σ write/erase pulses applied (or required).
+    pub pulses: u64,
+    /// Σ programming energy in joules.
+    pub energy_j: f64,
+}
+
+impl SwapCost {
+    /// Adds another cost into this one.
+    pub fn absorb(&mut self, other: SwapCost) {
+        self.pulses += other.pulses;
+        self.energy_j += other.energy_j;
     }
 }
 
@@ -289,6 +313,27 @@ pub trait InferenceBackend {
     fn pending_faults(&self) -> usize {
         0
     }
+
+    /// Preisach-priced cost of programming this backend's compiled model
+    /// onto erased cells: the pulse-train length and programming energy the
+    /// registry charges when the model is hot-swapped onto a fleet region.
+    /// `None` for backends without a physical program (software, mocks).
+    fn program_cost(&self) -> Option<SwapCost> {
+        None
+    }
+
+    /// Erases the backend's programmed region back to the blank state —
+    /// the tear-down half of a hot swap: one nominal erase pulse per
+    /// occupied cell, priced like write pulses, with cache invalidation
+    /// scoped to the touched tiles. Returns the erase cost, or `Ok(None)`
+    /// for backends without physical state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates erase/programming errors.
+    fn decommission(&mut self) -> Result<Option<SwapCost>> {
+        Ok(None)
+    }
 }
 
 /// Discretizes every sample of a batch into one activation per read,
@@ -360,6 +405,13 @@ impl PackedRead {
             lsb_current: febim_device::programming::DEFAULT_MIN_READ_CURRENT,
             floor_current: 0.0,
         }))
+    }
+
+    /// Total stored bits per multi-bit cell (`log2` of the cell's state
+    /// count) — the number of multi-level sensing refinement steps one
+    /// activated cell needs during a packed read.
+    fn cell_bits(&self) -> usize {
+        self.digits_per_cell * self.digit_bits as usize
     }
 
     /// Maps one read's discretized per-feature bins onto packed columns
@@ -593,6 +645,7 @@ impl CrossbarBackend {
         match self.sensing.sense_shift_add_into(
             &scratch.plane_sums,
             packed.planes,
+            packed.cell_bits(),
             packed.lsb_current,
             packed.floor_current,
             activated,
@@ -623,6 +676,7 @@ impl CrossbarBackend {
                     &scratch.mirrored,
                     activated,
                     packed.planes,
+                    packed.cell_bits(),
                     delay.total(),
                 )?;
                 Ok(InferenceStep {
@@ -913,6 +967,23 @@ impl TiledFabricBackend {
             shape,
             config.encoding,
         )?;
+        Self::with_program(quantized, config, tiled)
+    }
+
+    /// Builds the fabric around an **already compiled** tiled program — the
+    /// snapshot-restore path: a program deserialized from bytes is
+    /// programmed straight onto a fresh grid, no recompilation (and no
+    /// training data) required. The caller owns the contract that `tiled`
+    /// was compiled from `quantized` under the same encoding as `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-construction and programming errors.
+    pub fn with_program(
+        quantized: Arc<QuantizedGnbc>,
+        config: &EngineConfig,
+        tiled: TiledProgram,
+    ) -> Result<Self> {
         let programmer = level_programmer(config, tiled.state_count())?;
         let packed = PackedRead::for_config(config, tiled.state_count())?;
         let grid = TileGrid::with_non_idealities(*tiled.plan(), programmer, config.non_idealities)?;
@@ -1046,6 +1117,7 @@ impl TiledFabricBackend {
         match self.sensing.sense_shift_add_fabric_into(
             &scratch.plane_sums,
             packed.planes,
+            packed.cell_bits(),
             packed.lsb_current,
             packed.floor_current,
             &scratch.tiles,
@@ -1076,6 +1148,7 @@ impl TiledFabricBackend {
                     &scratch.tiles,
                     col_tiles,
                     packed.planes,
+                    packed.cell_bits(),
                     delay.total(),
                 )?;
                 Ok(InferenceStep {
@@ -1297,6 +1370,30 @@ impl InferenceBackend for TiledFabricBackend {
             self.grid.apply_variation(&self.variation, &mut rng);
         }
         Ok(())
+    }
+
+    fn program_cost(&self) -> Option<SwapCost> {
+        let programmer = self.grid.programmer();
+        let mut cost = SwapCost::default();
+        for row in self.tiled.program().levels() {
+            for level in row.iter().flatten() {
+                let state = programmer.state_for_level(*level).ok()?;
+                cost.pulses += u64::from(state.write_config.pulse_count) + 1;
+                cost.energy_j += programmer.write_energy(*level).ok()?;
+            }
+        }
+        Some(cost)
+    }
+
+    fn decommission(&mut self) -> Result<Option<SwapCost>> {
+        let layout = *self.tiled.plan().layout();
+        let outcome = self
+            .grid
+            .erase_region(0..layout.rows(), 0..layout.columns())?;
+        Ok(Some(SwapCost {
+            pulses: outcome.pulses_applied,
+            energy_j: outcome.energy_joules,
+        }))
     }
 
     fn current_map_into(&self, out: &mut Vec<f64>) -> Result<()> {

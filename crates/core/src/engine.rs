@@ -329,6 +329,33 @@ impl<B: InferenceBackend> FebimEngine<B> {
         build_engine(Arc::new(model), train_data, config, build)
     }
 
+    /// Rebuilds an engine from **already materialized** parts — the
+    /// snapshot-restore path: a trained model and its quantized tables
+    /// (e.g. deserialized from a registry snapshot) are handed straight to
+    /// `build` without retraining or requantizing, so no training data is
+    /// needed. The caller owns the contract that `quantized` was produced
+    /// from `model` under `config.quant`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors and whatever `build`
+    /// returns.
+    pub fn from_parts(
+        model: Arc<GaussianNaiveBayes>,
+        quantized: Arc<QuantizedGnbc>,
+        config: EngineConfig,
+        build: impl FnOnce(Arc<QuantizedGnbc>, &EngineConfig) -> Result<B>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let backend = build(Arc::clone(&quantized), &config)?;
+        Ok(Self {
+            config,
+            model,
+            quantized,
+            backend,
+        })
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -363,6 +390,35 @@ impl<B: InferenceBackend> FebimEngine<B> {
     /// Propagates programming errors.
     pub fn reprogram(&mut self) -> Result<()> {
         self.backend.reprogram()
+    }
+
+    /// Preisach-priced cost of programming this engine's compiled model
+    /// onto erased cells (see [`InferenceBackend::program_cost`]); `None`
+    /// for backends without a physical program.
+    pub fn program_cost(&self) -> Option<crate::backend::SwapCost> {
+        self.backend.program_cost()
+    }
+
+    /// Erases the backend's programmed region back to the blank state and
+    /// returns the erase cost (see [`InferenceBackend::decommission`]);
+    /// `Ok(None)` for backends without physical state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates erase/programming errors.
+    pub fn decommission(&mut self) -> Result<Option<crate::backend::SwapCost>> {
+        self.backend.decommission()
+    }
+
+    /// The trained model behind this engine, by shared handle (the registry
+    /// snapshots it without deep-cloning).
+    pub(crate) fn shared_model(&self) -> Arc<GaussianNaiveBayes> {
+        Arc::clone(&self.model)
+    }
+
+    /// The quantized tables behind this engine, by shared handle.
+    pub(crate) fn shared_quantized(&self) -> Arc<QuantizedGnbc> {
+        Arc::clone(&self.quantized)
     }
 
     /// Advances the backend's physical clock by `ticks`, aging every cell

@@ -38,6 +38,7 @@ pub mod health;
 pub mod metrics;
 pub mod monte_carlo;
 pub mod recalibration;
+pub mod registry;
 pub mod report;
 pub mod scaling;
 pub mod scheduler;
@@ -45,7 +46,7 @@ pub mod serving;
 
 pub use backend::{
     BackendInfo, BackendKind, BatchTelemetry, CrossbarBackend, InferenceBackend, SoftwareBackend,
-    TiledFabricBackend,
+    SwapCost, TiledFabricBackend,
 };
 pub use compiler::{compile, compile_tiled, CrossbarProgram, TiledProgram};
 pub use config::EngineConfig;
@@ -60,6 +61,7 @@ pub use monte_carlo::{
     NoiseScenario, VariationPoint,
 };
 pub use recalibration::{RecalibrationPolicy, RecalibrationReport, RecalibrationScheduler};
+pub use registry::{ModelRegistry, RegistryConfig, RegistryError, RegistryReport, TenantPlacement};
 pub use report::{default_experiment_dir, Table};
 pub use scaling::{
     column_sweep, figure6_columns, figure6_rows, measure_geometry, row_sweep, ScalingPoint,
@@ -70,8 +72,8 @@ pub use scheduler::EpochScheduler;
 /// [`febim_crossbar::TilePlan`]) — the machinery behind `BENCH_*.json`.
 pub use serde::json;
 pub use serving::{
-    LatencyHistogram, PoolStats, ServeOutcome, ServingConfig, ServingError, ServingPool, Ticket,
-    WorkerReport,
+    LatencyHistogram, PoolStats, ServeOutcome, ServingConfig, ServingError, ServingPool,
+    SwapReport, SwapTicket, Ticket, WorkerReport,
 };
 
 #[cfg(test)]

@@ -1,0 +1,939 @@
+//! Multi-tenant model registry: compiled/tiled programs registered under
+//! model ids, placed onto a fleet of tile-grid banks by a capacity-aware
+//! placer, and served through the routed [`ServingPool`] with per-request
+//! model routing.
+//!
+//! Each bank is one routed worker hosting its own [`TileGrid`]-backed
+//! engines (one per resident tenant), budgeted in *tiles*. Registering a
+//! model compiles and programs it; when a bank runs out of tiles the
+//! least-recently-served tenants are evicted and the freed tiles hot-swap
+//! reprogrammed in place — the erase and programming pulse trains are
+//! priced through the Preisach programmer, and the swap runs strictly
+//! between batches on the target bank only, so other tenants never stall.
+//! Evicted models stay in the registry's catalog and fault back in
+//! transparently on their next request. [`ModelRegistry::snapshot`] /
+//! [`ModelRegistry::restore`] round-trip a tenant's compiled program (the
+//! trained model, the quantized tables and the tiled program) through JSON,
+//! so a model can be reloaded from bytes without its training data.
+//!
+//! [`TileGrid`]: febim_crossbar::TileGrid
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use serde::{json, Deserialize, Serialize};
+
+use febim_bayes::GaussianNaiveBayes;
+use febim_crossbar::TileShape;
+use febim_data::Dataset;
+use febim_quant::QuantizedGnbc;
+
+use crate::backend::TiledFabricBackend;
+use crate::compiler::TiledProgram;
+use crate::config::EngineConfig;
+use crate::engine::FebimEngine;
+use crate::errors::CoreError;
+use crate::serving::{
+    PoolStats, ServeOutcome, ServingConfig, ServingError, ServingPool, SwapReport, SwapTicket,
+    Ticket,
+};
+
+/// Requests that race a concurrent eviction of their model retry the
+/// fault-in this many times before giving up.
+const FAULT_IN_ATTEMPTS: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed errors of the model registry.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The model id is not in the catalog.
+    UnknownModel {
+        /// The unknown id.
+        model: u64,
+    },
+    /// The model id is already registered.
+    DuplicateModel {
+        /// The duplicated id.
+        model: u64,
+    },
+    /// The program needs more tiles than one bank's entire budget.
+    Capacity {
+        /// Tiles the program needs.
+        tiles: usize,
+        /// Tiles one bank offers.
+        budget: usize,
+    },
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// The offending field.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The serving pool reported a typed error.
+    Serving(ServingError),
+    /// Building or programming an engine failed.
+    Core(CoreError),
+    /// A snapshot could not be encoded or decoded.
+    Snapshot(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownModel { model } => {
+                write!(f, "model {model} is not registered")
+            }
+            Self::DuplicateModel { model } => {
+                write!(f, "model {model} is already registered")
+            }
+            Self::Capacity { tiles, budget } => write!(
+                f,
+                "program needs {tiles} tiles but a bank holds at most {budget}"
+            ),
+            Self::InvalidConfig { name, reason } => {
+                write!(f, "invalid registry config `{name}`: {reason}")
+            }
+            Self::Serving(err) => write!(f, "serving failed: {err}"),
+            Self::Core(err) => write!(f, "engine build failed: {err}"),
+            Self::Snapshot(reason) => write!(f, "snapshot failed: {reason}"),
+        }
+    }
+}
+
+impl Error for RegistryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Serving(err) => Some(err),
+            Self::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServingError> for RegistryError {
+    fn from(err: ServingError) -> Self {
+        Self::Serving(err)
+    }
+}
+
+impl From<CoreError> for RegistryError {
+    fn from(err: CoreError) -> Self {
+        Self::Core(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`ModelRegistry`]: the bank fleet and its serving
+/// knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistryConfig {
+    /// Routed workers (banks), each hosting its own tile grids.
+    pub banks: usize,
+    /// Tile budget of one bank; a tenant's tiled program must fit within
+    /// it, and residents beyond it are evicted least-recently-served first.
+    pub tiles_per_bank: usize,
+    /// Serving configuration of the underlying routed pool.
+    pub serving: ServingConfig,
+}
+
+impl RegistryConfig {
+    /// A registry of `banks` banks holding `tiles_per_bank` tiles each,
+    /// with default serving knobs.
+    pub fn new(banks: usize, tiles_per_bank: usize) -> Self {
+        Self {
+            banks,
+            tiles_per_bank,
+            serving: ServingConfig::default(),
+        }
+    }
+
+    /// Replaces the serving configuration.
+    #[must_use]
+    pub fn with_serving(mut self, serving: ServingConfig) -> Self {
+        self.serving = serving;
+        self
+    }
+
+    /// Validates the registry-specific fields (the serving fields validate
+    /// when the pool is built).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), RegistryError> {
+        if self.banks == 0 {
+            return Err(RegistryError::InvalidConfig {
+                name: "banks",
+                reason: "at least one bank is required".to_string(),
+            });
+        }
+        if self.tiles_per_bank == 0 {
+            return Err(RegistryError::InvalidConfig {
+                name: "tiles_per_bank",
+                reason: "a bank must hold at least one tile".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog and placement state
+// ---------------------------------------------------------------------------
+
+/// Everything needed to rebuild a tenant's engine without its training
+/// data: the trained model, the quantized tables, the engine configuration
+/// and the compiled tiled program.
+struct StoredModel {
+    config: EngineConfig,
+    model: Arc<GaussianNaiveBayes>,
+    quantized: Arc<QuantizedGnbc>,
+    program: TiledProgram,
+    tiles: usize,
+}
+
+/// Where a resident tenant lives.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    bank: usize,
+    tiles: usize,
+    /// Logical LRU stamp (bumped on every serve and install).
+    last_used: u64,
+}
+
+struct RegistryState {
+    catalog: HashMap<u64, StoredModel>,
+    resident: HashMap<u64, Placement>,
+    /// Tiles used per bank.
+    used: Vec<usize>,
+    /// Monotonic logical clock backing the LRU stamps.
+    clock: u64,
+}
+
+impl RegistryState {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// Where a model ended up after a register/restore/fault-in, including the
+/// hot-swap cost when tiles had to be reprogrammed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantPlacement {
+    /// The placed model.
+    pub model: u64,
+    /// Bank (routed worker) hosting it.
+    pub bank: usize,
+    /// Tiles its program occupies.
+    pub tiles: usize,
+    /// Tenants evicted to make room, least-recently-served first.
+    pub evicted: Vec<u64>,
+    /// The serviced swap (erase + programming pulse trains priced through
+    /// the Preisach programmer); `None` when the model was already
+    /// resident.
+    pub swap: Option<SwapReport>,
+}
+
+/// Occupancy snapshot of the registry, serializable for benches.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RegistryReport {
+    /// Banks in the fleet.
+    pub banks: usize,
+    /// Tile budget of one bank.
+    pub tiles_per_bank: usize,
+    /// Models in the catalog (resident or evicted).
+    pub registered: usize,
+    /// Models currently resident on a bank.
+    pub resident: usize,
+    /// Tiles used per bank.
+    pub tiles_used: Vec<usize>,
+}
+
+/// A tenant's compiled program serialized for [`ModelRegistry::snapshot`] /
+/// [`ModelRegistry::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ModelSnapshot {
+    id: u64,
+    config: EngineConfig,
+    model: GaussianNaiveBayes,
+    quantized: QuantizedGnbc,
+    program: TiledProgram,
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// Multi-tenant registry over a routed [`ServingPool`] of tile-grid banks.
+/// See the [module docs](self) for the placement and hot-swap semantics.
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    pool: ServingPool,
+    state: Mutex<RegistryState>,
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelRegistry {
+    /// Builds an empty registry: `config.banks` routed workers, each with
+    /// an empty tenant bank and a `config.tiles_per_bank` tile budget.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and pool construction errors.
+    pub fn new(config: RegistryConfig) -> Result<Self, RegistryError> {
+        config.validate()?;
+        let banks: Vec<Vec<(u64, FebimEngine<TiledFabricBackend>)>> =
+            (0..config.banks).map(|_| Vec::new()).collect();
+        let pool = ServingPool::new_routed(banks, config.serving)?;
+        let used = vec![0; config.banks];
+        Ok(Self {
+            config,
+            pool,
+            state: Mutex::new(RegistryState {
+                catalog: HashMap::new(),
+                resident: HashMap::new(),
+                used,
+                clock: 0,
+            }),
+        })
+    }
+
+    /// The registry configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Trains, compiles and registers a model under `id`, then places and
+    /// programs it onto a bank (possibly evicting colder tenants).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateModel`] for a reused id,
+    /// [`RegistryError::Capacity`] when the program cannot fit even an
+    /// empty bank, plus engine build and serving errors.
+    pub fn register(
+        &self,
+        id: u64,
+        train_data: &Dataset,
+        config: EngineConfig,
+        shape: TileShape,
+    ) -> Result<TenantPlacement, RegistryError> {
+        let engine = FebimEngine::fit_tiled(train_data, config, shape)?;
+        self.admit(id, engine)
+    }
+
+    /// Registers a pre-built tiled engine under `id` and places it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelRegistry::register`] minus the training errors.
+    pub fn register_engine(
+        &self,
+        id: u64,
+        engine: FebimEngine<TiledFabricBackend>,
+    ) -> Result<TenantPlacement, RegistryError> {
+        self.admit(id, engine)
+    }
+
+    fn admit(
+        &self,
+        id: u64,
+        engine: FebimEngine<TiledFabricBackend>,
+    ) -> Result<TenantPlacement, RegistryError> {
+        let program = engine.tiled_program().clone();
+        let tiles = program.plan().tile_count();
+        if tiles > self.config.tiles_per_bank {
+            return Err(RegistryError::Capacity {
+                tiles,
+                budget: self.config.tiles_per_bank,
+            });
+        }
+        let stored = StoredModel {
+            config: engine.config().clone(),
+            model: engine.shared_model(),
+            quantized: engine.shared_quantized(),
+            program,
+            tiles,
+        };
+        let mut state = self.lock_state();
+        if state.catalog.contains_key(&id) {
+            return Err(RegistryError::DuplicateModel { model: id });
+        }
+        state.catalog.insert(id, stored);
+        let result = self.install(&mut state, id, Some(engine));
+        Self::finish_install(state, result)
+    }
+
+    /// Drops the state lock, then waits out the posted swap (if any): the
+    /// swap is serviced by the target bank's worker between batches and
+    /// needs no registry state, so other tenants' serves proceed while it
+    /// completes.
+    fn finish_install(
+        guard: std::sync::MutexGuard<'_, RegistryState>,
+        result: Result<(TenantPlacement, Option<SwapTicket>), RegistryError>,
+    ) -> Result<TenantPlacement, RegistryError> {
+        drop(guard);
+        let (mut placement, ticket) = result?;
+        if let Some(ticket) = ticket {
+            placement.swap = Some(ticket.wait()?);
+        }
+        Ok(placement)
+    }
+
+    /// Serves one routed request, transparently faulting the model back in
+    /// (hot-swap reprogramming a bank) when it was evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for an unregistered id, plus
+    /// serving/inference errors.
+    pub fn serve(&self, model: u64, sample: &[f64]) -> Result<ServeOutcome, RegistryError> {
+        for _ in 0..FAULT_IN_ATTEMPTS {
+            self.ensure_resident(model)?;
+            match self
+                .pool
+                .submit_routed_blocking(model, sample.to_vec())
+                .and_then(Ticket::wait)
+            {
+                Ok(outcome) => return Ok(outcome),
+                // The model was evicted between the fault-in and the
+                // dispatch (another tenant's install raced it): fault it
+                // back in and retry.
+                Err(ServingError::ModelUnavailable { .. }) => continue,
+                Err(err) => return Err(RegistryError::Serving(err)),
+            }
+        }
+        Err(RegistryError::Serving(ServingError::ModelUnavailable {
+            model,
+        }))
+    }
+
+    /// Serves every sample against `model`, in order.
+    pub fn serve_many(
+        &self,
+        model: u64,
+        samples: &[Vec<f64>],
+    ) -> Vec<Result<ServeOutcome, RegistryError>> {
+        samples
+            .iter()
+            .map(|sample| self.serve(model, sample))
+            .collect()
+    }
+
+    /// Explicitly evicts a resident model: its tiles are erased (the swap
+    /// is priced and serviced between the bank's batches) and the model
+    /// stays in the catalog for later fault-in.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for an unregistered id. Evicting a
+    /// model that is not resident is a no-op returning `None`.
+    pub fn evict(&self, model: u64) -> Result<Option<SwapReport>, RegistryError> {
+        let mut state = self.lock_state();
+        if !state.catalog.contains_key(&model) {
+            return Err(RegistryError::UnknownModel { model });
+        }
+        let Some(placement) = state.resident.remove(&model) else {
+            return Ok(None);
+        };
+        state.used[placement.bank] -= placement.tiles;
+        let ticket = self.pool.post_swap(
+            placement.bank,
+            vec![model],
+            None::<(u64, FebimEngine<TiledFabricBackend>)>,
+        );
+        drop(state);
+        Ok(Some(ticket.wait()?))
+    }
+
+    /// Serializes a registered model's compiled program (trained model,
+    /// quantized tables, engine config, tiled program) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for an unregistered id.
+    pub fn snapshot(&self, model: u64) -> Result<String, RegistryError> {
+        let state = self.lock_state();
+        let stored = state
+            .catalog
+            .get(&model)
+            .ok_or(RegistryError::UnknownModel { model })?;
+        let snapshot = ModelSnapshot {
+            id: model,
+            config: stored.config.clone(),
+            model: (*stored.model).clone(),
+            quantized: (*stored.quantized).clone(),
+            program: stored.program.clone(),
+        };
+        Ok(json::to_string(&snapshot))
+    }
+
+    /// Restores a model from a [`ModelRegistry::snapshot`] JSON string —
+    /// no training data needed — registering it under its embedded id and
+    /// placing it onto a bank.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Snapshot`] for undecodable bytes,
+    /// [`RegistryError::DuplicateModel`] when the embedded id is already
+    /// registered, plus placement errors.
+    pub fn restore(&self, text: &str) -> Result<TenantPlacement, RegistryError> {
+        let snapshot: ModelSnapshot =
+            json::from_str(text).map_err(|err| RegistryError::Snapshot(err.to_string()))?;
+        let tiles = snapshot.program.plan().tile_count();
+        if tiles > self.config.tiles_per_bank {
+            return Err(RegistryError::Capacity {
+                tiles,
+                budget: self.config.tiles_per_bank,
+            });
+        }
+        let id = snapshot.id;
+        let stored = StoredModel {
+            config: snapshot.config,
+            model: Arc::new(snapshot.model),
+            quantized: Arc::new(snapshot.quantized),
+            program: snapshot.program,
+            tiles,
+        };
+        let mut state = self.lock_state();
+        if state.catalog.contains_key(&id) {
+            return Err(RegistryError::DuplicateModel { model: id });
+        }
+        state.catalog.insert(id, stored);
+        let result = self.install(&mut state, id, None);
+        Self::finish_install(state, result)
+    }
+
+    /// Occupancy snapshot (banks, budgets, residents).
+    pub fn report(&self) -> RegistryReport {
+        let state = self.lock_state();
+        RegistryReport {
+            banks: self.config.banks,
+            tiles_per_bank: self.config.tiles_per_bank,
+            registered: state.catalog.len(),
+            resident: state.resident.len(),
+            tiles_used: state.used.clone(),
+        }
+    }
+
+    /// Bank currently hosting `model`, if it is resident.
+    pub fn residence_of(&self, model: u64) -> Option<usize> {
+        self.lock_state().resident.get(&model).map(|p| p.bank)
+    }
+
+    /// Shuts the underlying pool down gracefully and returns its serving
+    /// statistics (hot-swap pulse and energy totals included).
+    pub fn shutdown(self) -> PoolStats {
+        self.pool.shutdown()
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, RegistryState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Makes `model` resident, faulting it in from the catalog (rebuilding
+    /// and reprogramming its engine) if it was evicted.
+    fn ensure_resident(&self, model: u64) -> Result<TenantPlacement, RegistryError> {
+        let mut state = self.lock_state();
+        if !state.catalog.contains_key(&model) {
+            return Err(RegistryError::UnknownModel { model });
+        }
+        let result = self.install(&mut state, model, None);
+        Self::finish_install(state, result)
+    }
+
+    /// Places `model` onto a bank — already-resident models just refresh
+    /// their LRU stamp — evicting least-recently-served tenants when the
+    /// chosen bank is over budget, and posts the hot swap to the bank's
+    /// worker, returning its ticket for the caller to await *after*
+    /// releasing the state lock (see [`ModelRegistry::finish_install`]).
+    /// `engine` carries the pre-built engine of a fresh registration; on a
+    /// fault-in it is rebuilt from the catalog through
+    /// [`TiledFabricBackend::with_program`] (the real model-load-from-parts
+    /// path).
+    fn install(
+        &self,
+        state: &mut RegistryState,
+        model: u64,
+        engine: Option<FebimEngine<TiledFabricBackend>>,
+    ) -> Result<(TenantPlacement, Option<SwapTicket>), RegistryError> {
+        let stamp = state.tick();
+        if let Some(placement) = state.resident.get_mut(&model) {
+            placement.last_used = stamp;
+            let placement = *placement;
+            return Ok((
+                TenantPlacement {
+                    model,
+                    bank: placement.bank,
+                    tiles: placement.tiles,
+                    evicted: Vec::new(),
+                    swap: None,
+                },
+                None,
+            ));
+        }
+        let Some(stored) = state.catalog.get(&model) else {
+            return Err(RegistryError::UnknownModel { model });
+        };
+        let tiles = stored.tiles;
+        let budget = self.config.tiles_per_bank;
+        if tiles > budget {
+            return Err(RegistryError::Capacity { tiles, budget });
+        }
+        let engine = match engine {
+            Some(engine) => engine,
+            None => {
+                // Fault-in: rebuild the engine from the catalog's compiled
+                // program (the snapshot/restore path exercises the same
+                // constructor, so a restored model is bit-identical to a
+                // freshly fitted one).
+                let program = stored.program.clone();
+                FebimEngine::from_parts(
+                    Arc::clone(&stored.model),
+                    Arc::clone(&stored.quantized),
+                    stored.config.clone(),
+                    |quantized, config| {
+                        TiledFabricBackend::with_program(quantized, config, program)
+                    },
+                )?
+            }
+        };
+        // Best fit: the serving bank with the least free budget that still
+        // fits, so large future tenants keep a roomy bank available.
+        let bank = (0..self.config.banks)
+            .filter(|&bank| budget - state.used[bank] >= tiles)
+            .min_by_key(|&bank| budget - state.used[bank]);
+        let (bank, evicted) = match bank {
+            Some(bank) => (bank, Vec::new()),
+            None => {
+                // Every bank is over budget for this program: evict the
+                // least-recently-served tenants from the bank hosting the
+                // globally coldest one until the program fits.
+                let Some(coldest) = state
+                    .resident
+                    .values()
+                    .min_by_key(|placement| placement.last_used)
+                    .map(|placement| placement.bank)
+                else {
+                    // No residents yet means every bank is empty, so the
+                    // filter above must have matched; keep the error typed
+                    // rather than panicking if it ever does not.
+                    return Err(RegistryError::Capacity { tiles, budget });
+                };
+                let mut tenants: Vec<(u64, u64, usize)> = state
+                    .resident
+                    .iter()
+                    .filter(|(_, placement)| placement.bank == coldest)
+                    .map(|(&id, placement)| (placement.last_used, id, placement.tiles))
+                    .collect();
+                tenants.sort_unstable();
+                let mut evicted = Vec::new();
+                for (_, id, freed) in tenants {
+                    if budget - state.used[coldest] >= tiles {
+                        break;
+                    }
+                    state.resident.remove(&id);
+                    state.used[coldest] -= freed;
+                    evicted.push(id);
+                }
+                if budget - state.used[coldest] < tiles {
+                    return Err(RegistryError::Capacity { tiles, budget });
+                }
+                (coldest, evicted)
+            }
+        };
+        state.used[bank] += tiles;
+        state.resident.insert(
+            model,
+            Placement {
+                bank,
+                tiles,
+                last_used: stamp,
+            },
+        );
+        let ticket = self
+            .pool
+            .post_swap(bank, evicted.clone(), Some((model, engine)));
+        Ok((
+            TenantPlacement {
+                model,
+                bank,
+                tiles,
+                evicted,
+                swap: None,
+            },
+            Some(ticket),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::InferenceStep;
+    use febim_data::rng::seeded_rng;
+    use febim_data::split::stratified_split;
+    use febim_data::synthetic::iris_like;
+    use proptest::prelude::*;
+
+    fn split_for(seed: u64) -> (Dataset, Dataset) {
+        let dataset = iris_like(seed).unwrap();
+        let split = stratified_split(&dataset, 0.7, &mut seeded_rng(seed)).unwrap();
+        (split.train, split.test)
+    }
+
+    fn samples_of(test: &Dataset) -> Vec<Vec<f64>> {
+        (0..test.n_samples())
+            .map(|index| test.sample(index).unwrap().to_vec())
+            .collect()
+    }
+
+    fn shape() -> TileShape {
+        TileShape::new(2, 24).unwrap()
+    }
+
+    /// (engine, its test samples, its sequential per-sample reference).
+    fn tenant(
+        seed: u64,
+    ) -> (
+        FebimEngine<TiledFabricBackend>,
+        Vec<Vec<f64>>,
+        Vec<InferenceStep>,
+    ) {
+        let (train, test) = split_for(seed);
+        let engine =
+            FebimEngine::fit_tiled(&train, EngineConfig::febim_default(), shape()).unwrap();
+        let samples = samples_of(&test);
+        let mut scratch = engine.make_scratch();
+        let sequential = samples
+            .iter()
+            .map(|sample| engine.infer_into(sample, &mut scratch).unwrap())
+            .collect();
+        (engine, samples, sequential)
+    }
+
+    fn assert_bit_identical(
+        answers: &[Result<ServeOutcome, RegistryError>],
+        reference: &[InferenceStep],
+    ) {
+        assert_eq!(answers.len(), reference.len());
+        for (answer, step) in answers.iter().zip(reference) {
+            let outcome = answer.as_ref().unwrap();
+            assert_eq!(outcome.prediction, step.prediction);
+            assert_eq!(outcome.tie_broken, step.tie_broken);
+            assert_eq!(outcome.delay, step.delay);
+            assert_eq!(outcome.energy, step.energy);
+        }
+    }
+
+    #[test]
+    fn config_validation_and_error_display() {
+        assert!(RegistryConfig::new(0, 4).validate().is_err());
+        assert!(RegistryConfig::new(2, 0).validate().is_err());
+        assert!(RegistryConfig::new(2, 4).validate().is_ok());
+        assert!(RegistryError::UnknownModel { model: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(RegistryError::Capacity {
+            tiles: 8,
+            budget: 4
+        }
+        .to_string()
+        .contains('8'));
+        assert!(RegistryError::Serving(ServingError::ShutDown)
+            .source()
+            .is_some());
+    }
+
+    /// Tentpole acceptance: three tenants registered onto a two-bank fleet
+    /// route by model id and answer bit-identically to their own
+    /// single-tenant engines.
+    #[test]
+    fn registry_serves_three_tenants_bit_identically() {
+        let (engine_a, samples_a, reference_a) = tenant(950);
+        let (engine_b, samples_b, reference_b) = tenant(951);
+        let (engine_c, samples_c, reference_c) = tenant(952);
+        let tiles = engine_a.tiled_program().plan().tile_count();
+        let registry = ModelRegistry::new(RegistryConfig::new(2, 2 * tiles)).unwrap();
+        let placed = registry.register_engine(1, engine_a).unwrap();
+        assert_eq!(placed.model, 1);
+        assert!(placed.evicted.is_empty());
+        let swap = placed.swap.unwrap();
+        assert!(swap.program.pulses > 0);
+        assert!(swap.program.energy_j > 0.0);
+        registry.register_engine(2, engine_b).unwrap();
+        registry.register_engine(3, engine_c).unwrap();
+        let report = registry.report();
+        assert_eq!(report.registered, 3);
+        assert_eq!(report.resident, 3);
+        assert_bit_identical(&registry.serve_many(1, &samples_a), &reference_a);
+        assert_bit_identical(&registry.serve_many(2, &samples_b), &reference_b);
+        assert_bit_identical(&registry.serve_many(3, &samples_c), &reference_c);
+        assert!(matches!(
+            registry.serve(99, &samples_a[0]),
+            Err(RegistryError::UnknownModel { model: 99 })
+        ));
+        let stats = registry.shutdown();
+        assert_eq!(stats.swaps, 3);
+        assert_eq!(stats.failed_requests, 0);
+        assert_eq!(stats.unrouted, 0);
+    }
+
+    #[test]
+    fn duplicate_and_oversized_registrations_are_rejected() {
+        let (engine, _, _) = tenant(953);
+        let tiles = engine.tiled_program().plan().tile_count();
+        let registry = ModelRegistry::new(RegistryConfig::new(1, tiles)).unwrap();
+        registry.register_engine(1, engine.clone()).unwrap();
+        assert!(matches!(
+            registry.register_engine(1, engine.clone()),
+            Err(RegistryError::DuplicateModel { model: 1 })
+        ));
+        let small = ModelRegistry::new(RegistryConfig::new(1, tiles - 1)).unwrap();
+        assert!(matches!(
+            small.register_engine(2, engine),
+            Err(RegistryError::Capacity { .. })
+        ));
+    }
+
+    /// Cold tenants are evicted least-recently-served first, their tiles
+    /// erased in place, and they fault back in transparently on the next
+    /// request — still bit-identical to a freshly programmed grid.
+    #[test]
+    fn lru_eviction_and_transparent_fault_in() {
+        let (engine_a, samples_a, reference_a) = tenant(954);
+        let (engine_b, samples_b, reference_b) = tenant(955);
+        let (engine_c, samples_c, reference_c) = tenant(956);
+        let tiles = engine_a.tiled_program().plan().tile_count();
+        // Each bank holds exactly one tenant: the third registration must
+        // evict the least-recently-served of the first two.
+        let registry = ModelRegistry::new(RegistryConfig::new(2, tiles)).unwrap();
+        registry.register_engine(1, engine_a).unwrap();
+        registry.register_engine(2, engine_b).unwrap();
+        let placed = registry.register_engine(3, engine_c).unwrap();
+        assert_eq!(placed.evicted, vec![1]);
+        let swap = placed.swap.unwrap();
+        assert!(swap.erase.pulses > 0, "eviction must erase in place");
+        assert!(swap.erase.energy_j > 0.0);
+        assert_eq!(registry.residence_of(1), None);
+        assert!(registry.residence_of(2).is_some());
+        assert!(registry.residence_of(3).is_some());
+        // Survivors read bit-identically after the swap.
+        assert_bit_identical(&registry.serve_many(2, &samples_b), &reference_b);
+        assert_bit_identical(&registry.serve_many(3, &samples_c), &reference_c);
+        // The evicted tenant faults back in on its next request (evicting
+        // the now-coldest resident) and reads bit-identically too.
+        assert_bit_identical(&registry.serve_many(1, &samples_a), &reference_a);
+        assert!(registry.residence_of(1).is_some());
+        let report = registry.report();
+        assert_eq!(report.registered, 3);
+        assert_eq!(report.resident, 2);
+        let stats = registry.shutdown();
+        assert!(stats.swaps >= 4, "3 installs + ≥1 fault-in, got {stats:?}");
+        assert!(stats.swap_pulses > 0);
+        assert!(stats.swap_energy_j > 0.0);
+        assert_eq!(stats.failed_requests, 0);
+    }
+
+    /// An explicit evict prices the erase and leaves the model reloadable.
+    #[test]
+    fn explicit_evict_is_priced_and_reversible() {
+        let (engine, samples, reference) = tenant(957);
+        let tiles = engine.tiled_program().plan().tile_count();
+        let registry = ModelRegistry::new(RegistryConfig::new(1, tiles)).unwrap();
+        registry.register_engine(1, engine).unwrap();
+        let swap = registry.evict(1).unwrap().unwrap();
+        assert!(swap.erase.pulses > 0);
+        assert_eq!(registry.residence_of(1), None);
+        // Evicting a non-resident model is a no-op; unknown ids are typed.
+        assert!(registry.evict(1).unwrap().is_none());
+        assert!(matches!(
+            registry.evict(42),
+            Err(RegistryError::UnknownModel { model: 42 })
+        ));
+        assert_bit_identical(&registry.serve_many(1, &samples), &reference);
+    }
+
+    /// Satellite: a model snapshot round-trips through the JSON serde shim
+    /// — restore on a fresh registry rebuilds the engine from bytes (no
+    /// training data) and serves bit-identically to the original.
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        let (engine, samples, reference) = tenant(958);
+        let tiles = engine.tiled_program().plan().tile_count();
+        let registry = ModelRegistry::new(RegistryConfig::new(1, tiles)).unwrap();
+        registry.register_engine(7, engine).unwrap();
+        let snapshot = registry.snapshot(7).unwrap();
+        assert!(snapshot.contains("\"program\""));
+        assert!(matches!(
+            registry.snapshot(8),
+            Err(RegistryError::UnknownModel { model: 8 })
+        ));
+        let restored = ModelRegistry::new(RegistryConfig::new(1, tiles)).unwrap();
+        let placed = restored.restore(&snapshot).unwrap();
+        assert_eq!(placed.model, 7);
+        assert!(placed.swap.unwrap().program.pulses > 0);
+        assert_bit_identical(&restored.serve_many(7, &samples), &reference);
+        // A second restore of the same id is a duplicate; garbage is typed.
+        assert!(matches!(
+            restored.restore(&snapshot),
+            Err(RegistryError::DuplicateModel { model: 7 })
+        ));
+        assert!(matches!(
+            restored.restore("{not json"),
+            Err(RegistryError::Snapshot(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Satellite pin: after an arbitrary evict/install churn, surviving
+        /// tenants read bit-identically to freshly programmed grids — the
+        /// region-scoped erase of a departing neighbour never corrupts (or
+        /// even invalidates) a survivor's tiles.
+        #[test]
+        fn post_swap_reads_match_freshly_programmed_grids(seed in 0u64..12) {
+            let (engine_a, samples_a, reference_a) = tenant(seed);
+            let (engine_b, samples_b, reference_b) = tenant(seed + 100);
+            let tiles = engine_a.tiled_program().plan().tile_count();
+            let registry = ModelRegistry::new(RegistryConfig::new(1, tiles)).unwrap();
+            registry.register_engine(1, engine_a).unwrap();
+            // B evicts A; A's next serve evicts B; then B faults back in.
+            let placed = registry.register_engine(2, engine_b).unwrap();
+            prop_assert_eq!(&placed.evicted, &vec![1u64]);
+            for (index, sample) in samples_a.iter().enumerate().take(3) {
+                let outcome = registry.serve(1, sample).unwrap();
+                prop_assert_eq!(outcome.prediction, reference_a[index].prediction);
+                prop_assert_eq!(outcome.delay, reference_a[index].delay);
+                prop_assert_eq!(outcome.energy, reference_a[index].energy);
+            }
+            for (index, sample) in samples_b.iter().enumerate().take(3) {
+                let outcome = registry.serve(2, sample).unwrap();
+                prop_assert_eq!(outcome.prediction, reference_b[index].prediction);
+                prop_assert_eq!(outcome.delay, reference_b[index].delay);
+                prop_assert_eq!(outcome.energy, reference_b[index].energy);
+            }
+            let stats = registry.shutdown();
+            prop_assert_eq!(stats.failed_requests, 0);
+            prop_assert!(stats.swaps >= 4);
+        }
+    }
+}

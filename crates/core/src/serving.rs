@@ -58,7 +58,9 @@
 //! everything still queued, so blocked [`ServingPool::submit_blocking`]
 //! callers fail fast instead of waiting on rings nothing will ever pop.
 
+use std::any::Any;
 use std::cell::UnsafeCell;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::mem::MaybeUninit;
@@ -71,7 +73,7 @@ use serde::{Deserialize, Serialize};
 
 use febim_circuit::{DelayBreakdown, InferenceEnergy};
 
-use crate::backend::{BatchTelemetry, InferenceBackend};
+use crate::backend::{BatchTelemetry, InferenceBackend, SwapCost};
 use crate::engine::{FebimEngine, InferenceStep};
 use crate::errors::CoreError;
 use crate::health::{ReplicaHealth, ScrubPolicy, ScrubScheduler};
@@ -235,6 +237,19 @@ pub enum ServingError {
     ShutDown,
     /// The request reached a worker but inference failed.
     Inference(CoreError),
+    /// A routed request names a model no worker currently hosts (never
+    /// registered, or evicted from the pool).
+    ModelUnavailable {
+        /// The model id the request was routed by.
+        model: u64,
+    },
+    /// Spawning a worker thread failed while building the pool; the
+    /// already-spawned workers were shut down cleanly before this error
+    /// surfaced.
+    WorkerSpawn {
+        /// The OS error that rejected the thread.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -249,6 +264,12 @@ impl fmt::Display for ServingError {
             }
             ServingError::ShutDown => write!(f, "serving pool is shut down"),
             ServingError::Inference(err) => write!(f, "inference failed: {err}"),
+            ServingError::ModelUnavailable { model } => {
+                write!(f, "no worker hosts model {model}")
+            }
+            ServingError::WorkerSpawn { reason } => {
+                write!(f, "failed to spawn a serving worker thread: {reason}")
+            }
         }
     }
 }
@@ -569,6 +590,9 @@ struct Job {
     /// Worker that last failed this job; it bounces the job to a surviving
     /// replica instead of retrying on the replica that already failed it.
     avoid: Option<usize>,
+    /// Model id of a routed request (`None` on replica pools, where every
+    /// worker serves the one shared model).
+    model: Option<u64>,
 }
 
 impl Job {
@@ -579,7 +603,15 @@ impl Job {
             submitted: Instant::now(),
             attempts: 0,
             avoid: None,
+            model: None,
         }
+    }
+
+    /// A request routed to a specific tenant model of a routed pool.
+    fn routed(sample: Vec<f64>, ticket: Arc<TicketCell>, model: u64) -> Self {
+        let mut job = Self::new(sample, ticket);
+        job.model = Some(model);
+        job
     }
 
     fn complete(mut self, result: ServeResult) {
@@ -673,6 +705,15 @@ impl Ring {
                 pos = self.enqueue.load(Ordering::Relaxed);
             }
         }
+    }
+
+    /// Approximate fullness check (exact when no push/pop races it). Used
+    /// only by the routed blocking producer to decide whether to park, where
+    /// a stale answer just costs one extra retry loop.
+    fn is_full(&self) -> bool {
+        let enqueue = self.enqueue.load(Ordering::Relaxed);
+        let dequeue = self.dequeue.load(Ordering::Relaxed);
+        enqueue.wrapping_sub(dequeue) >= self.slots.len()
     }
 
     /// Non-blocking pop; `None` when the ring is empty.
@@ -786,10 +827,40 @@ struct PoolShared {
     /// a submitter wake can never land on a worker that must not serve.
     quarantine_lock: Mutex<()>,
     quarantine_cv: Condvar,
+    /// Routed mode: each worker hosts its own set of tenant models, jobs are
+    /// pinned to the worker hosting their model, and workers neither steal
+    /// from each other nor rely on `notify_one` wakes that could land on a
+    /// different tenant's worker.
+    routed: bool,
+    /// Per-ring admitted-but-not-popped counts. Only load-bearing in routed
+    /// mode, where a worker's park/wake condition is *its own* ring rather
+    /// than the global count (a neighbour tenant's backlog must not keep it
+    /// spinning).
+    ring_queued: Vec<AtomicUsize>,
+    /// model id → hosting worker of a routed pool.
+    routes: Mutex<HashMap<u64, usize>>,
+    /// One hot-swap request mailbox per routed worker.
+    mailboxes: Vec<Mailbox>,
+}
+
+/// Type-erased swap-request mailbox of one routed worker. Entries are boxed
+/// `SwapRequest<B>` values; the generic worker downcasts on receipt (a
+/// mismatched box is dropped, which answers its ticket with the shutdown
+/// error through the request's drop guard).
+#[derive(Default)]
+struct Mailbox(Mutex<Vec<Box<dyn Any + Send>>>);
+
+impl fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pending = self.0.lock().unwrap_or_else(PoisonError::into_inner).len();
+        f.debug_struct("Mailbox")
+            .field("pending", &pending)
+            .finish()
+    }
 }
 
 impl PoolShared {
-    fn new(workers: usize, capacity: usize) -> Self {
+    fn new(workers: usize, capacity: usize, routed: bool) -> Self {
         let per_ring = capacity.div_ceil(workers).next_power_of_two().max(2);
         Self {
             rings: (0..workers).map(|_| Ring::new(per_ring)).collect(),
@@ -812,7 +883,36 @@ impl PoolShared {
             serving_workers: AtomicUsize::new(workers),
             quarantine_lock: Mutex::new(()),
             quarantine_cv: Condvar::new(),
+            routed,
+            ring_queued: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            routes: Mutex::new(HashMap::new()),
+            mailboxes: (0..workers).map(|_| Mailbox::default()).collect(),
         }
+    }
+
+    /// Maps `model` to its hosting worker (routed pools).
+    fn set_route(&self, model: u64, worker: usize) {
+        self.routes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(model, worker);
+    }
+
+    /// Drops `model`'s route; returns the worker that hosted it, if any.
+    fn unroute(&self, model: u64) -> Option<usize> {
+        self.routes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&model)
+    }
+
+    /// Looks up the worker hosting `model`.
+    fn route_of(&self, model: u64) -> Option<usize> {
+        self.routes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&model)
+            .copied()
     }
 
     /// Lock-free read of one replica's published health.
@@ -876,6 +976,9 @@ impl PoolShared {
 
     /// Non-blocking admission + placement. On failure the job is handed
     /// back untouched alongside the typed error.
+    // The large Err is the point: rejected jobs come back by value so the
+    // backpressure path never allocates.
+    #[allow(clippy::result_large_err)]
     fn try_push(&self, job: Job) -> Result<(), (Job, ServingError)> {
         self.pushing.fetch_add(1, Ordering::SeqCst);
         let result = self.try_push_inner(job);
@@ -883,6 +986,7 @@ impl PoolShared {
         result
     }
 
+    #[allow(clippy::result_large_err)]
     fn try_push_inner(&self, job: Job) -> Result<(), (Job, ServingError)> {
         if self.closed.load(Ordering::SeqCst) {
             return Err((job, ServingError::ShutDown));
@@ -921,7 +1025,10 @@ impl PoolShared {
                     continue;
                 }
                 match self.rings[index].push(job) {
-                    Ok(()) => break 'place,
+                    Ok(()) => {
+                        self.ring_queued[index].fetch_add(1, Ordering::SeqCst);
+                        break 'place;
+                    }
                     Err(returned) => job = returned,
                 }
             }
@@ -930,8 +1037,12 @@ impl PoolShared {
                 // through stealing, so overflow there beats spinning until a
                 // serving worker frees a slot.
                 for offset in 0..rings {
-                    match self.rings[(start + offset) % rings].push(job) {
-                        Ok(()) => break 'place,
+                    let index = (start + offset) % rings;
+                    match self.rings[index].push(job) {
+                        Ok(()) => {
+                            self.ring_queued[index].fetch_add(1, Ordering::SeqCst);
+                            break 'place;
+                        }
                         Err(returned) => job = returned,
                     }
                 }
@@ -941,6 +1052,86 @@ impl PoolShared {
         fence(Ordering::SeqCst);
         self.wake_worker();
         Ok(())
+    }
+
+    /// Non-blocking routed admission: the job must land on `worker`'s ring
+    /// (its model lives there and nobody steals), so a full ring means
+    /// `QueueFull` rather than a reason to overflow onto another ring.
+    #[allow(clippy::result_large_err)]
+    fn try_push_to(&self, worker: usize, job: Job) -> Result<(), (Job, ServingError)> {
+        self.pushing.fetch_add(1, Ordering::SeqCst);
+        let result = self.try_push_to_inner(worker, job);
+        self.pushing.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn try_push_to_inner(&self, worker: usize, job: Job) -> Result<(), (Job, ServingError)> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err((job, ServingError::ShutDown));
+        }
+        if self.queued.fetch_add(1, Ordering::SeqCst) >= self.capacity {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err((
+                job,
+                ServingError::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        match self.rings[worker].push(job) {
+            Ok(()) => {
+                self.ring_queued[worker].fetch_add(1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                self.wake_worker();
+                Ok(())
+            }
+            Err(returned) => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                Err((
+                    returned,
+                    ServingError::QueueFull {
+                        capacity: self.capacity,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Blocking routed admission: waits for space on `worker`'s ring.
+    fn push_to_blocking(&self, worker: usize, job: Job) -> Result<(), ServingError> {
+        let mut job = job;
+        loop {
+            match self.try_push_to(worker, job) {
+                Ok(()) => return Ok(()),
+                Err((returned, ServingError::QueueFull { .. })) => {
+                    job = returned;
+                    let guard = self
+                        .space_lock
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    self.blocked.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    // Recheck after registering (same Dekker pattern as
+                    // `push_blocking`); the target ring being full blocks a
+                    // routed producer even when the global count has room.
+                    if !self.closed.load(Ordering::SeqCst)
+                        && (self.queued.load(Ordering::SeqCst) >= self.capacity
+                            || self.rings[worker].is_full())
+                    {
+                        drop(
+                            self.space_cv
+                                .wait(guard)
+                                .unwrap_or_else(PoisonError::into_inner),
+                        );
+                    } else {
+                        drop(guard);
+                    }
+                    self.blocked.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err((_, err)) => return Err(err),
+            }
+        }
     }
 
     /// Blocking admission: waits for a slot instead of rejecting.
@@ -982,18 +1173,26 @@ impl PoolShared {
     /// first, then stealing round-robin from the others. Returns how many
     /// jobs this sweep added.
     fn pop_any(&self, worker: usize, batch: &mut Vec<Job>, max_batch: usize) -> usize {
-        let rings = self.rings.len();
+        // Routed workers host distinct tenant models, so a steal would hand
+        // a job to a worker that cannot serve it: sweep the own ring only.
+        let sweep = if self.routed { 1 } else { self.rings.len() };
         let mut got = 0usize;
-        for offset in 0..rings {
-            let ring = &self.rings[(worker + offset) % rings];
+        for offset in 0..sweep {
+            let index = (worker + offset) % self.rings.len();
+            let ring = &self.rings[index];
+            let mut from_ring = 0usize;
             while batch.len() < max_batch {
                 match ring.pop() {
                     Some(job) => {
                         batch.push(job);
-                        got += 1;
+                        from_ring += 1;
                     }
                     None => break,
                 }
+            }
+            if from_ring > 0 {
+                self.ring_queued[index].fetch_sub(from_ring, Ordering::SeqCst);
+                got += from_ring;
             }
             if batch.len() >= max_batch {
                 break;
@@ -1012,7 +1211,18 @@ impl PoolShared {
     /// with the submitter's queued-then-sleepers order and the requester's
     /// bump-then-sleepers order), so neither a push nor a recalibration
     /// request can slip between the empty sweep and the wait.
-    fn idle_wait(&self, recalibration_seen: u64) {
+    /// Work visible to `worker` while deciding whether to park: its own
+    /// ring's count in routed mode (it cannot steal, so a neighbour tenant's
+    /// backlog must not keep it awake), the global count otherwise.
+    fn pending_work(&self, worker: usize) -> usize {
+        if self.routed {
+            self.ring_queued[worker].load(Ordering::SeqCst)
+        } else {
+            self.queued.load(Ordering::SeqCst)
+        }
+    }
+
+    fn idle_wait(&self, worker: usize, recalibration_seen: u64) {
         let guard = self
             .idle_lock
             .lock()
@@ -1020,7 +1230,7 @@ impl PoolShared {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         fence(Ordering::SeqCst);
         if self.closed.load(Ordering::SeqCst)
-            || self.queued.load(Ordering::SeqCst) > 0
+            || self.pending_work(worker) > 0
             || self.recalibration.load(Ordering::SeqCst) != recalibration_seen
         {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -1038,14 +1248,20 @@ impl PoolShared {
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Wakes one idle worker, if any is actually parked.
+    /// Wakes one idle worker, if any is actually parked. Routed pools wake
+    /// everyone: a `notify_one` could land on a worker hosting a different
+    /// tenant, which would re-park while the right worker keeps sleeping.
     fn wake_worker(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self
                 .idle_lock
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            self.idle_cv.notify_one();
+            if self.routed {
+                self.idle_cv.notify_all();
+            } else {
+                self.idle_cv.notify_one();
+            }
         }
     }
 
@@ -1089,9 +1305,14 @@ impl PoolShared {
     /// [`PoolShared::close`]).
     fn drain_remaining(&self) -> Vec<Job> {
         let mut drained = Vec::new();
-        for ring in &self.rings {
+        for (index, ring) in self.rings.iter().enumerate() {
+            let mut from_ring = 0usize;
             while let Some(job) = ring.pop() {
                 drained.push(job);
+                from_ring += 1;
+            }
+            if from_ring > 0 {
+                self.ring_queued[index].fetch_sub(from_ring, Ordering::SeqCst);
             }
         }
         if !drained.is_empty() {
@@ -1134,7 +1355,7 @@ impl PoolShared {
             if self.recalibration.load(Ordering::SeqCst) != recalibration_seen {
                 return FillOutcome::Recalibrate;
             }
-            self.idle_wait(recalibration_seen);
+            self.idle_wait(worker, recalibration_seen);
         }
         let mut ticks = 0u32;
         while batch.len() < max_batch
@@ -1228,6 +1449,16 @@ pub struct WorkerReport {
     /// after every physical replica was quarantined (also counted in
     /// `requests`).
     pub fallback_served: u64,
+    /// Hot swaps (evict and/or install of tenant models) this routed worker
+    /// serviced between batches.
+    pub swaps: u64,
+    /// Σ erase + programming pulses those swaps applied to the fabric.
+    pub swap_pulses: u64,
+    /// Σ erase + programming energy those swaps spent, in joules.
+    pub swap_energy_j: f64,
+    /// Routed requests answered with [`ServingError::ModelUnavailable`]
+    /// because the model was swapped out after the request was queued.
+    pub unrouted: u64,
     /// Whether this replica ended the run quarantined.
     pub quarantined: bool,
     /// Whether this worker's thread died (panicked) instead of reporting:
@@ -1301,6 +1532,16 @@ pub struct PoolStats {
     /// Requests answered through the exact software fallback, across all
     /// workers.
     pub fallback_served: u64,
+    /// Hot swaps serviced across all routed workers.
+    pub swaps: u64,
+    /// Σ erase + programming pulses applied by hot swaps, across all
+    /// workers.
+    pub swap_pulses: u64,
+    /// Σ erase + programming energy spent by hot swaps, in joules.
+    pub swap_energy_j: f64,
+    /// Routed requests answered with [`ServingError::ModelUnavailable`],
+    /// across all workers.
+    pub unrouted: u64,
     /// Replicas that ended the run quarantined.
     pub quarantined_workers: u64,
     /// Per-worker breakdown.
@@ -1337,6 +1578,10 @@ impl PoolStats {
             health_transitions: 0,
             failovers: 0,
             fallback_served: 0,
+            swaps: 0,
+            swap_pulses: 0,
+            swap_energy_j: 0.0,
+            unrouted: 0,
             quarantined_workers: 0,
             workers,
         };
@@ -1367,6 +1612,10 @@ impl PoolStats {
             stats.health_transitions += report.health_transitions;
             stats.failovers += report.failovers;
             stats.fallback_served += report.fallback_served;
+            stats.swaps += report.swaps;
+            stats.swap_pulses += report.swap_pulses;
+            stats.swap_energy_j += report.swap_energy_j;
+            stats.unrouted += report.unrouted;
             stats.quarantined_workers += u64::from(report.quarantined);
             queue_wait.merge(&report.queue_wait);
             end_to_end.merge(&report.end_to_end);
@@ -1403,6 +1652,48 @@ impl PoolStats {
 // The pool
 // ---------------------------------------------------------------------------
 
+/// One worker thread's body, type-erased so replica and routed pools share
+/// the spawn path.
+type WorkerBody = Box<dyn FnOnce() -> WorkerReport + Send + 'static>;
+
+/// Injectable thread spawner (name + body → handle or the OS error), so the
+/// spawn-failure recovery path is testable without exhausting real threads.
+type SpawnFn<'a> =
+    &'a mut dyn FnMut(String, WorkerBody) -> std::io::Result<JoinHandle<WorkerReport>>;
+
+fn default_spawner(name: String, body: WorkerBody) -> std::io::Result<JoinHandle<WorkerReport>> {
+    std::thread::Builder::new().name(name).spawn(body)
+}
+
+/// Spawns every worker body, converting an OS spawn failure into the typed
+/// [`ServingError::WorkerSpawn`] instead of panicking the constructor: the
+/// pool closes, the already-spawned workers drain and join, and the
+/// unspawned bodies are dropped — their captured guards keep the alive
+/// count honest so the close-and-reject handoff still runs exactly once.
+fn spawn_workers(
+    shared: &Arc<PoolShared>,
+    bodies: Vec<(String, WorkerBody)>,
+    spawner: SpawnFn<'_>,
+) -> Result<Vec<JoinHandle<WorkerReport>>, ServingError> {
+    let mut workers = Vec::with_capacity(bodies.len());
+    let mut bodies = bodies.into_iter();
+    while let Some((name, body)) = bodies.next() {
+        match spawner(name, body) {
+            Ok(handle) => workers.push(handle),
+            Err(err) => {
+                let reason = err.to_string();
+                shared.close();
+                drop(bodies);
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(ServingError::WorkerSpawn { reason });
+            }
+        }
+    }
+    Ok(workers)
+}
+
 /// A pool of engine replicas serving batched inference requests.
 ///
 /// The pool is backend-erased: any [`InferenceBackend`] builds one, and
@@ -1430,13 +1721,23 @@ impl ServingPool {
         engines: Vec<FebimEngine<B>>,
         config: ServingConfig,
     ) -> Result<Self, ServingError> {
+        Self::new_inner(engines, config, &mut default_spawner)
+    }
+
+    /// [`ServingPool::new`] with an injectable thread spawner, so the
+    /// spawn-failure recovery path is testable without exhausting the OS.
+    fn new_inner<B: InferenceBackend + Send + 'static>(
+        engines: Vec<FebimEngine<B>>,
+        config: ServingConfig,
+        spawner: SpawnFn<'_>,
+    ) -> Result<Self, ServingError> {
         config.validate()?;
         if engines.is_empty() {
             return Err(ServingError::NoReplicas);
         }
-        let shared = Arc::new(PoolShared::new(engines.len(), config.queue_depth));
+        let shared = Arc::new(PoolShared::new(engines.len(), config.queue_depth, false));
         let alive = Arc::new(AtomicUsize::new(engines.len()));
-        let workers = engines
+        let bodies = engines
             .into_iter()
             .enumerate()
             .map(|(worker, engine)| {
@@ -1445,17 +1746,74 @@ impl ServingPool {
                     shared: Arc::clone(&shared),
                     alive: Arc::clone(&alive),
                 };
-                std::thread::Builder::new()
-                    .name(format!("febim-serve-{worker}"))
-                    .spawn(move || {
-                        // Runs on every exit path, including panic unwind:
-                        // the last worker out closes and rejects the rings.
-                        let _guard = guard;
-                        worker_loop(worker, engine, &shared, config)
-                    })
-                    .expect("spawn serving worker")
+                let body: WorkerBody = Box::new(move || {
+                    // Runs on every exit path, including panic unwind:
+                    // the last worker out closes and rejects the rings.
+                    let _guard = guard;
+                    worker_loop(worker, engine, &shared, config)
+                });
+                (format!("febim-serve-{worker}"), body)
             })
             .collect();
+        let workers = spawn_workers(&shared, bodies, spawner)?;
+        Ok(Self {
+            shared,
+            workers,
+            config,
+        })
+    }
+
+    /// Spawns one *routed* worker per bank of tenant models. Each bank's
+    /// worker hosts its own engines (one per model id) and serves only the
+    /// requests routed to those models via [`ServingPool::submit_routed`];
+    /// routed workers never steal from each other, so a hot swap or a
+    /// backlog on one bank cannot stall another bank's tenants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::NoReplicas`] for an empty bank set,
+    /// [`ServingError::InvalidConfig`] when a model id appears on two
+    /// banks, and the same validation/spawn errors as [`ServingPool::new`].
+    pub fn new_routed<B: InferenceBackend + Send + 'static>(
+        banks: Vec<Vec<(u64, FebimEngine<B>)>>,
+        config: ServingConfig,
+    ) -> Result<Self, ServingError> {
+        config.validate()?;
+        if banks.is_empty() {
+            return Err(ServingError::NoReplicas);
+        }
+        let shared = Arc::new(PoolShared::new(banks.len(), config.queue_depth, true));
+        {
+            let mut routes = shared.routes.lock().unwrap_or_else(PoisonError::into_inner);
+            for (worker, bank) in banks.iter().enumerate() {
+                for (model, _) in bank {
+                    if routes.insert(*model, worker).is_some() {
+                        return Err(ServingError::InvalidConfig {
+                            name: "banks",
+                            reason: format!("model id {model} registered on two banks"),
+                        });
+                    }
+                }
+            }
+        }
+        let alive = Arc::new(AtomicUsize::new(banks.len()));
+        let bodies = banks
+            .into_iter()
+            .enumerate()
+            .map(|(worker, bank)| {
+                let shared = Arc::clone(&shared);
+                let guard = WorkerGuard {
+                    shared: Arc::clone(&shared),
+                    alive: Arc::clone(&alive),
+                };
+                let body: WorkerBody = Box::new(move || {
+                    let _guard = guard;
+                    routed_worker_loop(worker, bank, &shared, config)
+                });
+                (format!("febim-route-{worker}"), body)
+            })
+            .collect();
+        let workers = spawn_workers(&shared, bodies, &mut default_spawner)?;
         Ok(Self {
             shared,
             workers,
@@ -1579,6 +1937,117 @@ impl ServingPool {
             .into_iter()
             .map(|ticket| ticket.and_then(Ticket::wait))
             .collect()
+    }
+
+    /// Worker (bank) currently hosting `model`, if any. Always `None` on a
+    /// replica pool built with [`ServingPool::new`].
+    pub fn route_of(&self, model: u64) -> Option<usize> {
+        self.shared.route_of(model)
+    }
+
+    /// Submits one request routed to `model` without blocking (routed pools
+    /// only; see [`ServingPool::new_routed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::ModelUnavailable`] when no worker hosts
+    /// `model`, and [`ServingError::QueueFull`] when the hosting worker's
+    /// ring is full — routed requests cannot overflow onto another bank.
+    pub fn submit_routed(&self, model: u64, sample: Vec<f64>) -> Result<Ticket, ServingError> {
+        let worker = self
+            .shared
+            .route_of(model)
+            .ok_or(ServingError::ModelUnavailable { model })?;
+        let cell = Arc::new(TicketCell::new());
+        match self
+            .shared
+            .try_push_to(worker, Job::routed(sample, Arc::clone(&cell), model))
+        {
+            Ok(()) => Ok(Ticket { cell }),
+            Err((job, err)) => {
+                // The job never entered a ring; disarm its drop guard so the
+                // unused cell is not "answered".
+                drop(job);
+                Err(err)
+            }
+        }
+    }
+
+    /// Submits one routed request, waiting for a slot on the hosting
+    /// worker's ring when it is full (blocking backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::ModelUnavailable`] when no worker hosts
+    /// `model`, and [`ServingError::ShutDown`] when the pool closes while
+    /// the request waits for a slot.
+    pub fn submit_routed_blocking(
+        &self,
+        model: u64,
+        sample: Vec<f64>,
+    ) -> Result<Ticket, ServingError> {
+        let worker = self
+            .shared
+            .route_of(model)
+            .ok_or(ServingError::ModelUnavailable { model })?;
+        let cell = Arc::new(TicketCell::new());
+        self.shared
+            .push_to_blocking(worker, Job::routed(sample, Arc::clone(&cell), model))?;
+        Ok(Ticket { cell })
+    }
+
+    /// Convenience: submits every sample routed to `model` (blocking
+    /// backpressure) and waits for all answers, in submission order.
+    pub fn serve_model(&self, model: u64, samples: &[Vec<f64>]) -> Vec<ServeResult> {
+        let tickets: Vec<Result<Ticket, ServingError>> = samples
+            .iter()
+            .map(|sample| self.submit_routed_blocking(model, sample.clone()))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|ticket| ticket.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Posts a hot swap to routed worker `worker`: evict the listed models
+    /// (erasing their tile regions) and install the pre-built engine, all
+    /// between that worker's batches — other banks' tenants are never
+    /// stalled. Evicted models stop routing immediately, so new requests
+    /// for them get [`ServingError::ModelUnavailable`]; requests already
+    /// queued for an evicted model are answered the same way by the
+    /// servicing worker. The install's programming cost is priced
+    /// analytically (Preisach pulse trains) before posting; the evictions'
+    /// erase cost is measured on the fabric as the worker tears them down.
+    pub(crate) fn post_swap<B: InferenceBackend + Send + 'static>(
+        &self,
+        worker: usize,
+        evict: Vec<u64>,
+        install: Option<(u64, FebimEngine<B>)>,
+    ) -> SwapTicket {
+        let program = install
+            .as_ref()
+            .and_then(|(_, engine)| engine.program_cost())
+            .unwrap_or_default();
+        for model in &evict {
+            self.shared.unroute(*model);
+        }
+        let done = Arc::new(SwapDone::default());
+        let request = SwapRequest {
+            evict,
+            install,
+            program,
+            done: Some(Arc::clone(&done)),
+        };
+        self.shared.mailboxes[worker]
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Box::new(request));
+        // The maintenance generation bump doubles as the swap doorbell: it
+        // wakes the worker if parked and makes a busy one run its
+        // between-batches check, where the mailbox is drained.
+        self.request_recalibration();
+        SwapTicket { done }
     }
 
     /// Graceful shutdown: closes the intake, lets the workers answer every
@@ -1733,6 +2202,7 @@ fn requeue(shared: &PoolShared, worker: usize, job: Job) -> Option<Job> {
             }
             match shared.rings[index].push(job) {
                 Ok(()) => {
+                    shared.ring_queued[index].fetch_add(1, Ordering::SeqCst);
                     fence(Ordering::SeqCst);
                     shared.wake_worker();
                     return None;
@@ -1928,13 +2398,16 @@ fn worker_loop<B: InferenceBackend>(
     let mut steps: Vec<InferenceStep> = Vec::with_capacity(config.max_batch);
     let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
     let mut samples: Vec<Vec<f64>> = Vec::with_capacity(config.max_batch);
-    // The scheduler policies were validated with the serving config.
+    // The scheduler policies were validated with the serving config, so a
+    // failed build here should be unreachable — but a worker thread must
+    // never panic over maintenance plumbing: it degrades to serving without
+    // the scheduler instead (requests still get answers).
     let mut scheduler = config
         .recalibration
-        .map(|policy| RecalibrationScheduler::new(policy).expect("validated recalibration policy"));
+        .and_then(|policy| RecalibrationScheduler::new(policy).ok());
     let mut scrubber = config
         .scrub
-        .map(|policy| ScrubScheduler::new(policy).expect("validated scrub policy"));
+        .and_then(|policy| ScrubScheduler::new(policy).ok());
     let mut recalibration_seen = shared.recalibration.load(Ordering::SeqCst);
     loop {
         batch.clear();
@@ -2112,6 +2585,309 @@ fn fallback_loop(
             true,
         );
     }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Routed (multi-tenant) serving
+// ---------------------------------------------------------------------------
+
+/// What one serviced hot swap did, returned through [`SwapTicket::wait`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SwapReport {
+    /// Routed worker (bank) the swap ran on.
+    pub worker: usize,
+    /// Model ids evicted from the bank (their tile regions erased).
+    pub evicted: Vec<u64>,
+    /// Model id installed, if the swap carried one.
+    pub installed: Option<u64>,
+    /// Erase cost of tearing the evicted programs off the fabric.
+    pub erase: SwapCost,
+    /// Programming cost of the installed program (Preisach pulse pricing).
+    pub program: SwapCost,
+}
+
+/// Completion cell of one posted hot swap. A condvar, not a spin-park:
+/// swaps are control-plane rare and wait out whole batches, not
+/// microseconds.
+#[derive(Debug, Default)]
+struct SwapDone {
+    slot: Mutex<Option<Result<SwapReport, ServingError>>>,
+    cv: Condvar,
+}
+
+impl SwapDone {
+    fn complete(&self, result: Result<SwapReport, ServingError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Handle of a posted hot swap; resolves when the target worker services
+/// the request between two of its batches.
+#[derive(Debug)]
+pub struct SwapTicket {
+    done: Arc<SwapDone>,
+}
+
+impl SwapTicket {
+    /// Blocks until the swap is serviced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::ShutDown`] when the pool shuts down with the
+    /// swap still pending.
+    pub fn wait(self) -> Result<SwapReport, ServingError> {
+        let mut slot = self
+            .done
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .done
+                .cv
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A hot-swap request parked in a routed worker's mailbox: model ids to
+/// evict and (optionally) a pre-built engine to install in their place. The
+/// drop guard answers the ticket with the shutdown error if the request
+/// dies unserviced (pool shutdown with the swap still queued, or a mailbox
+/// downcast mismatch), so [`SwapTicket::wait`] can never hang.
+struct SwapRequest<B: InferenceBackend> {
+    evict: Vec<u64>,
+    install: Option<(u64, FebimEngine<B>)>,
+    /// Programming cost of `install`, priced analytically before posting so
+    /// the servicing worker charges it without re-deriving pulse trains.
+    program: SwapCost,
+    done: Option<Arc<SwapDone>>,
+}
+
+impl<B: InferenceBackend> Drop for SwapRequest<B> {
+    fn drop(&mut self) {
+        if let Some(done) = self.done.take() {
+            done.complete(Err(ServingError::ShutDown));
+        }
+    }
+}
+
+/// One tenant model hosted by a routed worker: its engine plus a dedicated
+/// scratch (scratch dimensions depend on the model's class/feature counts,
+/// so tenants cannot share one).
+struct TenantSlot<B: InferenceBackend> {
+    model: u64,
+    engine: FebimEngine<B>,
+    scratch: crate::engine::EvalScratch,
+}
+
+/// Drains a routed worker's swap mailbox: evicts models (tearing their tile
+/// regions off the fabric and pricing the erase pulses), installs the
+/// pre-built replacement engine, publishes the new route and answers the
+/// swap ticket. Runs strictly between batches — every ticket of the
+/// previous batch is already answered when this is called.
+fn service_swaps<B: InferenceBackend + 'static>(
+    worker: usize,
+    bank: &mut Vec<TenantSlot<B>>,
+    shared: &PoolShared,
+    report: &mut WorkerReport,
+) {
+    loop {
+        let boxed = {
+            let mut mailbox = shared.mailboxes[worker]
+                .0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match mailbox.pop() {
+                Some(boxed) => boxed,
+                None => return,
+            }
+        };
+        // A box that is not a SwapRequest<B> cannot be serviced here; drop
+        // it and let its guard (if any) answer the ticket.
+        let Ok(mut request) = boxed.downcast::<SwapRequest<B>>() else {
+            continue;
+        };
+        let mut erase = SwapCost::default();
+        let evicted = std::mem::take(&mut request.evict);
+        for model in &evicted {
+            shared.unroute(*model);
+            let Some(index) = bank.iter().position(|slot| slot.model == *model) else {
+                continue;
+            };
+            let mut slot = bank.swap_remove(index);
+            // Tear the program off the fabric; the scoped erase invalidates
+            // only this model's tiles, so survivors keep their caches.
+            if let Ok(Some(cost)) = slot.engine.decommission() {
+                erase.absorb(cost);
+            }
+        }
+        let installed = request.install.take().map(|(model, engine)| {
+            let scratch = engine.make_scratch();
+            bank.push(TenantSlot {
+                model,
+                engine,
+                scratch,
+            });
+            shared.set_route(model, worker);
+            model
+        });
+        let program = request.program;
+        report.swaps += 1;
+        report.swap_pulses += erase.pulses + program.pulses;
+        report.swap_energy_j += erase.energy_j + program.energy_j;
+        if let Some(done) = request.done.take() {
+            done.complete(Ok(SwapReport {
+                worker,
+                evicted,
+                installed,
+                erase,
+                program,
+            }));
+        }
+    }
+}
+
+/// Serving loop of one routed worker: pops only its own ring (jobs are
+/// pinned to the bank hosting their model), groups each batch by model id
+/// and dispatches every group through the grouped-read path on that
+/// tenant's engine. Between batches it services hot-swap requests from its
+/// mailbox and ages every tenant replica; a request whose model was swapped
+/// out after queueing is answered with the typed
+/// [`ServingError::ModelUnavailable`]. No stealing, no failover: tenants
+/// live on exactly one bank.
+fn routed_worker_loop<B: InferenceBackend + 'static>(
+    worker: usize,
+    bank: Vec<(u64, FebimEngine<B>)>,
+    shared: &PoolShared,
+    config: ServingConfig,
+) -> WorkerReport {
+    let mut report = WorkerReport {
+        worker,
+        ..WorkerReport::default()
+    };
+    let mut bank: Vec<TenantSlot<B>> = bank
+        .into_iter()
+        .map(|(model, engine)| {
+            let scratch = engine.make_scratch();
+            TenantSlot {
+                model,
+                engine,
+                scratch,
+            }
+        })
+        .collect();
+    let mut steps: Vec<InferenceStep> = Vec::with_capacity(config.max_batch);
+    let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch);
+    let mut sub: Vec<Job> = Vec::with_capacity(config.max_batch);
+    let mut samples: Vec<Vec<f64>> = Vec::with_capacity(config.max_batch);
+    let mut recalibration_seen = shared.recalibration.load(Ordering::SeqCst);
+    // Drain the mailbox once before serving: a swap posted during thread
+    // start-up may have bumped the generation before the load above, in
+    // which case no later doorbell distinguishes it from the initial value.
+    // The load-then-drain order re-establishes the invariant that
+    // `seen == G` implies every request posted before the bump to `G` has
+    // been serviced.
+    service_swaps(worker, &mut bank, shared, &mut report);
+    loop {
+        batch.clear();
+        match shared.fill_batch(
+            worker,
+            &mut batch,
+            config.max_batch,
+            config.max_wait_ticks,
+            recalibration_seen,
+        ) {
+            FillOutcome::Closed => break,
+            FillOutcome::Recalibrate => {
+                // The generation counter doubles as the swap doorbell on
+                // routed pools; an idle bump means the mailbox may hold work.
+                recalibration_seen = shared.recalibration.load(Ordering::SeqCst);
+                service_swaps(worker, &mut bank, shared, &mut report);
+                continue;
+            }
+            FillOutcome::Batch => {}
+        }
+        if !shared.answer_drained.load(Ordering::SeqCst) {
+            // Abort in progress: reject instead of serving.
+            report.shutdown_rejected += batch.len() as u64;
+            for job in batch.drain(..) {
+                job.complete(Err(ServingError::ShutDown));
+            }
+            continue;
+        }
+        // Dispatch the batch one model group at a time: partition the jobs
+        // of the first remaining model into `sub`, serve it on that
+        // tenant's engine, repeat until the batch is empty.
+        while let Some(model) = batch.first().and_then(|job| job.model) {
+            sub.clear();
+            let mut index = 0;
+            while index < batch.len() {
+                if batch[index].model == Some(model) {
+                    sub.push(batch.swap_remove(index));
+                } else {
+                    index += 1;
+                }
+            }
+            match bank.iter_mut().find(|slot| slot.model == model) {
+                Some(slot) => dispatch_batch(
+                    worker,
+                    &mut slot.engine,
+                    shared,
+                    &mut slot.scratch,
+                    &mut steps,
+                    &mut sub,
+                    &mut samples,
+                    &mut report,
+                    false,
+                    false,
+                ),
+                None => {
+                    // The model was swapped out between queueing and
+                    // dispatch: answer the typed error, never strand.
+                    report.unrouted += sub.len() as u64;
+                    for job in sub.drain(..) {
+                        job.complete(Err(ServingError::ModelUnavailable { model }));
+                    }
+                }
+            }
+        }
+        // A job without a model id cannot land on a routed pool's rings
+        // (both submit paths attach one); answer defensively anyway.
+        for job in batch.drain(..) {
+            report.unrouted += 1;
+            job.complete(Err(ServingError::NoReplicas));
+        }
+        // Between batches: age every tenant replica, then service any
+        // pending swap (the ring is the only source of requests, so nothing
+        // else can observe the bank mid-swap).
+        if config.ticks_per_batch > 0 {
+            for slot in bank.iter_mut() {
+                slot.engine.advance_time(config.ticks_per_batch);
+            }
+        }
+        let generation = shared.recalibration.load(Ordering::SeqCst);
+        if generation != recalibration_seen {
+            recalibration_seen = generation;
+            service_swaps(worker, &mut bank, shared, &mut report);
+        }
+    }
+    // Final mailbox sweep: a swap posted during shutdown is answered (its
+    // drop guard reports the shutdown error) rather than stranded.
+    shared.mailboxes[worker]
+        .0
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
     report
 }
 
@@ -3029,5 +3805,224 @@ mod tests {
             "at least one request must have failed over, got {stats:?}"
         );
         assert_eq!(stats.workers[1].failovers, 0);
+    }
+
+    #[test]
+    fn routed_errors_display() {
+        assert!(ServingError::ModelUnavailable { model: 42 }
+            .to_string()
+            .contains("42"));
+        assert!(ServingError::WorkerSpawn {
+            reason: "no threads left".into()
+        }
+        .to_string()
+        .contains("no threads left"));
+    }
+
+    /// Tentpole acceptance: a routed pool hosting three tenants routes each
+    /// request by model id and answers bit-identically to each tenant's own
+    /// single-tenant engine.
+    #[test]
+    fn routed_pool_serves_tenants_bit_identically_to_their_own_engines() {
+        let seeds = [910u64, 911, 912];
+        let models = [11u64, 22, 33];
+        let mut engines = Vec::new();
+        let mut references = Vec::new();
+        for seed in seeds {
+            let (train, test) = split_for(seed);
+            let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+            let samples = samples_of(&test);
+            let mut scratch = engine.make_scratch();
+            let sequential: Vec<InferenceStep> = samples
+                .iter()
+                .map(|sample| engine.infer_into(sample, &mut scratch).unwrap())
+                .collect();
+            engines.push(engine);
+            references.push((samples, sequential));
+        }
+        let mut engines = engines.into_iter();
+        let banks = vec![
+            vec![
+                (models[0], engines.next().unwrap()),
+                (models[1], engines.next().unwrap()),
+            ],
+            vec![(models[2], engines.next().unwrap())],
+        ];
+        let pool =
+            ServingPool::new_routed(banks, ServingConfig::default().with_max_batch(4)).unwrap();
+        assert_eq!(pool.route_of(models[0]), Some(0));
+        assert_eq!(pool.route_of(models[1]), Some(0));
+        assert_eq!(pool.route_of(models[2]), Some(1));
+        assert!(matches!(
+            pool.submit_routed(99, vec![0.0; 4]),
+            Err(ServingError::ModelUnavailable { model: 99 })
+        ));
+        for (model, (samples, sequential)) in models.iter().zip(&references) {
+            let answers = pool.serve_model(*model, samples);
+            for (answer, step) in answers.iter().zip(sequential) {
+                let outcome = answer.as_ref().unwrap();
+                assert_eq!(outcome.prediction, step.prediction);
+                assert_eq!(outcome.tie_broken, step.tie_broken);
+                assert_eq!(outcome.delay, step.delay);
+                assert_eq!(outcome.energy, step.energy);
+            }
+        }
+        let stats = pool.shutdown();
+        let expected: u64 = references.iter().map(|(s, _)| s.len() as u64).sum();
+        assert_eq!(stats.requests, expected);
+        assert_eq!(stats.failed_requests, 0);
+        assert_eq!(stats.unrouted, 0);
+        assert_eq!(stats.swaps, 0);
+    }
+
+    #[test]
+    fn duplicate_model_ids_across_banks_are_rejected() {
+        let (train, _) = split_for(913);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        let banks = vec![vec![(7u64, engine.clone())], vec![(7u64, engine)]];
+        assert!(matches!(
+            ServingPool::new_routed(banks, ServingConfig::default()),
+            Err(ServingError::InvalidConfig { name: "banks", .. })
+        ));
+    }
+
+    /// Satellite pin: a hot swap on one bank completes with real erase and
+    /// programming costs, zero tickets of the *other* bank's tenant are
+    /// dropped or errored across it, and the installed tenant then serves
+    /// bit-identically to its freshly programmed engine.
+    #[test]
+    fn hot_swap_evicts_installs_and_never_stalls_other_tenants() {
+        let (train_a, _) = split_for(914);
+        let (train_b, test_b) = split_for(915);
+        let (train_c, test_c) = split_for(916);
+        let config = EngineConfig::febim_default();
+        let shape = TileShape::new(2, 24).unwrap();
+        let tenant_a = FebimEngine::fit_tiled(&train_a, config.clone(), shape).unwrap();
+        let tenant_b = FebimEngine::fit_tiled(&train_b, config.clone(), shape).unwrap();
+        let tenant_c = FebimEngine::fit_tiled(&train_c, config, shape).unwrap();
+        let samples_b = samples_of(&test_b);
+        let samples_c = samples_of(&test_c);
+        let mut scratch = tenant_c.make_scratch();
+        let sequential_c: Vec<InferenceStep> = samples_c
+            .iter()
+            .map(|sample| tenant_c.infer_into(sample, &mut scratch).unwrap())
+            .collect();
+        let pool = ServingPool::new_routed(
+            vec![vec![(1u64, tenant_a)], vec![(2u64, tenant_b)]],
+            ServingConfig::default().with_max_batch(4),
+        )
+        .unwrap();
+        // Tenant B's traffic brackets the swap on bank 0: every ticket must
+        // be answered, none dropped or errored.
+        let before: Vec<Ticket> = samples_b
+            .iter()
+            .map(|sample| pool.submit_routed_blocking(2, sample.clone()).unwrap())
+            .collect();
+        let swap_ticket = pool.post_swap(0, vec![1u64], Some((3u64, tenant_c.clone())));
+        let after: Vec<Ticket> = samples_b
+            .iter()
+            .map(|sample| pool.submit_routed_blocking(2, sample.clone()).unwrap())
+            .collect();
+        let swap = swap_ticket.wait().unwrap();
+        assert_eq!(swap.worker, 0);
+        assert_eq!(swap.evicted, vec![1u64]);
+        assert_eq!(swap.installed, Some(3));
+        assert!(swap.erase.pulses > 0, "erase not priced: {swap:?}");
+        assert!(swap.erase.energy_j > 0.0);
+        assert!(swap.program.pulses > 0, "program not priced: {swap:?}");
+        assert!(swap.program.energy_j > 0.0);
+        for ticket in before.into_iter().chain(after) {
+            assert!(
+                ticket.wait().is_ok(),
+                "tenant B request dropped during the swap"
+            );
+        }
+        // The evicted tenant stops routing; the installed one serves
+        // bit-identically to its freshly programmed engine.
+        assert!(matches!(
+            pool.submit_routed(1, samples_b[0].clone()),
+            Err(ServingError::ModelUnavailable { model: 1 })
+        ));
+        assert_eq!(pool.route_of(1), None);
+        assert_eq!(pool.route_of(3), Some(0));
+        let answers = pool.serve_model(3, &samples_c);
+        for (answer, step) in answers.iter().zip(&sequential_c) {
+            let outcome = answer.as_ref().unwrap();
+            assert_eq!(outcome.prediction, step.prediction);
+            assert_eq!(outcome.tie_broken, step.tie_broken);
+            assert_eq!(outcome.delay, step.delay);
+            assert_eq!(outcome.energy, step.energy);
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.workers[0].swaps, 1);
+        assert!(stats.swap_pulses > 0);
+        assert!(stats.swap_energy_j > 0.0);
+        assert_eq!(stats.failed_requests, 0);
+        assert_eq!(stats.unrouted, 0);
+    }
+
+    /// A swap left pending at shutdown resolves to the typed shutdown error
+    /// instead of hanging its ticket.
+    #[test]
+    fn pending_swap_at_shutdown_answers_its_ticket() {
+        let (train, _) = split_for(918);
+        let engine = FebimEngine::fit_tiled(
+            &train,
+            EngineConfig::febim_default(),
+            TileShape::new(2, 24).unwrap(),
+        )
+        .unwrap();
+        let pool =
+            ServingPool::new_routed(vec![vec![(1u64, engine.clone())]], ServingConfig::default())
+                .unwrap();
+        let swapped_out = pool.shutdown();
+        assert_eq!(swapped_out.swaps, 0);
+        // Fresh pool: post, shut down immediately; the race between the
+        // worker servicing the swap and the close is fine either way — the
+        // ticket must resolve.
+        let pool =
+            ServingPool::new_routed(vec![vec![(2u64, engine.clone())]], ServingConfig::default())
+                .unwrap();
+        let ticket = pool.post_swap(0, vec![2u64], Some((4u64, engine)));
+        drop(pool);
+        match ticket.wait() {
+            Ok(report) => assert_eq!(report.installed, Some(4)),
+            Err(err) => assert!(matches!(err, ServingError::ShutDown)),
+        }
+    }
+
+    /// Regression: a failed worker-thread spawn used to panic the pool
+    /// constructor (`.expect("spawn serving worker")`) — on the serving hot
+    /// path that tore down the whole process. It must surface as the typed
+    /// [`ServingError::WorkerSpawn`] with the already-spawned workers
+    /// joined, not panic.
+    #[test]
+    fn worker_spawn_failure_is_a_typed_error_not_a_panic() {
+        let (train, _) = split_for(917);
+        let engine = FebimEngine::fit(&train, EngineConfig::febim_default()).unwrap();
+        let mut spawned = 0usize;
+        let mut spawner = |name: String, body: WorkerBody| {
+            if spawned >= 1 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "resource temporarily unavailable",
+                ));
+            }
+            spawned += 1;
+            default_spawner(name, body)
+        };
+        let result = ServingPool::new_inner(
+            vec![engine.clone(), engine],
+            ServingConfig::default(),
+            &mut spawner,
+        );
+        match result {
+            Err(ServingError::WorkerSpawn { reason }) => {
+                assert!(reason.contains("unavailable"), "reason: {reason}");
+            }
+            other => panic!("expected WorkerSpawn error, got {other:?}"),
+        }
+        assert_eq!(spawned, 1);
     }
 }

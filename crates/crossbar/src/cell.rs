@@ -52,6 +52,12 @@ impl Cell {
         self.programmed_level = Some(level);
     }
 
+    /// Forgets the programmed level (the cell reads as erased bookkeeping;
+    /// callers erase the device separately).
+    pub fn clear_programmed_level(&mut self) {
+        self.programmed_level = None;
+    }
+
     /// Number of half-bias disturb pulses the cell has absorbed since it was
     /// last programmed.
     pub fn disturb_pulses(&self) -> u64 {

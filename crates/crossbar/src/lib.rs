@@ -60,7 +60,7 @@ pub use fault::{
 };
 pub use layout::{ColumnRole, CrossbarLayout};
 pub use read::{Activation, LevelLadder};
-pub use tiling::{GridRebuildStats, TileGrid, TilePlan, TileShape};
+pub use tiling::{GridRebuildStats, RegionWriteOutcome, TileGrid, TilePlan, TileShape};
 pub use write::WriteScheme;
 
 // Re-exported so downstream crates can configure arrays without a direct

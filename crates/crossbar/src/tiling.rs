@@ -257,6 +257,31 @@ pub struct GridRebuildStats {
     pub cells_recomputed: u64,
 }
 
+/// Cost of one region-scoped fabric write ([`TileGrid::program_region`] /
+/// [`TileGrid::erase_region`]): the pulse trains applied and their energy,
+/// priced through the Preisach programming model like every other write.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct RegionWriteOutcome {
+    /// Cells driven to a target level.
+    pub cells_programmed: u64,
+    /// Cells erased (programmed level forgotten, polarization reset).
+    pub cells_erased: u64,
+    /// Total program/erase pulses applied.
+    pub pulses_applied: u64,
+    /// Energy of those pulses, in joules.
+    pub energy_joules: f64,
+}
+
+impl RegionWriteOutcome {
+    /// Accumulates another outcome into this one.
+    pub fn absorb(&mut self, other: &RegionWriteOutcome) {
+        self.cells_programmed += other.cells_programmed;
+        self.cells_erased += other.cells_erased;
+        self.pulses_applied += other.pulses_applied;
+        self.energy_joules += other.energy_joules;
+    }
+}
+
 /// One physical tile: its occupied cell bank in local row-major order, the
 /// provisioned spare rows appended below the logical rows, and the
 /// logical-to-physical wordline remap table the self-repair path rewires.
@@ -301,9 +326,22 @@ enum GridDirty {
     All,
 }
 
+impl Default for GridDirty {
+    /// A deserialized grid arrives without its fabric cache (the cache
+    /// fields are `#[serde(skip)]`), so the bookkeeping starts fully stale.
+    fn default() -> Self {
+        GridDirty::All
+    }
+}
+
 impl GridDirty {
     /// Marks one tile stale, degrading to `All` when at least half the grid
     /// is already dirty (re-stitching then costs as much as a full build).
+    ///
+    /// Only **distinct** tiles count towards the degradation threshold:
+    /// re-marking an already-dirty tile (per-cell programming loops hit the
+    /// same tile hundreds of times) must not force a full fabric rebuild
+    /// while the rest of the grid is clean.
     fn mark_tile(&mut self, index: usize, tile_count: usize) {
         let overflow = match self {
             GridDirty::All => false,
@@ -312,7 +350,9 @@ impl GridDirty {
                 tile_count <= 1
             }
             GridDirty::Tiles(tiles) => {
-                tiles.push(index);
+                if !tiles.contains(&index) {
+                    tiles.push(index);
+                }
                 tiles.len() * 2 >= tile_count
             }
         };
@@ -762,7 +802,9 @@ impl TileGrid {
         Ok(&mut tile.cells[local])
     }
 
-    /// Programs one cell (global coordinates) to a multi-level state.
+    /// Programs one cell (global coordinates) to a multi-level state and
+    /// returns the write pulses applied (the Preisach train length, also
+    /// counted under [`ProgrammingMode::Ideal`] for cost bookkeeping).
     ///
     /// With [`ProgrammingMode::PulseTrain`] the half-bias disturb pulses
     /// reach the *other rows of the same tile* only — tiles are physically
@@ -779,7 +821,7 @@ impl TileGrid {
         column: usize,
         level: usize,
         mode: ProgrammingMode,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         let tile_index = self.tile_index_of(row, column)?;
         self.mark_tile(tile_index);
         let shape = self.plan.shape();
@@ -824,7 +866,7 @@ impl TileGrid {
         tile.cells[local].reset_disturb();
         tile.cells[local].set_programmed_at(clock);
         self.write_energy += self.programmer.write_energy(state.level)?;
-        Ok(())
+        Ok(u64::from(state.write_config.pulse_count) + 1)
     }
 
     /// Programs the whole fabric from a global level matrix (same shape
@@ -865,6 +907,112 @@ impl TileGrid {
             }
         }
         Ok(())
+    }
+
+    /// Programs a rectangular **region** of the fabric from a level block
+    /// whose top-left corner lands on global `(row0, col0)`, pricing the
+    /// Preisach pulse trains, and returns the accumulated write cost.
+    ///
+    /// Only the tiles the region touches are invalidated; caches of every
+    /// other tile survive the reprogramming (the hot-swap path relies on
+    /// this so co-resident tenants keep their read caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] when the block (at its
+    /// offset) does not fit the layout, and propagates programming errors.
+    pub fn program_region(
+        &mut self,
+        row0: usize,
+        col0: usize,
+        levels: &[Vec<Option<usize>>],
+        mode: ProgrammingMode,
+    ) -> Result<RegionWriteOutcome> {
+        let layout = *self.plan.layout();
+        let energy_before = self.write_energy;
+        let mut outcome = RegionWriteOutcome::default();
+        for (block_row, row_levels) in levels.iter().enumerate() {
+            let row = row0 + block_row;
+            for (block_col, level) in row_levels.iter().enumerate() {
+                let column = col0 + block_col;
+                if row >= layout.rows() || column >= layout.columns() {
+                    return Err(CrossbarError::IndexOutOfBounds {
+                        row,
+                        column,
+                        rows: layout.rows(),
+                        columns: layout.columns(),
+                    });
+                }
+                if let Some(level) = level {
+                    outcome.pulses_applied += self.program_cell(row, column, *level, mode)?;
+                    outcome.cells_programmed += 1;
+                }
+            }
+        }
+        outcome.energy_joules = self.write_energy - energy_before;
+        Ok(outcome)
+    }
+
+    /// Erases every cell of a rectangular **region** (global coordinate
+    /// ranges): one nominal Preisach erase pulse per non-stuck cell, the
+    /// programmed level forgotten either way. Erase pulses are priced like
+    /// write pulses and accumulated into [`TileGrid::write_energy`].
+    ///
+    /// Invalidation is scoped to the touched tiles, exactly like
+    /// [`TileGrid::program_region`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::IndexOutOfBounds`] for out-of-range bounds.
+    pub fn erase_region(
+        &mut self,
+        rows: Range<usize>,
+        columns: Range<usize>,
+    ) -> Result<RegionWriteOutcome> {
+        let layout = *self.plan.layout();
+        if rows.end > layout.rows() || columns.end > layout.columns() {
+            return Err(CrossbarError::IndexOutOfBounds {
+                row: rows.end.saturating_sub(1),
+                column: columns.end.saturating_sub(1),
+                rows: layout.rows(),
+                columns: layout.columns(),
+            });
+        }
+        let shape = self.plan.shape();
+        let col_tiles = self.plan.col_tiles();
+        let energy_per_pulse = self.programmer.params().write_energy_per_pulse;
+        let clock = self.clock;
+        let mut outcome = RegionWriteOutcome::default();
+        let mut touched: Vec<usize> = Vec::new();
+        for row in rows.clone() {
+            for column in columns.clone() {
+                let tile_index = (row / shape.rows) * col_tiles + column / shape.columns;
+                let tile = &mut self.tiles[tile_index];
+                let local = tile.index(row % shape.rows, column % shape.columns);
+                let cell = &mut tile.cells[local];
+                if cell.programmed_level().is_none() && cell.disturb_pulses() == 0 {
+                    continue;
+                }
+                if !cell.is_stuck() {
+                    cell.device_mut().erase();
+                }
+                cell.clear_programmed_level();
+                cell.reset_disturb();
+                cell.set_programmed_at(clock);
+                outcome.cells_erased += 1;
+                outcome.pulses_applied += 1;
+                let energy = energy_per_pulse;
+                outcome.energy_joules += energy;
+                self.write_energy += energy;
+                if !touched.contains(&tile_index) {
+                    touched.push(tile_index);
+                }
+            }
+        }
+        for tile_index in touched {
+            self.mark_tile(tile_index);
+        }
+        Ok(outcome)
     }
 
     /// Applies threshold-voltage variation to every occupied cell, drawing
@@ -1992,6 +2140,111 @@ mod tests {
             grid.wordline_currents(&activation).unwrap(),
             grid.wordline_currents_reference(&activation).unwrap()
         );
+    }
+
+    #[test]
+    fn repeated_programs_into_one_tile_keep_other_tile_caches() {
+        // Regression: `GridDirty::mark_tile` used to push duplicate indices,
+        // so per-cell programming loops confined to ONE tile degraded the
+        // dirty set to `All` after two writes and forced full fabric
+        // rebuilds even though every other tile was untouched.
+        let (mut grid, _) = grid_and_array();
+        let activation = Activation::all_columns(grid.layout());
+        grid.wordline_currents(&activation).unwrap(); // warm: one full build
+        let before = grid.rebuild_stats();
+        assert_eq!(before.full_rebuilds, 1);
+
+        // Tile (0, 0) spans rows 0..2 × columns 0..9: 18 cells, far more
+        // writes than the old duplicate-counting threshold tolerated.
+        for row in 0..2 {
+            for column in 0..9 {
+                grid.program_cell(row, column, (row + column) % 10, ProgrammingMode::Ideal)
+                    .unwrap();
+            }
+        }
+        grid.wordline_currents(&activation).unwrap();
+        let after = grid.rebuild_stats();
+        assert_eq!(after.full_rebuilds, 1, "no spurious full rebuild");
+        assert_eq!(after.tile_rebuilds, before.tile_rebuilds + 1);
+        assert_eq!(
+            after.cells_recomputed,
+            before.cells_recomputed + 18,
+            "only the reprogrammed 2x9 tile re-evaluated"
+        );
+        assert_eq!(
+            grid.wordline_currents(&activation).unwrap(),
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
+    }
+
+    #[test]
+    fn region_program_prices_pulses_and_scopes_invalidation() {
+        let (mut grid, _) = grid_and_array();
+        let activation = Activation::all_columns(grid.layout());
+        grid.wordline_currents(&activation).unwrap();
+        let stats_before = grid.rebuild_stats();
+        let energy_before = grid.write_energy();
+
+        // A 2×3 block inside tile (0, 0).
+        let block = vec![
+            vec![Some(1), None, Some(3)],
+            vec![Some(4), Some(5), Some(6)],
+        ];
+        let outcome = grid
+            .program_region(0, 2, &block, ProgrammingMode::PulseTrain)
+            .unwrap();
+        assert_eq!(outcome.cells_programmed, 5);
+        assert_eq!(outcome.cells_erased, 0);
+        assert!(outcome.pulses_applied >= 5, "at least one pulse per cell");
+        assert!(outcome.energy_joules > 0.0);
+        assert!((grid.write_energy() - energy_before - outcome.energy_joules).abs() < 1e-24);
+
+        grid.wordline_currents(&activation).unwrap();
+        let stats_after = grid.rebuild_stats();
+        assert_eq!(stats_after.full_rebuilds, stats_before.full_rebuilds);
+        assert_eq!(stats_after.tile_rebuilds, stats_before.tile_rebuilds + 1);
+        assert_eq!(
+            grid.wordline_currents(&activation).unwrap(),
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
+
+        // A block hanging off the layout is rejected.
+        assert!(grid
+            .program_region(2, 14, &block, ProgrammingMode::Ideal)
+            .is_err());
+    }
+
+    #[test]
+    fn region_erase_forgets_levels_and_prices_one_pulse_per_cell() {
+        let (mut grid, _) = grid_and_array();
+        let activation = Activation::all_columns(grid.layout());
+        grid.wordline_currents(&activation).unwrap();
+        let stats_before = grid.rebuild_stats();
+
+        // Erase the row-2 span of tile (1, 0) only (9 cells).
+        let outcome = grid.erase_region(2..3, 0..9).unwrap();
+        assert_eq!(outcome.cells_erased, 9);
+        assert_eq!(outcome.cells_programmed, 0);
+        assert_eq!(outcome.pulses_applied, 9);
+        assert!(outcome.energy_joules > 0.0);
+        for column in 0..9 {
+            assert_eq!(grid.cell(2, column).unwrap().programmed_level(), None);
+        }
+        // Erasing an already-erased region is free.
+        let again = grid.erase_region(2..3, 0..9).unwrap();
+        assert_eq!(again.cells_erased, 0);
+        assert_eq!(again.pulses_applied, 0);
+
+        grid.wordline_currents(&activation).unwrap();
+        let stats_after = grid.rebuild_stats();
+        assert_eq!(stats_after.full_rebuilds, stats_before.full_rebuilds);
+        assert_eq!(stats_after.tile_rebuilds, stats_before.tile_rebuilds + 1);
+        assert_eq!(
+            grid.wordline_currents(&activation).unwrap(),
+            grid.wordline_currents_reference(&activation).unwrap()
+        );
+        assert!(grid.erase_region(0..4, 0..16).is_err());
+        assert!(grid.erase_region(0..3, 0..17).is_err());
     }
 
     #[test]

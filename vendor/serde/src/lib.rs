@@ -6,21 +6,22 @@
 //! * a **real** [`Serialize`] trait that writes compact JSON — implemented
 //!   for the primitives, strings, `Vec`/slices, `Option` and tuples, and
 //!   derived for workspace types by the sibling `serde_derive` shim;
+//! * a **real** [`Deserialize`] trait decoding the same shapes back out of a
+//!   parsed [`json::Value`] tree (model snapshots load from bytes through
+//!   it), with [`json::from_str`] as the `serde_json` entry point;
 //! * the [`json`] module with [`json::to_string`] / [`json::to_string_pretty`]
-//!   (the `serde_json` entry points the bench binaries use);
-//! * marker-only [`Deserialize`] / [`DeserializeOwned`] traits with blanket
-//!   impls (nothing in the workspace deserializes).
+//!   (the `serde_json` entry points the bench binaries use).
 //!
 //! The JSON encoding matches `serde_json` for the shapes in use: structs are
 //! objects, newtype structs are their inner value, unit enum variants are
 //! strings, struct/tuple variants are externally tagged objects, and
-//! non-finite floats serialize as `null`.
+//! non-finite floats serialize as `null` (and decode back as NaN).
 
 #![warn(missing_docs)]
 
-// The derive macro lives in the macro namespace, the trait below in the type
-// namespace, so — exactly like real serde with `features = ["derive"]` —
-// `serde::Serialize` names both.
+// The derive macros live in the macro namespace, the traits below in the
+// type namespace, so — exactly like real serde with `features = ["derive"]`
+// — `serde::Serialize` / `serde::Deserialize` name both.
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Types that can write themselves as JSON.
@@ -35,14 +36,34 @@ pub trait Serialize {
     fn serialize_json(&self, out: &mut String);
 }
 
-/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
-/// types.
-pub trait Deserialize<'de> {}
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
+/// Types that can rebuild themselves from a parsed JSON tree.
+///
+/// This is the shim's stand-in for `serde::Deserialize`: instead of the full
+/// `Deserializer` abstraction it exposes a single method decoding `Self`
+/// from a [`json::Value`]. `#[derive(Deserialize)]` (from the vendored
+/// `serde_derive`) generates implementations for structs and enums that
+/// mirror the encoding [`Serialize`] writes; unknown object keys are
+/// ignored, and `#[serde(skip)]` / `#[serde(default)]` fields fall back to
+/// `Default::default()`.
+///
+/// The lifetime parameter exists only for signature compatibility with real
+/// serde (`Deserialize<'de>` bounds compile unchanged); the shim always
+/// decodes owned values.
+pub trait Deserialize<'de>: Sized {
+    /// Decodes `Self` from a parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::Error`] when the value's shape does not match the
+    /// type (wrong kind, missing required field, unknown enum variant,
+    /// out-of-range number).
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error>;
+}
 
-/// Marker stand-in for `serde::de::DeserializeOwned`.
-pub trait DeserializeOwned {}
-impl<T: ?Sized> DeserializeOwned for T {}
+/// Stand-in for `serde::de::DeserializeOwned`: decodable without borrowing
+/// from the input, which every shim [`Deserialize`] impl is.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
 /// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
 pub mod de {
@@ -224,9 +245,528 @@ impl<T: Serialize> Serialize for std::cell::RefCell<T> {
     }
 }
 
-/// `serde_json`-shaped entry points over the shim's [`Serialize`] trait.
+macro_rules! impl_deserialize_integer {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_json(
+                value: &json::Value,
+            ) -> std::result::Result<Self, json::Error> {
+                let raw = value
+                    .as_int()
+                    .ok_or_else(|| json::Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    json::Error::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        let raw = value
+            .as_int()
+            .ok_or_else(|| json::Error::expected("integer", "u128"))?;
+        u128::try_from(raw)
+            .map_err(|_| json::Error::new(format!("integer {raw} out of range for u128")))
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_json(
+                value: &json::Value,
+            ) -> std::result::Result<Self, json::Error> {
+                match value {
+                    json::Value::Float(raw) => Ok(*raw as $t),
+                    json::Value::Int(raw) => Ok(*raw as $t),
+                    // Serialize writes non-finite floats as null; decode
+                    // them back as NaN so snapshots round-trip.
+                    json::Value::Null => Ok(<$t>::NAN),
+                    _ => Err(json::Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        match value {
+            json::Value::Bool(flag) => Ok(*flag),
+            _ => Err(json::Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| json::Error::expected("string", "String"))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        let text = value
+            .as_str()
+            .ok_or_else(|| json::Error::expected("string", "char"))?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(only), None) => Ok(only),
+            _ => Err(json::Error::new(format!(
+                "expected a single-character string for char, got {text:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        match value {
+            json::Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| json::Error::expected("array", "Vec"))?;
+        items.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| json::Error::expected("array", "fixed-size array"))?;
+        if items.len() != N {
+            return Err(json::Error::new(format!(
+                "expected an array of {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let mut decoded = Vec::with_capacity(N);
+        for item in items {
+            decoded.push(T::deserialize_json(item)?);
+        }
+        decoded
+            .try_into()
+            .map_err(|_| json::Error::new("array length changed during decode".to_owned()))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($count:literal; $($name:ident : $idx:tt),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_json(
+                value: &json::Value,
+            ) -> std::result::Result<Self, json::Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| json::Error::expected("array", "tuple"))?;
+                if items.len() != $count {
+                    return Err(json::Error::new(format!(
+                        "expected a tuple of {} elements, got {}",
+                        $count,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_json(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_deserialize_tuple!(2; A: 0, B: 1);
+impl_deserialize_tuple!(3; A: 0, B: 1, C: 2);
+impl_deserialize_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::cell::RefCell<T> {
+    fn deserialize_json(value: &json::Value) -> std::result::Result<Self, json::Error> {
+        T::deserialize_json(value).map(std::cell::RefCell::new)
+    }
+}
+
+/// `serde_json`-shaped entry points over the shim's [`Serialize`] and
+/// [`Deserialize`](crate::Deserialize) traits.
 pub mod json {
     use super::Serialize;
+
+    /// A parsed JSON document.
+    ///
+    /// Integers and floats are kept apart ([`Value::Int`] holds any literal
+    /// without a fraction or exponent) so integer decoding stays exact up to
+    /// the full `u64`/`i64` ranges.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number written without `.`, `e` or `E`.
+        Int(i128),
+        /// A number with a fraction or exponent.
+        Float(f64),
+        /// A string literal (escapes already resolved).
+        String(String),
+        /// `[ ... ]`.
+        Array(Vec<Value>),
+        /// `{ ... }`, in document order. Keys are not deduplicated; lookups
+        /// return the first match like `serde_json`'s map does on insert.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The integer payload, if this is an integer literal.
+        pub fn as_int(&self) -> Option<i128> {
+            match self {
+                Value::Int(raw) => Some(*raw),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(text) => Some(text),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Whether this is an object.
+        pub fn is_object(&self) -> bool {
+            matches!(self, Value::Object(_))
+        }
+
+        /// Looks up a field of an object by key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields
+                    .iter()
+                    .find(|(name, _)| name == key)
+                    .map(|(_, value)| value),
+                _ => None,
+            }
+        }
+
+        /// Interprets this value as an externally tagged enum payload: a
+        /// single-key object yields `(tag, inner)`.
+        pub fn tagged(&self) -> Option<(&str, &Value)> {
+            match self {
+                Value::Object(fields) if fields.len() == 1 => {
+                    Some((fields[0].0.as_str(), &fields[0].1))
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Decode or parse failure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Creates an error from a message.
+        pub fn new(message: String) -> Self {
+            Self { message }
+        }
+
+        /// "expected X" shape-mismatch error while decoding `ty`.
+        pub fn expected(kind: &str, ty: &str) -> Self {
+            Self::new(format!("expected {kind} while decoding {ty}"))
+        }
+
+        /// Missing required object field while decoding `ty`.
+        pub fn missing_field(field: &str, ty: &str) -> Self {
+            Self::new(format!("missing field `{field}` while decoding {ty}"))
+        }
+
+        /// Unrecognized enum variant tag while decoding `ty`.
+        pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+            Self::new(format!("unknown variant `{tag}` while decoding {ty}"))
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Parses a JSON document into a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] (with byte offset) on malformed input or trailing
+    /// non-whitespace content.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            position: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.position != parser.bytes.len() {
+            return Err(parser.error("trailing content after JSON document"));
+        }
+        Ok(value)
+    }
+
+    /// Deserializes a value from a JSON string (the `serde_json::from_str`
+    /// entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+    pub fn from_str<T: for<'de> crate::Deserialize<'de>>(text: &str) -> Result<T, Error> {
+        T::deserialize_json(&parse(text)?)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        position: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn error(&self, message: &str) -> Error {
+            Error::new(format!("{message} at byte {}", self.position))
+        }
+
+        fn skip_whitespace(&mut self) {
+            while let Some(&byte) = self.bytes.get(self.position) {
+                if matches!(byte, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.position += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.position).copied()
+        }
+
+        fn expect_byte(&mut self, expected: u8) -> Result<(), Error> {
+            if self.peek() == Some(expected) {
+                self.position += 1;
+                Ok(())
+            } else {
+                Err(self.error(&format!("expected `{}`", expected as char)))
+            }
+        }
+
+        fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+            if self.bytes[self.position..].starts_with(literal.as_bytes()) {
+                self.position += literal.len();
+                Ok(value)
+            } else {
+                Err(self.error(&format!("expected `{literal}`")))
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') => self.expect_literal("null", Value::Null),
+                Some(b't') => self.expect_literal("true", Value::Bool(true)),
+                Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::String),
+                Some(b'[') => self.parse_array(),
+                Some(b'{') => self.parse_object(),
+                Some(byte) if byte == b'-' || byte.is_ascii_digit() => self.parse_number(),
+                _ => Err(self.error("expected a JSON value")),
+            }
+        }
+
+        fn parse_array(&mut self) -> Result<Value, Error> {
+            self.expect_byte(b'[')?;
+            let mut items = Vec::new();
+            self.skip_whitespace();
+            if self.peek() == Some(b']') {
+                self.position += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_whitespace();
+                items.push(self.parse_value()?);
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => self.position += 1,
+                    Some(b']') => {
+                        self.position += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.error("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Value, Error> {
+            self.expect_byte(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_whitespace();
+            if self.peek() == Some(b'}') {
+                self.position += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_whitespace();
+                let key = self.parse_string()?;
+                self.skip_whitespace();
+                self.expect_byte(b':')?;
+                self.skip_whitespace();
+                let value = self.parse_value()?;
+                fields.push((key, value));
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => self.position += 1,
+                    Some(b'}') => {
+                        self.position += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(self.error("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect_byte(b'"')?;
+            let mut out = String::new();
+            loop {
+                let byte = self
+                    .peek()
+                    .ok_or_else(|| self.error("unterminated string"))?;
+                match byte {
+                    b'"' => {
+                        self.position += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.position += 1;
+                        let escape = self
+                            .peek()
+                            .ok_or_else(|| self.error("unterminated escape"))?;
+                        self.position += 1;
+                        match escape {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let unit = self.parse_hex4()?;
+                                let scalar = if (0xd800..0xdc00).contains(&unit) {
+                                    // High surrogate: a \uXXXX low surrogate
+                                    // must follow.
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.error("lone high surrogate"));
+                                    }
+                                    self.position += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.error("lone high surrogate"));
+                                    }
+                                    self.position += 1;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xdc00..0xe000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                                } else {
+                                    unit
+                                };
+                                let character = char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?;
+                                out.push(character);
+                            }
+                            _ => return Err(self.error("invalid escape sequence")),
+                        }
+                    }
+                    _ => {
+                        // Consume one UTF-8 character (the input is a &str,
+                        // so continuation bytes are well formed).
+                        let rest = &self.bytes[self.position..];
+                        let text = std::str::from_utf8(rest)
+                            .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                        let character = text.chars().next().expect("non-empty checked above");
+                        out.push(character);
+                        self.position += character.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn parse_hex4(&mut self) -> Result<u32, Error> {
+            let end = self.position + 4;
+            let digits = self
+                .bytes
+                .get(self.position..end)
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let text = std::str::from_utf8(digits).map_err(|_| self.error("invalid \\u escape"))?;
+            let unit =
+                u32::from_str_radix(text, 16).map_err(|_| self.error("invalid \\u escape"))?;
+            self.position = end;
+            Ok(unit)
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            let start = self.position;
+            if self.peek() == Some(b'-') {
+                self.position += 1;
+            }
+            let mut is_float = false;
+            while let Some(byte) = self.peek() {
+                match byte {
+                    b'0'..=b'9' => self.position += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.position += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.position])
+                .expect("ASCII number characters");
+            if is_float {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.error("invalid number"))
+            } else {
+                text.parse::<i128>()
+                    .map(Value::Int)
+                    .map_err(|_| self.error("invalid integer"))
+            }
+        }
+    }
 
     /// Serializes a value to compact JSON.
     pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
@@ -370,5 +910,65 @@ mod tests {
         assert_eq!(json::to_string(&u64::MAX), u64::MAX.to_string());
         assert_eq!(json::to_string(&i64::MIN), i64::MIN.to_string());
         assert_eq!(json::to_string(&0u8), "0");
+    }
+
+    #[test]
+    fn parser_reads_every_value_kind() {
+        let value =
+            json::parse(r#" {"a": [1, -2.5, null, true], "b": "x\né", "c": {"d": 1e3}} "#).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[0].as_int(),
+            Some(1)
+        );
+        assert_eq!(value.get("b").unwrap().as_str(), Some("x\né"));
+        assert_eq!(
+            value.get("c").unwrap().get("d"),
+            Some(&json::Value::Float(1e3))
+        );
+        assert!(json::parse("[1,2").is_err());
+        assert!(json::parse("17 true").is_err());
+        assert!(json::parse("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn primitives_round_trip_through_from_str() {
+        assert_eq!(
+            json::from_str::<u64>(&json::to_string(&u64::MAX)).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(
+            json::from_str::<i64>(&json::to_string(&i64::MIN)).unwrap(),
+            i64::MIN
+        );
+        assert!(json::from_str::<u8>("300").is_err());
+        assert!(json::from_str::<u32>("-1").is_err());
+        assert_eq!(json::from_str::<f64>("2.5e-3").unwrap(), 2.5e-3);
+        assert_eq!(json::from_str::<f64>("7").unwrap(), 7.0);
+        assert!(json::from_str::<f64>("null").unwrap().is_nan());
+        assert!(json::from_str::<bool>("true").unwrap());
+        assert_eq!(json::from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
+        assert_eq!(json::from_str::<char>("\"x\"").unwrap(), 'x');
+        assert!(json::from_str::<char>("\"xy\"").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip_through_from_str() {
+        let nested = vec![vec![Some(1usize), None], vec![Some(4)]];
+        let decoded: Vec<Vec<Option<usize>>> = json::from_str(&json::to_string(&nested)).unwrap();
+        assert_eq!(decoded, nested);
+
+        let tuple = (3u8, "hi".to_string(), -1.25f64);
+        let decoded: (u8, String, f64) = json::from_str(&json::to_string(&tuple)).unwrap();
+        assert_eq!(decoded, tuple);
+
+        let fixed = [1u32, 2, 3];
+        let decoded: [u32; 3] = json::from_str(&json::to_string(&fixed)).unwrap();
+        assert_eq!(decoded, fixed);
+        assert!(json::from_str::<[u32; 4]>("[1,2,3]").is_err());
+
+        let cell = std::cell::RefCell::new(9u8);
+        let decoded: std::cell::RefCell<u8> = json::from_str(&json::to_string(&cell)).unwrap();
+        assert_eq!(decoded, cell);
     }
 }

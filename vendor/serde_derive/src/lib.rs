@@ -12,8 +12,10 @@
 //! * struct variants → `{"Variant":{...}}`, tuple variants →
 //!   `{"Variant":[...]}` (newtype variants → `{"Variant":value}`).
 //!
-//! `Deserialize` remains a no-op: nothing in the workspace deserializes, and
-//! the sibling shim keeps its blanket marker impl.
+//! `Deserialize` is the mirror image: it emits an implementation of the
+//! shim's `serde::Deserialize` decoding those same shapes out of a parsed
+//! `serde::json::Value`. Unknown object keys are ignored; `#[serde(skip)]`
+//! and missing `#[serde(default)]` fields come from `Default::default()`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -25,17 +27,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive shim produced invalid Rust")
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing; the blanket impl
-/// in the `serde` shim already covers every type.
+/// Derives the shim's JSON-decoding `serde::Deserialize` for structs and
+/// enums.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand_deserialize(input)
+        .parse()
+        .expect("serde_derive shim produced invalid Rust")
 }
 
 /// One parsed field of a struct or struct variant.
 struct Field {
     name: String,
     skipped: bool,
+    defaulted: bool,
 }
 
 /// One parsed enum variant.
@@ -45,7 +50,17 @@ enum Variant {
     Struct(String, Vec<Field>),
 }
 
-fn expand_serialize(input: TokenStream) -> String {
+/// The shape of a parsed `struct` / `enum` item declaration.
+enum ItemBody {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Parses the item declaration a derive macro receives: outer attributes,
+/// visibility, `struct`/`enum` keyword, name, and the body shape.
+fn parse_item(input: TokenStream) -> (String, ItemBody) {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut index = 0;
     skip_attributes_and_visibility(&tokens, &mut index);
@@ -67,28 +82,61 @@ fn expand_serialize(input: TokenStream) -> String {
     let body = match kind.as_str() {
         "struct" => match tokens.get(index) {
             Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
-                serialize_named_fields(&parse_named_fields(group.stream()), "self.")
+                ItemBody::NamedStruct(parse_named_fields(group.stream()))
             }
             Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
-                serialize_tuple_fields(count_tuple_fields(group.stream()), "self.")
+                ItemBody::TupleStruct(count_tuple_fields(group.stream()))
             }
-            // Unit struct: serde_json renders it as null.
-            _ => "out.push_str(\"null\");".to_string(),
+            _ => ItemBody::UnitStruct,
         },
         "enum" => {
             let group = match tokens.get(index) {
                 Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
                 other => panic!("serde_derive shim: malformed enum body: {other:?}"),
             };
-            serialize_enum(&parse_variants(group.stream()))
+            ItemBody::Enum(parse_variants(group.stream()))
         }
-        other => panic!("serde_derive shim: cannot derive Serialize for `{other}` items"),
+        other => panic!("serde_derive shim: cannot derive serde traits for `{other}` items"),
+    };
+    (name, body)
+}
+
+fn expand_serialize(input: TokenStream) -> String {
+    let (name, item) = parse_item(input);
+    let body = match &item {
+        ItemBody::NamedStruct(fields) => serialize_named_fields(fields, "self."),
+        ItemBody::TupleStruct(count) => serialize_tuple_fields(*count, "self."),
+        // Unit struct: serde_json renders it as null.
+        ItemBody::UnitStruct => "out.push_str(\"null\");".to_string(),
+        ItemBody::Enum(variants) => serialize_enum(variants),
     };
 
     format!(
         "#[automatically_derived]\n\
          impl ::serde::Serialize for {name} {{\n\
              fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn expand_deserialize(input: TokenStream) -> String {
+    let (name, item) = parse_item(input);
+    let body = match &item {
+        ItemBody::NamedStruct(fields) => deserialize_named_fields(fields, &name, "Self", "value"),
+        ItemBody::TupleStruct(count) => deserialize_tuple_fields(*count, &name, "Self", "value"),
+        // Unit struct: accept whatever Serialize wrote (`null`).
+        ItemBody::UnitStruct => "let _ = value;\nOk(Self)".to_string(),
+        ItemBody::Enum(variants) => deserialize_enum(variants, &name),
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_json(\n\
+                 value: &::serde::json::Value,\n\
+             ) -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
                  {body}\n\
              }}\n\
          }}"
@@ -116,18 +164,28 @@ fn skip_attributes_and_visibility(tokens: &[TokenTree], index: &mut usize) {
     }
 }
 
-/// Whether an attribute group (the `[...]` contents) is `serde(skip)`.
-fn is_serde_skip(group: &TokenStream) -> bool {
+/// `(skip, default)` flags of an attribute group (the `[...]` contents) when
+/// it is a `serde(...)` attribute.
+fn serde_attribute_flags(group: &TokenStream) -> (bool, bool) {
     let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(ident)), Some(TokenTree::Group(args)))
             if ident.to_string() == "serde" =>
         {
-            args.stream()
-                .into_iter()
-                .any(|token| matches!(&token, TokenTree::Ident(arg) if arg.to_string() == "skip"))
+            let mut skip = false;
+            let mut default = false;
+            for token in args.stream() {
+                if let TokenTree::Ident(arg) = &token {
+                    match arg.to_string().as_str() {
+                        "skip" => skip = true,
+                        "default" => default = true,
+                        _ => {}
+                    }
+                }
+            }
+            (skip, default)
         }
-        _ => false,
+        _ => (false, false),
     }
 }
 
@@ -137,13 +195,17 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut index = 0;
     while index < tokens.len() {
-        // Leading attributes: record `#[serde(skip)]`, ignore the rest.
+        // Leading attributes: record `#[serde(skip)]` / `#[serde(default)]`,
+        // ignore the rest.
         let mut skipped = false;
+        let mut defaulted = false;
         loop {
             match tokens.get(index) {
                 Some(TokenTree::Punct(punct)) if punct.as_char() == '#' => {
                     if let Some(TokenTree::Group(group)) = tokens.get(index + 1) {
-                        skipped |= is_serde_skip(&group.stream());
+                        let (skip, default) = serde_attribute_flags(&group.stream());
+                        skipped |= skip;
+                        defaulted |= default;
                     }
                     index += 2;
                 }
@@ -164,6 +226,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: field_name.to_string(),
             skipped,
+            defaulted,
         });
         // Skip `: Type` up to the next top-level comma; commas inside angle
         // brackets (`HashMap<K, V>`) belong to the type.
@@ -334,6 +397,163 @@ fn serialize_enum(variants: &[Variant]) -> String {
         }
     }
     format!("match self {{\n{arms}}}")
+}
+
+/// Emits a body decoding named fields from the object in `source` and
+/// building `constructor { ... }`. Skipped fields and missing defaulted
+/// fields come from `Default::default()`; other missing fields error.
+fn deserialize_named_fields(
+    fields: &[Field],
+    type_name: &str,
+    constructor: &str,
+    source: &str,
+) -> String {
+    let mut body = format!(
+        "if !{source}.is_object() {{\n\
+             return Err(::serde::json::Error::expected(\"object\", \"{type_name}\"));\n\
+         }}\n\
+         Ok({constructor} {{\n"
+    );
+    for field in fields {
+        let name = &field.name;
+        let expression = if field.skipped {
+            "::std::default::Default::default()".to_string()
+        } else if field.defaulted {
+            format!(
+                "match {source}.get(\"{name}\") {{\n\
+                     Some(__field) => ::serde::Deserialize::deserialize_json(__field)?,\n\
+                     None => ::std::default::Default::default(),\n\
+                 }}"
+            )
+        } else {
+            format!(
+                "::serde::Deserialize::deserialize_json({source}.get(\"{name}\").ok_or_else(\n\
+                     || ::serde::json::Error::missing_field(\"{name}\", \"{type_name}\"),\n\
+                 )?)?"
+            )
+        };
+        body.push_str(&format!("{name}: {expression},\n"));
+    }
+    body.push_str("})");
+    body
+}
+
+/// Emits a body decoding positional fields from `source` and building
+/// `constructor(...)`: newtype from the value itself, otherwise from an
+/// array of exactly `count` elements.
+fn deserialize_tuple_fields(
+    count: usize,
+    type_name: &str,
+    constructor: &str,
+    source: &str,
+) -> String {
+    match count {
+        0 => format!("let _ = {source};\nOk({constructor}())"),
+        1 => format!("Ok({constructor}(::serde::Deserialize::deserialize_json({source})?))"),
+        _ => {
+            let mut body = format!(
+                "let __items = {source}.as_array().ok_or_else(\n\
+                     || ::serde::json::Error::expected(\"array\", \"{type_name}\"),\n\
+                 )?;\n\
+                 if __items.len() != {count} {{\n\
+                     return Err(::serde::json::Error::new(::std::format!(\n\
+                         \"expected {count} elements while decoding {type_name}, got {{}}\",\n\
+                         __items.len(),\n\
+                     )));\n\
+                 }}\n\
+                 Ok({constructor}(\n"
+            );
+            for index in 0..count {
+                body.push_str(&format!(
+                    "::serde::Deserialize::deserialize_json(&__items[{index}])?,\n"
+                ));
+            }
+            body.push_str("))");
+            body
+        }
+    }
+}
+
+/// Emits the enum decode body: unit variants from their tag string, payload
+/// variants from an externally tagged single-key object.
+fn deserialize_enum(variants: &[Variant], type_name: &str) -> String {
+    let unit_names: Vec<&str> = variants
+        .iter()
+        .filter_map(|variant| match variant {
+            Variant::Unit(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let payload_variants: Vec<&Variant> = variants
+        .iter()
+        .filter(|variant| !matches!(variant, Variant::Unit(_)))
+        .collect();
+
+    let mut unit_arms = String::new();
+    for name in &unit_names {
+        unit_arms.push_str(&format!("\"{name}\" => Ok(Self::{name}),\n"));
+    }
+
+    if payload_variants.is_empty() {
+        return format!(
+            "match value.as_str() {{\n\
+                 Some(__tag) => match __tag {{\n\
+                     {unit_arms}\
+                     __other => Err(::serde::json::Error::unknown_variant(__other, \"{type_name}\")),\n\
+                 }},\n\
+                 None => Err(::serde::json::Error::expected(\"variant string\", \"{type_name}\")),\n\
+             }}"
+        );
+    }
+
+    let mut payload_arms = String::new();
+    for variant in &payload_variants {
+        match variant {
+            Variant::Unit(_) => unreachable!("unit variants filtered above"),
+            Variant::Tuple(name, count) => {
+                let inner = deserialize_tuple_fields(
+                    *count,
+                    type_name,
+                    &format!("Self::{name}"),
+                    "__inner",
+                );
+                payload_arms.push_str(&format!("\"{name}\" => {{\n{inner}\n}}\n"));
+            }
+            Variant::Struct(name, fields) => {
+                let inner = deserialize_named_fields(
+                    fields,
+                    type_name,
+                    &format!("Self::{name}"),
+                    "__inner",
+                );
+                payload_arms.push_str(&format!("\"{name}\" => {{\n{inner}\n}}\n"));
+            }
+        }
+    }
+
+    let unit_prelude = if unit_names.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let Some(__tag) = value.as_str() {{\n\
+                 return match __tag {{\n\
+                     {unit_arms}\
+                     __other => Err(::serde::json::Error::unknown_variant(__other, \"{type_name}\")),\n\
+                 }};\n\
+             }}\n"
+        )
+    };
+
+    format!(
+        "{unit_prelude}\
+         let (__tag, __inner) = value.tagged().ok_or_else(\n\
+             || ::serde::json::Error::expected(\"externally tagged variant\", \"{type_name}\"),\n\
+         )?;\n\
+         match __tag {{\n\
+             {payload_arms}\
+             __other => Err(::serde::json::Error::unknown_variant(__other, \"{type_name}\")),\n\
+         }}"
+    )
 }
 
 /// Tuple-variant body over destructured bindings.
